@@ -1,0 +1,65 @@
+//! Criterion benches of the end-to-end simulator: simulated-event
+//! throughput of the full distributed-database model under each policy.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dqa_core::model::DbSystem;
+use dqa_core::params::SystemParams;
+use dqa_core::policy::PolicyKind;
+use dqa_sim::{Engine, SimTime};
+
+fn simulate(policy: PolicyKind, until: f64) -> u64 {
+    let params = SystemParams::paper_base();
+    let system = DbSystem::new(params, policy, 17).expect("valid params");
+    let mut engine = Engine::new(system);
+    DbSystem::prime(&mut engine);
+    engine.run_until(SimTime::new(until));
+    engine.steps()
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_sim_2000_units");
+    group.sample_size(10);
+    for policy in [
+        PolicyKind::Local,
+        PolicyKind::Bnq,
+        PolicyKind::Bnqrd,
+        PolicyKind::Lert,
+    ] {
+        group.bench_function(policy.name(), |b| {
+            b.iter(|| black_box(simulate(policy, 2_000.0)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_sim_scaling");
+    group.sample_size(10);
+    for sites in [2usize, 6, 10] {
+        group.bench_function(format!("lert_{sites}_sites"), |b| {
+            b.iter_batched(
+                || {
+                    let params = SystemParams::builder()
+                        .num_sites(sites)
+                        .build()
+                        .expect("valid params");
+                    let mut e =
+                        Engine::new(DbSystem::new(params, PolicyKind::Lert, 23).unwrap());
+                    DbSystem::prime(&mut e);
+                    e
+                },
+                |mut e| {
+                    e.run_until(SimTime::new(1_000.0));
+                    black_box(e.steps())
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_scaling);
+criterion_main!(benches);

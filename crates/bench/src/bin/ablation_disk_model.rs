@@ -1,0 +1,73 @@
+//! Ablation — the analytic disk model behind Tables 5–6.
+//!
+//! The Section-3 study needs a product-form stand-in for "a site has
+//! `num_disks` disks". Two readings are defensible:
+//!
+//! * **split** — one FCFS station per disk, random 1/num_disks routing
+//!   (requests can wait at one disk while the other idles);
+//! * **pooled** — a single station with `num_disks` parallel servers,
+//!   solved by exact load-dependent MVA (one shared queue).
+//!
+//! The simulator implements the split physical system, and the recorded
+//! Tables 5–6 use the split model. This ablation recomputes every WIF/FIF
+//! cell under the pooled model to show how much of the reported
+//! improvement hinges on that modeling choice.
+
+use dqa_core::table::{fmt_f, TextTable};
+use dqa_mva::allocation::{
+    analyze_arrival, paper_cpu_ratios, paper_load_cases, DiskModel, StudyConfig,
+};
+
+fn main() {
+    let mut table = TextTable::new(vec![
+        "cpu1/cpu2",
+        "mean WIF split",
+        "mean WIF pooled",
+        "mean FIF split",
+        "mean FIF pooled",
+    ]);
+
+    let mut max_wif_gap = 0.0f64;
+    for (c1, c2) in paper_cpu_ratios() {
+        let mut sums = [0.0f64; 4];
+        let mut count = 0;
+        for load in paper_load_cases() {
+            for class in 0..2 {
+                let split = analyze_arrival(&StudyConfig::new(c1, c2), &load, class);
+                let pooled = analyze_arrival(
+                    &StudyConfig::new(c1, c2).with_disk_model(DiskModel::MultiServer),
+                    &load,
+                    class,
+                );
+                sums[0] += split.wif();
+                sums[1] += pooled.wif();
+                sums[2] += split.fif();
+                sums[3] += pooled.fif();
+                max_wif_gap = max_wif_gap.max((split.wif() - pooled.wif()).abs());
+                count += 1;
+            }
+        }
+        let mean = |s: f64| s / f64::from(count);
+        table.row(vec![
+            format!("{c1:.2}/{c2:.2}"),
+            fmt_f(mean(sums[0]), 3),
+            fmt_f(mean(sums[1]), 3),
+            fmt_f(mean(sums[2]), 3),
+            fmt_f(mean(sums[3]), 3),
+        ]);
+    }
+
+    println!("Ablation — split-per-disk vs pooled multiserver disk model (exact MVA)\n");
+    println!("{table}");
+    println!(
+        "largest per-cell WIF difference: {max_wif_gap:.3}. The *direction* \
+         of every conclusion survives either reading (optimal beats BNQ, \
+         demand information is valuable), but the magnitudes differ \
+         markedly at these 1-5 query populations: pooling the disks \
+         removes so much I/O queueing that the remaining waits are tiny \
+         and the relative improvements inflate. The paper's printed FIF \
+         cells match the split reading digit-for-digit, which is strong \
+         evidence the authors modeled the disks as independent stations — \
+         as does their Figure-5 per-disk I/O-demand classification rule."
+    );
+}

@@ -1,0 +1,60 @@
+//! Ablation — how stale may load information get?
+//!
+//! The paper assumes every site always knows the instantaneous load of all
+//! others and leaves the design of a status-exchange policy as future work
+//! (§4.4). This ablation quantifies the assumption: sites exchange load
+//! snapshots every `status_period` time units, and the waiting-time
+//! improvement of each policy over LOCAL is tracked as the period grows.
+//! (Mean query inter-arrival time per site at base parameters is ~20 time
+//! units; a period of 400 means the snapshot ages by ~20 arrivals per
+//! site.)
+
+use dqa_bench::{cell_seed, Effort};
+use dqa_core::experiment::improvement_pct;
+use dqa_core::params::SystemParams;
+use dqa_core::policy::PolicyKind;
+use dqa_core::table::{fmt_f, TextTable};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let effort = Effort::from_env();
+    let mut table = TextTable::new(vec![
+        "status period",
+        "dBNQ%",
+        "dBNQRD%",
+        "dLERT%",
+    ]);
+
+    let local = effort.run(
+        &SystemParams::paper_base(),
+        PolicyKind::Local,
+        cell_seed(600),
+    )?;
+    let w_local = local.mean_waiting();
+
+    for (row_idx, period) in [0.0, 25.0, 100.0, 400.0, 1_600.0].into_iter().enumerate() {
+        let params = SystemParams::builder().status_period(period).build()?;
+        let seed = |p: u64| cell_seed(610 + row_idx as u64 * 10 + p);
+        let mut row = vec![if period == 0.0 {
+            "0 (instant)".to_owned()
+        } else {
+            fmt_f(period, 0)
+        }];
+        for (p_idx, policy) in [PolicyKind::Bnq, PolicyKind::Bnqrd, PolicyKind::Lert]
+            .into_iter()
+            .enumerate()
+        {
+            let rep = effort.run(&params, policy, seed(p_idx as u64))?;
+            row.push(fmt_f(improvement_pct(w_local, rep.mean_waiting()), 2));
+        }
+        table.row(row);
+    }
+
+    println!("Ablation — load-status staleness (improvement over LOCAL, %)\n");
+    println!("{table}");
+    println!(
+        "expectation: gains decay as information ages; with very stale \
+         data the balancing policies can even do harm (herding onto sites \
+         that merely look idle)."
+    );
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! Extension — migrating partially executed queries (§6.2).
+//!
+//! The paper's first future-work item: move a query between its
+//! "primitive relational operations" when the load has shifted since it
+//! was placed. Here a LERT system re-evaluates each query's placement
+//! every `check` reads over its *remaining* work, paying a transfer whose
+//! size grows with the partial results accumulated (`state_growth` per
+//! completed read), and moves only when the estimated gain clears
+//! `min_gain`.
+//!
+//! The sweep probes when migration pays: allocate-once LERT is already
+//! near-optimal at the base load, so the interesting regimes are frequent
+//! checks (thrash risk), cheap state (free second chances), and heavy
+//! load (more drift between placement and reality).
+
+use dqa_bench::{cell_seed, Effort};
+use dqa_core::experiment::improvement_pct;
+use dqa_core::params::{MigrationSpec, SystemParams};
+use dqa_core::policy::PolicyKind;
+use dqa_core::table::{fmt_f, TextTable};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let effort = Effort::from_env();
+
+    for (label, think) in [("base load (think 350)", 350.0), ("heavy load (think 200)", 200.0)] {
+        let base = SystemParams::builder().think_time(think).build()?;
+        let lert = effort.run(&base, PolicyKind::Lert, cell_seed(1_300))?;
+        let w_lert = lert.mean_waiting();
+
+        let mut table = TextTable::new(vec![
+            "check every",
+            "min gain",
+            "state growth",
+            "mean wait",
+            "vs plain LERT %",
+            "migrations/query",
+        ]);
+        let specs = [
+            MigrationSpec { check_every_reads: 2, min_gain: 1.0, state_growth: 0.5 },
+            MigrationSpec { check_every_reads: 5, min_gain: 1.0, state_growth: 0.5 },
+            MigrationSpec { check_every_reads: 5, min_gain: 5.0, state_growth: 0.5 },
+            MigrationSpec { check_every_reads: 5, min_gain: 1.0, state_growth: 0.0 },
+            MigrationSpec { check_every_reads: 10, min_gain: 2.0, state_growth: 1.0 },
+        ];
+        for (row, spec) in specs.into_iter().enumerate() {
+            let params = SystemParams::builder()
+                .think_time(think)
+                .migration(Some(spec))
+                .build()?;
+            let rep = effort.run(
+                &params,
+                PolicyKind::Lert,
+                cell_seed(1_310 + row as u64 * 10 + think as u64),
+            )?;
+            let per_query = rep.mean(|r| r.migrations as f64 / r.completed as f64);
+            table.row(vec![
+                spec.check_every_reads.to_string(),
+                fmt_f(spec.min_gain, 1),
+                fmt_f(spec.state_growth, 2),
+                fmt_f(rep.mean_waiting(), 2),
+                fmt_f(improvement_pct(w_lert, rep.mean_waiting()), 2),
+                fmt_f(per_query, 3),
+            ]);
+        }
+        println!(
+            "Extension — query migration under LERT, {label} \
+             (plain LERT waits {w_lert:.2})\n"
+        );
+        println!("{table}");
+    }
+    println!(
+        "reading: a negative result with one bright spot. When moving a \
+         query means moving its accumulated partial results \
+         (state_growth > 0), every configuration loses — the transfers \
+         congest the shared ring and the gains LERT projects from count \
+         snapshots evaporate before the move completes. Only free state \
+         (state_growth = 0, e.g. re-executable scans that can restart on \
+         the new copy) yields a small win over allocate-once LERT. This \
+         quantifies the paper's caution that the problem is determining \
+         when a query can be *economically* moved."
+    );
+    Ok(())
+}

@@ -1,0 +1,87 @@
+//! Extension — the stability frontier under an open workload.
+//!
+//! The paper's closed model cannot overload: its population is capped at
+//! `mpl × num_sites`. With open Poisson arrivals the question the paper's
+//! capacity discussion gestures at can be asked directly: *up to what
+//! offered load does each policy keep the system stable?*
+//!
+//! The sharp version uses heterogeneous CPUs. Arrivals are uniform per
+//! site, but a half-speed site saturates at roughly half the homogeneous
+//! rate — under LOCAL the slow sites sink while fast ones idle, whereas a
+//! demand-aware allocator shifts the surplus and holds the *system* up to
+//! its aggregate capacity.
+//!
+//! Stability here is judged empirically: a run is called unstable when
+//! its in-flight population keeps growing (final backlog far above the
+//! stable-queue scale).
+
+use dqa_core::model::DbSystem;
+use dqa_core::params::{SystemParams, Workload};
+use dqa_core::policy::PolicyKind;
+use dqa_core::table::{fmt_f, TextTable};
+use dqa_sim::{Engine, SimTime};
+
+/// Runs the open system and returns (mean waiting, final backlog).
+fn run_open(
+    params: &SystemParams,
+    policy: PolicyKind,
+    seed: u64,
+    horizon: f64,
+) -> (f64, usize) {
+    let sys = DbSystem::new(params.clone(), policy, seed).expect("valid params");
+    let mut engine = Engine::new(sys);
+    DbSystem::prime(&mut engine);
+    engine.run_until(SimTime::new(horizon * 0.2));
+    let now = engine.now();
+    engine.model_mut().reset_stats(now);
+    engine.run_until(SimTime::new(horizon));
+    (
+        engine.model().metrics().mean_waiting(),
+        engine.model().in_flight(),
+    )
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let quick = std::env::var("DQA_QUICK").map(|v| v == "1").unwrap_or(false);
+    let horizon = if quick { 8_000.0 } else { 40_000.0 };
+    // 6 sites at speeds (1.5, 1.5, 1, 1, 0.5, 0.5): aggregate capacity is
+    // that of 6 nominal sites; the slow pair saturates locally at about
+    // half the nominal per-site rate (~0.095 queries/unit at base mix).
+    let speeds = vec![1.5, 1.5, 1.0, 1.0, 0.5, 0.5];
+
+    let mut table = TextTable::new(vec![
+        "arrival rate/site",
+        "LOCAL wait",
+        "LOCAL backlog",
+        "LERT wait",
+        "LERT backlog",
+    ]);
+    for (row, rate) in [0.04, 0.055, 0.07, 0.085].into_iter().enumerate() {
+        let params = SystemParams::builder()
+            .cpu_speeds(Some(speeds.clone()))
+            .workload(Workload::Open { arrival_rate: rate })
+            .build()?;
+        let (w_local, b_local) = run_open(&params, PolicyKind::Local, 900 + row as u64, horizon);
+        let (w_lert, b_lert) = run_open(&params, PolicyKind::Lert, 950 + row as u64, horizon);
+        table.row(vec![
+            fmt_f(rate, 3),
+            fmt_f(w_local, 1),
+            b_local.to_string(),
+            fmt_f(w_lert, 1),
+            b_lert.to_string(),
+        ]);
+    }
+
+    println!(
+        "Extension — open-workload stability frontier \
+         (heterogeneous CPUs 1.5/1.5/1/1/0.5/0.5, horizon {horizon})\n"
+    );
+    println!("{table}");
+    println!(
+        "reading: LOCAL's slow sites saturate first — their backlog grows \
+         linearly while fast sites idle — so the system destabilizes well \
+         below its aggregate capacity. LERT ships the surplus to the fast \
+         CPUs and stays stable (bounded backlog) across the sweep."
+    );
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! Extension — a concrete information-exchange policy (§4.4).
+//!
+//! The paper assumes free, instantaneous load information and leaves the
+//! exchange protocol as future work, noting a good one "will not
+//! overburden either the sites or the communications subnetwork" yet stay
+//! "sufficiently current". This experiment makes the trade-off concrete:
+//! each site broadcasts its load row as a *real* token-ring frame every
+//! `status_period`, so frequent updates steal ring capacity from query
+//! transfers while infrequent ones leave the tables stale (and invite the
+//! herd effect seen in `ablation_stale_info`).
+//!
+//! Sweeps the period at two frame sizes and reports LERT's improvement
+//! over LOCAL plus the ring utilization — the sweet spot is where
+//! staleness and overhead cross.
+
+use dqa_bench::{cell_seed, Effort};
+use dqa_core::experiment::improvement_pct;
+use dqa_core::params::SystemParams;
+use dqa_core::policy::PolicyKind;
+use dqa_core::table::{fmt_f, TextTable};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let effort = Effort::from_env();
+
+    let local = effort.run(
+        &SystemParams::paper_base(),
+        PolicyKind::Local,
+        cell_seed(1_200),
+    )?;
+    let w_local = local.mean_waiting();
+
+    for frame in [0.25, 1.0] {
+        let mut table = TextTable::new(vec![
+            "status period",
+            "dLERT% vs LOCAL",
+            "subnet util",
+            "status frames/unit",
+        ]);
+        for (row, period) in [2.5, 5.0, 10.0, 25.0, 100.0, 400.0].into_iter().enumerate() {
+            let params = SystemParams::builder()
+                .status_period(period)
+                .status_msg_length(frame)
+                .build()?;
+            let rep = effort.run(
+                &params,
+                PolicyKind::Lert,
+                cell_seed(1_210 + row as u64 * 10 + (frame * 4.0) as u64),
+            )?;
+            table.row(vec![
+                fmt_f(period, 1),
+                fmt_f(improvement_pct(w_local, rep.mean_waiting()), 2),
+                fmt_f(rep.mean_subnet_utilization(), 3),
+                fmt_f(6.0 / period, 3),
+            ]);
+        }
+        println!(
+            "Extension — costed status exchange, frame length {frame} \
+             (oracle baseline: dLERT = {:.2}%)\n",
+            improvement_pct(
+                w_local,
+                effort
+                    .run(
+                        &SystemParams::paper_base(),
+                        PolicyKind::Lert,
+                        cell_seed(1_201)
+                    )?
+                    .mean_waiting()
+            )
+        );
+        println!("{table}");
+    }
+    println!(
+        "reading: very short periods pay ring overhead, very long ones pay \
+         staleness; the interior optimum is the paper's conjectured 'good \
+         information exchange policy' operating point."
+    );
+    Ok(())
+}

@@ -1,0 +1,210 @@
+//! Recover the partly illegible load matrices of Tables 5–6.
+//!
+//! The technical-report scan garbles the six load-distribution matrices
+//! heading Tables 5 and 6. But once the study's methodology is pinned down
+//! (exact MVA, BNQ averaged over its query-difference-minimizing candidate
+//! set), most columns of Table 6 reproduce the paper's printed values *to
+//! the last digit* — so the remaining matrices can be identified by
+//! search: enumerate every site-assignment of the digit multisets that are
+//! legible in the scan, compute the 6-ratio WIF/FIF column each induces,
+//! and rank by distance to the printed column.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p dqa-bench --bin fit_l_matrices
+//! ```
+
+use dqa_core::table::{fmt_f, TextTable};
+use dqa_mva::allocation::{analyze_arrival, paper_cpu_ratios, LoadMatrix, StudyConfig};
+
+/// The paper's printed (WIF i=1, WIF i=2, FIF i=1, FIF i=2) per ratio row,
+/// per load-matrix column, as transcribed from the scan.
+const PAPER: [[[f64; 4]; 6]; 6] = [
+    // L1
+    [
+        [0.14, 0.01, 0.69, 0.60],
+        [0.24, 0.13, 0.75, 0.70],
+        [0.20, 0.12, 0.72, 0.69],
+        [0.31, 0.31, 0.78, 0.81],
+        [0.00, 0.22, 0.34, 0.95],
+        [0.02, 0.17, 0.60, 0.74],
+    ],
+    // L2
+    [
+        [0.08, 0.01, 0.64, 0.11],
+        [0.14, 0.18, 0.70, 0.01],
+        [0.11, 0.16, 0.67, 0.02],
+        [0.19, 0.41, 0.73, 0.30],
+        [0.00, 0.30, 0.88, 0.35],
+        [0.01, 0.23, 0.56, 0.07],
+    ],
+    // L3
+    [
+        [0.05, 0.01, 0.42, 0.48],
+        [0.09, 0.07, 0.38, 0.60],
+        [0.07, 0.06, 0.39, 0.72],
+        [0.18, 0.11, 0.36, 0.60],
+        [0.00, 0.16, 0.75, 0.14],
+        [0.01, 0.11, 0.50, 0.15],
+    ],
+    // L4
+    [
+        [0.10, 0.01, 0.69, 0.20],
+        [0.16, 0.04, 0.89, 0.07],
+        [0.13, 0.03, 0.79, 0.05],
+        [0.20, 0.10, 0.99, 0.22],
+        [0.01, 0.09, 0.11, 0.83],
+        [0.01, 0.06, 0.40, 0.55],
+    ],
+    // L5
+    [
+        [0.01, 0.09, 0.89, 0.79],
+        [0.09, 0.04, 0.70, 0.93],
+        [0.08, 0.03, 0.77, 0.74],
+        [0.11, 0.09, 0.60, 0.25],
+        [0.01, 0.09, 0.40, 0.55],
+        [0.01, 0.06, 0.75, 0.25],
+    ],
+    // L6
+    [
+        [0.05, 0.05, 0.72, 0.87],
+        [0.11, 0.04, 0.68, 0.67],
+        [0.09, 0.03, 0.52, 0.55],
+        [0.09, 0.15, 0.48, 0.69],
+        [0.05, 0.05, 0.84, 0.77],
+        [0.03, 0.04, 0.47, 0.95],
+    ],
+];
+
+/// The digit multisets legible in the scan for each matrix row.
+const MULTISETS: [([u32; 4], [u32; 4]); 6] = [
+    ([1, 1, 0, 0], [0, 0, 1, 1]),
+    ([1, 1, 1, 0], [0, 0, 0, 1]),
+    ([2, 1, 0, 0], [0, 0, 1, 1]),
+    ([2, 1, 1, 0], [0, 0, 0, 1]),
+    ([2, 1, 2, 0], [0, 0, 0, 1]),
+    ([2, 1, 1, 0], [0, 1, 1, 2]),
+];
+
+/// All distinct permutations of a 4-element multiset.
+fn permutations(of: [u32; 4]) -> Vec<[u32; 4]> {
+    let mut items = of;
+    items.sort_unstable();
+    let mut out = Vec::new();
+    // Heap-style enumeration over the small fixed arity.
+    let idx = [0usize, 1, 2, 3];
+    let mut perms = vec![idx];
+    for _ in 0..23 {
+        let last = *perms.last().unwrap();
+        if let Some(next) = next_permutation(last) {
+            perms.push(next);
+        } else {
+            break;
+        }
+    }
+    for p in perms {
+        let cand = [items[p[0]], items[p[1]], items[p[2]], items[p[3]]];
+        if !out.contains(&cand) {
+            out.push(cand);
+        }
+    }
+    out
+}
+
+fn next_permutation(mut a: [usize; 4]) -> Option<[usize; 4]> {
+    let mut i = 2;
+    loop {
+        if a[i] < a[i + 1] {
+            break;
+        }
+        if i == 0 {
+            return None;
+        }
+        i -= 1;
+    }
+    let mut j = 3;
+    while a[j] <= a[i] {
+        j -= 1;
+    }
+    a.swap(i, j);
+    a[i + 1..].reverse();
+    Some(a)
+}
+
+/// Distance between a candidate matrix's computed column and the paper's
+/// printed column.
+fn column_error(load: &LoadMatrix, paper: &[[f64; 4]; 6]) -> f64 {
+    let mut err = 0.0;
+    for (row, (c1, c2)) in paper_cpu_ratios().iter().enumerate() {
+        let cfg = StudyConfig::new(*c1, *c2);
+        for class in 0..2 {
+            let a = analyze_arrival(&cfg, load, class);
+            err += (a.wif() - paper[row][class]).powi(2);
+            err += (a.fif() - paper[row][2 + class]).powi(2);
+        }
+    }
+    err
+}
+
+/// Sites are interchangeable: canonicalize a matrix by sorting its column
+/// pairs so equivalent assignments collapse.
+fn canonical(load: [[u32; 4]; 2]) -> [(u32, u32); 4] {
+    let mut pairs = [
+        (load[0][0], load[1][0]),
+        (load[0][1], load[1][1]),
+        (load[0][2], load[1][2]),
+        (load[0][3], load[1][3]),
+    ];
+    pairs.sort_unstable();
+    pairs
+}
+
+fn main() {
+    let mut table = TextTable::new(vec![
+        "column",
+        "best matrix (io row / cpu row)",
+        "rms error",
+        "runner-up",
+        "rms error ",
+    ]);
+
+    for (k, (row1, row2)) in MULTISETS.into_iter().enumerate() {
+        let mut seen = Vec::new();
+        let mut scored: Vec<(f64, [[u32; 4]; 2])> = Vec::new();
+        for p1 in permutations(row1) {
+            for p2 in permutations(row2) {
+                let m = [p1, p2];
+                let c = canonical(m);
+                if seen.contains(&c) {
+                    continue;
+                }
+                seen.push(c);
+                let err = column_error(&LoadMatrix::new(m), &PAPER[k]);
+                scored.push((err, m));
+            }
+        }
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let rms = |e: f64| (e / 24.0).sqrt();
+        let show = |m: [[u32; 4]; 2]| format!("{:?} / {:?}", m[0], m[1]);
+        table.row(vec![
+            format!("L{}", k + 1),
+            show(scored[0].1),
+            fmt_f(rms(scored[0].0), 4),
+            show(scored[1].1),
+            fmt_f(rms(scored[1].0), 4),
+        ]);
+    }
+
+    println!(
+        "Fitting the Table 5/6 load matrices against the paper's printed \
+         WIF/FIF values\n(rms over 24 cells per column; site order is \
+         irrelevant, only the pairing of\nclass loads matters)\n"
+    );
+    println!("{table}");
+    println!(
+        "a best-fit rms near the rounding floor (~0.003) means the matrix \
+         is recovered\nexactly; a clear gap to the runner-up confirms the \
+         identification is unique."
+    );
+}

@@ -1,0 +1,89 @@
+//! Table 12 — waiting time and fairness versus the class mix.
+//!
+//! Sweeps `class_io_prob` from 0.3 (CPU-heavy workload) to 0.8 (I/O-heavy):
+//! the resource the workload leans on becomes the bottleneck, and without
+//! dynamic allocation the class that depends on it is discriminated
+//! against. Fairness `F` is the signed difference of the classes'
+//! normalized waiting times (I/O-bound minus CPU-bound); the improvement is
+//! the reduction in `|F|`.
+
+use dqa_bench::paper::TABLE12;
+use dqa_bench::{cell_seed, Effort};
+use dqa_core::experiment::improvement_pct;
+use dqa_core::params::SystemParams;
+use dqa_core::policy::PolicyKind;
+use dqa_core::table::{fmt_f, TextTable};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let effort = Effort::from_env();
+    let mut table = TextTable::new(vec![
+        "p_io",
+        "rho_d/rho_c [paper]",
+        "W_local [paper]",
+        "dBNQ% [paper]",
+        "dLERT% [paper]",
+        "F_local [paper]",
+        "dF_BNQ% [paper]",
+        "dF_LERT% [paper]",
+    ]);
+
+    for (row_idx, paper) in TABLE12.iter().enumerate() {
+        let params = SystemParams::builder()
+            .class_io_prob(paper.class_io_prob)
+            .build()?;
+        let seed = |p: u64| cell_seed(400 + row_idx as u64 * 10 + p);
+
+        let local = effort.run(&params, PolicyKind::Local, seed(0))?;
+        let bnq = effort.run(&params, PolicyKind::Bnq, seed(1))?;
+        let lert = effort.run(&params, PolicyKind::Lert, seed(2))?;
+
+        let rho_ratio = local.mean(|r| r.disk_utilization) / local.mean_cpu_utilization();
+        let f_local = local.mean_fairness();
+        let f_impr = |x: &dqa_core::experiment::Replicated| {
+            improvement_pct(f_local.abs(), x.mean_fairness().abs())
+        };
+
+        table.row(vec![
+            format!("{:.1}", paper.class_io_prob),
+            format!("{} [{}]", fmt_f(rho_ratio, 2), fmt_f(paper.rho_ratio, 2)),
+            format!(
+                "{} [{}]",
+                fmt_f(local.mean_waiting(), 2),
+                fmt_f(paper.w_local, 2)
+            ),
+            format!(
+                "{} [{}]",
+                fmt_f(
+                    improvement_pct(local.mean_waiting(), bnq.mean_waiting()),
+                    2
+                ),
+                fmt_f(paper.impr_local[0], 2)
+            ),
+            format!(
+                "{} [{}]",
+                fmt_f(
+                    improvement_pct(local.mean_waiting(), lert.mean_waiting()),
+                    2
+                ),
+                fmt_f(paper.impr_local[1], 2)
+            ),
+            format!("{} [{}]", fmt_f(f_local, 3), fmt_f(paper.f_local, 3)),
+            format!("{} [{}]", fmt_f(f_impr(&bnq), 2), fmt_f(paper.f_impr[0], 2)),
+            format!(
+                "{} [{}]",
+                fmt_f(f_impr(&lert), 2),
+                fmt_f(paper.f_impr[1], 2)
+            ),
+        ]);
+    }
+
+    println!("Table 12 — W̄ and fairness F versus class_io_prob (measured [paper])\n");
+    println!("{table}");
+    println!(
+        "claims: waiting improvements stay near 38-44% across mixes; \
+         F_LOCAL crosses from negative (CPU-heavy favors I/O class) to \
+         positive (I/O-heavy favors CPU class); dynamic allocation shrinks \
+         |F| at both extremes."
+    );
+    Ok(())
+}

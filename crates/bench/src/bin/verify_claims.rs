@@ -1,0 +1,238 @@
+//! One-command reproduction self-check.
+//!
+//! Runs a fast pass over every headline claim of the paper (and the key
+//! findings of the extensions) and prints PASS/FAIL per claim. Use after
+//! any model change to see at a glance whether the reproduction still
+//! stands; `EXPERIMENTS.md` holds the full-effort numbers.
+//!
+//! ```text
+//! cargo run --release -p dqa-bench --bin verify_claims
+//! ```
+//!
+//! Exits nonzero if any claim fails.
+
+use dqa_bench::{cell_seed, Effort};
+use dqa_core::params::SystemParams;
+use dqa_core::policy::PolicyKind;
+use dqa_core::table::TextTable;
+use dqa_mva::allocation::{analyze_arrival, paper_cpu_ratios, paper_load_cases, StudyConfig};
+
+struct Claim {
+    source: &'static str,
+    text: &'static str,
+    pass: bool,
+    detail: String,
+}
+
+fn main() -> std::process::ExitCode {
+    let effort = Effort {
+        replications: 3,
+        warmup: 2_000.0,
+        measure: 12_000.0,
+    };
+    let mut claims: Vec<Claim> = Vec::new();
+
+    // ------------------------------------------------------------------
+    // Section 3 (analytic)
+    // ------------------------------------------------------------------
+    {
+        let mut wif_cells = 0;
+        let mut wif_over_10 = 0;
+        let mut wif_over_30 = 0;
+        let mut fif_over_5 = 0;
+        let mut cells = 0;
+        for (c1, c2) in paper_cpu_ratios() {
+            let cfg = StudyConfig::new(c1, c2);
+            for load in paper_load_cases() {
+                for class in 0..2 {
+                    let a = analyze_arrival(&cfg, &load, class);
+                    cells += 1;
+                    wif_cells += 1;
+                    if a.wif() > 0.10 {
+                        wif_over_10 += 1;
+                    }
+                    if a.wif() > 0.30 {
+                        wif_over_30 += 1;
+                    }
+                    if a.fif() > 0.05 {
+                        fif_over_5 += 1;
+                    }
+                }
+            }
+        }
+        claims.push(Claim {
+            source: "Table 5",
+            text: "waiting improvement often >10%, sometimes >30%",
+            pass: wif_over_10 * 2 >= wif_cells && wif_over_30 > 5,
+            detail: format!("{wif_over_10}/{wif_cells} cells >10%, {wif_over_30} >30%"),
+        });
+        claims.push(Claim {
+            source: "Table 6",
+            text: "significant fairness improvement in (nearly) all cases",
+            pass: fif_over_5 * 10 >= cells * 9,
+            detail: format!("{fif_over_5}/{cells} cells >5%"),
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Section 5 (simulation) — base point
+    // ------------------------------------------------------------------
+    let base = SystemParams::paper_base();
+    let w = |policy: PolicyKind, seed: u64| {
+        effort
+            .run(&base, policy, cell_seed(2_000 + seed))
+            .expect("valid params")
+            .mean_waiting()
+    };
+    let w_local = w(PolicyKind::Local, 0);
+    let w_bnq = w(PolicyKind::Bnq, 1);
+    let w_bnqrd = w(PolicyKind::Bnqrd, 2);
+    let w_lert = w(PolicyKind::Lert, 3);
+
+    claims.push(Claim {
+        source: "Table 8",
+        text: "every dynamic policy clearly beats LOCAL at base load",
+        pass: w_bnq < 0.8 * w_local && w_bnqrd < 0.8 * w_local && w_lert < 0.8 * w_local,
+        detail: format!(
+            "LOCAL {w_local:.1}, BNQ {w_bnq:.1}, BNQRD {w_bnqrd:.1}, LERT {w_lert:.1}"
+        ),
+    });
+    claims.push(Claim {
+        source: "§5.2",
+        text: "demand information beats count balancing (BNQRD, LERT < BNQ)",
+        pass: w_bnqrd < w_bnq && w_lert < w_bnq,
+        detail: format!("BNQ {w_bnq:.2} vs BNQRD {w_bnqrd:.2} / LERT {w_lert:.2}"),
+    });
+
+    {
+        let heavy = SystemParams::builder().think_time(150.0).build().unwrap();
+        let g_heavy = {
+            let l = effort.run(&heavy, PolicyKind::Local, cell_seed(2_010)).unwrap();
+            let d = effort.run(&heavy, PolicyKind::Lert, cell_seed(2_011)).unwrap();
+            (l.mean_waiting() - d.mean_waiting()) / l.mean_waiting()
+        };
+        let g_base = (w_local - w_lert) / w_local;
+        claims.push(Claim {
+            source: "Table 8",
+            text: "relative improvement grows as utilization falls",
+            pass: g_base > g_heavy,
+            detail: format!("gain {:.0}% at rho~0.85 vs {:.0}% at rho~0.53", g_heavy * 100.0, g_base * 100.0),
+        });
+    }
+
+    {
+        let msg4 = SystemParams::builder().msg_length(4.0).build().unwrap();
+        let bnqrd = effort.run(&msg4, PolicyKind::Bnqrd, cell_seed(2_020)).unwrap();
+        let lert = effort.run(&msg4, PolicyKind::Lert, cell_seed(2_021)).unwrap();
+        claims.push(Claim {
+            source: "§5.2",
+            text: "LERT's network term pays off when messages are expensive",
+            pass: lert.mean_waiting() < bnqrd.mean_waiting()
+                && lert.mean(|r| r.transfer_fraction) < bnqrd.mean(|r| r.transfer_fraction),
+            detail: format!(
+                "msg=4: LERT {:.1} (xfer {:.2}) vs BNQRD {:.1} (xfer {:.2})",
+                lert.mean_waiting(),
+                lert.mean(|r| r.transfer_fraction),
+                bnqrd.mean_waiting(),
+                bnqrd.mean(|r| r.transfer_fraction)
+            ),
+        });
+    }
+
+    {
+        let skew = SystemParams::builder().class_io_prob(0.3).build().unwrap();
+        let local = effort.run(&skew, PolicyKind::Local, cell_seed(2_030)).unwrap();
+        let lert = effort.run(&skew, PolicyKind::Lert, cell_seed(2_031)).unwrap();
+        claims.push(Claim {
+            source: "Table 12",
+            text: "dynamic allocation improves fairness at skewed mixes",
+            pass: lert.mean_fairness().abs() < local.mean_fairness().abs()
+                && local.mean_fairness() < 0.0,
+            detail: format!(
+                "p_io=0.3: F_LOCAL {:+.3} -> F_LERT {:+.3}",
+                local.mean_fairness(),
+                lert.mean_fairness()
+            ),
+        });
+    }
+
+    {
+        let sites10 = SystemParams::builder().num_sites(10).build().unwrap();
+        let sites2 = SystemParams::builder().num_sites(2).build().unwrap();
+        let big = effort.run(&sites10, PolicyKind::Bnq, cell_seed(2_040)).unwrap();
+        let small = effort.run(&sites2, PolicyKind::Bnq, cell_seed(2_041)).unwrap();
+        claims.push(Claim {
+            source: "Table 11",
+            text: "subnet utilization climbs steeply with the site count",
+            pass: big.mean_subnet_utilization() > 3.0 * small.mean_subnet_utilization(),
+            detail: format!(
+                "2 sites {:.2} vs 10 sites {:.2}",
+                small.mean_subnet_utilization(),
+                big.mean_subnet_utilization()
+            ),
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Extensions
+    // ------------------------------------------------------------------
+    {
+        let one = SystemParams::builder()
+            .num_sites(6)
+            .num_relations(12)
+            .copies(Some(1))
+            .build()
+            .unwrap();
+        let four = SystemParams::builder()
+            .num_sites(6)
+            .num_relations(12)
+            .copies(Some(4))
+            .build()
+            .unwrap();
+        let w1 = effort.run(&one, PolicyKind::Lert, cell_seed(2_050)).unwrap();
+        let w4 = effort.run(&four, PolicyKind::Lert, cell_seed(2_051)).unwrap();
+        claims.push(Claim {
+            source: "ext",
+            text: "replication degree buys allocation freedom (read-only)",
+            pass: w4.mean_waiting() < 0.7 * w1.mean_waiting(),
+            detail: format!("1 copy {:.1} vs 4 copies {:.1}", w1.mean_waiting(), w4.mean_waiting()),
+        });
+    }
+
+    {
+        let stale = SystemParams::builder().status_period(400.0).build().unwrap();
+        let s = effort.run(&stale, PolicyKind::Lert, cell_seed(2_060)).unwrap();
+        claims.push(Claim {
+            source: "ext",
+            text: "very stale load information inverts the benefit",
+            pass: s.mean_waiting() > w_local,
+            detail: format!("period 400: LERT {:.1} vs LOCAL {w_local:.1}", s.mean_waiting()),
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Report
+    // ------------------------------------------------------------------
+    let mut table = TextTable::new(vec!["verdict", "source", "claim", "measured"]);
+    let mut failures = 0;
+    for c in &claims {
+        if !c.pass {
+            failures += 1;
+        }
+        table.row(vec![
+            if c.pass { "PASS" } else { "FAIL" }.to_owned(),
+            c.source.to_owned(),
+            c.text.to_owned(),
+            c.detail.clone(),
+        ]);
+    }
+    println!("Reproduction self-check ({} claims)\n", claims.len());
+    println!("{table}");
+    if failures == 0 {
+        println!("all claims reproduced.");
+        std::process::ExitCode::SUCCESS
+    } else {
+        println!("{failures} claim(s) FAILED — see EXPERIMENTS.md for context.");
+        std::process::ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,151 @@
+//! # dqa-bench — the experiment harness regenerating every paper table
+//!
+//! One binary per table of Carey/Livny/Lu 1984, plus ablation binaries for
+//! the design choices called out in `DESIGN.md`, plus Criterion benches of
+//! the simulation kernels.
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `table05_wif` | Table 5 — Waiting Improvement Factor (analytic, MVA) |
+//! | `table06_fif` | Table 6 — Fairness Improvement Factor (analytic, MVA) |
+//! | `table08_think_time` | Table 8 — W̄ vs think time |
+//! | `table09_mpl` | Table 9 — W̄ vs terminals per site |
+//! | `table10_capacity` | Table 10 — max mpl vs response-time target |
+//! | `table11_sites` | Table 11 — W̄ and subnet utilization vs #sites |
+//! | `table12_fairness` | Table 12 — W̄ and fairness vs class mix |
+//! | `ablation_msg_length` | §5.2 msg_length = 2 experiment + sweep |
+//! | `ablation_stale_info` | status-exchange period sweep (§4.4 future work) |
+//! | `ablation_estimate_error` | optimizer-estimate noise sweep |
+//! | `ablation_lert_net_term` | LERT without its network term |
+//! | `ablation_disk_choice` | disk-selection discipline comparison |
+//!
+//! Every binary prints the paper's reference values next to the measured
+//! ones. Set `DQA_QUICK=1` to cut replication counts and windows (used by
+//! the integration tests); absolute numbers then get noisier but trends
+//! survive.
+
+pub mod paper;
+
+use dqa_core::experiment::{run_replicated, Replicated, RunConfig};
+use dqa_core::params::{ParamsError, SystemParams};
+use dqa_core::policy::PolicyKind;
+
+/// Replication/window settings shared by the table binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct Effort {
+    /// Independent replications per configuration.
+    pub replications: u32,
+    /// Warmup window (simulated time units).
+    pub warmup: f64,
+    /// Measurement window (simulated time units).
+    pub measure: f64,
+}
+
+impl Effort {
+    /// The defaults used for the recorded experiments: 5 replications of
+    /// 30 000 measured time units each (~45 000 completed queries per
+    /// configuration at base parameters).
+    #[must_use]
+    pub fn standard() -> Self {
+        Effort {
+            replications: 5,
+            warmup: 3_000.0,
+            measure: 30_000.0,
+        }
+    }
+
+    /// A fast mode for smoke tests.
+    #[must_use]
+    pub fn quick() -> Self {
+        Effort {
+            replications: 2,
+            warmup: 1_000.0,
+            measure: 6_000.0,
+        }
+    }
+
+    /// [`Effort::standard`], or [`Effort::quick`] when `DQA_QUICK=1` is
+    /// set in the environment.
+    #[must_use]
+    pub fn from_env() -> Self {
+        if std::env::var("DQA_QUICK").map(|v| v == "1").unwrap_or(false) {
+            Effort::quick()
+        } else {
+            Effort::standard()
+        }
+    }
+
+    /// Builds a [`RunConfig`] with these windows.
+    #[must_use]
+    pub fn config(&self, params: SystemParams, policy: PolicyKind) -> RunConfig {
+        RunConfig::new(params, policy).windows(self.warmup, self.measure)
+    }
+
+    /// Runs the replications for one `(params, policy)` cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamsError`] on invalid parameters.
+    pub fn run(
+        &self,
+        params: &SystemParams,
+        policy: PolicyKind,
+        seed: u64,
+    ) -> Result<Replicated, ParamsError> {
+        run_replicated(
+            &self.config(params.clone(), policy).seed(seed),
+            self.replications,
+        )
+    }
+}
+
+/// Seed base used by all recorded experiments (per-cell seeds derive from
+/// it so cells are independent but reproducible).
+pub const SEED: u64 = 20_240_901;
+
+/// Derives a per-cell seed from the experiment seed and a cell index.
+#[must_use]
+pub fn cell_seed(cell: u64) -> u64 {
+    SEED.wrapping_add(cell.wrapping_mul(1_000))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_effort_is_heavier_than_quick() {
+        let s = Effort::standard();
+        let q = Effort::quick();
+        assert!(s.replications > q.replications);
+        assert!(s.measure > q.measure);
+    }
+
+    #[test]
+    fn cell_seeds_are_distinct() {
+        let seeds: Vec<u64> = (0..100).map(cell_seed).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len());
+    }
+
+    #[test]
+    fn effort_runs_a_cell() {
+        let params = SystemParams::builder()
+            .num_sites(2)
+            .mpl(4)
+            .think_time(100.0)
+            .build()
+            .unwrap();
+        let rep = Effort {
+            replications: 2,
+            warmup: 200.0,
+            measure: 1_000.0,
+        }
+        .run(&params, PolicyKind::Bnq, 1)
+        .unwrap();
+        assert_eq!(rep.reports.len(), 2);
+        assert!(rep.mean_waiting() >= 0.0);
+    }
+}

@@ -1,0 +1,252 @@
+//! Shared flag handling: building [`SystemParams`] and policies from
+//! command-line flags.
+
+use dqa_core::params::{DiskChoice, MessageCosting, MigrationSpec, SystemParams, Workload};
+use dqa_core::policy::PolicyKind;
+
+use crate::args::{ArgError, Args};
+
+/// Parses a policy name (case-insensitive). `threshold:K` selects the
+/// THRESHOLD policy with threshold `K`.
+///
+/// # Errors
+///
+/// Lists the valid names on failure.
+pub fn parse_policy(name: &str) -> Result<PolicyKind, ArgError> {
+    let lower = name.to_ascii_lowercase();
+    if let Some(t) = lower.strip_prefix("threshold:") {
+        let t = t
+            .parse()
+            .map_err(|e| ArgError(format!("invalid threshold in `{name}`: {e}")))?;
+        return Ok(PolicyKind::Threshold(t));
+    }
+    match lower.as_str() {
+        "local" => Ok(PolicyKind::Local),
+        "bnq" => Ok(PolicyKind::Bnq),
+        "bnqrd" => Ok(PolicyKind::Bnqrd),
+        "lert" => Ok(PolicyKind::Lert),
+        "random" => Ok(PolicyKind::Random),
+        "lert-nonet" => Ok(PolicyKind::LertNoNet),
+        "wlc" => Ok(PolicyKind::Wlc),
+        _ => Err(ArgError(format!(
+            "unknown policy `{name}` (expected local, bnq, bnqrd, lert, random, \
+             lert-nonet, wlc, or threshold:K)"
+        ))),
+    }
+}
+
+/// Consumes the system-parameter flags shared by every simulation
+/// subcommand and builds validated [`SystemParams`].
+///
+/// Flags (all optional, defaults are the paper's base configuration):
+/// `--sites`, `--disks`, `--mpl`, `--think`, `--io-prob`, `--io-cpu`,
+/// `--cpu-cpu`, `--msg`, `--reads`, `--disk-choice random|rr|jsq`,
+/// `--estimate-error`, `--status-period`, `--status-msg`, `--relations`,
+/// `--copies`, `--migrate every,gain,growth`.
+///
+/// # Errors
+///
+/// Propagates parse failures and parameter-validation failures with the
+/// offending flag named.
+pub fn take_params(args: &mut Args) -> Result<SystemParams, ArgError> {
+    let mut b = SystemParams::builder();
+    b = b.num_sites(args.take_or("sites", 6usize)?);
+    b = b.num_disks(args.take_or("disks", 2u32)?);
+    b = b.mpl(args.take_or("mpl", 20u32)?);
+    b = b.think_time(args.take_or("think", 350.0f64)?);
+    b = b.two_class(
+        args.take_or("io-prob", 0.5f64)?,
+        args.take_or("io-cpu", 0.05f64)?,
+        args.take_or("cpu-cpu", 1.0f64)?,
+    );
+    b = b.msg_length(args.take_or("msg", 1.0f64)?);
+    if let Some(reads) = args.take_opt::<f64>("reads")? {
+        let mut params = b.build().map_err(|e| ArgError(e.to_string()))?;
+        for class in &mut params.classes {
+            class.num_reads = reads;
+        }
+        b = builder_from(params);
+    }
+    if let Some(choice) = args.take("disk-choice") {
+        let parsed = match choice.as_str() {
+            "random" => DiskChoice::Random,
+            "rr" | "round-robin" => DiskChoice::RoundRobin,
+            "jsq" | "shortest-queue" => DiskChoice::ShortestQueue,
+            other => {
+                return Err(ArgError(format!(
+                    "unknown disk choice `{other}` (expected random, rr, jsq)"
+                )))
+            }
+        };
+        b = b.disk_choice(parsed);
+    }
+    b = b.estimate_error(args.take_or("estimate-error", 0.0f64)?);
+    b = b.status_period(args.take_or("status-period", 0.0f64)?);
+    b = b.status_msg_length(args.take_or("status-msg", 0.0f64)?);
+    b = b.num_relations(args.take_or("relations", 12usize)?);
+    if let Some(copies) = args.take_opt::<u32>("copies")? {
+        b = b.copies(Some(copies));
+    }
+    if let Some(spec) = args.take("detailed-msg") {
+        let parts: Vec<&str> = spec.split(',').collect();
+        if parts.len() != 2 {
+            return Err(ArgError(format!(
+                "--detailed-msg expects `msg_time,page_size`, got `{spec}`"
+            )));
+        }
+        let msg_time = parts[0]
+            .parse()
+            .map_err(|e| ArgError(format!("invalid msg_time: {e}")))?;
+        let page_size = parts[1]
+            .parse()
+            .map_err(|e| ArgError(format!("invalid page_size: {e}")))?;
+        b = b.message_costing(MessageCosting::Detailed {
+            msg_time,
+            page_size,
+        });
+    }
+    if let Some(rate) = args.take_opt::<f64>("open-rate")? {
+        b = b.workload(Workload::Open { arrival_rate: rate });
+    }
+    b = b.update_fraction(args.take_or("update-frac", 0.0f64)?);
+    b = b.propagation_factor(args.take_or("prop-factor", 0.5f64)?);
+    if let Some(speeds) = args.take("cpu-speeds") {
+        let parsed: Result<Vec<f64>, _> = speeds.split(',').map(str::parse).collect();
+        let parsed =
+            parsed.map_err(|e| ArgError(format!("invalid --cpu-speeds list: {e}")))?;
+        b = b.cpu_speeds(Some(parsed));
+    }
+    if let Some(spec) = args.take("migrate") {
+        let parts: Vec<&str> = spec.split(',').collect();
+        if parts.len() != 3 {
+            return Err(ArgError(format!(
+                "--migrate expects `every,gain,growth`, got `{spec}`"
+            )));
+        }
+        let every = parts[0]
+            .parse()
+            .map_err(|e| ArgError(format!("invalid migrate interval: {e}")))?;
+        let gain = parts[1]
+            .parse()
+            .map_err(|e| ArgError(format!("invalid migrate gain: {e}")))?;
+        let growth = parts[2]
+            .parse()
+            .map_err(|e| ArgError(format!("invalid migrate growth: {e}")))?;
+        b = b.migration(Some(MigrationSpec {
+            check_every_reads: every,
+            min_gain: gain,
+            state_growth: growth,
+        }));
+    }
+    b.build().map_err(|e| ArgError(e.to_string()))
+}
+
+/// Rebuilds a builder from already-validated parameters (used when a flag
+/// must mutate a field the builder does not expose directly).
+fn builder_from(params: SystemParams) -> dqa_core::params::SystemParamsBuilder {
+    // The builder starts at paper_base; replay every field.
+    let mut b = SystemParams::builder()
+        .num_sites(params.num_sites)
+        .num_disks(params.num_disks)
+        .disk_time(params.disk_time)
+        .disk_time_dev(params.disk_time_dev)
+        .mpl(params.mpl)
+        .think_time(params.think_time)
+        .classes(params.classes)
+        .msg_length(params.msg_length)
+        .message_costing(params.message_costing)
+        .disk_choice(params.disk_choice)
+        .estimate_error(params.estimate_error)
+        .status_period(params.status_period)
+        .status_msg_length(params.status_msg_length)
+        .num_relations(params.num_relations)
+        .copies(params.copies)
+        .workload(params.workload)
+        .update_fraction(params.update_fraction)
+        .propagation_factor(params.propagation_factor)
+        .cpu_speeds(params.cpu_speeds);
+    b = b.migration(params.migration);
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Args {
+        Args::parse(&s.iter().map(|x| (*x).to_owned()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn policy_names_parse() {
+        assert_eq!(parse_policy("LERT").unwrap(), PolicyKind::Lert);
+        assert_eq!(parse_policy("local").unwrap(), PolicyKind::Local);
+        assert_eq!(
+            parse_policy("threshold:4").unwrap(),
+            PolicyKind::Threshold(4)
+        );
+        assert!(parse_policy("nope").is_err());
+    }
+
+    #[test]
+    fn default_params_are_paper_base() {
+        let mut a = args(&[]);
+        let p = take_params(&mut a).unwrap();
+        assert_eq!(p, SystemParams::paper_base());
+    }
+
+    #[test]
+    fn flags_override_fields() {
+        let mut a = args(&[
+            "--sites", "8", "--mpl", "25", "--think", "200", "--io-prob", "0.3",
+            "--copies", "2", "--reads", "40",
+        ]);
+        let p = take_params(&mut a).unwrap();
+        a.finish().unwrap();
+        assert_eq!(p.num_sites, 8);
+        assert_eq!(p.mpl, 25);
+        assert_eq!(p.think_time, 200.0);
+        assert_eq!(p.classes[0].probability, 0.3);
+        assert_eq!(p.copies, Some(2));
+        assert_eq!(p.classes[0].num_reads, 40.0);
+        assert_eq!(p.classes[1].num_reads, 40.0);
+    }
+
+    #[test]
+    fn update_and_speed_flags_parse() {
+        let mut a = args(&[
+            "--update-frac", "0.2", "--prop-factor", "0.25",
+            "--cpu-speeds", "2,1,1,1,0.5,0.5",
+        ]);
+        let p = take_params(&mut a).unwrap();
+        a.finish().unwrap();
+        assert_eq!(p.update_fraction, 0.2);
+        assert_eq!(p.propagation_factor, 0.25);
+        assert_eq!(p.cpu_speeds.as_deref(), Some(&[2.0, 1.0, 1.0, 1.0, 0.5, 0.5][..]));
+    }
+
+    #[test]
+    fn migrate_flag_parses_triple() {
+        let mut a = args(&["--migrate", "5,1.5,0.25"]);
+        let p = take_params(&mut a).unwrap();
+        let m = p.migration.unwrap();
+        assert_eq!(m.check_every_reads, 5);
+        assert_eq!(m.min_gain, 1.5);
+        assert_eq!(m.state_growth, 0.25);
+    }
+
+    #[test]
+    fn invalid_params_are_reported() {
+        let mut a = args(&["--sites", "0"]);
+        assert!(take_params(&mut a).is_err());
+    }
+
+    #[test]
+    fn disk_choice_parses() {
+        let mut a = args(&["--disk-choice", "jsq"]);
+        let p = take_params(&mut a).unwrap();
+        assert_eq!(p.disk_choice, DiskChoice::ShortestQueue);
+        let mut a = args(&["--disk-choice", "sideways"]);
+        assert!(take_params(&mut a).is_err());
+    }
+}

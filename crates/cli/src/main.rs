@@ -1,0 +1,100 @@
+//! `dqa` — command-line front end for the dynamic-query-allocation
+//! simulator.
+//!
+//! ```text
+//! dqa run     --policy lert [system flags] [--seed N] [--warmup T] [--measure T]
+//! dqa compare --policies local,bnq,bnqrd,lert [system flags] [--reps N]
+//! dqa sweep   --flag think --values 150,250,350 --policy lert [system flags]
+//! dqa capacity --target 50 --policies local,lert [system flags]
+//! dqa mva     --cpu1 0.05 --cpu2 1.0 --load 1100/0011 --class 1
+//! dqa help
+//! ```
+//!
+//! System flags (defaults = the paper's base configuration): `--sites`,
+//! `--disks`, `--mpl`, `--think`, `--io-prob`, `--io-cpu`, `--cpu-cpu`,
+//! `--msg`, `--reads`, `--disk-choice random|rr|jsq`, `--estimate-error`,
+//! `--status-period`, `--status-msg`, `--relations`, `--copies`,
+//! `--migrate every,gain,growth`.
+
+mod args;
+mod commands;
+mod config;
+
+use std::process::ExitCode;
+
+use args::Args;
+
+fn main() -> ExitCode {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() {
+        print_help();
+        return ExitCode::SUCCESS;
+    }
+    let command = raw.remove(0);
+    let result = match command.as_str() {
+        "run" => Args::parse(&raw).and_then(commands::run),
+        "compare" => Args::parse(&raw).and_then(commands::compare),
+        "sweep" => Args::parse(&raw).and_then(commands::sweep),
+        "capacity" => Args::parse(&raw).and_then(commands::capacity),
+        "mva" => Args::parse(&raw).and_then(commands::mva),
+        "help" | "--help" | "-h" => {
+            print_help();
+            Ok(())
+        }
+        other => Err(args::ArgError(format!(
+            "unknown command `{other}` (try `dqa help`)"
+        ))),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_help() {
+    println!(
+        "dqa — dynamic query allocation in a distributed database (Carey/Livny/Lu 1984)
+
+USAGE:
+  dqa run      --policy <P> [system flags] [--seed N] [--warmup T] [--measure T]
+  dqa compare  [--policies local,bnq,bnqrd,lert] [system flags] [--reps N]
+  dqa sweep    --flag <name> --values a,b,c [--policy <P>] [system flags]
+  dqa capacity [--target R] [--policies local,lert] [--max-mpl N] [system flags]
+  dqa mva      [--cpu1 X] [--cpu2 Y] [--load 1100/0011] [--class 1|2]
+  dqa help
+
+POLICIES: local, bnq, bnqrd, lert, random, lert-nonet, wlc, threshold:K
+
+SYSTEM FLAGS (defaults are the paper's base configuration):
+  --sites N        number of DB sites            (6)
+  --disks N        disks per site                (2)
+  --mpl N          terminals per site            (20)
+  --think T        mean think time               (350)
+  --io-prob P      I/O-bound class probability   (0.5)
+  --io-cpu T       I/O class CPU time per page   (0.05)
+  --cpu-cpu T      CPU class CPU time per page   (1.0)
+  --reads N        mean page reads per query     (20)
+  --msg T          remote-transfer message time  (1.0)
+  --detailed-msg t,p   Table-2/3 costing: msg_time per byte, page_size
+  --disk-choice D  random | rr | jsq             (random)
+  --estimate-error E   optimizer noise fraction  (0)
+  --status-period T    load-exchange period      (0 = oracle)
+  --status-msg T       status frame ring time    (0 = free)
+  --relations N        relations in the catalog  (12)
+  --copies K           copies per relation       (full replication)
+  --migrate E,G,S      migration: check interval, min gain, state growth
+  --open-rate L        open Poisson arrivals/site/unit (closed model)
+  --update-frac U      update fraction of the workload   (0)
+  --prop-factor F      apply work per replica, x reads   (0.5)
+  --cpu-speeds a,b,..  per-site CPU speed factors (homogeneous)
+
+EXAMPLES:
+  dqa compare --think 250
+  dqa run --policy lert --copies 2 --relations 24 --sites 8
+  dqa sweep --flag msg --values 0.5,1,2,4 --policy lert
+  dqa mva --load 2100/0011 --class 1"
+    );
+}

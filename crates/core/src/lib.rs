@@ -1,0 +1,63 @@
+//! # dqa-core — dynamic query allocation in a distributed database system
+//!
+//! A from-scratch reproduction of **Carey, Livny & Lu, "Dynamic Task
+//! Allocation in a Distributed Database System"** (Univ. of Wisconsin CS TR
+//! #556, 1984 / ICDCS 1985): a simulation study of *where to execute each
+//! query* in a fully replicated distributed database.
+//!
+//! The paper's setting differs from classic load balancing in four ways,
+//! and each is first-class in this crate:
+//!
+//! 1. **Two-dimensional load** — a site is a processor-sharing CPU plus
+//!    FCFS disks ([`model`]), so "least loaded" is ill-defined without
+//!    knowing *which* resource a query needs.
+//! 2. **Known demands** — the query optimizer attaches CPU/IO estimates to
+//!    every query ([`query::QueryProfile`]).
+//! 3. **Multi-class workload** — I/O-bound and CPU-bound query classes with
+//!    separate parameters ([`params::ClassSpec`]).
+//! 4. **Allocation only at start time** — queries never migrate.
+//!
+//! # Architecture
+//!
+//! * [`params`] — system/site/class parameters (Tables 1–3, 7).
+//! * [`query`] — queries and their optimizer profiles.
+//! * [`load`] — the global load table (with optional staleness).
+//! * [`policy`] — the Figure-3 site-selection procedure and the cost
+//!   functions LOCAL, BNQ, BNQRD, LERT (+ extensions).
+//! * [`model`] — the full discrete-event model (Figures 1–2) on the
+//!   [`dqa_sim`] kernel and [`dqa_queueing`] stations.
+//! * [`metrics`] — waiting/response/fairness/utilization observables.
+//! * [`experiment`] — warmup, replication, capacity search.
+//! * [`table`] — plain-text table rendering for the benchmark binaries.
+//!
+//! # Quickstart
+//!
+//! Compare LOCAL and LERT at the paper's base parameters:
+//!
+//! ```
+//! use dqa_core::experiment::{run, RunConfig};
+//! use dqa_core::params::SystemParams;
+//! use dqa_core::policy::PolicyKind;
+//!
+//! let params = SystemParams::builder().num_sites(3).mpl(8).build()?;
+//! let local = run(&RunConfig::new(params.clone(), PolicyKind::Local)
+//!     .windows(1_000.0, 8_000.0))?;
+//! let lert = run(&RunConfig::new(params, PolicyKind::Lert)
+//!     .windows(1_000.0, 8_000.0))?;
+//! // Dynamic allocation should not be worse on average.
+//! assert!(lert.mean_waiting <= local.mean_waiting * 1.2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiment;
+pub mod load;
+pub mod metrics;
+pub mod model;
+pub mod params;
+pub mod policy;
+pub mod query;
+pub mod replication;
+pub mod table;

@@ -1,0 +1,241 @@
+//! The global load-state table consulted by allocation policies.
+//!
+//! The paper assumes "each site knows the current loads of all other sites"
+//! and defers the design of a status-exchange protocol (Section 4.4). The
+//! table therefore keeps two copies of the per-site counts: the *live*
+//! counts, updated by the simulator on every allocation and completion, and
+//! the *published* counts that policies read. With
+//! `status_period == 0` the published view aliases the live one (the
+//! paper's perfect-information assumption); with a positive period the
+//! simulator copies live → published only on periodic status-exchange
+//! events, modeling stale information.
+
+use crate::params::SiteId;
+
+/// Per-site query counts, split by the Figure-5 classification.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SiteLoad {
+    /// I/O-bound queries allocated to the site.
+    pub io: u32,
+    /// CPU-bound queries allocated to the site.
+    pub cpu: u32,
+}
+
+impl SiteLoad {
+    /// All queries at the site (the `n_j` of Section 3).
+    #[must_use]
+    pub fn total(&self) -> u32 {
+        self.io + self.cpu
+    }
+}
+
+/// The system-wide load table.
+///
+/// # Example
+///
+/// ```
+/// use dqa_core::load::LoadTable;
+///
+/// let mut table = LoadTable::new(3, true); // 3 sites, live publication
+/// table.allocate(1, false); // a CPU-bound query lands on site 1
+/// assert_eq!(table.view(1).cpu, 1);
+/// assert_eq!(table.view(1).total(), 1);
+/// table.release(1, false);
+/// assert_eq!(table.view(1).total(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LoadTable {
+    live: Vec<SiteLoad>,
+    published: Vec<SiteLoad>,
+    instantaneous: bool,
+}
+
+impl LoadTable {
+    /// Creates a table for `num_sites` sites. With `instantaneous` set,
+    /// policies always see live counts; otherwise they see the last
+    /// published snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_sites` is zero.
+    #[must_use]
+    pub fn new(num_sites: usize, instantaneous: bool) -> Self {
+        assert!(num_sites > 0, "need at least one site");
+        LoadTable {
+            live: vec![SiteLoad::default(); num_sites],
+            published: vec![SiteLoad::default(); num_sites],
+            instantaneous,
+        }
+    }
+
+    /// Number of sites tracked.
+    #[must_use]
+    pub fn num_sites(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Records a query (classified I/O-bound or not) allocated to `site`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range.
+    pub fn allocate(&mut self, site: SiteId, io_bound: bool) {
+        let s = &mut self.live[site];
+        if io_bound {
+            s.io += 1;
+        } else {
+            s.cpu += 1;
+        }
+    }
+
+    /// Records a query leaving `site` after finishing execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range or the matching counter is already
+    /// zero (a release without a prior allocate — a simulator bug).
+    pub fn release(&mut self, site: SiteId, io_bound: bool) {
+        let s = &mut self.live[site];
+        let counter = if io_bound { &mut s.io } else { &mut s.cpu };
+        assert!(*counter > 0, "release without allocation at site {site}");
+        *counter -= 1;
+    }
+
+    /// The load of `site` as a policy sees it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range.
+    #[must_use]
+    pub fn view(&self, site: SiteId) -> SiteLoad {
+        if self.instantaneous {
+            self.live[site]
+        } else {
+            self.published[site]
+        }
+    }
+
+    /// The true instantaneous load of `site` (for invariant checks and
+    /// metrics, not for policies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range.
+    #[must_use]
+    pub fn live(&self, site: SiteId) -> SiteLoad {
+        self.live[site]
+    }
+
+    /// Publishes the live counts (a status-exchange round). A no-op when
+    /// the table is instantaneous.
+    pub fn publish(&mut self) {
+        if !self.instantaneous {
+            self.published.copy_from_slice(&self.live);
+        }
+    }
+
+    /// Publishes one site's row from a delivered status broadcast. The
+    /// `row` is the snapshot the broadcast carried (taken when the message
+    /// was *sent*, so it may already be out of date on delivery). A no-op
+    /// when the table is instantaneous.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range.
+    pub fn publish_row(&mut self, site: SiteId, row: SiteLoad) {
+        if !self.instantaneous {
+            self.published[site] = row;
+        }
+    }
+
+    /// Total queries currently allocated anywhere (live view).
+    #[must_use]
+    pub fn total_in_system(&self) -> u32 {
+        self.live.iter().map(SiteLoad::total).sum()
+    }
+
+    /// The query-difference `QD` of Section 3 — `max_j n_j - min_j n_j` —
+    /// over the live counts.
+    #[must_use]
+    pub fn query_difference(&self) -> u32 {
+        let max = self.live.iter().map(SiteLoad::total).max().unwrap_or(0);
+        let min = self.live.iter().map(SiteLoad::total).min().unwrap_or(0);
+        max - min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_and_release_by_class() {
+        let mut t = LoadTable::new(2, true);
+        t.allocate(0, true);
+        t.allocate(0, true);
+        t.allocate(0, false);
+        assert_eq!(t.view(0), SiteLoad { io: 2, cpu: 1 });
+        t.release(0, true);
+        assert_eq!(t.view(0), SiteLoad { io: 1, cpu: 1 });
+        assert_eq!(t.total_in_system(), 2);
+    }
+
+    #[test]
+    fn instantaneous_view_is_live() {
+        let mut t = LoadTable::new(1, true);
+        t.allocate(0, false);
+        assert_eq!(t.view(0).cpu, 1);
+    }
+
+    #[test]
+    fn stale_view_requires_publish() {
+        let mut t = LoadTable::new(1, false);
+        t.allocate(0, false);
+        assert_eq!(t.view(0).total(), 0, "unpublished change must be hidden");
+        assert_eq!(t.live(0).total(), 1);
+        t.publish();
+        assert_eq!(t.view(0).total(), 1);
+        t.release(0, false);
+        assert_eq!(t.view(0).total(), 1, "stale until next publish");
+        t.publish();
+        assert_eq!(t.view(0).total(), 0);
+    }
+
+    #[test]
+    fn publish_row_updates_one_site() {
+        let mut t = LoadTable::new(2, false);
+        t.allocate(0, true);
+        t.allocate(1, false);
+        t.publish_row(0, t.live(0));
+        assert_eq!(t.view(0).io, 1);
+        assert_eq!(t.view(1).total(), 0, "site 1 not yet broadcast");
+        // a stale snapshot may be published later than newer live state
+        t.release(0, true);
+        assert_eq!(t.view(0).io, 1, "published row keeps the old snapshot");
+    }
+
+    #[test]
+    fn publish_row_noop_when_instantaneous() {
+        let mut t = LoadTable::new(1, true);
+        t.allocate(0, true);
+        t.publish_row(0, SiteLoad::default());
+        assert_eq!(t.view(0).io, 1, "live view must win");
+    }
+
+    #[test]
+    fn query_difference() {
+        let mut t = LoadTable::new(3, true);
+        assert_eq!(t.query_difference(), 0);
+        t.allocate(0, true);
+        t.allocate(0, false);
+        t.allocate(2, true);
+        assert_eq!(t.query_difference(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "release without allocation")]
+    fn release_underflow_panics() {
+        let mut t = LoadTable::new(1, true);
+        t.release(0, true);
+    }
+}

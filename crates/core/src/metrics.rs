@@ -1,0 +1,339 @@
+//! Per-run output metrics: waiting times, fairness, utilizations.
+
+use dqa_sim::stats::{BatchMeans, Histogram, Tally, TimeWeighted};
+use dqa_sim::SimTime;
+
+/// Waiting-time observations per batch for the in-run confidence
+/// interval. At the paper's base parameters one batch spans roughly 1 600
+/// time units — long enough to decorrelate adjacent batches.
+const WAITING_BATCH: u64 = 500;
+
+/// Response-time histogram: 2-unit bins out to 800 time units (≈15× the
+/// base-parameter mean response); the tail beyond lands in overflow,
+/// where quantile queries clamp to the range limit.
+const RESPONSE_BIN: f64 = 2.0;
+const RESPONSE_BINS: usize = 400;
+
+use crate::params::ClassId;
+
+/// Observation statistics for one query class.
+#[derive(Debug, Clone, Default)]
+pub struct ClassMetrics {
+    /// Waiting time per completed query (response − own service).
+    pub waiting: Tally,
+    /// Response time per completed query (completion − submission,
+    /// excluding think time).
+    pub response: Tally,
+    /// The query's own total service (disk + CPU).
+    pub service: Tally,
+}
+
+impl ClassMetrics {
+    /// Normalized mean waiting time `Ŵ = W̄ / x̄`: the class's mean waiting
+    /// divided by its mean service demand (Section 3's fairness yardstick,
+    /// at class granularity). Zero when nothing completed.
+    #[must_use]
+    pub fn normalized_waiting(&self) -> f64 {
+        let x = self.service.mean();
+        if self.service.count() == 0 || x <= 0.0 {
+            0.0
+        } else {
+            self.waiting.mean() / x
+        }
+    }
+}
+
+/// Metrics accumulated by the simulator during the measurement window.
+#[derive(Debug, Clone)]
+pub struct Metrics {
+    start: SimTime,
+    per_class: Vec<ClassMetrics>,
+    all_waiting: Tally,
+    waiting_batches: BatchMeans,
+    all_response: Tally,
+    response_histogram: Histogram,
+    submitted: u64,
+    completed: u64,
+    transfers: u64,
+    migrations: u64,
+    propagations: u64,
+    query_difference: TimeWeighted,
+}
+
+impl Metrics {
+    /// Creates empty metrics for `classes` query classes, measuring from
+    /// `start`.
+    #[must_use]
+    pub fn new(classes: usize, start: SimTime) -> Self {
+        Metrics {
+            start,
+            per_class: vec![ClassMetrics::default(); classes],
+            all_waiting: Tally::new(),
+            waiting_batches: BatchMeans::new(WAITING_BATCH),
+            all_response: Tally::new(),
+            response_histogram: Histogram::new(RESPONSE_BIN, RESPONSE_BINS),
+            submitted: 0,
+            completed: 0,
+            transfers: 0,
+            migrations: 0,
+            propagations: 0,
+            query_difference: TimeWeighted::new(start, 0.0),
+        }
+    }
+
+    /// Records a submission (and whether the query was sent remote).
+    pub fn record_submit(&mut self, remote: bool) {
+        self.submitted += 1;
+        if remote {
+            self.transfers += 1;
+        }
+    }
+
+    /// Records a completed query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range or `waiting`/`service` are
+    /// negative beyond rounding.
+    pub fn record_completion(&mut self, class: ClassId, response: f64, service: f64) {
+        let waiting = (response - service).max(0.0);
+        let c = &mut self.per_class[class];
+        c.waiting.record(waiting);
+        c.response.record(response);
+        c.service.record(service);
+        self.all_waiting.record(waiting);
+        self.waiting_batches.record(waiting);
+        self.all_response.record(response);
+        self.response_histogram.record(response.max(0.0));
+        self.completed += 1;
+    }
+
+    /// Updates the time-weighted query-difference signal.
+    pub fn record_query_difference(&mut self, now: SimTime, qd: u32) {
+        self.query_difference.set(now, f64::from(qd));
+    }
+
+    /// Statistics for one class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range.
+    #[must_use]
+    pub fn class(&self, class: ClassId) -> &ClassMetrics {
+        &self.per_class[class]
+    }
+
+    /// Mean waiting time over all completed queries (the paper's `W̄`).
+    #[must_use]
+    pub fn mean_waiting(&self) -> f64 {
+        self.all_waiting.mean()
+    }
+
+    /// 95% batch-means confidence half-width for the mean waiting time —
+    /// a single-run interval that respects autocorrelation (unlike the
+    /// naive per-observation standard error). Infinite until at least two
+    /// batches of observations have completed.
+    #[must_use]
+    pub fn waiting_half_width(&self) -> f64 {
+        self.waiting_batches.half_width()
+    }
+
+    /// Mean response time over all completed queries.
+    #[must_use]
+    pub fn mean_response(&self) -> f64 {
+        self.all_response.mean()
+    }
+
+    /// Approximate response-time quantile (e.g. `0.9` for p90), from a
+    /// 2-unit-bin histogram; clamped to its 800-unit range for extreme
+    /// tails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn response_quantile(&self, q: f64) -> f64 {
+        self.response_histogram.quantile(q)
+    }
+
+    /// The signed fairness measure of Table 12 for the two-class workload:
+    /// `F = Ŵ_0 − Ŵ_1` (I/O-bound minus CPU-bound normalized waiting).
+    /// Zero if the run has other than two classes.
+    #[must_use]
+    pub fn fairness(&self) -> f64 {
+        if self.per_class.len() != 2 {
+            return 0.0;
+        }
+        self.per_class[0].normalized_waiting() - self.per_class[1].normalized_waiting()
+    }
+
+    /// Queries submitted during measurement.
+    #[must_use]
+    pub fn submitted(&self) -> u64 {
+        self.submitted
+    }
+
+    /// Queries completed during measurement.
+    #[must_use]
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Queries sent to a remote execution site during measurement.
+    #[must_use]
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Records a mid-execution migration.
+    pub fn record_migration(&mut self) {
+        self.migrations += 1;
+    }
+
+    /// Mid-execution migrations during measurement.
+    #[must_use]
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// Records a completed update-apply job at a replica.
+    pub fn record_propagation(&mut self) {
+        self.propagations += 1;
+    }
+
+    /// Update-apply jobs completed during measurement.
+    #[must_use]
+    pub fn propagations(&self) -> u64 {
+        self.propagations
+    }
+
+    /// Fraction of submissions that were transferred.
+    #[must_use]
+    pub fn transfer_fraction(&self) -> f64 {
+        if self.submitted == 0 {
+            0.0
+        } else {
+            self.transfers as f64 / self.submitted as f64
+        }
+    }
+
+    /// System throughput: completions per time unit through `now`.
+    #[must_use]
+    pub fn throughput(&self, now: SimTime) -> f64 {
+        let span = now - self.start;
+        if span <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / span
+        }
+    }
+
+    /// Time-averaged query difference `QD` through `now`.
+    #[must_use]
+    pub fn mean_query_difference(&self, now: SimTime) -> f64 {
+        self.query_difference.time_average(now)
+    }
+
+    /// Restarts all statistics at `now`, preserving the current
+    /// query-difference level.
+    pub fn reset(&mut self, now: SimTime) {
+        let classes = self.per_class.len();
+        let qd = self.query_difference.value();
+        *self = Metrics::new(classes, now);
+        self.query_difference = TimeWeighted::new(now, qd);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completion_splits_waiting_and_service() {
+        let mut m = Metrics::new(2, SimTime::ZERO);
+        m.record_completion(0, 10.0, 4.0);
+        assert_eq!(m.class(0).waiting.mean(), 6.0);
+        assert_eq!(m.class(0).response.mean(), 10.0);
+        assert_eq!(m.class(0).service.mean(), 4.0);
+        assert_eq!(m.mean_waiting(), 6.0);
+        assert_eq!(m.completed(), 1);
+    }
+
+    #[test]
+    fn normalized_waiting_is_ratio_of_means() {
+        let mut m = Metrics::new(1, SimTime::ZERO);
+        m.record_completion(0, 6.0, 2.0); // wait 4
+        m.record_completion(0, 12.0, 6.0); // wait 6
+        // W̄ = 5, x̄ = 4 -> 1.25
+        assert!((m.class(0).normalized_waiting() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fairness_sign_convention() {
+        let mut m = Metrics::new(2, SimTime::ZERO);
+        // io class: wait 2 on service 1 -> Ŵ = 2
+        m.record_completion(0, 3.0, 1.0);
+        // cpu class: wait 1 on service 2 -> Ŵ = 0.5
+        m.record_completion(1, 3.0, 2.0);
+        assert!((m.fairness() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fairness_zero_for_non_two_class() {
+        let mut m = Metrics::new(3, SimTime::ZERO);
+        m.record_completion(0, 2.0, 1.0);
+        assert_eq!(m.fairness(), 0.0);
+    }
+
+    #[test]
+    fn transfer_fraction() {
+        let mut m = Metrics::new(1, SimTime::ZERO);
+        m.record_submit(true);
+        m.record_submit(false);
+        m.record_submit(true);
+        m.record_submit(true);
+        assert!((m.transfer_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_counts_completions_over_time() {
+        let mut m = Metrics::new(1, SimTime::ZERO);
+        for _ in 0..10 {
+            m.record_completion(0, 1.0, 1.0);
+        }
+        assert!((m.throughput(SimTime::new(5.0)) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_waiting_clamps_to_zero() {
+        // Rounding can make service marginally exceed response.
+        let mut m = Metrics::new(1, SimTime::ZERO);
+        m.record_completion(0, 1.0, 1.0 + 1e-13);
+        assert_eq!(m.class(0).waiting.mean(), 0.0);
+    }
+
+    #[test]
+    fn waiting_half_width_narrows_with_data() {
+        let mut m = Metrics::new(1, SimTime::ZERO);
+        assert!(m.waiting_half_width().is_infinite());
+        for i in 0..2_000 {
+            m.record_completion(0, 2.0 + (i % 5) as f64, 1.0);
+        }
+        let hw = m.waiting_half_width();
+        assert!(hw.is_finite() && hw < 1.0, "half-width {hw}");
+    }
+
+    #[test]
+    fn reset_clears_counts_but_keeps_qd_level() {
+        let mut m = Metrics::new(2, SimTime::ZERO);
+        m.record_submit(true);
+        m.record_completion(0, 5.0, 1.0);
+        m.record_query_difference(SimTime::new(1.0), 3);
+        m.reset(SimTime::new(10.0));
+        assert_eq!(m.completed(), 0);
+        assert_eq!(m.submitted(), 0);
+        assert_eq!(m.mean_waiting(), 0.0);
+        // qd stays at its current level after reset
+        assert!((m.mean_query_difference(SimTime::new(20.0)) - 3.0).abs() < 1e-12);
+    }
+}

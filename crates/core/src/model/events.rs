@@ -1,0 +1,82 @@
+//! Event vocabulary of the distributed-database simulation.
+
+use dqa_queueing::PsToken;
+
+use crate::load::SiteLoad;
+use crate::params::SiteId;
+use crate::query::QueryId;
+
+/// An event in the distributed-database model.
+///
+/// The lifecycle of a query (Figure 2) reads directly off these events:
+/// `Submit` (a terminal's think time expires) → possibly `NetDone` (query
+/// shipped to a remote site) → alternating `DiskDone`/`CpuDone` for each
+/// page read → possibly `NetDone` (results shipped home) → the next
+/// `Submit` for that terminal is scheduled after a think time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// A terminal at `site` submits a new query.
+    Submit {
+        /// The terminal's site (the query's home).
+        site: SiteId,
+    },
+    /// The disk `disk` at `site` finished a page transfer.
+    DiskDone {
+        /// Executing site.
+        site: SiteId,
+        /// Disk index within the site.
+        disk: usize,
+    },
+    /// The CPU at `site` announced a completion; `token` validates it
+    /// against intervening arrivals (processor sharing reshuffles
+    /// completion times, so stale events are ignored).
+    CpuDone {
+        /// Executing site.
+        site: SiteId,
+        /// Lazy-cancellation token from the PS server.
+        token: PsToken,
+    },
+    /// The token ring finished transmitting a message.
+    NetDone,
+    /// Periodic free load-status snapshot (only with `status_period > 0`
+    /// and `status_msg_length == 0`): all sites' rows publish at once, at
+    /// no network cost.
+    StatusExchange,
+    /// Site `site` broadcasts its own load row as a *real* ring message
+    /// (only with `status_period > 0` and `status_msg_length > 0`).
+    StatusSend {
+        /// The broadcasting site.
+        site: SiteId,
+    },
+}
+
+/// What a ring message carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsgKind {
+    /// A query descriptor traveling to its execution site.
+    Dispatch,
+    /// Query results returning to the home site.
+    Result,
+}
+
+/// A message on the token ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RingMsg {
+    /// A query descriptor or result set.
+    Query {
+        /// The query the message belongs to.
+        query: QueryId,
+        /// Payload kind.
+        kind: MsgKind,
+        /// Delivery site.
+        dest: SiteId,
+    },
+    /// A load-status broadcast: `site`'s row as of the moment the message
+    /// was enqueued. Every site updates its table when the frame passes.
+    Status {
+        /// The broadcasting site.
+        site: SiteId,
+        /// The broadcast row (snapshotted at enqueue time).
+        load: SiteLoad,
+    },
+}

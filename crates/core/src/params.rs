@@ -1,0 +1,915 @@
+//! System, site, and class parameters (Tables 1–3 and 7 of the paper).
+
+use std::error::Error;
+use std::fmt;
+
+/// Identifies a DB site. Sites are numbered `0..num_sites`.
+pub type SiteId = usize;
+
+/// Identifies a query class. Classes are numbered `0..classes.len()`; the
+/// paper's two-class workload uses `0` for the I/O-bound class and `1` for
+/// the CPU-bound class.
+pub type ClassId = usize;
+
+/// Mid-execution migration of partially executed queries — the paper's
+/// first item of future work (§6.2: "moving partially executed queries
+/// from site to site at certain critical times ... probably between its
+/// primitive relational operations").
+///
+/// A migrating query re-runs the allocation decision every
+/// `check_every_reads` completed reads, over its *remaining* work. Moving
+/// is charged a transfer whose length grows with the partial results
+/// accumulated so far (the paper's footnote: results accumulate in main
+/// memory as the query executes), and only happens when the estimated
+/// gain exceeds `min_gain` in the policy's cost units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigrationSpec {
+    /// Re-evaluate the placement after every this many completed reads.
+    pub check_every_reads: u32,
+    /// Required estimated improvement (stay-cost minus move-cost, in the
+    /// allocation policy's cost units) before a move is made. Guards
+    /// against thrashing on marginal differences.
+    pub min_gain: f64,
+    /// Growth of the migration message per completed read, as a fraction
+    /// of `msg_length`: the state carried is
+    /// `msg_length * (1 + state_growth * reads_done)`.
+    pub state_growth: f64,
+}
+
+impl Default for MigrationSpec {
+    /// Check every 5 reads, demand a gain of one mean read's worth of
+    /// time, and grow state by half a message per read.
+    fn default() -> Self {
+        MigrationSpec {
+            check_every_reads: 5,
+            min_gain: 2.0,
+            state_growth: 0.5,
+        }
+    }
+}
+
+/// How queries enter the system.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Workload {
+    /// The paper's closed model: `mpl` terminals per site, each thinking
+    /// (mean `think_time`) between queries.
+    #[default]
+    Closed,
+    /// An open model: each site receives an independent Poisson stream of
+    /// queries; completions leave the system. Useful for overload and
+    /// stability-frontier studies that a closed model cannot express
+    /// (its population is bounded by construction).
+    Open {
+        /// Mean query arrivals per time unit, per site.
+        arrival_rate: f64,
+    },
+}
+
+/// How a query picks a disk for each page read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DiskChoice {
+    /// Uniformly random disk per read — matches the MVA model's visit
+    /// ratio of `1/num_disks` per disk and is the default.
+    #[default]
+    Random,
+    /// Cycle through the disks per site in fixed order.
+    RoundRobin,
+    /// Join the disk with the fewest queued requests (ties to the lowest
+    /// index). An ablation: real systems often do this, the paper's
+    /// analytic model does not.
+    ShortestQueue,
+}
+
+/// Workload parameters of one query class (Table 2 / Table 7).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassSpec {
+    /// Human-readable name ("io-bound", "cpu-bound").
+    pub name: String,
+    /// Mean CPU time to process one page read from disk
+    /// (`page_cpu_time`).
+    pub page_cpu_time: f64,
+    /// Mean number of disk reads per query (`num_reads`); per-query counts
+    /// are exponential with this mean, rounded to at least one read.
+    pub num_reads: f64,
+    /// Probability that a newly generated query belongs to this class
+    /// (`class_prob`).
+    pub probability: f64,
+    /// Bytes needed to describe a query of the class (`query_size`,
+    /// Table 2) — the dispatch-message payload under
+    /// [`MessageCosting::Detailed`].
+    pub query_size: f64,
+    /// Mean result pages per page read (`result_fraction`, Table 2) —
+    /// sizes the result message under [`MessageCosting::Detailed`].
+    pub result_fraction: f64,
+}
+
+impl ClassSpec {
+    /// Creates a class spec with Table-2 message-shape defaults
+    /// (`query_size` 4000 bytes, `result_fraction` 0.2).
+    #[must_use]
+    pub fn new(name: &str, page_cpu_time: f64, num_reads: f64, probability: f64) -> Self {
+        ClassSpec {
+            name: name.to_owned(),
+            page_cpu_time,
+            num_reads,
+            probability,
+            query_size: 4_000.0,
+            result_fraction: 0.2,
+        }
+    }
+
+    /// Overrides the Table-2 message-shape parameters.
+    #[must_use]
+    pub fn with_message_shape(mut self, query_size: f64, result_fraction: f64) -> Self {
+        self.query_size = query_size;
+        self.result_fraction = result_fraction;
+        self
+    }
+}
+
+/// How remote-execution messages are priced (Tables 2–3).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum MessageCosting {
+    /// The paper's simulation-study simplification: `result_fraction`,
+    /// `query_size`, and `msg_time` "are currently combined into a single
+    /// parameter, `msg_length`" (§5.1) — every dispatch and result takes
+    /// `msg_length` time units.
+    #[default]
+    Combined,
+    /// The full Table-2/3 decomposition: a dispatch takes
+    /// `query_size × msg_time`, and a result takes
+    /// `result_fraction × reads × page_size × msg_time` — big queries
+    /// return big results, so the network price varies per query (and
+    /// LERT's Figure-6 net term can see it).
+    Detailed {
+        /// Network transfer time for one byte (`msg_time`, Table 3).
+        msg_time: f64,
+        /// Disk page size in bytes (`page_size`, Table 3).
+        page_size: f64,
+    },
+}
+
+/// Error from [`SystemParams::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamsError {
+    /// A field that must be positive was not.
+    NonPositive {
+        /// Field name.
+        field: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// A field that must be a valid fraction was not.
+    BadFraction {
+        /// Field name.
+        field: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// The system needs at least one site / disk / terminal / class.
+    Missing {
+        /// What is missing.
+        what: &'static str,
+    },
+    /// Class probabilities do not sum to 1.
+    BadClassProbabilities {
+        /// The actual sum.
+        sum: f64,
+    },
+}
+
+impl fmt::Display for ParamsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamsError::NonPositive { field, value } => {
+                write!(f, "`{field}` must be positive, got {value}")
+            }
+            ParamsError::BadFraction { field, value } => {
+                write!(f, "`{field}` must lie in [0, 1], got {value}")
+            }
+            ParamsError::Missing { what } => write!(f, "system needs at least one {what}"),
+            ParamsError::BadClassProbabilities { sum } => {
+                write!(f, "class probabilities must sum to 1, got {sum}")
+            }
+        }
+    }
+}
+
+impl Error for ParamsError {}
+
+/// Complete parameterization of the distributed database system
+/// (Tables 1, 2, 3, and 7 of the paper).
+///
+/// Construct with [`SystemParams::builder`]; [`SystemParams::paper_base`]
+/// gives the simulation study's base configuration (6 sites, 2 disks,
+/// `mpl = 20`, `think_time = 350`, a 50/50 mix of I/O-bound
+/// (`page_cpu_time = 0.05`) and CPU-bound (`1.0`) queries with 20 reads
+/// each, `msg_length = 1`).
+///
+/// # Example
+///
+/// ```
+/// use dqa_core::params::SystemParams;
+///
+/// let params = SystemParams::builder()
+///     .num_sites(4)
+///     .mpl(10)
+///     .think_time(200.0)
+///     .build()?;
+/// assert_eq!(params.num_sites, 4);
+/// assert_eq!(params.classes.len(), 2);
+/// # Ok::<(), dqa_core::params::ParamsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemParams {
+    /// Number of DB sites (`num_sites`).
+    pub num_sites: usize,
+    /// Disks per site (`num_disks`).
+    pub num_disks: u32,
+    /// Mean disk page access time (`disk_time`); the model's unit of time.
+    pub disk_time: f64,
+    /// Half-width of the uniform disk-time distribution, as a fraction of
+    /// `disk_time` (`disk_time_dev`, 20% in the paper).
+    pub disk_time_dev: f64,
+    /// Terminals per site (`mpl`).
+    pub mpl: u32,
+    /// Mean terminal think time (`think_time`), exponentially distributed.
+    pub think_time: f64,
+    /// The query classes with their probabilities (`class_prob`).
+    pub classes: Vec<ClassSpec>,
+    /// Time units to send a query to a remote site or return its results
+    /// (`msg_length`, the paper's combination of `result_fraction`,
+    /// `query_size`, and `msg_time`). Used under
+    /// [`MessageCosting::Combined`], and for status/migration/propagation
+    /// frames under either costing.
+    pub msg_length: f64,
+    /// How dispatch and result messages are priced.
+    pub message_costing: MessageCosting,
+    /// Disk-selection discipline per page read.
+    pub disk_choice: DiskChoice,
+    /// Relative error applied to the optimizer's read-count estimate seen
+    /// by policies: the estimate is drawn uniformly from
+    /// `actual * (1 ± estimate_error)`. `0.0` (the paper's assumption)
+    /// means perfect estimates.
+    pub estimate_error: f64,
+    /// Period between load-status exchanges. `0.0` (the paper's
+    /// assumption) means every site always sees the instantaneous load of
+    /// every other site.
+    pub status_period: f64,
+    /// Transfer time of one status broadcast on the ring. `0.0` makes the
+    /// periodic exchange free and globally synchronized (the idealized
+    /// stale model); a positive value makes each site broadcast its own
+    /// row as a real ring message every `status_period`, so status
+    /// traffic competes with query transfers and arrives late — the §4.4
+    /// information-exchange question made concrete.
+    pub status_msg_length: f64,
+    /// Number of relations in the database. Each query references one
+    /// relation, drawn uniformly. Irrelevant under full replication.
+    pub num_relations: usize,
+    /// Copies per relation: `None` is the paper's fully replicated
+    /// database; `Some(k)` places `k` copies round-robin
+    /// ([`crate::replication::Catalog`]), restricting each query's
+    /// candidate sites to the holders of its relation (the §6.2
+    /// partially-replicated extension).
+    pub copies: Option<u32>,
+    /// Mid-execution query migration (the §6.2 extension); `None`
+    /// reproduces the paper's allocate-once-at-start model.
+    pub migration: Option<MigrationSpec>,
+    /// Per-site CPU speed factors (1.0 = nominal; a site with factor 2
+    /// finishes CPU bursts twice as fast). `None` is the paper's
+    /// "completely homogeneous" assumption (§2). Demand-aware policies
+    /// (LERT) read the factors through [`SystemParams::cpu_speed`];
+    /// count-based policies are speed-blind by construction.
+    pub cpu_speeds: Option<Vec<f64>>,
+    /// How queries enter the system (closed terminals vs open Poisson
+    /// sources). Closed is the paper's model; `mpl`/`think_time` are
+    /// ignored under [`Workload::Open`].
+    pub workload: Workload,
+    /// Probability that a query is an *update*. The paper studies
+    /// read-only queries, noting that "updates must be propagated to all
+    /// sites regardless of the processing site"; with a positive fraction
+    /// this model makes that cost explicit: when an update finishes
+    /// executing, an asynchronous apply job is shipped over the ring to
+    /// every other holder of its relation (read-one-write-all).
+    pub update_fraction: f64,
+    /// Work of one apply job as a fraction of the originating update's
+    /// read count (applying a logged write is cheaper than computing it).
+    /// Zero disables propagation entirely.
+    pub propagation_factor: f64,
+}
+
+impl SystemParams {
+    /// Starts a builder initialized to the paper's base configuration.
+    #[must_use]
+    pub fn builder() -> SystemParamsBuilder {
+        SystemParamsBuilder {
+            params: SystemParams::paper_base(),
+        }
+    }
+
+    /// The base configuration of the simulation study (Section 5.1,
+    /// Table 7).
+    #[must_use]
+    pub fn paper_base() -> Self {
+        SystemParams {
+            num_sites: 6,
+            num_disks: 2,
+            disk_time: 1.0,
+            disk_time_dev: 0.2,
+            mpl: 20,
+            think_time: 350.0,
+            classes: vec![
+                ClassSpec::new("io-bound", 0.05, 20.0, 0.5),
+                ClassSpec::new("cpu-bound", 1.0, 20.0, 0.5),
+            ],
+            msg_length: 1.0,
+            message_costing: MessageCosting::Combined,
+            disk_choice: DiskChoice::Random,
+            estimate_error: 0.0,
+            status_period: 0.0,
+            status_msg_length: 0.0,
+            num_relations: 12,
+            copies: None,
+            migration: None,
+            cpu_speeds: None,
+            workload: Workload::Closed,
+            update_fraction: 0.0,
+            propagation_factor: 0.5,
+        }
+    }
+
+    /// Checks every constraint the simulator depends on.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), ParamsError> {
+        fn positive(field: &'static str, value: f64) -> Result<(), ParamsError> {
+            if value.is_finite() && value > 0.0 {
+                Ok(())
+            } else {
+                Err(ParamsError::NonPositive { field, value })
+            }
+        }
+        fn fraction(field: &'static str, value: f64) -> Result<(), ParamsError> {
+            if value.is_finite() && (0.0..=1.0).contains(&value) {
+                Ok(())
+            } else {
+                Err(ParamsError::BadFraction { field, value })
+            }
+        }
+
+        if self.num_sites == 0 {
+            return Err(ParamsError::Missing { what: "site" });
+        }
+        if self.num_disks == 0 {
+            return Err(ParamsError::Missing { what: "disk" });
+        }
+        if self.mpl == 0 {
+            return Err(ParamsError::Missing { what: "terminal" });
+        }
+        if self.classes.is_empty() {
+            return Err(ParamsError::Missing { what: "query class" });
+        }
+        positive("disk_time", self.disk_time)?;
+        fraction("disk_time_dev", self.disk_time_dev)?;
+        positive("think_time", self.think_time)?;
+        for class in &self.classes {
+            positive("page_cpu_time", class.page_cpu_time)?;
+            positive("num_reads", class.num_reads)?;
+            fraction("class probability", class.probability)?;
+            positive("query_size", class.query_size)?;
+            if !class.result_fraction.is_finite() || class.result_fraction < 0.0 {
+                return Err(ParamsError::NonPositive {
+                    field: "result_fraction",
+                    value: class.result_fraction,
+                });
+            }
+        }
+        if let MessageCosting::Detailed {
+            msg_time,
+            page_size,
+        } = self.message_costing
+        {
+            positive("msg_time", msg_time)?;
+            positive("page_size", page_size)?;
+        }
+        let sum: f64 = self.classes.iter().map(|c| c.probability).sum();
+        if (sum - 1.0).abs() > 1e-9 {
+            return Err(ParamsError::BadClassProbabilities { sum });
+        }
+        if !self.msg_length.is_finite() || self.msg_length < 0.0 {
+            return Err(ParamsError::NonPositive {
+                field: "msg_length",
+                value: self.msg_length,
+            });
+        }
+        fraction("estimate_error", self.estimate_error)?;
+        if !self.status_period.is_finite() || self.status_period < 0.0 {
+            return Err(ParamsError::NonPositive {
+                field: "status_period",
+                value: self.status_period,
+            });
+        }
+        if !self.status_msg_length.is_finite() || self.status_msg_length < 0.0 {
+            return Err(ParamsError::NonPositive {
+                field: "status_msg_length",
+                value: self.status_msg_length,
+            });
+        }
+        if self.num_relations == 0 {
+            return Err(ParamsError::Missing { what: "relation" });
+        }
+        if let Some(copies) = self.copies {
+            if copies == 0 {
+                return Err(ParamsError::Missing { what: "relation copy" });
+            }
+            if copies as usize > self.num_sites {
+                return Err(ParamsError::NonPositive {
+                    field: "copies (exceeds num_sites)",
+                    value: f64::from(copies),
+                });
+            }
+        }
+        if let Workload::Open { arrival_rate } = self.workload {
+            positive("arrival_rate", arrival_rate)?;
+        }
+        fraction("update_fraction", self.update_fraction)?;
+        if !self.propagation_factor.is_finite() || self.propagation_factor < 0.0 {
+            return Err(ParamsError::NonPositive {
+                field: "propagation_factor",
+                value: self.propagation_factor,
+            });
+        }
+        if let Some(speeds) = &self.cpu_speeds {
+            if speeds.len() != self.num_sites {
+                return Err(ParamsError::Missing {
+                    what: "CPU speed per site",
+                });
+            }
+            for &s in speeds {
+                positive("cpu_speeds entry", s)?;
+            }
+        }
+        if let Some(m) = &self.migration {
+            if m.check_every_reads == 0 {
+                return Err(ParamsError::Missing {
+                    what: "migration check interval",
+                });
+            }
+            if !m.min_gain.is_finite() || m.min_gain < 0.0 {
+                return Err(ParamsError::NonPositive {
+                    field: "migration min_gain",
+                    value: m.min_gain,
+                });
+            }
+            if !m.state_growth.is_finite() || m.state_growth < 0.0 {
+                return Err(ParamsError::NonPositive {
+                    field: "migration state_growth",
+                    value: m.state_growth,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// I/O demand per disk used by the classification rule of Figure 5:
+    /// `disk_time / num_disks`.
+    #[must_use]
+    pub fn io_demand_per_disk(&self) -> f64 {
+        self.disk_time / f64::from(self.num_disks)
+    }
+
+    /// Classifies a query by its per-page CPU demand, per Figure 5: it is
+    /// I/O-bound iff `disk_time / num_disks > page_cpu_time`.
+    #[must_use]
+    pub fn is_io_bound(&self, page_cpu_time: f64) -> bool {
+        self.io_demand_per_disk() > page_cpu_time
+    }
+
+    /// Transfer time of a dispatch message for a class-`class` query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range.
+    #[must_use]
+    pub fn dispatch_cost(&self, class: ClassId) -> f64 {
+        match self.message_costing {
+            MessageCosting::Combined => self.msg_length,
+            MessageCosting::Detailed { msg_time, .. } => {
+                self.classes[class].query_size * msg_time
+            }
+        }
+    }
+
+    /// Transfer time of the result message for a class-`class` query that
+    /// performed `reads` page reads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range.
+    #[must_use]
+    pub fn result_cost(&self, class: ClassId, reads: f64) -> f64 {
+        match self.message_costing {
+            MessageCosting::Combined => self.msg_length,
+            MessageCosting::Detailed {
+                msg_time,
+                page_size,
+            } => self.classes[class].result_fraction * reads * page_size * msg_time,
+        }
+    }
+
+    /// The CPU speed factor of `site` (1.0 when homogeneous).
+    ///
+    /// # Panics
+    ///
+    /// Panics if heterogeneous speeds are configured and `site` is out of
+    /// range.
+    #[must_use]
+    pub fn cpu_speed(&self, site: SiteId) -> f64 {
+        match &self.cpu_speeds {
+            None => 1.0,
+            Some(speeds) => speeds[site],
+        }
+    }
+
+    /// Mean total service demand of a class-`c` query:
+    /// `num_reads * (disk_time + page_cpu_time)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range.
+    #[must_use]
+    pub fn mean_service_demand(&self, class: ClassId) -> f64 {
+        let c = &self.classes[class];
+        c.num_reads * (self.disk_time + c.page_cpu_time)
+    }
+}
+
+impl Default for SystemParams {
+    fn default() -> Self {
+        SystemParams::paper_base()
+    }
+}
+
+/// Builder for [`SystemParams`]; see [`SystemParams::builder`].
+#[derive(Debug, Clone)]
+pub struct SystemParamsBuilder {
+    params: SystemParams,
+}
+
+impl SystemParamsBuilder {
+    /// Sets the number of sites.
+    #[must_use]
+    pub fn num_sites(mut self, n: usize) -> Self {
+        self.params.num_sites = n;
+        self
+    }
+
+    /// Sets the number of disks per site.
+    #[must_use]
+    pub fn num_disks(mut self, n: u32) -> Self {
+        self.params.num_disks = n;
+        self
+    }
+
+    /// Sets the mean disk access time.
+    #[must_use]
+    pub fn disk_time(mut self, t: f64) -> Self {
+        self.params.disk_time = t;
+        self
+    }
+
+    /// Sets the disk-time deviation fraction.
+    #[must_use]
+    pub fn disk_time_dev(mut self, d: f64) -> Self {
+        self.params.disk_time_dev = d;
+        self
+    }
+
+    /// Sets the number of terminals per site.
+    #[must_use]
+    pub fn mpl(mut self, n: u32) -> Self {
+        self.params.mpl = n;
+        self
+    }
+
+    /// Sets the mean terminal think time.
+    #[must_use]
+    pub fn think_time(mut self, t: f64) -> Self {
+        self.params.think_time = t;
+        self
+    }
+
+    /// Replaces the class list.
+    #[must_use]
+    pub fn classes(mut self, classes: Vec<ClassSpec>) -> Self {
+        self.params.classes = classes;
+        self
+    }
+
+    /// Convenience for the paper's two-class workload: sets the I/O-bound
+    /// class probability to `p` (CPU-bound gets `1 - p`) and the per-page
+    /// CPU times of the two classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current class list does not have exactly two classes.
+    #[must_use]
+    pub fn two_class(mut self, io_prob: f64, io_cpu: f64, cpu_cpu: f64) -> Self {
+        assert_eq!(
+            self.params.classes.len(),
+            2,
+            "two_class requires the two-class workload"
+        );
+        self.params.classes[0].probability = io_prob;
+        self.params.classes[0].page_cpu_time = io_cpu;
+        self.params.classes[1].probability = 1.0 - io_prob;
+        self.params.classes[1].page_cpu_time = cpu_cpu;
+        self
+    }
+
+    /// Sets the I/O-bound class probability (`class_io_prob` in Table 7),
+    /// keeping the CPU times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current class list does not have exactly two classes.
+    #[must_use]
+    pub fn class_io_prob(mut self, p: f64) -> Self {
+        assert_eq!(self.params.classes.len(), 2);
+        self.params.classes[0].probability = p;
+        self.params.classes[1].probability = 1.0 - p;
+        self
+    }
+
+    /// Sets the message length (remote-transfer time units).
+    #[must_use]
+    pub fn msg_length(mut self, t: f64) -> Self {
+        self.params.msg_length = t;
+        self
+    }
+
+    /// Sets the message-costing mode (combined vs Table-2/3 detailed).
+    #[must_use]
+    pub fn message_costing(mut self, c: MessageCosting) -> Self {
+        self.params.message_costing = c;
+        self
+    }
+
+    /// Sets the disk-selection discipline.
+    #[must_use]
+    pub fn disk_choice(mut self, c: DiskChoice) -> Self {
+        self.params.disk_choice = c;
+        self
+    }
+
+    /// Sets the demand-estimate error fraction.
+    #[must_use]
+    pub fn estimate_error(mut self, e: f64) -> Self {
+        self.params.estimate_error = e;
+        self
+    }
+
+    /// Sets the load-status exchange period.
+    #[must_use]
+    pub fn status_period(mut self, p: f64) -> Self {
+        self.params.status_period = p;
+        self
+    }
+
+    /// Sets the status-broadcast transfer time (0 = free snapshots).
+    #[must_use]
+    pub fn status_msg_length(mut self, t: f64) -> Self {
+        self.params.status_msg_length = t;
+        self
+    }
+
+    /// Sets the number of relations in the database.
+    #[must_use]
+    pub fn num_relations(mut self, n: usize) -> Self {
+        self.params.num_relations = n;
+        self
+    }
+
+    /// Sets the replication degree: `None` for full replication,
+    /// `Some(k)` for `k` round-robin copies per relation.
+    #[must_use]
+    pub fn copies(mut self, copies: Option<u32>) -> Self {
+        self.params.copies = copies;
+        self
+    }
+
+    /// Enables or disables mid-execution query migration.
+    #[must_use]
+    pub fn migration(mut self, spec: Option<MigrationSpec>) -> Self {
+        self.params.migration = spec;
+        self
+    }
+
+    /// Sets per-site CPU speed factors (`None` = homogeneous).
+    #[must_use]
+    pub fn cpu_speeds(mut self, speeds: Option<Vec<f64>>) -> Self {
+        self.params.cpu_speeds = speeds;
+        self
+    }
+
+    /// Switches between the closed (paper) and open workload models.
+    #[must_use]
+    pub fn workload(mut self, w: Workload) -> Self {
+        self.params.workload = w;
+        self
+    }
+
+    /// Sets the update fraction of the workload (0 = the paper's
+    /// read-only workload).
+    #[must_use]
+    pub fn update_fraction(mut self, u: f64) -> Self {
+        self.params.update_fraction = u;
+        self
+    }
+
+    /// Sets the per-replica apply work as a fraction of the update's
+    /// reads.
+    #[must_use]
+    pub fn propagation_factor(mut self, f: f64) -> Self {
+        self.params.propagation_factor = f;
+        self
+    }
+
+    /// Validates and returns the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first constraint violated (see
+    /// [`SystemParams::validate`]).
+    pub fn build(self) -> Result<SystemParams, ParamsError> {
+        self.params.validate()?;
+        Ok(self.params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_base_is_valid() {
+        assert_eq!(SystemParams::paper_base().validate(), Ok(()));
+    }
+
+    #[test]
+    fn default_is_paper_base() {
+        assert_eq!(SystemParams::default(), SystemParams::paper_base());
+    }
+
+    #[test]
+    fn builder_round_trip() {
+        let p = SystemParams::builder()
+            .num_sites(8)
+            .num_disks(3)
+            .mpl(25)
+            .think_time(150.0)
+            .msg_length(2.0)
+            .build()
+            .unwrap();
+        assert_eq!(p.num_sites, 8);
+        assert_eq!(p.num_disks, 3);
+        assert_eq!(p.mpl, 25);
+        assert_eq!(p.think_time, 150.0);
+        assert_eq!(p.msg_length, 2.0);
+    }
+
+    #[test]
+    fn two_class_helper() {
+        let p = SystemParams::builder()
+            .two_class(0.3, 0.01, 0.65)
+            .build()
+            .unwrap();
+        assert_eq!(p.classes[0].probability, 0.3);
+        assert_eq!(p.classes[1].probability, 0.7);
+        assert_eq!(p.classes[0].page_cpu_time, 0.01);
+        assert_eq!(p.classes[1].page_cpu_time, 0.65);
+    }
+
+    #[test]
+    fn classification_rule_matches_figure5() {
+        let p = SystemParams::paper_base(); // per-disk demand = 0.5
+        assert!(p.is_io_bound(0.05));
+        assert!(!p.is_io_bound(1.0));
+        assert!(!p.is_io_bound(0.5)); // strict inequality
+    }
+
+    #[test]
+    fn mean_service_demand_matches_paper_quote() {
+        // Section 5.2 quotes mean execution time 30.5 for the base mix;
+        // per class: io = 20 * 1.05 = 21, cpu = 20 * 2.0 = 40; mean 30.5.
+        let p = SystemParams::paper_base();
+        assert!((p.mean_service_demand(0) - 21.0).abs() < 1e-12);
+        assert!((p.mean_service_demand(1) - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_zero_sites() {
+        let mut p = SystemParams::paper_base();
+        p.num_sites = 0;
+        assert_eq!(p.validate(), Err(ParamsError::Missing { what: "site" }));
+    }
+
+    #[test]
+    fn rejects_bad_probability_sum() {
+        let mut p = SystemParams::paper_base();
+        p.classes[0].probability = 0.9;
+        assert!(matches!(
+            p.validate(),
+            Err(ParamsError::BadClassProbabilities { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_negative_msg_length() {
+        let mut p = SystemParams::paper_base();
+        p.msg_length = -1.0;
+        assert!(matches!(
+            p.validate(),
+            Err(ParamsError::NonPositive { field: "msg_length", .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_nonpositive_think_time() {
+        let mut p = SystemParams::paper_base();
+        p.think_time = 0.0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn message_costs_combined_vs_detailed() {
+        let combined = SystemParams::paper_base();
+        assert_eq!(combined.dispatch_cost(0), 1.0);
+        assert_eq!(combined.result_cost(1, 50.0), 1.0);
+
+        let detailed = SystemParams::builder()
+            .message_costing(MessageCosting::Detailed {
+                msg_time: 0.000_25,
+                page_size: 1_000.0,
+            })
+            .build()
+            .unwrap();
+        // dispatch: 4000 B x 0.00025 = 1.0
+        assert!((detailed.dispatch_cost(0) - 1.0).abs() < 1e-12);
+        // result: 0.2 x 20 reads x 1000 B x 0.00025 = 1.0 at the mean...
+        assert!((detailed.result_cost(0, 20.0) - 1.0).abs() < 1e-12);
+        // ...and scales with the query's actual size.
+        assert!((detailed.result_cost(0, 40.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detailed_costing_validated() {
+        let bad = SystemParams::builder()
+            .message_costing(MessageCosting::Detailed {
+                msg_time: 0.0,
+                page_size: 1_000.0,
+            })
+            .build();
+        assert!(bad.is_err());
+        let mut p = SystemParams::paper_base();
+        p.classes[0].result_fraction = -0.1;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn replication_bounds_checked() {
+        let ok = SystemParams::builder()
+            .num_sites(4)
+            .copies(Some(2))
+            .num_relations(8)
+            .build();
+        assert!(ok.is_ok());
+        let too_many = SystemParams::builder().num_sites(4).copies(Some(5)).build();
+        assert!(too_many.is_err());
+        let zero_copies = SystemParams::builder().copies(Some(0)).build();
+        assert!(zero_copies.is_err());
+        let mut p = SystemParams::paper_base();
+        p.num_relations = 0;
+        assert_eq!(p.validate(), Err(ParamsError::Missing { what: "relation" }));
+    }
+
+    #[test]
+    fn error_messages_are_nonempty() {
+        for e in [
+            ParamsError::NonPositive {
+                field: "x",
+                value: -1.0,
+            },
+            ParamsError::BadFraction {
+                field: "y",
+                value: 2.0,
+            },
+            ParamsError::Missing { what: "site" },
+            ParamsError::BadClassProbabilities { sum: 0.5 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! BNQ — balance the number of queries (Figure 4).
+
+use super::{AllocationContext, AllocationPolicy};
+use crate::params::SiteId;
+use crate::query::QueryProfile;
+
+/// "Balance the Number of Queries": route every query to the site with the
+/// fewest queries, regardless of what those queries need.
+///
+/// This is the paper's stand-in for classic operating-system load balancing
+/// ([Livn82, Livn83, Ni81, Ni82] in its references) — the policy uses *no*
+/// information about resource demands, only the query distribution vector
+/// `N = [n_1, ..., n_s]`. Figure 4's cost function is literally
+/// `Num_Queries(s)`.
+///
+/// # Example
+///
+/// ```
+/// use dqa_core::policy::{Allocator, AllocationContext, PolicyKind};
+/// use dqa_core::load::LoadTable;
+/// use dqa_core::params::SystemParams;
+/// use dqa_core::query::QueryProfile;
+///
+/// let params = SystemParams::builder().num_sites(3).build()?;
+/// let mut load = LoadTable::new(3, true);
+/// load.allocate(0, true);
+/// load.allocate(0, true);
+/// load.allocate(1, true);
+/// // site 2 is empty: BNQ sends the arrival there.
+/// let mut alloc = Allocator::new(PolicyKind::Bnq, 0);
+/// let q = QueryProfile { class: 0, num_reads: 20.0, page_cpu_time: 0.05,
+///                        home: 0, io_bound: true, relation: 0 };
+/// let ctx = AllocationContext { params: &params, load: &load, arrival_site: 0 };
+/// assert_eq!(alloc.select_site(&q, &ctx), 2);
+/// # Ok::<(), dqa_core::params::ParamsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Bnq;
+
+impl AllocationPolicy for Bnq {
+    fn name(&self) -> &'static str {
+        "BNQ"
+    }
+
+    fn site_cost(
+        &mut self,
+        _query: &QueryProfile,
+        site: SiteId,
+        ctx: &AllocationContext<'_>,
+    ) -> f64 {
+        f64::from(ctx.view(site).total())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::Fixture;
+    use super::super::Allocator;
+    use super::*;
+    use crate::policy::PolicyKind;
+
+    #[test]
+    fn picks_least_loaded_site() {
+        let mut f = Fixture::new(4).unwrap();
+        f.load.allocate(0, true);
+        f.load.allocate(1, false);
+        f.load.allocate(1, false);
+        f.load.allocate(2, true);
+        // site 3 empty
+        let mut alloc = Allocator::new(PolicyKind::Bnq, 0);
+        assert_eq!(alloc.select_site(&f.io_query(1), &f.ctx(1)), 3);
+    }
+
+    #[test]
+    fn ignores_query_class_composition() {
+        let mut f = Fixture::new(2).unwrap();
+        // Site 0: two I/O-bound; site 1: one CPU-bound. BNQ moves the
+        // arriving I/O-bound query to site 1 purely on counts, and would
+        // do the same for a CPU-bound arrival.
+        f.load.allocate(0, true);
+        f.load.allocate(0, true);
+        f.load.allocate(1, false);
+        let mut alloc = Allocator::new(PolicyKind::Bnq, 0);
+        assert_eq!(alloc.select_site(&f.io_query(0), &f.ctx(0)), 1);
+        assert_eq!(alloc.select_site(&f.cpu_query(0), &f.ctx(0)), 1);
+    }
+
+    #[test]
+    fn cost_is_total_count() {
+        let mut f = Fixture::new(2).unwrap();
+        f.load.allocate(1, true);
+        f.load.allocate(1, false);
+        let mut p = Bnq;
+        let q = f.io_query(0);
+        assert_eq!(p.site_cost(&q, 0, &f.ctx(0)), 0.0);
+        assert_eq!(p.site_cost(&q, 1, &f.ctx(0)), 2.0);
+    }
+}

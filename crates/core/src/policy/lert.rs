@@ -1,0 +1,192 @@
+//! LERT — least estimated response time (Figure 6).
+
+use super::{AllocationContext, AllocationPolicy};
+use crate::params::SiteId;
+use crate::query::QueryProfile;
+
+/// Computes the Figure-6 response-time estimate, optionally without the
+/// network term.
+fn lert_cost(
+    query: &QueryProfile,
+    site: SiteId,
+    ctx: &AllocationContext<'_>,
+    include_net: bool,
+) -> f64 {
+    let params = ctx.params;
+    let load = ctx.view(site);
+
+    // Under heterogeneous hardware a faster CPU shrinks both the burst
+    // and the queueing behind same-type competitors (speed = 1 in the
+    // paper's homogeneous setting).
+    let cpu_time = query.num_reads * query.page_cpu_time / params.cpu_speed(site);
+    let io_time = query.num_reads * params.disk_time;
+    let net_time = if include_net && site != ctx.arrival_site {
+        // Transfer_Time(q) + Return_Time(q): the dispatch plus the result
+        // return, sized from the optimizer's estimates (both equal to
+        // msg_length under the paper's combined costing).
+        params.dispatch_cost(query.class) + params.result_cost(query.class, query.num_reads)
+    } else {
+        0.0
+    };
+    let cpu_wait = cpu_time * f64::from(load.cpu);
+    let io_wait = io_time * f64::from(load.io) / f64::from(params.num_disks);
+    cpu_time + cpu_wait + io_time + io_wait + net_time
+}
+
+/// "Least Estimated Response Time": estimate the query's response time at
+/// every site from its optimizer-supplied demands and the per-class site
+/// counts, and route it to the minimum.
+///
+/// The estimate follows Figure 6 and its stated approximations:
+///
+/// 1. a query competes only with queries that lean on the same resource
+///    (CPU wait scales with the CPU-bound count, I/O wait with the
+///    I/O-bound count spread over the disks);
+/// 2. both the CPU and the disks are treated as processor-sharing;
+/// 3. site populations are frozen for the duration of the query.
+///
+/// Unlike BNQ/BNQRD, LERT also charges remote sites the round-trip message
+/// cost, so it stops recommending transfers whose queueing gain is smaller
+/// than the communication price.
+///
+/// # Example
+///
+/// ```
+/// use dqa_core::policy::{Allocator, AllocationContext, PolicyKind};
+/// use dqa_core::load::LoadTable;
+/// use dqa_core::params::SystemParams;
+/// use dqa_core::query::QueryProfile;
+///
+/// // Make messages expensive: a marginal transfer is no longer worth it.
+/// let params = SystemParams::builder().num_sites(2).msg_length(50.0).build()?;
+/// let mut load = LoadTable::new(2, true);
+/// load.allocate(0, true); // arrival site slightly busier
+/// let mut alloc = Allocator::new(PolicyKind::Lert, 0);
+/// let q = QueryProfile { class: 0, num_reads: 20.0, page_cpu_time: 0.05,
+///                        home: 0, io_bound: true, relation: 0 };
+/// let ctx = AllocationContext { params: &params, load: &load, arrival_site: 0 };
+/// assert_eq!(alloc.select_site(&q, &ctx), 0, "100-unit round trip dwarfs the wait");
+/// # Ok::<(), dqa_core::params::ParamsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Lert;
+
+impl AllocationPolicy for Lert {
+    fn name(&self) -> &'static str {
+        "LERT"
+    }
+
+    fn site_cost(
+        &mut self,
+        query: &QueryProfile,
+        site: SiteId,
+        ctx: &AllocationContext<'_>,
+    ) -> f64 {
+        lert_cost(query, site, ctx, true)
+    }
+}
+
+/// LERT with the network-cost term removed (ablation).
+///
+/// Section 5.2 credits LERT's edge over BNQRD to its accounting for message
+/// time; this variant deletes exactly that term so the claim can be tested:
+/// with expensive messages, `LertNoNet` should give some of LERT's
+/// advantage back.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LertNoNet;
+
+impl AllocationPolicy for LertNoNet {
+    fn name(&self) -> &'static str {
+        "LERT-NONET"
+    }
+
+    fn site_cost(
+        &mut self,
+        query: &QueryProfile,
+        site: SiteId,
+        ctx: &AllocationContext<'_>,
+    ) -> f64 {
+        lert_cost(query, site, ctx, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::Fixture;
+    use super::super::Allocator;
+    use super::*;
+    use crate::policy::PolicyKind;
+
+    #[test]
+    fn empty_site_cost_is_pure_service_estimate() {
+        let f = Fixture::new(2).unwrap();
+        let mut p = Lert;
+        let q = f.cpu_query(0); // 20 reads, 1.0 cpu/page
+        // local, empty: cpu 20*1 + io 20*1 = 40
+        assert!((p.site_cost(&q, 0, &f.ctx(0)) - 40.0).abs() < 1e-12);
+        // remote, empty: + 2 * msg_length = 42
+        assert!((p.site_cost(&q, 1, &f.ctx(0)) - 42.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn waits_scale_with_matching_class_counts() {
+        let mut f = Fixture::new(1).unwrap();
+        f.load.allocate(0, false); // one CPU-bound resident
+        let mut p = Lert;
+        let q = f.cpu_query(0);
+        // cpu_time 20, cpu_wait 20*1, io_time 20, io_wait 0
+        assert!((p.site_cost(&q, 0, &f.ctx(0)) - 60.0).abs() < 1e-12);
+
+        let io = f.io_query(0);
+        // io query: cpu_time 1, cpu_wait 1*1, io_time 20, io_wait 0
+        assert!((p.site_cost(&io, 0, &f.ctx(0)) - 22.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn io_wait_divided_by_num_disks() {
+        let mut f = Fixture::new(1).unwrap();
+        f.load.allocate(0, true);
+        f.load.allocate(0, true); // two I/O-bound residents, 2 disks
+        let mut p = Lert;
+        let q = f.io_query(0);
+        // cpu 1 + cpu_wait 0 + io 20 + io_wait 20 * 2/2 = 41
+        assert!((p.site_cost(&q, 0, &f.ctx(0)) - 41.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn message_cost_deters_marginal_transfers() {
+        let mut f = Fixture::new(2).unwrap();
+        f.params.msg_length = 30.0;
+        // Arrival site has 1 I/O-bound query; remote is empty but 60 units
+        // of messages away (for an I/O query, the wait saved is only 10).
+        f.load.allocate(0, true);
+        let mut alloc = Allocator::new(PolicyKind::Lert, 0);
+        assert_eq!(alloc.select_site(&f.io_query(0), &f.ctx(0)), 0);
+        // The no-network ablation happily pays the hidden price.
+        let mut alloc = Allocator::new(PolicyKind::LertNoNet, 0);
+        assert_eq!(alloc.select_site(&f.io_query(0), &f.ctx(0)), 1);
+    }
+
+    #[test]
+    fn prefers_site_loaded_with_opposite_class() {
+        let mut f = Fixture::new(2).unwrap();
+        // Site 0: 2 I/O-bound. Site 1: 2 CPU-bound. An I/O-bound arrival
+        // at site 0 estimates less response at site 1 despite messages.
+        f.load.allocate(0, true);
+        f.load.allocate(0, true);
+        f.load.allocate(1, false);
+        f.load.allocate(1, false);
+        let mut alloc = Allocator::new(PolicyKind::Lert, 0);
+        assert_eq!(alloc.select_site(&f.io_query(0), &f.ctx(0)), 1);
+    }
+
+    #[test]
+    fn estimate_uses_query_specific_reads() {
+        let f = Fixture::new(1).unwrap();
+        let mut p = Lert;
+        let mut q = f.io_query(0);
+        q.num_reads = 5.0;
+        // cpu 5*0.05 + io 5*1 = 5.25
+        assert!((p.site_cost(&q, 0, &f.ctx(0)) - 5.25).abs() < 1e-12);
+    }
+}

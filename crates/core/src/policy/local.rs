@@ -1,0 +1,81 @@
+//! The LOCAL baseline: never transfer a query.
+
+use super::{AllocationContext, AllocationPolicy};
+use crate::params::SiteId;
+use crate::query::QueryProfile;
+
+/// Always process a query at its arrival site.
+///
+/// This is the `W̄_LOCAL` baseline of Section 5 — what a distributed
+/// database does with no dynamic allocation at all. Expressed as a cost
+/// function it simply makes every remote site infinitely expensive.
+///
+/// # Example
+///
+/// ```
+/// use dqa_core::policy::{Allocator, AllocationContext, PolicyKind};
+/// use dqa_core::load::LoadTable;
+/// use dqa_core::params::SystemParams;
+/// use dqa_core::query::QueryProfile;
+///
+/// let params = SystemParams::paper_base();
+/// let mut load = LoadTable::new(params.num_sites, true);
+/// // Pile everything on the arrival site; LOCAL still refuses to move.
+/// for _ in 0..10 { load.allocate(0, true); }
+/// let mut alloc = Allocator::new(PolicyKind::Local, 0);
+/// let q = QueryProfile { class: 0, num_reads: 20.0, page_cpu_time: 0.05,
+///                        home: 0, io_bound: true, relation: 0 };
+/// let ctx = AllocationContext { params: &params, load: &load, arrival_site: 0 };
+/// assert_eq!(alloc.select_site(&q, &ctx), 0);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Local;
+
+impl AllocationPolicy for Local {
+    fn name(&self) -> &'static str {
+        "LOCAL"
+    }
+
+    fn site_cost(
+        &mut self,
+        _query: &QueryProfile,
+        site: SiteId,
+        ctx: &AllocationContext<'_>,
+    ) -> f64 {
+        if site == ctx.arrival_site {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::Fixture;
+    use super::super::Allocator;
+    use super::*;
+    use crate::policy::PolicyKind;
+
+    #[test]
+    fn never_moves_even_under_extreme_imbalance() {
+        let mut f = Fixture::new(4).unwrap();
+        for _ in 0..50 {
+            f.load.allocate(1, false);
+        }
+        let mut alloc = Allocator::new(PolicyKind::Local, 0);
+        let q = f.cpu_query(1);
+        for _ in 0..10 {
+            assert_eq!(alloc.select_site(&q, &f.ctx(1)), 1);
+        }
+    }
+
+    #[test]
+    fn cost_shape() {
+        let f = Fixture::new(2).unwrap();
+        let mut p = Local;
+        let q = f.io_query(0);
+        assert_eq!(p.site_cost(&q, 0, &f.ctx(0)), 0.0);
+        assert!(p.site_cost(&q, 1, &f.ctx(0)).is_infinite());
+    }
+}

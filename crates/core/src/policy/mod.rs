@@ -1,0 +1,468 @@
+//! Dynamic query-allocation policies (Section 4 of the paper).
+//!
+//! Every policy is expressed, as in the paper, as a *site cost function*:
+//! the shared `SelectSite` procedure of Figure 3 evaluates the cost of the
+//! arrival site, then scans the remote sites **in round-robin fashion** and
+//! picks the first site that strictly improves on the best cost so far.
+//! Keeping the selection procedure common and swapping only the cost
+//! function is exactly the paper's framing, and it makes the policies
+//! directly comparable.
+//!
+//! Paper policies:
+//!
+//! * [`Local`] — never transfer (the baseline `W̄_LOCAL` of Section 5).
+//! * [`Bnq`] — balance the number of queries (Figure 4).
+//! * [`Bnqrd`] — balance the number of queries of the same resource-demand
+//!   class (Figure 5).
+//! * [`Lert`] — least estimated response time (Figure 6).
+//!
+//! Extensions (ablations called out in DESIGN.md):
+//!
+//! * [`Random`] — uniformly random site; a sanity baseline.
+//! * [`Threshold`] — keep queries local until the local count exceeds a
+//!   threshold, then balance; probes how much of BNQ's win is just
+//!   overflow relief.
+//! * [`LertNoNet`] — LERT with the network term removed; isolates why LERT
+//!   beats BNQRD when messages are expensive.
+//! * [`Wlc`] — weighted least connections (counts over CPU speed); the
+//!   classic recipe for heterogeneous hardware.
+
+mod bnq;
+mod bnqrd;
+mod lert;
+mod local;
+mod random;
+mod threshold;
+mod wlc;
+
+pub use bnq::Bnq;
+pub use bnqrd::Bnqrd;
+pub use lert::{Lert, LertNoNet};
+pub use local::Local;
+pub use random::Random;
+pub use threshold::Threshold;
+pub use wlc::Wlc;
+
+use std::fmt;
+
+use dqa_sim::random::RngStream;
+
+use crate::load::{LoadTable, SiteLoad};
+use crate::params::{SiteId, SystemParams};
+use crate::query::QueryProfile;
+
+/// Everything a cost function may consult: the published load table, the
+/// system parameters, and where the query arrived.
+#[derive(Debug)]
+pub struct AllocationContext<'a> {
+    /// System parameters (hardware, message costs).
+    pub params: &'a SystemParams,
+    /// The load table, as published to the sites.
+    pub load: &'a LoadTable,
+    /// The site whose terminal submitted the query.
+    pub arrival_site: SiteId,
+}
+
+impl AllocationContext<'_> {
+    /// The load of `site` as seen from the arrival site. A site always
+    /// knows its *own* instantaneous load; other sites' rows are whatever
+    /// has been published (identical to live under the paper's
+    /// perfect-information assumption).
+    #[must_use]
+    pub fn view(&self, site: SiteId) -> SiteLoad {
+        if site == self.arrival_site {
+            self.load.live(site)
+        } else {
+            self.load.view(site)
+        }
+    }
+}
+
+/// A site cost function, pluggable into the Figure-3 selection procedure.
+///
+/// Costs are compared with strict `<`, so on ties the arrival site wins,
+/// then earlier sites in the round-robin scan order — matching the paper's
+/// pseudocode.
+pub trait AllocationPolicy: fmt::Debug {
+    /// Short name used in reports ("BNQ", "LERT", ...).
+    fn name(&self) -> &'static str;
+
+    /// Estimated cost of executing `query` at `site`. Lower is better.
+    /// Stateful policies (e.g. [`Random`]) may mutate themselves.
+    fn site_cost(&mut self, query: &QueryProfile, site: SiteId, ctx: &AllocationContext<'_>)
+        -> f64;
+}
+
+/// The selection procedure of Figure 3 plus the rotating scan cursor.
+///
+/// The paper notes that the `foreach` over remote sites "should scan these
+/// sites in a round-robin fashion" so that cost ties do not herd every
+/// query onto the lowest-numbered site. The allocator owns that cursor: the
+/// scan of remote sites starts one position later after every allocation.
+///
+/// # Example
+///
+/// ```
+/// use dqa_core::load::LoadTable;
+/// use dqa_core::params::SystemParams;
+/// use dqa_core::policy::{Allocator, AllocationContext, PolicyKind};
+/// use dqa_core::query::QueryProfile;
+///
+/// let params = SystemParams::builder().num_sites(3).build()?;
+/// let mut load = LoadTable::new(3, true);
+/// load.allocate(0, true); // arrival site already has work
+/// let mut alloc = Allocator::new(PolicyKind::Bnq, 42);
+/// let q = QueryProfile { class: 0, num_reads: 20.0, page_cpu_time: 0.05,
+///                        home: 0, io_bound: true, relation: 0 };
+/// let ctx = AllocationContext { params: &params, load: &load, arrival_site: 0 };
+/// let site = alloc.select_site(&q, &ctx);
+/// assert_ne!(site, 0, "an empty remote site must win");
+/// # Ok::<(), dqa_core::params::ParamsError>(())
+/// ```
+#[derive(Debug)]
+pub struct Allocator {
+    policy: Box<dyn AllocationPolicy>,
+    kind: PolicyKind,
+    cursor: usize,
+}
+
+impl Allocator {
+    /// Creates an allocator running the given policy. `seed` feeds
+    /// stochastic policies ([`Random`]); deterministic policies ignore it.
+    #[must_use]
+    pub fn new(kind: PolicyKind, seed: u64) -> Self {
+        Allocator {
+            policy: kind.build(seed),
+            kind,
+            cursor: 0,
+        }
+    }
+
+    /// The policy kind this allocator runs.
+    #[must_use]
+    pub fn kind(&self) -> PolicyKind {
+        self.kind
+    }
+
+    /// The policy's display name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Runs `SelectSite` (Figure 3): evaluates the arrival site, then the
+    /// remote sites in round-robin order, returning the site with the
+    /// minimum cost (strict improvement required to move off the arrival
+    /// site). All sites are candidates — the fully replicated case.
+    pub fn select_site(&mut self, query: &QueryProfile, ctx: &AllocationContext<'_>) -> SiteId {
+        let all: Vec<SiteId> = (0..ctx.params.num_sites).collect();
+        self.select_site_among(query, ctx, &all)
+    }
+
+    /// `SelectSite` restricted to `candidates` — the sites holding a copy
+    /// of the query's relation under partial replication.
+    ///
+    /// The scan starts from the arrival site if it holds a copy, otherwise
+    /// from the relation's primary (the first candidate); a strict cost
+    /// improvement is required to move off that starting site, so under
+    /// the LOCAL cost function a query without a local copy executes at
+    /// the primary — the static-materialization baseline of §1.1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates` is empty.
+    pub fn select_site_among(
+        &mut self,
+        query: &QueryProfile,
+        ctx: &AllocationContext<'_>,
+        candidates: &[SiteId],
+    ) -> SiteId {
+        assert!(!candidates.is_empty(), "query has no candidate sites");
+        let n = ctx.params.num_sites;
+        let arrival = ctx.arrival_site;
+        let start = if candidates.contains(&arrival) {
+            arrival
+        } else {
+            candidates[0]
+        };
+        let mut best_site = start;
+        let mut min_cost = self.policy.site_cost(query, start, ctx);
+
+        // Scan the other candidates starting from the rotating cursor.
+        for k in 0..n {
+            let site = (self.cursor + k) % n;
+            if site == start || !candidates.contains(&site) {
+                continue;
+            }
+            let cost = self.policy.site_cost(query, site, ctx);
+            if cost < min_cost {
+                min_cost = cost;
+                best_site = site;
+            }
+        }
+        self.cursor = (self.cursor + 1) % n;
+        best_site
+    }
+
+    /// Evaluates a mid-execution migration (the §6.2 extension): given a
+    /// profile describing the query's *remaining* work and a context whose
+    /// arrival site is the current execution site, returns the site to
+    /// migrate to — if some candidate beats staying by more than
+    /// `min_gain` after paying `state_penalty` (the extra transfer cost of
+    /// the accumulated partial results) on top of the policy's own
+    /// remote-cost estimate.
+    pub fn migration_target(
+        &mut self,
+        remaining: &QueryProfile,
+        current: SiteId,
+        ctx: &AllocationContext<'_>,
+        candidates: &[SiteId],
+        min_gain: f64,
+        state_penalty: f64,
+    ) -> Option<SiteId> {
+        debug_assert_eq!(ctx.arrival_site, current);
+        let stay = self.policy.site_cost(remaining, current, ctx);
+        let n = ctx.params.num_sites;
+        let mut best: Option<(SiteId, f64)> = None;
+        for k in 0..n {
+            let site = (self.cursor + k) % n;
+            if site == current || !candidates.contains(&site) {
+                continue;
+            }
+            let cost = self.policy.site_cost(remaining, site, ctx) + state_penalty;
+            if best.is_none_or(|(_, c)| cost < c) {
+                best = Some((site, cost));
+            }
+        }
+        self.cursor = (self.cursor + 1) % n;
+        match best {
+            Some((site, cost)) if stay - cost > min_gain => Some(site),
+            _ => None,
+        }
+    }
+}
+
+/// Selects and configures an allocation policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PolicyKind {
+    /// Always process at the arrival site.
+    Local,
+    /// Balance the number of queries (Figure 4).
+    Bnq,
+    /// Balance the number of queries by resource demand (Figure 5).
+    Bnqrd,
+    /// Least estimated response time (Figure 6).
+    Lert,
+    /// Uniformly random site (extension).
+    Random,
+    /// Stay local below the threshold, balance counts above it
+    /// (extension).
+    Threshold(u32),
+    /// LERT without the network-cost term (ablation).
+    LertNoNet,
+    /// Weighted least connections: counts divided by CPU speed
+    /// (extension).
+    Wlc,
+}
+
+impl PolicyKind {
+    /// Instantiates the policy.
+    #[must_use]
+    pub fn build(&self, seed: u64) -> Box<dyn AllocationPolicy> {
+        match *self {
+            PolicyKind::Local => Box::new(Local),
+            PolicyKind::Bnq => Box::new(Bnq),
+            PolicyKind::Bnqrd => Box::new(Bnqrd),
+            PolicyKind::Lert => Box::new(Lert),
+            PolicyKind::Random => Box::new(Random::new(RngStream::new(seed).substream(0xD1CE))),
+            PolicyKind::Threshold(t) => Box::new(Threshold::new(t)),
+            PolicyKind::LertNoNet => Box::new(LertNoNet),
+            PolicyKind::Wlc => Box::new(Wlc),
+        }
+    }
+
+    /// The policy's display name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicyKind::Local => "LOCAL",
+            PolicyKind::Bnq => "BNQ",
+            PolicyKind::Bnqrd => "BNQRD",
+            PolicyKind::Lert => "LERT",
+            PolicyKind::Random => "RANDOM",
+            PolicyKind::Threshold(_) => "THRESHOLD",
+            PolicyKind::LertNoNet => "LERT-NONET",
+            PolicyKind::Wlc => "WLC",
+        }
+    }
+
+    /// The policies evaluated in the paper's simulation study, in
+    /// presentation order.
+    #[must_use]
+    pub fn paper_policies() -> [PolicyKind; 4] {
+        [
+            PolicyKind::Local,
+            PolicyKind::Bnq,
+            PolicyKind::Bnqrd,
+            PolicyKind::Lert,
+        ]
+    }
+}
+
+impl fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyKind::Threshold(t) => write!(f, "THRESHOLD({t})"),
+            other => f.write_str(other.name()),
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use crate::params::ParamsError;
+
+    /// A 4-site context with an adjustable load table for policy tests.
+    pub struct Fixture {
+        pub params: SystemParams,
+        pub load: LoadTable,
+    }
+
+    impl Fixture {
+        pub fn new(num_sites: usize) -> Result<Self, ParamsError> {
+            Ok(Fixture {
+                params: SystemParams::builder().num_sites(num_sites).build()?,
+                load: LoadTable::new(num_sites, true),
+            })
+        }
+
+        pub fn ctx(&self, arrival: SiteId) -> AllocationContext<'_> {
+            AllocationContext {
+                params: &self.params,
+                load: &self.load,
+                arrival_site: arrival,
+            }
+        }
+
+        pub fn io_query(&self, home: SiteId) -> QueryProfile {
+            QueryProfile {
+                class: 0,
+                num_reads: self.params.classes[0].num_reads,
+                page_cpu_time: self.params.classes[0].page_cpu_time,
+                home,
+                io_bound: true,
+                relation: 0,
+            }
+        }
+
+        pub fn cpu_query(&self, home: SiteId) -> QueryProfile {
+            QueryProfile {
+                class: 1,
+                num_reads: self.params.classes[1].num_reads,
+                page_cpu_time: self.params.classes[1].page_cpu_time,
+                home,
+                io_bound: false,
+                relation: 0,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::Fixture;
+    use super::*;
+
+    #[test]
+    fn ties_keep_query_at_arrival_site() {
+        let f = Fixture::new(4).unwrap();
+        let mut alloc = Allocator::new(PolicyKind::Bnq, 0);
+        let q = f.io_query(2);
+        // All sites empty: strict `<` means no remote site improves.
+        assert_eq!(alloc.select_site(&q, &f.ctx(2)), 2);
+    }
+
+    #[test]
+    fn round_robin_cursor_spreads_ties_among_equals() {
+        let mut f = Fixture::new(4).unwrap();
+        // Arrival site loaded; all three remote sites equally empty.
+        f.load.allocate(0, true);
+        f.load.allocate(0, true);
+        let mut alloc = Allocator::new(PolicyKind::Bnq, 0);
+        let q = f.io_query(0);
+        let picks: Vec<SiteId> = (0..6).map(|_| alloc.select_site(&q, &f.ctx(0))).collect();
+        // every remote site gets chosen at least once across the rotation
+        for s in 1..4 {
+            assert!(picks.contains(&s), "site {s} never chosen in {picks:?}");
+        }
+        assert!(picks.iter().all(|&s| s != 0));
+    }
+
+    #[test]
+    fn candidate_restriction_is_honored() {
+        let mut f = Fixture::new(4).unwrap();
+        // Site 3 is empty and would win an unrestricted BNQ scan...
+        f.load.allocate(0, true);
+        f.load.allocate(1, true);
+        f.load.allocate(1, true);
+        f.load.allocate(2, true);
+        let mut alloc = Allocator::new(PolicyKind::Bnq, 0);
+        let q = f.io_query(1);
+        assert_eq!(alloc.select_site(&q, &f.ctx(1)), 3);
+        // ...but with candidates {0, 2} the scan may not touch it.
+        let pick = alloc.select_site_among(&q, &f.ctx(1), &[0, 2]);
+        assert!(pick == 0 || pick == 2, "picked non-candidate {pick}");
+    }
+
+    #[test]
+    fn arrival_without_copy_starts_from_primary() {
+        let f = Fixture::new(4).unwrap();
+        // All candidates empty and tied: the starting site (the primary,
+        // first candidate) wins because improvement must be strict.
+        let mut alloc = Allocator::new(PolicyKind::Bnq, 0);
+        let q = f.io_query(1);
+        let pick = alloc.select_site_among(&q, &f.ctx(1), &[2, 3]);
+        assert_eq!(pick, 2, "primary copy should win ties");
+    }
+
+    #[test]
+    #[should_panic(expected = "no candidate sites")]
+    fn empty_candidate_set_panics() {
+        let f = Fixture::new(2).unwrap();
+        let mut alloc = Allocator::new(PolicyKind::Bnq, 0);
+        let q = f.io_query(0);
+        let _ = alloc.select_site_among(&q, &f.ctx(0), &[]);
+    }
+
+    #[test]
+    fn policy_kind_names_are_distinct() {
+        let kinds = [
+            PolicyKind::Local,
+            PolicyKind::Bnq,
+            PolicyKind::Bnqrd,
+            PolicyKind::Lert,
+            PolicyKind::Random,
+            PolicyKind::Threshold(3),
+            PolicyKind::LertNoNet,
+            PolicyKind::Wlc,
+        ];
+        let mut names: Vec<&str> = kinds.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), kinds.len());
+    }
+
+    #[test]
+    fn display_includes_threshold_value() {
+        assert_eq!(PolicyKind::Threshold(5).to_string(), "THRESHOLD(5)");
+        assert_eq!(PolicyKind::Lert.to_string(), "LERT");
+    }
+
+    #[test]
+    fn paper_policies_order() {
+        let p = PolicyKind::paper_policies();
+        assert_eq!(p[0], PolicyKind::Local);
+        assert_eq!(p[3], PolicyKind::Lert);
+    }
+}

@@ -1,0 +1,84 @@
+//! RANDOM — a no-information sanity baseline (extension).
+
+use dqa_sim::random::RngStream;
+
+use super::{AllocationContext, AllocationPolicy};
+use crate::params::SiteId;
+use crate::query::QueryProfile;
+
+/// Routes each query to a uniformly random site (including the arrival
+/// site).
+///
+/// Not in the paper — included as the weakest possible dynamic policy. It
+/// uses neither load nor demand information, so any policy that fails to
+/// beat it is not extracting value from its inputs. Random splitting does
+/// still smooth Poisson-burst imbalance across sites, so it typically lands
+/// between LOCAL and BNQ.
+///
+/// Implementation: the cost of every site is an independent uniform draw,
+/// which makes the Figure-3 minimum-cost scan pick a uniformly random site.
+#[derive(Debug, Clone)]
+pub struct Random {
+    rng: RngStream,
+}
+
+impl Random {
+    /// Creates the policy with its own random stream.
+    #[must_use]
+    pub fn new(rng: RngStream) -> Self {
+        Random { rng }
+    }
+}
+
+impl AllocationPolicy for Random {
+    fn name(&self) -> &'static str {
+        "RANDOM"
+    }
+
+    fn site_cost(
+        &mut self,
+        _query: &QueryProfile,
+        _site: SiteId,
+        _ctx: &AllocationContext<'_>,
+    ) -> f64 {
+        self.rng.next_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::Fixture;
+    use super::super::Allocator;
+    use crate::policy::PolicyKind;
+
+    #[test]
+    fn covers_all_sites_roughly_uniformly() {
+        let f = Fixture::new(4).unwrap();
+        let mut alloc = Allocator::new(PolicyKind::Random, 7);
+        let q = f.io_query(0);
+        let mut counts = [0u32; 4];
+        let n = 4000;
+        for _ in 0..n {
+            counts[alloc.select_site(&q, &f.ctx(0))] += 1;
+        }
+        for (s, &c) in counts.iter().enumerate() {
+            let frac = f64::from(c) / f64::from(n);
+            assert!(
+                (frac - 0.25).abs() < 0.05,
+                "site {s} chosen with frequency {frac}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let f = Fixture::new(4).unwrap();
+        let q = f.io_query(0);
+        let picks = |seed: u64| -> Vec<usize> {
+            let mut alloc = Allocator::new(PolicyKind::Random, seed);
+            (0..32).map(|_| alloc.select_site(&q, &f.ctx(0))).collect()
+        };
+        assert_eq!(picks(1), picks(1));
+        assert_ne!(picks(1), picks(2));
+    }
+}

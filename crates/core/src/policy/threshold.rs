@@ -1,0 +1,100 @@
+//! THRESHOLD — transfer only when the local site is overloaded (extension).
+
+use super::{AllocationContext, AllocationPolicy};
+use crate::params::SiteId;
+use crate::query::QueryProfile;
+
+/// Keep queries local while the arrival site holds at most `threshold`
+/// queries; above the threshold, fall back to BNQ-style count balancing.
+///
+/// Not in the paper — a classic load-balancing design (cf. the threshold
+/// policies of Livny's thesis, which the paper cites) included to probe how
+/// much of BNQ's improvement comes merely from relieving overflow at busy
+/// sites rather than from continuous balancing. It also sends far fewer
+/// queries across the network, which matters when the subnet saturates
+/// (Table 11).
+#[derive(Debug, Clone, Copy)]
+pub struct Threshold {
+    threshold: u32,
+}
+
+impl Threshold {
+    /// Creates the policy with the given local-occupancy threshold.
+    #[must_use]
+    pub fn new(threshold: u32) -> Self {
+        Threshold { threshold }
+    }
+
+    /// The configured threshold.
+    #[must_use]
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+}
+
+impl AllocationPolicy for Threshold {
+    fn name(&self) -> &'static str {
+        "THRESHOLD"
+    }
+
+    fn site_cost(
+        &mut self,
+        _query: &QueryProfile,
+        site: SiteId,
+        ctx: &AllocationContext<'_>,
+    ) -> f64 {
+        let local_total = ctx.view(ctx.arrival_site).total();
+        if local_total <= self.threshold {
+            // Below threshold: make the arrival site unbeatable.
+            if site == ctx.arrival_site {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            f64::from(ctx.view(site).total())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::Fixture;
+    use super::super::Allocator;
+    use super::*;
+    use crate::policy::PolicyKind;
+
+    #[test]
+    fn stays_local_below_threshold() {
+        let mut f = Fixture::new(3).unwrap();
+        f.load.allocate(0, true);
+        f.load.allocate(0, true); // local total 2 <= 3
+        let mut alloc = Allocator::new(PolicyKind::Threshold(3), 0);
+        assert_eq!(alloc.select_site(&f.io_query(0), &f.ctx(0)), 0);
+    }
+
+    #[test]
+    fn balances_above_threshold() {
+        let mut f = Fixture::new(3).unwrap();
+        for _ in 0..5 {
+            f.load.allocate(0, true);
+        }
+        f.load.allocate(1, false); // site 2 empty
+        let mut alloc = Allocator::new(PolicyKind::Threshold(3), 0);
+        assert_eq!(alloc.select_site(&f.io_query(0), &f.ctx(0)), 2);
+    }
+
+    #[test]
+    fn threshold_zero_degenerates_to_bnq_when_busy() {
+        let mut f = Fixture::new(2).unwrap();
+        f.load.allocate(0, true);
+        let mut alloc = Allocator::new(PolicyKind::Threshold(0), 0);
+        // local total 1 > 0 -> balance -> empty remote wins
+        assert_eq!(alloc.select_site(&f.io_query(0), &f.ctx(0)), 1);
+    }
+
+    #[test]
+    fn accessor_reports_threshold() {
+        assert_eq!(Threshold::new(7).threshold(), 7);
+    }
+}

@@ -1,0 +1,83 @@
+//! WLC — weighted least connections (extension).
+
+use super::{AllocationContext, AllocationPolicy};
+use crate::params::SiteId;
+use crate::query::QueryProfile;
+
+/// Weighted least connections: route to the site minimizing
+/// `count / speed` — BNQ's count signal corrected by hardware capacity.
+///
+/// Not in the paper; the classic load-balancer recipe, included as the
+/// middle rung of the information ladder under heterogeneous hardware:
+///
+/// * BNQ knows counts only — misled by speed differences;
+/// * WLC knows counts and *hardware* — but not what the queries need;
+/// * LERT knows counts, hardware, and per-query demands.
+///
+/// On homogeneous systems WLC coincides with BNQ exactly.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Wlc;
+
+impl AllocationPolicy for Wlc {
+    fn name(&self) -> &'static str {
+        "WLC"
+    }
+
+    fn site_cost(
+        &mut self,
+        _query: &QueryProfile,
+        site: SiteId,
+        ctx: &AllocationContext<'_>,
+    ) -> f64 {
+        f64::from(ctx.view(site).total()) / ctx.params.cpu_speed(site)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::Fixture;
+    use super::super::Allocator;
+    use super::*;
+    use crate::policy::PolicyKind;
+
+    #[test]
+    fn equals_bnq_on_homogeneous_systems() {
+        let mut f = Fixture::new(4).unwrap();
+        f.load.allocate(0, true);
+        f.load.allocate(1, false);
+        f.load.allocate(1, true);
+        let q = f.io_query(0);
+        let mut wlc = Allocator::new(PolicyKind::Wlc, 0);
+        let mut bnq = Allocator::new(PolicyKind::Bnq, 0);
+        for _ in 0..8 {
+            assert_eq!(
+                wlc.select_site(&q, &f.ctx(0)),
+                bnq.select_site(&q, &f.ctx(0))
+            );
+        }
+    }
+
+    #[test]
+    fn prefers_fast_sites_at_equal_counts() {
+        let mut f = Fixture::new(2).unwrap();
+        f.params.cpu_speeds = Some(vec![1.0, 2.0]);
+        f.load.allocate(0, true);
+        f.load.allocate(1, true);
+        // counts tie at 1, but site 1 is twice as fast: 1/2 < 1/1.
+        let mut alloc = Allocator::new(PolicyKind::Wlc, 0);
+        assert_eq!(alloc.select_site(&f.io_query(0), &f.ctx(0)), 1);
+    }
+
+    #[test]
+    fn tolerates_more_queries_on_faster_site() {
+        let mut f = Fixture::new(2).unwrap();
+        f.params.cpu_speeds = Some(vec![0.5, 2.0]);
+        // site 0: 1 query at speed 0.5 -> 2.0; site 1: 3 at speed 2 -> 1.5
+        f.load.allocate(0, true);
+        for _ in 0..3 {
+            f.load.allocate(1, true);
+        }
+        let mut p = Wlc;
+        assert!(p.site_cost(&f.io_query(0), 1, &f.ctx(0)) < p.site_cost(&f.io_query(0), 0, &f.ctx(0)));
+    }
+}

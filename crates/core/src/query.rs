@@ -1,0 +1,140 @@
+//! Queries and the optimizer-supplied demand profile policies see.
+
+use dqa_sim::SimTime;
+
+use crate::params::{ClassId, SiteId};
+
+/// Unique identifier of a query instance within one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId(pub u64);
+
+/// The demand estimate "attached" to a query by the query optimizer
+/// (Section 1.2.2) — everything an allocation policy is allowed to see.
+///
+/// In the paper the optimizer's estimates are taken at face value; the
+/// `estimate_error` parameter perturbs `num_reads` to probe sensitivity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryProfile {
+    /// The query's class.
+    pub class: ClassId,
+    /// Estimated number of page reads.
+    pub num_reads: f64,
+    /// Estimated CPU time per page.
+    pub page_cpu_time: f64,
+    /// The site where the query was submitted.
+    pub home: SiteId,
+    /// Whether the classification rule of Figure 5 deems the query
+    /// I/O-bound under the current hardware.
+    pub io_bound: bool,
+    /// The relation the query reads. Under full replication this does not
+    /// restrict anything; under partial replication only the holders of
+    /// this relation are candidate execution sites.
+    pub relation: usize,
+}
+
+/// What kind of work a job in the system represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryKind {
+    /// A read-only query (the paper's workload).
+    Read,
+    /// An update: executes like a read, then ships apply jobs to every
+    /// other holder of its relation (read-one-write-all).
+    Update,
+    /// An asynchronous apply job at a replica. Pinned to its site, never
+    /// migrated, and invisible to response-time metrics — but it occupies
+    /// the site's disks and CPU and is counted in the load table.
+    Propagation,
+}
+
+/// Execution phase of an in-flight query, for invariant checking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryPhase {
+    /// In transit to its execution site.
+    Transfer,
+    /// Waiting for or receiving disk service.
+    Disk,
+    /// Receiving CPU service.
+    Cpu,
+    /// Results in transit back to the home site.
+    Return,
+}
+
+/// Full state of an in-flight query, tracked by the simulator.
+#[derive(Debug, Clone)]
+pub struct ActiveQuery {
+    /// The query's identity.
+    pub id: QueryId,
+    /// The optimizer profile (also what policies saw at allocation time).
+    pub profile: QueryProfile,
+    /// The site executing the query.
+    pub exec: SiteId,
+    /// The actual number of reads this query will perform.
+    pub reads_total: u32,
+    /// Reads completed so far.
+    pub reads_done: u32,
+    /// Submission time (when the terminal's think ended).
+    pub submitted: SimTime,
+    /// Total service the query has personally received so far (disk + CPU;
+    /// message transfers are accounted as waiting, not service).
+    pub service: f64,
+    /// Current phase.
+    pub phase: QueryPhase,
+    /// Read / update / propagation.
+    pub kind: QueryKind,
+}
+
+impl ActiveQuery {
+    /// Returns `true` once every read has completed.
+    #[must_use]
+    pub fn execution_finished(&self) -> bool {
+        self.reads_done >= self.reads_total
+    }
+
+    /// Whether the query executes away from its home site.
+    #[must_use]
+    pub fn is_remote(&self) -> bool {
+        self.exec != self.profile.home
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn query() -> ActiveQuery {
+        ActiveQuery {
+            id: QueryId(7),
+            profile: QueryProfile {
+                class: 0,
+                num_reads: 20.0,
+                page_cpu_time: 0.05,
+                home: 1,
+                io_bound: true,
+                relation: 0,
+            },
+            exec: 2,
+            reads_total: 3,
+            reads_done: 0,
+            submitted: SimTime::ZERO,
+            service: 0.0,
+            phase: QueryPhase::Transfer,
+            kind: QueryKind::Read,
+        }
+    }
+
+    #[test]
+    fn remote_detection() {
+        let mut q = query();
+        assert!(q.is_remote());
+        q.exec = 1;
+        assert!(!q.is_remote());
+    }
+
+    #[test]
+    fn execution_finishes_after_all_reads() {
+        let mut q = query();
+        assert!(!q.execution_finished());
+        q.reads_done = 3;
+        assert!(q.execution_finished());
+    }
+}

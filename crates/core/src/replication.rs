@@ -1,0 +1,192 @@
+//! Partial replication: the relation catalog.
+//!
+//! The paper studies the fully replicated case and names "allocating
+//! subqueries ... in an environment with only partially replicated data"
+//! as the goal of its future work (§6.2). This module supplies that
+//! environment: a catalog mapping each relation to the set of sites
+//! holding a copy. A read-only query references one relation, and only the
+//! holders of that relation are candidate execution sites.
+//!
+//! Placement is deterministic round-robin — copy `j` of relation `r`
+//! lives at site `(r + j) mod num_sites` — which spreads both primaries
+//! and copy sets evenly, so the *degree* of replication is the only
+//! variable under study. The first copy is the relation's *primary*: it
+//! is where a static materialization (the paper's strawman in §1.1, where
+//! every instance of the same query lands on the same plan) executes the
+//! query, and it is where the LOCAL baseline falls back when the arrival
+//! site holds no copy.
+
+use crate::params::SiteId;
+
+/// The placement of relation copies across sites.
+///
+/// # Example
+///
+/// ```
+/// use dqa_core::replication::Catalog;
+///
+/// let catalog = Catalog::new(4, 6, 2); // 4 sites, 6 relations, 2 copies
+/// assert_eq!(catalog.candidates(0), &[0, 1]);
+/// assert_eq!(catalog.candidates(3), &[3, 0]);
+/// assert_eq!(catalog.primary(3), 3);
+/// // Full replication: every site holds everything.
+/// let full = Catalog::fully_replicated(4, 6);
+/// assert_eq!(full.candidates(2).len(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Catalog {
+    placement: Vec<Vec<SiteId>>,
+    num_sites: usize,
+}
+
+impl Catalog {
+    /// Builds a round-robin catalog: `copies` copies per relation, copy
+    /// `j` of relation `r` at site `(r + j) mod num_sites`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_sites` or `num_relations` is zero, or `copies` is
+    /// zero or exceeds `num_sites`.
+    #[must_use]
+    pub fn new(num_sites: usize, num_relations: usize, copies: u32) -> Self {
+        assert!(num_sites > 0, "need at least one site");
+        assert!(num_relations > 0, "need at least one relation");
+        assert!(
+            copies >= 1 && copies as usize <= num_sites,
+            "copies must lie in 1..=num_sites, got {copies}"
+        );
+        let placement = (0..num_relations)
+            .map(|r| {
+                (0..copies as usize)
+                    .map(|j| (r + j) % num_sites)
+                    .collect()
+            })
+            .collect();
+        Catalog {
+            placement,
+            num_sites,
+        }
+    }
+
+    /// A catalog in which every site holds every relation (the paper's
+    /// base environment).
+    #[must_use]
+    pub fn fully_replicated(num_sites: usize, num_relations: usize) -> Self {
+        Catalog::new(num_sites, num_relations, num_sites as u32)
+    }
+
+    /// Number of relations in the catalog.
+    #[must_use]
+    pub fn num_relations(&self) -> usize {
+        self.placement.len()
+    }
+
+    /// Number of sites the catalog spans.
+    #[must_use]
+    pub fn num_sites(&self) -> usize {
+        self.num_sites
+    }
+
+    /// The sites holding relation `r`, primary first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    #[must_use]
+    pub fn candidates(&self, r: usize) -> &[SiteId] {
+        &self.placement[r]
+    }
+
+    /// The primary copy's site for relation `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    #[must_use]
+    pub fn primary(&self, r: usize) -> SiteId {
+        self.placement[r][0]
+    }
+
+    /// Whether `site` holds a copy of relation `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    #[must_use]
+    pub fn holds(&self, site: SiteId, r: usize) -> bool {
+        self.placement[r].contains(&site)
+    }
+
+    /// Number of relations whose copy set includes `site` — used to check
+    /// placement balance.
+    #[must_use]
+    pub fn relations_at(&self, site: SiteId) -> usize {
+        self.placement.iter().filter(|c| c.contains(&site)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_placement_wraps() {
+        let c = Catalog::new(3, 5, 2);
+        assert_eq!(c.candidates(0), &[0, 1]);
+        assert_eq!(c.candidates(2), &[2, 0]);
+        assert_eq!(c.candidates(4), &[1, 2]);
+        assert_eq!(c.num_relations(), 5);
+        assert_eq!(c.num_sites(), 3);
+    }
+
+    #[test]
+    fn primary_is_first_copy() {
+        let c = Catalog::new(4, 4, 3);
+        for r in 0..4 {
+            assert_eq!(c.primary(r), r % 4);
+            assert!(c.holds(c.primary(r), r));
+        }
+    }
+
+    #[test]
+    fn full_replication_covers_every_site() {
+        let c = Catalog::fully_replicated(5, 3);
+        for r in 0..3 {
+            assert_eq!(c.candidates(r).len(), 5);
+            for s in 0..5 {
+                assert!(c.holds(s, r));
+            }
+        }
+    }
+
+    #[test]
+    fn placement_is_balanced_when_relations_divide_evenly() {
+        // 8 relations over 4 sites with 2 copies: each site holds
+        // 8 * 2 / 4 = 4 relations.
+        let c = Catalog::new(4, 8, 2);
+        for s in 0..4 {
+            assert_eq!(c.relations_at(s), 4);
+        }
+    }
+
+    #[test]
+    fn single_copy_means_single_candidate() {
+        let c = Catalog::new(6, 12, 1);
+        for r in 0..12 {
+            assert_eq!(c.candidates(r).len(), 1);
+            assert_eq!(c.candidates(r)[0], r % 6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "copies must lie in")]
+    fn too_many_copies_rejected() {
+        let _ = Catalog::new(3, 1, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "copies must lie in")]
+    fn zero_copies_rejected() {
+        let _ = Catalog::new(3, 1, 0);
+    }
+}

@@ -1,0 +1,295 @@
+//! Closed multi-class queueing network specifications.
+
+use std::error::Error;
+use std::fmt;
+
+/// The service discipline of a station, as far as product-form MVA is
+/// concerned.
+///
+/// Exact MVA treats processor-sharing stations and FCFS stations with
+/// class-independent exponential service identically (both satisfy the BCMP
+/// conditions and share the arrival-theorem recursion), so a single
+/// `Queueing` kind covers the paper's CPU (PS) and disks (exponential FCFS
+/// with the same mean for both classes). `Delay` stations are
+/// infinite-server centers — terminals in think state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StationKind {
+    /// A load-independent queueing station (PS, or exponential FCFS with
+    /// class-independent rates).
+    Queueing,
+    /// An infinite-server (delay) station: residence equals demand.
+    Delay,
+    /// A multiserver queueing station: `servers` parallel servers sharing
+    /// one FIFO queue, service rate `min(n, servers)` relative to a single
+    /// server. Solved by the exact load-dependent MVA recursion over
+    /// marginal queue-length probabilities. Exact for class-independent
+    /// exponential service (e.g. the paper's disks); with class-dependent
+    /// demands the recursion is the standard approximation.
+    MultiServer {
+        /// Number of parallel servers (≥ 1; `1` coincides with
+        /// [`StationKind::Queueing`]).
+        servers: u32,
+    },
+}
+
+/// Error constructing a [`Network`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetworkError {
+    /// The network has no stations.
+    NoStations,
+    /// A demand was negative, NaN, or infinite.
+    InvalidDemand {
+        /// Station name.
+        station: String,
+        /// Class index.
+        class: usize,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::NoStations => write!(f, "network has no stations"),
+            NetworkError::InvalidDemand {
+                station,
+                class,
+                value,
+            } => write!(
+                f,
+                "invalid service demand {value} for class {class} at station `{station}`"
+            ),
+        }
+    }
+}
+
+impl Error for NetworkError {}
+
+/// A closed multi-class product-form queueing network.
+///
+/// A network is a set of stations, each with a per-class *service demand*:
+/// the total service time a class-`c` customer requires from that station
+/// per cycle through the network (visit ratio × mean service time).
+///
+/// Build one with [`Network::builder`]:
+///
+/// ```
+/// use dqa_mva::{Network, StationKind};
+///
+/// let site = Network::builder(2)
+///     .station("cpu", StationKind::Queueing, [0.05, 1.0])
+///     .station("disk0", StationKind::Queueing, [0.5, 0.5])
+///     .station("disk1", StationKind::Queueing, [0.5, 0.5])
+///     .build()?;
+/// assert_eq!(site.num_stations(), 3);
+/// assert_eq!(site.num_classes(), 2);
+/// assert_eq!(site.demand(0, 1), 1.0);
+/// # Ok::<(), dqa_mva::NetworkError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Network {
+    names: Vec<String>,
+    kinds: Vec<StationKind>,
+    /// `demands[k][c]`: demand of class `c` at station `k`.
+    demands: Vec<Vec<f64>>,
+    classes: usize,
+}
+
+impl Network {
+    /// Starts building a network with `classes` customer classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is zero.
+    #[must_use]
+    pub fn builder(classes: usize) -> NetworkBuilder {
+        assert!(classes > 0, "need at least one class");
+        NetworkBuilder {
+            classes,
+            names: Vec::new(),
+            kinds: Vec::new(),
+            demands: Vec::new(),
+        }
+    }
+
+    /// Number of stations.
+    #[must_use]
+    pub fn num_stations(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Number of customer classes.
+    #[must_use]
+    pub fn num_classes(&self) -> usize {
+        self.classes
+    }
+
+    /// The station's kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `station` is out of range.
+    #[must_use]
+    pub fn kind(&self, station: usize) -> StationKind {
+        self.kinds[station]
+    }
+
+    /// The station's name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `station` is out of range.
+    #[must_use]
+    pub fn name(&self, station: usize) -> &str {
+        &self.names[station]
+    }
+
+    /// Service demand of class `class` at station `station`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    #[must_use]
+    pub fn demand(&self, station: usize, class: usize) -> f64 {
+        self.demands[station][class]
+    }
+
+    /// Total service demand of a class across all stations (one cycle's
+    /// worth of service).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range.
+    #[must_use]
+    pub fn total_demand(&self, class: usize) -> f64 {
+        self.demands.iter().map(|d| d[class]).sum()
+    }
+}
+
+/// Builder for [`Network`]; see [`Network::builder`].
+#[derive(Debug, Clone)]
+pub struct NetworkBuilder {
+    classes: usize,
+    names: Vec<String>,
+    kinds: Vec<StationKind>,
+    demands: Vec<Vec<f64>>,
+}
+
+impl NetworkBuilder {
+    /// Adds a station with the given per-class demands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `demands` does not have exactly one entry per class.
+    #[must_use]
+    pub fn station(
+        mut self,
+        name: &str,
+        kind: StationKind,
+        demands: impl Into<Vec<f64>>,
+    ) -> Self {
+        let demands = demands.into();
+        assert_eq!(
+            demands.len(),
+            self.classes,
+            "station `{name}` needs one demand per class"
+        );
+        self.names.push(name.to_owned());
+        self.kinds.push(kind);
+        self.demands.push(demands);
+        self
+    }
+
+    /// Finishes the network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::NoStations`] for an empty network,
+    /// [`NetworkError::InvalidDemand`] for negative or non-finite demands,
+    /// and [`NetworkError::InvalidDemand`] (on a zero value) for a
+    /// multiserver station declared with zero servers.
+    pub fn build(self) -> Result<Network, NetworkError> {
+        if self.kinds.is_empty() {
+            return Err(NetworkError::NoStations);
+        }
+        for (k, row) in self.demands.iter().enumerate() {
+            if let StationKind::MultiServer { servers: 0 } = self.kinds[k] {
+                return Err(NetworkError::InvalidDemand {
+                    station: self.names[k].clone(),
+                    class: 0,
+                    value: 0.0,
+                });
+            }
+            for (c, &d) in row.iter().enumerate() {
+                if !d.is_finite() || d < 0.0 {
+                    return Err(NetworkError::InvalidDemand {
+                        station: self.names[k].clone(),
+                        class: c,
+                        value: d,
+                    });
+                }
+            }
+        }
+        Ok(Network {
+            names: self.names,
+            kinds: self.kinds,
+            demands: self.demands,
+            classes: self.classes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_exposes_fields() {
+        let net = Network::builder(2)
+            .station("cpu", StationKind::Queueing, [1.0, 2.0])
+            .station("term", StationKind::Delay, [10.0, 10.0])
+            .build()
+            .unwrap();
+        assert_eq!(net.num_stations(), 2);
+        assert_eq!(net.num_classes(), 2);
+        assert_eq!(net.kind(0), StationKind::Queueing);
+        assert_eq!(net.kind(1), StationKind::Delay);
+        assert_eq!(net.name(1), "term");
+        assert_eq!(net.demand(0, 1), 2.0);
+        assert_eq!(net.total_demand(0), 11.0);
+    }
+
+    #[test]
+    fn empty_network_is_error() {
+        assert!(matches!(
+            Network::builder(1).build(),
+            Err(NetworkError::NoStations)
+        ));
+    }
+
+    #[test]
+    fn negative_demand_is_error() {
+        let err = Network::builder(1)
+            .station("bad", StationKind::Queueing, [-1.0])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, NetworkError::InvalidDemand { .. }));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn nan_demand_is_error() {
+        let err = Network::builder(1)
+            .station("bad", StationKind::Queueing, [f64::NAN])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, NetworkError::InvalidDemand { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "one demand per class")]
+    fn wrong_demand_arity_panics() {
+        let _ = Network::builder(2).station("cpu", StationKind::Queueing, [1.0]);
+    }
+}

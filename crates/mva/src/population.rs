@@ -1,0 +1,199 @@
+//! Iteration over the lattice of population vectors.
+
+/// The lattice of population vectors `0 <= n <= target` (componentwise),
+/// with a dense mixed-radix index.
+///
+/// Exact multi-class MVA computes queue lengths for every population vector
+/// below the target, in an order where each vector is visited only after all
+/// vectors obtained by removing one customer. Lexicographic mixed-radix
+/// order has that property (removing a customer strictly decreases the
+/// index), so a flat `Vec` indexed by [`PopulationLattice::index`] can store
+/// the whole recursion.
+///
+/// # Example
+///
+/// ```
+/// use dqa_mva::PopulationLattice;
+///
+/// let lat = PopulationLattice::new(&[2, 1]);
+/// assert_eq!(lat.len(), 6); // (2+1) * (1+1)
+/// let idx = lat.index(&[2, 1]);
+/// assert_eq!(idx, lat.len() - 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PopulationLattice {
+    target: Vec<u32>,
+    /// Mixed-radix place values: stride[c] = prod_{d > c} (target[d] + 1).
+    stride: Vec<usize>,
+    len: usize,
+}
+
+impl PopulationLattice {
+    /// Creates the lattice for the given target population.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is empty or the lattice would overflow `usize`.
+    #[must_use]
+    pub fn new(target: &[u32]) -> Self {
+        assert!(!target.is_empty(), "need at least one class");
+        let mut stride = vec![0usize; target.len()];
+        let mut len = 1usize;
+        for c in (0..target.len()).rev() {
+            stride[c] = len;
+            len = len
+                .checked_mul(target[c] as usize + 1)
+                .expect("population lattice too large");
+        }
+        PopulationLattice {
+            target: target.to_vec(),
+            stride,
+            len,
+        }
+    }
+
+    /// The target population vector.
+    #[must_use]
+    pub fn target(&self) -> &[u32] {
+        &self.target
+    }
+
+    /// Number of vectors in the lattice (product of `target[c] + 1`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` only for a degenerate empty lattice (never happens:
+    /// the zero vector is always present).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Dense index of population vector `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` has the wrong length or exceeds the target in any
+    /// component.
+    #[must_use]
+    pub fn index(&self, n: &[u32]) -> usize {
+        assert_eq!(n.len(), self.target.len(), "population length mismatch");
+        let mut idx = 0;
+        for (c, &count) in n.iter().enumerate() {
+            assert!(
+                count <= self.target[c],
+                "population {count} exceeds target {} in class {c}",
+                self.target[c]
+            );
+            idx += count as usize * self.stride[c];
+        }
+        idx
+    }
+
+    /// Iterates over all population vectors in an order compatible with the
+    /// MVA recursion: every vector appears after all vectors with one fewer
+    /// customer.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            lattice: self,
+            next: Some(vec![0; self.target.len()]),
+        }
+    }
+}
+
+/// Iterator over a [`PopulationLattice`] in mixed-radix order.
+#[derive(Debug)]
+pub struct Iter<'a> {
+    lattice: &'a PopulationLattice,
+    next: Option<Vec<u32>>,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = Vec<u32>;
+
+    fn next(&mut self) -> Option<Vec<u32>> {
+        let current = self.next.take()?;
+        // Compute the successor in mixed-radix order (least-significant
+        // class last).
+        let mut succ = current.clone();
+        let target = &self.lattice.target;
+        let mut c = succ.len();
+        loop {
+            if c == 0 {
+                // overflowed every digit: done after yielding `current`
+                self.next = None;
+                break;
+            }
+            c -= 1;
+            if succ[c] < target[c] {
+                succ[c] += 1;
+                succ[c + 1..].fill(0);
+                self.next = Some(succ);
+                break;
+            }
+        }
+        Some(current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_class_lattice() {
+        let lat = PopulationLattice::new(&[3]);
+        let all: Vec<_> = lat.iter().collect();
+        assert_eq!(all, vec![vec![0], vec![1], vec![2], vec![3]]);
+        assert_eq!(lat.len(), 4);
+        for (i, n) in all.iter().enumerate() {
+            assert_eq!(lat.index(n), i);
+        }
+    }
+
+    #[test]
+    fn two_class_lattice_is_exhaustive_and_ordered() {
+        let lat = PopulationLattice::new(&[2, 2]);
+        let all: Vec<_> = lat.iter().collect();
+        assert_eq!(all.len(), 9);
+        assert_eq!(lat.len(), 9);
+        // indices are the iteration order
+        for (i, n) in all.iter().enumerate() {
+            assert_eq!(lat.index(n), i);
+        }
+        // recursion property: removing one customer decreases the index
+        for n in &all {
+            for c in 0..2 {
+                if n[c] > 0 {
+                    let mut m = n.clone();
+                    m[c] -= 1;
+                    assert!(lat.index(&m) < lat.index(n));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_population_lattice() {
+        let lat = PopulationLattice::new(&[0, 0]);
+        assert_eq!(lat.len(), 1);
+        assert_eq!(lat.iter().count(), 1);
+        assert_eq!(lat.index(&[0, 0]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds target")]
+    fn index_out_of_lattice_panics() {
+        let lat = PopulationLattice::new(&[1, 1]);
+        let _ = lat.index(&[2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_arity_panics() {
+        let lat = PopulationLattice::new(&[1, 1]);
+        let _ = lat.index(&[1]);
+    }
+}

@@ -1,0 +1,607 @@
+//! The exact multi-class MVA recursion.
+
+use crate::{Network, PopulationLattice, StationKind};
+
+/// The exact solution of a closed network at one population vector.
+///
+/// Produced by [`solve`]. All quantities are *per cycle* through the
+/// network: a residence time is the time a customer spends at a station per
+/// visit-weighted cycle, and throughput is cycles completed per time unit.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    classes: usize,
+    stations: usize,
+    /// `residence[k * classes + c]`
+    residence: Vec<f64>,
+    throughput: Vec<f64>,
+    /// `queue[k * classes + c]`: mean number of class-c customers at k.
+    queue: Vec<f64>,
+    demands_total: Vec<f64>,
+}
+
+impl Solution {
+    /// Assembles a solution from raw per-station/per-class arrays (used by
+    /// both the exact solver and the Schweitzer approximation).
+    pub(crate) fn from_parts(
+        network: &crate::Network,
+        residence: Vec<f64>,
+        throughput: Vec<f64>,
+        queue: Vec<f64>,
+    ) -> Self {
+        let classes = network.num_classes();
+        let stations = network.num_stations();
+        debug_assert_eq!(residence.len(), stations * classes);
+        debug_assert_eq!(throughput.len(), classes);
+        debug_assert_eq!(queue.len(), stations * classes);
+        Solution {
+            classes,
+            stations,
+            residence,
+            throughput,
+            queue,
+            demands_total: (0..classes).map(|c| network.total_demand(c)).collect(),
+        }
+    }
+
+    /// Mean residence time (queueing + service) of class `class` at
+    /// `station`, per cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    #[must_use]
+    pub fn residence(&self, station: usize, class: usize) -> f64 {
+        assert!(station < self.stations && class < self.classes);
+        self.residence[station * self.classes + class]
+    }
+
+    /// Mean number of class-`class` customers at `station`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    #[must_use]
+    pub fn queue_length(&self, station: usize, class: usize) -> f64 {
+        assert!(station < self.stations && class < self.classes);
+        self.queue[station * self.classes + class]
+    }
+
+    /// Mean total customers at `station` over all classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `station` is out of range.
+    #[must_use]
+    pub fn total_queue_length(&self, station: usize) -> f64 {
+        (0..self.classes)
+            .map(|c| self.queue[station * self.classes + c])
+            .sum()
+    }
+
+    /// Class throughput in cycles per time unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range.
+    #[must_use]
+    pub fn throughput(&self, class: usize) -> f64 {
+        self.throughput[class]
+    }
+
+    /// Total cycle residence time of a class: sum of residences across
+    /// stations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range.
+    #[must_use]
+    pub fn cycle_time(&self, class: usize) -> f64 {
+        (0..self.stations)
+            .map(|k| self.residence[k * self.classes + class])
+            .sum()
+    }
+
+    /// Expected *waiting* (non-service) time per cycle for a class: cycle
+    /// residence minus the class's total service demand. This is the
+    /// `W̄(x)` of Section 3.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range.
+    #[must_use]
+    pub fn waiting_per_cycle(&self, class: usize) -> f64 {
+        (self.cycle_time(class) - self.demands_total[class]).max(0.0)
+    }
+
+    /// Normalized waiting per cycle: waiting divided by the class's service
+    /// demand per cycle (`Ŵ(x) = W̄(x) / x` of Section 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range or its demand is zero.
+    #[must_use]
+    pub fn normalized_waiting(&self, class: usize) -> f64 {
+        let x = self.demands_total[class];
+        assert!(x > 0.0, "class {class} has zero demand");
+        self.waiting_per_cycle(class) / x
+    }
+}
+
+/// Solves `network` exactly at population `population` with the multi-class
+/// MVA recursion of Reiser & Lavenberg.
+///
+/// Classes with zero population contribute nothing and report zero
+/// throughput; their residence times are still defined (what a hypothetical
+/// arrival would see, by the arrival theorem).
+///
+/// Complexity is `O(K * C * prod_c (N_c + 1))` time and
+/// `O(K * prod_c (N_c + 1))` space for `K` stations and `C` classes — the
+/// allocation study uses a handful of customers, far below any limit.
+///
+/// # Panics
+///
+/// Panics if `population.len() != network.num_classes()`.
+///
+/// # Example
+///
+/// Single class, single queueing station — the closed-form cyclic queue:
+///
+/// ```
+/// use dqa_mva::{Network, StationKind, solve};
+///
+/// let net = Network::builder(1)
+///     .station("cpu", StationKind::Queueing, [2.0])
+///     .build()?;
+/// let sol = solve(&net, &[3]);
+/// // All three customers queue at the only station: R = N * D.
+/// assert!((sol.residence(0, 0) - 6.0).abs() < 1e-12);
+/// assert!((sol.throughput(0) - 0.5).abs() < 1e-12);
+/// # Ok::<(), dqa_mva::NetworkError>(())
+/// ```
+#[must_use]
+pub fn solve(network: &Network, population: &[u32]) -> Solution {
+    let classes = network.num_classes();
+    let stations = network.num_stations();
+    assert_eq!(
+        population.len(),
+        classes,
+        "population vector has wrong arity"
+    );
+
+    let lattice = PopulationLattice::new(population);
+    let total_target: u32 = population.iter().sum();
+    // Total queue length per station for every visited population vector.
+    let mut queues = vec![0.0f64; lattice.len() * stations];
+
+    // Marginal queue-length distributions for multiserver stations:
+    // probs[i][idx * (total_target + 1) + j] = P(j customers at the i-th
+    // multiserver station | population vector idx).
+    let ms_stations: Vec<(usize, u32)> = (0..stations)
+        .filter_map(|k| match network.kind(k) {
+            StationKind::MultiServer { servers } => Some((k, servers)),
+            _ => None,
+        })
+        .collect();
+    let ms_index: Vec<Option<usize>> = {
+        let mut map = vec![None; stations];
+        for (i, &(k, _)) in ms_stations.iter().enumerate() {
+            map[k] = Some(i);
+        }
+        map
+    };
+    let stride = total_target as usize + 1;
+    let mut probs = vec![vec![0.0f64; lattice.len() * stride]; ms_stations.len()];
+
+    let mut residence = vec![0.0f64; stations * classes];
+    let mut throughput = vec![0.0f64; classes];
+    let mut queue_by_class = vec![0.0f64; stations * classes];
+
+    // Residence time of a class-c arrival at station k, seeing the
+    // network at the reduced population vector `ridx` (with `rtotal`
+    // customers).
+    let arrival_residence = |k: usize,
+                             c: usize,
+                             ridx: usize,
+                             rtotal: u32,
+                             queues: &[f64],
+                             probs: &[Vec<f64>]| {
+        let d = network.demand(k, c);
+        match network.kind(k) {
+            StationKind::Queueing => d * (1.0 + queues[ridx * stations + k]),
+            StationKind::Delay => d,
+            StationKind::MultiServer { servers } => {
+                // R = D * Σ_j (j+1)/min(j+1, m) * P(j | reduced): the
+                // arrival joins j residents and they share min(j+1, m)
+                // servers (exact load-dependent MVA).
+                let p = &probs[ms_index[k].expect("multiserver indexed")];
+                let mut r = 0.0;
+                for j in 0..=rtotal {
+                    let a = (j + 1).min(servers);
+                    r += f64::from(j + 1) / f64::from(a) * p[ridx * stride + j as usize];
+                }
+                d * r
+            }
+        }
+    };
+
+    for n in lattice.iter() {
+        let idx = lattice.index(&n);
+        let total_n: u32 = n.iter().sum();
+        residence.iter_mut().for_each(|r| *r = 0.0);
+        throughput.iter_mut().for_each(|x| *x = 0.0);
+        queue_by_class.iter_mut().for_each(|q| *q = 0.0);
+
+        // Residence times via the arrival theorem: a class-c arrival sees
+        // the network at population n - e_c.
+        for c in 0..classes {
+            if n[c] == 0 {
+                continue;
+            }
+            let mut reduced = n.clone();
+            reduced[c] -= 1;
+            let ridx = lattice.index(&reduced);
+            for k in 0..stations {
+                residence[k * classes + c] =
+                    arrival_residence(k, c, ridx, total_n - 1, &queues, &probs);
+            }
+        }
+
+        // Throughputs and per-class queue lengths (Little's law).
+        for c in 0..classes {
+            if n[c] == 0 {
+                continue;
+            }
+            let cycle: f64 = (0..stations).map(|k| residence[k * classes + c]).sum();
+            // cycle can be zero only if every demand is zero; avoid 0/0.
+            throughput[c] = if cycle > 0.0 {
+                n[c] as f64 / cycle
+            } else {
+                0.0
+            };
+            for k in 0..stations {
+                queue_by_class[k * classes + c] = throughput[c] * residence[k * classes + c];
+            }
+        }
+
+        // Total queue lengths for this vector feed later recursion steps.
+        for k in 0..stations {
+            queues[idx * stations + k] =
+                (0..classes).map(|c| queue_by_class[k * classes + c]).sum();
+        }
+
+        // Marginal distributions for multiserver stations at this vector:
+        // P(j|n) = (1/min(j,m)) Σ_c X_c D_kc P(j-1 | n - e_c), with P(0|n)
+        // by normalization.
+        for (i, &(k, servers)) in ms_stations.iter().enumerate() {
+            let mut psum = 0.0;
+            for j in 1..=total_n {
+                let mut v = 0.0;
+                for c in 0..classes {
+                    if n[c] == 0 {
+                        continue;
+                    }
+                    let mut reduced = n.clone();
+                    reduced[c] -= 1;
+                    let ridx = lattice.index(&reduced);
+                    v += throughput[c]
+                        * network.demand(k, c)
+                        * probs[i][ridx * stride + (j - 1) as usize];
+                }
+                let p = v / f64::from(j.min(servers));
+                probs[i][idx * stride + j as usize] = p;
+                psum += p;
+            }
+            probs[i][idx * stride] = (1.0 - psum).max(0.0);
+        }
+    }
+
+    // Residence times reported for zero-population classes: what an arrival
+    // would see at the *target* population minus itself — i.e. computed
+    // against the full-population state.
+    let full_idx = lattice.index(population);
+    for c in 0..classes {
+        if population[c] == 0 {
+            for k in 0..stations {
+                residence[k * classes + c] =
+                    arrival_residence(k, c, full_idx, total_target, &queues, &probs);
+            }
+        }
+    }
+
+    Solution {
+        classes,
+        stations,
+        residence,
+        throughput,
+        queue: queue_by_class,
+        demands_total: (0..classes).map(|c| network.total_demand(c)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn single_station(demand: f64) -> Network {
+        Network::builder(1)
+            .station("q", StationKind::Queueing, [demand])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn one_customer_sees_no_queueing() {
+        let net = single_station(3.0);
+        let sol = solve(&net, &[1]);
+        assert!((sol.residence(0, 0) - 3.0).abs() < 1e-12);
+        assert!((sol.throughput(0) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(sol.waiting_per_cycle(0), 0.0);
+    }
+
+    #[test]
+    fn n_customers_single_station_r_is_n_d() {
+        // In a single-station closed network every customer queues behind
+        // the other N-1: R = N * D exactly.
+        let net = single_station(2.0);
+        for n in 1..6 {
+            let sol = solve(&net, &[n]);
+            assert!((sol.residence(0, 0) - 2.0 * n as f64).abs() < 1e-9);
+            assert!((sol.throughput(0) - 0.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn delay_station_never_queues() {
+        let net = Network::builder(1)
+            .station("terminals", StationKind::Delay, [10.0])
+            .station("cpu", StationKind::Queueing, [1.0])
+            .build()
+            .unwrap();
+        let sol = solve(&net, &[5]);
+        assert_eq!(sol.residence(0, 0), 10.0);
+        assert!(sol.residence(1, 0) > 1.0);
+    }
+
+    #[test]
+    fn matches_repairman_closed_form() {
+        // Machine repairman = delay (think) + single queueing station; the
+        // dqa-queueing closed form must agree with MVA.
+        let think = 50.0;
+        let service = 2.0;
+        let net = Network::builder(1)
+            .station("think", StationKind::Delay, [think])
+            .station("server", StationKind::Queueing, [service])
+            .build()
+            .unwrap();
+        for n in [1u32, 5, 10, 20] {
+            let sol = solve(&net, &[n]);
+            let x = dqa_queueing_repairman(n, think, service);
+            assert!(
+                (sol.throughput(0) - x).abs() < 1e-9,
+                "n = {n}: {} vs {x}",
+                sol.throughput(0)
+            );
+        }
+    }
+
+    /// Local copy of the repairman recursion to avoid a circular dev-dep.
+    fn dqa_queueing_repairman(n: u32, think: f64, service: f64) -> f64 {
+        let mut q = 0.0;
+        let mut x = 0.0;
+        for k in 1..=n {
+            let r = service * (1.0 + q);
+            x = k as f64 / (think + r);
+            q = x * r;
+        }
+        x
+    }
+
+    #[test]
+    fn two_class_symmetric_network_is_symmetric() {
+        let net = Network::builder(2)
+            .station("a", StationKind::Queueing, [1.0, 1.0])
+            .station("b", StationKind::Queueing, [2.0, 2.0])
+            .build()
+            .unwrap();
+        let sol = solve(&net, &[2, 2]);
+        assert!((sol.throughput(0) - sol.throughput(1)).abs() < 1e-12);
+        assert!((sol.residence(0, 0) - sol.residence(0, 1)).abs() < 1e-12);
+        assert!((sol.queue_length(1, 0) - sol.queue_length(1, 1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn queue_lengths_sum_to_population() {
+        let net = Network::builder(2)
+            .station("cpu", StationKind::Queueing, [0.05, 1.0])
+            .station("d0", StationKind::Queueing, [0.5, 0.5])
+            .station("d1", StationKind::Queueing, [0.5, 0.5])
+            .build()
+            .unwrap();
+        let pop = [3u32, 2];
+        let sol = solve(&net, &pop);
+        let total: f64 = (0..3).map(|k| sol.total_queue_length(k)).sum();
+        assert!((total - 5.0).abs() < 1e-9, "total queue {total}");
+    }
+
+    #[test]
+    fn residence_monotone_in_population() {
+        let net = single_station(1.0);
+        let mut prev = 0.0;
+        for n in 1..10 {
+            let r = solve(&net, &[n]).residence(0, 0);
+            assert!(r > prev);
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn cpu_bound_class_waits_more_at_loaded_cpu() {
+        // CPU is crowded with CPU-bound customers: an I/O-bound customer's
+        // normalized waiting should be lower than the CPU-bound one's.
+        let net = Network::builder(2)
+            .station("cpu", StationKind::Queueing, [0.05, 1.0])
+            .station("disk", StationKind::Queueing, [1.0, 1.0])
+            .build()
+            .unwrap();
+        let sol = solve(&net, &[1, 3]);
+        assert!(sol.normalized_waiting(1) > 0.0);
+        assert!(sol.waiting_per_cycle(1) > sol.waiting_per_cycle(0));
+    }
+
+    #[test]
+    fn zero_population_class_reports_arrival_view() {
+        let net = Network::builder(2)
+            .station("cpu", StationKind::Queueing, [0.5, 1.0])
+            .build()
+            .unwrap();
+        let sol = solve(&net, &[2, 0]);
+        assert_eq!(sol.throughput(1), 0.0);
+        // An arriving class-1 customer would see the 2 class-0 customers'
+        // mean queue: R = D * (1 + Q_full).
+        let q_full = sol.total_queue_length(0);
+        assert!((sol.residence(0, 1) - (1.0 + q_full)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_population_is_all_zeros() {
+        let net = single_station(1.0);
+        let sol = solve(&net, &[0]);
+        assert_eq!(sol.throughput(0), 0.0);
+        assert_eq!(sol.total_queue_length(0), 0.0);
+        // an arrival to an empty system sees bare demand
+        assert!((sol.residence(0, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong arity")]
+    fn population_arity_checked() {
+        let net = single_station(1.0);
+        let _ = solve(&net, &[1, 2]);
+    }
+
+    // ------------------------------------------------------------------
+    // Multiserver (load-dependent) stations
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn one_server_multiserver_equals_queueing() {
+        let q = Network::builder(2)
+            .station("a", StationKind::Queueing, [0.4, 1.3])
+            .station("b", StationKind::Queueing, [1.0, 0.2])
+            .build()
+            .unwrap();
+        let ms = Network::builder(2)
+            .station("a", StationKind::MultiServer { servers: 1 }, [0.4, 1.3])
+            .station("b", StationKind::Queueing, [1.0, 0.2])
+            .build()
+            .unwrap();
+        for pop in [[1, 1], [3, 2], [0, 4]] {
+            let sq = solve(&q, &pop);
+            let sm = solve(&ms, &pop);
+            for c in 0..2 {
+                assert!(
+                    (sq.throughput(c) - sm.throughput(c)).abs() < 1e-9,
+                    "pop {pop:?} class {c}: {} vs {}",
+                    sq.throughput(c),
+                    sm.throughput(c)
+                );
+                for k in 0..2 {
+                    assert!((sq.residence(k, c) - sm.residence(k, c)).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ample_servers_behave_like_delay() {
+        // With at least as many servers as customers, nobody ever queues:
+        // residence equals demand, like an infinite-server station.
+        let net = Network::builder(1)
+            .station("ms", StationKind::MultiServer { servers: 8 }, [2.0])
+            .station("q", StationKind::Queueing, [1.0])
+            .build()
+            .unwrap();
+        let sol = solve(&net, &[5]);
+        assert!(
+            (sol.residence(0, 0) - 2.0).abs() < 1e-9,
+            "residence {} should equal demand",
+            sol.residence(0, 0)
+        );
+    }
+
+    #[test]
+    fn multiserver_matches_convolution_oracle() {
+        // Independent oracle: Buzen's convolution algorithm for a cyclic
+        // single-class network of one m-server station (demand d, rate
+        // multiplier min(j, m)) and one single-server station (demand e).
+        fn convolution_throughput(d: f64, m: u32, e: f64, n: u32) -> f64 {
+            // f_ms(j) = d^j / prod_{i=1}^{j} min(i, m); f_q(j) = e^j
+            let beta = |j: u32| -> f64 {
+                (1..=j).map(|i| f64::from(i.min(m))).product::<f64>()
+            };
+            let g = |pop: u32| -> f64 {
+                (0..=pop)
+                    .map(|j| d.powi(j as i32) / beta(j) * e.powi((pop - j) as i32))
+                    .sum()
+            };
+            g(n - 1) / g(n)
+        }
+
+        for (d, m, e, n) in [
+            (1.0, 2, 1.0, 3u32),
+            (2.0, 2, 0.5, 4),
+            (0.7, 3, 1.1, 5),
+            (1.5, 2, 1.5, 2),
+        ] {
+            let net = Network::builder(1)
+                .station("ms", StationKind::MultiServer { servers: m }, [d])
+                .station("q", StationKind::Queueing, [e])
+                .build()
+                .unwrap();
+            let x_mva = solve(&net, &[n]).throughput(0);
+            let x_conv = convolution_throughput(d, m, e, n);
+            assert!(
+                (x_mva - x_conv).abs() < 1e-9,
+                "d={d} m={m} e={e} n={n}: MVA {x_mva} vs convolution {x_conv}"
+            );
+        }
+    }
+
+    #[test]
+    fn two_servers_beat_one_fast_queue_is_beaten_by_delay() {
+        // Sandwich property at equal total capacity: for the same demand,
+        // residence(1 server) >= residence(2 servers) >= residence(inf).
+        let mk = |kind: StationKind| {
+            Network::builder(1)
+                .station("s", kind, [1.0])
+                .station("q", StationKind::Queueing, [1.0])
+                .build()
+                .unwrap()
+        };
+        let one = solve(&mk(StationKind::Queueing), &[4]).residence(0, 0);
+        let two = solve(&mk(StationKind::MultiServer { servers: 2 }), &[4]).residence(0, 0);
+        let inf = solve(&mk(StationKind::Delay), &[4]).residence(0, 0);
+        assert!(one > two, "one {one} vs two {two}");
+        assert!(two > inf, "two {two} vs inf {inf}");
+    }
+
+    #[test]
+    fn multiserver_queue_lengths_sum_to_population() {
+        let net = Network::builder(2)
+            .station("cpu", StationKind::Queueing, [0.05, 1.0])
+            .station("disks", StationKind::MultiServer { servers: 2 }, [1.0, 1.0])
+            .build()
+            .unwrap();
+        let sol = solve(&net, &[3, 2]);
+        let total: f64 = (0..2).map(|k| sol.total_queue_length(k)).sum();
+        assert!((total - 5.0).abs() < 1e-9, "total {total}");
+    }
+
+    #[test]
+    fn zero_server_multiserver_rejected() {
+        let err = Network::builder(1)
+            .station("bad", StationKind::MultiServer { servers: 0 }, [1.0])
+            .build();
+        assert!(err.is_err());
+    }
+}

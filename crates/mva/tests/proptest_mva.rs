@@ -1,0 +1,202 @@
+//! Property-based tests of the exact MVA solver: conservation laws,
+//! Little's law, monotonicity, and symmetry across random networks.
+
+use dqa_mva::allocation::{analyze_arrival, LoadMatrix, StudyConfig};
+use dqa_mva::{solve, Network, StationKind};
+use proptest::prelude::*;
+
+/// A random 2-class network with 1-4 queueing stations and optionally a
+/// delay station.
+fn arb_network() -> impl Strategy<Value = Network> {
+    (
+        prop::collection::vec((0.01f64..5.0, 0.01f64..5.0), 1..5),
+        prop::option::of((0.1f64..50.0, 0.1f64..50.0)),
+    )
+        .prop_map(|(stations, delay)| {
+            let mut b = Network::builder(2);
+            for (k, (d0, d1)) in stations.into_iter().enumerate() {
+                b = b.station(&format!("q{k}"), StationKind::Queueing, [d0, d1]);
+            }
+            if let Some((z0, z1)) = delay {
+                b = b.station("think", StationKind::Delay, [z0, z1]);
+            }
+            b.build().expect("valid random network")
+        })
+}
+
+proptest! {
+    /// Mean queue lengths over all stations sum to the population.
+    #[test]
+    fn queue_lengths_sum_to_population(
+        net in arb_network(),
+        n0 in 0u32..6,
+        n1 in 0u32..6,
+    ) {
+        let sol = solve(&net, &[n0, n1]);
+        let total: f64 = (0..net.num_stations()).map(|k| sol.total_queue_length(k)).sum();
+        let pop = f64::from(n0 + n1);
+        prop_assert!((total - pop).abs() < 1e-6 * (1.0 + pop),
+            "queues sum to {} != population {}", total, pop);
+    }
+
+    /// Little's law holds per class and station:
+    /// Q_kc = X_c * R_kc.
+    #[test]
+    fn littles_law_per_station(net in arb_network(), n0 in 1u32..5, n1 in 1u32..5) {
+        let sol = solve(&net, &[n0, n1]);
+        for k in 0..net.num_stations() {
+            for c in 0..2 {
+                let expected = sol.throughput(c) * sol.residence(k, c);
+                prop_assert!((sol.queue_length(k, c) - expected).abs() < 1e-9,
+                    "Little's law broken at station {} class {}", k, c);
+            }
+        }
+    }
+
+    /// Cycle time never decreases when a customer is added to either
+    /// class (more contention can only slow you down).
+    #[test]
+    fn residence_monotone_in_population(net in arb_network(), n0 in 1u32..5, n1 in 1u32..5) {
+        let base = solve(&net, &[n0, n1]);
+        let more0 = solve(&net, &[n0 + 1, n1]);
+        let more1 = solve(&net, &[n0, n1 + 1]);
+        for c in 0..2 {
+            prop_assert!(more0.cycle_time(c) >= base.cycle_time(c) - 1e-9);
+            prop_assert!(more1.cycle_time(c) >= base.cycle_time(c) - 1e-9);
+        }
+    }
+
+    /// Throughputs are positive for populated classes and bounded by the
+    /// bottleneck station: X_c <= 1 / max_k D_kc.
+    #[test]
+    fn throughput_bounded_by_bottleneck(net in arb_network(), n0 in 1u32..6, n1 in 0u32..6) {
+        let sol = solve(&net, &[n0, n1]);
+        for (c, &n) in [n0, n1].iter().enumerate() {
+            if n == 0 {
+                prop_assert_eq!(sol.throughput(c), 0.0);
+                continue;
+            }
+            prop_assert!(sol.throughput(c) > 0.0);
+            // The utilization-law bound X <= 1/D applies to single-server
+            // (queueing) stations only; delay stations serve in parallel.
+            let bottleneck = (0..net.num_stations())
+                .filter(|&k| net.kind(k) == StationKind::Queueing)
+                .map(|k| net.demand(k, c))
+                .fold(0.0f64, f64::max);
+            if bottleneck > 0.0 {
+                prop_assert!(sol.throughput(c) <= 1.0 / bottleneck + 1e-9);
+            }
+        }
+    }
+
+    /// With identical demands and populations, the two classes are
+    /// exchangeable.
+    #[test]
+    fn symmetric_classes_are_exchangeable(
+        demands in prop::collection::vec(0.01f64..5.0, 1..5),
+        n in 1u32..5,
+    ) {
+        let mut b = Network::builder(2);
+        for (k, &d) in demands.iter().enumerate() {
+            b = b.station(&format!("q{k}"), StationKind::Queueing, [d, d]);
+        }
+        let net = b.build().unwrap();
+        let sol = solve(&net, &[n, n]);
+        prop_assert!((sol.throughput(0) - sol.throughput(1)).abs() < 1e-9);
+        for k in 0..net.num_stations() {
+            prop_assert!((sol.residence(k, 0) - sol.residence(k, 1)).abs() < 1e-9);
+        }
+    }
+
+    /// The allocation study's improvement factors always land in [0, 1],
+    /// the optimum is never worse than BNQ, and both sides are finite.
+    #[test]
+    fn improvement_factors_well_formed(
+        counts in prop::collection::vec(0u32..4, 8),
+        cpu_io in 0.01f64..0.49,
+        cpu_cpu in 0.5f64..3.0,
+        class in 0usize..2,
+    ) {
+        let load = LoadMatrix::new([
+            [counts[0], counts[1], counts[2], counts[3]],
+            [counts[4], counts[5], counts[6], counts[7]],
+        ]);
+        let cfg = StudyConfig::new(cpu_io, cpu_cpu);
+        let a = analyze_arrival(&cfg, &load, class);
+        prop_assert!(a.waiting_bnq.is_finite() && a.waiting_opt.is_finite());
+        prop_assert!(a.waiting_opt <= a.waiting_bnq + 1e-9);
+        prop_assert!(a.fairness_opt <= a.fairness_bnq + 1e-9);
+        prop_assert!((0.0..=1.0).contains(&a.wif()));
+        prop_assert!((0.0..=1.0).contains(&a.fif()));
+        prop_assert!(!a.bnq_candidates.is_empty());
+        prop_assert!(a.opt_site < LoadMatrix::SITES);
+    }
+
+    /// A one-server multiserver station is exactly a load-independent
+    /// queueing station.
+    #[test]
+    fn single_server_multiserver_equivalence(
+        demands in prop::collection::vec((0.01f64..5.0, 0.01f64..5.0), 1..4),
+        n0 in 0u32..4,
+        n1 in 0u32..4,
+    ) {
+        let build = |first_kind: StationKind| {
+            let mut b = Network::builder(2);
+            for (k, &(d0, d1)) in demands.iter().enumerate() {
+                let kind = if k == 0 { first_kind } else { StationKind::Queueing };
+                b = b.station(&format!("q{k}"), kind, [d0, d1]);
+            }
+            b.build().unwrap()
+        };
+        let plain = solve(&build(StationKind::Queueing), &[n0, n1]);
+        let ms = solve(&build(StationKind::MultiServer { servers: 1 }), &[n0, n1]);
+        for c in 0..2 {
+            prop_assert!((plain.throughput(c) - ms.throughput(c)).abs() < 1e-9);
+            for k in 0..demands.len() {
+                prop_assert!((plain.residence(k, c) - ms.residence(k, c)).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// More servers never increase residence, and infinitely many (>=
+    /// population) pin it at the bare demand.
+    #[test]
+    fn multiserver_residence_monotone_in_servers(
+        d in 0.1f64..5.0,
+        e in 0.1f64..5.0,
+        n in 1u32..6,
+    ) {
+        let solve_with = |servers: u32| {
+            let net = Network::builder(1)
+                .station("ms", StationKind::MultiServer { servers }, [d])
+                .station("q", StationKind::Queueing, [e])
+                .build()
+                .unwrap();
+            solve(&net, &[n]).residence(0, 0)
+        };
+        let mut prev = f64::INFINITY;
+        for m in 1..=n {
+            let r = solve_with(m);
+            prop_assert!(r <= prev + 1e-9, "residence rose with servers: {} -> {}", prev, r);
+            prev = r;
+        }
+        let ample = solve_with(n);
+        prop_assert!((ample - d).abs() < 1e-9, "ample servers should yield bare demand");
+    }
+
+    /// A completely empty system: any arrival waits zero everywhere, so
+    /// both factors are exactly zero.
+    #[test]
+    fn empty_system_has_no_improvement(
+        cpu_io in 0.01f64..0.49,
+        cpu_cpu in 0.5f64..3.0,
+        class in 0usize..2,
+    ) {
+        let cfg = StudyConfig::new(cpu_io, cpu_cpu);
+        let load = LoadMatrix::new([[0, 0, 0, 0], [0, 0, 0, 0]]);
+        let a = analyze_arrival(&cfg, &load, class);
+        prop_assert!(a.waiting_bnq.abs() < 1e-12);
+        prop_assert_eq!(a.wif(), 0.0);
+        prop_assert_eq!(a.fif(), 0.0);
+    }
+}

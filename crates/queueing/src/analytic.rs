@@ -1,0 +1,222 @@
+//! Closed-form queueing results used to validate the simulation components.
+//!
+//! These are the standard formulas from Kleinrock's *Queueing Systems*
+//! (which the paper cites for the M/G/1-PS fairness result in Section 3).
+//! The test suites simulate the corresponding systems with the [`crate`]
+//! components and check agreement, which pins down both the station logic
+//! and the statistics pipeline.
+
+/// Mean response time (wait + service) of an M/M/1 FCFS queue.
+///
+/// # Panics
+///
+/// Panics unless `0 <= lambda < mu` (the queue must be stable).
+///
+/// # Example
+///
+/// ```
+/// use dqa_queueing::analytic::mm1_response;
+/// // rho = 0.5, E[S] = 1: response = 1 / (mu - lambda) = 2
+/// assert_eq!(mm1_response(0.5, 1.0), 2.0);
+/// ```
+#[must_use]
+pub fn mm1_response(lambda: f64, mu: f64) -> f64 {
+    assert!(
+        lambda >= 0.0 && lambda < mu,
+        "unstable M/M/1: lambda {lambda} >= mu {mu}"
+    );
+    1.0 / (mu - lambda)
+}
+
+/// Mean waiting (queueing) time of an M/M/1 FCFS queue.
+///
+/// # Panics
+///
+/// Panics unless `0 <= lambda < mu`.
+#[must_use]
+pub fn mm1_wait(lambda: f64, mu: f64) -> f64 {
+    mm1_response(lambda, mu) - 1.0 / mu
+}
+
+/// Time-averaged number in system of an M/M/1 queue.
+///
+/// # Panics
+///
+/// Panics unless `0 <= lambda < mu`.
+#[must_use]
+pub fn mm1_number_in_system(lambda: f64, mu: f64) -> f64 {
+    let rho = lambda / mu;
+    assert!(rho < 1.0, "unstable M/M/1");
+    rho / (1.0 - rho)
+}
+
+/// The Erlang-C probability that an arriving M/M/c customer must wait.
+///
+/// # Panics
+///
+/// Panics unless `c >= 1` and `lambda < c * mu`.
+#[must_use]
+pub fn erlang_c(c: u32, lambda: f64, mu: f64) -> f64 {
+    assert!(c >= 1, "need at least one server");
+    let a = lambda / mu; // offered load in Erlangs
+    assert!(a < c as f64, "unstable M/M/c: offered load {a} >= c {c}");
+    // sum_{k=0}^{c-1} a^k / k!  computed iteratively
+    let mut term = 1.0;
+    let mut sum = 1.0;
+    for k in 1..c {
+        term *= a / k as f64;
+        sum += term;
+    }
+    let term_c = term * a / c as f64;
+    let rho = a / c as f64;
+    let top = term_c / (1.0 - rho);
+    top / (sum + top)
+}
+
+/// Mean waiting time of an M/M/c FCFS queue.
+///
+/// # Panics
+///
+/// Panics unless `c >= 1` and `lambda < c * mu`.
+#[must_use]
+pub fn mmc_wait(c: u32, lambda: f64, mu: f64) -> f64 {
+    let pw = erlang_c(c, lambda, mu);
+    pw / (c as f64 * mu - lambda)
+}
+
+/// Mean response time of an M/M/c FCFS queue.
+///
+/// # Panics
+///
+/// Panics unless `c >= 1` and `lambda < c * mu`.
+#[must_use]
+pub fn mmc_response(c: u32, lambda: f64, mu: f64) -> f64 {
+    mmc_wait(c, lambda, mu) + 1.0 / mu
+}
+
+/// Mean response time of an M/G/1 processor-sharing queue for a job of
+/// expected size `service`.
+///
+/// Under PS, the conditional response time is `x / (1 - rho)` — every job
+/// has the same *normalized* response time, the fairness property the paper
+/// invokes in Section 3.
+///
+/// # Panics
+///
+/// Panics unless `0 <= rho < 1`.
+#[must_use]
+pub fn mg1_ps_response(service: f64, rho: f64) -> f64 {
+    assert!((0.0..1.0).contains(&rho), "invalid utilization {rho}");
+    service / (1.0 - rho)
+}
+
+/// Throughput of the classic "machine repairman" interactive system:
+/// `n` terminals with mean think time `think`, one exponential FCFS server
+/// with mean service `service`. Computed by single-class MVA recursion.
+///
+/// # Panics
+///
+/// Panics if `think < 0` or `service <= 0`.
+#[must_use]
+pub fn repairman_throughput(n: u32, think: f64, service: f64) -> f64 {
+    assert!(think >= 0.0, "negative think time");
+    assert!(service > 0.0, "service must be positive");
+    let mut q = 0.0; // mean queue length seen at the server
+    let mut x = 0.0;
+    for k in 1..=n {
+        let r = service * (1.0 + q); // arrival theorem
+        x = k as f64 / (think + r);
+        q = x * r; // Little's law at the server
+    }
+    x
+}
+
+/// Mean response time (time at the server) in the machine-repairman system.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `think < 0`, or `service <= 0`.
+#[must_use]
+pub fn repairman_response(n: u32, think: f64, service: f64) -> f64 {
+    assert!(n > 0, "need at least one terminal");
+    let x = repairman_throughput(n, think, service);
+    n as f64 / x - think
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mm1_textbook_values() {
+        // rho = 0.8, mu = 1: W = rho/(mu - lambda) = 4, R = 5, L = 4
+        assert!((mm1_wait(0.8, 1.0) - 4.0).abs() < 1e-12);
+        assert!((mm1_response(0.8, 1.0) - 5.0).abs() < 1e-12);
+        assert!((mm1_number_in_system(0.8, 1.0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn erlang_c_single_server_equals_rho() {
+        // For c = 1, P(wait) = rho.
+        for &rho in &[0.1, 0.5, 0.9] {
+            assert!((erlang_c(1, rho, 1.0) - rho).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mmc_reduces_to_mm1() {
+        assert!((mmc_wait(1, 0.7, 1.0) - mm1_wait(0.7, 1.0)).abs() < 1e-12);
+        assert!((mmc_response(1, 0.7, 1.0) - mm1_response(0.7, 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mm2_known_value() {
+        // M/M/2 with lambda = 1, mu = 1 (rho = 0.5): Erlang C = 1/3,
+        // W = (1/3)/(2 - 1) = 1/3.
+        assert!((erlang_c(2, 1.0, 1.0) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((mmc_wait(2, 1.0, 1.0) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_servers_less_waiting() {
+        let w2 = mmc_wait(2, 1.5, 1.0);
+        let w3 = mmc_wait(3, 1.5, 1.0);
+        let w4 = mmc_wait(4, 1.5, 1.0);
+        assert!(w2 > w3 && w3 > w4);
+    }
+
+    #[test]
+    fn ps_normalized_response_is_constant() {
+        let rho = 0.6;
+        let r1 = mg1_ps_response(1.0, rho) / 1.0;
+        let r2 = mg1_ps_response(5.0, rho) / 5.0;
+        assert!((r1 - r2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repairman_limits() {
+        // With one terminal there is no queueing: X = 1/(Z + S).
+        let x1 = repairman_throughput(1, 10.0, 1.0);
+        assert!((x1 - 1.0 / 11.0).abs() < 1e-12);
+        assert!((repairman_response(1, 10.0, 1.0) - 1.0).abs() < 1e-12);
+        // Saturation: X -> 1/S as N grows.
+        let x_big = repairman_throughput(200, 10.0, 1.0);
+        assert!((x_big - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn repairman_response_monotone_in_population() {
+        let mut prev = 0.0;
+        for n in 1..30 {
+            let r = repairman_response(n, 50.0, 2.0);
+            assert!(r >= prev - 1e-12, "response not monotone at n = {n}");
+            prev = r;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unstable")]
+    fn mm1_rejects_unstable() {
+        let _ = mm1_response(2.0, 1.0);
+    }
+}

@@ -1,0 +1,247 @@
+//! A single-server first-come-first-served queue (the disk model).
+
+use std::collections::VecDeque;
+
+use dqa_sim::stats::TimeWeighted;
+use dqa_sim::SimTime;
+
+/// A single-server FCFS queue.
+///
+/// The paper models each disk as an FCFS server: page-read requests are
+/// served one at a time in arrival order, and service times never change
+/// once started, so completions never need to be cancelled.
+///
+/// The queue is generic over a job tag `J` (the host model typically stores
+/// a query identifier). The host drives it with two calls:
+///
+/// * [`FcfsQueue::arrive`] — a job arrives; if the server was idle the job
+///   starts immediately and the call returns its completion time for the
+///   host to schedule.
+/// * [`FcfsQueue::complete`] — the host's completion event fired; the
+///   finished job is returned along with the completion time of the next
+///   job, if one was waiting.
+///
+/// # Example
+///
+/// ```
+/// use dqa_queueing::FcfsQueue;
+/// use dqa_sim::SimTime;
+///
+/// let mut disk: FcfsQueue<&str> = FcfsQueue::new(SimTime::ZERO);
+/// // "a" starts service immediately.
+/// assert_eq!(disk.arrive(SimTime::new(0.0), "a", 2.0), Some(SimTime::new(2.0)));
+/// // "b" has to wait behind "a".
+/// assert_eq!(disk.arrive(SimTime::new(1.0), "b", 2.0), None);
+/// // "a" finishes; "b" starts and will finish at t = 4.
+/// let (done, next) = disk.complete(SimTime::new(2.0));
+/// assert_eq!(done, "a");
+/// assert_eq!(next, Some(SimTime::new(4.0)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FcfsQueue<J> {
+    /// Waiting jobs (not including the one in service).
+    waiting: VecDeque<(J, f64)>,
+    /// The job currently in service, if any.
+    in_service: Option<J>,
+    /// Time-weighted number in system (queue + service).
+    population: TimeWeighted,
+    /// Time-weighted busy indicator.
+    busy: TimeWeighted,
+    completions: u64,
+    total_service: f64,
+}
+
+impl<J> FcfsQueue<J> {
+    /// Creates an empty, idle queue whose statistics start at `start`.
+    #[must_use]
+    pub fn new(start: SimTime) -> Self {
+        FcfsQueue {
+            waiting: VecDeque::new(),
+            in_service: None,
+            population: TimeWeighted::new(start, 0.0),
+            busy: TimeWeighted::new(start, 0.0),
+            completions: 0,
+            total_service: 0.0,
+        }
+    }
+
+    /// A job arrives with the given service requirement.
+    ///
+    /// Returns `Some(completion_time)` if the job enters service
+    /// immediately (the host must schedule a completion event for it);
+    /// `None` if it queued behind others.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `service` is negative or not finite.
+    pub fn arrive(&mut self, now: SimTime, job: J, service: f64) -> Option<SimTime> {
+        assert!(
+            service.is_finite() && service >= 0.0,
+            "invalid service time {service}"
+        );
+        self.population.add(now, 1.0);
+        if self.in_service.is_none() {
+            self.in_service = Some(job);
+            self.busy.set(now, 1.0);
+            self.total_service += service;
+            Some(now + service)
+        } else {
+            self.waiting.push_back((job, service));
+            None
+        }
+    }
+
+    /// The host's completion event fired: the job in service finishes.
+    ///
+    /// Returns the finished job and, if another job was waiting, the
+    /// completion time of that next job (which the host must schedule).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server is idle — that indicates the host delivered a
+    /// completion event that was never issued.
+    pub fn complete(&mut self, now: SimTime) -> (J, Option<SimTime>) {
+        let done = self
+            .in_service
+            .take()
+            .expect("FCFS completion with idle server");
+        self.completions += 1;
+        self.population.add(now, -1.0);
+        match self.waiting.pop_front() {
+            Some((job, service)) => {
+                self.in_service = Some(job);
+                self.total_service += service;
+                (done, Some(now + service))
+            }
+            None => {
+                self.busy.set(now, 0.0);
+                (done, None)
+            }
+        }
+    }
+
+    /// Number of jobs in the system (waiting plus in service).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.waiting.len() + usize::from(self.in_service.is_some())
+    }
+
+    /// Returns `true` if the station is empty and idle.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns `true` if a job is in service.
+    #[must_use]
+    pub fn is_busy(&self) -> bool {
+        self.in_service.is_some()
+    }
+
+    /// Jobs that have completed service.
+    #[must_use]
+    pub fn completions(&self) -> u64 {
+        self.completions
+    }
+
+    /// Total service time handed to the server so far (including the job in
+    /// service, if any).
+    #[must_use]
+    pub fn total_service(&self) -> f64 {
+        self.total_service
+    }
+
+    /// Fraction of time the server has been busy, through `now`.
+    #[must_use]
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        self.busy.time_average(now)
+    }
+
+    /// Time-averaged number of jobs in the system, through `now`.
+    #[must_use]
+    pub fn mean_population(&self, now: SimTime) -> f64 {
+        self.population.time_average(now)
+    }
+
+    /// Restarts the statistics at `now` (warmup truncation), keeping the
+    /// jobs currently present.
+    pub fn reset_stats(&mut self, now: SimTime) {
+        self.population.reset(now);
+        self.busy.reset(now);
+        self.completions = 0;
+        self.total_service = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_in_fifo_order() {
+        let mut q = FcfsQueue::new(SimTime::ZERO);
+        assert!(q.is_empty());
+        let c1 = q.arrive(SimTime::ZERO, 1, 1.0).unwrap();
+        assert_eq!(q.arrive(SimTime::ZERO, 2, 1.0), None);
+        assert_eq!(q.arrive(SimTime::ZERO, 3, 1.0), None);
+        assert_eq!(q.len(), 3);
+        assert!(q.is_busy());
+
+        let (j, c2) = q.complete(c1);
+        assert_eq!(j, 1);
+        let (j, c3) = q.complete(c2.unwrap());
+        assert_eq!(j, 2);
+        let (j, none) = q.complete(c3.unwrap());
+        assert_eq!(j, 3);
+        assert_eq!(none, None);
+        assert!(q.is_empty());
+        assert_eq!(q.completions(), 3);
+    }
+
+    #[test]
+    fn completion_times_accumulate_service() {
+        let mut q = FcfsQueue::new(SimTime::ZERO);
+        let c1 = q.arrive(SimTime::new(0.0), "a", 3.0).unwrap();
+        assert_eq!(c1, SimTime::new(3.0));
+        q.arrive(SimTime::new(1.0), "b", 2.0);
+        let (_, c2) = q.complete(c1);
+        assert_eq!(c2, Some(SimTime::new(5.0)));
+        assert_eq!(q.total_service(), 5.0);
+    }
+
+    #[test]
+    fn utilization_and_population() {
+        let mut q = FcfsQueue::new(SimTime::ZERO);
+        // idle [0,1), busy [1,3), idle [3,4)
+        let c = q.arrive(SimTime::new(1.0), (), 2.0).unwrap();
+        q.complete(c);
+        assert!((q.utilization(SimTime::new(4.0)) - 0.5).abs() < 1e-12);
+        assert!((q.mean_population(SimTime::new(4.0)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_stats_keeps_jobs() {
+        let mut q = FcfsQueue::new(SimTime::ZERO);
+        q.arrive(SimTime::ZERO, 1, 10.0).unwrap();
+        q.arrive(SimTime::ZERO, 2, 10.0);
+        q.reset_stats(SimTime::new(5.0));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.completions(), 0);
+        // still busy after the reset
+        assert!((q.utilization(SimTime::new(6.0)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "idle server")]
+    fn complete_on_idle_panics() {
+        let mut q: FcfsQueue<()> = FcfsQueue::new(SimTime::ZERO);
+        q.complete(SimTime::new(1.0));
+    }
+
+    #[test]
+    fn zero_service_time_is_legal() {
+        let mut q = FcfsQueue::new(SimTime::ZERO);
+        let c = q.arrive(SimTime::new(1.0), (), 0.0).unwrap();
+        assert_eq!(c, SimTime::new(1.0));
+    }
+}

@@ -1,0 +1,253 @@
+//! The token-ring communications subnet.
+
+use std::collections::VecDeque;
+
+use dqa_sim::stats::TimeWeighted;
+use dqa_sim::SimTime;
+
+/// A token-ring local network, as modeled in Section 2 of the paper.
+///
+/// Each site has one outgoing FIFO message queue. The ring polls sites in
+/// round-robin order for messages to send; polling overhead is negligible
+/// (zero in the model), one message is in flight at a time, and the cost of
+/// sending a message is linear in its length — the caller passes the
+/// resulting transfer `duration` directly.
+///
+/// Host-model embedding: [`TokenRing::send`] enqueues a message and returns
+/// the transmission-complete time if the ring was idle and picked it up
+/// immediately; [`TokenRing::transmit_done`] delivers the finished message
+/// and returns the completion time of the next transmission, if any site had
+/// a message waiting.
+///
+/// # Example
+///
+/// ```
+/// use dqa_queueing::TokenRing;
+/// use dqa_sim::SimTime;
+///
+/// let mut ring: TokenRing<&str> = TokenRing::new(3, SimTime::ZERO);
+/// // Ring idle: transmission starts at once, takes 1 unit.
+/// let t = ring.send(SimTime::ZERO, 0, "q->site2", 1.0).unwrap();
+/// assert_eq!(t, SimTime::new(1.0));
+/// // A second message (from another site) must wait for the token.
+/// assert!(ring.send(SimTime::new(0.5), 1, "reply", 2.0).is_none());
+/// let (msg, from, next) = ring.transmit_done(t);
+/// assert_eq!((msg, from), ("q->site2", 0));
+/// assert_eq!(next, Some(SimTime::new(3.0)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TokenRing<M> {
+    queues: Vec<VecDeque<(M, f64)>>,
+    in_flight: Option<(M, usize)>,
+    cursor: usize,
+    busy: TimeWeighted,
+    backlog: TimeWeighted,
+    sent: u64,
+    busy_time: f64,
+}
+
+impl<M> TokenRing<M> {
+    /// Creates an idle ring connecting `num_sites` sites.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_sites` is zero.
+    #[must_use]
+    pub fn new(num_sites: usize, start: SimTime) -> Self {
+        assert!(num_sites > 0, "a ring needs at least one site");
+        TokenRing {
+            queues: (0..num_sites).map(|_| VecDeque::new()).collect(),
+            in_flight: None,
+            cursor: 0,
+            busy: TimeWeighted::new(start, 0.0),
+            backlog: TimeWeighted::new(start, 0.0),
+            sent: 0,
+            busy_time: 0.0,
+        }
+    }
+
+    /// Number of sites on the ring.
+    #[must_use]
+    pub fn num_sites(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Enqueues `msg` from site `from`, with a transfer time of `duration`.
+    ///
+    /// Returns `Some(done_time)` if the ring was idle and transmission
+    /// begins immediately (the host must schedule a `transmit_done` event);
+    /// `None` if the message waits its turn.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is out of range or `duration` is negative/not
+    /// finite.
+    pub fn send(&mut self, now: SimTime, from: usize, msg: M, duration: f64) -> Option<SimTime> {
+        assert!(from < self.queues.len(), "unknown site {from}");
+        assert!(
+            duration.is_finite() && duration >= 0.0,
+            "invalid transfer duration {duration}"
+        );
+        self.backlog.add(now, 1.0);
+        self.queues[from].push_back((msg, duration));
+        if self.in_flight.is_none() {
+            self.start_next(now)
+        } else {
+            None
+        }
+    }
+
+    /// The host's transmission-complete event fired.
+    ///
+    /// Returns the delivered message, its sending site, and the completion
+    /// time of the next transmission if one started (the host must schedule
+    /// it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing was in flight.
+    pub fn transmit_done(&mut self, now: SimTime) -> (M, usize, Option<SimTime>) {
+        let (msg, from) = self
+            .in_flight
+            .take()
+            .expect("transmit_done with idle ring");
+        self.sent += 1;
+        self.backlog.add(now, -1.0);
+        let next = self.start_next(now);
+        (msg, from, next)
+    }
+
+    /// Polls sites round-robin from the cursor and starts the next
+    /// transmission, returning its completion time.
+    fn start_next(&mut self, now: SimTime) -> Option<SimTime> {
+        let n = self.queues.len();
+        for k in 0..n {
+            let s = (self.cursor + k) % n;
+            if let Some((msg, duration)) = self.queues[s].pop_front() {
+                self.cursor = (s + 1) % n;
+                self.in_flight = Some((msg, s));
+                self.busy.set(now, 1.0);
+                self.busy_time += duration;
+                return Some(now + duration);
+            }
+        }
+        self.busy.set(now, 0.0);
+        None
+    }
+
+    /// Messages delivered so far.
+    #[must_use]
+    pub fn messages_sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Messages waiting or in flight.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum::<usize>()
+            + usize::from(self.in_flight.is_some())
+    }
+
+    /// Fraction of time the ring has been transmitting, through `now`.
+    #[must_use]
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        self.busy.time_average(now)
+    }
+
+    /// Time-averaged number of messages waiting or in flight, through `now`.
+    #[must_use]
+    pub fn mean_backlog(&self, now: SimTime) -> f64 {
+        self.backlog.time_average(now)
+    }
+
+    /// Restarts statistics at `now`, keeping queued messages.
+    pub fn reset_stats(&mut self, now: SimTime) {
+        self.busy.reset(now);
+        self.backlog.reset(now);
+        self.sent = 0;
+        self.busy_time = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_ring_transmits_immediately() {
+        let mut ring = TokenRing::new(2, SimTime::ZERO);
+        let t = ring.send(SimTime::new(1.0), 0, "m", 2.5).unwrap();
+        assert_eq!(t, SimTime::new(3.5));
+        assert_eq!(ring.pending(), 1);
+        let (m, from, next) = ring.transmit_done(t);
+        assert_eq!((m, from), ("m", 0));
+        assert_eq!(next, None);
+        assert_eq!(ring.messages_sent(), 1);
+        assert_eq!(ring.pending(), 0);
+    }
+
+    #[test]
+    fn round_robin_alternates_between_sites() {
+        let mut ring = TokenRing::new(3, SimTime::ZERO);
+        // Site 0 floods; site 2 sends one message. Round-robin must let
+        // site 2 in after one site-0 message.
+        let t1 = ring.send(SimTime::ZERO, 0, "a1", 1.0).unwrap();
+        assert!(ring.send(SimTime::ZERO, 0, "a2", 1.0).is_none());
+        assert!(ring.send(SimTime::ZERO, 2, "c1", 1.0).is_none());
+
+        let (m, _, t2) = ring.transmit_done(t1);
+        assert_eq!(m, "a1");
+        // cursor moved past 0, so site 2 goes before site 0's second message
+        let (m, from, t3) = ring.transmit_done(t2.unwrap());
+        assert_eq!((m, from), ("c1", 2));
+        let (m, _, none) = ring.transmit_done(t3.unwrap());
+        assert_eq!(m, "a2");
+        assert_eq!(none, None);
+    }
+
+    #[test]
+    fn per_site_queue_is_fifo() {
+        let mut ring = TokenRing::new(1, SimTime::ZERO);
+        let t1 = ring.send(SimTime::ZERO, 0, 1, 1.0).unwrap();
+        ring.send(SimTime::ZERO, 0, 2, 1.0);
+        ring.send(SimTime::ZERO, 0, 3, 1.0);
+        let (m1, _, t2) = ring.transmit_done(t1);
+        let (m2, _, t3) = ring.transmit_done(t2.unwrap());
+        let (m3, _, _) = ring.transmit_done(t3.unwrap());
+        assert_eq!((m1, m2, m3), (1, 2, 3));
+    }
+
+    #[test]
+    fn utilization_tracks_busy_time() {
+        let mut ring = TokenRing::new(2, SimTime::ZERO);
+        let t = ring.send(SimTime::ZERO, 0, (), 3.0).unwrap();
+        ring.transmit_done(t);
+        // busy [0,3), idle [3,6)
+        assert!((ring.utilization(SimTime::new(6.0)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backlog_average() {
+        let mut ring = TokenRing::new(2, SimTime::ZERO);
+        let t = ring.send(SimTime::ZERO, 0, (), 2.0).unwrap();
+        ring.send(SimTime::ZERO, 1, (), 2.0);
+        // backlog 2 on [0,2), then 1 on [2,4)
+        let (_, _, t2) = ring.transmit_done(t);
+        ring.transmit_done(t2.unwrap());
+        assert!((ring.mean_backlog(SimTime::new(4.0)) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "idle ring")]
+    fn transmit_done_on_idle_panics() {
+        let mut ring: TokenRing<()> = TokenRing::new(1, SimTime::ZERO);
+        ring.transmit_done(SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown site")]
+    fn send_from_unknown_site_panics() {
+        let mut ring: TokenRing<()> = TokenRing::new(2, SimTime::ZERO);
+        ring.send(SimTime::ZERO, 5, (), 1.0);
+    }
+}

@@ -1,0 +1,181 @@
+//! A stable priority queue of timestamped events.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::SimTime;
+
+/// A future-event set: a min-priority queue keyed by [`SimTime`].
+///
+/// Unlike a plain `BinaryHeap`, the queue is **stable**: two events scheduled
+/// for the same instant are popped in the order they were pushed. Stability
+/// makes simulations deterministic even when many events share a timestamp
+/// (common in models with constant service times), which in turn makes
+/// regression tests reproducible.
+///
+/// # Example
+///
+/// ```
+/// use dqa_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::new(2.0), "late");
+/// q.push(SimTime::new(1.0), "early");
+/// q.push(SimTime::new(1.0), "early-second");
+///
+/// assert_eq!(q.pop(), Some((SimTime::new(1.0), "early")));
+/// assert_eq!(q.pop(), Some((SimTime::new(1.0), "early-second")));
+/// assert_eq!(q.pop(), Some((SimTime::new(2.0), "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse so the earliest (time, seq) wins.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty event queue.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at `time`.
+    pub fn push(&mut self, time: SimTime, payload: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { time, seq, payload });
+    }
+
+    /// Removes and returns the earliest event, or `None` if the queue is
+    /// empty. Ties on time are broken by insertion order.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| (e.time, e.payload))
+    }
+
+    /// Returns the timestamp of the earliest pending event without removing
+    /// it.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Returns the number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Removes all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        for &t in &[5.0, 1.0, 3.0, 2.0, 4.0] {
+            q.push(SimTime::new(t), t as u32);
+        }
+        let mut got = Vec::new();
+        while let Some((_, v)) = q.pop() {
+            got.push(v);
+        }
+        assert_eq!(got, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(SimTime::new(7.0), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((SimTime::new(7.0), i)));
+        }
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::new(1.0), ());
+        assert_eq!(q.peek_time(), Some(SimTime::new(1.0)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::new(1.0), ());
+        q.push(SimTime::new(2.0), ());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_sorted() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::new(10.0), 10);
+        q.push(SimTime::new(1.0), 1);
+        assert_eq!(q.pop().unwrap().1, 1);
+        q.push(SimTime::new(5.0), 5);
+        q.push(SimTime::new(0.5), 0);
+        assert_eq!(q.pop().unwrap().1, 0);
+        assert_eq!(q.pop().unwrap().1, 5);
+        assert_eq!(q.pop().unwrap().1, 10);
+    }
+}

@@ -1,0 +1,367 @@
+//! Seeded, splittable random-number streams and service-time distributions.
+//!
+//! Every stochastic element of the simulation (each site's think times, CPU
+//! bursts, disk accesses, class coin-flips, ...) draws from its own
+//! [`RngStream`], derived deterministically from a root seed and a stream
+//! tag. Dedicated streams are a standard variance-reduction and
+//! reproducibility technique: changing one model component does not perturb
+//! the random inputs of the others.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic random-number stream.
+///
+/// Streams are created from a root seed ([`RngStream::new`]) and split into
+/// independent child streams with [`RngStream::substream`]. Two streams
+/// derived with different tags behave as statistically independent sources,
+/// while the whole tree is reproducible from the root seed.
+///
+/// # Example
+///
+/// ```
+/// use dqa_sim::random::RngStream;
+///
+/// let root = RngStream::new(42);
+/// let mut a = root.substream(1);
+/// let mut b = root.substream(2);
+/// // Independent streams produce different sequences...
+/// assert_ne!(a.next_u64(), b.next_u64());
+/// // ...but the same (seed, tag) always produces the same sequence.
+/// let mut a2 = RngStream::new(42).substream(1);
+/// assert_eq!(RngStream::new(42).substream(1).next_u64(), a2.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct RngStream {
+    seed: u64,
+    rng: StdRng,
+}
+
+/// SplitMix64 finalizer; mixes a seed and a tag into a well-distributed
+/// child seed.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl RngStream {
+    /// Creates the root stream for `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        RngStream {
+            seed,
+            rng: StdRng::seed_from_u64(splitmix64(seed)),
+        }
+    }
+
+    /// Derives an independent child stream identified by `tag`.
+    ///
+    /// Children of the same parent with distinct tags are independent;
+    /// the derivation is pure, so it may be called repeatedly.
+    #[must_use]
+    pub fn substream(&self, tag: u64) -> RngStream {
+        let child_seed = splitmix64(self.seed ^ splitmix64(tag.wrapping_add(0xA5A5_5A5A_1234_5678)));
+        RngStream::new(child_seed)
+    }
+
+    /// Returns the next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.rng.gen()
+    }
+
+    /// Returns a uniform variate in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+
+    /// Returns an exponential variate with the given mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not finite and positive.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "exponential mean must be positive, got {mean}"
+        );
+        // 1 - U is in (0, 1], so ln never sees zero.
+        -mean * (1.0 - self.next_f64()).ln()
+    }
+
+    /// Returns a uniform variate in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is not finite.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "invalid uniform range [{lo}, {hi})"
+        );
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        self.next_f64() < p
+    }
+
+    /// Returns a uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0) is meaningless");
+        self.rng.gen_range(0..n)
+    }
+}
+
+/// A service-time (or think-time) distribution.
+///
+/// The variants cover everything the paper's model needs: constant message
+/// times, exponential CPU bursts / think times / read counts, and the
+/// uniform `disk_time ± disk_time_dev` disk-access times.
+///
+/// # Example
+///
+/// ```
+/// use dqa_sim::random::{Dist, RngStream};
+///
+/// let mut rng = RngStream::new(7);
+/// let disk = Dist::uniform_deviation(1.0, 0.2); // 1.0 +/- 20%
+/// let x = disk.sample(&mut rng);
+/// assert!((0.8..1.2).contains(&x));
+/// assert_eq!(disk.mean(), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Dist {
+    /// Always the same value.
+    Constant(f64),
+    /// Exponential with the given mean.
+    Exponential {
+        /// Mean of the distribution.
+        mean: f64,
+    },
+    /// Uniform on `[lo, hi)`.
+    Uniform {
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Exclusive upper bound.
+        hi: f64,
+    },
+}
+
+impl Dist {
+    /// Constant distribution at `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is negative or not finite.
+    #[must_use]
+    pub fn constant(v: f64) -> Self {
+        assert!(v.is_finite() && v >= 0.0, "invalid constant {v}");
+        Dist::Constant(v)
+    }
+
+    /// Exponential distribution with the given mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not positive and finite.
+    #[must_use]
+    pub fn exponential(mean: f64) -> Self {
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "invalid exponential mean {mean}"
+        );
+        Dist::Exponential { mean }
+    }
+
+    /// Uniform distribution on `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is invalid or extends below zero.
+    #[must_use]
+    pub fn uniform(lo: f64, hi: f64) -> Self {
+        assert!(
+            lo.is_finite() && hi.is_finite() && 0.0 <= lo && lo <= hi,
+            "invalid uniform range [{lo}, {hi})"
+        );
+        Dist::Uniform { lo, hi }
+    }
+
+    /// Uniform distribution on `mean ± mean * dev_frac`, the paper's
+    /// `disk_time ± disk_time_dev` form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean <= 0` or `dev_frac` is outside `[0, 1]`.
+    #[must_use]
+    pub fn uniform_deviation(mean: f64, dev_frac: f64) -> Self {
+        assert!(mean.is_finite() && mean > 0.0, "invalid mean {mean}");
+        assert!(
+            (0.0..=1.0).contains(&dev_frac),
+            "deviation fraction out of range: {dev_frac}"
+        );
+        Dist::uniform(mean * (1.0 - dev_frac), mean * (1.0 + dev_frac))
+    }
+
+    /// Draws one variate.
+    pub fn sample(&self, rng: &mut RngStream) -> f64 {
+        match *self {
+            Dist::Constant(v) => v,
+            Dist::Exponential { mean } => rng.exponential(mean),
+            Dist::Uniform { lo, hi } => rng.uniform(lo, hi),
+        }
+    }
+
+    /// The distribution's mean.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        match *self {
+            Dist::Constant(v) => v,
+            Dist::Exponential { mean } => mean,
+            Dist::Uniform { lo, hi } => 0.5 * (lo + hi),
+        }
+    }
+
+    /// Draws a positive integer count: samples the continuous distribution,
+    /// rounds to the nearest integer, and clamps to at least one.
+    ///
+    /// The paper draws each query's number of reads from an exponential with
+    /// mean `num_reads`; a query always performs at least one read.
+    pub fn sample_count(&self, rng: &mut RngStream) -> u32 {
+        let x = self.sample(rng);
+        (x.round().max(1.0)) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_of(n: usize, mut f: impl FnMut() -> f64) -> f64 {
+        (0..n).map(|_| f()).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn streams_are_reproducible() {
+        let mut a = RngStream::new(123);
+        let mut b = RngStream::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn substreams_differ_by_tag() {
+        let root = RngStream::new(1);
+        let mut s1 = root.substream(1);
+        let mut s2 = root.substream(2);
+        let v1: Vec<u64> = (0..8).map(|_| s1.next_u64()).collect();
+        let v2: Vec<u64> = (0..8).map(|_| s2.next_u64()).collect();
+        assert_ne!(v1, v2);
+    }
+
+    #[test]
+    fn substream_derivation_is_pure() {
+        let root = RngStream::new(9);
+        let mut a = root.substream(5);
+        let mut b = root.substream(5);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = RngStream::new(2024);
+        let m = mean_of(200_000, || rng.exponential(3.0));
+        assert!((m - 3.0).abs() < 0.05, "sample mean {m} too far from 3.0");
+    }
+
+    #[test]
+    fn uniform_stays_in_range_and_centered() {
+        let mut rng = RngStream::new(77);
+        let mut min = f64::MAX;
+        let mut max = f64::MIN;
+        let m = mean_of(100_000, || {
+            let x = rng.uniform(0.8, 1.2);
+            min = min.min(x);
+            max = max.max(x);
+            x
+        });
+        assert!(min >= 0.8 && max < 1.2);
+        assert!((m - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn bernoulli_frequency() {
+        let mut rng = RngStream::new(5);
+        let hits = (0..100_000).filter(|_| rng.bernoulli(0.3)).count();
+        let p = hits as f64 / 100_000.0;
+        assert!((p - 0.3).abs() < 0.01, "p = {p}");
+    }
+
+    #[test]
+    fn below_covers_all_values() {
+        let mut rng = RngStream::new(11);
+        let mut seen = [false; 6];
+        for _ in 0..1_000 {
+            seen[rng.below(6)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn dist_means() {
+        assert_eq!(Dist::constant(2.0).mean(), 2.0);
+        assert_eq!(Dist::exponential(5.0).mean(), 5.0);
+        assert_eq!(Dist::uniform(1.0, 3.0).mean(), 2.0);
+        assert_eq!(Dist::uniform_deviation(1.0, 0.2).mean(), 1.0);
+    }
+
+    #[test]
+    fn sample_count_is_at_least_one() {
+        let mut rng = RngStream::new(3);
+        let d = Dist::exponential(0.2); // most draws round to 0 without the clamp
+        for _ in 0..1_000 {
+            assert!(d.sample_count(&mut rng) >= 1);
+        }
+    }
+
+    #[test]
+    fn sample_count_mean_tracks_distribution() {
+        let mut rng = RngStream::new(4);
+        let d = Dist::exponential(20.0);
+        let n = 100_000;
+        let m: f64 = (0..n).map(|_| d.sample_count(&mut rng) as f64).sum::<f64>() / n as f64;
+        // Rounding + clamping bias is small at mean 20.
+        assert!((m - 20.0).abs() < 0.5, "mean count {m}");
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn bernoulli_rejects_bad_p() {
+        RngStream::new(0).bernoulli(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid exponential mean")]
+    fn exponential_rejects_zero_mean() {
+        let _ = Dist::exponential(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid uniform range")]
+    fn uniform_rejects_reversed_range() {
+        let _ = Dist::uniform(2.0, 1.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Confidence intervals from a single long run via batch means.
+
+use super::{student_t_975, Tally};
+
+/// The method of non-overlapping batch means.
+///
+/// Steady-state simulation outputs are autocorrelated, so the naive standard
+/// error of per-observation statistics is biased low. Batch means groups
+/// consecutive observations into fixed-size batches; batch averages are far
+/// less correlated, and a Student-t interval over them is a sound interval
+/// for the steady-state mean.
+///
+/// # Example
+///
+/// ```
+/// use dqa_sim::stats::BatchMeans;
+///
+/// let mut bm = BatchMeans::new(100);
+/// for i in 0..1000 {
+///     bm.record((i % 7) as f64);
+/// }
+/// assert_eq!(bm.completed_batches(), 10);
+/// let (lo, hi) = bm.confidence_interval();
+/// let m = bm.mean();
+/// assert!(lo <= m && m <= hi);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchMeans {
+    batch_size: u64,
+    current: Tally,
+    batches: Tally,
+    grand: Tally,
+}
+
+impl BatchMeans {
+    /// Creates an estimator with the given observations-per-batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    #[must_use]
+    pub fn new(batch_size: u64) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        BatchMeans {
+            batch_size,
+            current: Tally::new(),
+            batches: Tally::new(),
+            grand: Tally::new(),
+        }
+    }
+
+    /// Records one observation, closing a batch whenever `batch_size`
+    /// observations have accumulated.
+    pub fn record(&mut self, x: f64) {
+        self.grand.record(x);
+        self.current.record(x);
+        if self.current.count() == self.batch_size {
+            self.batches.record(self.current.mean());
+            self.current = Tally::new();
+        }
+    }
+
+    /// Grand mean over every recorded observation (including any partial
+    /// final batch).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.grand.mean()
+    }
+
+    /// Total number of observations recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.grand.count()
+    }
+
+    /// Number of completed batches.
+    #[must_use]
+    pub fn completed_batches(&self) -> u64 {
+        self.batches.count()
+    }
+
+    /// Half-width of the 95% confidence interval over batch means.
+    /// `+inf` with fewer than two completed batches.
+    #[must_use]
+    pub fn half_width(&self) -> f64 {
+        let k = self.batches.count();
+        if k < 2 {
+            return f64::INFINITY;
+        }
+        student_t_975(k - 1) * self.batches.std_error()
+    }
+
+    /// The 95% confidence interval `(lo, hi)` for the steady-state mean.
+    #[must_use]
+    pub fn confidence_interval(&self) -> (f64, f64) {
+        let hw = self.half_width();
+        let m = self.batches.mean();
+        (m - hw, m + hw)
+    }
+
+    /// Relative precision: half-width divided by |mean of batch means|.
+    /// `+inf` if undefined.
+    #[must_use]
+    pub fn relative_half_width(&self) -> f64 {
+        let m = self.batches.mean().abs();
+        if m == 0.0 {
+            f64::INFINITY
+        } else {
+            self.half_width() / m
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_close_at_size() {
+        let mut bm = BatchMeans::new(10);
+        for _ in 0..25 {
+            bm.record(1.0);
+        }
+        assert_eq!(bm.completed_batches(), 2);
+        assert_eq!(bm.count(), 25);
+        assert_eq!(bm.mean(), 1.0);
+    }
+
+    #[test]
+    fn constant_data_zero_width_interval() {
+        let mut bm = BatchMeans::new(5);
+        for _ in 0..50 {
+            bm.record(3.0);
+        }
+        assert_eq!(bm.half_width(), 0.0);
+        assert_eq!(bm.confidence_interval(), (3.0, 3.0));
+    }
+
+    #[test]
+    fn interval_covers_true_mean_for_iid_noise() {
+        use crate::random::RngStream;
+        let mut rng = RngStream::new(99);
+        let mut bm = BatchMeans::new(500);
+        for _ in 0..50_000 {
+            bm.record(rng.exponential(2.0));
+        }
+        let (lo, hi) = bm.confidence_interval();
+        assert!(lo < 2.0 && 2.0 < hi, "CI ({lo}, {hi}) misses 2.0");
+        assert!(bm.relative_half_width() < 0.05);
+    }
+
+    #[test]
+    fn too_few_batches_is_infinite() {
+        let mut bm = BatchMeans::new(100);
+        bm.record(1.0);
+        assert!(bm.half_width().is_infinite());
+        assert!(bm.relative_half_width().is_infinite());
+    }
+}

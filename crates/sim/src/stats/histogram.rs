@@ -1,0 +1,171 @@
+//! Fixed-width histograms for distribution-shape checks.
+
+/// A histogram with uniform bins over `[0, bin_width * bins)` plus an
+/// overflow bin.
+///
+/// Used in tests to sanity-check that simulated waiting-time distributions
+/// have the right shape, and by the experiment harness to report response
+/// time quantiles.
+///
+/// # Example
+///
+/// ```
+/// use dqa_sim::stats::Histogram;
+///
+/// let mut h = Histogram::new(1.0, 10);
+/// for x in [0.5, 1.5, 1.7, 2.2, 50.0] {
+///     h.record(x);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.bin_count(1), 2);   // 1.5 and 1.7
+/// assert_eq!(h.overflow(), 1);     // 50.0
+/// assert!((h.quantile(0.5) - 2.0).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bin_width: f64,
+    counts: Vec<u64>,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` bins of width `bin_width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin_width` is not positive or `bins` is zero.
+    #[must_use]
+    pub fn new(bin_width: f64, bins: usize) -> Self {
+        assert!(
+            bin_width.is_finite() && bin_width > 0.0,
+            "bin width must be positive, got {bin_width}"
+        );
+        assert!(bins > 0, "need at least one bin");
+        Histogram {
+            bin_width,
+            counts: vec![0; bins],
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Records a non-negative observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is negative or NaN.
+    pub fn record(&mut self, x: f64) {
+        assert!(x >= 0.0, "histogram observations must be >= 0, got {x}");
+        let idx = (x / self.bin_width) as usize;
+        if idx < self.counts.len() {
+            self.counts[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+        self.total += 1;
+    }
+
+    /// Total observations recorded (including overflow).
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Count in bin `i` (covering `[i * w, (i+1) * w)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn bin_count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Number of bins (excluding the overflow bin).
+    #[must_use]
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Observations beyond the last bin.
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Approximate `q`-quantile (0 ≤ q ≤ 1) assuming observations are
+    /// uniform within each bin. Returns the upper range limit if the
+    /// quantile falls in the overflow bin, and `0.0` if empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.total == 0 {
+            return 0.0;
+        }
+        let target = q * self.total as f64;
+        let mut cum = 0.0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let next = cum + c as f64;
+            if next >= target && c > 0 {
+                let frac = (target - cum) / c as f64;
+                return (i as f64 + frac) * self.bin_width;
+            }
+            cum = next;
+        }
+        self.bin_width * self.counts.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_fill_correctly() {
+        let mut h = Histogram::new(2.0, 5);
+        h.record(0.0);
+        h.record(1.99);
+        h.record(2.0);
+        h.record(9.99);
+        h.record(10.0); // overflow
+        assert_eq!(h.bin_count(0), 2);
+        assert_eq!(h.bin_count(1), 1);
+        assert_eq!(h.bin_count(4), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn median_of_uniform_data() {
+        let mut h = Histogram::new(1.0, 100);
+        for i in 0..1000 {
+            h.record(i as f64 / 10.0); // uniform on [0, 100)
+        }
+        let med = h.quantile(0.5);
+        assert!((med - 50.0).abs() < 1.0, "median {med}");
+    }
+
+    #[test]
+    fn empty_quantile_is_zero() {
+        let h = Histogram::new(1.0, 4);
+        assert_eq!(h.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn quantile_in_overflow_returns_limit() {
+        let mut h = Histogram::new(1.0, 2);
+        h.record(100.0);
+        assert_eq!(h.quantile(0.99), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 0")]
+    fn negative_observation_panics() {
+        Histogram::new(1.0, 2).record(-0.5);
+    }
+}

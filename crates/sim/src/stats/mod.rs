@@ -1,0 +1,75 @@
+//! Output statistics for simulations.
+//!
+//! Three kinds of estimators cover everything the experiments need:
+//!
+//! * [`Tally`] — observation statistics (per-query waiting times, response
+//!   times, service demands) via Welford's online algorithm.
+//! * [`TimeWeighted`] — time-averaged quantities (queue lengths, number in
+//!   service, utilizations) integrated against the simulation clock.
+//! * [`BatchMeans`] — steady-state confidence intervals from a single long
+//!   run, using the method of non-overlapping batch means.
+//!
+//! [`Histogram`] supports distribution-shape checks in tests, and
+//! [`student_t_975`] supplies the t-quantiles for interval construction.
+
+mod batch;
+mod histogram;
+mod tally;
+mod time_weighted;
+mod welch;
+
+pub use batch::BatchMeans;
+pub use histogram::Histogram;
+pub use tally::Tally;
+pub use time_weighted::TimeWeighted;
+pub use welch::welch_truncation;
+
+/// Two-sided 95% Student-t critical value (the 0.975 quantile) for `df`
+/// degrees of freedom.
+///
+/// Exact table values are used for small `df`; beyond the table the normal
+/// quantile 1.96 is an adequate approximation.
+///
+/// # Example
+///
+/// ```
+/// use dqa_sim::stats::student_t_975;
+/// assert!((student_t_975(9) - 2.262).abs() < 1e-3);
+/// assert!((student_t_975(10_000) - 1.96).abs() < 1e-2);
+/// ```
+#[must_use]
+pub fn student_t_975(df: u64) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    ];
+    match df {
+        0 => f64::INFINITY,
+        1..=30 => TABLE[(df - 1) as usize],
+        31..=40 => 2.021,
+        41..=60 => 2.000,
+        61..=120 => 1.980,
+        _ => 1.960,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t_table_monotone_decreasing() {
+        let mut prev = f64::INFINITY;
+        for df in 1..200 {
+            let t = student_t_975(df);
+            assert!(t <= prev, "t({df}) = {t} > previous {prev}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn t_zero_df_is_infinite() {
+        assert!(student_t_975(0).is_infinite());
+    }
+}

@@ -1,0 +1,177 @@
+//! Time-weighted averages for queue lengths and utilizations.
+
+use crate::SimTime;
+
+/// A piecewise-constant signal integrated against the simulation clock.
+///
+/// Tracks quantities such as "number of queries at site 3" or "the token
+/// ring is busy (0/1)". Each [`set`](TimeWeighted::set) or
+/// [`add`](TimeWeighted::add) call closes the previous constant segment and
+/// accumulates its area; [`time_average`](TimeWeighted::time_average) then
+/// reports the integral divided by elapsed time.
+///
+/// # Example
+///
+/// ```
+/// use dqa_sim::stats::TimeWeighted;
+/// use dqa_sim::SimTime;
+///
+/// let mut q = TimeWeighted::new(SimTime::ZERO, 0.0);
+/// q.set(SimTime::new(2.0), 3.0);   // 0 for 2 units
+/// q.set(SimTime::new(6.0), 1.0);   // 3 for 4 units
+/// // integral = 0*2 + 3*4 = 12 over 6 units
+/// assert_eq!(q.time_average(SimTime::new(6.0)), 2.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TimeWeighted {
+    last_time: SimTime,
+    value: f64,
+    area: f64,
+    start: SimTime,
+    max: f64,
+}
+
+impl TimeWeighted {
+    /// Creates a signal with the given initial value at time `start`.
+    #[must_use]
+    pub fn new(start: SimTime, initial: f64) -> Self {
+        TimeWeighted {
+            last_time: start,
+            value: initial,
+            area: 0.0,
+            start,
+            max: initial,
+        }
+    }
+
+    /// Advances the integral to `now` without changing the value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` is earlier than the last update.
+    fn advance(&mut self, now: SimTime) {
+        let dt = now - self.last_time;
+        assert!(dt >= 0.0, "time went backwards: {now} < {}", self.last_time);
+        self.area += self.value * dt;
+        self.last_time = now;
+    }
+
+    /// Sets the signal to `value` at time `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` is earlier than the previous update.
+    pub fn set(&mut self, now: SimTime, value: f64) {
+        self.advance(now);
+        self.value = value;
+        self.max = self.max.max(value);
+    }
+
+    /// Adds `delta` to the signal at time `now` (convenient for queue
+    /// lengths: `+1` on arrival, `-1` on departure).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` is earlier than the previous update.
+    pub fn add(&mut self, now: SimTime, delta: f64) {
+        let v = self.value + delta;
+        self.set(now, v);
+    }
+
+    /// The current value of the signal.
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// The largest value the signal has taken.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// The time average of the signal from the start time through `now`.
+    /// Returns the current value if no time has elapsed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` is earlier than the last update.
+    #[must_use]
+    pub fn time_average(&self, now: SimTime) -> f64 {
+        let tail = self.value * (now - self.last_time);
+        assert!(
+            now >= self.last_time,
+            "time_average queried in the past: {now} < {}",
+            self.last_time
+        );
+        let span = now - self.start;
+        if span <= 0.0 {
+            self.value
+        } else {
+            (self.area + tail) / span
+        }
+    }
+
+    /// Restarts measurement at `now`, keeping the current value. Used to
+    /// discard the warmup transient.
+    pub fn reset(&mut self, now: SimTime) {
+        self.last_time = now;
+        self.start = now;
+        self.area = 0.0;
+        self.max = self.value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_signal_averages_to_itself() {
+        let s = TimeWeighted::new(SimTime::ZERO, 4.0);
+        assert_eq!(s.time_average(SimTime::new(10.0)), 4.0);
+    }
+
+    #[test]
+    fn square_wave_average() {
+        let mut s = TimeWeighted::new(SimTime::ZERO, 0.0);
+        // on for [1,3), off for [3,5): busy 2 of 5 units
+        s.set(SimTime::new(1.0), 1.0);
+        s.set(SimTime::new(3.0), 0.0);
+        assert!((s.time_average(SimTime::new(5.0)) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_tracks_queue_length() {
+        let mut s = TimeWeighted::new(SimTime::ZERO, 0.0);
+        s.add(SimTime::new(1.0), 1.0);
+        s.add(SimTime::new(2.0), 1.0);
+        s.add(SimTime::new(3.0), -1.0);
+        // L(t): 0 on [0,1), 1 on [1,2), 2 on [2,3), 1 on [3,4)
+        assert!((s.time_average(SimTime::new(4.0)) - 1.0).abs() < 1e-12);
+        assert_eq!(s.value(), 1.0);
+        assert_eq!(s.max(), 2.0);
+    }
+
+    #[test]
+    fn zero_elapsed_returns_value() {
+        let s = TimeWeighted::new(SimTime::new(5.0), 2.5);
+        assert_eq!(s.time_average(SimTime::new(5.0)), 2.5);
+    }
+
+    #[test]
+    fn reset_discards_history() {
+        let mut s = TimeWeighted::new(SimTime::ZERO, 10.0);
+        s.set(SimTime::new(5.0), 0.0);
+        s.reset(SimTime::new(5.0));
+        assert_eq!(s.time_average(SimTime::new(10.0)), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn backwards_update_panics() {
+        let mut s = TimeWeighted::new(SimTime::new(2.0), 0.0);
+        s.set(SimTime::new(1.0), 1.0);
+    }
+}

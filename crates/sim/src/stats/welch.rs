@@ -1,0 +1,143 @@
+//! Warmup-length estimation by Welch's procedure.
+
+/// Estimates the initial-transient (warmup) length from per-replication
+/// observation series using Welch's procedure: average the series across
+/// replications index-by-index, smooth with a centered moving average of
+/// half-width `window`, and report the first index from which the
+/// smoothed curve stays within `tolerance` (relative) of its settled
+/// value — estimated as the mean of the final quarter.
+///
+/// Returns `None` when the curve never settles (tolerance too tight, or
+/// the series is still trending at its end — run longer). Observations
+/// beyond the shortest replication are ignored.
+///
+/// # Panics
+///
+/// Panics if `replications` is empty, any series is empty, `window` is
+/// zero, or `tolerance` is not positive.
+///
+/// # Example
+///
+/// ```
+/// use dqa_sim::stats::welch_truncation;
+///
+/// // Two replications of a process that warms up after ~10 samples.
+/// let rep = |off: f64| -> Vec<f64> {
+///     (0..200)
+///         .map(|j| 10.0 * (1.0 - (-(j as f64) / 3.0).exp()) + off)
+///         .collect()
+/// };
+/// let cut = welch_truncation(&[rep(0.01), rep(-0.01)], 3, 0.02).unwrap();
+/// assert!((5..40).contains(&cut), "cut at {cut}");
+/// ```
+#[must_use]
+pub fn welch_truncation(
+    replications: &[Vec<f64>],
+    window: usize,
+    tolerance: f64,
+) -> Option<usize> {
+    assert!(!replications.is_empty(), "need at least one replication");
+    assert!(window > 0, "window must be positive");
+    assert!(
+        tolerance.is_finite() && tolerance > 0.0,
+        "tolerance must be positive"
+    );
+    let len = replications
+        .iter()
+        .map(Vec::len)
+        .min()
+        .expect("non-empty slice");
+    assert!(len > 0, "replications must contain observations");
+
+    // Cross-replication mean at each index.
+    let mean: Vec<f64> = (0..len)
+        .map(|j| replications.iter().map(|r| r[j]).sum::<f64>() / replications.len() as f64)
+        .collect();
+
+    // Centered moving average, shrinking the window near the edges.
+    let smoothed: Vec<f64> = (0..len)
+        .map(|j| {
+            let w = window.min(j).min(len - 1 - j);
+            let lo = j - w;
+            let hi = j + w;
+            mean[lo..=hi].iter().sum::<f64>() / (hi - lo + 1) as f64
+        })
+        .collect();
+
+    // Settled value: mean of the final quarter (at least one point).
+    let tail_start = len - (len / 4).max(1);
+    let settled = smoothed[tail_start..].iter().sum::<f64>() / (len - tail_start) as f64;
+    let band = tolerance * settled.abs().max(f64::MIN_POSITIVE);
+
+    // First index from which the curve never leaves the band.
+    let mut cut = None;
+    for (j, &v) in smoothed.iter().enumerate() {
+        if (v - settled).abs() <= band {
+            cut.get_or_insert(j);
+        } else {
+            cut = None;
+        }
+    }
+    cut
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::RngStream;
+
+    fn transient_series(tau: f64, target: f64, seed: u64, n: usize) -> Vec<f64> {
+        let mut rng = RngStream::new(seed);
+        (0..n)
+            .map(|j| {
+                let drift = target * (1.0 - (-(j as f64) / tau).exp());
+                drift + (rng.next_f64() - 0.5) * 0.05 * target
+            })
+            .collect()
+    }
+
+    #[test]
+    fn detects_a_known_transient() {
+        let reps: Vec<Vec<f64>> = (0..5)
+            .map(|s| transient_series(20.0, 8.0, s, 400))
+            .collect();
+        let cut = welch_truncation(&reps, 10, 0.05).expect("settles");
+        // The exponential reaches 95% of target at 3 tau = 60.
+        assert!(
+            (20..150).contains(&cut),
+            "cut {cut} should be near the 3-tau mark"
+        );
+    }
+
+    #[test]
+    fn stationary_series_truncates_at_zero_ish() {
+        let reps: Vec<Vec<f64>> = (0..4)
+            .map(|s| {
+                let mut rng = RngStream::new(100 + s);
+                (0..200).map(|_| 5.0 + (rng.next_f64() - 0.5) * 0.1).collect()
+            })
+            .collect();
+        let cut = welch_truncation(&reps, 5, 0.05).expect("settles");
+        assert!(cut < 10, "stationary data should need no warmup, got {cut}");
+    }
+
+    #[test]
+    fn still_trending_series_returns_none() {
+        // Linear growth never settles.
+        let reps = vec![(0..100).map(f64::from).collect::<Vec<f64>>()];
+        assert_eq!(welch_truncation(&reps, 5, 0.01), None);
+    }
+
+    #[test]
+    fn respects_shortest_replication() {
+        let reps = vec![vec![1.0; 50], vec![1.0; 500]];
+        let cut = welch_truncation(&reps, 5, 0.05).unwrap();
+        assert!(cut < 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_rejected() {
+        let _ = welch_truncation(&[vec![1.0]], 0, 0.1);
+    }
+}

@@ -1,0 +1,152 @@
+//! Event tracing: a bounded ring buffer of recent events.
+//!
+//! Attached to an [`Engine`](crate::Engine) via
+//! [`Engine::set_observer`](crate::Engine::set_observer), a [`TraceLog`]
+//! keeps the last `capacity` dispatched events with their timestamps —
+//! exactly what you want on the floor when a simulation invariant fires:
+//! the tail of history that led to the bad state, without unbounded
+//! memory.
+//!
+//! # Example
+//!
+//! ```
+//! use dqa_sim::trace::TraceLog;
+//! use dqa_sim::SimTime;
+//!
+//! let mut log: TraceLog<&str> = TraceLog::new(2);
+//! log.record(SimTime::new(1.0), "a");
+//! log.record(SimTime::new(2.0), "b");
+//! log.record(SimTime::new(3.0), "c"); // evicts "a"
+//! let tail: Vec<_> = log.iter().map(|(_, e)| *e).collect();
+//! assert_eq!(tail, vec!["b", "c"]);
+//! assert_eq!(log.dropped(), 1);
+//! ```
+
+use std::collections::VecDeque;
+
+use crate::SimTime;
+
+/// A bounded log of `(time, event)` records; oldest entries are evicted
+/// first.
+#[derive(Debug, Clone)]
+pub struct TraceLog<E> {
+    entries: VecDeque<(SimTime, E)>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl<E> TraceLog<E> {
+    /// Creates a log holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        TraceLog {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest if full.
+    pub fn record(&mut self, time: SimTime, event: E) {
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back((time, event));
+    }
+
+    /// Iterates over the retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &(SimTime, E)> {
+        self.entries.iter()
+    }
+
+    /// Number of retained events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if nothing has been recorded (or everything
+    /// evicted... which cannot happen, evictions require newer entries).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of events evicted so far.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Clears the log (keeps the capacity).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.dropped = 0;
+    }
+}
+
+impl<E: std::fmt::Debug> TraceLog<E> {
+    /// Renders the retained tail as one line per event, oldest first —
+    /// the "flight recorder" dump for panic messages.
+    #[must_use]
+    pub fn dump(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        if self.dropped > 0 {
+            let _ = writeln!(out, "... {} earlier events dropped ...", self.dropped);
+        }
+        for (t, e) in &self.entries {
+            let _ = writeln!(out, "{t}  {e:?}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_only_the_tail() {
+        let mut log = TraceLog::new(3);
+        for i in 0..10 {
+            log.record(SimTime::new(f64::from(i)), i);
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 7);
+        let tail: Vec<i32> = log.iter().map(|&(_, e)| e).collect();
+        assert_eq!(tail, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn dump_mentions_drops_and_events() {
+        let mut log = TraceLog::new(1);
+        log.record(SimTime::new(1.0), "first");
+        log.record(SimTime::new(2.0), "second");
+        let dump = log.dump();
+        assert!(dump.contains("1 earlier events dropped"));
+        assert!(dump.contains("second"));
+        assert!(!dump.contains("first\n"));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut log = TraceLog::new(2);
+        log.record(SimTime::ZERO, ());
+        log.clear();
+        assert!(log.is_empty());
+        assert_eq!(log.dropped(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _: TraceLog<()> = TraceLog::new(0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based tests of the simulation kernel's data structures.
+
+use dqa_sim::random::{Dist, RngStream};
+use dqa_sim::stats::{BatchMeans, Tally, TimeWeighted};
+use dqa_sim::{EventQueue, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Popping returns events in non-decreasing time order, regardless of
+    /// push order.
+    #[test]
+    fn event_queue_pops_sorted(times in prop::collection::vec(0.0f64..1e6, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::new(t), i);
+        }
+        let mut prev = SimTime::ZERO;
+        let mut count = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= prev);
+            prev = t;
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    /// Events at identical timestamps preserve insertion order (stability),
+    /// even interleaved with other timestamps.
+    #[test]
+    fn event_queue_is_stable(
+        groups in prop::collection::vec((0.0f64..100.0, 1usize..8), 1..30)
+    ) {
+        let mut q = EventQueue::new();
+        let mut seq = 0u64;
+        for &(t, n) in &groups {
+            for _ in 0..n {
+                q.push(SimTime::new(t), (t.to_bits(), seq));
+                seq += 1;
+            }
+        }
+        let mut last_seq_at: std::collections::HashMap<u64, u64> = Default::default();
+        while let Some((t, (bits, s))) = q.pop() {
+            prop_assert_eq!(t.as_f64().to_bits(), bits);
+            if let Some(&prev) = last_seq_at.get(&bits) {
+                prop_assert!(s > prev, "same-time events out of insertion order");
+            }
+            last_seq_at.insert(bits, s);
+        }
+    }
+
+    /// Welford tally matches the naive two-pass mean and variance.
+    #[test]
+    fn tally_matches_two_pass(xs in prop::collection::vec(-1e4f64..1e4, 2..300)) {
+        let mut t = Tally::new();
+        for &x in &xs {
+            t.record(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        prop_assert!((t.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((t.sample_variance() - var).abs() < 1e-5 * (1.0 + var));
+        prop_assert_eq!(t.min(), xs.iter().cloned().fold(f64::INFINITY, f64::min));
+        prop_assert_eq!(t.max(), xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+    }
+
+    /// Merging split tallies equals one combined tally.
+    #[test]
+    fn tally_merge_is_concatenation(
+        xs in prop::collection::vec(-1e3f64..1e3, 1..100),
+        ys in prop::collection::vec(-1e3f64..1e3, 1..100),
+    ) {
+        let mut a = Tally::new();
+        let mut b = Tally::new();
+        let mut whole = Tally::new();
+        for &x in &xs { a.record(x); whole.record(x); }
+        for &y in &ys { b.record(y); whole.record(y); }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-8 * (1.0 + whole.mean().abs()));
+        prop_assert!(
+            (a.sample_variance() - whole.sample_variance()).abs()
+                < 1e-6 * (1.0 + whole.sample_variance())
+        );
+    }
+
+    /// The time average of a piecewise-constant signal equals the manual
+    /// integral.
+    #[test]
+    fn time_weighted_matches_manual_integral(
+        steps in prop::collection::vec((0.01f64..10.0, -50.0f64..50.0), 1..50)
+    ) {
+        let mut s = TimeWeighted::new(SimTime::ZERO, 0.0);
+        let mut now = 0.0;
+        let mut area = 0.0;
+        let mut value = 0.0;
+        for &(dt, v) in &steps {
+            area += value * dt;
+            now += dt;
+            s.set(SimTime::new(now), v);
+            value = v;
+        }
+        // extend one more unit at the final value
+        area += value * 1.0;
+        now += 1.0;
+        let expected = area / now;
+        prop_assert!((s.time_average(SimTime::new(now)) - expected).abs() < 1e-9 * (1.0 + expected.abs()));
+    }
+
+    /// Batch means: the grand mean equals the plain mean and the interval
+    /// contains it when data are exchangeable.
+    #[test]
+    fn batch_means_grand_mean(xs in prop::collection::vec(0.0f64..100.0, 20..400)) {
+        let mut bm = BatchMeans::new(10);
+        for &x in &xs {
+            bm.record(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        prop_assert!((bm.mean() - mean).abs() < 1e-9 * (1.0 + mean));
+        prop_assert_eq!(bm.completed_batches(), xs.len() as u64 / 10);
+    }
+
+    /// Distribution samples respect their supports and (for constants)
+    /// their exact values.
+    #[test]
+    fn dist_samples_stay_in_support(
+        seed in 0u64..1_000,
+        mean in 0.01f64..50.0,
+        dev in 0.0f64..1.0,
+    ) {
+        let mut rng = RngStream::new(seed);
+        let c = Dist::constant(mean);
+        prop_assert_eq!(c.sample(&mut rng), mean);
+        let e = Dist::exponential(mean);
+        for _ in 0..50 {
+            prop_assert!(e.sample(&mut rng) >= 0.0);
+        }
+        let u = Dist::uniform_deviation(mean, dev);
+        for _ in 0..50 {
+            let x = u.sample(&mut rng);
+            prop_assert!(x >= mean * (1.0 - dev) - 1e-12);
+            prop_assert!(x <= mean * (1.0 + dev) + 1e-12);
+        }
+        prop_assert!(e.sample_count(&mut rng) >= 1);
+    }
+
+    /// Substreams with distinct tags never produce the same initial draw
+    /// sequence (collision would break independence assumptions).
+    #[test]
+    fn substreams_do_not_collide(seed in 0u64..500, a in 0u64..64, b in 0u64..64) {
+        prop_assume!(a != b);
+        let root = RngStream::new(seed);
+        let mut sa = root.substream(a);
+        let mut sb = root.substream(b);
+        let va: Vec<u64> = (0..4).map(|_| sa.next_u64()).collect();
+        let vb: Vec<u64> = (0..4).map(|_| sb.next_u64()).collect();
+        prop_assert_ne!(va, vb);
+    }
+}

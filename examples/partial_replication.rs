@@ -1,0 +1,66 @@
+//! Partial replication: how many copies of the data does dynamic
+//! allocation need?
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example partial_replication
+//! ```
+//!
+//! The paper studies a fully replicated database and names partial
+//! replication as future work (§6.2). This example walks the replication
+//! degree of a 6-site database from 1 copy (partitioned — the allocator
+//! has no choice) to 6 (fully replicated — maximal choice, maximal update
+//! cost in a real system) and shows where the allocation benefit
+//! saturates.
+
+use dqa_core::experiment::{run, RunConfig};
+use dqa_core::params::SystemParams;
+use dqa_core::policy::PolicyKind;
+use dqa_core::replication::Catalog;
+use dqa_core::table::{fmt_f, TextTable};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // First show what a catalog looks like.
+    let catalog = Catalog::new(6, 12, 2);
+    println!("placement of the first four relations (6 sites, 2 copies):");
+    for r in 0..4 {
+        println!("  relation {r}: sites {:?} (primary {})", catalog.candidates(r), catalog.primary(r));
+    }
+    println!();
+
+    let mut table = TextTable::new(vec![
+        "copies",
+        "W STATIC",
+        "W LERT",
+        "LERT gain %",
+        "remote fraction",
+    ]);
+    for copies in 1..=6u32 {
+        let params = SystemParams::builder()
+            .num_relations(12)
+            .copies(Some(copies))
+            .build()?;
+        let cfg = |policy| RunConfig::new(params.clone(), policy).seed(5).windows(2_000.0, 12_000.0);
+        let stat = run(&cfg(PolicyKind::Local))?;
+        let lert = run(&cfg(PolicyKind::Lert))?;
+        table.row(vec![
+            copies.to_string(),
+            fmt_f(stat.mean_waiting, 2),
+            fmt_f(lert.mean_waiting, 2),
+            fmt_f(
+                (stat.mean_waiting - lert.mean_waiting) / stat.mean_waiting * 100.0,
+                1,
+            ),
+            fmt_f(lert.transfer_fraction, 3),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "one copy: the catalog dictates placement and LERT ≈ STATIC.\n\
+         two-three copies: most of the dynamic-allocation benefit appears.\n\
+         beyond: diminishing returns — the paper's 'optimal number of \
+         copies' in the environment its future work describes."
+    );
+    Ok(())
+}

@@ -1,0 +1,129 @@
+//! Integration tests of the experiment harness itself: warmup handling,
+//! replication mechanics, report integrity, and the capacity search.
+
+use dqa_core::experiment::{
+    improvement_pct, max_mpl_for_response, run, run_replicated, RunConfig,
+};
+use dqa_core::params::SystemParams;
+use dqa_core::policy::PolicyKind;
+
+fn base_config() -> RunConfig {
+    let params = SystemParams::builder()
+        .num_sites(3)
+        .mpl(6)
+        .think_time(120.0)
+        .build()
+        .unwrap();
+    RunConfig::new(params, PolicyKind::Lert)
+        .seed(55)
+        .windows(1_000.0, 6_000.0)
+}
+
+#[test]
+fn run_is_deterministic_per_seed() {
+    let a = run(&base_config()).unwrap();
+    let b = run(&base_config()).unwrap();
+    assert_eq!(a.mean_waiting, b.mean_waiting);
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.subnet_utilization, b.subnet_utilization);
+}
+
+#[test]
+fn warmup_truncation_changes_the_estimate() {
+    // Starting cold biases waiting low (empty queues); discarding warmup
+    // must change the estimator. The exact direction depends on the
+    // transient, so only inequality is asserted.
+    let with_warmup = run(&base_config()).unwrap();
+    let cfg = base_config().windows(0.0, 6_000.0);
+    let without = run(&cfg).unwrap();
+    assert_ne!(with_warmup.mean_waiting, without.mean_waiting);
+}
+
+#[test]
+fn longer_measurement_tightens_replication_spread() {
+    let short = run_replicated(&base_config().windows(1_000.0, 2_000.0), 4).unwrap();
+    let long = run_replicated(&base_config().windows(1_000.0, 20_000.0), 4).unwrap();
+    assert!(
+        long.half_width(|r| r.mean_waiting) < short.half_width(|r| r.mean_waiting),
+        "10x data should shrink the confidence interval: {} vs {}",
+        long.half_width(|r| r.mean_waiting),
+        short.half_width(|r| r.mean_waiting)
+    );
+}
+
+#[test]
+fn report_fields_are_mutually_consistent() {
+    let r = run(&base_config()).unwrap();
+    // throughput * measured time = completions
+    let implied = r.throughput * r.measured_time;
+    assert!(
+        (implied - r.completed as f64).abs() < 1.0,
+        "throughput {} x time {} != completions {}",
+        r.throughput,
+        r.measured_time,
+        r.completed
+    );
+    // per-class means aggregate to the global mean (weighted by counts)
+    let weighted: f64 = r
+        .per_class
+        .iter()
+        .map(|c| c.mean_waiting * c.completed as f64)
+        .sum::<f64>()
+        / r.completed as f64;
+    assert!((weighted - r.mean_waiting).abs() < 1e-9);
+    // fairness recomputes from the per-class summaries
+    let f = r.per_class[0].normalized_waiting - r.per_class[1].normalized_waiting;
+    assert!((f - r.fairness).abs() < 1e-9);
+}
+
+#[test]
+fn replications_use_consecutive_seeds() {
+    let rep = run_replicated(&base_config(), 3).unwrap();
+    let solo: Vec<f64> = (0..3)
+        .map(|k| {
+            let mut cfg = base_config();
+            cfg.seed += k;
+            run(&cfg).unwrap().mean_waiting
+        })
+        .collect();
+    let from_rep: Vec<f64> = rep.reports.iter().map(|r| r.mean_waiting).collect();
+    assert_eq!(solo, from_rep);
+}
+
+#[test]
+fn improvement_pct_matches_paper_convention() {
+    // Table 8 reads: LOCAL 22.71 -> LERT improvement 43.54% means
+    // W_LERT = 22.71 * (1 - 0.4354).
+    let w_local = 22.71;
+    let w_lert = w_local * (1.0 - 0.4354);
+    assert!((improvement_pct(w_local, w_lert) - 43.54).abs() < 1e-9);
+}
+
+#[test]
+fn capacity_search_brackets_the_feasible_region() {
+    let cfg = base_config().windows(500.0, 4_000.0);
+    // A generous target is satisfiable by the whole range.
+    let max = max_mpl_for_response(&cfg, 1_000.0, 2..=6, 1).unwrap();
+    assert_eq!(max, Some(6));
+    // An impossible target by none.
+    let none = max_mpl_for_response(&cfg, 1e-6, 2..=6, 1).unwrap();
+    assert_eq!(none, None);
+}
+
+#[test]
+fn mpl_monotonically_raises_response_time() {
+    // The premise behind the Table-10 search: more terminals, more
+    // contention, longer responses.
+    let mut prev = 0.0;
+    for mpl in [4u32, 10, 16, 24] {
+        let mut cfg = base_config().windows(1_000.0, 10_000.0);
+        cfg.params.mpl = mpl;
+        let r = run(&cfg).unwrap();
+        assert!(
+            r.mean_response > prev,
+            "response should grow with mpl: {} at mpl {mpl} (prev {prev})",
+            r.mean_response
+        );
+        prev = r.mean_response;
+    }
+}

@@ -1,0 +1,338 @@
+//! Integration tests of the three model extensions built on the paper's
+//! §4.4/§6.2 future work: partial replication, costed status exchange,
+//! and mid-execution query migration.
+
+use dqa_core::experiment::{run, run_replicated, RunConfig};
+use dqa_core::params::{MigrationSpec, SystemParams, Workload};
+use dqa_core::policy::PolicyKind;
+
+fn quick(params: SystemParams, policy: PolicyKind, seed: u64) -> dqa_core::experiment::RunReport {
+    run(&RunConfig::new(params, policy)
+        .seed(seed)
+        .windows(1_500.0, 10_000.0))
+    .expect("valid parameters")
+}
+
+// ---------------------------------------------------------------------
+// Partial replication
+// ---------------------------------------------------------------------
+
+#[test]
+fn single_copy_removes_the_allocators_choice() {
+    // With one copy per relation, every policy is forced to the same
+    // placement, so LERT cannot beat the static-primary baseline by more
+    // than noise.
+    let params = SystemParams::builder()
+        .num_sites(6)
+        .num_relations(18)
+        .copies(Some(1))
+        .build()
+        .unwrap();
+    let local = quick(params.clone(), PolicyKind::Local, 41);
+    let lert = quick(params, PolicyKind::Lert, 42);
+    let rel = (local.mean_waiting - lert.mean_waiting).abs() / local.mean_waiting;
+    assert!(
+        rel < 0.15,
+        "policies should coincide at 1 copy: LOCAL {} vs LERT {}",
+        local.mean_waiting,
+        lert.mean_waiting
+    );
+}
+
+#[test]
+fn more_copies_help_the_dynamic_policy() {
+    let waiting = |copies: u32| {
+        let params = SystemParams::builder()
+            .num_sites(6)
+            .num_relations(18)
+            .copies(Some(copies))
+            .build()
+            .unwrap();
+        run_replicated(
+            &RunConfig::new(params, PolicyKind::Lert)
+                .seed(43)
+                .windows(1_500.0, 10_000.0),
+            3,
+        )
+        .unwrap()
+        .mean_waiting()
+    };
+    let w1 = waiting(1);
+    let w3 = waiting(3);
+    let w6 = waiting(6);
+    assert!(
+        w3 < w1 && w6 < w1,
+        "replication should reduce waiting: 1 copy {w1}, 3 copies {w3}, 6 copies {w6}"
+    );
+}
+
+#[test]
+fn full_replication_matches_copies_none() {
+    // `copies: Some(num_sites)` and `copies: None` describe the same
+    // system and must produce identical runs (same seeds, same draws).
+    let explicit = SystemParams::builder()
+        .num_sites(4)
+        .copies(Some(4))
+        .build()
+        .unwrap();
+    let implicit = SystemParams::builder().num_sites(4).build().unwrap();
+    let a = quick(explicit, PolicyKind::Bnqrd, 44);
+    let b = quick(implicit, PolicyKind::Bnqrd, 44);
+    assert_eq!(a.mean_waiting, b.mean_waiting);
+    assert_eq!(a.completed, b.completed);
+}
+
+// ---------------------------------------------------------------------
+// Costed status exchange
+// ---------------------------------------------------------------------
+
+#[test]
+fn status_broadcasts_consume_ring_capacity() {
+    let free = SystemParams::builder()
+        .status_period(10.0)
+        .build()
+        .unwrap();
+    let costed = SystemParams::builder()
+        .status_period(10.0)
+        .status_msg_length(0.5)
+        .build()
+        .unwrap();
+    let r_free = quick(free, PolicyKind::Lert, 45);
+    let r_costed = quick(costed, PolicyKind::Lert, 45);
+    assert!(
+        r_costed.subnet_utilization > r_free.subnet_utilization + 0.1,
+        "broadcast frames must show up on the ring: {} vs {}",
+        r_costed.subnet_utilization,
+        r_free.subnet_utilization
+    );
+}
+
+#[test]
+fn moderate_costed_exchange_still_beats_local() {
+    let local = quick(SystemParams::paper_base(), PolicyKind::Local, 46);
+    let params = SystemParams::builder()
+        .status_period(5.0)
+        .status_msg_length(0.25)
+        .build()
+        .unwrap();
+    let lert = quick(params, PolicyKind::Lert, 47);
+    assert!(
+        lert.mean_waiting < local.mean_waiting,
+        "a reasonable exchange policy must preserve most of the gain: \
+         LERT {} vs LOCAL {}",
+        lert.mean_waiting,
+        local.mean_waiting
+    );
+}
+
+#[test]
+fn saturating_status_traffic_destroys_the_system() {
+    // 6 sites broadcasting a 1-unit frame every 2.5 units offers 2.4x the
+    // ring's capacity: queries starve behind status frames.
+    let params = SystemParams::builder()
+        .status_period(2.5)
+        .status_msg_length(1.0)
+        .build()
+        .unwrap();
+    let local = quick(SystemParams::paper_base(), PolicyKind::Local, 48);
+    let drowned = quick(params, PolicyKind::Lert, 48);
+    assert!(
+        drowned.mean_waiting > local.mean_waiting,
+        "an overloaded exchange policy should be worse than no balancing"
+    );
+    assert!(drowned.subnet_utilization > 0.9);
+}
+
+// ---------------------------------------------------------------------
+// Query migration
+// ---------------------------------------------------------------------
+
+#[test]
+fn migration_bookkeeping_is_sound_under_load() {
+    let params = SystemParams::builder()
+        .think_time(200.0)
+        .migration(Some(MigrationSpec::default()))
+        .build()
+        .unwrap();
+    let r = quick(params, PolicyKind::Lert, 49);
+    assert!(r.completed > 1_000);
+    assert!(r.migrations > 0, "heavy load should trigger some migrations");
+    // every migrated query still finishes exactly once
+    let class_total: u64 = r.per_class.iter().map(|c| c.completed).sum();
+    assert_eq!(class_total, r.completed);
+}
+
+#[test]
+fn free_state_migration_does_not_hurt() {
+    // With weightless state (re-executable scans) migration should be at
+    // worst neutral relative to allocate-once LERT.
+    let plain = quick(SystemParams::paper_base(), PolicyKind::Lert, 50);
+    let params = SystemParams::builder()
+        .migration(Some(MigrationSpec {
+            check_every_reads: 5,
+            min_gain: 1.0,
+            state_growth: 0.0,
+        }))
+        .build()
+        .unwrap();
+    let migrating = quick(params, PolicyKind::Lert, 50);
+    assert!(
+        migrating.mean_waiting < plain.mean_waiting * 1.10,
+        "free-state migration should not lose: {} vs {}",
+        migrating.mean_waiting,
+        plain.mean_waiting
+    );
+}
+
+#[test]
+fn costly_state_migration_is_correctly_a_bad_idea() {
+    // The negative result, pinned: dragging heavy partial results across
+    // a shared ring costs more than the placement gain.
+    let plain = quick(SystemParams::paper_base(), PolicyKind::Lert, 51);
+    let params = SystemParams::builder()
+        .migration(Some(MigrationSpec {
+            check_every_reads: 2,
+            min_gain: 1.0,
+            state_growth: 1.0,
+        }))
+        .build()
+        .unwrap();
+    let migrating = quick(params, PolicyKind::Lert, 51);
+    assert!(
+        migrating.mean_waiting > plain.mean_waiting,
+        "heavy-state migration should lose: {} vs {}",
+        migrating.mean_waiting,
+        plain.mean_waiting
+    );
+}
+
+// ---------------------------------------------------------------------
+// Update workload (read-one-write-all propagation)
+// ---------------------------------------------------------------------
+
+#[test]
+fn update_propagation_count_scales_with_copies() {
+    let propagations_per_query = |copies: u32| {
+        let params = SystemParams::builder()
+            .num_sites(6)
+            .num_relations(12)
+            .copies(Some(copies))
+            .update_fraction(0.2)
+            .propagation_factor(0.25)
+            .build()
+            .unwrap();
+        let r = quick(params, PolicyKind::Lert, 53);
+        r.propagations as f64 / r.completed as f64
+    };
+    let p2 = propagations_per_query(2);
+    let p5 = propagations_per_query(5);
+    // Each update reaches (copies - 1) replicas: expect ~0.2*(k-1).
+    assert!((p2 - 0.2).abs() < 0.08, "2 copies: {p2}");
+    assert!((p5 - 0.8).abs() < 0.2, "5 copies: {p5}");
+}
+
+#[test]
+fn updates_make_high_replication_costly() {
+    let wait = |copies: u32| {
+        let params = SystemParams::builder()
+            .num_sites(8)
+            .num_relations(24)
+            .copies(Some(copies))
+            .update_fraction(0.3)
+            .propagation_factor(0.25)
+            .build()
+            .unwrap();
+        quick(params, PolicyKind::Lert, 54).mean_waiting
+    };
+    // At a 30% update mix, full replication must be clearly worse than a
+    // low replication degree (the apply traffic saturates the ring).
+    let low = wait(2);
+    let full = wait(8);
+    assert!(
+        full > low * 1.5,
+        "full replication should hurt under heavy updates: {full} vs {low}"
+    );
+}
+
+#[test]
+fn heterogeneous_speeds_widen_lerts_edge_over_bnq() {
+    let gap = |speeds: Option<Vec<f64>>| {
+        let params = SystemParams::builder().cpu_speeds(speeds).build().unwrap();
+        let bnq = run_replicated(
+            &RunConfig::new(params.clone(), PolicyKind::Bnq)
+                .seed(55)
+                .windows(1_500.0, 10_000.0),
+            3,
+        )
+        .unwrap()
+        .mean_waiting();
+        let lert = run_replicated(
+            &RunConfig::new(params, PolicyKind::Lert)
+                .seed(55)
+                .windows(1_500.0, 10_000.0),
+            3,
+        )
+        .unwrap()
+        .mean_waiting();
+        (bnq - lert) / bnq
+    };
+    let homogeneous = gap(None);
+    let skewed = gap(Some(vec![1.5, 1.5, 1.0, 1.0, 0.5, 0.5]));
+    assert!(
+        skewed > homogeneous,
+        "speed skew should reward hardware knowledge: {skewed} vs {homogeneous}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Open workload
+// ---------------------------------------------------------------------
+
+#[test]
+fn open_workload_throughput_equals_offered_load_when_stable() {
+    let rate = 0.03;
+    let params = SystemParams::builder()
+        .num_sites(3)
+        .workload(Workload::Open { arrival_rate: rate })
+        .build()
+        .unwrap();
+    let r = quick(params, PolicyKind::Bnq, 56);
+    let offered = 3.0 * rate;
+    assert!(
+        (r.throughput - offered).abs() / offered < 0.08,
+        "throughput {} vs offered {offered}",
+        r.throughput
+    );
+}
+
+#[test]
+fn lert_extends_the_stability_frontier_under_heterogeneity() {
+    // At 0.08 arrivals/site, the half-speed sites are individually
+    // overloaded (local capacity ~0.06) but the system has headroom.
+    let params = SystemParams::builder()
+        .cpu_speeds(Some(vec![1.5, 1.5, 1.0, 1.0, 0.5, 0.5]))
+        .workload(Workload::Open { arrival_rate: 0.08 })
+        .build()
+        .unwrap();
+    let local = quick(params.clone(), PolicyKind::Local, 57);
+    let lert = quick(params, PolicyKind::Lert, 57);
+    assert!(
+        lert.mean_waiting < local.mean_waiting / 2.0,
+        "LERT {} should be far below a partially saturated LOCAL {}",
+        lert.mean_waiting,
+        local.mean_waiting
+    );
+}
+
+#[test]
+fn migration_composes_with_partial_replication() {
+    let params = SystemParams::builder()
+        .num_sites(6)
+        .num_relations(18)
+        .copies(Some(3))
+        .migration(Some(MigrationSpec::default()))
+        .build()
+        .unwrap();
+    let r = quick(params, PolicyKind::Lert, 52);
+    assert!(r.completed > 500, "composed extensions must still run");
+}

@@ -1,0 +1,204 @@
+//! Cross-validation of the two independent implementations of the model:
+//! the exact MVA solver (`dqa-mva`) against the discrete-event simulator
+//! (`dqa-core`), plus the DES stations against textbook open-queue
+//! formulas. Agreement here pins down the service-center logic, the
+//! statistics pipeline, and the solver at once.
+
+use dqa_core::experiment::{run, RunConfig};
+use dqa_core::params::SystemParams;
+use dqa_core::policy::PolicyKind;
+use dqa_mva::{solve, Network, StationKind};
+use dqa_queueing::analytic;
+use dqa_queueing::{FcfsQueue, PsServer};
+use dqa_sim::random::RngStream;
+use dqa_sim::stats::Tally;
+use dqa_sim::SimTime;
+
+/// Builds the MVA network matching one simulated site with terminals:
+/// a delay station (think, spread per read-cycle), the CPU, and the disks.
+/// Demands are per read-cycle; a query is `num_reads` cycles.
+fn site_with_terminals(params: &SystemParams) -> Network {
+    let reads = params.classes[0].num_reads;
+    let mut b = Network::builder(params.classes.len());
+    let think: Vec<f64> = params.classes.iter().map(|_| params.think_time / reads).collect();
+    b = b.station("think", StationKind::Delay, think);
+    let cpu: Vec<f64> = params.classes.iter().map(|c| c.page_cpu_time).collect();
+    b = b.station("cpu", StationKind::Queueing, cpu);
+    let per_disk = params.disk_time / f64::from(params.num_disks);
+    for d in 0..params.num_disks {
+        let demands: Vec<f64> = params.classes.iter().map(|_| per_disk).collect();
+        b = b.station(&format!("disk{d}"), StationKind::Queueing, demands);
+    }
+    b.build().expect("valid network")
+}
+
+#[test]
+fn single_site_throughput_matches_mva() {
+    // One site, LOCAL policy: the simulator *is* the closed network the
+    // MVA solver solves (modulo the uniform-vs-exponential disk service,
+    // to which throughput is nearly insensitive).
+    let params = SystemParams::builder()
+        .num_sites(1)
+        .mpl(12)
+        .think_time(200.0)
+        .build()
+        .unwrap();
+    let report = run(&RunConfig::new(params.clone(), PolicyKind::Local)
+        .seed(101)
+        .windows(4_000.0, 40_000.0))
+    .unwrap();
+
+    let net = site_with_terminals(&params);
+    // Population: split terminals by class probability (6/6 at p = 0.5).
+    let sol = solve(&net, &[6, 6]);
+    // MVA throughput is in cycles/unit; a query is num_reads cycles.
+    let reads = params.classes[0].num_reads;
+    let mva_qps = (sol.throughput(0) + sol.throughput(1)) / reads;
+
+    let rel = (report.throughput - mva_qps).abs() / mva_qps;
+    assert!(
+        rel < 0.06,
+        "simulated throughput {} vs MVA {} (rel err {:.3})",
+        report.throughput,
+        mva_qps,
+        rel
+    );
+}
+
+#[test]
+fn single_site_cpu_utilization_matches_mva() {
+    let params = SystemParams::builder()
+        .num_sites(1)
+        .mpl(10)
+        .think_time(150.0)
+        .build()
+        .unwrap();
+    let report = run(&RunConfig::new(params.clone(), PolicyKind::Local)
+        .seed(102)
+        .windows(4_000.0, 40_000.0))
+    .unwrap();
+
+    let net = site_with_terminals(&params);
+    let sol = solve(&net, &[5, 5]);
+    let rho_mva = sol.throughput(0) * params.classes[0].page_cpu_time
+        + sol.throughput(1) * params.classes[1].page_cpu_time;
+    let rel = (report.cpu_utilization - rho_mva).abs() / rho_mva;
+    assert!(
+        rel < 0.08,
+        "simulated rho_c {} vs MVA {} (rel err {:.3})",
+        report.cpu_utilization,
+        rho_mva,
+        rel
+    );
+}
+
+#[test]
+fn fcfs_station_reproduces_mm1() {
+    // Drive the FCFS component with Poisson arrivals and exponential
+    // service and compare the mean number in system with rho/(1-rho).
+    let lambda = 0.7;
+    let mu = 1.0;
+    let mut rng = RngStream::new(42);
+    let mut q: FcfsQueue<u64> = FcfsQueue::new(SimTime::ZERO);
+
+    let mut now = SimTime::ZERO;
+    let mut next_arrival = now + rng.exponential(1.0 / lambda);
+    let mut next_departure: Option<SimTime> = None;
+    for i in 0..400_000u64 {
+        match next_departure {
+            Some(d) if d <= next_arrival => {
+                now = d;
+                let (_, nd) = q.complete(now);
+                next_departure = nd;
+            }
+            _ => {
+                now = next_arrival;
+                if let Some(d) = q.arrive(now, i, rng.exponential(1.0 / mu)) {
+                    next_departure = Some(d);
+                }
+                next_arrival = now + rng.exponential(1.0 / lambda);
+            }
+        }
+    }
+    let l_sim = q.mean_population(now);
+    let l_ana = analytic::mm1_number_in_system(lambda, mu);
+    let rel = (l_sim - l_ana).abs() / l_ana;
+    assert!(rel < 0.05, "L sim {l_sim} vs M/M/1 {l_ana} (rel {rel:.3})");
+    let rho_sim = q.utilization(now);
+    assert!((rho_sim - 0.7).abs() < 0.02, "rho {rho_sim}");
+}
+
+#[test]
+fn ps_station_reproduces_mm1_ps_response() {
+    // M/M/1-PS has the same mean response as M/M/1-FCFS: x/(1-rho) with
+    // x = 1/mu. Feed the PS component Poisson arrivals and measure
+    // per-job response times.
+    let lambda = 0.6;
+    let mu = 1.0;
+    let mut rng = RngStream::new(43);
+    let mut cpu: PsServer<u64> = PsServer::new(SimTime::ZERO);
+    let mut arrivals: std::collections::HashMap<u64, SimTime> = std::collections::HashMap::new();
+    let mut responses = Tally::new();
+
+    let mut now = SimTime::ZERO;
+    let mut next_arrival = now + rng.exponential(1.0 / lambda);
+    let mut next_departure = None;
+    let mut id = 0u64;
+    while responses.count() < 200_000 {
+        match next_departure {
+            Some((d, tok)) if d <= next_arrival => {
+                now = d;
+                let (job, nd) = cpu.complete(now, tok).expect("fresh token");
+                let t0 = arrivals.remove(&job).expect("job arrived");
+                responses.record(now - t0);
+                next_departure = nd;
+            }
+            _ => {
+                now = next_arrival;
+                arrivals.insert(id, now);
+                next_departure = cpu.arrive(now, id, rng.exponential(1.0 / mu));
+                id += 1;
+                next_arrival = now + rng.exponential(1.0 / lambda);
+            }
+        }
+    }
+    let r_sim = responses.mean();
+    let r_ana = analytic::mg1_ps_response(1.0 / mu, lambda / mu);
+    let rel = (r_sim - r_ana).abs() / r_ana;
+    assert!(rel < 0.05, "R sim {r_sim} vs M/M/1-PS {r_ana} (rel {rel:.3})");
+}
+
+#[test]
+fn mva_predicts_simulated_waiting_ordering_across_mixes() {
+    // The solver and the simulator must agree on *which* co-residency is
+    // worse: an I/O-bound query waits longer beside another I/O-bound
+    // query than beside a CPU-bound one (and MVA quantifies it).
+    let cfg = dqa_mva::allocation::StudyConfig::new(0.05, 1.0);
+    let w_same = cfg.waiting_per_cycle([2, 0], 0);
+    let w_mixed = cfg.waiting_per_cycle([1, 1], 0);
+    assert!(w_same > w_mixed);
+
+    // Simulated analogue: single site, two terminals, forced class mixes
+    // via class probabilities, compare I/O-class waiting.
+    let wait_io = |p_io: f64, seed: u64| {
+        let params = SystemParams::builder()
+            .num_sites(1)
+            .mpl(2)
+            .think_time(30.0)
+            .class_io_prob(p_io)
+            .build()
+            .unwrap();
+        let r = run(&RunConfig::new(params, PolicyKind::Local)
+            .seed(seed)
+            .windows(3_000.0, 30_000.0))
+        .unwrap();
+        r.per_class[0].mean_waiting
+    };
+    // p_io near 1: I/O queries mostly meet I/O queries; near 0.5: mixed.
+    let w_sim_same = wait_io(0.95, 7);
+    let w_sim_mixed = wait_io(0.5, 7);
+    assert!(
+        w_sim_same > w_sim_mixed,
+        "simulator should agree with MVA: {w_sim_same} vs {w_sim_mixed}"
+    );
+}

@@ -1,0 +1,184 @@
+//! Property-based tests of the allocation policies: each cost function's
+//! defining invariant, checked over arbitrary load tables.
+
+use dqa_core::load::LoadTable;
+use dqa_core::params::{SiteId, SystemParams};
+use dqa_core::policy::{AllocationContext, Allocator, PolicyKind};
+use dqa_core::query::QueryProfile;
+use proptest::prelude::*;
+
+const SITES: usize = 5;
+
+fn params() -> SystemParams {
+    SystemParams::builder().num_sites(SITES).build().unwrap()
+}
+
+/// A random load table over SITES sites.
+fn arb_load() -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0u32..8, 0u32..8), SITES)
+}
+
+fn table_from(rows: &[(u32, u32)]) -> LoadTable {
+    let mut t = LoadTable::new(SITES, true);
+    for (site, &(io, cpu)) in rows.iter().enumerate() {
+        for _ in 0..io {
+            t.allocate(site, true);
+        }
+        for _ in 0..cpu {
+            t.allocate(site, false);
+        }
+    }
+    t
+}
+
+fn query(class: usize, home: SiteId, p: &SystemParams) -> QueryProfile {
+    QueryProfile {
+        class,
+        num_reads: p.classes[class].num_reads,
+        page_cpu_time: p.classes[class].page_cpu_time,
+        home,
+        io_bound: p.is_io_bound(p.classes[class].page_cpu_time),
+        relation: 0,
+    }
+}
+
+proptest! {
+    /// BNQ never selects a site with strictly more queries than another
+    /// candidate.
+    #[test]
+    fn bnq_picks_a_minimum_count_site(rows in arb_load(), home in 0usize..SITES) {
+        let p = params();
+        let load = table_from(&rows);
+        let ctx = AllocationContext { params: &p, load: &load, arrival_site: home };
+        let mut alloc = Allocator::new(PolicyKind::Bnq, 0);
+        let pick = alloc.select_site(&query(0, home, &p), &ctx);
+        let min = (0..SITES).map(|s| load.view(s).total()).min().unwrap();
+        prop_assert_eq!(
+            load.view(pick).total(), min,
+            "BNQ picked count {} where the minimum is {}", load.view(pick).total(), min
+        );
+    }
+
+    /// BNQRD never selects a site with strictly more *same-class* queries
+    /// than another.
+    #[test]
+    fn bnqrd_picks_a_minimum_same_class_site(
+        rows in arb_load(),
+        home in 0usize..SITES,
+        class in 0usize..2,
+    ) {
+        let p = params();
+        let load = table_from(&rows);
+        let ctx = AllocationContext { params: &p, load: &load, arrival_site: home };
+        let mut alloc = Allocator::new(PolicyKind::Bnqrd, 0);
+        let q = query(class, home, &p);
+        let pick = alloc.select_site(&q, &ctx);
+        let count = |s: usize| if q.io_bound { load.view(s).io } else { load.view(s).cpu };
+        let min = (0..SITES).map(count).min().unwrap();
+        prop_assert_eq!(count(pick), min);
+    }
+
+    /// LERT's choice never has a strictly worse Figure-6 estimate than
+    /// the arrival site (moving must always be justified).
+    #[test]
+    fn lert_never_moves_to_a_worse_estimate(
+        rows in arb_load(),
+        home in 0usize..SITES,
+        class in 0usize..2,
+    ) {
+        let p = params();
+        let load = table_from(&rows);
+        let q = query(class, home, &p);
+        let lert_cost = |site: usize| {
+            let v = load.view(site);
+            let cpu_time = q.num_reads * q.page_cpu_time;
+            let io_time = q.num_reads * p.disk_time;
+            let net = if site == home { 0.0 } else { 2.0 * p.msg_length };
+            cpu_time * (1.0 + f64::from(v.cpu))
+                + io_time * (1.0 + f64::from(v.io) / f64::from(p.num_disks))
+                + net
+        };
+        let ctx = AllocationContext { params: &p, load: &load, arrival_site: home };
+        let mut alloc = Allocator::new(PolicyKind::Lert, 0);
+        let pick = alloc.select_site(&q, &ctx);
+        prop_assert!(
+            lert_cost(pick) <= lert_cost(home) + 1e-9,
+            "LERT moved from cost {} to {}", lert_cost(home), lert_cost(pick)
+        );
+    }
+
+    /// No policy ever selects a non-candidate under partial replication.
+    #[test]
+    fn candidates_are_respected_by_every_policy(
+        rows in arb_load(),
+        home in 0usize..SITES,
+        cand_mask in 1u8..(1 << SITES),
+    ) {
+        let candidates: Vec<SiteId> =
+            (0..SITES).filter(|s| cand_mask & (1 << s) != 0).collect();
+        let p = params();
+        let load = table_from(&rows);
+        let ctx = AllocationContext { params: &p, load: &load, arrival_site: home };
+        for kind in [
+            PolicyKind::Local,
+            PolicyKind::Bnq,
+            PolicyKind::Bnqrd,
+            PolicyKind::Lert,
+            PolicyKind::Random,
+            PolicyKind::Threshold(2),
+            PolicyKind::LertNoNet,
+            PolicyKind::Wlc,
+        ] {
+            let mut alloc = Allocator::new(kind, 3);
+            let pick = alloc.select_site_among(&query(0, home, &p), &ctx, &candidates);
+            prop_assert!(
+                candidates.contains(&pick),
+                "{kind:?} picked non-candidate {pick} from {candidates:?}"
+            );
+        }
+    }
+
+    /// WLC and BNQ are the same policy on homogeneous hardware.
+    #[test]
+    fn wlc_equals_bnq_when_homogeneous(rows in arb_load(), home in 0usize..SITES) {
+        let p = params();
+        let load = table_from(&rows);
+        let q = query(1, home, &p);
+        let mut wlc = Allocator::new(PolicyKind::Wlc, 0);
+        let mut bnq = Allocator::new(PolicyKind::Bnq, 0);
+        for _ in 0..SITES {
+            let ctx = AllocationContext { params: &p, load: &load, arrival_site: home };
+            prop_assert_eq!(wlc.select_site(&q, &ctx), bnq.select_site(&q, &ctx));
+        }
+    }
+
+    /// The Figure-3 tie rule: if every site looks identical, the query
+    /// stays at its arrival site under every deterministic policy.
+    #[test]
+    fn uniform_loads_keep_queries_home(
+        io in 0u32..5,
+        cpu in 0u32..5,
+        home in 0usize..SITES,
+        class in 0usize..2,
+    ) {
+        let p = params();
+        let rows: Vec<(u32, u32)> = vec![(io, cpu); SITES];
+        let load = table_from(&rows);
+        let ctx = AllocationContext { params: &p, load: &load, arrival_site: home };
+        for kind in [
+            PolicyKind::Local,
+            PolicyKind::Bnq,
+            PolicyKind::Bnqrd,
+            PolicyKind::Lert,
+            PolicyKind::Wlc,
+            PolicyKind::Threshold(2),
+        ] {
+            let mut alloc = Allocator::new(kind, 0);
+            prop_assert_eq!(
+                alloc.select_site(&query(class, home, &p), &ctx),
+                home,
+                "{:?} moved a query off a uniformly loaded system", kind
+            );
+        }
+    }
+}
