@@ -1,9 +1,7 @@
-//! Criterion benches of the discrete-event simulation kernel: event-queue
+//! Timing benches of the discrete-event simulation kernel: event-queue
 //! throughput and raw engine dispatch rate.
 
-use std::hint::black_box;
-
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use dqa_bench::timing::BenchGroup;
 use dqa_sim::{Engine, EventQueue, Model, Scheduler, SimTime};
 
 /// Pushes and pops `n` events with pseudo-random timestamps.
@@ -11,7 +9,9 @@ fn queue_churn(n: u64) -> u64 {
     let mut q = EventQueue::new();
     let mut state = 0x9E37_79B9u64;
     for i in 0..n {
-        state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1);
         let t = (state >> 33) as f64 / 1e6;
         q.push(SimTime::new(t), i);
     }
@@ -20,17 +20,6 @@ fn queue_churn(n: u64) -> u64 {
         sum = sum.wrapping_add(v);
     }
     sum
-}
-
-fn bench_event_queue(c: &mut Criterion) {
-    let mut group = c.benchmark_group("event_queue");
-    for &n in &[1_000u64, 10_000, 100_000] {
-        group.throughput(Throughput::Elements(n));
-        group.bench_function(format!("push_pop_{n}"), |b| {
-            b.iter(|| queue_churn(black_box(n)));
-        });
-    }
-    group.finish();
 }
 
 /// A self-perpetuating model: every event schedules the next one.
@@ -48,26 +37,18 @@ impl Model for Chain {
     }
 }
 
-fn bench_engine_dispatch(c: &mut Criterion) {
-    let mut group = c.benchmark_group("engine");
-    let n = 100_000u64;
-    group.throughput(Throughput::Elements(n));
-    group.bench_function("dispatch_chain_100k", |b| {
-        b.iter_batched(
-            || {
-                let mut e = Engine::new(Chain { remaining: n });
-                e.schedule(SimTime::ZERO, ());
-                e
-            },
-            |mut e| {
-                e.run_to_completion();
-                black_box(e.steps())
-            },
-            BatchSize::SmallInput,
-        );
-    });
-    group.finish();
-}
+fn main() {
+    let queue = BenchGroup::new("event_queue");
+    for &n in &[1_000u64, 10_000, 100_000] {
+        queue.bench(&format!("push_pop_{n}"), Some(n), || queue_churn(n));
+    }
 
-criterion_group!(benches, bench_event_queue, bench_engine_dispatch);
-criterion_main!(benches);
+    let engine = BenchGroup::new("engine");
+    let n = 100_000u64;
+    engine.bench("dispatch_chain_100k", Some(n), || {
+        let mut e = Engine::new(Chain { remaining: n });
+        e.schedule(SimTime::ZERO, ());
+        e.run_to_completion();
+        e.steps()
+    });
+}

@@ -1,9 +1,7 @@
-//! Criterion benches of the end-to-end simulator: simulated-event
-//! throughput of the full distributed-database model under each policy.
+//! Timing benches of the end-to-end simulator: simulated-event throughput
+//! of the full distributed-database model under each policy.
 
-use std::hint::black_box;
-
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dqa_bench::timing::BenchGroup;
 use dqa_core::model::DbSystem;
 use dqa_core::params::SystemParams;
 use dqa_core::policy::PolicyKind;
@@ -18,48 +16,28 @@ fn simulate(policy: PolicyKind, until: f64) -> u64 {
     engine.steps()
 }
 
-fn bench_policies(c: &mut Criterion) {
-    let mut group = c.benchmark_group("full_sim_2000_units");
-    group.sample_size(10);
+fn main() {
+    let policies = BenchGroup::new("full_sim_2000_units");
     for policy in [
         PolicyKind::Local,
         PolicyKind::Bnq,
         PolicyKind::Bnqrd,
         PolicyKind::Lert,
     ] {
-        group.bench_function(policy.name(), |b| {
-            b.iter(|| black_box(simulate(policy, 2_000.0)));
-        });
+        policies.bench(policy.name(), None, || simulate(policy, 2_000.0));
     }
-    group.finish();
-}
 
-fn bench_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("full_sim_scaling");
-    group.sample_size(10);
+    let scaling = BenchGroup::new("full_sim_scaling");
     for sites in [2usize, 6, 10] {
-        group.bench_function(format!("lert_{sites}_sites"), |b| {
-            b.iter_batched(
-                || {
-                    let params = SystemParams::builder()
-                        .num_sites(sites)
-                        .build()
-                        .expect("valid params");
-                    let mut e =
-                        Engine::new(DbSystem::new(params, PolicyKind::Lert, 23).unwrap());
-                    DbSystem::prime(&mut e);
-                    e
-                },
-                |mut e| {
-                    e.run_until(SimTime::new(1_000.0));
-                    black_box(e.steps())
-                },
-                BatchSize::SmallInput,
-            );
+        scaling.bench(&format!("lert_{sites}_sites"), None, || {
+            let params = SystemParams::builder()
+                .num_sites(sites)
+                .build()
+                .expect("valid params");
+            let mut e = Engine::new(DbSystem::new(params, PolicyKind::Lert, 23).unwrap());
+            DbSystem::prime(&mut e);
+            e.run_until(SimTime::new(1_000.0));
+            e.steps()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_policies, bench_scaling);
-criterion_main!(benches);

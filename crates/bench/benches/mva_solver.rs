@@ -1,9 +1,7 @@
-//! Criterion benches of the exact MVA solver and the Table-5/6 allocation
+//! Timing benches of the exact MVA solver and the Table-5/6 allocation
 //! analysis.
 
-use std::hint::black_box;
-
-use criterion::{criterion_group, criterion_main, Criterion};
+use dqa_bench::timing::BenchGroup;
 use dqa_mva::allocation::{analyze_arrival, LoadMatrix, StudyConfig};
 use dqa_mva::{approx_solve, solve, Network, StationKind};
 
@@ -15,40 +13,35 @@ fn site_network(classes: usize) -> Network {
     b.build().expect("valid network")
 }
 
-fn bench_solver(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mva_solve");
+fn main() {
+    let group = BenchGroup::new("mva_solve");
     let net2 = site_network(2);
-    group.bench_function("2class_pop_5_5", |b| {
-        b.iter(|| black_box(solve(&net2, &[5, 5]).throughput(0)));
+    group.bench("2class_pop_5_5", None, || {
+        solve(&net2, &[5, 5]).throughput(0).to_bits()
     });
-    group.bench_function("2class_pop_20_20", |b| {
-        b.iter(|| black_box(solve(&net2, &[20, 20]).throughput(0)));
+    group.bench("2class_pop_20_20", None, || {
+        solve(&net2, &[20, 20]).throughput(0).to_bits()
     });
     let net4 = site_network(4);
-    group.bench_function("4class_pop_5x4", |b| {
-        b.iter(|| black_box(solve(&net4, &[5, 5, 5, 5]).throughput(0)));
+    group.bench("4class_pop_5x4", None, || {
+        solve(&net4, &[5, 5, 5, 5]).throughput(0).to_bits()
     });
-    group.bench_function("schweitzer_2class_pop_100_100", |b| {
-        b.iter(|| black_box(approx_solve(&net2, &[100, 100]).throughput(0)));
+    group.bench("schweitzer_2class_pop_100_100", None, || {
+        approx_solve(&net2, &[100, 100]).throughput(0).to_bits()
     });
     let ms = Network::builder(2)
         .station("cpu", StationKind::Queueing, [0.05, 1.0])
         .station("disks", StationKind::MultiServer { servers: 2 }, [1.0, 1.0])
         .build()
         .expect("valid network");
-    group.bench_function("load_dependent_2class_pop_10_10", |b| {
-        b.iter(|| black_box(solve(&ms, &[10, 10]).throughput(0)));
+    group.bench("load_dependent_2class_pop_10_10", None, || {
+        solve(&ms, &[10, 10]).throughput(0).to_bits()
     });
-    group.finish();
-}
 
-fn bench_allocation_analysis(c: &mut Criterion) {
+    let alloc = BenchGroup::new("allocation_analysis");
     let cfg = StudyConfig::new(0.05, 1.0);
     let load = LoadMatrix::new([[2, 1, 1, 0], [0, 1, 1, 2]]);
-    c.bench_function("analyze_arrival", |b| {
-        b.iter(|| black_box(analyze_arrival(&cfg, &load, 0).wif()));
+    alloc.bench("analyze_arrival", None, || {
+        analyze_arrival(&cfg, &load, 0).wif().to_bits()
     });
 }
-
-criterion_group!(benches, bench_solver, bench_allocation_analysis);
-criterion_main!(benches);

@@ -1,109 +1,93 @@
-//! Criterion benches of the queueing stations: FCFS, processor sharing,
-//! and the token ring under sustained traffic.
+//! Timing benches of the queueing stations: FCFS, processor sharing, and
+//! the token ring under sustained traffic.
 
-use std::hint::black_box;
-
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dqa_bench::timing::BenchGroup;
 use dqa_queueing::{FcfsQueue, PsServer, TokenRing};
 use dqa_sim::SimTime;
 
-fn bench_fcfs(c: &mut Criterion) {
-    let n = 10_000u64;
-    let mut group = c.benchmark_group("fcfs");
-    group.throughput(Throughput::Elements(n));
-    group.bench_function("arrive_complete_10k", |b| {
-        b.iter(|| {
-            let mut q = FcfsQueue::new(SimTime::ZERO);
-            let mut now = SimTime::ZERO;
-            let mut pending = None;
-            for i in 0..n {
-                if let Some(t) = q.arrive(now, i, 1.0) {
-                    pending = Some(t);
-                }
-                // Drain every few arrivals to keep the queue shallow.
-                if i % 4 == 3 {
-                    while let Some(t) = pending {
-                        now = t;
-                        let (_, next) = q.complete(now);
-                        pending = next;
-                    }
-                }
-            }
+fn fcfs_churn(n: u64) -> u64 {
+    let mut q = FcfsQueue::new(SimTime::ZERO);
+    let mut now = SimTime::ZERO;
+    let mut pending = None;
+    for i in 0..n {
+        if let Some(t) = q.arrive(now, i, 1.0) {
+            pending = Some(t);
+        }
+        // Drain every few arrivals to keep the queue shallow.
+        if i % 4 == 3 {
             while let Some(t) = pending {
                 now = t;
                 let (_, next) = q.complete(now);
                 pending = next;
             }
-            black_box(q.completions())
-        });
-    });
-    group.finish();
+        }
+    }
+    while let Some(t) = pending {
+        now = t;
+        let (_, next) = q.complete(now);
+        pending = next;
+    }
+    q.completions()
 }
 
-fn bench_ps(c: &mut Criterion) {
-    let n = 10_000u64;
-    let mut group = c.benchmark_group("ps");
-    group.throughput(Throughput::Elements(n));
-    group.bench_function("arrive_complete_10k", |b| {
-        b.iter(|| {
-            let mut cpu = PsServer::new(SimTime::ZERO);
-            let mut now = SimTime::ZERO;
-            let mut next = None;
-            let mut done = 0u64;
-            for i in 0..n {
-                next = cpu.arrive(now, i, 1.0);
-                // keep ~8 jobs resident
-                while cpu.len() > 8 {
-                    let (t, tok) = next.expect("busy server announces completions");
-                    now = t;
-                    let (_, n2) = cpu.complete(now, tok).expect("fresh token");
-                    next = n2;
-                    done += 1;
-                }
-            }
-            while let Some((t, tok)) = next {
-                now = t;
-                let (_, n2) = cpu.complete(now, tok).expect("fresh token");
-                next = n2;
-                done += 1;
-            }
-            black_box(done)
-        });
-    });
-    group.finish();
+fn ps_churn(n: u64) -> u64 {
+    let mut cpu = PsServer::new(SimTime::ZERO);
+    let mut now = SimTime::ZERO;
+    let mut next = None;
+    let mut done = 0u64;
+    for i in 0..n {
+        next = cpu.arrive(now, i, 1.0);
+        // keep ~8 jobs resident
+        while cpu.len() > 8 {
+            let (t, tok) = next.expect("busy server announces completions");
+            now = t;
+            let (_, n2) = cpu.complete(now, tok).expect("fresh token");
+            next = n2;
+            done += 1;
+        }
+    }
+    while let Some((t, tok)) = next {
+        now = t;
+        let (_, n2) = cpu.complete(now, tok).expect("fresh token");
+        next = n2;
+        done += 1;
+    }
+    done
 }
 
-fn bench_token_ring(c: &mut Criterion) {
-    let n = 10_000u64;
-    let mut group = c.benchmark_group("token_ring");
-    group.throughput(Throughput::Elements(n));
-    group.bench_function("send_deliver_10k_8sites", |b| {
-        b.iter(|| {
-            let mut ring = TokenRing::new(8, SimTime::ZERO);
-            let mut now = SimTime::ZERO;
-            let mut pending = None;
-            for i in 0..n {
-                if let Some(t) = ring.send(now, (i % 8) as usize, i, 1.0) {
-                    pending = Some(t);
-                }
-                if ring.pending() > 16 {
-                    while let Some(t) = pending {
-                        now = t;
-                        let (_, _, next) = ring.transmit_done(now);
-                        pending = next;
-                    }
-                }
-            }
+fn ring_churn(n: u64) -> u64 {
+    let mut ring = TokenRing::new(8, SimTime::ZERO);
+    let mut now = SimTime::ZERO;
+    let mut pending = None;
+    for i in 0..n {
+        if let Some(t) = ring.send(now, (i % 8) as usize, i, 1.0) {
+            pending = Some(t);
+        }
+        if ring.pending() > 16 {
             while let Some(t) = pending {
                 now = t;
                 let (_, _, next) = ring.transmit_done(now);
                 pending = next;
             }
-            black_box(ring.messages_sent())
-        });
-    });
-    group.finish();
+        }
+    }
+    while let Some(t) = pending {
+        now = t;
+        let (_, _, next) = ring.transmit_done(now);
+        pending = next;
+    }
+    ring.messages_sent()
 }
 
-criterion_group!(benches, bench_fcfs, bench_ps, bench_token_ring);
-criterion_main!(benches);
+fn main() {
+    let n = 10_000u64;
+
+    let fcfs = BenchGroup::new("fcfs");
+    fcfs.bench("arrive_complete_10k", Some(n), || fcfs_churn(n));
+
+    let ps = BenchGroup::new("ps");
+    ps.bench("arrive_complete_10k", Some(n), || ps_churn(n));
+
+    let ring = BenchGroup::new("token_ring");
+    ring.bench("send_deliver_10k_8sites", Some(n), || ring_churn(n));
+}

@@ -30,10 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let bnqrd = effort.run(&params, PolicyKind::Bnqrd, seed(1))?;
         let lert = effort.run(&params, PolicyKind::Lert, seed(2))?;
 
-        let mut d_bnqrd = fmt_f(
-            improvement_pct(bnq.mean_waiting(), bnqrd.mean_waiting()),
-            2,
-        );
+        let mut d_bnqrd = fmt_f(improvement_pct(bnq.mean_waiting(), bnqrd.mean_waiting()), 2);
         let mut d_lert = fmt_f(improvement_pct(bnq.mean_waiting(), lert.mean_waiting()), 2);
         if (msg - 2.0).abs() < 1e-9 {
             d_bnqrd = format!("{d_bnqrd} [{}]", MSG2_IMPR_BNQ[0]);

@@ -17,12 +17,7 @@ use dqa_core::table::{fmt_f, TextTable};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let effort = Effort::from_env();
-    let mut table = TextTable::new(vec![
-        "status period",
-        "dBNQ%",
-        "dBNQRD%",
-        "dLERT%",
-    ]);
+    let mut table = TextTable::new(vec!["status period", "dBNQ%", "dBNQRD%", "dLERT%"]);
 
     let local = effort.run(
         &SystemParams::paper_base(),

@@ -22,7 +22,10 @@ use dqa_core::table::{fmt_f, TextTable};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let effort = Effort::from_env();
 
-    for (label, think) in [("base load (think 350)", 350.0), ("heavy load (think 200)", 200.0)] {
+    for (label, think) in [
+        ("base load (think 350)", 350.0),
+        ("heavy load (think 200)", 200.0),
+    ] {
         let base = SystemParams::builder().think_time(think).build()?;
         let lert = effort.run(&base, PolicyKind::Lert, cell_seed(1_300))?;
         let w_lert = lert.mean_waiting();
@@ -36,11 +39,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "migrations/query",
         ]);
         let specs = [
-            MigrationSpec { check_every_reads: 2, min_gain: 1.0, state_growth: 0.5 },
-            MigrationSpec { check_every_reads: 5, min_gain: 1.0, state_growth: 0.5 },
-            MigrationSpec { check_every_reads: 5, min_gain: 5.0, state_growth: 0.5 },
-            MigrationSpec { check_every_reads: 5, min_gain: 1.0, state_growth: 0.0 },
-            MigrationSpec { check_every_reads: 10, min_gain: 2.0, state_growth: 1.0 },
+            MigrationSpec {
+                check_every_reads: 2,
+                min_gain: 1.0,
+                state_growth: 0.5,
+            },
+            MigrationSpec {
+                check_every_reads: 5,
+                min_gain: 1.0,
+                state_growth: 0.5,
+            },
+            MigrationSpec {
+                check_every_reads: 5,
+                min_gain: 5.0,
+                state_growth: 0.5,
+            },
+            MigrationSpec {
+                check_every_reads: 5,
+                min_gain: 1.0,
+                state_growth: 0.0,
+            },
+            MigrationSpec {
+                check_every_reads: 10,
+                min_gain: 2.0,
+                state_growth: 1.0,
+            },
         ];
         for (row, spec) in specs.into_iter().enumerate() {
             let params = SystemParams::builder()

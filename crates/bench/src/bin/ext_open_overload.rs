@@ -22,12 +22,7 @@ use dqa_core::table::{fmt_f, TextTable};
 use dqa_sim::{Engine, SimTime};
 
 /// Runs the open system and returns (mean waiting, final backlog).
-fn run_open(
-    params: &SystemParams,
-    policy: PolicyKind,
-    seed: u64,
-    horizon: f64,
-) -> (f64, usize) {
+fn run_open(params: &SystemParams, policy: PolicyKind, seed: u64, horizon: f64) -> (f64, usize) {
     let sys = DbSystem::new(params.clone(), policy, seed).expect("valid params");
     let mut engine = Engine::new(sys);
     DbSystem::prime(&mut engine);
@@ -42,7 +37,9 @@ fn run_open(
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let quick = std::env::var("DQA_QUICK").map(|v| v == "1").unwrap_or(false);
+    let quick = std::env::var("DQA_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false);
     let horizon = if quick { 8_000.0 } else { 40_000.0 };
     // 6 sites at speeds (1.5, 1.5, 1, 1, 0.5, 0.5): aggregate capacity is
     // that of 6 nominal sites; the slow pair saturates locally at about

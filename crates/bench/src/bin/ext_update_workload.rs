@@ -46,10 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             table.row(vec![
                 copies.to_string(),
                 fmt_f(w, 2),
-                fmt_f(
-                    rep.mean(|r| r.propagations as f64 / r.completed as f64),
-                    2,
-                ),
+                fmt_f(rep.mean(|r| r.propagations as f64 / r.completed as f64), 2),
                 fmt_f(rep.mean_subnet_utilization(), 3),
                 fmt_f(rep.mean(|r| r.disk_utilization), 3),
             ]);
@@ -59,7 +56,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
              (apply work = 0.25 x reads per replica)\n"
         );
         println!("{table}");
-        println!("best copy count for LERT waiting: {} ({:.2})\n", best.0, best.1);
+        println!(
+            "best copy count for LERT waiting: {} ({:.2})\n",
+            best.0, best.1
+        );
     }
     println!(
         "reading: read-only workloads want maximal replication; a 10% \

@@ -9,9 +9,7 @@
 //! larger total populations shrink the improvement.
 
 use dqa_core::table::{fmt_f, TextTable};
-use dqa_mva::allocation::{
-    analyze_arrival, paper_cpu_ratios, paper_load_cases, StudyConfig,
-};
+use dqa_mva::allocation::{analyze_arrival, paper_cpu_ratios, paper_load_cases, StudyConfig};
 
 fn main() {
     let cases = paper_load_cases();

@@ -10,9 +10,7 @@
 //! cases.
 
 use dqa_core::table::{fmt_f, TextTable};
-use dqa_mva::allocation::{
-    analyze_arrival, paper_cpu_ratios, paper_load_cases, StudyConfig,
-};
+use dqa_mva::allocation::{analyze_arrival, paper_cpu_ratios, paper_load_cases, StudyConfig};
 
 fn main() {
     let cases = paper_load_cases();

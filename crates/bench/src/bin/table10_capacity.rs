@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let lert = search(PolicyKind::Lert, 1)?;
         let gain = match (local, lert) {
             (Some(l), Some(d)) if l > 0 => {
-                format!("{:.0}", (f64::from(d) - f64::from(l)) / f64::from(l) * 100.0)
+                format!(
+                    "{:.0}",
+                    (f64::from(d) - f64::from(l)) / f64::from(l) * 100.0
+                )
             }
             _ => "-".to_owned(),
         };

@@ -53,10 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ),
             format!(
                 "{} [{}]",
-                fmt_f(
-                    improvement_pct(local.mean_waiting(), bnq.mean_waiting()),
-                    2
-                ),
+                fmt_f(improvement_pct(local.mean_waiting(), bnq.mean_waiting()), 2),
                 fmt_f(paper.impr_local[0], 2)
             ),
             format!(

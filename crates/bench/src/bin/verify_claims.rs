@@ -93,9 +93,7 @@ fn main() -> std::process::ExitCode {
         source: "Table 8",
         text: "every dynamic policy clearly beats LOCAL at base load",
         pass: w_bnq < 0.8 * w_local && w_bnqrd < 0.8 * w_local && w_lert < 0.8 * w_local,
-        detail: format!(
-            "LOCAL {w_local:.1}, BNQ {w_bnq:.1}, BNQRD {w_bnqrd:.1}, LERT {w_lert:.1}"
-        ),
+        detail: format!("LOCAL {w_local:.1}, BNQ {w_bnq:.1}, BNQRD {w_bnqrd:.1}, LERT {w_lert:.1}"),
     });
     claims.push(Claim {
         source: "§5.2",
@@ -107,8 +105,12 @@ fn main() -> std::process::ExitCode {
     {
         let heavy = SystemParams::builder().think_time(150.0).build().unwrap();
         let g_heavy = {
-            let l = effort.run(&heavy, PolicyKind::Local, cell_seed(2_010)).unwrap();
-            let d = effort.run(&heavy, PolicyKind::Lert, cell_seed(2_011)).unwrap();
+            let l = effort
+                .run(&heavy, PolicyKind::Local, cell_seed(2_010))
+                .unwrap();
+            let d = effort
+                .run(&heavy, PolicyKind::Lert, cell_seed(2_011))
+                .unwrap();
             (l.mean_waiting() - d.mean_waiting()) / l.mean_waiting()
         };
         let g_base = (w_local - w_lert) / w_local;
@@ -116,14 +118,22 @@ fn main() -> std::process::ExitCode {
             source: "Table 8",
             text: "relative improvement grows as utilization falls",
             pass: g_base > g_heavy,
-            detail: format!("gain {:.0}% at rho~0.85 vs {:.0}% at rho~0.53", g_heavy * 100.0, g_base * 100.0),
+            detail: format!(
+                "gain {:.0}% at rho~0.85 vs {:.0}% at rho~0.53",
+                g_heavy * 100.0,
+                g_base * 100.0
+            ),
         });
     }
 
     {
         let msg4 = SystemParams::builder().msg_length(4.0).build().unwrap();
-        let bnqrd = effort.run(&msg4, PolicyKind::Bnqrd, cell_seed(2_020)).unwrap();
-        let lert = effort.run(&msg4, PolicyKind::Lert, cell_seed(2_021)).unwrap();
+        let bnqrd = effort
+            .run(&msg4, PolicyKind::Bnqrd, cell_seed(2_020))
+            .unwrap();
+        let lert = effort
+            .run(&msg4, PolicyKind::Lert, cell_seed(2_021))
+            .unwrap();
         claims.push(Claim {
             source: "§5.2",
             text: "LERT's network term pays off when messages are expensive",
@@ -141,8 +151,12 @@ fn main() -> std::process::ExitCode {
 
     {
         let skew = SystemParams::builder().class_io_prob(0.3).build().unwrap();
-        let local = effort.run(&skew, PolicyKind::Local, cell_seed(2_030)).unwrap();
-        let lert = effort.run(&skew, PolicyKind::Lert, cell_seed(2_031)).unwrap();
+        let local = effort
+            .run(&skew, PolicyKind::Local, cell_seed(2_030))
+            .unwrap();
+        let lert = effort
+            .run(&skew, PolicyKind::Lert, cell_seed(2_031))
+            .unwrap();
         claims.push(Claim {
             source: "Table 12",
             text: "dynamic allocation improves fairness at skewed mixes",
@@ -159,8 +173,12 @@ fn main() -> std::process::ExitCode {
     {
         let sites10 = SystemParams::builder().num_sites(10).build().unwrap();
         let sites2 = SystemParams::builder().num_sites(2).build().unwrap();
-        let big = effort.run(&sites10, PolicyKind::Bnq, cell_seed(2_040)).unwrap();
-        let small = effort.run(&sites2, PolicyKind::Bnq, cell_seed(2_041)).unwrap();
+        let big = effort
+            .run(&sites10, PolicyKind::Bnq, cell_seed(2_040))
+            .unwrap();
+        let small = effort
+            .run(&sites2, PolicyKind::Bnq, cell_seed(2_041))
+            .unwrap();
         claims.push(Claim {
             source: "Table 11",
             text: "subnet utilization climbs steeply with the site count",
@@ -189,24 +207,40 @@ fn main() -> std::process::ExitCode {
             .copies(Some(4))
             .build()
             .unwrap();
-        let w1 = effort.run(&one, PolicyKind::Lert, cell_seed(2_050)).unwrap();
-        let w4 = effort.run(&four, PolicyKind::Lert, cell_seed(2_051)).unwrap();
+        let w1 = effort
+            .run(&one, PolicyKind::Lert, cell_seed(2_050))
+            .unwrap();
+        let w4 = effort
+            .run(&four, PolicyKind::Lert, cell_seed(2_051))
+            .unwrap();
         claims.push(Claim {
             source: "ext",
             text: "replication degree buys allocation freedom (read-only)",
             pass: w4.mean_waiting() < 0.7 * w1.mean_waiting(),
-            detail: format!("1 copy {:.1} vs 4 copies {:.1}", w1.mean_waiting(), w4.mean_waiting()),
+            detail: format!(
+                "1 copy {:.1} vs 4 copies {:.1}",
+                w1.mean_waiting(),
+                w4.mean_waiting()
+            ),
         });
     }
 
     {
-        let stale = SystemParams::builder().status_period(400.0).build().unwrap();
-        let s = effort.run(&stale, PolicyKind::Lert, cell_seed(2_060)).unwrap();
+        let stale = SystemParams::builder()
+            .status_period(400.0)
+            .build()
+            .unwrap();
+        let s = effort
+            .run(&stale, PolicyKind::Lert, cell_seed(2_060))
+            .unwrap();
         claims.push(Claim {
             source: "ext",
             text: "very stale load information inverts the benefit",
             pass: s.mean_waiting() > w_local,
-            detail: format!("period 400: LERT {:.1} vs LOCAL {w_local:.1}", s.mean_waiting()),
+            detail: format!(
+                "period 400: LERT {:.1} vs LOCAL {w_local:.1}",
+                s.mean_waiting()
+            ),
         });
     }
 

@@ -1,8 +1,8 @@
 //! # dqa-bench — the experiment harness regenerating every paper table
 //!
 //! One binary per table of Carey/Livny/Lu 1984, plus ablation binaries for
-//! the design choices called out in `DESIGN.md`, plus Criterion benches of
-//! the simulation kernels.
+//! the design choices called out in `DESIGN.md`, plus wall-clock timing
+//! benches of the simulation kernels (see [`timing`]).
 //!
 //! | binary | regenerates |
 //! |---|---|
@@ -18,6 +18,8 @@
 //! | `ablation_estimate_error` | optimizer-estimate noise sweep |
 //! | `ablation_lert_net_term` | LERT without its network term |
 //! | `ablation_disk_choice` | disk-selection discipline comparison |
+//! | `ext_status_exchange` | §4.4 costed status broadcasts on the ring |
+//! | `ext_fault_tolerance` | policy degradation under site crashes + msg loss |
 //!
 //! Every binary prints the paper's reference values next to the measured
 //! ones. Set `DQA_QUICK=1` to cut replication counts and windows (used by
@@ -25,6 +27,7 @@
 //! survive.
 
 pub mod paper;
+pub mod timing;
 
 use dqa_core::experiment::{run_replicated, Replicated, RunConfig};
 use dqa_core::params::{ParamsError, SystemParams};
@@ -68,7 +71,10 @@ impl Effort {
     /// set in the environment.
     #[must_use]
     pub fn from_env() -> Self {
-        if std::env::var("DQA_QUICK").map(|v| v == "1").unwrap_or(false) {
+        if std::env::var("DQA_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+        {
             Effort::quick()
         } else {
             Effort::standard()

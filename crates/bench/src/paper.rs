@@ -18,13 +18,55 @@ pub struct Table8Row {
 
 /// Table 8 of the paper.
 pub const TABLE8: [Table8Row; 7] = [
-    Table8Row { think_time: 150.0, rho_c: 0.85, w_local: 72.71, impr_local: [4.89, 17.03, 14.84], impr_bnq: [12.76, 10.46] },
-    Table8Row { think_time: 200.0, rho_c: 0.77, w_local: 48.61, impr_local: [10.30, 23.08, 24.61], impr_bnq: [14.25, 15.96] },
-    Table8Row { think_time: 250.0, rho_c: 0.68, w_local: 35.71, impr_local: [23.55, 32.30, 32.67], impr_bnq: [11.44, 11.92] },
-    Table8Row { think_time: 300.0, rho_c: 0.59, w_local: 26.82, impr_local: [26.54, 38.43, 37.43], impr_bnq: [16.19, 14.82] },
-    Table8Row { think_time: 350.0, rho_c: 0.53, w_local: 22.71, impr_local: [38.53, 41.96, 43.54], impr_bnq: [5.57, 9.58] },
-    Table8Row { think_time: 400.0, rho_c: 0.48, w_local: 18.37, impr_local: [38.02, 40.84, 42.72], impr_bnq: [4.55, 7.58] },
-    Table8Row { think_time: 450.0, rho_c: 0.43, w_local: 15.60, impr_local: [41.13, 44.27, 46.50], impr_bnq: [5.33, 9.12] },
+    Table8Row {
+        think_time: 150.0,
+        rho_c: 0.85,
+        w_local: 72.71,
+        impr_local: [4.89, 17.03, 14.84],
+        impr_bnq: [12.76, 10.46],
+    },
+    Table8Row {
+        think_time: 200.0,
+        rho_c: 0.77,
+        w_local: 48.61,
+        impr_local: [10.30, 23.08, 24.61],
+        impr_bnq: [14.25, 15.96],
+    },
+    Table8Row {
+        think_time: 250.0,
+        rho_c: 0.68,
+        w_local: 35.71,
+        impr_local: [23.55, 32.30, 32.67],
+        impr_bnq: [11.44, 11.92],
+    },
+    Table8Row {
+        think_time: 300.0,
+        rho_c: 0.59,
+        w_local: 26.82,
+        impr_local: [26.54, 38.43, 37.43],
+        impr_bnq: [16.19, 14.82],
+    },
+    Table8Row {
+        think_time: 350.0,
+        rho_c: 0.53,
+        w_local: 22.71,
+        impr_local: [38.53, 41.96, 43.54],
+        impr_bnq: [5.57, 9.58],
+    },
+    Table8Row {
+        think_time: 400.0,
+        rho_c: 0.48,
+        w_local: 18.37,
+        impr_local: [38.02, 40.84, 42.72],
+        impr_bnq: [4.55, 7.58],
+    },
+    Table8Row {
+        think_time: 450.0,
+        rho_c: 0.43,
+        w_local: 15.60,
+        impr_local: [41.13, 44.27, 46.50],
+        impr_bnq: [5.33, 9.12],
+    },
 ];
 
 /// One row of Table 9: waiting time versus terminals per site.
@@ -44,11 +86,41 @@ pub struct Table9Row {
 
 /// Table 9 of the paper.
 pub const TABLE9: [Table9Row; 5] = [
-    Table9Row { mpl: 15, rho_c: 0.41, w_local: 13.81, impr_local: [36.86, 44.20, 43.10], impr_bnq: [11.63, 9.88] },
-    Table9Row { mpl: 20, rho_c: 0.53, w_local: 22.71, impr_local: [38.53, 41.96, 43.54], impr_bnq: [5.57, 9.58] },
-    Table9Row { mpl: 25, rho_c: 0.65, w_local: 33.90, impr_local: [30.68, 36.55, 37.15], impr_bnq: [8.46, 9.33] },
-    Table9Row { mpl: 30, rho_c: 0.75, w_local: 50.97, impr_local: [23.12, 33.83, 34.56], impr_bnq: [13.96, 14.88] },
-    Table9Row { mpl: 35, rho_c: 0.83, w_local: 73.72, impr_local: [10.97, 24.21, 26.32], impr_bnq: [14.87, 17.24] },
+    Table9Row {
+        mpl: 15,
+        rho_c: 0.41,
+        w_local: 13.81,
+        impr_local: [36.86, 44.20, 43.10],
+        impr_bnq: [11.63, 9.88],
+    },
+    Table9Row {
+        mpl: 20,
+        rho_c: 0.53,
+        w_local: 22.71,
+        impr_local: [38.53, 41.96, 43.54],
+        impr_bnq: [5.57, 9.58],
+    },
+    Table9Row {
+        mpl: 25,
+        rho_c: 0.65,
+        w_local: 33.90,
+        impr_local: [30.68, 36.55, 37.15],
+        impr_bnq: [8.46, 9.33],
+    },
+    Table9Row {
+        mpl: 30,
+        rho_c: 0.75,
+        w_local: 50.97,
+        impr_local: [23.12, 33.83, 34.56],
+        impr_bnq: [13.96, 14.88],
+    },
+    Table9Row {
+        mpl: 35,
+        rho_c: 0.83,
+        w_local: 73.72,
+        impr_local: [10.97, 24.21, 26.32],
+        impr_bnq: [14.87, 17.24],
+    },
 ];
 
 /// One row of Table 10: the largest mpl meeting a response-time target.
@@ -64,11 +136,31 @@ pub struct Table10Row {
 
 /// Table 10 of the paper.
 pub const TABLE10: [Table10Row; 5] = [
-    Table10Row { target: 40.0, local: 10, lert: 17 },
-    Table10Row { target: 50.0, local: 18, lert: 23 },
-    Table10Row { target: 60.0, local: 21, lert: 28 },
-    Table10Row { target: 70.0, local: 27, lert: 31 },
-    Table10Row { target: 80.0, local: 29, lert: 34 },
+    Table10Row {
+        target: 40.0,
+        local: 10,
+        lert: 17,
+    },
+    Table10Row {
+        target: 50.0,
+        local: 18,
+        lert: 23,
+    },
+    Table10Row {
+        target: 60.0,
+        local: 21,
+        lert: 28,
+    },
+    Table10Row {
+        target: 70.0,
+        local: 27,
+        lert: 31,
+    },
+    Table10Row {
+        target: 80.0,
+        local: 29,
+        lert: 34,
+    },
 ];
 
 /// One row of Table 11: waiting-time improvement and subnet utilization
@@ -86,11 +178,31 @@ pub struct Table11Row {
 /// Table 11 of the paper. `W̄_LOCAL` is reported only for 6 sites (21.53);
 /// LOCAL's subnet utilization is 0 everywhere.
 pub const TABLE11: [Table11Row; 5] = [
-    Table11Row { num_sites: 2, impr_local: [15.19, 26.82], subnet: [6.35, 6.49] },
-    Table11Row { num_sites: 4, impr_local: [27.10, 33.54], subnet: [21.38, 20.90] },
-    Table11Row { num_sites: 6, impr_local: [34.18, 39.18], subnet: [37.07, 36.04] },
-    Table11Row { num_sites: 8, impr_local: [32.17, 39.23], subnet: [54.41, 52.07] },
-    Table11Row { num_sites: 10, impr_local: [26.13, 36.27], subnet: [72.70, 68.83] },
+    Table11Row {
+        num_sites: 2,
+        impr_local: [15.19, 26.82],
+        subnet: [6.35, 6.49],
+    },
+    Table11Row {
+        num_sites: 4,
+        impr_local: [27.10, 33.54],
+        subnet: [21.38, 20.90],
+    },
+    Table11Row {
+        num_sites: 6,
+        impr_local: [34.18, 39.18],
+        subnet: [37.07, 36.04],
+    },
+    Table11Row {
+        num_sites: 8,
+        impr_local: [32.17, 39.23],
+        subnet: [54.41, 52.07],
+    },
+    Table11Row {
+        num_sites: 10,
+        impr_local: [26.13, 36.27],
+        subnet: [72.70, 68.83],
+    },
 ];
 
 /// `W̄_LOCAL` reported in Table 11 for the 6-site row.
@@ -115,12 +227,54 @@ pub struct Table12Row {
 
 /// Table 12 of the paper.
 pub const TABLE12: [Table12Row; 6] = [
-    Table12Row { class_io_prob: 0.3, rho_ratio: 0.70, w_local: 33.01, impr_local: [33.90, 37.55], f_local: -0.377, f_impr: [76.66, 73.74] },
-    Table12Row { class_io_prob: 0.4, rho_ratio: 0.81, w_local: 28.63, impr_local: [39.78, 42.71], f_local: -0.228, f_impr: [100.00, 78.51] },
-    Table12Row { class_io_prob: 0.5, rho_ratio: 0.95, w_local: 22.71, impr_local: [38.53, 43.54], f_local: -0.042, f_impr: [-42.85, 88.10] },
-    Table12Row { class_io_prob: 0.6, rho_ratio: 1.16, w_local: 19.17, impr_local: [38.54, 43.32], f_local: 0.047, f_impr: [-76.60, -57.45] },
-    Table12Row { class_io_prob: 0.7, rho_ratio: 1.49, w_local: 16.28, impr_local: [38.08, 42.05], f_local: 0.153, f_impr: [37.91, 38.56] },
-    Table12Row { class_io_prob: 0.8, rho_ratio: 2.08, w_local: 15.17, impr_local: [39.64, 42.98], f_local: 0.224, f_impr: [40.18, 42.86] },
+    Table12Row {
+        class_io_prob: 0.3,
+        rho_ratio: 0.70,
+        w_local: 33.01,
+        impr_local: [33.90, 37.55],
+        f_local: -0.377,
+        f_impr: [76.66, 73.74],
+    },
+    Table12Row {
+        class_io_prob: 0.4,
+        rho_ratio: 0.81,
+        w_local: 28.63,
+        impr_local: [39.78, 42.71],
+        f_local: -0.228,
+        f_impr: [100.00, 78.51],
+    },
+    Table12Row {
+        class_io_prob: 0.5,
+        rho_ratio: 0.95,
+        w_local: 22.71,
+        impr_local: [38.53, 43.54],
+        f_local: -0.042,
+        f_impr: [-42.85, 88.10],
+    },
+    Table12Row {
+        class_io_prob: 0.6,
+        rho_ratio: 1.16,
+        w_local: 19.17,
+        impr_local: [38.54, 43.32],
+        f_local: 0.047,
+        f_impr: [-76.60, -57.45],
+    },
+    Table12Row {
+        class_io_prob: 0.7,
+        rho_ratio: 1.49,
+        w_local: 16.28,
+        impr_local: [38.08, 42.05],
+        f_local: 0.153,
+        f_impr: [37.91, 38.56],
+    },
+    Table12Row {
+        class_io_prob: 0.8,
+        rho_ratio: 2.08,
+        w_local: 15.17,
+        impr_local: [39.64, 42.98],
+        f_local: 0.224,
+        f_impr: [40.18, 42.86],
+    },
 ];
 
 /// The §5.2 message-length experiment: with `msg_length = 2` and

@@ -1,0 +1,130 @@
+//! A minimal wall-clock micro-benchmark harness.
+//!
+//! The kernel benches under `benches/` are plain `harness = false` binaries
+//! built on this module, so `cargo bench` works offline with no external
+//! benchmarking framework. Each benchmark is auto-calibrated to a target
+//! wall time, timed over several samples, and reported as median ns/iter
+//! plus throughput when an element count is given. Set `DQA_QUICK=1` to cut
+//! the target time for smoke runs.
+
+use std::time::Instant;
+
+/// Samples collected per benchmark; the median is reported.
+const SAMPLES: usize = 7;
+
+/// A named group of benchmarks, printed as an aligned block.
+pub struct BenchGroup {
+    name: String,
+    target_secs: f64,
+}
+
+impl BenchGroup {
+    /// Starts a group and prints its header.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        let quick = std::env::var("DQA_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false);
+        println!("\n== {name} ==");
+        BenchGroup {
+            name: name.to_string(),
+            target_secs: if quick { 0.02 } else { 0.25 },
+        }
+    }
+
+    /// Times `f`, which should return a value derived from its work so the
+    /// optimizer cannot discard it. `elements` (if given) is the number of
+    /// logical operations per call, used to print a throughput figure.
+    pub fn bench(&self, name: &str, elements: Option<u64>, mut f: impl FnMut() -> u64) {
+        // Calibration: grow the iteration count until one sample takes at
+        // least a fraction of the target time.
+        let mut iters = 1u64;
+        let mut guard = 0u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                guard = guard.wrapping_add(std::hint::black_box(f()));
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            if elapsed >= self.target_secs / SAMPLES as f64 || iters >= 1 << 30 {
+                break;
+            }
+            let growth = if elapsed <= 0.0 {
+                8.0
+            } else {
+                (self.target_secs / SAMPLES as f64 / elapsed * 1.5).clamp(2.0, 16.0)
+            };
+            iters = ((iters as f64) * growth).ceil() as u64;
+        }
+
+        let mut per_iter_ns: Vec<f64> = (0..SAMPLES)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    guard = guard.wrapping_add(std::hint::black_box(f()));
+                }
+                start.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        per_iter_ns.sort_by(f64::total_cmp);
+        let median = per_iter_ns[SAMPLES / 2];
+        std::hint::black_box(guard);
+
+        match elements {
+            Some(n) if median > 0.0 => {
+                let rate = n as f64 / (median / 1e9);
+                println!(
+                    "  {:32} {:>14} ns/iter   {:>14}/s",
+                    name,
+                    format_num(median),
+                    format_num(rate)
+                );
+            }
+            _ => println!("  {:32} {:>14} ns/iter", name, format_num(median)),
+        }
+    }
+
+    /// The group's name (for binaries that want a trailing summary line).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+fn format_num(x: f64) -> String {
+    if x >= 1e9 {
+        format!("{:.2}G", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.2}M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.2}k", x / 1e3)
+    } else {
+        format!("{x:.1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        std::env::set_var("DQA_QUICK", "1");
+        let g = BenchGroup::new("smoke");
+        let mut calls = 0u64;
+        g.bench("noop", Some(1), || {
+            calls += 1;
+            calls
+        });
+        assert!(calls > 0);
+        assert_eq!(g.name(), "smoke");
+    }
+
+    #[test]
+    fn format_num_scales() {
+        assert_eq!(format_num(12.34), "12.3");
+        assert_eq!(format_num(1_500.0), "1.50k");
+        assert_eq!(format_num(2_500_000.0), "2.50M");
+        assert_eq!(format_num(3_000_000_000.0), "3.00G");
+    }
+}

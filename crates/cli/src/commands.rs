@@ -69,6 +69,16 @@ fn print_report(r: &RunReport) {
     if r.migrations > 0 {
         println!("migrations        {}", r.migrations);
     }
+    let faults_seen =
+        r.queries_retried + r.queries_lost + r.msgs_lost > 0 || r.mean_availability < 1.0;
+    if faults_seen {
+        println!("mean availability {:.4}", r.mean_availability);
+        println!(
+            "faults            {} retried / {} recovered / {} lost",
+            r.queries_retried, r.queries_recovered, r.queries_lost
+        );
+        println!("messages lost     {}", r.msgs_lost);
+    }
     println!();
     let mut t = TextTable::new(vec!["class", "completed", "wait", "resp", "service", "W^"]);
     for c in &r.per_class {
@@ -83,7 +93,13 @@ fn print_report(r: &RunReport) {
     }
     println!("{t}");
 
-    let mut t = TextTable::new(vec!["site", "rho_cpu", "rho_disk", "cpu queue", "cpu bursts"]);
+    let mut t = TextTable::new(vec![
+        "site",
+        "rho_cpu",
+        "rho_disk",
+        "cpu queue",
+        "cpu bursts",
+    ]);
     for (s, site) in r.per_site.iter().enumerate() {
         t.row(vec![
             s.to_string(),
@@ -125,7 +141,11 @@ pub fn compare(mut args: Args) -> Result<(), ArgError> {
         let b = *base.get_or_insert(w);
         table.row(vec![
             policy.to_string(),
-            format!("{} ± {}", fmt_f(w, 2), fmt_f(rep.half_width(|r| r.mean_waiting), 2)),
+            format!(
+                "{} ± {}",
+                fmt_f(w, 2),
+                fmt_f(rep.half_width(|r| r.mean_waiting), 2)
+            ),
             fmt_f(improvement_pct(b, w), 2),
             fmt_f(rep.mean_fairness(), 3),
             fmt_f(rep.mean_subnet_utilization(), 3),
@@ -234,9 +254,15 @@ pub fn mva(mut args: Args) -> Result<(), ArgError> {
     println!("load matrix {load_spec}, arriving class {class}, cpu {cpu1}/{cpu2}");
     println!("BNQ candidates        {:?}", a.bnq_candidates);
     println!("expected wait (BNQ)   {:.4}", a.waiting_bnq);
-    println!("optimal site          {} (wait {:.4})", a.opt_site, a.waiting_opt);
+    println!(
+        "optimal site          {} (wait {:.4})",
+        a.opt_site, a.waiting_opt
+    );
     println!("WIF                   {:.3}", a.wif());
-    println!("fairest site          {} (|F| {:.4} vs {:.4})", a.fair_site, a.fairness_opt, a.fairness_bnq);
+    println!(
+        "fairest site          {} (|F| {:.4} vs {:.4})",
+        a.fair_site, a.fairness_opt, a.fairness_bnq
+    );
     println!("FIF                   {:.3}", a.fif());
     Ok(())
 }

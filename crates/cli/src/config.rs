@@ -1,7 +1,9 @@
 //! Shared flag handling: building [`SystemParams`] and policies from
 //! command-line flags.
 
-use dqa_core::params::{DiskChoice, MessageCosting, MigrationSpec, SystemParams, Workload};
+use dqa_core::params::{
+    DiskChoice, FaultSpec, MessageCosting, MigrationSpec, SystemParams, Workload,
+};
 use dqa_core::policy::PolicyKind;
 
 use crate::args::{ArgError, Args};
@@ -42,7 +44,10 @@ pub fn parse_policy(name: &str) -> Result<PolicyKind, ArgError> {
 /// `--sites`, `--disks`, `--mpl`, `--think`, `--io-prob`, `--io-cpu`,
 /// `--cpu-cpu`, `--msg`, `--reads`, `--disk-choice random|rr|jsq`,
 /// `--estimate-error`, `--status-period`, `--status-msg`, `--relations`,
-/// `--copies`, `--migrate every,gain,growth`.
+/// `--copies`, `--migrate every,gain,growth`, and the fault-injection
+/// family `--fault-mtbf`, `--fault-mttr`, `--msg-loss`, `--status-loss`,
+/// `--fault-retries`, `--fault-backoff` (any of which enables the fault
+/// layer; unspecified members take [`FaultSpec::default`] values).
 ///
 /// # Errors
 ///
@@ -112,9 +117,32 @@ pub fn take_params(args: &mut Args) -> Result<SystemParams, ArgError> {
     b = b.propagation_factor(args.take_or("prop-factor", 0.5f64)?);
     if let Some(speeds) = args.take("cpu-speeds") {
         let parsed: Result<Vec<f64>, _> = speeds.split(',').map(str::parse).collect();
-        let parsed =
-            parsed.map_err(|e| ArgError(format!("invalid --cpu-speeds list: {e}")))?;
+        let parsed = parsed.map_err(|e| ArgError(format!("invalid --cpu-speeds list: {e}")))?;
         b = b.cpu_speeds(Some(parsed));
+    }
+    // Fault-injection flags: any one of them switches the layer on.
+    let fault_mtbf = args.take_opt::<f64>("fault-mtbf")?;
+    let fault_mttr = args.take_opt::<f64>("fault-mttr")?;
+    let msg_loss = args.take_opt::<f64>("msg-loss")?;
+    let status_loss = args.take_opt::<f64>("status-loss")?;
+    let fault_retries = args.take_opt::<u32>("fault-retries")?;
+    let fault_backoff = args.take_opt::<f64>("fault-backoff")?;
+    if fault_mtbf.is_some()
+        || fault_mttr.is_some()
+        || msg_loss.is_some()
+        || status_loss.is_some()
+        || fault_retries.is_some()
+        || fault_backoff.is_some()
+    {
+        let defaults = FaultSpec::default();
+        b = b.faults(Some(FaultSpec {
+            mtbf: fault_mtbf.unwrap_or(defaults.mtbf),
+            mttr: fault_mttr.unwrap_or(defaults.mttr),
+            msg_loss: msg_loss.unwrap_or(defaults.msg_loss),
+            status_loss: status_loss.unwrap_or(defaults.status_loss),
+            max_retries: fault_retries.unwrap_or(defaults.max_retries),
+            backoff_base: fault_backoff.unwrap_or(defaults.backoff_base),
+        }));
     }
     if let Some(spec) = args.take("migrate") {
         let parts: Vec<&str> = spec.split(',').collect();
@@ -164,7 +192,8 @@ fn builder_from(params: SystemParams) -> dqa_core::params::SystemParamsBuilder {
         .workload(params.workload)
         .update_fraction(params.update_fraction)
         .propagation_factor(params.propagation_factor)
-        .cpu_speeds(params.cpu_speeds);
+        .cpu_speeds(params.cpu_speeds)
+        .faults(params.faults);
     b = b.migration(params.migration);
     b
 }
@@ -198,8 +227,18 @@ mod tests {
     #[test]
     fn flags_override_fields() {
         let mut a = args(&[
-            "--sites", "8", "--mpl", "25", "--think", "200", "--io-prob", "0.3",
-            "--copies", "2", "--reads", "40",
+            "--sites",
+            "8",
+            "--mpl",
+            "25",
+            "--think",
+            "200",
+            "--io-prob",
+            "0.3",
+            "--copies",
+            "2",
+            "--reads",
+            "40",
         ]);
         let p = take_params(&mut a).unwrap();
         a.finish().unwrap();
@@ -215,14 +254,21 @@ mod tests {
     #[test]
     fn update_and_speed_flags_parse() {
         let mut a = args(&[
-            "--update-frac", "0.2", "--prop-factor", "0.25",
-            "--cpu-speeds", "2,1,1,1,0.5,0.5",
+            "--update-frac",
+            "0.2",
+            "--prop-factor",
+            "0.25",
+            "--cpu-speeds",
+            "2,1,1,1,0.5,0.5",
         ]);
         let p = take_params(&mut a).unwrap();
         a.finish().unwrap();
         assert_eq!(p.update_fraction, 0.2);
         assert_eq!(p.propagation_factor, 0.25);
-        assert_eq!(p.cpu_speeds.as_deref(), Some(&[2.0, 1.0, 1.0, 1.0, 0.5, 0.5][..]));
+        assert_eq!(
+            p.cpu_speeds.as_deref(),
+            Some(&[2.0, 1.0, 1.0, 1.0, 0.5, 0.5][..])
+        );
     }
 
     #[test]
@@ -233,6 +279,85 @@ mod tests {
         assert_eq!(m.check_every_reads, 5);
         assert_eq!(m.min_gain, 1.5);
         assert_eq!(m.state_growth, 0.25);
+    }
+
+    #[test]
+    fn no_fault_flags_leaves_faults_disabled() {
+        let mut a = args(&[]);
+        let p = take_params(&mut a).unwrap();
+        assert_eq!(p.faults, None);
+    }
+
+    #[test]
+    fn fault_flags_fill_unspecified_fields_with_defaults() {
+        let mut a = args(&["--fault-mtbf", "500", "--msg-loss", "0.02"]);
+        let p = take_params(&mut a).unwrap();
+        a.finish().unwrap();
+        let spec = p.faults.expect("fault layer should be enabled");
+        assert_eq!(spec.mtbf, 500.0);
+        assert_eq!(spec.msg_loss, 0.02);
+        let defaults = FaultSpec::default();
+        assert_eq!(spec.mttr, defaults.mttr);
+        assert_eq!(spec.status_loss, defaults.status_loss);
+        assert_eq!(spec.max_retries, defaults.max_retries);
+        assert_eq!(spec.backoff_base, defaults.backoff_base);
+        assert!(spec.is_active());
+    }
+
+    #[test]
+    fn all_fault_flags_parse() {
+        let mut a = args(&[
+            "--fault-mtbf",
+            "800",
+            "--fault-mttr",
+            "40",
+            "--msg-loss",
+            "0.01",
+            "--status-loss",
+            "0.1",
+            "--fault-retries",
+            "3",
+            "--fault-backoff",
+            "20",
+        ]);
+        let p = take_params(&mut a).unwrap();
+        a.finish().unwrap();
+        assert_eq!(
+            p.faults,
+            Some(FaultSpec {
+                mtbf: 800.0,
+                mttr: 40.0,
+                msg_loss: 0.01,
+                status_loss: 0.1,
+                max_retries: 3,
+                backoff_base: 20.0,
+            })
+        );
+    }
+
+    #[test]
+    fn invalid_fault_flags_are_reported() {
+        // Probability outside [0, 1] fails parameter validation.
+        let mut a = args(&["--msg-loss", "1.5"]);
+        assert!(take_params(&mut a).is_err());
+        // Crashes enabled with a zero repair time is rejected.
+        let mut a = args(&["--fault-mtbf", "500", "--fault-mttr", "0"]);
+        assert!(take_params(&mut a).is_err());
+        // Non-numeric value is a parse error.
+        let mut a = args(&["--fault-backoff", "soon"]);
+        assert!(take_params(&mut a).is_err());
+    }
+
+    #[test]
+    fn reads_flag_preserves_fault_config() {
+        // --reads rebuilds the builder from validated params; fault flags
+        // are consumed afterwards, but a replayed builder must also keep
+        // an already-set fault spec intact.
+        let mut a = args(&["--reads", "40", "--fault-mtbf", "900"]);
+        let p = take_params(&mut a).unwrap();
+        a.finish().unwrap();
+        assert_eq!(p.classes[0].num_reads, 40.0);
+        assert_eq!(p.faults.unwrap().mtbf, 900.0);
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //! `--disks`, `--mpl`, `--think`, `--io-prob`, `--io-cpu`, `--cpu-cpu`,
 //! `--msg`, `--reads`, `--disk-choice random|rr|jsq`, `--estimate-error`,
 //! `--status-period`, `--status-msg`, `--relations`, `--copies`,
-//! `--migrate every,gain,growth`.
+//! `--migrate every,gain,growth`, plus the fault-injection family
+//! `--fault-mtbf`, `--fault-mttr`, `--msg-loss`, `--status-loss`,
+//! `--fault-retries`, `--fault-backoff`.
 
 mod args;
 mod commands;
@@ -90,6 +92,14 @@ SYSTEM FLAGS (defaults are the paper's base configuration):
   --update-frac U      update fraction of the workload   (0)
   --prop-factor F      apply work per replica, x reads   (0.5)
   --cpu-speeds a,b,..  per-site CPU speed factors (homogeneous)
+
+FAULT FLAGS (any one enables deterministic fault injection):
+  --fault-mtbf T       mean time between site crashes    (0 = no crashes)
+  --fault-mttr T       mean site repair time             (50)
+  --msg-loss P         ring message loss probability     (0)
+  --status-loss P      status broadcast dropout prob.    (0)
+  --fault-retries N    retry budget per query            (5)
+  --fault-backoff T    base retry backoff delay          (10)
 
 EXAMPLES:
   dqa compare --think 250

@@ -127,6 +127,16 @@ pub struct RunReport {
     /// Completed update-apply jobs at replicas (zero unless
     /// `update_fraction > 0`).
     pub propagations: u64,
+    /// Fault-recovery retries (zero unless fault injection is enabled).
+    pub queries_retried: u64,
+    /// Queries abandoned after exhausting their retry budget.
+    pub queries_lost: u64,
+    /// Queries that completed despite at least one retry.
+    pub queries_recovered: u64,
+    /// Ring messages dropped in flight.
+    pub msgs_lost: u64,
+    /// Time-averaged fraction of sites up (1.0 without faults).
+    pub mean_availability: f64,
     /// Per-class breakdown.
     pub per_class: Vec<ClassSummary>,
     /// Per-site station breakdown.
@@ -218,6 +228,11 @@ fn summarize(model: &DbSystem, end: SimTime, measured_time: f64) -> RunReport {
         completed: metrics.completed(),
         migrations: metrics.migrations(),
         propagations: metrics.propagations(),
+        queries_retried: metrics.queries_retried(),
+        queries_lost: metrics.queries_lost(),
+        queries_recovered: metrics.queries_recovered(),
+        msgs_lost: metrics.msgs_lost(),
+        mean_availability: metrics.mean_availability(end),
         per_class,
         per_site,
     }
@@ -423,10 +438,7 @@ pub fn waiting_time_series(config: &RunConfig, windows: usize) -> Result<Vec<f64
 /// # Panics
 ///
 /// Panics if `replications` is zero.
-pub fn suggest_warmup(
-    config: &RunConfig,
-    replications: u32,
-) -> Result<Option<f64>, ParamsError> {
+pub fn suggest_warmup(config: &RunConfig, replications: u32) -> Result<Option<f64>, ParamsError> {
     assert!(replications > 0, "need at least one replication");
     const WINDOWS: usize = 40;
     let mut series = Vec::with_capacity(replications as usize);
@@ -515,7 +527,10 @@ mod tests {
         let rep = run_replicated(&small(), 3).unwrap();
         assert_eq!(rep.reports.len(), 3);
         let w: Vec<f64> = rep.reports.iter().map(|r| r.mean_waiting).collect();
-        assert!(w[0] != w[1] || w[1] != w[2], "replications identical: {w:?}");
+        assert!(
+            w[0] != w[1] || w[1] != w[2],
+            "replications identical: {w:?}"
+        );
         let m = rep.mean_waiting();
         assert!(m > 0.0);
         assert!(rep.half_width(|r| r.mean_waiting).is_finite());
@@ -534,7 +549,10 @@ mod tests {
         let loose = max_mpl_for_response(&cfg, 80.0, 2..=8, 1).unwrap();
         let tight = max_mpl_for_response(&cfg, 25.0, 2..=8, 1).unwrap();
         if let (Some(l), Some(t)) = (loose, tight) {
-            assert!(l >= t, "looser target must admit at least as many terminals");
+            assert!(
+                l >= t,
+                "looser target must admit at least as many terminals"
+            );
         }
         // An impossible target admits nothing.
         let none = max_mpl_for_response(&cfg, 0.0001, 2..=4, 1).unwrap();

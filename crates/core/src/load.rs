@@ -48,6 +48,7 @@ pub struct LoadTable {
     live: Vec<SiteLoad>,
     published: Vec<SiteLoad>,
     instantaneous: bool,
+    available: Vec<bool>,
 }
 
 impl LoadTable {
@@ -65,7 +66,36 @@ impl LoadTable {
             live: vec![SiteLoad::default(); num_sites],
             published: vec![SiteLoad::default(); num_sites],
             instantaneous,
+            available: vec![true; num_sites],
         }
+    }
+
+    /// Marks `site` up or down. The paper's model never fails a site, so
+    /// this only moves under fault injection; the fail-stop model assumes
+    /// perfect detection, so availability is always current (never stale
+    /// like the published load rows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range.
+    pub fn set_available(&mut self, site: SiteId, up: bool) {
+        self.available[site] = up;
+    }
+
+    /// Whether `site` is currently up (always `true` without faults).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range.
+    #[must_use]
+    pub fn is_available(&self, site: SiteId) -> bool {
+        self.available[site]
+    }
+
+    /// Number of sites currently up.
+    #[must_use]
+    pub fn available_sites(&self) -> usize {
+        self.available.iter().filter(|&&up| up).count()
     }
 
     /// Number of sites tracked.
@@ -237,5 +267,33 @@ mod tests {
     fn release_underflow_panics() {
         let mut t = LoadTable::new(1, true);
         t.release(0, true);
+    }
+
+    #[test]
+    fn sites_start_available() {
+        let t = LoadTable::new(3, true);
+        assert!((0..3).all(|s| t.is_available(s)));
+        assert_eq!(t.available_sites(), 3);
+    }
+
+    #[test]
+    fn availability_transitions() {
+        let mut t = LoadTable::new(3, true);
+        t.set_available(1, false);
+        assert!(!t.is_available(1));
+        assert!(t.is_available(0) && t.is_available(2));
+        assert_eq!(t.available_sites(), 2);
+        t.set_available(1, true);
+        assert!(t.is_available(1));
+        assert_eq!(t.available_sites(), 3);
+    }
+
+    #[test]
+    fn availability_is_never_stale() {
+        // Unlike load rows, availability changes are visible immediately
+        // even with periodic (non-instantaneous) publication.
+        let mut t = LoadTable::new(2, false);
+        t.set_available(0, false);
+        assert!(!t.is_available(0), "fail-stop detection is perfect");
     }
 }

@@ -58,6 +58,12 @@ pub struct Metrics {
     migrations: u64,
     propagations: u64,
     query_difference: TimeWeighted,
+    queries_retried: u64,
+    queries_lost: u64,
+    queries_recovered: u64,
+    msgs_lost: u64,
+    /// Fraction of sites up, time-weighted (1.0 without faults).
+    availability: TimeWeighted,
 }
 
 impl Metrics {
@@ -78,6 +84,11 @@ impl Metrics {
             migrations: 0,
             propagations: 0,
             query_difference: TimeWeighted::new(start, 0.0),
+            queries_retried: 0,
+            queries_lost: 0,
+            queries_recovered: 0,
+            msgs_lost: 0,
+            availability: TimeWeighted::new(start, 1.0),
         }
     }
 
@@ -234,13 +245,70 @@ impl Metrics {
         self.query_difference.time_average(now)
     }
 
+    /// Records one fault-recovery retry (backoff entered).
+    pub fn record_retry(&mut self) {
+        self.queries_retried += 1;
+    }
+
+    /// Records a query abandoned after exhausting its retry budget.
+    pub fn record_lost(&mut self) {
+        self.queries_lost += 1;
+    }
+
+    /// Records a query that completed after at least one retry.
+    pub fn record_recovered(&mut self) {
+        self.queries_recovered += 1;
+    }
+
+    /// Records a ring message dropped in flight.
+    pub fn record_msg_lost(&mut self) {
+        self.msgs_lost += 1;
+    }
+
+    /// Updates the time-weighted availability signal (`up_sites / sites`).
+    pub fn record_availability(&mut self, now: SimTime, fraction: f64) {
+        self.availability.set(now, fraction);
+    }
+
+    /// Retries during measurement.
+    #[must_use]
+    pub fn queries_retried(&self) -> u64 {
+        self.queries_retried
+    }
+
+    /// Queries lost (retry budget exhausted) during measurement.
+    #[must_use]
+    pub fn queries_lost(&self) -> u64 {
+        self.queries_lost
+    }
+
+    /// Queries that completed despite retries during measurement.
+    #[must_use]
+    pub fn queries_recovered(&self) -> u64 {
+        self.queries_recovered
+    }
+
+    /// Ring messages dropped during measurement.
+    #[must_use]
+    pub fn msgs_lost(&self) -> u64 {
+        self.msgs_lost
+    }
+
+    /// Time-averaged fraction of sites up, through `now`.
+    #[must_use]
+    pub fn mean_availability(&self, now: SimTime) -> f64 {
+        self.availability.time_average(now)
+    }
+
     /// Restarts all statistics at `now`, preserving the current
-    /// query-difference level.
+    /// query-difference and availability levels.
     pub fn reset(&mut self, now: SimTime) {
         let classes = self.per_class.len();
         let qd = self.query_difference.value();
+        let avail = self.availability.value();
         *self = Metrics::new(classes, now);
         self.query_difference = TimeWeighted::new(now, qd);
+        self.availability = TimeWeighted::new(now, avail);
     }
 }
 
@@ -264,7 +332,7 @@ mod tests {
         let mut m = Metrics::new(1, SimTime::ZERO);
         m.record_completion(0, 6.0, 2.0); // wait 4
         m.record_completion(0, 12.0, 6.0); // wait 6
-        // W̄ = 5, x̄ = 4 -> 1.25
+                                           // W̄ = 5, x̄ = 4 -> 1.25
         assert!((m.class(0).normalized_waiting() - 1.25).abs() < 1e-12);
     }
 
@@ -335,5 +403,38 @@ mod tests {
         assert_eq!(m.mean_waiting(), 0.0);
         // qd stays at its current level after reset
         assert!((m.mean_query_difference(SimTime::new(20.0)) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_counters_accumulate() {
+        let mut m = Metrics::new(1, SimTime::ZERO);
+        m.record_retry();
+        m.record_retry();
+        m.record_lost();
+        m.record_recovered();
+        m.record_msg_lost();
+        assert_eq!(m.queries_retried(), 2);
+        assert_eq!(m.queries_lost(), 1);
+        assert_eq!(m.queries_recovered(), 1);
+        assert_eq!(m.msgs_lost(), 1);
+    }
+
+    #[test]
+    fn availability_defaults_to_one_and_time_averages() {
+        let mut m = Metrics::new(1, SimTime::ZERO);
+        assert!((m.mean_availability(SimTime::new(10.0)) - 1.0).abs() < 1e-12);
+        // one of two sites down for [10, 30) of a 40-unit window
+        m.record_availability(SimTime::new(10.0), 0.5);
+        m.record_availability(SimTime::new(30.0), 1.0);
+        let expect = (10.0 + 0.5 * 20.0 + 10.0) / 40.0;
+        assert!((m.mean_availability(SimTime::new(40.0)) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_preserves_availability_level() {
+        let mut m = Metrics::new(1, SimTime::ZERO);
+        m.record_availability(SimTime::new(5.0), 0.5);
+        m.reset(SimTime::new(10.0));
+        assert!((m.mean_availability(SimTime::new(20.0)) - 0.5).abs() < 1e-12);
     }
 }

@@ -20,12 +20,17 @@ pub enum Event {
         /// The terminal's site (the query's home).
         site: SiteId,
     },
-    /// The disk `disk` at `site` finished a page transfer.
+    /// The disk `disk` at `site` finished a page transfer. `epoch` is the
+    /// site's crash epoch at schedule time: a crash drains the stations and
+    /// bumps the epoch, so completions scheduled before the crash arrive
+    /// stale and are ignored (FCFS has no per-job token like the PS server).
     DiskDone {
         /// Executing site.
         site: SiteId,
         /// Disk index within the site.
         disk: usize,
+        /// Site crash epoch when the completion was scheduled.
+        epoch: u64,
     },
     /// The CPU at `site` announced a completion; `token` validates it
     /// against intervening arrivals (processor sharing reshuffles
@@ -47,6 +52,30 @@ pub enum Event {
     StatusSend {
         /// The broadcasting site.
         site: SiteId,
+    },
+    /// Site `site` fail-stops (fault injection only): its stations drain,
+    /// resident queries enter backoff, and the site is marked unavailable.
+    SiteDown {
+        /// The crashing site.
+        site: SiteId,
+    },
+    /// Site `site` finishes repair and rejoins the system.
+    SiteUp {
+        /// The recovering site.
+        site: SiteId,
+    },
+    /// A ring message was dropped in flight (fault injection only). The
+    /// ring still spent transmission time; this event performs the
+    /// recovery bookkeeping for the lost payload.
+    MsgLost {
+        /// The dropped payload.
+        msg: RingMsg,
+    },
+    /// A backed-off query retries after its delay expires (fault
+    /// injection only).
+    Resubmit {
+        /// The retrying query.
+        query: QueryId,
     },
 }
 

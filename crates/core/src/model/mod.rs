@@ -20,10 +20,31 @@ use dqa_sim::{Engine, Model, Scheduler, SimTime};
 
 use crate::load::LoadTable;
 use crate::metrics::Metrics;
-use crate::params::{ParamsError, SiteId, SystemParams, Workload};
+use crate::params::{FaultSpec, ParamsError, SiteId, SystemParams, Workload};
 use crate::policy::{AllocationContext, Allocator, PolicyKind};
 use crate::query::{ActiveQuery, QueryId, QueryKind, QueryPhase, QueryProfile};
 use crate::replication::Catalog;
+
+/// Runtime state of the fault-injection layer.
+///
+/// The layer draws from its *own* RNG substreams (tags 10–13, disjoint
+/// from the workload's tags 1–9), so enabling faults perturbs none of the
+/// workload draws: a faulty run and a fault-free run with the same seed
+/// share the same submission sequence until the first fault bites, and a
+/// `FaultSpec` with all rates zero is byte-identical to `faults: None` —
+/// the common-random-numbers property the paper's methodology relies on.
+#[derive(Debug)]
+struct FaultState {
+    spec: FaultSpec,
+    /// Crash and repair interval draws.
+    rng_crash: RngStream,
+    /// Per-delivery message-loss coin flips.
+    rng_msg: RngStream,
+    /// Retry backoff jitter.
+    rng_backoff: RngStream,
+    /// Status-exchange dropout coin flips.
+    rng_status: RngStream,
+}
 
 /// The complete simulated system.
 ///
@@ -69,6 +90,7 @@ pub struct DbSystem {
     rng_estimate: RngStream,
     rng_relation: RngStream,
     rng_update: RngStream,
+    fault: Option<FaultState>,
 }
 
 impl DbSystem {
@@ -106,6 +128,13 @@ impl DbSystem {
             rng_estimate: root.substream(7),
             rng_relation: root.substream(8),
             rng_update: root.substream(9),
+            fault: params.faults.map(|spec| FaultState {
+                spec,
+                rng_crash: root.substream(10),
+                rng_msg: root.substream(11),
+                rng_backoff: root.substream(12),
+                rng_status: root.substream(13),
+            }),
             params,
         })
     }
@@ -121,8 +150,7 @@ impl DbSystem {
                 Workload::Closed => {
                     for site in 0..model.params.num_sites {
                         for _ in 0..model.params.mpl {
-                            let think =
-                                model.rng_think.exponential(model.params.think_time);
+                            let think = model.rng_think.exponential(model.params.think_time);
                             initial.push((SimTime::ZERO + think, Event::Submit { site }));
                         }
                     }
@@ -134,14 +162,22 @@ impl DbSystem {
                     }
                 }
             }
+            let n_sites = model.params.num_sites;
+            if let Some(f) = &mut model.fault {
+                if f.spec.mtbf > 0.0 {
+                    for site in 0..n_sites {
+                        let ttf = f.rng_crash.exponential(f.spec.mtbf);
+                        initial.push((SimTime::ZERO + ttf, Event::SiteDown { site }));
+                    }
+                }
+            }
             if model.params.status_period > 0.0 {
                 if model.params.status_msg_length > 0.0 {
                     // Costed broadcasts: stagger the sites across the
                     // period so status frames do not collide in bursts.
                     let n = model.params.num_sites as f64;
                     for site in 0..model.params.num_sites {
-                        let offset =
-                            model.params.status_period * (site as f64 + 1.0) / n;
+                        let offset = model.params.status_period * (site as f64 + 1.0) / n;
                         initial.push((SimTime::ZERO + offset, Event::StatusSend { site }));
                     }
                 } else {
@@ -167,6 +203,19 @@ impl DbSystem {
         if let Workload::Open { arrival_rate } = self.params.workload {
             let gap = self.rng_think.exponential(1.0 / arrival_rate);
             sched.after(gap, Event::Submit { site: home });
+        }
+        // A terminal at a crashed site cannot submit. Closed model: the
+        // terminal waits out a backoff and tries again (the query is not
+        // yet drawn, so no work is lost). Open model: the arrival bounces.
+        if !self.sites[home].is_up() {
+            match self.params.workload {
+                Workload::Closed => {
+                    let delay = self.backoff_delay(1);
+                    sched.after(delay, Event::Submit { site: home });
+                }
+                Workload::Open { .. } => self.metrics.record_lost(),
+            }
+            return;
         }
         // Draw the query's class and size.
         let class = self.draw_class();
@@ -201,16 +250,8 @@ impl DbSystem {
             self.allocator
                 .select_site_among(&profile, &ctx, self.catalog.candidates(relation))
         };
-        debug_assert!(self.catalog.holds(exec, relation));
-
-        self.load.allocate(exec, profile.io_bound);
-        self.metrics
-            .record_query_difference(now, self.load.query_difference());
-
         let id = QueryId(self.next_id);
         self.next_id += 1;
-        let remote = exec != home;
-        self.metrics.record_submit(remote);
         let kind = if self.params.update_fraction > 0.0
             && self.rng_update.bernoulli(self.params.update_fraction)
         {
@@ -218,6 +259,39 @@ impl DbSystem {
         } else {
             QueryKind::Read
         };
+
+        // Every holder of the relation is down (fault injection, partial
+        // replication): the SelectSite fallback returned the arrival site,
+        // which holds no copy. The query backs off at its home terminal —
+        // unallocated — and retries when a holder may be back.
+        if !self.catalog.holds(exec, relation) {
+            debug_assert!(self.params.faults.is_some());
+            self.metrics.record_submit(false);
+            self.queries.insert(
+                id,
+                ActiveQuery {
+                    id,
+                    profile,
+                    exec: home,
+                    reads_total,
+                    reads_done: 0,
+                    submitted: now,
+                    service: 0.0,
+                    phase: QueryPhase::Backoff,
+                    kind,
+                    retries: 0,
+                },
+            );
+            self.schedule_retry(now, id, sched);
+            return;
+        }
+
+        self.load.allocate(exec, profile.io_bound);
+        self.metrics
+            .record_query_difference(now, self.load.query_difference());
+
+        let remote = exec != home;
+        self.metrics.record_submit(remote);
         self.queries.insert(
             id,
             ActiveQuery {
@@ -234,6 +308,7 @@ impl DbSystem {
                     QueryPhase::Disk
                 },
                 kind,
+                retries: 0,
             },
         );
 
@@ -262,6 +337,8 @@ impl DbSystem {
         q.service += service;
 
         let site = &mut self.sites[site_id];
+        debug_assert!(site.is_up(), "read started at a down site");
+        let epoch = site.epoch();
         let random_pick = self.rng_choice.below(site.disks.len());
         let disk = site.choose_disk(self.params.disk_choice, random_pick);
         if let Some(done) = site.disks[disk].arrive(now, id, service) {
@@ -270,6 +347,7 @@ impl DbSystem {
                 Event::DiskDone {
                     site: site_id,
                     disk,
+                    epoch,
                 },
             );
         }
@@ -280,8 +358,14 @@ impl DbSystem {
         now: SimTime,
         site_id: SiteId,
         disk: usize,
+        epoch: u64,
         sched: &mut Scheduler<Event>,
     ) {
+        // A crash between schedule and delivery drained the disk queue;
+        // the event refers to a job that no longer exists there.
+        if epoch != self.sites[site_id].epoch() {
+            return;
+        }
         let (id, next) = self.sites[site_id].disks[disk].complete(now);
         if let Some(t) = next {
             sched.at(
@@ -289,6 +373,7 @@ impl DbSystem {
                 Event::DiskDone {
                     site: site_id,
                     disk,
+                    epoch,
                 },
             );
         }
@@ -447,6 +532,7 @@ impl DbSystem {
                     service: 0.0,
                     phase: QueryPhase::Transfer,
                     kind: QueryKind::Propagation,
+                    retries: 0,
                 },
             );
             self.load.allocate(holder, io_bound);
@@ -539,13 +625,245 @@ impl DbSystem {
         if let Some(t) = next {
             sched.at(t, Event::NetDone);
         }
+        // The frame occupied the ring for its full transmission time
+        // whether or not it arrives; loss is decided at delivery.
+        if let Some(f) = &mut self.fault {
+            if f.spec.msg_loss > 0.0 && f.rng_msg.bernoulli(f.spec.msg_loss) {
+                sched.at(now, Event::MsgLost { msg });
+                return;
+            }
+        }
         match msg {
-            RingMsg::Query { query, kind, .. } => match kind {
-                MsgKind::Dispatch => self.start_read(now, query, sched),
-                MsgKind::Result => self.complete_query(now, query, sched),
-            },
+            RingMsg::Query { query, kind, dest } => {
+                if !self.sites[dest].is_up() {
+                    // The destination crashed while the message was in
+                    // flight: undeliverable (but not a subnet loss).
+                    match kind {
+                        MsgKind::Dispatch => self.fail_execution(now, query, sched),
+                        MsgKind::Result => self.schedule_retry(now, query, sched),
+                    }
+                    return;
+                }
+                match kind {
+                    MsgKind::Dispatch => self.start_read(now, query, sched),
+                    MsgKind::Result => self.complete_query(now, query, sched),
+                }
+            }
             // A broadcast frame passes every site: all tables update.
             RingMsg::Status { site, load } => self.load.publish_row(site, load),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault handlers (all unreachable when `params.faults` is `None`)
+    // ------------------------------------------------------------------
+
+    /// Jittered exponential backoff for retry `attempt` (1-based):
+    /// `backoff_base · 2^(attempt−1) · U(0.5, 1.5)`.
+    fn backoff_delay(&mut self, attempt: u32) -> f64 {
+        let f = self.fault.as_mut().expect("fault layer active");
+        let exp = attempt.saturating_sub(1).min(16);
+        f.spec.backoff_base * f64::from(1u32 << exp) * f.rng_backoff.uniform(0.5, 1.5)
+    }
+
+    /// Consumes one retry attempt for `id`: either schedules a `Resubmit`
+    /// after a backoff delay or — once the budget is exhausted — abandons
+    /// the query. The caller must already have released any load-table
+    /// slot the query held.
+    fn schedule_retry(&mut self, now: SimTime, id: QueryId, sched: &mut Scheduler<Event>) {
+        let max_retries = self
+            .fault
+            .as_ref()
+            .expect("fault layer active")
+            .spec
+            .max_retries;
+        let attempts = {
+            let q = self.queries.get_mut(&id).expect("query in flight");
+            q.retries += 1;
+            q.retries
+        };
+        if attempts > max_retries {
+            self.lose_query(now, id, sched);
+        } else {
+            self.metrics.record_retry();
+            let delay = self.backoff_delay(attempts);
+            sched.after(delay, Event::Resubmit { query: id });
+        }
+    }
+
+    /// The query's execution was destroyed (site crash or lost dispatch):
+    /// its partial work is wasted, its load slot is freed, and it enters
+    /// backoff for a fresh attempt.
+    fn fail_execution(&mut self, now: SimTime, id: QueryId, sched: &mut Scheduler<Event>) {
+        let (exec, io_bound) = {
+            let q = self.queries.get_mut(&id).expect("query in flight");
+            debug_assert!(!matches!(q.phase, QueryPhase::Return | QueryPhase::Backoff));
+            q.phase = QueryPhase::Backoff;
+            // Wasted partial work shows up as waiting time, not service.
+            q.reads_done = 0;
+            q.service = 0.0;
+            (q.exec, q.profile.io_bound)
+        };
+        self.load.release(exec, io_bound);
+        self.metrics
+            .record_query_difference(now, self.load.query_difference());
+        self.schedule_retry(now, id, sched);
+    }
+
+    /// The query exhausted its retry budget and is abandoned. Closed
+    /// model: its terminal nevertheless returns to thinking, preserving
+    /// the closed population.
+    fn lose_query(&mut self, now: SimTime, id: QueryId, sched: &mut Scheduler<Event>) {
+        let _ = now;
+        let q = self.queries.remove(&id).expect("query in flight");
+        self.metrics.record_lost();
+        if matches!(self.params.workload, Workload::Closed) && q.kind != QueryKind::Propagation {
+            let think = self.rng_think.exponential(self.params.think_time);
+            sched.after(
+                think,
+                Event::Submit {
+                    site: q.profile.home,
+                },
+            );
+        }
+    }
+
+    /// Site `site` fail-stops.
+    fn handle_site_down(&mut self, now: SimTime, site: SiteId, sched: &mut Scheduler<Event>) {
+        let victims = self.sites[site].crash(now);
+        self.load.set_available(site, false);
+        let frac = self.load.available_sites() as f64 / self.params.num_sites as f64;
+        self.metrics.record_availability(now, frac);
+        for id in victims {
+            self.fail_execution(now, id, sched);
+        }
+        let f = self.fault.as_mut().expect("fault layer active");
+        let repair = f.rng_crash.exponential(f.spec.mttr);
+        sched.after(repair, Event::SiteUp { site });
+    }
+
+    /// Site `site` finishes repair.
+    fn handle_site_up(&mut self, now: SimTime, site: SiteId, sched: &mut Scheduler<Event>) {
+        self.sites[site].recover();
+        self.load.set_available(site, true);
+        let frac = self.load.available_sites() as f64 / self.params.num_sites as f64;
+        self.metrics.record_availability(now, frac);
+        let f = self.fault.as_mut().expect("fault layer active");
+        if f.spec.mtbf > 0.0 {
+            let ttf = f.rng_crash.exponential(f.spec.mtbf);
+            sched.after(ttf, Event::SiteDown { site });
+        }
+    }
+
+    /// A ring message was dropped in flight.
+    fn handle_msg_lost(&mut self, now: SimTime, msg: RingMsg, sched: &mut Scheduler<Event>) {
+        self.metrics.record_msg_lost();
+        match msg {
+            RingMsg::Query {
+                query,
+                kind: MsgKind::Dispatch,
+                ..
+            } => self.fail_execution(now, query, sched),
+            RingMsg::Query {
+                query,
+                kind: MsgKind::Result,
+                ..
+            } => self.schedule_retry(now, query, sched),
+            // A lost broadcast just means everyone keeps stale rows until
+            // the next period.
+            RingMsg::Status { .. } => {}
+        }
+    }
+
+    /// A backed-off query's retry delay expired.
+    fn handle_resubmit(&mut self, now: SimTime, id: QueryId, sched: &mut Scheduler<Event>) {
+        let (phase, kind, home) = {
+            let q = self.queries.get(&id).expect("query in flight");
+            (q.phase, q.kind, q.profile.home)
+        };
+        match phase {
+            // Results were lost on the wire: retransmit them (the
+            // execution site keeps them logged until acknowledged).
+            QueryPhase::Return => {
+                let (exec, class, reads_total) = {
+                    let q = &self.queries[&id];
+                    (q.exec, q.profile.class, q.reads_total)
+                };
+                if self.sites[exec].is_up() {
+                    let msg = RingMsg::Query {
+                        query: id,
+                        kind: MsgKind::Result,
+                        dest: home,
+                    };
+                    let cost = self.params.result_cost(class, f64::from(reads_total));
+                    if let Some(done) = self.ring.send(now, exec, msg, cost) {
+                        sched.at(done, Event::NetDone);
+                    }
+                } else {
+                    // The log is unreachable while its site is down.
+                    self.schedule_retry(now, id, sched);
+                }
+            }
+            // A fresh execution attempt: re-allocate failure-aware.
+            QueryPhase::Backoff => {
+                if !self.sites[home].is_up() {
+                    // The query's own site is (still) down; keep waiting.
+                    self.schedule_retry(now, id, sched);
+                    return;
+                }
+                let (profile, relation) = {
+                    let q = &self.queries[&id];
+                    (q.profile, q.profile.relation)
+                };
+                // Apply jobs are pinned to their replica; everything else
+                // re-runs the failure-aware allocation from home.
+                let exec = if kind == QueryKind::Propagation {
+                    home
+                } else {
+                    let ctx = AllocationContext {
+                        params: &self.params,
+                        load: &self.load,
+                        arrival_site: home,
+                    };
+                    self.allocator.select_site_among(
+                        &profile,
+                        &ctx,
+                        self.catalog.candidates(relation),
+                    )
+                };
+                if !self.catalog.holds(exec, relation) {
+                    // Still no holder reachable: keep backing off.
+                    self.schedule_retry(now, id, sched);
+                    return;
+                }
+                self.load.allocate(exec, profile.io_bound);
+                self.metrics
+                    .record_query_difference(now, self.load.query_difference());
+                let remote = exec != home;
+                {
+                    let q = self.queries.get_mut(&id).expect("query in flight");
+                    q.exec = exec;
+                    q.phase = if remote {
+                        QueryPhase::Transfer
+                    } else {
+                        QueryPhase::Disk
+                    };
+                }
+                if remote {
+                    let msg = RingMsg::Query {
+                        query: id,
+                        kind: MsgKind::Dispatch,
+                        dest: exec,
+                    };
+                    let cost = self.params.dispatch_cost(profile.class);
+                    if let Some(done) = self.ring.send(now, home, msg, cost) {
+                        sched.at(done, Event::NetDone);
+                    }
+                } else {
+                    self.start_read(now, id, sched);
+                }
+            }
+            other => debug_assert!(false, "Resubmit for query in phase {other:?}"),
         }
     }
 
@@ -554,13 +872,21 @@ impl DbSystem {
     fn complete_query(&mut self, now: SimTime, id: QueryId, sched: &mut Scheduler<Event>) {
         let q = self.queries.remove(&id).expect("query in flight");
         let response = now - q.submitted;
+        if q.retries > 0 {
+            self.metrics.record_recovered();
+        }
         self.metrics
             .record_completion(q.profile.class, response, q.service);
         // Closed model: the terminal thinks, then submits its next query.
         // Open model: the departure leaves; arrivals are source-driven.
         if matches!(self.params.workload, Workload::Closed) {
             let think = self.rng_think.exponential(self.params.think_time);
-            sched.after(think, Event::Submit { site: q.profile.home });
+            sched.after(
+                think,
+                Event::Submit {
+                    site: q.profile.home,
+                },
+            );
         }
     }
 
@@ -632,7 +958,11 @@ impl DbSystem {
     /// paper's tables).
     #[must_use]
     pub fn cpu_utilization(&self, now: SimTime) -> f64 {
-        self.sites.iter().map(|s| s.cpu.utilization(now)).sum::<f64>() / self.sites.len() as f64
+        self.sites
+            .iter()
+            .map(|s| s.cpu.utilization(now))
+            .sum::<f64>()
+            / self.sites.len() as f64
     }
 
     /// Mean per-disk utilization across sites, through `now` (`ρ_d`).
@@ -673,11 +1003,12 @@ impl DbSystem {
             );
         }
         // Load table counts = queries allocated and not yet finished
-        // (phases Transfer, Disk, Cpu).
+        // (phases Transfer, Disk, Cpu). Returning and backed-off queries
+        // hold no load-table slot.
         let executing = self
             .queries
             .values()
-            .filter(|q| q.phase != QueryPhase::Return)
+            .filter(|q| !matches!(q.phase, QueryPhase::Return | QueryPhase::Backoff))
             .count() as u32;
         assert_eq!(
             self.load.total_in_system(),
@@ -713,24 +1044,52 @@ impl Model for DbSystem {
     fn handle(&mut self, now: SimTime, event: Event, sched: &mut Scheduler<Event>) {
         match event {
             Event::Submit { site } => self.handle_submit(now, site, sched),
-            Event::DiskDone { site, disk } => self.handle_disk_done(now, site, disk, sched),
+            Event::DiskDone { site, disk, epoch } => {
+                self.handle_disk_done(now, site, disk, epoch, sched);
+            }
             Event::CpuDone { site, token } => self.handle_cpu_done(now, site, token, sched),
             Event::NetDone => self.handle_net_done(now, sched),
             Event::StatusExchange => {
-                self.load.publish();
+                // A dropout models a failed exchange round: every site
+                // keeps its stale rows until the next period.
+                let dropped = match &mut self.fault {
+                    Some(f) if f.spec.status_loss > 0.0 => {
+                        f.rng_status.bernoulli(f.spec.status_loss)
+                    }
+                    _ => false,
+                };
+                if !dropped {
+                    self.load.publish();
+                }
                 sched.after(self.params.status_period, Event::StatusExchange);
             }
             Event::StatusSend { site } => {
-                let msg = RingMsg::Status {
-                    site,
-                    load: self.load.live(site),
+                let dropped = match &mut self.fault {
+                    Some(f) if f.spec.status_loss > 0.0 => {
+                        f.rng_status.bernoulli(f.spec.status_loss)
+                    }
+                    _ => false,
                 };
-                if let Some(done) = self.ring.send(now, site, msg, self.params.status_msg_length)
-                {
-                    sched.at(done, Event::NetDone);
+                // A down site broadcasts nothing, but its schedule
+                // survives the outage.
+                if self.sites[site].is_up() && !dropped {
+                    let msg = RingMsg::Status {
+                        site,
+                        load: self.load.live(site),
+                    };
+                    if let Some(done) =
+                        self.ring
+                            .send(now, site, msg, self.params.status_msg_length)
+                    {
+                        sched.at(done, Event::NetDone);
+                    }
                 }
                 sched.after(self.params.status_period, Event::StatusSend { site });
             }
+            Event::SiteDown { site } => self.handle_site_down(now, site, sched),
+            Event::SiteUp { site } => self.handle_site_up(now, site, sched),
+            Event::MsgLost { msg } => self.handle_msg_lost(now, msg, sched),
+            Event::Resubmit { query } => self.handle_resubmit(now, query, sched),
         }
     }
 }
@@ -781,7 +1140,10 @@ mod tests {
     fn determinism_same_seed_same_results() {
         let a = run_system(PolicyKind::Lert, 5, 2_000.0);
         let b = run_system(PolicyKind::Lert, 5, 2_000.0);
-        assert_eq!(a.model().metrics().completed(), b.model().metrics().completed());
+        assert_eq!(
+            a.model().metrics().completed(),
+            b.model().metrics().completed()
+        );
         assert_eq!(
             a.model().metrics().mean_waiting(),
             b.model().metrics().mean_waiting()

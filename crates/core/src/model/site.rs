@@ -17,6 +17,12 @@ pub struct Site {
     /// The disks, each serving page reads in FIFO order.
     pub disks: Vec<FcfsQueue<QueryId>>,
     rr_cursor: usize,
+    /// Whether the site is up (always `true` without fault injection).
+    up: bool,
+    /// Crash epoch: bumped on every crash so that disk-completion events
+    /// scheduled before the crash can be recognized as stale and dropped
+    /// (the PS server has its own token mechanism; FCFS does not).
+    epoch: u64,
 }
 
 impl Site {
@@ -32,7 +38,42 @@ impl Site {
             cpu: PsServer::new(start),
             disks: (0..num_disks).map(|_| FcfsQueue::new(start)).collect(),
             rr_cursor: 0,
+            up: true,
+            epoch: 0,
         }
+    }
+
+    /// Whether the site is currently up.
+    #[must_use]
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+
+    /// The current crash epoch (stamped into disk-completion events).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Fail-stops the site: every station drains, in-flight completions
+    /// become stale (PS by token, disks by the bumped epoch), and the
+    /// resident queries — whose partial work is lost — are returned for the
+    /// host to back off and retry.
+    pub fn crash(&mut self, now: SimTime) -> Vec<QueryId> {
+        debug_assert!(self.up, "crash of an already-down site");
+        self.up = false;
+        self.epoch += 1;
+        let mut victims = self.cpu.clear(now);
+        for d in &mut self.disks {
+            victims.extend(d.clear(now));
+        }
+        victims
+    }
+
+    /// Brings the site back up after repair, with empty stations.
+    pub fn recover(&mut self) {
+        debug_assert!(!self.up, "recovery of an up site");
+        self.up = true;
     }
 
     /// Picks the disk for the next page read under the given discipline.
@@ -116,5 +157,26 @@ mod tests {
         s.disks[0].arrive(SimTime::ZERO, QueryId(1), 1.0);
         s.cpu.arrive(SimTime::ZERO, QueryId(2), 1.0);
         assert_eq!(s.resident_queries(), 2);
+    }
+
+    #[test]
+    fn crash_drains_stations_and_bumps_epoch() {
+        let mut s = Site::new(2, SimTime::ZERO);
+        s.cpu.arrive(SimTime::ZERO, QueryId(1), 5.0);
+        s.disks[0].arrive(SimTime::ZERO, QueryId(2), 1.0);
+        s.disks[1].arrive(SimTime::ZERO, QueryId(3), 1.0);
+        assert!(s.is_up());
+        let e0 = s.epoch();
+
+        let victims = s.crash(SimTime::new(1.0));
+        assert_eq!(victims, vec![QueryId(1), QueryId(2), QueryId(3)]);
+        assert!(!s.is_up());
+        assert_eq!(s.epoch(), e0 + 1);
+        assert_eq!(s.resident_queries(), 0);
+
+        s.recover();
+        assert!(s.is_up());
+        // Epoch stays: only crashes invalidate pre-crash completions.
+        assert_eq!(s.epoch(), e0 + 1);
     }
 }

@@ -48,6 +48,62 @@ impl Default for MigrationSpec {
     }
 }
 
+/// Fault-injection parameters (a robustness extension; the paper assumes
+/// "the sites never fail" and a perfectly reliable subnet, §2).
+///
+/// Site crashes are fail-stop with perfect detection: a crashed site loses
+/// the queries resident at its stations, its load-table row is marked
+/// unavailable to every policy immediately, and it rejoins after an
+/// exponential repair time. Message loss strikes token-ring frames at
+/// delivery. All fault randomness is drawn from dedicated RNG substreams,
+/// so two runs that differ only in their fault rates still share every
+/// workload draw (common random numbers), and a spec with all rates zero
+/// reproduces the fault-free trajectory byte for byte.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Mean time between failures per site (exponential). `0.0` disables
+    /// crashes entirely.
+    pub mtbf: f64,
+    /// Mean time to repair a crashed site (exponential). Must be positive
+    /// when `mtbf > 0`.
+    pub mttr: f64,
+    /// Probability that a token-ring frame (query, result, or status) is
+    /// lost at delivery. `0.0` disables message loss.
+    pub msg_loss: f64,
+    /// Probability that one free status-exchange round is dropped (only
+    /// meaningful with `status_period > 0` and `status_msg_length == 0`).
+    pub status_loss: f64,
+    /// Bounded retry budget per query. A query whose retries exceed this
+    /// is abandoned (its terminal thinks and submits a fresh query).
+    pub max_retries: u32,
+    /// Base delay of the exponential backoff: retry `k` waits roughly
+    /// `backoff_base * 2^(k-1)`, jittered ±50%.
+    pub backoff_base: f64,
+}
+
+impl Default for FaultSpec {
+    /// Crashes disabled, repairs of 50 time units when enabled, no message
+    /// loss, 5 retries on a base backoff of 10 time units.
+    fn default() -> Self {
+        FaultSpec {
+            mtbf: 0.0,
+            mttr: 50.0,
+            msg_loss: 0.0,
+            status_loss: 0.0,
+            max_retries: 5,
+            backoff_base: 10.0,
+        }
+    }
+}
+
+impl FaultSpec {
+    /// Whether any fault process is actually switched on.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.mtbf > 0.0 || self.msg_loss > 0.0 || self.status_loss > 0.0
+    }
+}
+
 /// How queries enter the system.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum Workload {
@@ -296,6 +352,10 @@ pub struct SystemParams {
     /// read count (applying a logged write is cheaper than computing it).
     /// Zero disables propagation entirely.
     pub propagation_factor: f64,
+    /// Fault injection (site crashes, message loss, status dropouts).
+    /// `None` is the paper's reliability assumption; `Some` with all rates
+    /// zero is trajectory-identical to `None`.
+    pub faults: Option<FaultSpec>,
 }
 
 impl SystemParams {
@@ -335,6 +395,7 @@ impl SystemParams {
             workload: Workload::Closed,
             update_fraction: 0.0,
             propagation_factor: 0.5,
+            faults: None,
         }
     }
 
@@ -369,7 +430,9 @@ impl SystemParams {
             return Err(ParamsError::Missing { what: "terminal" });
         }
         if self.classes.is_empty() {
-            return Err(ParamsError::Missing { what: "query class" });
+            return Err(ParamsError::Missing {
+                what: "query class",
+            });
         }
         positive("disk_time", self.disk_time)?;
         fraction("disk_time_dev", self.disk_time_dev)?;
@@ -422,7 +485,9 @@ impl SystemParams {
         }
         if let Some(copies) = self.copies {
             if copies == 0 {
-                return Err(ParamsError::Missing { what: "relation copy" });
+                return Err(ParamsError::Missing {
+                    what: "relation copy",
+                });
             }
             if copies as usize > self.num_sites {
                 return Err(ParamsError::NonPositive {
@@ -450,6 +515,25 @@ impl SystemParams {
             for &s in speeds {
                 positive("cpu_speeds entry", s)?;
             }
+        }
+        if let Some(f) = &self.faults {
+            if !f.mtbf.is_finite() || f.mtbf < 0.0 {
+                return Err(ParamsError::NonPositive {
+                    field: "fault mtbf",
+                    value: f.mtbf,
+                });
+            }
+            if f.mtbf > 0.0 {
+                positive("fault mttr", f.mttr)?;
+            } else if !f.mttr.is_finite() || f.mttr < 0.0 {
+                return Err(ParamsError::NonPositive {
+                    field: "fault mttr",
+                    value: f.mttr,
+                });
+            }
+            fraction("fault msg_loss", f.msg_loss)?;
+            fraction("fault status_loss", f.status_loss)?;
+            positive("fault backoff_base", f.backoff_base)?;
         }
         if let Some(m) = &self.migration {
             if m.check_every_reads == 0 {
@@ -496,9 +580,7 @@ impl SystemParams {
     pub fn dispatch_cost(&self, class: ClassId) -> f64 {
         match self.message_costing {
             MessageCosting::Combined => self.msg_length,
-            MessageCosting::Detailed { msg_time, .. } => {
-                self.classes[class].query_size * msg_time
-            }
+            MessageCosting::Detailed { msg_time, .. } => self.classes[class].query_size * msg_time,
         }
     }
 
@@ -737,6 +819,14 @@ impl SystemParamsBuilder {
         self
     }
 
+    /// Enables or disables fault injection (`None` = the paper's
+    /// never-fail assumption).
+    #[must_use]
+    pub fn faults(mut self, spec: Option<FaultSpec>) -> Self {
+        self.params.faults = spec;
+        self
+    }
+
     /// Validates and returns the parameters.
     ///
     /// # Errors
@@ -832,7 +922,10 @@ mod tests {
         p.msg_length = -1.0;
         assert!(matches!(
             p.validate(),
-            Err(ParamsError::NonPositive { field: "msg_length", .. })
+            Err(ParamsError::NonPositive {
+                field: "msg_length",
+                ..
+            })
         ));
     }
 
@@ -893,6 +986,51 @@ mod tests {
         let mut p = SystemParams::paper_base();
         p.num_relations = 0;
         assert_eq!(p.validate(), Err(ParamsError::Missing { what: "relation" }));
+    }
+
+    #[test]
+    fn fault_spec_defaults_are_inactive_and_valid() {
+        let spec = FaultSpec::default();
+        assert!(!spec.is_active());
+        let p = SystemParams::builder().faults(Some(spec)).build().unwrap();
+        assert_eq!(p.faults, Some(spec));
+    }
+
+    #[test]
+    fn fault_spec_validation() {
+        // Crashes without a positive repair time are rejected.
+        let bad = SystemParams::builder()
+            .faults(Some(FaultSpec {
+                mtbf: 100.0,
+                mttr: 0.0,
+                ..FaultSpec::default()
+            }))
+            .build();
+        assert!(bad.is_err());
+        let bad_loss = SystemParams::builder()
+            .faults(Some(FaultSpec {
+                msg_loss: 1.5,
+                ..FaultSpec::default()
+            }))
+            .build();
+        assert!(bad_loss.is_err());
+        let bad_backoff = SystemParams::builder()
+            .faults(Some(FaultSpec {
+                backoff_base: 0.0,
+                ..FaultSpec::default()
+            }))
+            .build();
+        assert!(bad_backoff.is_err());
+        let ok = SystemParams::builder()
+            .faults(Some(FaultSpec {
+                mtbf: 500.0,
+                mttr: 50.0,
+                msg_loss: 0.01,
+                ..FaultSpec::default()
+            }))
+            .build();
+        assert!(ok.is_ok());
+        assert!(ok.unwrap().faults.unwrap().is_active());
     }
 
     #[test]

@@ -122,7 +122,7 @@ mod tests {
         let f = Fixture::new(2).unwrap();
         let mut p = Lert;
         let q = f.cpu_query(0); // 20 reads, 1.0 cpu/page
-        // local, empty: cpu 20*1 + io 20*1 = 40
+                                // local, empty: cpu 20*1 + io 20*1 = 40
         assert!((p.site_cost(&q, 0, &f.ctx(0)) - 40.0).abs() < 1e-12);
         // remote, empty: + 2 * msg_length = 42
         assert!((p.site_cost(&q, 1, &f.ctx(0)) - 42.0).abs() < 1e-12);

@@ -168,6 +168,13 @@ impl Allocator {
     /// the LOCAL cost function a query without a local copy executes at
     /// the primary — the static-materialization baseline of §1.1.
     ///
+    /// Down sites (fault injection) are never selected: the scan is
+    /// failure-aware and skips them. If *no* candidate is up, the query
+    /// falls back to the arrival site — every policy degenerates to LOCAL
+    /// when the rest of the system is unreachable, and the arrival site is
+    /// the only place the query can physically wait. Without faults every
+    /// site is available and the scan is byte-identical to the paper's.
+    ///
     /// # Panics
     ///
     /// Panics if `candidates` is empty.
@@ -180,10 +187,18 @@ impl Allocator {
         assert!(!candidates.is_empty(), "query has no candidate sites");
         let n = ctx.params.num_sites;
         let arrival = ctx.arrival_site;
-        let start = if candidates.contains(&arrival) {
+        let start = if candidates.contains(&arrival) && ctx.load.is_available(arrival) {
             arrival
         } else {
-            candidates[0]
+            match candidates.iter().find(|&&s| ctx.load.is_available(s)) {
+                Some(&s) => s,
+                None => {
+                    // Everything is down: fall back to LOCAL behavior. The
+                    // cursor still advances so the no-op scan stays in step.
+                    self.cursor = (self.cursor + 1) % n;
+                    return arrival;
+                }
+            }
         };
         let mut best_site = start;
         let mut min_cost = self.policy.site_cost(query, start, ctx);
@@ -191,7 +206,7 @@ impl Allocator {
         // Scan the other candidates starting from the rotating cursor.
         for k in 0..n {
             let site = (self.cursor + k) % n;
-            if site == start || !candidates.contains(&site) {
+            if site == start || !candidates.contains(&site) || !ctx.load.is_available(site) {
                 continue;
             }
             let cost = self.policy.site_cost(query, site, ctx);
@@ -226,7 +241,7 @@ impl Allocator {
         let mut best: Option<(SiteId, f64)> = None;
         for k in 0..n {
             let site = (self.cursor + k) % n;
-            if site == current || !candidates.contains(&site) {
+            if site == current || !candidates.contains(&site) || !ctx.load.is_available(site) {
                 continue;
             }
             let cost = self.policy.site_cost(remaining, site, ctx) + state_penalty;
@@ -433,6 +448,74 @@ mod tests {
         let mut alloc = Allocator::new(PolicyKind::Bnq, 0);
         let q = f.io_query(0);
         let _ = alloc.select_site_among(&q, &f.ctx(0), &[]);
+    }
+
+    #[test]
+    fn down_sites_are_skipped() {
+        let mut f = Fixture::new(4).unwrap();
+        // Arrival site loaded; site 3 would win but is down.
+        f.load.allocate(0, true);
+        f.load.allocate(0, true);
+        f.load.allocate(1, true);
+        f.load.allocate(2, true);
+        f.load.set_available(3, false);
+        let mut alloc = Allocator::new(PolicyKind::Bnq, 0);
+        let q = f.io_query(0);
+        for _ in 0..8 {
+            let pick = alloc.select_site(&q, &f.ctx(0));
+            assert_ne!(pick, 3, "down site must never be selected");
+        }
+    }
+
+    #[test]
+    fn all_remote_down_falls_back_to_arrival() {
+        let mut f = Fixture::new(4).unwrap();
+        // Arrival is heavily loaded but every remote site is down: the
+        // policy must degenerate to LOCAL.
+        for _ in 0..5 {
+            f.load.allocate(0, true);
+        }
+        for s in 1..4 {
+            f.load.set_available(s, false);
+        }
+        let mut alloc = Allocator::new(PolicyKind::Bnq, 0);
+        let q = f.io_query(0);
+        assert_eq!(alloc.select_site(&q, &f.ctx(0)), 0);
+    }
+
+    #[test]
+    fn all_candidates_down_falls_back_to_arrival() {
+        let mut f = Fixture::new(4).unwrap();
+        // The arrival site holds no copy and both holders are down.
+        f.load.set_available(2, false);
+        f.load.set_available(3, false);
+        let mut alloc = Allocator::new(PolicyKind::Bnq, 0);
+        let q = f.io_query(1);
+        assert_eq!(alloc.select_site_among(&q, &f.ctx(1), &[2, 3]), 1);
+    }
+
+    #[test]
+    fn down_primary_defers_to_next_available_candidate() {
+        let mut f = Fixture::new(4).unwrap();
+        f.load.set_available(2, false);
+        let mut alloc = Allocator::new(PolicyKind::Bnq, 0);
+        let q = f.io_query(1);
+        // Arrival (1) holds no copy; primary (2) is down; 3 must start.
+        assert_eq!(alloc.select_site_among(&q, &f.ctx(1), &[2, 3]), 3);
+    }
+
+    #[test]
+    fn migration_never_targets_down_site() {
+        let mut f = Fixture::new(3).unwrap();
+        for _ in 0..4 {
+            f.load.allocate(0, true);
+        }
+        f.load.set_available(1, false);
+        f.load.set_available(2, false);
+        let mut alloc = Allocator::new(PolicyKind::Bnq, 0);
+        let q = f.io_query(0);
+        let target = alloc.migration_target(&q, 0, &f.ctx(0), &[0, 1, 2], 0.0, 0.0);
+        assert_eq!(target, None, "no up site to migrate to");
     }
 
     #[test]

@@ -78,6 +78,8 @@ mod tests {
             f.load.allocate(1, true);
         }
         let mut p = Wlc;
-        assert!(p.site_cost(&f.io_query(0), 1, &f.ctx(0)) < p.site_cost(&f.io_query(0), 0, &f.ctx(0)));
+        assert!(
+            p.site_cost(&f.io_query(0), 1, &f.ctx(0)) < p.site_cost(&f.io_query(0), 0, &f.ctx(0))
+        );
     }
 }

@@ -57,6 +57,9 @@ pub enum QueryPhase {
     Cpu,
     /// Results in transit back to the home site.
     Return,
+    /// Waiting out a retry delay after a crash or message loss (fault
+    /// injection only). The query holds no station or load-table slot.
+    Backoff,
 }
 
 /// Full state of an in-flight query, tracked by the simulator.
@@ -81,6 +84,8 @@ pub struct ActiveQuery {
     pub phase: QueryPhase,
     /// Read / update / propagation.
     pub kind: QueryKind,
+    /// Fault-recovery attempts consumed so far (always 0 without faults).
+    pub retries: u32,
 }
 
 impl ActiveQuery {
@@ -119,6 +124,7 @@ mod tests {
             service: 0.0,
             phase: QueryPhase::Transfer,
             kind: QueryKind::Read,
+            retries: 0,
         }
     }
 

@@ -56,11 +56,7 @@ impl Catalog {
             "copies must lie in 1..=num_sites, got {copies}"
         );
         let placement = (0..num_relations)
-            .map(|r| {
-                (0..copies as usize)
-                    .map(|j| (r + j) % num_sites)
-                    .collect()
-            })
+            .map(|r| (0..copies as usize).map(|j| (r + j) % num_sites).collect())
             .collect();
         Catalog {
             placement,

@@ -99,8 +99,7 @@ pub fn approx_solve(network: &Network, population: &[u32]) -> Solution {
                     StationKind::Queueing => {
                         // Schweitzer: an arrival sees everyone, minus its
                         // own class scaled down by one customer.
-                        let q_total: f64 =
-                            (0..classes).map(|j| queue[k * classes + j]).sum();
+                        let q_total: f64 = (0..classes).map(|j| queue[k * classes + j]).sum();
                         let seen = q_total - queue[k * classes + c] / nc;
                         d * (1.0 + seen)
                     }

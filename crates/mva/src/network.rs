@@ -183,12 +183,7 @@ impl NetworkBuilder {
     ///
     /// Panics if `demands` does not have exactly one entry per class.
     #[must_use]
-    pub fn station(
-        mut self,
-        name: &str,
-        kind: StationKind,
-        demands: impl Into<Vec<f64>>,
-    ) -> Self {
+    pub fn station(mut self, name: &str, kind: StationKind, demands: impl Into<Vec<f64>>) -> Self {
         let demands = demands.into();
         assert_eq!(
             demands.len(),

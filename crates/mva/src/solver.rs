@@ -199,30 +199,26 @@ pub fn solve(network: &Network, population: &[u32]) -> Solution {
     // Residence time of a class-c arrival at station k, seeing the
     // network at the reduced population vector `ridx` (with `rtotal`
     // customers).
-    let arrival_residence = |k: usize,
-                             c: usize,
-                             ridx: usize,
-                             rtotal: u32,
-                             queues: &[f64],
-                             probs: &[Vec<f64>]| {
-        let d = network.demand(k, c);
-        match network.kind(k) {
-            StationKind::Queueing => d * (1.0 + queues[ridx * stations + k]),
-            StationKind::Delay => d,
-            StationKind::MultiServer { servers } => {
-                // R = D * Σ_j (j+1)/min(j+1, m) * P(j | reduced): the
-                // arrival joins j residents and they share min(j+1, m)
-                // servers (exact load-dependent MVA).
-                let p = &probs[ms_index[k].expect("multiserver indexed")];
-                let mut r = 0.0;
-                for j in 0..=rtotal {
-                    let a = (j + 1).min(servers);
-                    r += f64::from(j + 1) / f64::from(a) * p[ridx * stride + j as usize];
+    let arrival_residence =
+        |k: usize, c: usize, ridx: usize, rtotal: u32, queues: &[f64], probs: &[Vec<f64>]| {
+            let d = network.demand(k, c);
+            match network.kind(k) {
+                StationKind::Queueing => d * (1.0 + queues[ridx * stations + k]),
+                StationKind::Delay => d,
+                StationKind::MultiServer { servers } => {
+                    // R = D * Σ_j (j+1)/min(j+1, m) * P(j | reduced): the
+                    // arrival joins j residents and they share min(j+1, m)
+                    // servers (exact load-dependent MVA).
+                    let p = &probs[ms_index[k].expect("multiserver indexed")];
+                    let mut r = 0.0;
+                    for j in 0..=rtotal {
+                        let a = (j + 1).min(servers);
+                        r += f64::from(j + 1) / f64::from(a) * p[ridx * stride + j as usize];
+                    }
+                    d * r
                 }
-                d * r
             }
-        }
-    };
+        };
 
     for n in lattice.iter() {
         let idx = lattice.index(&n);
@@ -536,9 +532,7 @@ mod tests {
         // multiplier min(j, m)) and one single-server station (demand e).
         fn convolution_throughput(d: f64, m: u32, e: f64, n: u32) -> f64 {
             // f_ms(j) = d^j / prod_{i=1}^{j} min(i, m); f_q(j) = e^j
-            let beta = |j: u32| -> f64 {
-                (1..=j).map(|i| f64::from(i.min(m))).product::<f64>()
-            };
+            let beta = |j: u32| -> f64 { (1..=j).map(|i| f64::from(i.min(m))).product::<f64>() };
             let g = |pop: u32| -> f64 {
                 (0..=pop)
                     .map(|j| d.powi(j as i32) / beta(j) * e.powi((pop - j) as i32))

@@ -1,0 +1,247 @@
+//! Property tests of the exact MVA solver: conservation laws, Little's law,
+//! monotonicity, and symmetry across randomized networks, driven by the
+//! deterministic [`dqa_sim::testkit`] case runner.
+
+use dqa_mva::allocation::{analyze_arrival, LoadMatrix, StudyConfig};
+use dqa_mva::{solve, Network, StationKind};
+use dqa_sim::testkit::{cases, Gen};
+
+/// A random 2-class network with 1-4 queueing stations and optionally a
+/// delay station.
+fn arb_network(g: &mut Gen) -> Network {
+    let stations = g.vec_with(1..5, |g| (g.f64_in(0.01..5.0), g.f64_in(0.01..5.0)));
+    let delay = if g.bool(0.5) {
+        Some((g.f64_in(0.1..50.0), g.f64_in(0.1..50.0)))
+    } else {
+        None
+    };
+    let mut b = Network::builder(2);
+    for (k, (d0, d1)) in stations.into_iter().enumerate() {
+        b = b.station(&format!("q{k}"), StationKind::Queueing, [d0, d1]);
+    }
+    if let Some((z0, z1)) = delay {
+        b = b.station("think", StationKind::Delay, [z0, z1]);
+    }
+    b.build().expect("valid random network")
+}
+
+/// Mean queue lengths over all stations sum to the population.
+#[test]
+fn queue_lengths_sum_to_population() {
+    cases(200, 0x3A_01, |g| {
+        let net = arb_network(g);
+        let n0 = g.u32_in(0..6);
+        let n1 = g.u32_in(0..6);
+        let sol = solve(&net, &[n0, n1]);
+        let total: f64 = (0..net.num_stations())
+            .map(|k| sol.total_queue_length(k))
+            .sum();
+        let pop = f64::from(n0 + n1);
+        assert!(
+            (total - pop).abs() < 1e-6 * (1.0 + pop),
+            "case {}: queues sum to {} != population {}",
+            g.case(),
+            total,
+            pop
+        );
+    });
+}
+
+/// Little's law holds per class and station: Q_kc = X_c * R_kc.
+#[test]
+fn littles_law_per_station() {
+    cases(200, 0x3A_02, |g| {
+        let net = arb_network(g);
+        let n0 = g.u32_in(1..5);
+        let n1 = g.u32_in(1..5);
+        let sol = solve(&net, &[n0, n1]);
+        for k in 0..net.num_stations() {
+            for c in 0..2 {
+                let expected = sol.throughput(c) * sol.residence(k, c);
+                assert!(
+                    (sol.queue_length(k, c) - expected).abs() < 1e-9,
+                    "case {}: Little's law broken at station {} class {}",
+                    g.case(),
+                    k,
+                    c
+                );
+            }
+        }
+    });
+}
+
+/// Cycle time never decreases when a customer is added to either class
+/// (more contention can only slow you down).
+#[test]
+fn residence_monotone_in_population() {
+    cases(150, 0x3A_03, |g| {
+        let net = arb_network(g);
+        let n0 = g.u32_in(1..5);
+        let n1 = g.u32_in(1..5);
+        let base = solve(&net, &[n0, n1]);
+        let more0 = solve(&net, &[n0 + 1, n1]);
+        let more1 = solve(&net, &[n0, n1 + 1]);
+        for c in 0..2 {
+            assert!(more0.cycle_time(c) >= base.cycle_time(c) - 1e-9);
+            assert!(more1.cycle_time(c) >= base.cycle_time(c) - 1e-9);
+        }
+    });
+}
+
+/// Throughputs are positive for populated classes and bounded by the
+/// bottleneck station: X_c <= 1 / max_k D_kc.
+#[test]
+fn throughput_bounded_by_bottleneck() {
+    cases(200, 0x3A_04, |g| {
+        let net = arb_network(g);
+        let n0 = g.u32_in(1..6);
+        let n1 = g.u32_in(0..6);
+        let sol = solve(&net, &[n0, n1]);
+        for (c, &n) in [n0, n1].iter().enumerate() {
+            if n == 0 {
+                assert_eq!(sol.throughput(c), 0.0);
+                continue;
+            }
+            assert!(sol.throughput(c) > 0.0);
+            // The utilization-law bound X <= 1/D applies to single-server
+            // (queueing) stations only; delay stations serve in parallel.
+            let bottleneck = (0..net.num_stations())
+                .filter(|&k| net.kind(k) == StationKind::Queueing)
+                .map(|k| net.demand(k, c))
+                .fold(0.0f64, f64::max);
+            if bottleneck > 0.0 {
+                assert!(sol.throughput(c) <= 1.0 / bottleneck + 1e-9);
+            }
+        }
+    });
+}
+
+/// With identical demands and populations, the two classes are
+/// exchangeable.
+#[test]
+fn symmetric_classes_are_exchangeable() {
+    cases(200, 0x3A_05, |g| {
+        let demands = g.vec_f64(0.01..5.0, 1..5);
+        let n = g.u32_in(1..5);
+        let mut b = Network::builder(2);
+        for (k, &d) in demands.iter().enumerate() {
+            b = b.station(&format!("q{k}"), StationKind::Queueing, [d, d]);
+        }
+        let net = b.build().unwrap();
+        let sol = solve(&net, &[n, n]);
+        assert!((sol.throughput(0) - sol.throughput(1)).abs() < 1e-9);
+        for k in 0..net.num_stations() {
+            assert!((sol.residence(k, 0) - sol.residence(k, 1)).abs() < 1e-9);
+        }
+    });
+}
+
+/// The allocation study's improvement factors always land in [0, 1], the
+/// optimum is never worse than BNQ, and both sides are finite.
+#[test]
+fn improvement_factors_well_formed() {
+    cases(200, 0x3A_06, |g| {
+        let counts: Vec<u32> = (0..8).map(|_| g.u32_in(0..4)).collect();
+        let cpu_io = g.f64_in(0.01..0.49);
+        let cpu_cpu = g.f64_in(0.5..3.0);
+        let class = g.usize_in(0..2);
+        let load = LoadMatrix::new([
+            [counts[0], counts[1], counts[2], counts[3]],
+            [counts[4], counts[5], counts[6], counts[7]],
+        ]);
+        let cfg = StudyConfig::new(cpu_io, cpu_cpu);
+        let a = analyze_arrival(&cfg, &load, class);
+        assert!(a.waiting_bnq.is_finite() && a.waiting_opt.is_finite());
+        assert!(a.waiting_opt <= a.waiting_bnq + 1e-9);
+        assert!(a.fairness_opt <= a.fairness_bnq + 1e-9);
+        assert!((0.0..=1.0).contains(&a.wif()));
+        assert!((0.0..=1.0).contains(&a.fif()));
+        assert!(!a.bnq_candidates.is_empty());
+        assert!(a.opt_site < LoadMatrix::SITES);
+    });
+}
+
+/// A one-server multiserver station is exactly a load-independent queueing
+/// station.
+#[test]
+fn single_server_multiserver_equivalence() {
+    cases(150, 0x3A_07, |g| {
+        let demands = g.vec_with(1..4, |g| (g.f64_in(0.01..5.0), g.f64_in(0.01..5.0)));
+        let n0 = g.u32_in(0..4);
+        let n1 = g.u32_in(0..4);
+        let build = |first_kind: StationKind| {
+            let mut b = Network::builder(2);
+            for (k, &(d0, d1)) in demands.iter().enumerate() {
+                let kind = if k == 0 {
+                    first_kind
+                } else {
+                    StationKind::Queueing
+                };
+                b = b.station(&format!("q{k}"), kind, [d0, d1]);
+            }
+            b.build().unwrap()
+        };
+        let plain = solve(&build(StationKind::Queueing), &[n0, n1]);
+        let ms = solve(&build(StationKind::MultiServer { servers: 1 }), &[n0, n1]);
+        for c in 0..2 {
+            assert!((plain.throughput(c) - ms.throughput(c)).abs() < 1e-9);
+            for k in 0..demands.len() {
+                assert!((plain.residence(k, c) - ms.residence(k, c)).abs() < 1e-9);
+            }
+        }
+    });
+}
+
+/// More servers never increase residence, and infinitely many (>=
+/// population) pin it at the bare demand.
+#[test]
+fn multiserver_residence_monotone_in_servers() {
+    cases(150, 0x3A_08, |g| {
+        let d = g.f64_in(0.1..5.0);
+        let e = g.f64_in(0.1..5.0);
+        let n = g.u32_in(1..6);
+        let solve_with = |servers: u32| {
+            let net = Network::builder(1)
+                .station("ms", StationKind::MultiServer { servers }, [d])
+                .station("q", StationKind::Queueing, [e])
+                .build()
+                .unwrap();
+            solve(&net, &[n]).residence(0, 0)
+        };
+        let mut prev = f64::INFINITY;
+        for m in 1..=n {
+            let r = solve_with(m);
+            assert!(
+                r <= prev + 1e-9,
+                "case {}: residence rose with servers: {} -> {}",
+                g.case(),
+                prev,
+                r
+            );
+            prev = r;
+        }
+        let ample = solve_with(n);
+        assert!(
+            (ample - d).abs() < 1e-9,
+            "case {}: ample servers should yield bare demand",
+            g.case()
+        );
+    });
+}
+
+/// A completely empty system: any arrival waits zero everywhere, so both
+/// factors are exactly zero.
+#[test]
+fn empty_system_has_no_improvement() {
+    cases(100, 0x3A_09, |g| {
+        let cpu_io = g.f64_in(0.01..0.49);
+        let cpu_cpu = g.f64_in(0.5..3.0);
+        let class = g.usize_in(0..2);
+        let cfg = StudyConfig::new(cpu_io, cpu_cpu);
+        let load = LoadMatrix::new([[0, 0, 0, 0], [0, 0, 0, 0]]);
+        let a = analyze_arrival(&cfg, &load, class);
+        assert!(a.waiting_bnq.abs() < 1e-12);
+        assert_eq!(a.wif(), 0.0);
+        assert_eq!(a.fif(), 0.0);
+    });
+}

@@ -163,6 +163,22 @@ impl<J> FcfsQueue<J> {
         self.population.time_average(now)
     }
 
+    /// Ejects every job (in service and waiting) without counting
+    /// completions — a station crash. Already-scheduled completion events
+    /// for this station become dangling; the host must discard them (e.g.
+    /// by stamping events with a crash epoch). Returns the ejected jobs in
+    /// FIFO order, in-service first.
+    pub fn clear(&mut self, now: SimTime) -> Vec<J> {
+        let mut out = Vec::with_capacity(self.len());
+        if let Some(job) = self.in_service.take() {
+            out.push(job);
+        }
+        out.extend(self.waiting.drain(..).map(|(job, _)| job));
+        self.population.set(now, 0.0);
+        self.busy.set(now, 0.0);
+        out
+    }
+
     /// Restarts the statistics at `now` (warmup truncation), keeping the
     /// jobs currently present.
     pub fn reset_stats(&mut self, now: SimTime) {
@@ -229,6 +245,27 @@ mod tests {
         assert_eq!(q.completions(), 0);
         // still busy after the reset
         assert!((q.utilization(SimTime::new(6.0)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clear_ejects_all_jobs_in_fifo_order() {
+        let mut q = FcfsQueue::new(SimTime::ZERO);
+        q.arrive(SimTime::ZERO, 1, 1.0).unwrap();
+        q.arrive(SimTime::ZERO, 2, 1.0);
+        q.arrive(SimTime::ZERO, 3, 1.0);
+        let ejected = q.clear(SimTime::new(0.5));
+        assert_eq!(ejected, vec![1, 2, 3]);
+        assert!(q.is_empty());
+        assert!(!q.is_busy());
+        assert_eq!(q.completions(), 0, "crash victims are not completions");
+        // The station restarts cleanly after the crash.
+        assert!(q.arrive(SimTime::new(1.0), 4, 1.0).is_some());
+    }
+
+    #[test]
+    fn clear_on_idle_is_empty() {
+        let mut q: FcfsQueue<u32> = FcfsQueue::new(SimTime::ZERO);
+        assert!(q.clear(SimTime::new(1.0)).is_empty());
     }
 
     #[test]

@@ -102,11 +102,7 @@ impl<J> PsServer<J> {
         self.jobs
             .iter()
             .enumerate()
-            .min_by(|(_, a), (_, b)| {
-                a.finish_v
-                    .total_cmp(&b.finish_v)
-                    .then(a.seq.cmp(&b.seq))
-            })
+            .min_by(|(_, a), (_, b)| a.finish_v.total_cmp(&b.finish_v).then(a.seq.cmp(&b.seq)))
             .map(|(i, _)| i)
     }
 
@@ -206,6 +202,20 @@ impl<J> PsServer<J> {
     #[must_use]
     pub fn mean_population(&self, now: SimTime) -> f64 {
         self.population.time_average(now)
+    }
+
+    /// Ejects every resident job without counting completions — a station
+    /// crash. The epoch is bumped, so any already-scheduled completion
+    /// event carries a stale token and is ignored on delivery. Returns the
+    /// ejected jobs in arrival order.
+    pub fn clear(&mut self, now: SimTime) -> Vec<J> {
+        self.advance(now);
+        let mut entries = std::mem::take(&mut self.jobs);
+        entries.sort_by_key(|e| e.seq);
+        self.epoch += 1;
+        self.population.set(now, 0.0);
+        self.busy.set(now, 0.0);
+        entries.into_iter().map(|e| e.job).collect()
     }
 
     /// Restarts statistics at `now`, keeping resident jobs.
@@ -327,5 +337,27 @@ mod tests {
         assert_eq!(cpu.len(), 1);
         assert_eq!(cpu.completions(), 0);
         assert!((cpu.utilization(SimTime::new(20.0)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clear_ejects_jobs_and_stales_tokens() {
+        let mut cpu = PsServer::new(SimTime::ZERO);
+        cpu.arrive(SimTime::ZERO, "a", 5.0);
+        let next = cpu.arrive(SimTime::ZERO, "b", 5.0).unwrap();
+        let ejected = cpu.clear(SimTime::new(1.0));
+        assert_eq!(ejected, vec!["a", "b"], "arrival order");
+        assert!(cpu.is_empty());
+        assert_eq!(cpu.completions(), 0, "crash victims are not completions");
+        // The completion scheduled before the crash is now stale.
+        assert!(cpu.complete(next.0, next.1).is_none());
+        // The station restarts cleanly after the crash.
+        let fresh = cpu.arrive(SimTime::new(2.0), "c", 1.0).unwrap();
+        assert_eq!(fresh.0, SimTime::new(3.0));
+    }
+
+    #[test]
+    fn clear_on_idle_is_empty() {
+        let mut cpu: PsServer<u32> = PsServer::new(SimTime::ZERO);
+        assert!(cpu.clear(SimTime::new(1.0)).is_empty());
     }
 }

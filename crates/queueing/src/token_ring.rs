@@ -107,10 +107,7 @@ impl<M> TokenRing<M> {
     ///
     /// Panics if nothing was in flight.
     pub fn transmit_done(&mut self, now: SimTime) -> (M, usize, Option<SimTime>) {
-        let (msg, from) = self
-            .in_flight
-            .take()
-            .expect("transmit_done with idle ring");
+        let (msg, from) = self.in_flight.take().expect("transmit_done with idle ring");
         self.sent += 1;
         self.backlog.add(now, -1.0);
         let next = self.start_next(now);
@@ -144,8 +141,7 @@ impl<M> TokenRing<M> {
     /// Messages waiting or in flight.
     #[must_use]
     pub fn pending(&self) -> usize {
-        self.queues.iter().map(VecDeque::len).sum::<usize>()
-            + usize::from(self.in_flight.is_some())
+        self.queues.iter().map(VecDeque::len).sum::<usize>() + usize::from(self.in_flight.is_some())
     }
 
     /// Fraction of time the ring has been transmitting, through `now`.

@@ -1,21 +1,23 @@
-//! Property-based tests of the queueing stations: conservation laws and
-//! ordering guarantees under arbitrary arrival patterns.
+//! Property tests of the queueing stations: conservation laws and ordering
+//! guarantees under randomized arrival patterns, driven by the
+//! deterministic [`dqa_sim::testkit`] case runner.
 
 use dqa_queueing::{FcfsQueue, PsServer, TokenRing};
+use dqa_sim::testkit::{cases, Gen};
 use dqa_sim::SimTime;
-use proptest::prelude::*;
 
 /// Arrival schedule: (inter-arrival gap, service demand) pairs.
-fn arb_jobs() -> impl Strategy<Value = Vec<(f64, f64)>> {
-    prop::collection::vec((0.0f64..5.0, 0.01f64..5.0), 1..60)
+fn arb_jobs(g: &mut Gen) -> Vec<(f64, f64)> {
+    g.vec_with(1..60, |g| (g.f64_in(0.0..5.0), g.f64_in(0.01..5.0)))
 }
 
-proptest! {
-    /// FCFS serves in arrival order, never loses a job, and is
-    /// work-conserving: each job's departure is exactly
-    /// max(arrival, previous departure) + service.
-    #[test]
-    fn fcfs_lindley_recurrence(jobs in arb_jobs()) {
+/// FCFS serves in arrival order, never loses a job, and is work-conserving:
+/// each job's departure is exactly max(arrival, previous departure) +
+/// service.
+#[test]
+fn fcfs_lindley_recurrence() {
+    cases(250, 0x50_01, |g| {
+        let jobs = arb_jobs(g);
         let mut q = FcfsQueue::new(SimTime::ZERO);
         let mut t = 0.0;
         let mut arrivals = Vec::new();
@@ -46,27 +48,36 @@ proptest! {
             pending = next;
         }
 
-        prop_assert_eq!(departures.len(), jobs.len());
+        assert_eq!(departures.len(), jobs.len());
         // FIFO order
         for (k, &(job, _)) in departures.iter().enumerate() {
-            prop_assert_eq!(job, k);
+            assert_eq!(job, k);
         }
         // Lindley recurrence for departure times
         let mut prev_dep = 0.0f64;
         for (k, &(_, dep)) in departures.iter().enumerate() {
             let (arr, service) = arrivals[k];
             let expected = arr.max(prev_dep) + service;
-            prop_assert!((dep - expected).abs() < 1e-9,
-                "job {}: departure {} != Lindley {}", k, dep, expected);
+            assert!(
+                (dep - expected).abs() < 1e-9,
+                "case {}: job {}: departure {} != Lindley {}",
+                g.case(),
+                k,
+                dep,
+                expected
+            );
             prev_dep = dep;
         }
-    }
+    });
+}
 
-    /// Processor sharing is work-conserving: with all jobs present from
-    /// time zero, the last departure equals the total work, and every
-    /// job's departure is at least its own work.
-    #[test]
-    fn ps_work_conservation(works in prop::collection::vec(0.01f64..5.0, 1..40)) {
+/// Processor sharing is work-conserving: with all jobs present from time
+/// zero, the last departure equals the total work, and every job's
+/// departure is at least its own work.
+#[test]
+fn ps_work_conservation() {
+    cases(250, 0x50_02, |g| {
+        let works = g.vec_f64(0.01..5.0, 1..40);
         let mut cpu = PsServer::new(SimTime::ZERO);
         let mut next = None;
         for (i, &w) in works.iter().enumerate() {
@@ -77,21 +88,35 @@ proptest! {
         let mut count = 0;
         while let Some((t, tok)) = next {
             let (job, n2) = cpu.complete(t, tok).expect("fresh token");
-            prop_assert!(t.as_f64() + 1e-9 >= works[job],
-                "job {} departed at {} before receiving its {} work", job, t, works[job]);
+            assert!(
+                t.as_f64() + 1e-9 >= works[job],
+                "case {}: job {} departed at {} before receiving its {} work",
+                g.case(),
+                job,
+                t,
+                works[job]
+            );
             last = t.as_f64();
             next = n2;
             count += 1;
         }
-        prop_assert_eq!(count, works.len());
-        prop_assert!((last - total).abs() < 1e-6 * (1.0 + total),
-            "makespan {} != total work {}", last, total);
-    }
+        assert_eq!(count, works.len());
+        assert!(
+            (last - total).abs() < 1e-6 * (1.0 + total),
+            "case {}: makespan {} != total work {}",
+            g.case(),
+            last,
+            total
+        );
+    });
+}
 
-    /// Under PS with simultaneous arrivals, jobs depart in order of their
-    /// service demand (the egalitarian property).
-    #[test]
-    fn ps_departures_ordered_by_work(works in prop::collection::vec(0.01f64..5.0, 2..30)) {
+/// Under PS with simultaneous arrivals, jobs depart in order of their
+/// service demand (the egalitarian property).
+#[test]
+fn ps_departures_ordered_by_work() {
+    cases(250, 0x50_03, |g| {
+        let works = g.vec_f64(0.01..5.0, 2..30);
         let mut cpu = PsServer::new(SimTime::ZERO);
         let mut next = None;
         for (i, &w) in works.iter().enumerate() {
@@ -105,17 +130,22 @@ proptest! {
             next = n2;
         }
         for pair in departed.windows(2) {
-            prop_assert!(pair[0] <= pair[1] + 1e-9,
-                "longer job departed before shorter: {:?}", pair);
+            assert!(
+                pair[0] <= pair[1] + 1e-9,
+                "case {}: longer job departed before shorter: {:?}",
+                g.case(),
+                pair
+            );
         }
-    }
+    });
+}
 
-    /// The token ring delivers every message exactly once, and its busy
-    /// time equals the sum of transfer durations.
-    #[test]
-    fn ring_delivers_everything_once(
-        msgs in prop::collection::vec((0usize..5, 0.01f64..3.0), 1..60)
-    ) {
+/// The token ring delivers every message exactly once, and its busy time
+/// equals the sum of transfer durations.
+#[test]
+fn ring_delivers_everything_once() {
+    cases(250, 0x50_04, |g| {
+        let msgs = g.vec_with(1..60, |g| (g.usize_in(0..5), g.f64_in(0.01..3.0)));
         let mut ring = TokenRing::new(5, SimTime::ZERO);
         let mut pending = None;
         for (i, &(from, dur)) in msgs.iter().enumerate() {
@@ -127,25 +157,36 @@ proptest! {
         let mut last = 0.0;
         while let Some(t) = pending {
             let (msg, from, next) = ring.transmit_done(t);
-            prop_assert!(!seen[msg], "message {} delivered twice", msg);
-            prop_assert_eq!(from, msgs[msg].0);
+            assert!(
+                !seen[msg],
+                "case {}: message {} delivered twice",
+                g.case(),
+                msg
+            );
+            assert_eq!(from, msgs[msg].0);
             seen[msg] = true;
             last = t.as_f64();
             pending = next;
         }
-        prop_assert!(seen.iter().all(|&s| s));
+        assert!(seen.iter().all(|&s| s));
         let total: f64 = msgs.iter().map(|&(_, d)| d).sum();
-        prop_assert!((last - total).abs() < 1e-6 * (1.0 + total),
-            "ring makespan {} != total transfer time {}", last, total);
-        prop_assert_eq!(ring.messages_sent(), msgs.len() as u64);
-    }
+        assert!(
+            (last - total).abs() < 1e-6 * (1.0 + total),
+            "case {}: ring makespan {} != total transfer time {}",
+            g.case(),
+            last,
+            total
+        );
+        assert_eq!(ring.messages_sent(), msgs.len() as u64);
+    });
+}
 
-    /// Per-site FIFO: messages from the same site are delivered in the
-    /// order they were enqueued, whatever the interleaving.
-    #[test]
-    fn ring_preserves_per_site_order(
-        msgs in prop::collection::vec((0usize..3, 0.1f64..2.0), 1..40)
-    ) {
+/// Per-site FIFO: messages from the same site are delivered in the order
+/// they were enqueued, whatever the interleaving.
+#[test]
+fn ring_preserves_per_site_order() {
+    cases(250, 0x50_05, |g| {
+        let msgs = g.vec_with(1..40, |g| (g.usize_in(0..3), g.f64_in(0.1..2.0)));
         let mut ring = TokenRing::new(3, SimTime::ZERO);
         let mut pending = None;
         for (i, &(from, dur)) in msgs.iter().enumerate() {
@@ -157,10 +198,17 @@ proptest! {
         while let Some(t) = pending {
             let (msg, from, next) = ring.transmit_done(t);
             if let Some(prev) = last_per_site[from] {
-                prop_assert!(msg > prev, "site {} out of order: {} after {}", from, msg, prev);
+                assert!(
+                    msg > prev,
+                    "case {}: site {} out of order: {} after {}",
+                    g.case(),
+                    from,
+                    msg,
+                    prev
+                );
             }
             last_per_site[from] = Some(msg);
             pending = next;
         }
-    }
+    });
 }

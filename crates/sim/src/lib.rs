@@ -77,6 +77,7 @@ mod time;
 
 pub mod random;
 pub mod stats;
+pub mod testkit;
 pub mod trace;
 
 pub use engine::{Engine, Model, Scheduler};

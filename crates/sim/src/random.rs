@@ -6,9 +6,10 @@
 //! tag. Dedicated streams are a standard variance-reduction and
 //! reproducibility technique: changing one model component does not perturb
 //! the random inputs of the others.
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256++ (Blackman & Vigna) seeded
+//! through a SplitMix64 expansion, so the crate builds with no external
+//! dependencies and produces identical sequences on every platform.
 
 /// A deterministic random-number stream.
 ///
@@ -34,7 +35,7 @@ use rand::{Rng, SeedableRng};
 #[derive(Debug, Clone)]
 pub struct RngStream {
     seed: u64,
-    rng: StdRng,
+    state: [u64; 4],
 }
 
 /// SplitMix64 finalizer; mixes a seed and a tag into a well-distributed
@@ -46,13 +47,30 @@ fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// Expands one 64-bit seed into a full xoshiro256++ state with SplitMix64,
+/// the seeding procedure recommended by the generator's authors.
+fn expand_seed(seed: u64) -> [u64; 4] {
+    let mut x = seed;
+    let mut state = [0u64; 4];
+    for word in &mut state {
+        x = splitmix64(x);
+        *word = x;
+    }
+    // xoshiro256++ must not start from the all-zero state; SplitMix64 never
+    // maps distinct inputs onto four consecutive zeros, but guard anyway.
+    if state == [0; 4] {
+        state = [0x9E37_79B9_7F4A_7C15; 4];
+    }
+    state
+}
+
 impl RngStream {
     /// Creates the root stream for `seed`.
     #[must_use]
     pub fn new(seed: u64) -> Self {
         RngStream {
             seed,
-            rng: StdRng::seed_from_u64(splitmix64(seed)),
+            state: expand_seed(splitmix64(seed)),
         }
     }
 
@@ -62,18 +80,28 @@ impl RngStream {
     /// the derivation is pure, so it may be called repeatedly.
     #[must_use]
     pub fn substream(&self, tag: u64) -> RngStream {
-        let child_seed = splitmix64(self.seed ^ splitmix64(tag.wrapping_add(0xA5A5_5A5A_1234_5678)));
+        let child_seed =
+            splitmix64(self.seed ^ splitmix64(tag.wrapping_add(0xA5A5_5A5A_1234_5678)));
         RngStream::new(child_seed)
     }
 
-    /// Returns the next raw 64-bit value.
+    /// Returns the next raw 64-bit value (xoshiro256++ step).
     pub fn next_u64(&mut self) -> u64 {
-        self.rng.gen()
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
-    /// Returns a uniform variate in `[0, 1)`.
+    /// Returns a uniform variate in `[0, 1)` with 53 bits of precision.
     pub fn next_f64(&mut self) -> f64 {
-        self.rng.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Returns an exponential variate with the given mean.
@@ -120,7 +148,19 @@ impl RngStream {
     /// Panics if `n` is zero.
     pub fn below(&mut self, n: usize) -> usize {
         assert!(n > 0, "below(0) is meaningless");
-        self.rng.gen_range(0..n)
+        // Lemire's unbiased bounded-integer method: widen-multiply and
+        // reject the few values that would skew the low residue classes.
+        let range = n as u64;
+        let mut m = u128::from(self.next_u64()) * u128::from(range);
+        let mut low = m as u64;
+        if low < range {
+            let threshold = range.wrapping_neg() % range;
+            while low < threshold {
+                m = u128::from(self.next_u64()) * u128::from(range);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as usize
     }
 }
 

@@ -183,7 +183,9 @@ mod tests {
 
     #[test]
     fn matches_naive_two_pass() {
-        let xs: Vec<f64> = (0..1000).map(|i| ((i * 7919) % 1000) as f64 / 3.0).collect();
+        let xs: Vec<f64> = (0..1000)
+            .map(|i| ((i * 7919) % 1000) as f64 / 3.0)
+            .collect();
         let mut t = Tally::new();
         for &x in &xs {
             t.record(x);

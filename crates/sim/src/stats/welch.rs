@@ -31,11 +31,7 @@
 /// assert!((5..40).contains(&cut), "cut at {cut}");
 /// ```
 #[must_use]
-pub fn welch_truncation(
-    replications: &[Vec<f64>],
-    window: usize,
-    tolerance: f64,
-) -> Option<usize> {
+pub fn welch_truncation(replications: &[Vec<f64>], window: usize, tolerance: f64) -> Option<usize> {
     assert!(!replications.is_empty(), "need at least one replication");
     assert!(window > 0, "window must be positive");
     assert!(
@@ -114,7 +110,9 @@ mod tests {
         let reps: Vec<Vec<f64>> = (0..4)
             .map(|s| {
                 let mut rng = RngStream::new(100 + s);
-                (0..200).map(|_| 5.0 + (rng.next_f64() - 0.5) * 0.1).collect()
+                (0..200)
+                    .map(|_| 5.0 + (rng.next_f64() - 0.5) * 0.1)
+                    .collect()
             })
             .collect();
         let cut = welch_truncation(&reps, 5, 0.05).expect("settles");

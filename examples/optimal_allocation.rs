@@ -51,7 +51,10 @@ fn main() {
         println!(
             "  BNQ candidates {:?} -> expected wait {:.4}; optimum site {} \
              ({:.4}); WIF = {:.2}",
-            a.bnq_candidates, a.waiting_bnq, a.opt_site, a.waiting_opt,
+            a.bnq_candidates,
+            a.waiting_bnq,
+            a.opt_site,
+            a.waiting_opt,
             a.wif()
         );
         println!(

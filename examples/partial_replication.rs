@@ -25,7 +25,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let catalog = Catalog::new(6, 12, 2);
     println!("placement of the first four relations (6 sites, 2 copies):");
     for r in 0..4 {
-        println!("  relation {r}: sites {:?} (primary {})", catalog.candidates(r), catalog.primary(r));
+        println!(
+            "  relation {r}: sites {:?} (primary {})",
+            catalog.candidates(r),
+            catalog.primary(r)
+        );
     }
     println!();
 
@@ -41,7 +45,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .num_relations(12)
             .copies(Some(copies))
             .build()?;
-        let cfg = |policy| RunConfig::new(params.clone(), policy).seed(5).windows(2_000.0, 12_000.0);
+        let cfg = |policy| {
+            RunConfig::new(params.clone(), policy)
+                .seed(5)
+                .windows(2_000.0, 12_000.0)
+        };
         let stat = run(&cfg(PolicyKind::Local))?;
         let lert = run(&cfg(PolicyKind::Lert))?;
         table.row(vec![

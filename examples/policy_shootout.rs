@@ -27,7 +27,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         PolicyKind::LertNoNet,
     ];
 
-    for (label, think) in [("high load", 200.0), ("base load", 350.0), ("low load", 500.0)] {
+    for (label, think) in [
+        ("high load", 200.0),
+        ("base load", 350.0),
+        ("low load", 500.0),
+    ] {
         let params = SystemParams::builder().think_time(think).build()?;
         let mut table = TextTable::new(vec![
             "policy",

@@ -1,9 +1,7 @@
 //! Integration tests of the experiment harness itself: warmup handling,
 //! replication mechanics, report integrity, and the capacity search.
 
-use dqa_core::experiment::{
-    improvement_pct, max_mpl_for_response, run, run_replicated, RunConfig,
-};
+use dqa_core::experiment::{improvement_pct, max_mpl_for_response, run, run_replicated, RunConfig};
 use dqa_core::params::SystemParams;
 use dqa_core::policy::PolicyKind;
 

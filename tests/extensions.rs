@@ -88,10 +88,7 @@ fn full_replication_matches_copies_none() {
 
 #[test]
 fn status_broadcasts_consume_ring_capacity() {
-    let free = SystemParams::builder()
-        .status_period(10.0)
-        .build()
-        .unwrap();
+    let free = SystemParams::builder().status_period(10.0).build().unwrap();
     let costed = SystemParams::builder()
         .status_period(10.0)
         .status_msg_length(0.5)
@@ -156,7 +153,10 @@ fn migration_bookkeeping_is_sound_under_load() {
         .unwrap();
     let r = quick(params, PolicyKind::Lert, 49);
     assert!(r.completed > 1_000);
-    assert!(r.migrations > 0, "heavy load should trigger some migrations");
+    assert!(
+        r.migrations > 0,
+        "heavy load should trigger some migrations"
+    );
     // every migrated query still finishes exactly once
     let class_total: u64 = r.per_class.iter().map(|c| c.completed).sum();
     assert_eq!(class_total, r.completed);

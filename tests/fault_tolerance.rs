@@ -1,0 +1,307 @@
+//! Integration tests of the fault-injection subsystem: the zero-fault
+//! identity (enabling the layer with all rates zero must not perturb a
+//! single event), determinism under faults, crash/recovery dynamics,
+//! message loss, and closed-population preservation when queries are lost.
+
+use dqa_core::experiment::{run, RunConfig};
+use dqa_core::model::DbSystem;
+use dqa_core::params::{FaultSpec, SystemParams, Workload};
+use dqa_core::policy::PolicyKind;
+use dqa_sim::{Engine, SimTime};
+
+fn base_params() -> SystemParams {
+    SystemParams::builder()
+        .num_sites(4)
+        .mpl(5)
+        .think_time(100.0)
+        .build()
+        .unwrap()
+}
+
+fn faulty(mtbf: f64, mttr: f64, msg_loss: f64) -> FaultSpec {
+    FaultSpec {
+        mtbf,
+        mttr,
+        msg_loss,
+        ..FaultSpec::default()
+    }
+}
+
+/// Drives a system and checks invariants at regular checkpoints.
+fn run_with_invariants(
+    params: SystemParams,
+    policy: PolicyKind,
+    seed: u64,
+    until: f64,
+) -> Engine<DbSystem> {
+    let sys = DbSystem::new(params, policy, seed).unwrap();
+    let mut engine = Engine::new(sys);
+    DbSystem::prime(&mut engine);
+    let checkpoints = 40;
+    for k in 1..=checkpoints {
+        engine.run_until(SimTime::new(until * f64::from(k) / f64::from(checkpoints)));
+        engine.model().check_invariants();
+    }
+    engine
+}
+
+#[test]
+fn inactive_fault_spec_is_byte_identical_to_none() {
+    // The fault layer draws from its own RNG substreams, so merely
+    // enabling it (with every rate zero) must reproduce the exact event
+    // trajectory of a fault-free run — the common-random-numbers property.
+    let without = {
+        let sys = DbSystem::new(base_params(), PolicyKind::Lert, 42).unwrap();
+        let mut e = Engine::new(sys);
+        DbSystem::prime(&mut e);
+        e.run_until(SimTime::new(5_000.0));
+        e
+    };
+    let with = {
+        let params = SystemParams::builder()
+            .num_sites(4)
+            .mpl(5)
+            .think_time(100.0)
+            .faults(Some(FaultSpec::default()))
+            .build()
+            .unwrap();
+        assert!(!FaultSpec::default().is_active());
+        let sys = DbSystem::new(params, PolicyKind::Lert, 42).unwrap();
+        let mut e = Engine::new(sys);
+        DbSystem::prime(&mut e);
+        e.run_until(SimTime::new(5_000.0));
+        e
+    };
+    assert_eq!(without.steps(), with.steps(), "event counts diverged");
+    let (a, b) = (without.model().metrics(), with.model().metrics());
+    assert_eq!(a.completed(), b.completed());
+    assert_eq!(a.submitted(), b.submitted());
+    assert!(
+        (a.mean_waiting() - b.mean_waiting()).abs() == 0.0,
+        "waiting diverged"
+    );
+    assert_eq!(b.queries_retried(), 0);
+    assert_eq!(b.msgs_lost(), 0);
+}
+
+#[test]
+fn zero_rate_report_matches_seed_report() {
+    // The acceptance criterion for the paper tables: with all fault rates
+    // zero the experiment harness output is unchanged.
+    let cfg_plain = RunConfig::new(base_params(), PolicyKind::Bnqrd)
+        .seed(7)
+        .windows(1_000.0, 8_000.0);
+    let mut params = base_params();
+    params.faults = Some(FaultSpec::default());
+    let cfg_faulty = RunConfig::new(params, PolicyKind::Bnqrd)
+        .seed(7)
+        .windows(1_000.0, 8_000.0);
+    let a = run(&cfg_plain).unwrap();
+    let b = run(&cfg_faulty).unwrap();
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.mean_waiting.to_bits(), b.mean_waiting.to_bits());
+    assert_eq!(a.mean_response.to_bits(), b.mean_response.to_bits());
+    assert_eq!(a.transfer_fraction.to_bits(), b.transfer_fraction.to_bits());
+    assert_eq!(b.queries_lost, 0);
+    assert!((b.mean_availability - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn faulty_runs_are_deterministic() {
+    let params = |spec| {
+        SystemParams::builder()
+            .num_sites(4)
+            .mpl(5)
+            .think_time(100.0)
+            .faults(Some(spec))
+            .build()
+            .unwrap()
+    };
+    let spec = faulty(800.0, 60.0, 0.02);
+    let a = run_with_invariants(params(spec), PolicyKind::Lert, 9, 6_000.0);
+    let b = run_with_invariants(params(spec), PolicyKind::Lert, 9, 6_000.0);
+    assert_eq!(a.steps(), b.steps());
+    let (ma, mb) = (a.model().metrics(), b.model().metrics());
+    assert_eq!(ma.completed(), mb.completed());
+    assert_eq!(ma.queries_retried(), mb.queries_retried());
+    assert_eq!(ma.msgs_lost(), mb.msgs_lost());
+    assert_eq!(
+        ma.mean_waiting().to_bits(),
+        mb.mean_waiting().to_bits(),
+        "faulty trajectory not reproducible"
+    );
+}
+
+#[test]
+fn crashes_trigger_retries_and_recovery() {
+    let params = SystemParams::builder()
+        .num_sites(4)
+        .mpl(5)
+        .think_time(100.0)
+        .faults(Some(faulty(600.0, 80.0, 0.0)))
+        .build()
+        .unwrap();
+    let engine = run_with_invariants(params, PolicyKind::Bnq, 21, 12_000.0);
+    let m = engine.model().metrics();
+    let now = engine.now();
+    assert!(m.completed() > 200, "completions {}", m.completed());
+    assert!(m.queries_retried() > 0, "crashes should force retries");
+    assert!(
+        m.queries_recovered() > 0,
+        "some retried queries should finish"
+    );
+    let avail = m.mean_availability(now);
+    // MTBF 600, MTTR 80 => per-site availability ~ 600/680 ~ 0.88.
+    assert!(
+        (0.70..1.0).contains(&avail),
+        "availability {avail} inconsistent with MTBF/MTTR"
+    );
+}
+
+#[test]
+fn message_loss_is_detected_and_survived() {
+    let params = SystemParams::builder()
+        .num_sites(4)
+        .mpl(5)
+        .think_time(100.0)
+        .faults(Some(faulty(0.0, 50.0, 0.05)))
+        .build()
+        .unwrap();
+    let engine = run_with_invariants(params, PolicyKind::Lert, 33, 10_000.0);
+    let m = engine.model().metrics();
+    assert!(
+        m.msgs_lost() > 0,
+        "5% loss over a long run must drop frames"
+    );
+    assert!(m.queries_retried() > 0, "lost dispatches should retry");
+    assert!(m.completed() > 200);
+    // No crashes configured: availability stays perfect.
+    assert!((m.mean_availability(engine.now()) - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn exhausted_retries_lose_queries_but_preserve_population() {
+    // Brutal fault load with a tiny retry budget: queries *will* be lost.
+    // The closed population must survive — every lost query's terminal
+    // returns to thinking and submits again.
+    let spec = FaultSpec {
+        mtbf: 300.0,
+        mttr: 150.0,
+        msg_loss: 0.10,
+        max_retries: 1,
+        ..FaultSpec::default()
+    };
+    let params = SystemParams::builder()
+        .num_sites(3)
+        .mpl(4)
+        .think_time(80.0)
+        .faults(Some(spec))
+        .build()
+        .unwrap();
+    let engine = run_with_invariants(params, PolicyKind::Bnq, 17, 15_000.0);
+    let m = engine.model().metrics();
+    assert!(m.queries_lost() > 0, "this fault load must lose queries");
+    // The system still makes progress to the end of the run.
+    assert!(m.completed() > 100, "completions {}", m.completed());
+}
+
+#[test]
+fn status_broadcasts_survive_dropouts_and_crashes() {
+    let spec = FaultSpec {
+        mtbf: 500.0,
+        mttr: 60.0,
+        status_loss: 0.3,
+        ..FaultSpec::default()
+    };
+    let params = SystemParams::builder()
+        .num_sites(3)
+        .mpl(4)
+        .think_time(100.0)
+        .status_period(25.0)
+        .status_msg_length(0.5)
+        .faults(Some(spec))
+        .build()
+        .unwrap();
+    let engine = run_with_invariants(params, PolicyKind::Bnq, 5, 8_000.0);
+    assert!(engine.model().metrics().completed() > 100);
+}
+
+#[test]
+fn every_paper_policy_survives_faults() {
+    for policy in PolicyKind::paper_policies() {
+        let params = SystemParams::builder()
+            .num_sites(4)
+            .mpl(5)
+            .think_time(100.0)
+            .faults(Some(faulty(700.0, 70.0, 0.01)))
+            .build()
+            .unwrap();
+        let engine = run_with_invariants(params, policy, 3, 8_000.0);
+        let m = engine.model().metrics();
+        assert!(
+            m.completed() > 150,
+            "{policy:?} completed only {}",
+            m.completed()
+        );
+    }
+}
+
+#[test]
+fn partial_replication_with_faults_holds_invariants() {
+    // Single-copy placement plus crashes: the all-holders-down backoff
+    // path gets exercised.
+    let params = SystemParams::builder()
+        .num_sites(4)
+        .mpl(4)
+        .think_time(80.0)
+        .num_relations(8)
+        .copies(Some(1))
+        .faults(Some(faulty(400.0, 120.0, 0.0)))
+        .build()
+        .unwrap();
+    let engine = run_with_invariants(params, PolicyKind::Lert, 29, 10_000.0);
+    let m = engine.model().metrics();
+    assert!(m.completed() > 100);
+    assert!(m.queries_retried() > 0);
+}
+
+#[test]
+fn open_workload_with_faults_stays_consistent() {
+    let params = SystemParams::builder()
+        .num_sites(3)
+        .workload(Workload::Open { arrival_rate: 0.02 })
+        .faults(Some(faulty(500.0, 80.0, 0.02)))
+        .build()
+        .unwrap();
+    let engine = run_with_invariants(params, PolicyKind::Bnq, 55, 15_000.0);
+    assert!(engine.model().metrics().completed() > 100);
+}
+
+#[test]
+fn faults_degrade_but_do_not_destroy_policy_gains() {
+    // Sanity on the headline experiment: under moderate faults the
+    // load-balancing policies still beat LOCAL on mean waiting time.
+    let spec = faulty(1_000.0, 60.0, 0.005);
+    let report = |policy| {
+        let params = SystemParams::builder()
+            .num_sites(4)
+            .mpl(6)
+            .think_time(80.0)
+            .faults(Some(spec))
+            .build()
+            .unwrap();
+        run(&RunConfig::new(params, policy)
+            .seed(11)
+            .windows(2_000.0, 20_000.0))
+        .unwrap()
+    };
+    let local = report(PolicyKind::Local);
+    let bnq = report(PolicyKind::Bnq);
+    assert!(
+        bnq.mean_waiting < local.mean_waiting,
+        "BNQ {} should still beat LOCAL {} under moderate faults",
+        bnq.mean_waiting,
+        local.mean_waiting
+    );
+    assert!(bnq.mean_availability < 1.0);
+}

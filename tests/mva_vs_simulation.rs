@@ -20,7 +20,11 @@ use dqa_sim::SimTime;
 fn site_with_terminals(params: &SystemParams) -> Network {
     let reads = params.classes[0].num_reads;
     let mut b = Network::builder(params.classes.len());
-    let think: Vec<f64> = params.classes.iter().map(|_| params.think_time / reads).collect();
+    let think: Vec<f64> = params
+        .classes
+        .iter()
+        .map(|_| params.think_time / reads)
+        .collect();
     b = b.station("think", StationKind::Delay, think);
     let cpu: Vec<f64> = params.classes.iter().map(|c| c.page_cpu_time).collect();
     b = b.station("cpu", StationKind::Queueing, cpu);
@@ -67,10 +71,16 @@ fn single_site_throughput_matches_mva() {
 
 #[test]
 fn single_site_cpu_utilization_matches_mva() {
+    // Fixing per-class MVA populations at mpl/2 only approximates the
+    // simulator's per-query class coin-flip: terminals running the slow
+    // CPU-bound class are over-represented in the time-averaged mix, which
+    // biases utilization (though not throughput). Use exchangeable classes
+    // with equal demands so the comparison is exact in distribution.
     let params = SystemParams::builder()
         .num_sites(1)
         .mpl(10)
         .think_time(150.0)
+        .two_class(0.5, 0.3, 0.3)
         .build()
         .unwrap();
     let report = run(&RunConfig::new(params.clone(), PolicyKind::Local)
@@ -165,7 +175,10 @@ fn ps_station_reproduces_mm1_ps_response() {
     let r_sim = responses.mean();
     let r_ana = analytic::mg1_ps_response(1.0 / mu, lambda / mu);
     let rel = (r_sim - r_ana).abs() / r_ana;
-    assert!(rel < 0.05, "R sim {r_sim} vs M/M/1-PS {r_ana} (rel {rel:.3})");
+    assert!(
+        rel < 0.05,
+        "R sim {r_sim} vs M/M/1-PS {r_ana} (rel {rel:.3})"
+    );
 }
 
 #[test]

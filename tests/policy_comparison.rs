@@ -148,7 +148,10 @@ fn random_transfers_are_harmful_in_a_symmetric_closed_system() {
 #[test]
 fn stale_information_erodes_the_gains() {
     let fresh = SystemParams::paper_base();
-    let stale = SystemParams::builder().status_period(1_600.0).build().unwrap();
+    let stale = SystemParams::builder()
+        .status_period(1_600.0)
+        .build()
+        .unwrap();
     let w_fresh = measure(&fresh, PolicyKind::Lert).mean_waiting();
     let w_stale = measure(&stale, PolicyKind::Lert).mean_waiting();
     assert!(

@@ -1,11 +1,12 @@
-//! Property-based tests of the allocation policies: each cost function's
-//! defining invariant, checked over arbitrary load tables.
+//! Property tests of the allocation policies: each cost function's defining
+//! invariant, checked over randomized load tables via the deterministic
+//! [`dqa_sim::testkit`] case runner.
 
 use dqa_core::load::LoadTable;
 use dqa_core::params::{SiteId, SystemParams};
 use dqa_core::policy::{AllocationContext, Allocator, PolicyKind};
 use dqa_core::query::QueryProfile;
-use proptest::prelude::*;
+use dqa_sim::testkit::{cases, Gen};
 
 const SITES: usize = 5;
 
@@ -14,8 +15,10 @@ fn params() -> SystemParams {
 }
 
 /// A random load table over SITES sites.
-fn arb_load() -> impl Strategy<Value = Vec<(u32, u32)>> {
-    prop::collection::vec((0u32..8, 0u32..8), SITES)
+fn arb_load(g: &mut Gen) -> Vec<(u32, u32)> {
+    (0..SITES)
+        .map(|_| (g.u32_in(0..8), g.u32_in(0..8)))
+        .collect()
 }
 
 fn table_from(rows: &[(u32, u32)]) -> LoadTable {
@@ -42,50 +45,72 @@ fn query(class: usize, home: SiteId, p: &SystemParams) -> QueryProfile {
     }
 }
 
-proptest! {
-    /// BNQ never selects a site with strictly more queries than another
-    /// candidate.
-    #[test]
-    fn bnq_picks_a_minimum_count_site(rows in arb_load(), home in 0usize..SITES) {
+/// BNQ never selects a site with strictly more queries than another
+/// candidate.
+#[test]
+fn bnq_picks_a_minimum_count_site() {
+    cases(300, 0xA1_01, |g| {
+        let rows = arb_load(g);
+        let home = g.usize_in(0..SITES);
         let p = params();
         let load = table_from(&rows);
-        let ctx = AllocationContext { params: &p, load: &load, arrival_site: home };
+        let ctx = AllocationContext {
+            params: &p,
+            load: &load,
+            arrival_site: home,
+        };
         let mut alloc = Allocator::new(PolicyKind::Bnq, 0);
         let pick = alloc.select_site(&query(0, home, &p), &ctx);
         let min = (0..SITES).map(|s| load.view(s).total()).min().unwrap();
-        prop_assert_eq!(
-            load.view(pick).total(), min,
-            "BNQ picked count {} where the minimum is {}", load.view(pick).total(), min
+        assert_eq!(
+            load.view(pick).total(),
+            min,
+            "case {}: BNQ picked count {} where the minimum is {}",
+            g.case(),
+            load.view(pick).total(),
+            min
         );
-    }
+    });
+}
 
-    /// BNQRD never selects a site with strictly more *same-class* queries
-    /// than another.
-    #[test]
-    fn bnqrd_picks_a_minimum_same_class_site(
-        rows in arb_load(),
-        home in 0usize..SITES,
-        class in 0usize..2,
-    ) {
+/// BNQRD never selects a site with strictly more *same-class* queries than
+/// another.
+#[test]
+fn bnqrd_picks_a_minimum_same_class_site() {
+    cases(300, 0xA1_02, |g| {
+        let rows = arb_load(g);
+        let home = g.usize_in(0..SITES);
+        let class = g.usize_in(0..2);
         let p = params();
         let load = table_from(&rows);
-        let ctx = AllocationContext { params: &p, load: &load, arrival_site: home };
+        let ctx = AllocationContext {
+            params: &p,
+            load: &load,
+            arrival_site: home,
+        };
         let mut alloc = Allocator::new(PolicyKind::Bnqrd, 0);
         let q = query(class, home, &p);
         let pick = alloc.select_site(&q, &ctx);
-        let count = |s: usize| if q.io_bound { load.view(s).io } else { load.view(s).cpu };
+        let count = |s: usize| {
+            if q.io_bound {
+                load.view(s).io
+            } else {
+                load.view(s).cpu
+            }
+        };
         let min = (0..SITES).map(count).min().unwrap();
-        prop_assert_eq!(count(pick), min);
-    }
+        assert_eq!(count(pick), min, "case {}", g.case());
+    });
+}
 
-    /// LERT's choice never has a strictly worse Figure-6 estimate than
-    /// the arrival site (moving must always be justified).
-    #[test]
-    fn lert_never_moves_to_a_worse_estimate(
-        rows in arb_load(),
-        home in 0usize..SITES,
-        class in 0usize..2,
-    ) {
+/// LERT's choice never has a strictly worse Figure-6 estimate than the
+/// arrival site (moving must always be justified).
+#[test]
+fn lert_never_moves_to_a_worse_estimate() {
+    cases(300, 0xA1_03, |g| {
+        let rows = arb_load(g);
+        let home = g.usize_in(0..SITES);
+        let class = g.usize_in(0..2);
         let p = params();
         let load = table_from(&rows);
         let q = query(class, home, &p);
@@ -93,32 +118,47 @@ proptest! {
             let v = load.view(site);
             let cpu_time = q.num_reads * q.page_cpu_time;
             let io_time = q.num_reads * p.disk_time;
-            let net = if site == home { 0.0 } else { 2.0 * p.msg_length };
+            let net = if site == home {
+                0.0
+            } else {
+                2.0 * p.msg_length
+            };
             cpu_time * (1.0 + f64::from(v.cpu))
                 + io_time * (1.0 + f64::from(v.io) / f64::from(p.num_disks))
                 + net
         };
-        let ctx = AllocationContext { params: &p, load: &load, arrival_site: home };
+        let ctx = AllocationContext {
+            params: &p,
+            load: &load,
+            arrival_site: home,
+        };
         let mut alloc = Allocator::new(PolicyKind::Lert, 0);
         let pick = alloc.select_site(&q, &ctx);
-        prop_assert!(
+        assert!(
             lert_cost(pick) <= lert_cost(home) + 1e-9,
-            "LERT moved from cost {} to {}", lert_cost(home), lert_cost(pick)
+            "case {}: LERT moved from cost {} to {}",
+            g.case(),
+            lert_cost(home),
+            lert_cost(pick)
         );
-    }
+    });
+}
 
-    /// No policy ever selects a non-candidate under partial replication.
-    #[test]
-    fn candidates_are_respected_by_every_policy(
-        rows in arb_load(),
-        home in 0usize..SITES,
-        cand_mask in 1u8..(1 << SITES),
-    ) {
-        let candidates: Vec<SiteId> =
-            (0..SITES).filter(|s| cand_mask & (1 << s) != 0).collect();
+/// No policy ever selects a non-candidate under partial replication.
+#[test]
+fn candidates_are_respected_by_every_policy() {
+    cases(300, 0xA1_04, |g| {
+        let rows = arb_load(g);
+        let home = g.usize_in(0..SITES);
+        let cand_mask = g.u32_in(1..(1 << SITES)) as u8;
+        let candidates: Vec<SiteId> = (0..SITES).filter(|s| cand_mask & (1 << s) != 0).collect();
         let p = params();
         let load = table_from(&rows);
-        let ctx = AllocationContext { params: &p, load: &load, arrival_site: home };
+        let ctx = AllocationContext {
+            params: &p,
+            load: &load,
+            arrival_site: home,
+        };
         for kind in [
             PolicyKind::Local,
             PolicyKind::Bnq,
@@ -131,40 +171,59 @@ proptest! {
         ] {
             let mut alloc = Allocator::new(kind, 3);
             let pick = alloc.select_site_among(&query(0, home, &p), &ctx, &candidates);
-            prop_assert!(
+            assert!(
                 candidates.contains(&pick),
-                "{kind:?} picked non-candidate {pick} from {candidates:?}"
+                "case {}: {kind:?} picked non-candidate {pick} from {candidates:?}",
+                g.case()
             );
         }
-    }
+    });
+}
 
-    /// WLC and BNQ are the same policy on homogeneous hardware.
-    #[test]
-    fn wlc_equals_bnq_when_homogeneous(rows in arb_load(), home in 0usize..SITES) {
+/// WLC and BNQ are the same policy on homogeneous hardware.
+#[test]
+fn wlc_equals_bnq_when_homogeneous() {
+    cases(300, 0xA1_05, |g| {
+        let rows = arb_load(g);
+        let home = g.usize_in(0..SITES);
         let p = params();
         let load = table_from(&rows);
         let q = query(1, home, &p);
         let mut wlc = Allocator::new(PolicyKind::Wlc, 0);
         let mut bnq = Allocator::new(PolicyKind::Bnq, 0);
         for _ in 0..SITES {
-            let ctx = AllocationContext { params: &p, load: &load, arrival_site: home };
-            prop_assert_eq!(wlc.select_site(&q, &ctx), bnq.select_site(&q, &ctx));
+            let ctx = AllocationContext {
+                params: &p,
+                load: &load,
+                arrival_site: home,
+            };
+            assert_eq!(
+                wlc.select_site(&q, &ctx),
+                bnq.select_site(&q, &ctx),
+                "case {}",
+                g.case()
+            );
         }
-    }
+    });
+}
 
-    /// The Figure-3 tie rule: if every site looks identical, the query
-    /// stays at its arrival site under every deterministic policy.
-    #[test]
-    fn uniform_loads_keep_queries_home(
-        io in 0u32..5,
-        cpu in 0u32..5,
-        home in 0usize..SITES,
-        class in 0usize..2,
-    ) {
+/// The Figure-3 tie rule: if every site looks identical, the query stays at
+/// its arrival site under every deterministic policy.
+#[test]
+fn uniform_loads_keep_queries_home() {
+    cases(300, 0xA1_06, |g| {
+        let io = g.u32_in(0..5);
+        let cpu = g.u32_in(0..5);
+        let home = g.usize_in(0..SITES);
+        let class = g.usize_in(0..2);
         let p = params();
         let rows: Vec<(u32, u32)> = vec![(io, cpu); SITES];
         let load = table_from(&rows);
-        let ctx = AllocationContext { params: &p, load: &load, arrival_site: home };
+        let ctx = AllocationContext {
+            params: &p,
+            load: &load,
+            arrival_site: home,
+        };
         for kind in [
             PolicyKind::Local,
             PolicyKind::Bnq,
@@ -174,11 +233,13 @@ proptest! {
             PolicyKind::Threshold(2),
         ] {
             let mut alloc = Allocator::new(kind, 0);
-            prop_assert_eq!(
+            assert_eq!(
                 alloc.select_site(&query(class, home, &p), &ctx),
                 home,
-                "{:?} moved a query off a uniformly loaded system", kind
+                "case {}: {:?} moved a query off a uniformly loaded system",
+                g.case(),
+                kind
             );
         }
-    }
+    });
 }

@@ -1,75 +1,69 @@
-//! Property-based integration tests of the simulator: across randomized
-//! configurations, the closed-model invariants hold at every checkpoint
-//! and the output statistics stay internally consistent.
+//! Property-style integration tests of the simulator: across randomized
+//! configurations, the closed-model invariants hold at every checkpoint and
+//! the output statistics stay internally consistent. Cases are driven by
+//! the deterministic [`dqa_sim::testkit`] runner.
 
 use dqa_core::model::DbSystem;
 use dqa_core::params::{DiskChoice, SystemParams};
 use dqa_core::policy::PolicyKind;
+use dqa_sim::testkit::{cases, Gen};
 use dqa_sim::{Engine, SimTime};
-use proptest::prelude::*;
 
-fn arb_policy() -> impl Strategy<Value = PolicyKind> {
-    prop_oneof![
-        Just(PolicyKind::Local),
-        Just(PolicyKind::Bnq),
-        Just(PolicyKind::Bnqrd),
-        Just(PolicyKind::Lert),
-        Just(PolicyKind::Random),
-        (0u32..6).prop_map(PolicyKind::Threshold),
-        Just(PolicyKind::LertNoNet),
-        Just(PolicyKind::Wlc),
-    ]
-}
-
-fn arb_disk_choice() -> impl Strategy<Value = DiskChoice> {
-    prop_oneof![
-        Just(DiskChoice::Random),
-        Just(DiskChoice::RoundRobin),
-        Just(DiskChoice::ShortestQueue),
-    ]
-}
-
-prop_compose! {
-    fn arb_params()(
-        num_sites in 1usize..6,
-        num_disks in 1u32..4,
-        mpl in 1u32..8,
-        think in 20.0f64..300.0,
-        p_io in 0.05f64..0.95,
-        io_cpu in 0.01f64..0.4,
-        cpu_cpu in 0.5f64..2.0,
-        msg in 0.0f64..4.0,
-        disk_choice in arb_disk_choice(),
-        status_period in prop_oneof![Just(0.0), 5.0f64..200.0],
-        estimate_error in prop_oneof![Just(0.0), 0.1f64..1.0],
-    ) -> SystemParams {
-        SystemParams::builder()
-            .num_sites(num_sites)
-            .num_disks(num_disks)
-            .mpl(mpl)
-            .think_time(think)
-            .two_class(p_io, io_cpu, cpu_cpu)
-            .msg_length(msg)
-            .disk_choice(disk_choice)
-            .status_period(status_period)
-            .estimate_error(estimate_error)
-            .build()
-            .expect("generated parameters are valid")
+fn arb_policy(g: &mut Gen) -> PolicyKind {
+    match g.usize_in(0..8) {
+        0 => PolicyKind::Local,
+        1 => PolicyKind::Bnq,
+        2 => PolicyKind::Bnqrd,
+        3 => PolicyKind::Lert,
+        4 => PolicyKind::Random,
+        5 => PolicyKind::Threshold(g.u32_in(0..6)),
+        6 => PolicyKind::LertNoNet,
+        _ => PolicyKind::Wlc,
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn arb_disk_choice(g: &mut Gen) -> DiskChoice {
+    g.pick(&[
+        DiskChoice::Random,
+        DiskChoice::RoundRobin,
+        DiskChoice::ShortestQueue,
+    ])
+}
 
-    /// The closed-model bookkeeping (load table vs query phases vs station
-    /// residents) holds at arbitrary checkpoints under arbitrary
-    /// configurations and policies.
-    #[test]
-    fn invariants_hold_under_random_configurations(
-        params in arb_params(),
-        policy in arb_policy(),
-        seed in 0u64..1_000,
-    ) {
+fn arb_params(g: &mut Gen) -> SystemParams {
+    let status_period = if g.bool(0.5) {
+        0.0
+    } else {
+        g.f64_in(5.0..200.0)
+    };
+    let estimate_error = if g.bool(0.5) { 0.0 } else { g.f64_in(0.1..1.0) };
+    SystemParams::builder()
+        .num_sites(g.usize_in(1..6))
+        .num_disks(g.u32_in(1..4))
+        .mpl(g.u32_in(1..8))
+        .think_time(g.f64_in(20.0..300.0))
+        .two_class(
+            g.f64_in(0.05..0.95),
+            g.f64_in(0.01..0.4),
+            g.f64_in(0.5..2.0),
+        )
+        .msg_length(g.f64_in(0.0..4.0))
+        .disk_choice(arb_disk_choice(g))
+        .status_period(status_period)
+        .estimate_error(estimate_error)
+        .build()
+        .expect("generated parameters are valid")
+}
+
+/// The closed-model bookkeeping (load table vs query phases vs station
+/// residents) holds at arbitrary checkpoints under arbitrary
+/// configurations and policies.
+#[test]
+fn invariants_hold_under_random_configurations() {
+    cases(48, 0x51_01, |g| {
+        let params = arb_params(g);
+        let policy = arb_policy(g);
+        let seed = g.u64_in(0..1_000);
         let system = DbSystem::new(params, policy, seed).expect("valid");
         let mut engine = Engine::new(system);
         DbSystem::prime(&mut engine);
@@ -77,16 +71,17 @@ proptest! {
             engine.run_until(SimTime::new(f64::from(k) * 250.0));
             engine.model().check_invariants();
         }
-    }
+    });
+}
 
-    /// Queries keep completing (no deadlock / lost events) and the
-    /// recorded statistics are internally consistent.
-    #[test]
-    fn statistics_stay_consistent(
-        params in arb_params(),
-        policy in arb_policy(),
-        seed in 0u64..1_000,
-    ) {
+/// Queries keep completing (no deadlock / lost events) and the recorded
+/// statistics are internally consistent.
+#[test]
+fn statistics_stay_consistent() {
+    cases(48, 0x51_02, |g| {
+        let params = arb_params(g);
+        let policy = arb_policy(g);
+        let seed = g.u64_in(0..1_000);
         let expected_classes = params.classes.len();
         let system = DbSystem::new(params, policy, seed).expect("valid");
         let mut engine = Engine::new(system);
@@ -94,31 +89,41 @@ proptest! {
         engine.run_until(SimTime::new(3_000.0));
         let now = engine.now();
         let m = engine.model().metrics();
-        prop_assert!(m.completed() > 0, "no query completed in 3000 units");
-        prop_assert!(m.mean_waiting() >= 0.0);
-        prop_assert!(m.mean_response() >= m.mean_waiting());
+        assert!(
+            m.completed() > 0,
+            "case {}: no query completed in 3000 units",
+            g.case()
+        );
+        assert!(m.mean_waiting() >= 0.0);
+        assert!(m.mean_response() >= m.mean_waiting());
         let class_sum: u64 = (0..expected_classes)
             .map(|c| m.class(c).waiting.count())
             .sum();
-        prop_assert_eq!(class_sum, m.completed());
+        assert_eq!(class_sum, m.completed());
         for u in [
             engine.model().cpu_utilization(now),
             engine.model().disk_utilization(now),
             engine.model().subnet_utilization(now),
         ] {
-            prop_assert!((0.0..=1.0 + 1e-9).contains(&u), "utilization {} out of range", u);
+            assert!(
+                (0.0..=1.0 + 1e-9).contains(&u),
+                "case {}: utilization {} out of range",
+                g.case(),
+                u
+            );
         }
-        prop_assert!(m.transfer_fraction() >= 0.0 && m.transfer_fraction() <= 1.0);
-    }
+        assert!(m.transfer_fraction() >= 0.0 && m.transfer_fraction() <= 1.0);
+    });
+}
 
-    /// Bit-identical determinism: the same (params, policy, seed) triple
-    /// yields the same event count and statistics.
-    #[test]
-    fn runs_are_deterministic(
-        params in arb_params(),
-        policy in arb_policy(),
-        seed in 0u64..100,
-    ) {
+/// Bit-identical determinism: the same (params, policy, seed) triple yields
+/// the same event count and statistics.
+#[test]
+fn runs_are_deterministic() {
+    cases(24, 0x51_03, |g| {
+        let params = arb_params(g);
+        let policy = arb_policy(g);
+        let seed = g.u64_in(0..100);
         let run_once = || {
             let system = DbSystem::new(params.clone(), policy, seed).expect("valid");
             let mut engine = Engine::new(system);
@@ -130,8 +135,8 @@ proptest! {
                 engine.model().metrics().mean_waiting(),
             )
         };
-        prop_assert_eq!(run_once(), run_once());
-    }
+        assert_eq!(run_once(), run_once(), "case {}", g.case());
+    });
 }
 
 #[test]
