@@ -7,7 +7,7 @@
 //! the experiment isolates LERT's dependence on magnitudes (BNQRD uses
 //! only the classification and should be nearly immune; BNQ uses nothing).
 
-use dqa_bench::{cell_seed, Effort};
+use dqa_bench::{cell_seed, run_grid, Cell, Effort};
 use dqa_core::experiment::improvement_pct;
 use dqa_core::params::SystemParams;
 use dqa_core::policy::PolicyKind;
@@ -17,22 +17,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let effort = Effort::from_env();
     let mut table = TextTable::new(vec!["estimate error", "dBNQ%", "dBNQRD%", "dLERT%"]);
 
-    let local = effort.run(
-        &SystemParams::paper_base(),
+    const ERRORS: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
+    const POLICIES: [PolicyKind; 3] = [PolicyKind::Bnq, PolicyKind::Bnqrd, PolicyKind::Lert];
+
+    // Baseline cell first, then the error x policy grid, all through one
+    // pool pass.
+    let mut cells: Vec<Cell> = vec![(
+        SystemParams::paper_base(),
         PolicyKind::Local,
         cell_seed(700),
-    )?;
-    let w_local = local.mean_waiting();
-
-    for (row_idx, err) in [0.0, 0.25, 0.5, 0.75, 1.0].into_iter().enumerate() {
+    )];
+    for (row_idx, err) in ERRORS.into_iter().enumerate() {
         let params = SystemParams::builder().estimate_error(err).build()?;
         let seed = |p: u64| cell_seed(710 + row_idx as u64 * 10 + p);
+        for (p_idx, policy) in POLICIES.into_iter().enumerate() {
+            cells.push((params.clone(), policy, seed(p_idx as u64)));
+        }
+    }
+    let results = run_grid(&effort, cells)?;
+    let w_local = results[0].mean_waiting();
+
+    for (row_idx, err) in ERRORS.into_iter().enumerate() {
         let mut row = vec![format!("±{:.0}%", err * 100.0)];
-        for (p_idx, policy) in [PolicyKind::Bnq, PolicyKind::Bnqrd, PolicyKind::Lert]
-            .into_iter()
-            .enumerate()
-        {
-            let rep = effort.run(&params, policy, seed(p_idx as u64))?;
+        for rep in &results[1 + row_idx * 3..1 + row_idx * 3 + 3] {
             row.push(fmt_f(improvement_pct(w_local, rep.mean_waiting()), 2));
         }
         table.row(row);

@@ -6,7 +6,7 @@
 //! reproduces that cell and sweeps the message length further.
 
 use dqa_bench::paper::MSG2_IMPR_BNQ;
-use dqa_bench::{cell_seed, Effort};
+use dqa_bench::{cell_seed, run_grid, Cell, Effort};
 use dqa_core::experiment::improvement_pct;
 use dqa_core::params::SystemParams;
 use dqa_core::policy::PolicyKind;
@@ -23,12 +23,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "BNQRD transfer frac",
     ]);
 
-    for (row_idx, msg) in [0.5, 1.0, 2.0, 4.0, 8.0].into_iter().enumerate() {
+    const MSG_LENGTHS: [f64; 5] = [0.5, 1.0, 2.0, 4.0, 8.0];
+    let mut cells: Vec<Cell> = Vec::new();
+    for (row_idx, msg) in MSG_LENGTHS.into_iter().enumerate() {
         let params = SystemParams::builder().msg_length(msg).build()?;
         let seed = |p: u64| cell_seed(500 + row_idx as u64 * 10 + p);
-        let bnq = effort.run(&params, PolicyKind::Bnq, seed(0))?;
-        let bnqrd = effort.run(&params, PolicyKind::Bnqrd, seed(1))?;
-        let lert = effort.run(&params, PolicyKind::Lert, seed(2))?;
+        cells.push((params.clone(), PolicyKind::Bnq, seed(0)));
+        cells.push((params.clone(), PolicyKind::Bnqrd, seed(1)));
+        cells.push((params, PolicyKind::Lert, seed(2)));
+    }
+    let results = run_grid(&effort, cells)?;
+
+    for (row_idx, msg) in MSG_LENGTHS.into_iter().enumerate() {
+        let [bnq, bnqrd, lert] = &results[row_idx * 3..row_idx * 3 + 3] else {
+            unreachable!("three cells per row");
+        };
 
         let mut d_bnqrd = fmt_f(improvement_pct(bnq.mean_waiting(), bnqrd.mean_waiting()), 2);
         let mut d_lert = fmt_f(improvement_pct(bnq.mean_waiting(), lert.mean_waiting()), 2);

@@ -9,7 +9,7 @@
 //! units; a period of 400 means the snapshot ages by ~20 arrivals per
 //! site.)
 
-use dqa_bench::{cell_seed, Effort};
+use dqa_bench::{cell_seed, run_grid, Cell, Effort};
 use dqa_core::experiment::improvement_pct;
 use dqa_core::params::SystemParams;
 use dqa_core::policy::PolicyKind;
@@ -19,26 +19,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let effort = Effort::from_env();
     let mut table = TextTable::new(vec!["status period", "dBNQ%", "dBNQRD%", "dLERT%"]);
 
-    let local = effort.run(
-        &SystemParams::paper_base(),
+    const PERIODS: [f64; 5] = [0.0, 25.0, 100.0, 400.0, 1_600.0];
+    const POLICIES: [PolicyKind; 3] = [PolicyKind::Bnq, PolicyKind::Bnqrd, PolicyKind::Lert];
+
+    // The LOCAL baseline plus the whole period x policy grid in one pool
+    // pass: cell 0 is the baseline, then three policies per period.
+    let mut cells: Vec<Cell> = vec![(
+        SystemParams::paper_base(),
         PolicyKind::Local,
         cell_seed(600),
-    )?;
-    let w_local = local.mean_waiting();
-
-    for (row_idx, period) in [0.0, 25.0, 100.0, 400.0, 1_600.0].into_iter().enumerate() {
+    )];
+    for (row_idx, period) in PERIODS.into_iter().enumerate() {
         let params = SystemParams::builder().status_period(period).build()?;
         let seed = |p: u64| cell_seed(610 + row_idx as u64 * 10 + p);
+        for (p_idx, policy) in POLICIES.into_iter().enumerate() {
+            cells.push((params.clone(), policy, seed(p_idx as u64)));
+        }
+    }
+    let results = run_grid(&effort, cells)?;
+    let w_local = results[0].mean_waiting();
+
+    for (row_idx, period) in PERIODS.into_iter().enumerate() {
         let mut row = vec![if period == 0.0 {
             "0 (instant)".to_owned()
         } else {
             fmt_f(period, 0)
         }];
-        for (p_idx, policy) in [PolicyKind::Bnq, PolicyKind::Bnqrd, PolicyKind::Lert]
-            .into_iter()
-            .enumerate()
-        {
-            let rep = effort.run(&params, policy, seed(p_idx as u64))?;
+        for rep in &results[1 + row_idx * 3..1 + row_idx * 3 + 3] {
             row.push(fmt_f(improvement_pct(w_local, rep.mean_waiting()), 2));
         }
         table.row(row);

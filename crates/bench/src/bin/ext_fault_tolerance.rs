@@ -20,7 +20,7 @@
 //! Output is a human-readable table followed by a machine-readable JSON
 //! document on stdout (one object per (level, policy) cell).
 
-use dqa_bench::{cell_seed, Effort};
+use dqa_bench::{cell_seed, run_grid, Effort};
 use dqa_core::params::{FaultSpec, SystemParams};
 use dqa_core::policy::PolicyKind;
 use dqa_core::table::{fmt_f, TextTable};
@@ -30,7 +30,7 @@ struct Level {
     faults: Option<FaultSpec>,
 }
 
-struct Cell {
+struct Record {
     level: &'static str,
     policy: PolicyKind,
     mean_waiting: f64,
@@ -78,15 +78,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         PolicyKind::Lert,
     ];
 
-    let mut cells: Vec<Cell> = Vec::new();
-    let mut baselines: Vec<f64> = Vec::new();
-    for (li, level) in levels().iter().enumerate() {
+    // The whole level x policy grid goes through the worker pool at once;
+    // results come back in cell order, so the `off` row (level 0) supplies
+    // the common-random-number baselines for the later levels.
+    let mut grid: Vec<dqa_bench::Cell> = Vec::new();
+    for level in &levels() {
         for (pi, &policy) in policies.iter().enumerate() {
             let mut params = SystemParams::paper_base();
             params.faults = level.faults;
             // Same per-policy seed at every level: common random numbers,
             // so degradation isolates the fault effect.
-            let rep = effort.run(&params, policy, cell_seed(1_300 + pi as u64))?;
+            grid.push((params, policy, cell_seed(1_300 + pi as u64)));
+        }
+    }
+    let results = run_grid(&effort, grid)?;
+
+    let mut cells: Vec<Record> = Vec::new();
+    let mut baselines: Vec<f64> = Vec::new();
+    for (li, level) in levels().iter().enumerate() {
+        for (pi, &policy) in policies.iter().enumerate() {
+            let rep = &results[li * policies.len() + pi];
             let w = rep.mean_waiting();
             if li == 0 {
                 baselines.push(w);
@@ -95,7 +106,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let sum = |f: fn(&dqa_core::experiment::RunReport) -> u64| {
                 rep.reports.iter().map(f).sum::<u64>()
             };
-            cells.push(Cell {
+            cells.push(Record {
                 level: level.name,
                 policy,
                 mean_waiting: w,

@@ -1,0 +1,139 @@
+//! Wall-clock scaling of the parallel experiment executor.
+//!
+//! Runs the same 4-policy x N-replication grid at several worker counts
+//! and reports, per worker count: wall time, aggregate kernel events per
+//! second, and speedup over the serial (jobs = 1) baseline. Every parallel
+//! pass is asserted bitwise-equal to the serial one before its timing is
+//! recorded, so the numbers can never come from a diverged computation.
+//!
+//! Results go to stdout as a table and to `results/BENCH_perf.json` as a
+//! machine-readable record. Set `DQA_QUICK=1` for a fast smoke run.
+//!
+//! Note: speedup is bounded by the physical core count of the host; on a
+//! single-core machine every worker count measures ~1.0x and the bench
+//! simply documents that the pool adds no overhead.
+
+use std::time::Instant;
+
+use dqa_bench::cell_seed;
+use dqa_core::experiment::{run_replicated_jobs, Replicated, RunConfig};
+use dqa_core::parallel;
+use dqa_core::params::SystemParams;
+use dqa_core::policy::PolicyKind;
+use dqa_core::table::{fmt_f, TextTable};
+
+const POLICIES: [PolicyKind; 4] = [
+    PolicyKind::Local,
+    PolicyKind::Bnq,
+    PolicyKind::Bnqrd,
+    PolicyKind::Lert,
+];
+
+const JOB_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Runs the whole policy grid at one worker count, returning the reports
+/// per policy (parallelism is inside each policy's replication set).
+fn run_grid_at(
+    configs: &[RunConfig],
+    replications: u32,
+    jobs: usize,
+) -> Result<Vec<Replicated>, Box<dyn std::error::Error>> {
+    let mut out = Vec::with_capacity(configs.len());
+    for cfg in configs {
+        out.push(run_replicated_jobs(cfg, replications, jobs)?);
+    }
+    Ok(out)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let quick = std::env::var("DQA_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let (replications, warmup, measure) = if quick {
+        (3u32, 500.0, 3_000.0)
+    } else {
+        (8u32, 3_000.0, 30_000.0)
+    };
+
+    let configs: Vec<RunConfig> = POLICIES
+        .iter()
+        .enumerate()
+        .map(|(i, &policy)| {
+            RunConfig::new(SystemParams::paper_base(), policy)
+                .seed(cell_seed(1_400 + i as u64))
+                .windows(warmup, measure)
+        })
+        .collect();
+
+    println!(
+        "perf_scaling — {} policies x {} replications ({} mode), detected parallelism {}\n",
+        POLICIES.len(),
+        replications,
+        if quick { "quick" } else { "standard" },
+        parallel::jobs(),
+    );
+
+    // Serial baseline: timing plus the reference reports.
+    let start = Instant::now();
+    let serial = run_grid_at(&configs, replications, 1)?;
+    let serial_wall = start.elapsed().as_secs_f64();
+    let total_events: u64 = serial
+        .iter()
+        .flat_map(|rep| rep.reports.iter())
+        .map(|r| r.events)
+        .sum();
+
+    let mut records: Vec<(usize, f64)> = vec![(1, serial_wall)];
+    for &jobs in &JOB_COUNTS[1..] {
+        let start = Instant::now();
+        let parallel_reports = run_grid_at(&configs, replications, jobs)?;
+        let wall = start.elapsed().as_secs_f64();
+        // Determinism gate: a timing for a diverged computation is useless.
+        assert!(
+            parallel_reports == serial,
+            "jobs={jobs} diverged from the serial baseline"
+        );
+        records.push((jobs, wall));
+    }
+
+    let mut table = TextTable::new(vec!["jobs", "wall s", "events/s", "speedup"]);
+    let mut json_records = String::new();
+    for (i, &(jobs, wall)) in records.iter().enumerate() {
+        let events_per_sec = if wall > 0.0 {
+            total_events as f64 / wall
+        } else {
+            0.0
+        };
+        let speedup = if wall > 0.0 { serial_wall / wall } else { 0.0 };
+        table.row(vec![
+            jobs.to_string(),
+            fmt_f(wall, 3),
+            fmt_f(events_per_sec, 0),
+            fmt_f(speedup, 2),
+        ]);
+        json_records.push_str(&format!(
+            "    {{\"bench\": \"policy_grid\", \"jobs\": {jobs}, \"wall_secs\": {wall:.6}, \
+             \"events_per_sec\": {events_per_sec:.1}, \"speedup\": {speedup:.4}}}{}",
+            if i + 1 == records.len() { "\n" } else { ",\n" }
+        ));
+    }
+    println!("{table}");
+    if serial_wall > 0.0 && total_events > 0 {
+        println!(
+            "serial hot path: {:.1} ns/event over {} events",
+            serial_wall * 1e9 / total_events as f64,
+            total_events
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"experiment\": \"perf_scaling\",\n  \"quick\": {quick},\n  \
+         \"detected_parallelism\": {},\n  \"replications\": {replications},\n  \
+         \"total_events\": {total_events},\n  \"records\": [\n{json_records}  ]\n}}\n",
+        parallel::jobs(),
+    );
+    std::fs::create_dir_all("results")?;
+    std::fs::write("results/BENCH_perf.json", &json)?;
+    println!("wrote results/BENCH_perf.json");
+    Ok(())
+}

@@ -6,7 +6,7 @@
 //! Paper reference values are printed in brackets.
 
 use dqa_bench::paper::TABLE8;
-use dqa_bench::{cell_seed, Effort};
+use dqa_bench::{cell_seed, run_grid, Cell, Effort};
 use dqa_core::experiment::improvement_pct;
 use dqa_core::params::SystemParams;
 use dqa_core::policy::PolicyKind;
@@ -25,19 +25,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "dLERT/BNQ% [p]",
     ]);
 
+    // Build the full rows x policies grid up front and run it through the
+    // worker pool; results come back in cell order, so row r's policies
+    // occupy results[4r..4r+4] exactly as the old nested loop produced.
+    let mut cells: Vec<Cell> = Vec::new();
     for (row_idx, paper) in TABLE8.iter().enumerate() {
         let params = SystemParams::builder()
             .think_time(paper.think_time)
             .build()?;
-        let mut waits = Vec::new();
-        let mut rho = 0.0;
         for (p_idx, policy) in PolicyKind::paper_policies().into_iter().enumerate() {
-            let rep = effort.run(&params, policy, cell_seed((row_idx * 4 + p_idx) as u64))?;
-            if policy == PolicyKind::Local {
-                rho = rep.mean_cpu_utilization();
-            }
-            waits.push(rep.mean_waiting());
+            cells.push((
+                params.clone(),
+                policy,
+                cell_seed((row_idx * 4 + p_idx) as u64),
+            ));
         }
+    }
+    let results = run_grid(&effort, cells)?;
+
+    for (row_idx, paper) in TABLE8.iter().enumerate() {
+        let row = &results[row_idx * 4..row_idx * 4 + 4];
+        let rho = row[0].mean_cpu_utilization();
+        let waits: Vec<f64> = row.iter().map(|rep| rep.mean_waiting()).collect();
         let (local, bnq, bnqrd, lert) = (waits[0], waits[1], waits[2], waits[3]);
         table.row(vec![
             format!("{}", paper.think_time),

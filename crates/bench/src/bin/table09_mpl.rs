@@ -4,7 +4,7 @@
 //! terminals per site instead of the think time.
 
 use dqa_bench::paper::TABLE9;
-use dqa_bench::{cell_seed, Effort};
+use dqa_bench::{cell_seed, run_grid, Cell, Effort};
 use dqa_core::experiment::improvement_pct;
 use dqa_core::params::SystemParams;
 use dqa_core::policy::PolicyKind;
@@ -23,21 +23,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "dLERT/BNQ% [p]",
     ]);
 
+    // Same grid layout as Table 8: all cells first, one pool pass, then
+    // rows read back in order.
+    let mut cells: Vec<Cell> = Vec::new();
     for (row_idx, paper) in TABLE9.iter().enumerate() {
         let params = SystemParams::builder().mpl(paper.mpl).build()?;
-        let mut waits = Vec::new();
-        let mut rho = 0.0;
         for (p_idx, policy) in PolicyKind::paper_policies().into_iter().enumerate() {
-            let rep = effort.run(
-                &params,
+            cells.push((
+                params.clone(),
                 policy,
                 cell_seed(100 + (row_idx * 4 + p_idx) as u64),
-            )?;
-            if policy == PolicyKind::Local {
-                rho = rep.mean_cpu_utilization();
-            }
-            waits.push(rep.mean_waiting());
+            ));
         }
+    }
+    let results = run_grid(&effort, cells)?;
+
+    for (row_idx, paper) in TABLE9.iter().enumerate() {
+        let row = &results[row_idx * 4..row_idx * 4 + 4];
+        let rho = row[0].mean_cpu_utilization();
+        let waits: Vec<f64> = row.iter().map(|rep| rep.mean_waiting()).collect();
         let (local, bnq, bnqrd, lert) = (waits[0], waits[1], waits[2], waits[3]);
         table.row(vec![
             format!("{}", paper.mpl),

@@ -7,7 +7,7 @@
 //! paper finds the sweet spot at 6–8 sites.
 
 use dqa_bench::paper::{TABLE11, TABLE11_W_LOCAL_6_SITES};
-use dqa_bench::{cell_seed, Effort};
+use dqa_bench::{cell_seed, run_grid, Cell, Effort};
 use dqa_core::experiment::improvement_pct;
 use dqa_core::params::SystemParams;
 use dqa_core::policy::PolicyKind;
@@ -24,14 +24,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "subnet LERT% [paper]",
     ]);
 
-    let mut best_gain = (0usize, f64::MIN);
+    // Three policies per site count; the whole grid goes through the
+    // worker pool in one pass and reads back in row order.
+    let mut cells: Vec<Cell> = Vec::new();
     for (row_idx, paper) in TABLE11.iter().enumerate() {
         let params = SystemParams::builder().num_sites(paper.num_sites).build()?;
         let seed = |p: u64| cell_seed(300 + row_idx as u64 * 10 + p);
+        cells.push((params.clone(), PolicyKind::Local, seed(0)));
+        cells.push((params.clone(), PolicyKind::Bnq, seed(1)));
+        cells.push((params, PolicyKind::Lert, seed(2)));
+    }
+    let results = run_grid(&effort, cells)?;
 
-        let local = effort.run(&params, PolicyKind::Local, seed(0))?;
-        let bnq = effort.run(&params, PolicyKind::Bnq, seed(1))?;
-        let lert = effort.run(&params, PolicyKind::Lert, seed(2))?;
+    let mut best_gain = (0usize, f64::MIN);
+    for (row_idx, paper) in TABLE11.iter().enumerate() {
+        let [local, bnq, lert] = &results[row_idx * 3..row_idx * 3 + 3] else {
+            unreachable!("three cells per row");
+        };
 
         let d_bnq = improvement_pct(local.mean_waiting(), bnq.mean_waiting());
         let d_lert = improvement_pct(local.mean_waiting(), lert.mean_waiting());

@@ -8,7 +8,7 @@
 //! the reduction in `|F|`.
 
 use dqa_bench::paper::TABLE12;
-use dqa_bench::{cell_seed, Effort};
+use dqa_bench::{cell_seed, run_grid, Cell, Effort};
 use dqa_core::experiment::improvement_pct;
 use dqa_core::params::SystemParams;
 use dqa_core::policy::PolicyKind;
@@ -27,15 +27,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "dF_LERT% [paper]",
     ]);
 
+    // Grid first, one pool pass, rows read back in order (three policies
+    // per class-mix point).
+    let mut cells: Vec<Cell> = Vec::new();
     for (row_idx, paper) in TABLE12.iter().enumerate() {
         let params = SystemParams::builder()
             .class_io_prob(paper.class_io_prob)
             .build()?;
         let seed = |p: u64| cell_seed(400 + row_idx as u64 * 10 + p);
+        cells.push((params.clone(), PolicyKind::Local, seed(0)));
+        cells.push((params.clone(), PolicyKind::Bnq, seed(1)));
+        cells.push((params, PolicyKind::Lert, seed(2)));
+    }
+    let results = run_grid(&effort, cells)?;
 
-        let local = effort.run(&params, PolicyKind::Local, seed(0))?;
-        let bnq = effort.run(&params, PolicyKind::Bnq, seed(1))?;
-        let lert = effort.run(&params, PolicyKind::Lert, seed(2))?;
+    for (row_idx, paper) in TABLE12.iter().enumerate() {
+        let [local, bnq, lert] = &results[row_idx * 3..row_idx * 3 + 3] else {
+            unreachable!("three cells per row");
+        };
 
         let rho_ratio = local.mean(|r| r.disk_utilization) / local.mean_cpu_utilization();
         let f_local = local.mean_fairness();
@@ -65,10 +74,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 fmt_f(paper.impr_local[1], 2)
             ),
             format!("{} [{}]", fmt_f(f_local, 3), fmt_f(paper.f_local, 3)),
-            format!("{} [{}]", fmt_f(f_impr(&bnq), 2), fmt_f(paper.f_impr[0], 2)),
+            format!("{} [{}]", fmt_f(f_impr(bnq), 2), fmt_f(paper.f_impr[0], 2)),
             format!(
                 "{} [{}]",
-                fmt_f(f_impr(&lert), 2),
+                fmt_f(f_impr(lert), 2),
                 fmt_f(paper.f_impr[1], 2)
             ),
         ]);

@@ -29,7 +29,8 @@
 pub mod paper;
 pub mod timing;
 
-use dqa_core::experiment::{run_replicated, Replicated, RunConfig};
+use dqa_core::experiment::{run_replicated, run_replicated_jobs, Replicated, RunConfig};
+use dqa_core::parallel;
 use dqa_core::params::{ParamsError, SystemParams};
 use dqa_core::policy::PolicyKind;
 
@@ -105,6 +106,32 @@ impl Effort {
     }
 }
 
+/// One `(params, policy, seed)` cell of a benchmark grid.
+pub type Cell = (SystemParams, PolicyKind, u64);
+
+/// Runs a whole benchmark grid through the worker pool, returning one
+/// [`Replicated`] per cell **in cell order**.
+///
+/// Parallelism is applied across cells (each cell's replications run
+/// serially inside its worker) so the pool is never nested; because every
+/// cell owns its seed and the reduce preserves order, the output is
+/// byte-identical to looping over [`Effort::run`] serially, for any
+/// `--jobs`/`DQA_JOBS` setting.
+///
+/// # Errors
+///
+/// Returns the first (lowest-indexed) [`ParamsError`] of the grid.
+pub fn run_grid(effort: &Effort, cells: Vec<Cell>) -> Result<Vec<Replicated>, ParamsError> {
+    let effort = *effort;
+    parallel::par_try_map(parallel::jobs(), cells, move |_, (params, policy, seed)| {
+        run_replicated_jobs(
+            &effort.config(params, policy).seed(seed),
+            effort.replications,
+            1,
+        )
+    })
+}
+
 /// Seed base used by all recorded experiments (per-cell seeds derive from
 /// it so cells are independent but reproducible).
 pub const SEED: u64 = 20_240_901;
@@ -134,6 +161,42 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), seeds.len());
+    }
+
+    #[test]
+    fn run_grid_matches_a_serial_loop() {
+        let effort = Effort {
+            replications: 2,
+            warmup: 200.0,
+            measure: 1_000.0,
+        };
+        let params = SystemParams::builder()
+            .num_sites(2)
+            .mpl(4)
+            .think_time(100.0)
+            .build()
+            .unwrap();
+        let cells: Vec<Cell> = [PolicyKind::Local, PolicyKind::Bnq, PolicyKind::Lert]
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (params.clone(), p, cell_seed(i as u64)))
+            .collect();
+        let grid = run_grid(&effort, cells.clone()).unwrap();
+        assert_eq!(grid.len(), cells.len());
+        for ((params, policy, seed), got) in cells.into_iter().zip(&grid) {
+            let serial = effort.run(&params, policy, seed).unwrap();
+            assert!(serial == *got, "grid cell diverged from serial run");
+        }
+    }
+
+    #[test]
+    fn run_grid_reports_invalid_cells() {
+        // Parameters are re-validated at run time, so a cell corrupted
+        // after building surfaces as the grid's error.
+        let mut params = SystemParams::builder().num_sites(2).build().unwrap();
+        params.num_sites = 0;
+        let cells = vec![(params, PolicyKind::Local, 1u64)];
+        assert!(run_grid(&Effort::quick(), cells).is_err());
     }
 
     #[test]

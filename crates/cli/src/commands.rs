@@ -9,7 +9,16 @@ use dqa_core::table::{fmt_f, TextTable};
 use dqa_mva::allocation::{analyze_arrival, LoadMatrix, StudyConfig};
 
 use crate::args::{ArgError, Args};
-use crate::config::{parse_policy, take_params};
+use crate::config::{parse_policy, take_jobs, take_params};
+
+/// Consumes `--jobs` and applies it to the process-wide worker-pool
+/// setting used by replicated runs (`--jobs 1` forces the serial path).
+fn apply_jobs(args: &mut Args) -> Result<(), ArgError> {
+    if let Some(jobs) = take_jobs(args)? {
+        dqa_core::parallel::set_jobs(jobs);
+    }
+    Ok(())
+}
 
 /// Consumes the output-analysis flags.
 fn take_windows(args: &mut Args) -> Result<(u64, f64, f64), ArgError> {
@@ -30,6 +39,7 @@ pub fn run_cmd(mut args: Args) -> Result<(), ArgError> {
     let policy = parse_policy(&args.take("policy").unwrap_or_else(|| "lert".into()))?;
     let params = take_params(&mut args)?;
     let (seed, warmup, measure) = take_windows(&mut args)?;
+    apply_jobs(&mut args)?;
     args.finish()?;
 
     let report = run_experiment(
@@ -118,6 +128,7 @@ pub fn compare(mut args: Args) -> Result<(), ArgError> {
     let params = take_params(&mut args)?;
     let (seed, warmup, measure) = take_windows(&mut args)?;
     let reps = args.take_or("reps", 3u32)?;
+    apply_jobs(&mut args)?;
     args.finish()?;
 
     let mut table = TextTable::new(vec![
@@ -167,6 +178,9 @@ pub fn sweep(mut args: Args) -> Result<(), ArgError> {
     let policy = parse_policy(&args.take("policy").unwrap_or_else(|| "lert".into()))?;
     let (seed, warmup, measure) = take_windows(&mut args)?;
     let reps = args.take_or("reps", 3u32)?;
+    // Consume --jobs before cloning the per-point flag sets below, so it
+    // is not re-parsed (and rejected) as a system flag at each point.
+    apply_jobs(&mut args)?;
     let rest: Vec<String> = values.split(',').map(str::to_owned).collect();
 
     let mut table = TextTable::new(vec![
@@ -218,6 +232,7 @@ pub fn capacity(mut args: Args) -> Result<(), ArgError> {
     let params = take_params(&mut args)?;
     let (seed, warmup, measure) = take_windows(&mut args)?;
     let reps = args.take_or("reps", 2u32)?;
+    apply_jobs(&mut args)?;
     args.finish()?;
 
     println!("target: mean response <= {target}\n");

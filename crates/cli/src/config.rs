@@ -169,6 +169,25 @@ pub fn take_params(args: &mut Args) -> Result<SystemParams, ArgError> {
     b.build().map_err(|e| ArgError(e.to_string()))
 }
 
+/// Consumes the `--jobs` flag shared by every simulation subcommand.
+///
+/// Returns the requested worker count without applying it, so that unit
+/// tests can validate parsing without mutating the process-wide setting;
+/// callers pass the value to [`dqa_core::parallel::set_jobs`]. When the
+/// flag is absent the resolution order of [`dqa_core::parallel::jobs`]
+/// applies (the `DQA_JOBS` environment variable, then the detected
+/// parallelism), and `--jobs 1` takes the exact serial code path.
+///
+/// # Errors
+///
+/// Rejects `--jobs 0` and non-numeric values.
+pub fn take_jobs(args: &mut Args) -> Result<Option<usize>, ArgError> {
+    match args.take_opt::<usize>("jobs")? {
+        Some(0) => Err(ArgError("--jobs must be at least 1".into())),
+        other => Ok(other),
+    }
+}
+
 /// Rebuilds a builder from already-validated parameters (used when a flag
 /// must mutate a field the builder does not expose directly).
 fn builder_from(params: SystemParams) -> dqa_core::params::SystemParamsBuilder {
@@ -358,6 +377,32 @@ mod tests {
         a.finish().unwrap();
         assert_eq!(p.classes[0].num_reads, 40.0);
         assert_eq!(p.faults.unwrap().mtbf, 900.0);
+    }
+
+    #[test]
+    fn jobs_flag_parses() {
+        let mut a = args(&["--jobs", "4"]);
+        assert_eq!(take_jobs(&mut a).unwrap(), Some(4));
+        a.finish().unwrap();
+    }
+
+    #[test]
+    fn absent_jobs_flag_is_none() {
+        let mut a = args(&[]);
+        assert_eq!(take_jobs(&mut a).unwrap(), None);
+    }
+
+    #[test]
+    fn invalid_jobs_flags_are_reported() {
+        // Zero workers is meaningless; the pool needs at least one.
+        let mut a = args(&["--jobs", "0"]);
+        assert!(take_jobs(&mut a).is_err());
+        // Non-numeric value is a parse error.
+        let mut a = args(&["--jobs", "many"]);
+        assert!(take_jobs(&mut a).is_err());
+        // Negative values do not parse as usize.
+        let mut a = args(&["--jobs", "-2"]);
+        assert!(take_jobs(&mut a).is_err());
     }
 
     #[test]

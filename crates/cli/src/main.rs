@@ -17,6 +17,10 @@
 //! `--migrate every,gain,growth`, plus the fault-injection family
 //! `--fault-mtbf`, `--fault-mttr`, `--msg-loss`, `--status-loss`,
 //! `--fault-retries`, `--fault-backoff`.
+//!
+//! `--jobs N` (or the `DQA_JOBS` environment variable) sets how many
+//! worker threads replicated runs may use; results are byte-identical for
+//! every worker count, and `--jobs 1` takes the exact serial code path.
 
 mod args;
 mod commands;
@@ -92,6 +96,11 @@ SYSTEM FLAGS (defaults are the paper's base configuration):
   --update-frac U      update fraction of the workload   (0)
   --prop-factor F      apply work per replica, x reads   (0.5)
   --cpu-speeds a,b,..  per-site CPU speed factors (homogeneous)
+
+EXECUTION:
+  --jobs N         worker threads for replicated runs (default: DQA_JOBS
+                   env var, else the detected CPU count; results are
+                   byte-identical for every N, and N=1 runs serially)
 
 FAULT FLAGS (any one enables deterministic fault injection):
   --fault-mtbf T       mean time between site crashes    (0 = no crashes)

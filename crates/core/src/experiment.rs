@@ -5,6 +5,7 @@ use dqa_sim::stats::{student_t_975, Tally};
 use dqa_sim::{Engine, SimTime};
 
 use crate::model::DbSystem;
+use crate::parallel;
 use crate::params::{ParamsError, SystemParams};
 use crate::policy::PolicyKind;
 
@@ -16,7 +17,8 @@ pub struct RunConfig {
     pub params: SystemParams,
     /// Allocation policy under test.
     pub policy: PolicyKind,
-    /// Root random seed; replications use `seed, seed+1, ...`.
+    /// Root random seed; replication `k` uses [`replication_seed`]
+    /// (`seed.wrapping_add(k)` — the offsets wrap around `u64::MAX`).
     pub seed: u64,
     /// Simulated time discarded as warmup transient.
     pub warmup: f64,
@@ -56,7 +58,11 @@ impl RunConfig {
 }
 
 /// Per-site station statistics of a run.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field bitwise (no rounding): it exists so
+/// tests can assert that parallel and serial execution produce
+/// *byte-identical* reports.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SiteSummary {
     /// CPU busy fraction at the site.
     pub cpu_utilization: f64,
@@ -69,7 +75,9 @@ pub struct SiteSummary {
 }
 
 /// Per-class results of a run.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field bitwise; see [`SiteSummary`].
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClassSummary {
     /// The class name from [`SystemParams::classes`].
     pub name: String,
@@ -86,7 +94,13 @@ pub struct ClassSummary {
 }
 
 /// Results of one simulation run.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field bitwise (exact `f64` equality, no
+/// tolerance). Two reports are equal only if the runs were numerically
+/// indistinguishable — which is exactly the guarantee the deterministic
+/// parallel executor makes, and what `tests/parallel_determinism.rs`
+/// asserts.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// The policy's display name.
     pub policy: String,
@@ -137,6 +151,9 @@ pub struct RunReport {
     pub msgs_lost: u64,
     /// Time-averaged fraction of sites up (1.0 without faults).
     pub mean_availability: f64,
+    /// Kernel events dispatched over the whole run (warmup included) —
+    /// the denominator for ns/event in the perf benches.
+    pub events: u64,
     /// Per-class breakdown.
     pub per_class: Vec<ClassSummary>,
     /// Per-site station breakdown.
@@ -175,11 +192,16 @@ pub fn run(config: &RunConfig) -> Result<RunReport, ParamsError> {
     let end = SimTime::new(config.warmup + config.measure);
     engine.run_until(end);
 
-    Ok(summarize(engine.model(), end, config.measure))
+    Ok(summarize(
+        engine.model(),
+        end,
+        config.measure,
+        engine.steps(),
+    ))
 }
 
 /// Extracts a [`RunReport`] from a measured model at time `end`.
-fn summarize(model: &DbSystem, end: SimTime, measured_time: f64) -> RunReport {
+fn summarize(model: &DbSystem, end: SimTime, measured_time: f64, events: u64) -> RunReport {
     debug_assert!({
         model.check_invariants();
         true
@@ -233,6 +255,7 @@ fn summarize(model: &DbSystem, end: SimTime, measured_time: f64) -> RunReport {
         queries_recovered: metrics.queries_recovered(),
         msgs_lost: metrics.msgs_lost(),
         mean_availability: metrics.mean_availability(end),
+        events,
         per_class,
         per_site,
     }
@@ -244,6 +267,12 @@ fn summarize(model: &DbSystem, end: SimTime, measured_time: f64) -> RunReport {
 /// `0.05` for ±5%), or `max_measure` simulated time units have been
 /// measured. The report's `measured_time` records how long was actually
 /// needed — a run-length oracle for sizing fixed-window studies.
+///
+/// This function stays serial by design: it extends *one* trajectory in
+/// time, and each chunk's stopping decision depends on the statistics of
+/// everything before it. The worker pool applies across independent
+/// replications and probe points ([`run_replicated_jobs`],
+/// [`max_mpl_for_response_jobs`]), never inside a single run.
 ///
 /// # Errors
 ///
@@ -282,13 +311,33 @@ pub fn run_to_precision(
         let precise = mean > 0.0 && m.waiting_half_width() <= rel_half_width * mean;
         if precise || measured >= max_measure {
             let end = SimTime::new(config.warmup + measured);
-            return Ok(summarize(engine.model(), end, measured));
+            return Ok(summarize(engine.model(), end, measured, engine.steps()));
         }
     }
 }
 
-/// Aggregate of independent replications (seeds `seed .. seed + n`).
-#[derive(Debug, Clone)]
+/// The seed of replication `k` of a run rooted at `base`:
+/// `base.wrapping_add(k)`.
+///
+/// The offsets deliberately **wrap** around `u64::MAX` rather than
+/// saturate: saturation would collapse the last replications of a
+/// near-`u64::MAX` root seed onto the *same* seed, silently destroying
+/// their independence, while wrapping keeps all `n` seeds distinct for
+/// every root (`n < 2^64`). Wrapping is also what the bench harness's
+/// cell-seed derivation already does, and — because it is a pure function
+/// of `(base, k)` — it guarantees the parallel executor hands every
+/// replication exactly the seed the serial loop would have.
+#[must_use]
+pub fn replication_seed(base: u64, k: u32) -> u64 {
+    base.wrapping_add(u64::from(k))
+}
+
+/// Aggregate of independent replications (seeds
+/// `replication_seed(seed, 0..n)`).
+///
+/// `PartialEq` compares the underlying reports bitwise; see
+/// [`RunReport`].
+#[derive(Debug, Clone, PartialEq)]
 pub struct Replicated {
     /// The individual run reports.
     pub reports: Vec<RunReport>,
@@ -352,7 +401,12 @@ impl Replicated {
 }
 
 /// Runs `replications` independent replications of `config` (seeds
-/// `seed, seed+1, ...`).
+/// `replication_seed(seed, 0..n)`) on [`parallel::jobs`] worker threads.
+///
+/// Every replication owns its seed, engine, and RNG substreams, and the
+/// reports are collected in replication order, so the result is
+/// byte-identical for every worker count (asserted in
+/// `tests/parallel_determinism.rs`).
 ///
 /// # Errors
 ///
@@ -362,12 +416,29 @@ impl Replicated {
 ///
 /// Panics if `replications` is zero.
 pub fn run_replicated(config: &RunConfig, replications: u32) -> Result<Replicated, ParamsError> {
+    run_replicated_jobs(config, replications, parallel::jobs())
+}
+
+/// [`run_replicated`] with an explicit worker count (`jobs == 1` runs the
+/// exact serial loop on the calling thread).
+///
+/// # Errors
+///
+/// Returns [`ParamsError`] if the parameters are invalid.
+///
+/// # Panics
+///
+/// Panics if `replications` or `jobs` is zero.
+pub fn run_replicated_jobs(
+    config: &RunConfig,
+    replications: u32,
+    jobs: usize,
+) -> Result<Replicated, ParamsError> {
     assert!(replications > 0, "need at least one replication");
-    let mut reports = Vec::with_capacity(replications as usize);
-    for k in 0..replications {
-        let cfg = config.clone().seed(config.seed + u64::from(k));
-        reports.push(run(&cfg)?);
-    }
+    let cfgs: Vec<RunConfig> = (0..replications)
+        .map(|k| config.clone().seed(replication_seed(config.seed, k)))
+        .collect();
+    let reports = parallel::par_try_map(jobs, cfgs, |_, cfg| run(&cfg))?;
     Ok(Replicated { reports })
 }
 
@@ -439,13 +510,32 @@ pub fn waiting_time_series(config: &RunConfig, windows: usize) -> Result<Vec<f64
 ///
 /// Panics if `replications` is zero.
 pub fn suggest_warmup(config: &RunConfig, replications: u32) -> Result<Option<f64>, ParamsError> {
+    suggest_warmup_jobs(config, replications, parallel::jobs())
+}
+
+/// [`suggest_warmup`] with an explicit worker count: the per-replication
+/// waiting-time curves are simulated in parallel and averaged in
+/// replication order, so the suggestion matches the serial procedure
+/// exactly.
+///
+/// # Errors
+///
+/// Returns [`ParamsError`] if the parameters are invalid.
+///
+/// # Panics
+///
+/// Panics if `replications` or `jobs` is zero.
+pub fn suggest_warmup_jobs(
+    config: &RunConfig,
+    replications: u32,
+    jobs: usize,
+) -> Result<Option<f64>, ParamsError> {
     assert!(replications > 0, "need at least one replication");
     const WINDOWS: usize = 40;
-    let mut series = Vec::with_capacity(replications as usize);
-    for k in 0..replications {
-        let cfg = config.clone().seed(config.seed + u64::from(k));
-        series.push(waiting_time_series(&cfg, WINDOWS)?);
-    }
+    let cfgs: Vec<RunConfig> = (0..replications)
+        .map(|k| config.clone().seed(replication_seed(config.seed, k)))
+        .collect();
+    let series = parallel::par_try_map(jobs, cfgs, |_, cfg| waiting_time_series(&cfg, WINDOWS))?;
     let slice = (config.warmup + config.measure) / WINDOWS as f64;
     Ok(dqa_sim::stats::welch_truncation(&series, 3, 0.25).map(|cut| cut as f64 * slice))
 }
@@ -467,15 +557,53 @@ pub fn max_mpl_for_response(
     mpl_range: std::ops::RangeInclusive<u32>,
     replications: u32,
 ) -> Result<Option<u32>, ParamsError> {
+    max_mpl_for_response_jobs(
+        base,
+        target_response,
+        mpl_range,
+        replications,
+        parallel::jobs(),
+    )
+}
+
+/// [`max_mpl_for_response`] with an explicit worker count. The MPL scan
+/// is evaluated in chunks of `jobs` probes; the serial early-exit logic
+/// is then replayed over the chunk's results in MPL order, so the answer
+/// is identical to the one-at-a-time scan (at most `jobs − 1` probes past
+/// the first violation are wasted). With `jobs == 1` the chunks have one
+/// element and this *is* the serial scan, early exit included.
+///
+/// # Errors
+///
+/// Returns [`ParamsError`] if the parameters are invalid.
+///
+/// # Panics
+///
+/// Panics if `jobs` is zero.
+pub fn max_mpl_for_response_jobs(
+    base: &RunConfig,
+    target_response: f64,
+    mpl_range: std::ops::RangeInclusive<u32>,
+    replications: u32,
+    jobs: usize,
+) -> Result<Option<u32>, ParamsError> {
+    assert!(jobs >= 1, "worker count must be at least 1");
+    let mpls: Vec<u32> = mpl_range.collect();
     let mut best = None;
-    for mpl in mpl_range {
-        let mut cfg = base.clone();
-        cfg.params.mpl = mpl;
-        let rep = run_replicated(&cfg, replications)?;
-        if rep.mean_response() <= target_response {
-            best = Some(mpl);
-        } else {
-            break;
+    for chunk in mpls.chunks(jobs) {
+        // Each probe replicates serially (jobs = 1): the parallelism lives
+        // at the probe level, and nesting pools would oversubscribe.
+        let probes = parallel::par_try_map(jobs, chunk.to_vec(), |_, mpl| {
+            let mut cfg = base.clone();
+            cfg.params.mpl = mpl;
+            run_replicated_jobs(&cfg, replications, 1).map(|rep| (mpl, rep.mean_response()))
+        })?;
+        for (mpl, response) in probes {
+            if response <= target_response {
+                best = Some(mpl);
+            } else {
+                return Ok(best);
+            }
         }
     }
     Ok(best)
@@ -534,6 +662,37 @@ mod tests {
         let m = rep.mean_waiting();
         assert!(m > 0.0);
         assert!(rep.half_width(|r| r.mean_waiting).is_finite());
+    }
+
+    #[test]
+    fn replication_seeds_wrap_at_u64_max_and_stay_distinct() {
+        // Wrapping, not saturating: near-u64::MAX roots still get n
+        // distinct replication seeds (saturation would alias the tail).
+        let base = u64::MAX - 2;
+        let seeds: Vec<u64> = (0..6).map(|k| replication_seed(base, k)).collect();
+        assert_eq!(seeds, vec![u64::MAX - 2, u64::MAX - 1, u64::MAX, 0, 1, 2]);
+    }
+
+    #[test]
+    fn run_replicated_survives_seed_overflow() {
+        let cfg = small().seed(u64::MAX - 1).windows(300.0, 1_500.0);
+        let rep = run_replicated(&cfg, 4).unwrap();
+        assert_eq!(rep.reports.len(), 4);
+        // The wrapped seeds are distinct, so the replications differ.
+        let w: Vec<f64> = rep.reports.iter().map(|r| r.mean_waiting).collect();
+        assert!(
+            w.windows(2).any(|p| p[0] != p[1]),
+            "replications identical: {w:?}"
+        );
+    }
+
+    #[test]
+    fn report_equality_is_reflexive_across_identical_runs() {
+        let a = run(&small()).unwrap();
+        let b = run(&small()).unwrap();
+        assert_eq!(a, b);
+        assert!(a.events > 0, "kernel event count should be recorded");
+        assert_eq!(a.events, b.events);
     }
 
     #[test]

@@ -28,6 +28,8 @@
 //!   [`dqa_sim`] kernel and [`dqa_queueing`] stations.
 //! * [`metrics`] — waiting/response/fairness/utilization observables.
 //! * [`experiment`] — warmup, replication, capacity search.
+//! * [`parallel`] — deterministic order-preserving `par_map` used to fan
+//!   replications and sweep cells out over threads.
 //! * [`table`] — plain-text table rendering for the benchmark binaries.
 //!
 //! # Quickstart
@@ -56,6 +58,7 @@ pub mod experiment;
 pub mod load;
 pub mod metrics;
 pub mod model;
+pub mod parallel;
 pub mod params;
 pub mod policy;
 pub mod query;

@@ -185,12 +185,19 @@ impl LoadTable {
     }
 
     /// The query-difference `QD` of Section 3 — `max_j n_j - min_j n_j` —
-    /// over the live counts.
+    /// over the live counts. Computed in one pass: it runs on every
+    /// allocation and release.
+    #[inline]
     #[must_use]
     pub fn query_difference(&self) -> u32 {
-        let max = self.live.iter().map(SiteLoad::total).max().unwrap_or(0);
-        let min = self.live.iter().map(SiteLoad::total).min().unwrap_or(0);
-        max - min
+        let mut min = u32::MAX;
+        let mut max = 0;
+        for s in &self.live {
+            let n = s.total();
+            min = min.min(n);
+            max = max.max(n);
+        }
+        max.saturating_sub(min)
     }
 }
 

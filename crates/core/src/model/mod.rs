@@ -12,8 +12,6 @@ mod site;
 pub use events::{Event, MsgKind, RingMsg};
 pub use site::Site;
 
-use std::collections::HashMap;
-
 use dqa_queueing::{PsToken, TokenRing};
 use dqa_sim::random::{Dist, RngStream};
 use dqa_sim::{Engine, Model, Scheduler, SimTime};
@@ -22,7 +20,7 @@ use crate::load::LoadTable;
 use crate::metrics::Metrics;
 use crate::params::{FaultSpec, ParamsError, SiteId, SystemParams, Workload};
 use crate::policy::{AllocationContext, Allocator, PolicyKind};
-use crate::query::{ActiveQuery, QueryId, QueryKind, QueryPhase, QueryProfile};
+use crate::query::{ActiveQuery, QueryId, QueryKind, QueryPhase, QueryProfile, QueryTable};
 use crate::replication::Catalog;
 
 /// Runtime state of the fault-injection layer.
@@ -77,8 +75,7 @@ pub struct DbSystem {
     load: LoadTable,
     catalog: Catalog,
     allocator: Allocator,
-    queries: HashMap<QueryId, ActiveQuery>,
-    next_id: u64,
+    queries: QueryTable,
     metrics: Metrics,
     disk_dist: Dist,
     rng_think: RngStream,
@@ -115,8 +112,7 @@ impl DbSystem {
                 Some(k) => Catalog::new(params.num_sites, params.num_relations, k),
             },
             allocator: Allocator::new(policy, seed),
-            queries: HashMap::new(),
-            next_id: 0,
+            queries: QueryTable::new(),
             metrics: Metrics::new(params.classes.len(), start),
             disk_dist: Dist::uniform_deviation(params.disk_time, params.disk_time_dev),
             rng_think: root.substream(1),
@@ -250,8 +246,6 @@ impl DbSystem {
             self.allocator
                 .select_site_among(&profile, &ctx, self.catalog.candidates(relation))
         };
-        let id = QueryId(self.next_id);
-        self.next_id += 1;
         let kind = if self.params.update_fraction > 0.0
             && self.rng_update.bernoulli(self.params.update_fraction)
         {
@@ -267,21 +261,18 @@ impl DbSystem {
         if !self.catalog.holds(exec, relation) {
             debug_assert!(self.params.faults.is_some());
             self.metrics.record_submit(false);
-            self.queries.insert(
+            let id = self.queries.insert_with(|id| ActiveQuery {
                 id,
-                ActiveQuery {
-                    id,
-                    profile,
-                    exec: home,
-                    reads_total,
-                    reads_done: 0,
-                    submitted: now,
-                    service: 0.0,
-                    phase: QueryPhase::Backoff,
-                    kind,
-                    retries: 0,
-                },
-            );
+                profile,
+                exec: home,
+                reads_total,
+                reads_done: 0,
+                submitted: now,
+                service: 0.0,
+                phase: QueryPhase::Backoff,
+                kind,
+                retries: 0,
+            });
             self.schedule_retry(now, id, sched);
             return;
         }
@@ -292,25 +283,22 @@ impl DbSystem {
 
         let remote = exec != home;
         self.metrics.record_submit(remote);
-        self.queries.insert(
+        let id = self.queries.insert_with(|id| ActiveQuery {
             id,
-            ActiveQuery {
-                id,
-                profile,
-                exec,
-                reads_total,
-                reads_done: 0,
-                submitted: now,
-                service: 0.0,
-                phase: if remote {
-                    QueryPhase::Transfer
-                } else {
-                    QueryPhase::Disk
-                },
-                kind,
-                retries: 0,
+            profile,
+            exec,
+            reads_total,
+            reads_done: 0,
+            submitted: now,
+            service: 0.0,
+            phase: if remote {
+                QueryPhase::Transfer
+            } else {
+                QueryPhase::Disk
             },
-        );
+            kind,
+            retries: 0,
+        });
 
         if remote {
             let msg = RingMsg::Query {
@@ -330,7 +318,7 @@ impl DbSystem {
     /// Sends the query to a disk at its execution site for its next page
     /// read.
     fn start_read(&mut self, now: SimTime, id: QueryId, sched: &mut Scheduler<Event>) {
-        let q = self.queries.get_mut(&id).expect("query in flight");
+        let q = self.queries.get_mut(id).expect("query in flight");
         q.phase = QueryPhase::Disk;
         let site_id = q.exec;
         let service = self.disk_dist.sample(&mut self.rng_disk);
@@ -379,7 +367,7 @@ impl DbSystem {
         }
 
         // The page is in memory; process it on the CPU.
-        let q = self.queries.get_mut(&id).expect("query in flight");
+        let q = self.queries.get_mut(id).expect("query in flight");
         debug_assert_eq!(q.exec, site_id);
         q.phase = QueryPhase::Cpu;
         // A faster CPU finishes the same page in proportionally less time.
@@ -421,7 +409,7 @@ impl DbSystem {
             );
         }
 
-        let q = self.queries.get_mut(&id).expect("query in flight");
+        let q = self.queries.get_mut(id).expect("query in flight");
         q.reads_done += 1;
         if !q.execution_finished() {
             if let Some(spec) = self.params.migration {
@@ -453,7 +441,7 @@ impl DbSystem {
         match kind {
             QueryKind::Propagation => {
                 // The replica is now up to date; nothing returns anywhere.
-                self.queries.remove(&id);
+                self.queries.remove(id);
                 self.metrics.record_propagation();
                 return;
             }
@@ -462,7 +450,7 @@ impl DbSystem {
         }
 
         if remote {
-            self.queries.get_mut(&id).expect("in flight").phase = QueryPhase::Return;
+            self.queries.get_mut(id).expect("in flight").phase = QueryPhase::Return;
             let msg = RingMsg::Query {
                 query: id,
                 kind: MsgKind::Result,
@@ -492,7 +480,7 @@ impl DbSystem {
             return;
         }
         let (relation, class, reads_total, io_bound, page_cpu_time) = {
-            let q = &self.queries[&update];
+            let q = self.queries.get(update).expect("query in flight");
             (
                 q.profile.relation,
                 q.profile.class,
@@ -503,38 +491,32 @@ impl DbSystem {
         };
         let apply_reads =
             ((f64::from(reads_total) * self.params.propagation_factor).round() as u32).max(1);
-        let holders: Vec<SiteId> = self
-            .catalog
-            .candidates(relation)
-            .iter()
-            .copied()
-            .filter(|&s| s != exec)
-            .collect();
-        for holder in holders {
-            let id = QueryId(self.next_id);
-            self.next_id += 1;
-            self.queries.insert(
+        // Walk the copy set by index: collecting the holders first would
+        // allocate a Vec on every completed update.
+        for j in 0..self.catalog.candidates(relation).len() {
+            let holder = self.catalog.candidates(relation)[j];
+            if holder == exec {
+                continue;
+            }
+            let id = self.queries.insert_with(|id| ActiveQuery {
                 id,
-                ActiveQuery {
-                    id,
-                    profile: QueryProfile {
-                        class,
-                        num_reads: f64::from(apply_reads),
-                        page_cpu_time,
-                        home: holder,
-                        io_bound,
-                        relation,
-                    },
-                    exec: holder,
-                    reads_total: apply_reads,
-                    reads_done: 0,
-                    submitted: now,
-                    service: 0.0,
-                    phase: QueryPhase::Transfer,
-                    kind: QueryKind::Propagation,
-                    retries: 0,
+                profile: QueryProfile {
+                    class,
+                    num_reads: f64::from(apply_reads),
+                    page_cpu_time,
+                    home: holder,
+                    io_bound,
+                    relation,
                 },
-            );
+                exec: holder,
+                reads_total: apply_reads,
+                reads_done: 0,
+                submitted: now,
+                service: 0.0,
+                phase: QueryPhase::Transfer,
+                kind: QueryKind::Propagation,
+                retries: 0,
+            });
             self.load.allocate(holder, io_bound);
             let msg = RingMsg::Query {
                 query: id,
@@ -560,7 +542,7 @@ impl DbSystem {
         sched: &mut Scheduler<Event>,
     ) -> bool {
         let (current, remaining, relation, io_bound, reads_done) = {
-            let q = &self.queries[&id];
+            let q = self.queries.get(id).expect("query in flight");
             let remaining_reads = (q.profile.num_reads - f64::from(q.reads_done)).max(1.0);
             let mut remaining = q.profile;
             remaining.num_reads = remaining_reads;
@@ -604,7 +586,7 @@ impl DbSystem {
             .record_query_difference(now, self.load.query_difference());
         self.metrics.record_migration();
         {
-            let q = self.queries.get_mut(&id).expect("query in flight");
+            let q = self.queries.get_mut(id).expect("query in flight");
             q.exec = target;
             q.phase = QueryPhase::Transfer;
         }
@@ -678,7 +660,7 @@ impl DbSystem {
             .spec
             .max_retries;
         let attempts = {
-            let q = self.queries.get_mut(&id).expect("query in flight");
+            let q = self.queries.get_mut(id).expect("query in flight");
             q.retries += 1;
             q.retries
         };
@@ -696,7 +678,7 @@ impl DbSystem {
     /// backoff for a fresh attempt.
     fn fail_execution(&mut self, now: SimTime, id: QueryId, sched: &mut Scheduler<Event>) {
         let (exec, io_bound) = {
-            let q = self.queries.get_mut(&id).expect("query in flight");
+            let q = self.queries.get_mut(id).expect("query in flight");
             debug_assert!(!matches!(q.phase, QueryPhase::Return | QueryPhase::Backoff));
             q.phase = QueryPhase::Backoff;
             // Wasted partial work shows up as waiting time, not service.
@@ -715,7 +697,7 @@ impl DbSystem {
     /// the closed population.
     fn lose_query(&mut self, now: SimTime, id: QueryId, sched: &mut Scheduler<Event>) {
         let _ = now;
-        let q = self.queries.remove(&id).expect("query in flight");
+        let q = self.queries.remove(id).expect("query in flight");
         self.metrics.record_lost();
         if matches!(self.params.workload, Workload::Closed) && q.kind != QueryKind::Propagation {
             let think = self.rng_think.exponential(self.params.think_time);
@@ -778,7 +760,7 @@ impl DbSystem {
     /// A backed-off query's retry delay expired.
     fn handle_resubmit(&mut self, now: SimTime, id: QueryId, sched: &mut Scheduler<Event>) {
         let (phase, kind, home) = {
-            let q = self.queries.get(&id).expect("query in flight");
+            let q = self.queries.get(id).expect("query in flight");
             (q.phase, q.kind, q.profile.home)
         };
         match phase {
@@ -786,7 +768,7 @@ impl DbSystem {
             // execution site keeps them logged until acknowledged).
             QueryPhase::Return => {
                 let (exec, class, reads_total) = {
-                    let q = &self.queries[&id];
+                    let q = self.queries.get(id).expect("query in flight");
                     (q.exec, q.profile.class, q.reads_total)
                 };
                 if self.sites[exec].is_up() {
@@ -812,7 +794,7 @@ impl DbSystem {
                     return;
                 }
                 let (profile, relation) = {
-                    let q = &self.queries[&id];
+                    let q = self.queries.get(id).expect("query in flight");
                     (q.profile, q.profile.relation)
                 };
                 // Apply jobs are pinned to their replica; everything else
@@ -841,7 +823,7 @@ impl DbSystem {
                     .record_query_difference(now, self.load.query_difference());
                 let remote = exec != home;
                 {
-                    let q = self.queries.get_mut(&id).expect("query in flight");
+                    let q = self.queries.get_mut(id).expect("query in flight");
                     q.exec = exec;
                     q.phase = if remote {
                         QueryPhase::Transfer
@@ -870,7 +852,7 @@ impl DbSystem {
     /// The query's results reached its terminal: record statistics and put
     /// the terminal back into think state.
     fn complete_query(&mut self, now: SimTime, id: QueryId, sched: &mut Scheduler<Event>) {
-        let q = self.queries.remove(&id).expect("query in flight");
+        let q = self.queries.remove(id).expect("query in flight");
         let response = now - q.submitted;
         if q.retries > 0 {
             self.metrics.record_recovered();

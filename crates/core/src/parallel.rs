@@ -1,0 +1,250 @@
+//! Deterministic parallel execution for the experiment harness.
+//!
+//! Every expensive computation in this crate — a replication, a sweep
+//! cell, a capacity probe — is an *independent* simulation run that owns
+//! its seed, its engine, and its RNG substreams. That independence is what
+//! makes parallelism safe: [`par_map`] farms indexed work items out to a
+//! scoped [`std::thread`] pool and collects the results **in index
+//! order**, so the reduced output is byte-identical to a serial loop no
+//! matter how the OS schedules the workers. No work-stealing library is
+//! involved (the build environment is offline); the pool is a handful of
+//! scoped threads pulling indices off an atomic cursor.
+//!
+//! The worker count is resolved by [`jobs`]: an explicit [`set_jobs`]
+//! call (the CLI's `--jobs N`) wins, then the `DQA_JOBS` environment
+//! variable, then [`std::thread::available_parallelism`]. `jobs = 1`
+//! bypasses the pool entirely and runs the exact serial code path on the
+//! calling thread.
+//!
+//! # Example
+//!
+//! ```
+//! use dqa_core::parallel::par_map;
+//!
+//! let squares = par_map(4, (0u64..100).collect(), |i, x| {
+//!     assert_eq!(i as u64, x);
+//!     x * x
+//! });
+//! assert_eq!(squares, (0u64..100).map(|x| x * x).collect::<Vec<_>>());
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Explicit worker-count override; `0` means "not set".
+static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the worker count used by [`jobs`] for the rest of the process
+/// (the CLI calls this for `--jobs N`). Overrides the `DQA_JOBS`
+/// environment variable and the detected parallelism.
+///
+/// # Panics
+///
+/// Panics if `n` is zero — a pool needs at least one worker.
+pub fn set_jobs(n: usize) {
+    assert!(n >= 1, "worker count must be at least 1, got {n}");
+    JOBS_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// The worker count experiments should use: the value from [`set_jobs`]
+/// if one was set, else a positive integer parsed from the `DQA_JOBS`
+/// environment variable, else [`std::thread::available_parallelism`]
+/// (falling back to 1 if even that is unknown). Unparsable or zero
+/// `DQA_JOBS` values are ignored rather than fatal: the CLI validates its
+/// own flag, and a library should not panic on someone else's
+/// environment.
+#[must_use]
+pub fn jobs() -> usize {
+    let explicit = JOBS_OVERRIDE.load(Ordering::Relaxed);
+    if explicit >= 1 {
+        return explicit;
+    }
+    if let Ok(s) = std::env::var("DQA_JOBS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Applies `f` to every `(index, item)` pair on a pool of `jobs` scoped
+/// threads and returns the results **in index order**.
+///
+/// Determinism contract: as long as `f` itself is deterministic in its
+/// arguments (true for simulation runs, which own their seed and RNG),
+/// the returned vector is byte-identical to
+/// `items.into_iter().enumerate().map(|(i, x)| f(i, x)).collect()` for
+/// every `jobs` value. With `jobs == 1` (or fewer than two items) that
+/// serial loop is literally what runs — on the calling thread, no pool,
+/// no synchronization.
+///
+/// # Panics
+///
+/// Panics if `jobs` is zero, or propagates the panic if `f` panics on any
+/// item (scoped threads re-raise on join).
+pub fn par_map<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    assert!(jobs >= 1, "worker count must be at least 1");
+    if jobs == 1 || items.len() <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, x)| f(i, x))
+            .collect();
+    }
+
+    let n = items.len();
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let workers = jobs.min(n);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = work[i]
+                    .lock()
+                    .expect("work slot poisoned")
+                    .take()
+                    .expect("each index is claimed exactly once");
+                let r = f(i, item);
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every claimed slot")
+        })
+        .collect()
+}
+
+/// [`par_map`] for fallible work: applies `f` to every `(index, item)`
+/// pair and returns either all results in index order or the error from
+/// the **lowest-indexed** failing item — the same error a serial loop
+/// would have surfaced first, so error reporting is deterministic too.
+/// (Unlike a serial loop, later items may still have been evaluated when
+/// an early one fails; their results are discarded.)
+///
+/// # Errors
+///
+/// Returns `Err` if `f` does for any item.
+///
+/// # Panics
+///
+/// Panics if `jobs` is zero, or propagates panics from `f`.
+pub fn par_try_map<T, R, E, F>(jobs: usize, items: Vec<T>, f: F) -> Result<Vec<R>, E>
+where
+    T: Send,
+    R: Send,
+    E: Send,
+    F: Fn(usize, T) -> Result<R, E> + Sync,
+{
+    par_map(jobs, items, f).into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_index_order_for_any_job_count() {
+        let items: Vec<u64> = (0..57).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for jobs in [1, 2, 3, 4, 7, 16, 100] {
+            let got = par_map(jobs, items.clone(), |_, x| x * 3 + 1);
+            assert_eq!(got, expect, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn index_argument_matches_item_position() {
+        let items: Vec<usize> = (0..33).collect();
+        let got = par_map(5, items, |i, x| {
+            assert_eq!(i, x);
+            i
+        });
+        assert_eq!(got, (0..33).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn jobs_one_stays_on_the_calling_thread() {
+        // The serial path must be the literal serial code path: every
+        // closure invocation happens on the caller's own thread.
+        let caller = std::thread::current().id();
+        let ids = par_map(1, vec![(); 8], |_, ()| std::thread::current().id());
+        assert!(ids.iter().all(|id| *id == caller));
+    }
+
+    #[test]
+    fn multiple_jobs_use_worker_threads() {
+        let caller = std::thread::current().id();
+        let ids = par_map(4, vec![(); 16], |_, ()| std::thread::current().id());
+        assert!(ids.iter().all(|id| *id != caller));
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs_work() {
+        let empty: Vec<u32> = par_map(4, Vec::new(), |_, x: u32| x);
+        assert!(empty.is_empty());
+        assert_eq!(par_map(4, vec![9u32], |_, x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn try_map_reports_the_lowest_indexed_error() {
+        let items: Vec<u32> = (0..20).collect();
+        for jobs in [1, 3, 8] {
+            let r: Result<Vec<u32>, u32> =
+                par_try_map(
+                    jobs,
+                    items.clone(),
+                    |_, x| {
+                        if x % 7 == 5 {
+                            Err(x)
+                        } else {
+                            Ok(x)
+                        }
+                    },
+                );
+            assert_eq!(r, Err(5), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn try_map_collects_all_successes() {
+        let items: Vec<u32> = (0..11).collect();
+        let r: Result<Vec<u32>, ()> = par_try_map(3, items, |_, x| Ok(x * 2));
+        assert_eq!(r.unwrap(), (0..11).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_jobs_rejected() {
+        let _ = par_map(0, vec![1], |_, x: i32| x);
+    }
+
+    #[test]
+    fn jobs_resolution_prefers_explicit_setting() {
+        // Note: this mutates process-global state; it is the only test
+        // that does, and it restores nothing because every other path
+        // (env, detection) is shadowed once an override exists.
+        set_jobs(3);
+        assert_eq!(jobs(), 3);
+        set_jobs(1);
+        assert_eq!(jobs(), 1);
+    }
+}

@@ -5,6 +5,13 @@ use dqa_sim::SimTime;
 use crate::params::{ClassId, SiteId};
 
 /// Unique identifier of a query instance within one simulation run.
+///
+/// When handed out by a [`QueryTable`], the value encodes the query's
+/// arena slot in the low 32 bits and the slot's generation in the high 32
+/// bits, making lookups a bounds-checked array index instead of a hash.
+/// The encoding is an implementation detail: identifiers remain unique
+/// for the lifetime of a run, and nothing in the model depends on their
+/// numeric values.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct QueryId(pub u64);
 
@@ -102,6 +109,159 @@ impl ActiveQuery {
     }
 }
 
+/// A slot arena for in-flight queries — the simulator's hottest lookup
+/// structure.
+///
+/// Every kernel event (a disk completion, a CPU burst, a ring delivery)
+/// must resolve a [`QueryId`] to its [`ActiveQuery`]; at the paper's base
+/// parameters that is roughly 160 lookups per completed query. A
+/// `HashMap` pays a SipHash invocation per lookup; this arena pays an
+/// index and a generation compare. Freed slots go on a free list and are
+/// reused (newest first) with a bumped generation, so the working set
+/// stays at the number of *concurrently* live queries — a few hundred —
+/// instead of growing with every query ever created, and stale ids from
+/// a previous occupant of a slot can never alias the current one.
+///
+/// # Example
+///
+/// ```
+/// use dqa_core::query::{ActiveQuery, QueryId, QueryTable};
+/// # use dqa_core::query::{QueryKind, QueryPhase, QueryProfile};
+/// # use dqa_sim::SimTime;
+/// # fn query(id: QueryId) -> ActiveQuery {
+/// #     ActiveQuery {
+/// #         id,
+/// #         profile: QueryProfile { class: 0, num_reads: 1.0, page_cpu_time: 0.1,
+/// #             home: 0, io_bound: true, relation: 0 },
+/// #         exec: 0, reads_total: 1, reads_done: 0, submitted: SimTime::ZERO,
+/// #         service: 0.0, phase: QueryPhase::Disk, kind: QueryKind::Read, retries: 0,
+/// #     }
+/// # }
+/// let mut table = QueryTable::new();
+/// let id = table.insert_with(query);
+/// assert_eq!(table.get(id).unwrap().id, id);
+/// let q = table.remove(id).unwrap();
+/// assert_eq!(q.id, id);
+/// assert!(table.get(id).is_none(), "removed ids never resolve again");
+/// ```
+#[derive(Debug, Default)]
+pub struct QueryTable {
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+#[derive(Debug)]
+struct Slot {
+    generation: u32,
+    query: Option<ActiveQuery>,
+}
+
+/// Packs a slot index and its generation into a [`QueryId`] value.
+fn encode(slot: u32, generation: u32) -> QueryId {
+    QueryId((u64::from(generation) << 32) | u64::from(slot))
+}
+
+/// Splits a [`QueryId`] back into `(slot, generation)`.
+fn decode(id: QueryId) -> (usize, u32) {
+    ((id.0 & u64::from(u32::MAX)) as usize, (id.0 >> 32) as u32)
+}
+
+impl QueryTable {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        QueryTable::default()
+    }
+
+    /// Allocates a fresh [`QueryId`] and stores the query `make` builds
+    /// for it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u32::MAX` queries are live at once, or a
+    /// slot's generation counter wraps (each would require years of
+    /// simulated time).
+    pub fn insert_with(&mut self, make: impl FnOnce(QueryId) -> ActiveQuery) -> QueryId {
+        let slot = match self.free.pop() {
+            Some(s) => s as usize,
+            None => {
+                assert!(self.slots.len() < u32::MAX as usize, "query table full");
+                self.slots.push(Slot {
+                    generation: 0,
+                    query: None,
+                });
+                self.slots.len() - 1
+            }
+        };
+        let id = encode(slot as u32, self.slots[slot].generation);
+        debug_assert!(
+            self.slots[slot].query.is_none(),
+            "slot on free list was live"
+        );
+        self.slots[slot].query = Some(make(id));
+        self.live += 1;
+        id
+    }
+
+    /// The query behind `id`, or `None` if it has been removed.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, id: QueryId) -> Option<&ActiveQuery> {
+        let (slot, generation) = decode(id);
+        let s = self.slots.get(slot)?;
+        if s.generation != generation {
+            return None;
+        }
+        s.query.as_ref()
+    }
+
+    /// Mutable access to the query behind `id`.
+    #[inline]
+    #[must_use]
+    pub fn get_mut(&mut self, id: QueryId) -> Option<&mut ActiveQuery> {
+        let (slot, generation) = decode(id);
+        let s = self.slots.get_mut(slot)?;
+        if s.generation != generation {
+            return None;
+        }
+        s.query.as_mut()
+    }
+
+    /// Removes and returns the query behind `id`; its slot is recycled
+    /// under a new generation, so `id` never resolves again.
+    pub fn remove(&mut self, id: QueryId) -> Option<ActiveQuery> {
+        let (slot, generation) = decode(id);
+        let s = self.slots.get_mut(slot)?;
+        if s.generation != generation {
+            return None;
+        }
+        let q = s.query.take()?;
+        s.generation = s.generation.checked_add(1).expect("generation overflow");
+        self.free.push(slot as u32);
+        self.live -= 1;
+        Some(q)
+    }
+
+    /// Number of live queries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no queries are live.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Iterates over the live queries in slot order (an arbitrary but
+    /// deterministic order — used only for counting in invariant checks).
+    pub fn values(&self) -> impl Iterator<Item = &ActiveQuery> {
+        self.slots.iter().filter_map(|s| s.query.as_ref())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,5 +302,72 @@ mod tests {
         assert!(!q.execution_finished());
         q.reads_done = 3;
         assert!(q.execution_finished());
+    }
+
+    fn with_id(id: QueryId) -> ActiveQuery {
+        let mut q = query();
+        q.id = id;
+        q
+    }
+
+    #[test]
+    fn table_inserts_resolve_and_remove() {
+        let mut t = QueryTable::new();
+        let a = t.insert_with(with_id);
+        let b = t.insert_with(with_id);
+        assert_ne!(a, b);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(a).unwrap().id, a);
+        assert_eq!(t.get_mut(b).unwrap().id, b);
+        assert_eq!(t.remove(a).unwrap().id, a);
+        assert_eq!(t.len(), 1);
+        assert!(t.get(a).is_none());
+        assert!(t.remove(a).is_none(), "double remove is a no-op");
+        assert_eq!(t.get(b).unwrap().id, b);
+    }
+
+    #[test]
+    fn recycled_slots_get_fresh_generations() {
+        let mut t = QueryTable::new();
+        let a = t.insert_with(with_id);
+        t.remove(a).unwrap();
+        let b = t.insert_with(with_id);
+        // Same slot, different generation: the stale id must not alias.
+        assert_ne!(a, b);
+        assert!(t.get(a).is_none());
+        assert_eq!(t.get(b).unwrap().id, b);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn table_reuses_slots_instead_of_growing() {
+        let mut t = QueryTable::new();
+        for _ in 0..1_000 {
+            let id = t.insert_with(with_id);
+            t.remove(id).unwrap();
+        }
+        assert!(t.is_empty());
+        // A single slot churned 1 000 times.
+        let id = t.insert_with(with_id);
+        let (slot, _) = (id.0 & u64::from(u32::MAX), id.0 >> 32);
+        assert_eq!(slot, 0);
+    }
+
+    #[test]
+    fn values_iterates_only_live_queries() {
+        let mut t = QueryTable::new();
+        let ids: Vec<QueryId> = (0..5).map(|_| t.insert_with(with_id)).collect();
+        t.remove(ids[1]).unwrap();
+        t.remove(ids[3]).unwrap();
+        let live: Vec<QueryId> = t.values().map(|q| q.id).collect();
+        assert_eq!(live, vec![ids[0], ids[2], ids[4]]);
+    }
+
+    #[test]
+    fn ids_unrelated_to_the_table_do_not_resolve() {
+        let mut t = QueryTable::new();
+        let _ = t.insert_with(with_id);
+        assert!(t.get(QueryId(u64::MAX)).is_none());
+        assert!(t.remove(QueryId(999 << 32)).is_none());
     }
 }

@@ -74,6 +74,7 @@ impl<J> FcfsQueue<J> {
     /// # Panics
     ///
     /// Panics if `service` is negative or not finite.
+    #[inline]
     pub fn arrive(&mut self, now: SimTime, job: J, service: f64) -> Option<SimTime> {
         assert!(
             service.is_finite() && service >= 0.0,
@@ -100,6 +101,7 @@ impl<J> FcfsQueue<J> {
     ///
     /// Panics if the server is idle — that indicates the host delivered a
     /// completion event that was never issued.
+    #[inline]
     pub fn complete(&mut self, now: SimTime) -> (J, Option<SimTime>) {
         let done = self
             .in_service
@@ -122,6 +124,7 @@ impl<J> FcfsQueue<J> {
 
     /// Number of jobs in the system (waiting plus in service).
     #[must_use]
+    #[inline]
     pub fn len(&self) -> usize {
         self.waiting.len() + usize::from(self.in_service.is_some())
     }

@@ -88,6 +88,7 @@ impl<J> PsServer<J> {
     }
 
     /// Advances virtual time to `now`.
+    #[inline]
     fn advance(&mut self, now: SimTime) {
         let dt = now - self.last_update;
         assert!(dt >= -1e-9, "PS clock went backwards");
@@ -98,6 +99,7 @@ impl<J> PsServer<J> {
     }
 
     /// Index of the job with the smallest (finish_v, seq).
+    #[inline]
     fn front(&self) -> Option<usize> {
         self.jobs
             .iter()
@@ -107,6 +109,7 @@ impl<J> PsServer<J> {
     }
 
     /// The next departure (time, token), or `None` if the server is empty.
+    #[inline]
     fn next_completion(&self, now: SimTime) -> NextCompletion {
         let i = self.front()?;
         let delta_v = (self.jobs[i].finish_v - self.vtime).max(0.0);
@@ -122,6 +125,7 @@ impl<J> PsServer<J> {
     /// # Panics
     ///
     /// Panics if `work` is negative or not finite.
+    #[inline]
     pub fn arrive(&mut self, now: SimTime, job: J, work: f64) -> NextCompletion {
         assert!(work.is_finite() && work >= 0.0, "invalid work {work}");
         self.advance(now);
@@ -144,6 +148,7 @@ impl<J> PsServer<J> {
     /// Returns `None` if the token is stale (the event must be ignored);
     /// otherwise the finished job plus the server's new next completion,
     /// which the host must schedule.
+    #[inline]
     pub fn complete(&mut self, now: SimTime, token: PsToken) -> Option<(J, NextCompletion)> {
         if token.0 != self.epoch {
             return None;

@@ -170,6 +170,7 @@ impl<M: Model> Engine<M> {
 
     /// Pops and dispatches the next event, returning its timestamp, or
     /// `None` if the event queue is empty.
+    #[inline]
     pub fn step(&mut self) -> Option<SimTime> {
         let (time, event) = self.sched.queue.pop()?;
         debug_assert!(time >= self.sched.now, "event queue returned past event");

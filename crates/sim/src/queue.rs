@@ -1,9 +1,13 @@
 //! A stable priority queue of timestamped events.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
 use crate::SimTime;
+
+/// Children per node of the implicit heap. A 4-ary layout keeps the tree
+/// half as deep as a binary one and touches sibling keys that sit in the
+/// same cache line, which measurably helps the pop-heavy access pattern
+/// of a discrete-event loop (pops always sift from the root; pushes of
+/// near-future events rarely sift far).
+const ARITY: usize = 4;
 
 /// A future-event set: a min-priority queue keyed by [`SimTime`].
 ///
@@ -12,6 +16,11 @@ use crate::SimTime;
 /// makes simulations deterministic even when many events share a timestamp
 /// (common in models with constant service times), which in turn makes
 /// regression tests reproducible.
+///
+/// Entries live inline in one flat `Vec` arranged as an implicit
+/// [`ARITY`]-ary heap: no per-event allocation happens on push, and the
+/// buffer is retained across pops, so a long simulation reaches its
+/// high-water mark once and never touches the allocator again.
 ///
 /// # Example
 ///
@@ -30,7 +39,7 @@ use crate::SimTime;
 /// ```
 #[derive(Debug, Clone)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    entries: Vec<Entry<E>>,
     seq: u64,
 }
 
@@ -41,27 +50,11 @@ struct Entry<E> {
     payload: E,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-
-impl<E> Eq for Entry<E> {}
-
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; reverse so the earliest (time, seq) wins.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+impl<E> Entry<E> {
+    /// The total-order key: earliest time first, then insertion order.
+    #[inline]
+    fn key(&self) -> (SimTime, u64) {
+        (self.time, self.seq)
     }
 }
 
@@ -70,46 +63,96 @@ impl<E> EventQueue<E> {
     #[must_use]
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            entries: Vec::new(),
             seq: 0,
         }
     }
 
     /// Schedules `payload` to fire at `time`.
+    #[inline]
     pub fn push(&mut self, time: SimTime, payload: E) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Entry { time, seq, payload });
+        self.entries.push(Entry { time, seq, payload });
+        self.sift_up(self.entries.len() - 1);
     }
 
     /// Removes and returns the earliest event, or `None` if the queue is
     /// empty. Ties on time are broken by insertion order.
+    #[inline]
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| (e.time, e.payload))
+        if self.entries.is_empty() {
+            return None;
+        }
+        let root = self.entries.swap_remove(0);
+        if !self.entries.is_empty() {
+            self.sift_down(0);
+        }
+        Some((root.time, root.payload))
     }
 
     /// Returns the timestamp of the earliest pending event without removing
     /// it.
+    #[inline]
     #[must_use]
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        self.entries.first().map(|e| e.time)
     }
 
     /// Returns the number of pending events.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.entries.len()
     }
 
     /// Returns `true` if no events are pending.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.entries.is_empty()
     }
 
-    /// Removes all pending events.
+    /// Removes all pending events (the buffer's capacity is retained).
     pub fn clear(&mut self) {
-        self.heap.clear();
+        self.entries.clear();
+    }
+
+    /// Restores the heap property upward from `i` after a push.
+    #[inline]
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / ARITY;
+            if self.entries[i].key() < self.entries[parent].key() {
+                self.entries.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Restores the heap property downward from `i` after a pop.
+    #[inline]
+    fn sift_down(&mut self, mut i: usize) {
+        let len = self.entries.len();
+        loop {
+            let first = ARITY * i + 1;
+            if first >= len {
+                break;
+            }
+            let mut min = first;
+            let last = (first + ARITY).min(len);
+            for child in (first + 1)..last {
+                if self.entries[child].key() < self.entries[min].key() {
+                    min = child;
+                }
+            }
+            if self.entries[min].key() < self.entries[i].key() {
+                self.entries.swap(i, min);
+                i = min;
+            } else {
+                break;
+            }
+        }
     }
 }
 
@@ -177,5 +220,53 @@ mod tests {
         assert_eq!(q.pop().unwrap().1, 0);
         assert_eq!(q.pop().unwrap().1, 5);
         assert_eq!(q.pop().unwrap().1, 10);
+    }
+
+    #[test]
+    fn random_workload_pops_sorted_and_stable() {
+        // Deterministic LCG-driven stress: push/pop interleaving over a
+        // small set of distinct times exercises every sift path, and ties
+        // must preserve push order.
+        let mut q = EventQueue::new();
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
+            state >> 33
+        };
+        let mut pushed = 0u64;
+        for _ in 0..10_000 {
+            if next() % 3 != 0 {
+                let t = SimTime::new((next() % 16) as f64);
+                q.push(t, pushed);
+                pushed += 1;
+            } else {
+                let _ = q.pop();
+            }
+        }
+        let mut drained = Vec::new();
+        while let Some(e) = q.pop() {
+            drained.push(e);
+        }
+        for w in drained.windows(2) {
+            assert!(w[0].0 <= w[1].0, "times out of order");
+            if w[0].0 == w[1].0 {
+                assert!(w[0].1 < w[1].1, "FIFO violated for equal times");
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_is_retained_across_clear() {
+        let mut q = EventQueue::new();
+        for i in 0..512 {
+            q.push(SimTime::new(f64::from(i)), i);
+        }
+        q.clear();
+        assert!(q.is_empty());
+        // Sequence numbers keep increasing, so stability spans clears.
+        q.push(SimTime::new(1.0), 7);
+        assert_eq!(q.pop(), Some((SimTime::new(1.0), 7)));
     }
 }

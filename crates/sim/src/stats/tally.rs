@@ -51,6 +51,7 @@ impl Tally {
     /// # Panics
     ///
     /// Panics if `x` is NaN (a NaN would silently poison every statistic).
+    #[inline]
     pub fn record(&mut self, x: f64) {
         assert!(!x.is_nan(), "cannot record NaN");
         self.count += 1;

@@ -49,6 +49,7 @@ impl TimeWeighted {
     /// # Panics
     ///
     /// Panics if `now` is earlier than the last update.
+    #[inline]
     fn advance(&mut self, now: SimTime) {
         let dt = now - self.last_time;
         assert!(dt >= 0.0, "time went backwards: {now} < {}", self.last_time);
@@ -61,6 +62,7 @@ impl TimeWeighted {
     /// # Panics
     ///
     /// Panics if `now` is earlier than the previous update.
+    #[inline]
     pub fn set(&mut self, now: SimTime, value: f64) {
         self.advance(now);
         self.value = value;
@@ -73,6 +75,7 @@ impl TimeWeighted {
     /// # Panics
     ///
     /// Panics if `now` is earlier than the previous update.
+    #[inline]
     pub fn add(&mut self, now: SimTime, delta: f64) {
         let v = self.value + delta;
         self.set(now, v);

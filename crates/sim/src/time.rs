@@ -58,6 +58,7 @@ impl SimTime {
     /// Panics if `t` is NaN, infinite, or negative; those values would break
     /// the total ordering that the event queue depends on.
     #[must_use]
+    #[inline]
     pub fn new(t: f64) -> Self {
         assert!(t.is_finite(), "SimTime must be finite, got {t}");
         assert!(t >= 0.0, "SimTime must be non-negative, got {t}");
@@ -66,6 +67,7 @@ impl SimTime {
 
     /// Returns the clock value as a plain `f64` number of time units.
     #[must_use]
+    #[inline]
     pub fn as_f64(self) -> f64 {
         self.0 .0
     }
@@ -91,6 +93,7 @@ impl Add<f64> for SimTime {
     /// # Panics
     ///
     /// Panics if the result would be NaN, infinite, or negative.
+    #[inline]
     fn add(self, rhs: f64) -> SimTime {
         SimTime::new(self.as_f64() + rhs)
     }
@@ -106,6 +109,7 @@ impl Sub for SimTime {
     type Output = f64;
 
     /// Returns the (possibly negative) span `self - rhs` in time units.
+    #[inline]
     fn sub(self, rhs: SimTime) -> f64 {
         self.as_f64() - rhs.as_f64()
     }

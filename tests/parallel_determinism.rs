@@ -1,0 +1,128 @@
+//! Serial/parallel equivalence of the experiment executor.
+//!
+//! The contract of `dqa_core::parallel` is that the worker count is a
+//! pure throughput knob: every replication owns its seed, engine, and RNG
+//! substreams, and the order-preserving reduce makes the aggregate
+//! *byte-identical* to a serial loop for any `jobs`. These tests pin that
+//! contract with bitwise `==` on whole reports (every field, including
+//! f64 statistics) rather than tolerance comparisons.
+
+use dqa_core::experiment::{replication_seed, run_replicated_jobs, Replicated, RunConfig};
+use dqa_core::params::{FaultSpec, SystemParams};
+use dqa_core::policy::PolicyKind;
+
+const POLICIES: [PolicyKind; 4] = [
+    PolicyKind::Local,
+    PolicyKind::Bnq,
+    PolicyKind::Bnqrd,
+    PolicyKind::Lert,
+];
+
+/// Worker counts to compare against the serial baseline. 7 is deliberately
+/// coprime to the replication count so chunk boundaries never line up.
+const JOB_COUNTS: [usize; 3] = [2, 4, 7];
+
+const REPLICATIONS: u32 = 8;
+
+fn config(policy: PolicyKind, faults: Option<FaultSpec>) -> RunConfig {
+    let params = SystemParams::builder()
+        .num_sites(3)
+        .mpl(6)
+        .think_time(100.0)
+        .faults(faults)
+        .build()
+        .unwrap();
+    RunConfig::new(params, policy)
+        .seed(909)
+        .windows(400.0, 2_500.0)
+}
+
+fn faulty_spec() -> FaultSpec {
+    FaultSpec {
+        mtbf: 900.0,
+        mttr: 40.0,
+        msg_loss: 0.01,
+        status_loss: 0.0,
+        max_retries: 4,
+        backoff_base: 10.0,
+    }
+}
+
+/// Asserts bitwise equality and gives a usable message on divergence.
+fn assert_identical(serial: &Replicated, parallel: &Replicated, what: &str) {
+    assert_eq!(
+        serial.reports.len(),
+        parallel.reports.len(),
+        "{what}: replication count mismatch"
+    );
+    for (k, (s, p)) in serial.reports.iter().zip(&parallel.reports).enumerate() {
+        assert!(s == p, "{what}: replication {k} diverged: {s:?} vs {p:?}");
+    }
+    assert!(serial == parallel, "{what}: aggregate diverged");
+}
+
+#[test]
+fn parallel_matches_serial_for_all_policies() {
+    for policy in POLICIES {
+        let cfg = config(policy, None);
+        let serial = run_replicated_jobs(&cfg, REPLICATIONS, 1).unwrap();
+        for jobs in JOB_COUNTS {
+            let parallel = run_replicated_jobs(&cfg, REPLICATIONS, jobs).unwrap();
+            assert_identical(&serial, &parallel, &format!("{policy} jobs={jobs}"));
+            // Spot-check the derived aggregates through the public API too.
+            assert_eq!(serial.mean_waiting(), parallel.mean_waiting());
+            assert_eq!(serial.mean_response(), parallel.mean_response());
+            assert_eq!(
+                serial.half_width(|r| r.mean_waiting),
+                parallel.half_width(|r| r.mean_waiting)
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_matches_serial_under_fault_injection() {
+    // Faults add crash/repair/loss substreams and retry bookkeeping; the
+    // parallel reduce must not perturb any of it.
+    for policy in POLICIES {
+        let cfg = config(policy, Some(faulty_spec()));
+        let serial = run_replicated_jobs(&cfg, REPLICATIONS, 1).unwrap();
+        for jobs in JOB_COUNTS {
+            let parallel = run_replicated_jobs(&cfg, REPLICATIONS, jobs).unwrap();
+            assert_identical(&serial, &parallel, &format!("{policy} +faults jobs={jobs}"));
+        }
+    }
+}
+
+#[test]
+fn parallel_matches_serial_when_seeds_wrap() {
+    // Base seed within `REPLICATIONS` of u64::MAX: replication seeds wrap
+    // past zero, and serial and parallel must wrap identically.
+    let cfg = config(PolicyKind::Lert, None).seed(u64::MAX - 2);
+    assert_eq!(replication_seed(u64::MAX - 2, 3), 0, "precondition: wraps");
+    let serial = run_replicated_jobs(&cfg, REPLICATIONS, 1).unwrap();
+    for jobs in JOB_COUNTS {
+        let parallel = run_replicated_jobs(&cfg, REPLICATIONS, jobs).unwrap();
+        assert_identical(&serial, &parallel, &format!("wrapped seeds jobs={jobs}"));
+    }
+}
+
+#[test]
+fn more_jobs_than_replications_is_fine() {
+    let cfg = config(PolicyKind::Bnqrd, None);
+    let serial = run_replicated_jobs(&cfg, 3, 1).unwrap();
+    let oversubscribed = run_replicated_jobs(&cfg, 3, 64).unwrap();
+    assert_identical(&serial, &oversubscribed, "jobs > replications");
+}
+
+#[test]
+fn replications_carry_distinct_seeds() {
+    // Guards against a pool bug that would hand every worker the same
+    // work item: all eight replications must be genuinely different runs.
+    let rep = run_replicated_jobs(&config(PolicyKind::Lert, None), REPLICATIONS, 4).unwrap();
+    let first = &rep.reports[0];
+    assert!(
+        rep.reports[1..].iter().any(|r| r != first),
+        "independent replications should not all be bitwise identical"
+    );
+}
