@@ -4,15 +4,20 @@
 //! absolute difference in the classes' normalized waiting) under the BNQ
 //! choice against the fairest possible choice.
 //!
+//! Like `table05_wif`, ratio rows run through the `dqa_core::parallel`
+//! pool with one lattice-shared `StudyCache` per row, and every cell is
+//! mirrored to `results/table06_fif.json`.
+//!
 //! Paper claims checked at the bottom: significant improvement in all
 //! cases, but no clear relationship with the arrival conditions; the
 //! waiting-optimal and fairness-optimal sites differ in about half the
 //! cases.
 
+use dqa_core::parallel;
 use dqa_core::table::{fmt_f, TextTable};
-use dqa_mva::allocation::{analyze_arrival, paper_cpu_ratios, paper_load_cases, StudyConfig};
+use dqa_mva::allocation::{paper_cpu_ratios, paper_load_cases, StudyCache, StudyConfig};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cases = paper_load_cases();
     let ratios = paper_cpu_ratios();
 
@@ -23,25 +28,46 @@ fn main() {
     }
     let mut table = TextTable::new(headers);
 
+    // (fif, fair_site != opt_site) per cell, one parallel worker per row.
+    let rows: Vec<Vec<(f64, bool)>> =
+        parallel::par_map(parallel::jobs(), ratios.to_vec(), |_, (c1, c2)| {
+            let cache = StudyCache::new(StudyConfig::new(c1, c2));
+            let mut row = Vec::with_capacity(cases.len() * 2);
+            for load in &cases {
+                for class in 0..2 {
+                    let a = cache.analyze_arrival(load, class);
+                    row.push((a.fif(), a.fair_site != a.opt_site));
+                }
+            }
+            row
+        });
+
     let mut all = Vec::new();
     let mut conflicts = 0usize;
     let mut cells = 0usize;
-    for (c1, c2) in ratios {
-        let cfg = StudyConfig::new(c1, c2);
+    let mut json_cells = String::new();
+    for ((c1, c2), row_vals) in ratios.iter().zip(&rows) {
         let mut row = vec![format!("{c1:.2}/{c2:.2}")];
-        for load in &cases {
-            for class in 0..2 {
-                let a = analyze_arrival(&cfg, load, class);
-                row.push(fmt_f(a.fif(), 2));
-                all.push(a.fif());
-                cells += 1;
-                if a.fair_site != a.opt_site {
-                    conflicts += 1;
-                }
+        for (cell, &(fif, conflict)) in row_vals.iter().enumerate() {
+            let (k, class) = (cell / 2, cell % 2);
+            row.push(fmt_f(fif, 2));
+            all.push(fif);
+            cells += 1;
+            if conflict {
+                conflicts += 1;
             }
+            json_cells.push_str(&format!(
+                "    {{\"cpu_io\": {c1}, \"cpu_cpu\": {c2}, \"case\": {}, \"class\": {}, \
+                 \"fif\": {fif:.6}, \"sites_conflict\": {conflict}}},\n",
+                k + 1,
+                class + 1
+            ));
         }
         table.row(row);
     }
+    json_cells.pop();
+    json_cells.pop(); // trailing ",\n"
+    json_cells.push('\n');
 
     println!("Table 6 — Fairness Improvement Factor FIF(L, i)  [exact MVA]\n");
     println!("{table}");
@@ -56,4 +82,14 @@ fn main() {
         "waiting-optimal and fairness-optimal sites differ in {conflicts}/{cells} cases \
          (paper: \"about half\")"
     );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"table06_fif\",\n  \"mean_fif\": {mean:.6},\n  \
+         \"cells_over_5pct\": {positive},\n  \"site_conflicts\": {conflicts},\n  \
+         \"cells_total\": {cells},\n  \"cells\": [\n{json_cells}  ]\n}}\n"
+    );
+    std::fs::create_dir_all("results")?;
+    std::fs::write("results/table06_fif.json", &json)?;
+    println!("wrote results/table06_fif.json");
+    Ok(())
 }

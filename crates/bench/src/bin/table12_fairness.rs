@@ -75,11 +75,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ),
             format!("{} [{}]", fmt_f(f_local, 3), fmt_f(paper.f_local, 3)),
             format!("{} [{}]", fmt_f(f_impr(bnq), 2), fmt_f(paper.f_impr[0], 2)),
-            format!(
-                "{} [{}]",
-                fmt_f(f_impr(lert), 2),
-                fmt_f(paper.f_impr[1], 2)
-            ),
+            format!("{} [{}]", fmt_f(f_impr(lert), 2), fmt_f(paper.f_impr[1], 2)),
         ]);
     }
 

@@ -12,10 +12,11 @@
 //! Exits nonzero if any claim fails.
 
 use dqa_bench::{cell_seed, Effort};
+use dqa_core::parallel;
 use dqa_core::params::SystemParams;
 use dqa_core::policy::PolicyKind;
 use dqa_core::table::TextTable;
-use dqa_mva::allocation::{analyze_arrival, paper_cpu_ratios, paper_load_cases, StudyConfig};
+use dqa_mva::allocation::{paper_cpu_ratios, paper_load_cases, StudyCache, StudyConfig};
 
 struct Claim {
     source: &'static str,
@@ -36,30 +37,38 @@ fn main() -> std::process::ExitCode {
     // Section 3 (analytic)
     // ------------------------------------------------------------------
     {
-        let mut wif_cells = 0;
-        let mut wif_over_10 = 0;
-        let mut wif_over_30 = 0;
-        let mut fif_over_5 = 0;
-        let mut cells = 0;
-        for (c1, c2) in paper_cpu_ratios() {
-            let cfg = StudyConfig::new(c1, c2);
-            for load in paper_load_cases() {
-                for class in 0..2 {
-                    let a = analyze_arrival(&cfg, &load, class);
-                    cells += 1;
-                    wif_cells += 1;
-                    if a.wif() > 0.10 {
-                        wif_over_10 += 1;
-                    }
-                    if a.wif() > 0.30 {
-                        wif_over_30 += 1;
-                    }
-                    if a.fif() > 0.05 {
-                        fif_over_5 += 1;
+        // Ratio rows are independent: run them on the worker pool, one
+        // lattice-shared StudyCache per row (identical values to the
+        // naive per-call path; see the perf_mva bench).
+        let per_ratio = parallel::par_map(
+            parallel::jobs(),
+            paper_cpu_ratios().to_vec(),
+            |_, (c1, c2)| {
+                let cache = StudyCache::new(StudyConfig::new(c1, c2));
+                let (mut cells, mut over_10, mut over_30, mut fif_5) = (0u32, 0u32, 0u32, 0u32);
+                for load in paper_load_cases() {
+                    for class in 0..2 {
+                        let a = cache.analyze_arrival(&load, class);
+                        cells += 1;
+                        if a.wif() > 0.10 {
+                            over_10 += 1;
+                        }
+                        if a.wif() > 0.30 {
+                            over_30 += 1;
+                        }
+                        if a.fif() > 0.05 {
+                            fif_5 += 1;
+                        }
                     }
                 }
-            }
-        }
+                (cells, over_10, over_30, fif_5)
+            },
+        );
+        let cells: u32 = per_ratio.iter().map(|r| r.0).sum();
+        let wif_over_10: u32 = per_ratio.iter().map(|r| r.1).sum();
+        let wif_over_30: u32 = per_ratio.iter().map(|r| r.2).sum();
+        let fif_over_5: u32 = per_ratio.iter().map(|r| r.3).sum();
+        let wif_cells = cells;
         claims.push(Claim {
             source: "Table 5",
             text: "waiting improvement often >10%, sometimes >30%",

@@ -20,6 +20,10 @@
 //! | `ablation_disk_choice` | disk-selection discipline comparison |
 //! | `ext_status_exchange` | §4.4 costed status broadcasts on the ring |
 //! | `ext_fault_tolerance` | policy degradation under site crashes + msg loss |
+//! | `fit_l_matrices` | recovers the scan-garbled Table 5/6 load matrices |
+//! | `perf_mva` | analytic fast path vs naive MVA (bitwise gate + timing) |
+//! | `perf_scaling` | parallel experiment-executor scaling |
+//! | `verify_claims` | one-command PASS/FAIL check of every headline claim |
 //!
 //! Every binary prints the paper's reference values next to the measured
 //! ones. Set `DQA_QUICK=1` to cut replication counts and windows (used by

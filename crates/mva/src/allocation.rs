@@ -16,7 +16,10 @@
 //! * **FIF** — relative reduction in the system's unfairness, the absolute
 //!   difference between the two classes' normalized waiting times (Table 6).
 
-use crate::{solve, Network, StationKind};
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use crate::{solve, Network, SolvedLattice, StationKind};
 
 /// Index of a query class in the two-class study: `0` is the paper's class
 /// 1 (I/O-bound), `1` is class 2 (CPU-bound).
@@ -161,11 +164,180 @@ impl StudyConfig {
     /// of the population.
     #[must_use]
     pub fn waiting_per_cycle(&self, pop: [u32; 2], class: ClassIndex) -> f64 {
+        self.waiting_per_cycle_in(&self.site_network(), pop, class)
+    }
+
+    /// [`StudyConfig::waiting_per_cycle`] against an already-built site
+    /// network, so sweeps evaluating many populations build the network
+    /// once instead of once per call. `network` must be this
+    /// configuration's [`StudyConfig::site_network`] (or an equivalent
+    /// 2-class network).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pop[class] == 0`.
+    #[must_use]
+    pub fn waiting_per_cycle_in(&self, network: &Network, pop: [u32; 2], class: ClassIndex) -> f64 {
         assert!(
             pop[class] > 0,
             "evaluated query must be present in the population"
         );
-        solve(&self.site_network(), &pop).waiting_per_cycle(class)
+        solve(network, &pop).waiting_per_cycle(class)
+    }
+}
+
+/// A memoized analytic engine for one [`StudyConfig`].
+///
+/// The naive study path rebuilds the site [`Network`] and reruns the exact
+/// MVA recursion for every population it touches, even though one
+/// recursion at a dominating population already visits every
+/// sub-population. `StudyCache` builds the network once and keeps a small
+/// set of [`SolvedLattice`]s; a query at population `p` is answered from
+/// any cached lattice whose target dominates `p` (componentwise), solving
+/// a fresh lattice — grown to cover everything seen so far — only on a
+/// miss. Because a lattice view at a sub-population is bit-for-bit the
+/// direct solve there, every cached answer is identical to the uncached
+/// one.
+///
+/// The cache is single-threaded by design (interior mutability via
+/// `RefCell`); parallel sweeps give each worker its own cache, which is
+/// also the natural sharing boundary: a worker's row shares one
+/// configuration.
+///
+/// # Example
+///
+/// ```
+/// use dqa_mva::allocation::{LoadMatrix, StudyCache, StudyConfig};
+///
+/// let cache = StudyCache::new(StudyConfig::new(0.05, 1.0));
+/// let load = LoadMatrix::new([[1, 1, 0, 0], [0, 0, 1, 1]]);
+/// let a = cache.analyze_arrival(&load, 0);
+/// assert!(a.wif() > 0.0);
+/// let _ = cache.analyze_arrival(&load, 1);
+/// // Re-analysis is answered entirely from the cached lattices:
+/// let solves_before = cache.lattice_solves();
+/// let _ = cache.analyze_arrival(&load, 1);
+/// assert_eq!(cache.lattice_solves(), solves_before);
+/// ```
+#[derive(Debug)]
+pub struct StudyCache {
+    cfg: StudyConfig,
+    network: Network,
+    /// Solved lattices, most recently grown last; an entry is never
+    /// mutated, so views handed out stay valid while new targets grow.
+    solved: RefCell<Vec<Rc<SolvedLattice>>>,
+    lattice_solves: Cell<u64>,
+}
+
+impl StudyCache {
+    /// Creates a cache for `cfg`, building the site network once.
+    #[must_use]
+    pub fn new(cfg: StudyConfig) -> Self {
+        StudyCache {
+            network: cfg.site_network(),
+            cfg,
+            solved: RefCell::new(Vec::new()),
+            lattice_solves: Cell::new(0),
+        }
+    }
+
+    /// The configuration this cache answers for.
+    #[must_use]
+    pub fn config(&self) -> &StudyConfig {
+        &self.cfg
+    }
+
+    /// The memoized site network.
+    #[must_use]
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// How many exact lattice recursions this cache has run — the
+    /// denominator of its savings (the naive path runs one per query).
+    #[must_use]
+    pub fn lattice_solves(&self) -> u64 {
+        self.lattice_solves.get()
+    }
+
+    /// A solved lattice covering `pop`. On a miss, solves a lattice at the
+    /// componentwise maximum of `pop` and every previously covered target,
+    /// so repeated sweeps converge on a single shared lattice.
+    #[must_use]
+    pub fn solved(&self, pop: [u32; 2]) -> Rc<SolvedLattice> {
+        let mut solved = self.solved.borrow_mut();
+        // Most recently grown lattices dominate older ones: scan from the
+        // end so the common case is one comparison.
+        if let Some(hit) = solved.iter().rev().find(|lat| lat.covers(&pop)) {
+            return Rc::clone(hit);
+        }
+        let mut target = pop;
+        if let Some(last) = solved.last() {
+            target[0] = target[0].max(last.target()[0]);
+            target[1] = target[1].max(last.target()[1]);
+        }
+        let lat = Rc::new(SolvedLattice::new(&self.network, &target));
+        self.lattice_solves.set(self.lattice_solves.get() + 1);
+        solved.push(Rc::clone(&lat));
+        lat
+    }
+
+    /// Cached [`StudyConfig::waiting_per_cycle`]: identical value, shared
+    /// recursion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pop[class] == 0`.
+    #[must_use]
+    pub fn waiting_per_cycle(&self, pop: [u32; 2], class: ClassIndex) -> f64 {
+        assert!(
+            pop[class] > 0,
+            "evaluated query must be present in the population"
+        );
+        self.solved(pop).waiting_per_cycle(&pop, class)
+    }
+
+    /// Cached [`system_unfairness`]: identical value, shared recursion.
+    #[must_use]
+    pub fn system_unfairness(&self, load: &LoadMatrix) -> f64 {
+        let mut weighted = [0.0f64; 2];
+        let totals = [load.class_total(0), load.class_total(1)];
+        if totals[0] == 0 || totals[1] == 0 {
+            return 0.0;
+        }
+        for j in 0..LoadMatrix::SITES {
+            let pop = load.site_population(j);
+            if pop[0] == 0 && pop[1] == 0 {
+                continue;
+            }
+            let sol = self.solved(pop);
+            for c in 0..2 {
+                if pop[c] > 0 {
+                    weighted[c] += f64::from(pop[c]) * sol.normalized_waiting(&pop, c);
+                }
+            }
+        }
+        let norm = [
+            weighted[0] / f64::from(totals[0]),
+            weighted[1] / f64::from(totals[1]),
+        ];
+        (norm[0] - norm[1]).abs()
+    }
+
+    /// Cached [`analyze_arrival`]: identical values, shared recursion.
+    #[must_use]
+    pub fn analyze_arrival(&self, load: &LoadMatrix, class: ClassIndex) -> ArrivalAnalysis {
+        let candidates = load.bnq_candidates();
+
+        let mut waiting = [0.0f64; LoadMatrix::SITES];
+        let mut fairness = [0.0f64; LoadMatrix::SITES];
+        for j in 0..LoadMatrix::SITES {
+            let after = load.with_arrival(class, j);
+            waiting[j] = self.waiting_per_cycle(after.site_population(j), class);
+            fairness[j] = self.system_unfairness(&after);
+        }
+
+        finish_arrival_analysis(candidates, &waiting, &fairness)
     }
 }
 
@@ -333,45 +505,16 @@ impl ArrivalAnalysis {
 /// waiting is undefined with no queries to observe it).
 #[must_use]
 pub fn system_unfairness(cfg: &StudyConfig, load: &LoadMatrix) -> f64 {
-    let mut weighted = [0.0f64; 2];
-    let totals = [load.class_total(0), load.class_total(1)];
-    if totals[0] == 0 || totals[1] == 0 {
-        return 0.0;
-    }
-    for j in 0..LoadMatrix::SITES {
-        let pop = load.site_population(j);
-        if pop[0] == 0 && pop[1] == 0 {
-            continue;
-        }
-        let sol = solve(&cfg.site_network(), &pop);
-        for c in 0..2 {
-            if pop[c] > 0 {
-                weighted[c] += f64::from(pop[c]) * sol.normalized_waiting(c);
-            }
-        }
-    }
-    let norm = [
-        weighted[0] / f64::from(totals[0]),
-        weighted[1] / f64::from(totals[1]),
-    ];
-    (norm[0] - norm[1]).abs()
+    StudyCache::new(*cfg).system_unfairness(load)
 }
 
-/// Analyzes the arrival `A(L, class)`: evaluates every candidate site,
-/// identifies the BNQ choice and both optima, and returns the raw numbers
-/// from which [`ArrivalAnalysis::wif`] and [`ArrivalAnalysis::fif`] follow.
-#[must_use]
-pub fn analyze_arrival(cfg: &StudyConfig, load: &LoadMatrix, class: ClassIndex) -> ArrivalAnalysis {
-    let candidates = load.bnq_candidates();
-
-    let mut waiting = [0.0f64; LoadMatrix::SITES];
-    let mut fairness = [0.0f64; LoadMatrix::SITES];
-    for j in 0..LoadMatrix::SITES {
-        let after = load.with_arrival(class, j);
-        waiting[j] = cfg.waiting_per_cycle(after.site_population(j), class);
-        fairness[j] = system_unfairness(cfg, &after);
-    }
-
+/// Assembles an [`ArrivalAnalysis`] from the per-site exact values — the
+/// shared tail of [`analyze_arrival`] and [`StudyCache::analyze_arrival`].
+fn finish_arrival_analysis(
+    candidates: Vec<usize>,
+    waiting: &[f64; LoadMatrix::SITES],
+    fairness: &[f64; LoadMatrix::SITES],
+) -> ArrivalAnalysis {
     let opt_site = (0..LoadMatrix::SITES)
         .min_by(|&a, &b| waiting[a].total_cmp(&waiting[b]))
         .expect("four sites");
@@ -384,14 +527,29 @@ pub fn analyze_arrival(cfg: &StudyConfig, load: &LoadMatrix, class: ClassIndex) 
     };
 
     ArrivalAnalysis {
-        waiting_bnq: over_candidates(&waiting),
+        waiting_bnq: over_candidates(waiting),
         waiting_opt: waiting[opt_site],
         opt_site,
-        fairness_bnq: over_candidates(&fairness),
+        fairness_bnq: over_candidates(fairness),
         fairness_opt: fairness[fair_site],
         fair_site,
         bnq_candidates: candidates,
     }
+}
+
+/// Analyzes the arrival `A(L, class)`: evaluates every candidate site,
+/// identifies the BNQ choice and both optima, and returns the raw numbers
+/// from which [`ArrivalAnalysis::wif`] and [`ArrivalAnalysis::fif`] follow.
+///
+/// Delegates to a transient [`StudyCache`], so even a single call builds
+/// the site network once and shares one exact recursion across the up to
+/// twenty populations the analysis touches. Sweeps evaluating many load
+/// cases under one configuration should hold a [`StudyCache`] of their own
+/// and call [`StudyCache::analyze_arrival`] to share across calls too; the
+/// values are identical either way.
+#[must_use]
+pub fn analyze_arrival(cfg: &StudyConfig, load: &LoadMatrix, class: ClassIndex) -> ArrivalAnalysis {
+    StudyCache::new(*cfg).analyze_arrival(load, class)
 }
 
 /// The six load-distribution matrices of Tables 5 and 6, in column order.
@@ -602,6 +760,103 @@ mod tests {
                 pooled <= split + 1e-9,
                 "pop {pop:?} class {class}: pooled {pooled} > split {split}"
             );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // StudyCache
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn cache_matches_uncached_study_bitwise() {
+        // The cached engine must agree bit-for-bit with fresh per-call
+        // evaluation, for every paper configuration and both disk models.
+        for model in [DiskModel::SplitPerDisk, DiskModel::MultiServer] {
+            for (c1, c2) in paper_cpu_ratios() {
+                let cfg = StudyConfig::new(c1, c2).with_disk_model(model);
+                let cache = StudyCache::new(cfg);
+                for load in paper_load_cases() {
+                    assert_eq!(
+                        cache.system_unfairness(&load).to_bits(),
+                        system_unfairness(&cfg, &load).to_bits()
+                    );
+                    for class in 0..2 {
+                        let cached = cache.analyze_arrival(&load, class);
+                        let fresh = analyze_arrival(&cfg, &load, class);
+                        assert_eq!(cached.waiting_bnq.to_bits(), fresh.waiting_bnq.to_bits());
+                        assert_eq!(cached.waiting_opt.to_bits(), fresh.waiting_opt.to_bits());
+                        assert_eq!(cached.fairness_bnq.to_bits(), fresh.fairness_bnq.to_bits());
+                        assert_eq!(cached.fairness_opt.to_bits(), fresh.fairness_opt.to_bits());
+                        assert_eq!(cached.opt_site, fresh.opt_site);
+                        assert_eq!(cached.fair_site, fresh.fair_site);
+                        assert_eq!(cached.bnq_candidates, fresh.bnq_candidates);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cache_waiting_matches_config_waiting_bitwise() {
+        let cfg = StudyConfig::new(0.10, 2.0);
+        let cache = StudyCache::new(cfg);
+        for pop in [[1, 0], [3, 0], [2, 2], [1, 4], [0, 3]] {
+            for class in 0..2 {
+                if pop[class] == 0 {
+                    continue;
+                }
+                assert_eq!(
+                    cache.waiting_per_cycle(pop, class).to_bits(),
+                    cfg.waiting_per_cycle(pop, class).to_bits(),
+                    "pop {pop:?} class {class}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cache_shares_lattices_across_queries() {
+        let cache = StudyCache::new(StudyConfig::new(0.05, 1.0));
+        let _ = cache.waiting_per_cycle([3, 2], 0);
+        let after_first = cache.lattice_solves();
+        assert_eq!(after_first, 1);
+        // Every dominated population is served from the same recursion.
+        let _ = cache.waiting_per_cycle([1, 1], 1);
+        let _ = cache.waiting_per_cycle([3, 0], 0);
+        let _ = cache.waiting_per_cycle([0, 2], 1);
+        assert_eq!(cache.lattice_solves(), after_first);
+        // A miss grows one lattice to the componentwise max of everything
+        // seen — so [4, 1] solves at [4, 2], and [4, 2] is then a hit.
+        let _ = cache.waiting_per_cycle([4, 1], 0);
+        assert_eq!(cache.lattice_solves(), 2);
+        let _ = cache.waiting_per_cycle([4, 2], 0);
+        assert_eq!(cache.lattice_solves(), 2);
+        let _ = cache.waiting_per_cycle([3, 2], 0);
+        assert_eq!(cache.lattice_solves(), 2);
+    }
+
+    #[test]
+    fn cache_builds_network_once() {
+        let cfg = StudyConfig::new(0.05, 1.0);
+        let cache = StudyCache::new(cfg);
+        assert_eq!(cache.network().num_stations(), 3);
+        assert_eq!(cache.config(), &cfg);
+    }
+
+    #[test]
+    fn waiting_per_cycle_in_matches_owned_network() {
+        let cfg = StudyConfig::new(0.10, 1.0);
+        let net = cfg.site_network();
+        for pop in [[1, 0], [2, 1], [1, 3]] {
+            for class in 0..2 {
+                if pop[class] == 0 {
+                    continue;
+                }
+                assert_eq!(
+                    cfg.waiting_per_cycle_in(&net, pop, class).to_bits(),
+                    cfg.waiting_per_cycle(pop, class).to_bits()
+                );
+            }
         }
     }
 

@@ -44,9 +44,10 @@ mod approx;
 pub mod bounds;
 mod network;
 mod population;
+pub mod search;
 mod solver;
 
 pub use approx::approx_solve;
 pub use network::{Network, NetworkBuilder, NetworkError, StationKind};
 pub use population::PopulationLattice;
-pub use solver::{solve, Solution};
+pub use solver::{solve, Solution, SolvedLattice};

@@ -71,6 +71,15 @@ impl PopulationLattice {
         self.len == 0
     }
 
+    /// Mixed-radix place value of class `c`: the index distance between a
+    /// vector and the same vector with one class-`c` customer removed. The
+    /// MVA recursion uses it to locate reduced populations without
+    /// materializing the reduced vector.
+    #[must_use]
+    pub fn stride(&self, class: usize) -> usize {
+        self.stride[class]
+    }
+
     /// Dense index of population vector `n`.
     ///
     /// # Panics

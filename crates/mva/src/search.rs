@@ -1,0 +1,184 @@
+//! Bounds-pruned optimal-allocation search.
+//!
+//! The allocation decision a running scheduler faces — "which site
+//! minimizes the arriving query's expected waiting?" — does not need the
+//! exhaustive per-site exact evaluation that the Table-5/6 *study* does:
+//! most candidate sites can be discarded from their certified
+//! [`bounds::waiting_bounds`] lower bound alone, and the cheap
+//! Schweitzer [`approx_solve`] screening pass orders the survivors so the
+//! likely winner is confirmed first (tightening the pruning threshold as
+//! early as possible). Only candidates whose lower bound stays below the
+//! best *exact* value seen are confirmed with exact MVA, via the shared
+//! [`StudyCache`] recursion.
+//!
+//! The outcome — site **and** waiting value — is guaranteed identical to
+//! the unpruned search (`analyze_arrival`'s `opt_site`/`waiting_opt`):
+//! a pruned site has exact waiting at least its lower bound, which
+//! strictly exceeds the best exact value at pruning time, and that best
+//! value only decreases afterwards. Ties are impossible for pruned sites
+//! (the exclusion test is strict), so the naive tie-break — lowest site
+//! index — is preserved.
+
+use crate::allocation::{ClassIndex, LoadMatrix, StudyCache};
+use crate::bounds::waiting_bounds;
+use crate::{approx_solve, StationKind};
+
+/// Result of a pruned [`optimal_waiting_site`] search, with its work
+/// accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchOutcome {
+    /// The site minimizing the arriving query's expected waiting per
+    /// cycle (lowest index on exact ties) — identical to the unpruned
+    /// `analyze_arrival(..).opt_site`.
+    pub site: usize,
+    /// The exact waiting per cycle at [`SearchOutcome::site`] — identical
+    /// to the unpruned `waiting_opt`.
+    pub waiting: f64,
+    /// Candidate sites confirmed with exact MVA.
+    pub exact_evaluated: usize,
+    /// Candidate sites discarded from their lower bound alone.
+    pub pruned: usize,
+}
+
+/// Finds the waiting-optimal site for a class-`class` arrival under load
+/// `load`, pruning candidates with [`waiting_bounds`] and screening with
+/// [`approx_solve`], confirming survivors through the `cache`'s shared
+/// exact recursion.
+///
+/// # Panics
+///
+/// Panics if `class` is not 0 or 1.
+#[must_use]
+pub fn optimal_waiting_site(
+    cache: &StudyCache,
+    load: &LoadMatrix,
+    class: ClassIndex,
+) -> SearchOutcome {
+    let network = cache.network();
+
+    // Candidate populations and their certified lower bounds.
+    let mut pops = [[0u32; 2]; LoadMatrix::SITES];
+    let mut lower = [0.0f64; LoadMatrix::SITES];
+    let mut estimate = [0.0f64; LoadMatrix::SITES];
+    let screen_with_approx = (0..network.num_stations())
+        .all(|k| !matches!(network.kind(k), StationKind::MultiServer { .. }));
+    for j in 0..LoadMatrix::SITES {
+        let pop = load.with_arrival(class, j).site_population(j);
+        pops[j] = pop;
+        let (lo, hi) = waiting_bounds(network, &pop, class);
+        lower[j] = lo;
+        // Screening order only — correctness never depends on it. The
+        // Schweitzer fixed point is a far sharper guess than the bound
+        // midpoint, but it has no multiserver form.
+        estimate[j] = if screen_with_approx {
+            approx_solve(network, &pop).waiting_per_cycle(class)
+        } else {
+            (lo + hi) / 2.0
+        };
+    }
+
+    let mut order: [usize; LoadMatrix::SITES] = [0, 1, 2, 3];
+    order.sort_by(|&a, &b| estimate[a].total_cmp(&estimate[b]).then(a.cmp(&b)));
+
+    let mut best: Option<(f64, usize)> = None;
+    let mut exact_evaluated = 0;
+    let mut pruned = 0;
+    for &j in &order {
+        if let Some((w_best, _)) = best {
+            if lower[j] > w_best {
+                pruned += 1;
+                continue;
+            }
+        }
+        let w = cache.waiting_per_cycle(pops[j], class);
+        exact_evaluated += 1;
+        best = match best {
+            None => Some((w, j)),
+            Some((w_best, j_best)) => match w.total_cmp(&w_best) {
+                std::cmp::Ordering::Less => Some((w, j)),
+                std::cmp::Ordering::Equal if j < j_best => Some((w, j)),
+                _ => Some((w_best, j_best)),
+            },
+        };
+    }
+
+    let (waiting, site) = best.expect("at least one site is always evaluated");
+    SearchOutcome {
+        site,
+        waiting,
+        exact_evaluated,
+        pruned,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocation::{
+        analyze_arrival, paper_cpu_ratios, paper_load_cases, DiskModel, StudyConfig,
+    };
+
+    #[test]
+    fn pruned_search_matches_exhaustive_on_paper_sweep() {
+        for (c1, c2) in paper_cpu_ratios() {
+            let cfg = StudyConfig::new(c1, c2);
+            let cache = StudyCache::new(cfg);
+            for load in paper_load_cases() {
+                for class in 0..2 {
+                    let full = analyze_arrival(&cfg, &load, class);
+                    let pruned = optimal_waiting_site(&cache, &load, class);
+                    assert_eq!(pruned.site, full.opt_site, "{c1}/{c2} {load:?} {class}");
+                    assert_eq!(
+                        pruned.waiting.to_bits(),
+                        full.waiting_opt.to_bits(),
+                        "{c1}/{c2} {load:?} {class}"
+                    );
+                    assert_eq!(pruned.exact_evaluated + pruned.pruned, LoadMatrix::SITES);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_search_matches_exhaustive_under_multiserver_model() {
+        // No Schweitzer screening here (multiserver stations): the search
+        // falls back to bound midpoints and must still agree exactly.
+        for (c1, c2) in paper_cpu_ratios() {
+            let cfg = StudyConfig::new(c1, c2).with_disk_model(DiskModel::MultiServer);
+            let cache = StudyCache::new(cfg);
+            for load in paper_load_cases() {
+                for class in 0..2 {
+                    let full = analyze_arrival(&cfg, &load, class);
+                    let got = optimal_waiting_site(&cache, &load, class);
+                    assert_eq!(got.site, full.opt_site);
+                    assert_eq!(got.waiting.to_bits(), full.waiting_opt.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn search_prunes_lopsided_loads() {
+        // One site is empty, one holds five same-class queries: the busy
+        // site's lower bound exceeds the empty site's exact zero waiting.
+        let cache = StudyCache::new(StudyConfig::new(0.05, 1.0));
+        let load = LoadMatrix::new([[5, 2, 1, 0], [0, 0, 0, 0]]);
+        let out = optimal_waiting_site(&cache, &load, 0);
+        assert_eq!(out.site, 3, "arrival should join the empty site");
+        assert_eq!(out.waiting, 0.0);
+        assert!(out.pruned >= 1, "busy sites should be pruned: {out:?}");
+    }
+
+    #[test]
+    fn search_accounts_for_every_site() {
+        let cache = StudyCache::new(StudyConfig::new(0.10, 2.0));
+        for load in paper_load_cases() {
+            for class in 0..2 {
+                let out = optimal_waiting_site(&cache, &load, class);
+                assert_eq!(out.exact_evaluated + out.pruned, LoadMatrix::SITES);
+                assert!(out.exact_evaluated >= 1);
+                assert!(out.site < LoadMatrix::SITES);
+            }
+        }
+    }
+}

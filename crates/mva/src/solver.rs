@@ -1,4 +1,13 @@
-//! The exact multi-class MVA recursion.
+//! The exact multi-class MVA recursion, and its lattice-shared form.
+//!
+//! Exact MVA at a target population necessarily visits *every* population
+//! vector below the target. [`SolvedLattice`] runs that recursion once and
+//! keeps the per-vector results, so a single solve answers queries at the
+//! target **and** at every sub-population — bit-for-bit what a fresh
+//! [`solve`] at that sub-population would return, because the recursion
+//! value at a vector depends only on the values at smaller vectors.
+//! [`solve`] itself is a thin wrapper that solves the lattice and extracts
+//! the target view, so single-shot callers are unaffected.
 
 use crate::{Network, PopulationLattice, StationKind};
 
@@ -160,157 +169,285 @@ impl Solution {
 /// ```
 #[must_use]
 pub fn solve(network: &Network, population: &[u32]) -> Solution {
-    let classes = network.num_classes();
-    let stations = network.num_stations();
-    assert_eq!(
-        population.len(),
-        classes,
-        "population vector has wrong arity"
-    );
+    SolvedLattice::new(network, population).solution(population)
+}
 
-    let lattice = PopulationLattice::new(population);
-    let total_target: u32 = population.iter().sum();
-    // Total queue length per station for every visited population vector.
-    let mut queues = vec![0.0f64; lattice.len() * stations];
+/// The exact MVA recursion solved once over the **whole** lattice of
+/// population vectors `0 <= n <= target`, with every intermediate result
+/// retained.
+///
+/// A [`Solution`] extracted at any sub-population is bit-for-bit identical
+/// to running [`solve`] directly at that sub-population: the recursion
+/// value at a vector depends only on values at componentwise-smaller
+/// vectors, which both computations perform with the same arithmetic in
+/// the same order. The allocation study exploits this to answer hundreds
+/// of "what if the site held population p?" questions from a single
+/// recursion (see `allocation::StudyCache`).
+///
+/// The recursion itself allocates its buffers once up front and walks the
+/// lattice with an in-place mixed-radix counter — no per-population-vector
+/// allocation. Reduced populations are located by index arithmetic
+/// (`idx - stride(c)`), never by materializing the reduced vector.
+///
+/// Memory is `O(K * C * prod_c (N_c + 1))` — the study's lattices have at
+/// most a few dozen vectors over 3–4 stations.
+#[derive(Debug, Clone)]
+pub struct SolvedLattice {
+    lattice: PopulationLattice,
+    classes: usize,
+    stations: usize,
+    /// `residence[idx * stations * classes + k * classes + c]`
+    residence: Vec<f64>,
+    /// `throughput[idx * classes + c]`
+    throughput: Vec<f64>,
+    /// `queue[idx * stations * classes + k * classes + c]`
+    queue: Vec<f64>,
+    demands_total: Vec<f64>,
+}
 
-    // Marginal queue-length distributions for multiserver stations:
-    // probs[i][idx * (total_target + 1) + j] = P(j customers at the i-th
-    // multiserver station | population vector idx).
-    let ms_stations: Vec<(usize, u32)> = (0..stations)
-        .filter_map(|k| match network.kind(k) {
-            StationKind::MultiServer { servers } => Some((k, servers)),
-            _ => None,
-        })
-        .collect();
-    let ms_index: Vec<Option<usize>> = {
-        let mut map = vec![None; stations];
-        for (i, &(k, _)) in ms_stations.iter().enumerate() {
-            map[k] = Some(i);
-        }
-        map
-    };
-    let stride = total_target as usize + 1;
-    let mut probs = vec![vec![0.0f64; lattice.len() * stride]; ms_stations.len()];
+impl SolvedLattice {
+    /// Runs the exact multi-class MVA recursion of Reiser & Lavenberg over
+    /// the full lattice below `target` and retains the solution at every
+    /// vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target.len() != network.num_classes()`.
+    #[must_use]
+    pub fn new(network: &Network, target: &[u32]) -> Self {
+        let classes = network.num_classes();
+        let stations = network.num_stations();
+        assert_eq!(target.len(), classes, "population vector has wrong arity");
 
-    let mut residence = vec![0.0f64; stations * classes];
-    let mut throughput = vec![0.0f64; classes];
-    let mut queue_by_class = vec![0.0f64; stations * classes];
+        let lattice = PopulationLattice::new(target);
+        let len = lattice.len();
+        let sc = stations * classes;
+        // Total queue length per station for every visited population vector.
+        let mut queues = vec![0.0f64; len * stations];
 
-    // Residence time of a class-c arrival at station k, seeing the
-    // network at the reduced population vector `ridx` (with `rtotal`
-    // customers).
-    let arrival_residence =
-        |k: usize, c: usize, ridx: usize, rtotal: u32, queues: &[f64], probs: &[Vec<f64>]| {
-            let d = network.demand(k, c);
-            match network.kind(k) {
-                StationKind::Queueing => d * (1.0 + queues[ridx * stations + k]),
-                StationKind::Delay => d,
-                StationKind::MultiServer { servers } => {
-                    // R = D * Σ_j (j+1)/min(j+1, m) * P(j | reduced): the
-                    // arrival joins j residents and they share min(j+1, m)
-                    // servers (exact load-dependent MVA).
-                    let p = &probs[ms_index[k].expect("multiserver indexed")];
-                    let mut r = 0.0;
-                    for j in 0..=rtotal {
-                        let a = (j + 1).min(servers);
-                        r += f64::from(j + 1) / f64::from(a) * p[ridx * stride + j as usize];
-                    }
-                    d * r
-                }
+        // Marginal queue-length distributions for multiserver stations:
+        // probs[i][idx * (total_target + 1) + j] = P(j customers at the i-th
+        // multiserver station | population vector idx).
+        let total_target: u32 = target.iter().sum();
+        let ms_stations: Vec<(usize, u32)> = (0..stations)
+            .filter_map(|k| match network.kind(k) {
+                StationKind::MultiServer { servers } => Some((k, servers)),
+                _ => None,
+            })
+            .collect();
+        let ms_index: Vec<Option<usize>> = {
+            let mut map = vec![None; stations];
+            for (i, &(k, _)) in ms_stations.iter().enumerate() {
+                map[k] = Some(i);
             }
+            map
         };
+        let stride = total_target as usize + 1;
+        let mut probs = vec![vec![0.0f64; len * stride]; ms_stations.len()];
 
-    for n in lattice.iter() {
-        let idx = lattice.index(&n);
-        let total_n: u32 = n.iter().sum();
-        residence.iter_mut().for_each(|r| *r = 0.0);
-        throughput.iter_mut().for_each(|x| *x = 0.0);
-        queue_by_class.iter_mut().for_each(|q| *q = 0.0);
+        let mut residence = vec![0.0f64; len * sc];
+        let mut throughput = vec![0.0f64; len * classes];
+        let mut queue = vec![0.0f64; len * sc];
 
-        // Residence times via the arrival theorem: a class-c arrival sees
-        // the network at population n - e_c.
-        for c in 0..classes {
-            if n[c] == 0 {
-                continue;
-            }
-            let mut reduced = n.clone();
-            reduced[c] -= 1;
-            let ridx = lattice.index(&reduced);
-            for k in 0..stations {
-                residence[k * classes + c] =
-                    arrival_residence(k, c, ridx, total_n - 1, &queues, &probs);
-            }
-        }
-
-        // Throughputs and per-class queue lengths (Little's law).
-        for c in 0..classes {
-            if n[c] == 0 {
-                continue;
-            }
-            let cycle: f64 = (0..stations).map(|k| residence[k * classes + c]).sum();
-            // cycle can be zero only if every demand is zero; avoid 0/0.
-            throughput[c] = if cycle > 0.0 {
-                n[c] as f64 / cycle
-            } else {
-                0.0
-            };
-            for k in 0..stations {
-                queue_by_class[k * classes + c] = throughput[c] * residence[k * classes + c];
-            }
-        }
-
-        // Total queue lengths for this vector feed later recursion steps.
-        for k in 0..stations {
-            queues[idx * stations + k] =
-                (0..classes).map(|c| queue_by_class[k * classes + c]).sum();
-        }
-
-        // Marginal distributions for multiserver stations at this vector:
-        // P(j|n) = (1/min(j,m)) Σ_c X_c D_kc P(j-1 | n - e_c), with P(0|n)
-        // by normalization.
-        for (i, &(k, servers)) in ms_stations.iter().enumerate() {
-            let mut psum = 0.0;
-            for j in 1..=total_n {
-                let mut v = 0.0;
-                for c in 0..classes {
-                    if n[c] == 0 {
-                        continue;
+        // Residence time of a class-c arrival at station k, seeing the
+        // network at the reduced population vector `ridx` (with `rtotal`
+        // customers).
+        let arrival_residence =
+            |k: usize, c: usize, ridx: usize, rtotal: u32, queues: &[f64], probs: &[Vec<f64>]| {
+                let d = network.demand(k, c);
+                match network.kind(k) {
+                    StationKind::Queueing => d * (1.0 + queues[ridx * stations + k]),
+                    StationKind::Delay => d,
+                    StationKind::MultiServer { servers } => {
+                        // R = D * Σ_j (j+1)/min(j+1, m) * P(j | reduced): the
+                        // arrival joins j residents and they share min(j+1, m)
+                        // servers (exact load-dependent MVA).
+                        let p = &probs[ms_index[k].expect("multiserver indexed")];
+                        let mut r = 0.0;
+                        for j in 0..=rtotal {
+                            let a = (j + 1).min(servers);
+                            r += f64::from(j + 1) / f64::from(a) * p[ridx * stride + j as usize];
+                        }
+                        d * r
                     }
-                    let mut reduced = n.clone();
-                    reduced[c] -= 1;
-                    let ridx = lattice.index(&reduced);
-                    v += throughput[c]
-                        * network.demand(k, c)
-                        * probs[i][ridx * stride + (j - 1) as usize];
                 }
-                let p = v / f64::from(j.min(servers));
-                probs[i][idx * stride + j as usize] = p;
-                psum += p;
-            }
-            probs[i][idx * stride] = (1.0 - psum).max(0.0);
-        }
-    }
+            };
 
-    // Residence times reported for zero-population classes: what an arrival
-    // would see at the *target* population minus itself — i.e. computed
-    // against the full-population state.
-    let full_idx = lattice.index(population);
-    for c in 0..classes {
-        if population[c] == 0 {
+        // Walk the lattice in index order with an in-place mixed-radix
+        // counter; `idx` tracks `n` exactly (the dense index *is* the
+        // iteration order).
+        let mut n = vec![0u32; classes];
+        let mut total_n = 0u32;
+        for idx in 0..len {
+            let base_sc = idx * sc;
+            let base_c = idx * classes;
+
+            // Residence times via the arrival theorem: a class-c arrival
+            // sees the network at population n - e_c.
+            for c in 0..classes {
+                if n[c] == 0 {
+                    continue;
+                }
+                let ridx = idx - lattice.stride(c);
+                for k in 0..stations {
+                    residence[base_sc + k * classes + c] =
+                        arrival_residence(k, c, ridx, total_n - 1, &queues, &probs);
+                }
+            }
+
+            // Throughputs and per-class queue lengths (Little's law).
+            for c in 0..classes {
+                if n[c] == 0 {
+                    continue;
+                }
+                let cycle: f64 = (0..stations)
+                    .map(|k| residence[base_sc + k * classes + c])
+                    .sum();
+                // cycle can be zero only if every demand is zero; avoid 0/0.
+                throughput[base_c + c] = if cycle > 0.0 {
+                    f64::from(n[c]) / cycle
+                } else {
+                    0.0
+                };
+                for k in 0..stations {
+                    queue[base_sc + k * classes + c] =
+                        throughput[base_c + c] * residence[base_sc + k * classes + c];
+                }
+            }
+
+            // Total queue lengths for this vector feed later recursion steps.
             for k in 0..stations {
-                residence[k * classes + c] =
-                    arrival_residence(k, c, full_idx, total_target, &queues, &probs);
+                queues[idx * stations + k] =
+                    (0..classes).map(|c| queue[base_sc + k * classes + c]).sum();
             }
+
+            // Marginal distributions for multiserver stations at this vector:
+            // P(j|n) = (1/min(j,m)) Σ_c X_c D_kc P(j-1 | n - e_c), with P(0|n)
+            // by normalization.
+            for (i, &(k, servers)) in ms_stations.iter().enumerate() {
+                let mut psum = 0.0;
+                for j in 1..=total_n {
+                    let mut v = 0.0;
+                    for c in 0..classes {
+                        if n[c] == 0 {
+                            continue;
+                        }
+                        let ridx = idx - lattice.stride(c);
+                        v += throughput[base_c + c]
+                            * network.demand(k, c)
+                            * probs[i][ridx * stride + (j - 1) as usize];
+                    }
+                    let p = v / f64::from(j.min(servers));
+                    probs[i][idx * stride + j as usize] = p;
+                    psum += p;
+                }
+                probs[i][idx * stride] = (1.0 - psum).max(0.0);
+            }
+
+            // Residence times for classes absent from this vector: what an
+            // arrival would see at this population — i.e. computed against
+            // the current vector's own state (matching what [`solve`] at
+            // this population reports for its zero classes).
+            for c in 0..classes {
+                if n[c] == 0 {
+                    for k in 0..stations {
+                        residence[base_sc + k * classes + c] =
+                            arrival_residence(k, c, idx, total_n, &queues, &probs);
+                    }
+                }
+            }
+
+            // Mixed-radix increment (least-significant class last).
+            let mut c = classes;
+            while c > 0 {
+                c -= 1;
+                if n[c] < target[c] {
+                    n[c] += 1;
+                    total_n += 1;
+                    break;
+                }
+                total_n -= n[c];
+                n[c] = 0;
+            }
+        }
+
+        SolvedLattice {
+            lattice,
+            classes,
+            stations,
+            residence,
+            throughput,
+            queue,
+            demands_total: (0..classes).map(|c| network.total_demand(c)).collect(),
         }
     }
 
-    Solution {
-        classes,
-        stations,
-        residence,
-        throughput,
-        queue: queue_by_class,
-        demands_total: (0..classes).map(|c| network.total_demand(c)).collect(),
+    /// The target population vector this lattice was solved at.
+    #[must_use]
+    pub fn target(&self) -> &[u32] {
+        self.lattice.target()
+    }
+
+    /// Whether `population` lies inside this lattice (componentwise at most
+    /// the target, same arity).
+    #[must_use]
+    pub fn covers(&self, population: &[u32]) -> bool {
+        population.len() == self.classes
+            && population
+                .iter()
+                .zip(self.lattice.target())
+                .all(|(&p, &t)| p <= t)
+    }
+
+    /// The exact [`Solution`] at any covered population vector —
+    /// bit-for-bit what [`solve`] at that population returns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `population` is not covered by the lattice.
+    #[must_use]
+    pub fn solution(&self, population: &[u32]) -> Solution {
+        let idx = self.lattice.index(population);
+        let sc = self.stations * self.classes;
+        Solution {
+            classes: self.classes,
+            stations: self.stations,
+            residence: self.residence[idx * sc..(idx + 1) * sc].to_vec(),
+            throughput: self.throughput[idx * self.classes..(idx + 1) * self.classes].to_vec(),
+            queue: self.queue[idx * sc..(idx + 1) * sc].to_vec(),
+            demands_total: self.demands_total.clone(),
+        }
+    }
+
+    /// [`Solution::waiting_per_cycle`] at a covered population, without
+    /// materializing the `Solution`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `population` is not covered or `class` is out of range.
+    #[must_use]
+    pub fn waiting_per_cycle(&self, population: &[u32], class: usize) -> f64 {
+        let idx = self.lattice.index(population);
+        assert!(class < self.classes, "class out of range");
+        let base = idx * self.stations * self.classes;
+        let cycle: f64 = (0..self.stations)
+            .map(|k| self.residence[base + k * self.classes + class])
+            .sum();
+        (cycle - self.demands_total[class]).max(0.0)
+    }
+
+    /// [`Solution::normalized_waiting`] at a covered population, without
+    /// materializing the `Solution`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `population` is not covered, `class` is out of range, or
+    /// the class has zero demand.
+    #[must_use]
+    pub fn normalized_waiting(&self, population: &[u32], class: usize) -> f64 {
+        let x = self.demands_total[class];
+        assert!(x > 0.0, "class {class} has zero demand");
+        self.waiting_per_cycle(population, class) / x
     }
 }
 
@@ -589,6 +726,103 @@ mod tests {
         let sol = solve(&net, &[3, 2]);
         let total: f64 = (0..2).map(|k| sol.total_queue_length(k)).sum();
         assert!((total - 5.0).abs() < 1e-9, "total {total}");
+    }
+
+    // ------------------------------------------------------------------
+    // SolvedLattice
+    // ------------------------------------------------------------------
+
+    /// Every sub-population view of a solved lattice is bit-for-bit the
+    /// direct solve at that sub-population.
+    fn assert_lattice_matches_solve(net: &Network, target: &[u32]) {
+        let lat = SolvedLattice::new(net, target);
+        let pl = PopulationLattice::new(target);
+        for pop in pl.iter() {
+            let view = lat.solution(&pop);
+            let direct = solve(net, &pop);
+            for c in 0..net.num_classes() {
+                assert_eq!(
+                    view.throughput(c).to_bits(),
+                    direct.throughput(c).to_bits(),
+                    "throughput diverged at {pop:?} class {c}"
+                );
+                assert_eq!(
+                    lat.waiting_per_cycle(&pop, c).to_bits(),
+                    direct.waiting_per_cycle(c).to_bits(),
+                    "waiting diverged at {pop:?} class {c}"
+                );
+                for k in 0..net.num_stations() {
+                    assert_eq!(
+                        view.residence(k, c).to_bits(),
+                        direct.residence(k, c).to_bits(),
+                        "residence diverged at {pop:?} station {k} class {c}"
+                    );
+                    assert_eq!(
+                        view.queue_length(k, c).to_bits(),
+                        direct.queue_length(k, c).to_bits(),
+                        "queue diverged at {pop:?} station {k} class {c}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lattice_views_match_direct_solve_bitwise() {
+        let net = Network::builder(2)
+            .station("cpu", StationKind::Queueing, [0.05, 1.0])
+            .station("d0", StationKind::Queueing, [0.5, 0.5])
+            .station("d1", StationKind::Queueing, [0.5, 0.5])
+            .build()
+            .unwrap();
+        assert_lattice_matches_solve(&net, &[4, 3]);
+    }
+
+    #[test]
+    fn lattice_views_match_direct_solve_with_delay_and_multiserver() {
+        let net = Network::builder(2)
+            .station("think", StationKind::Delay, [10.0, 5.0])
+            .station("cpu", StationKind::Queueing, [0.4, 1.3])
+            .station("disks", StationKind::MultiServer { servers: 2 }, [1.0, 1.0])
+            .build()
+            .unwrap();
+        assert_lattice_matches_solve(&net, &[3, 3]);
+    }
+
+    #[test]
+    fn lattice_covers_and_rejects() {
+        let net = single_station(1.0);
+        let lat = SolvedLattice::new(&net, &[3]);
+        assert_eq!(lat.target(), &[3]);
+        assert!(lat.covers(&[0]));
+        assert!(lat.covers(&[3]));
+        assert!(!lat.covers(&[4]));
+        assert!(!lat.covers(&[1, 1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds target")]
+    fn lattice_solution_outside_target_panics() {
+        let net = single_station(1.0);
+        let _ = SolvedLattice::new(&net, &[2]).solution(&[3]);
+    }
+
+    #[test]
+    fn lattice_normalized_waiting_matches_solution() {
+        let net = Network::builder(2)
+            .station("cpu", StationKind::Queueing, [0.05, 1.0])
+            .station("disk", StationKind::Queueing, [1.0, 1.0])
+            .build()
+            .unwrap();
+        let lat = SolvedLattice::new(&net, &[2, 2]);
+        for pop in [[1, 0], [2, 1], [2, 2]] {
+            for c in 0..2 {
+                assert_eq!(
+                    lat.normalized_waiting(&pop, c).to_bits(),
+                    lat.solution(&pop).normalized_waiting(c).to_bits()
+                );
+            }
+        }
     }
 
     #[test]
