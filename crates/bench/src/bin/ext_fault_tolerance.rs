@@ -18,7 +18,8 @@
 //! true common-random-number comparisons against the seed experiment.
 //!
 //! Output is a human-readable table followed by a machine-readable JSON
-//! document on stdout (one object per (level, policy) cell).
+//! document on stdout (one object per (level, policy) cell); a copy of
+//! the JSON goes to `results/ext_fault_tolerance.json`.
 
 use dqa_bench::{cell_seed, run_grid, Effort};
 use dqa_core::params::{FaultSpec, SystemParams};
@@ -174,5 +175,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     json.push_str("  ]\n}");
     println!("{json}");
+    std::fs::create_dir_all("results")?;
+    std::fs::write("results/ext_fault_tolerance.json", &json)?;
+    println!("wrote results/ext_fault_tolerance.json");
     Ok(())
 }

@@ -14,6 +14,9 @@
 //! Stability here is judged empirically: a run is called unstable when
 //! its in-flight population keeps growing (final backlog far above the
 //! stable-queue scale).
+//!
+//! Output is the human-readable table plus a machine-readable copy of
+//! every cell in `results/ext_open_overload.json`.
 
 use dqa_core::model::DbSystem;
 use dqa_core::params::{SystemParams, Workload};
@@ -53,6 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "LERT wait",
         "LERT backlog",
     ]);
+    let mut cells: Vec<(f64, f64, usize, f64, usize)> = Vec::new();
     for (row, rate) in [0.04, 0.055, 0.07, 0.085].into_iter().enumerate() {
         let params = SystemParams::builder()
             .cpu_speeds(Some(speeds.clone()))
@@ -67,6 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             fmt_f(w_lert, 1),
             b_lert.to_string(),
         ]);
+        cells.push((rate, w_local, b_local, w_lert, b_lert));
     }
 
     println!(
@@ -80,5 +85,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          below its aggregate capacity. LERT ships the surplus to the fast \
          CPUs and stays stable (bounded backlog) across the sweep."
     );
+
+    // Machine-readable record of the experiment.
+    let mut json = String::from("{\n  \"experiment\": \"ext_open_overload\",\n  \"cells\": [\n");
+    for (i, (rate, w_local, b_local, w_lert, b_lert)) in cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"arrival_rate\": {rate:.4}, \"local_wait\": {w_local:.6}, \
+             \"local_backlog\": {b_local}, \"lert_wait\": {w_lert:.6}, \
+             \"lert_backlog\": {b_lert}}}{}",
+            if i + 1 == cells.len() { "\n" } else { ",\n" }
+        ));
+    }
+    json.push_str("  ]\n}");
+    std::fs::create_dir_all("results")?;
+    std::fs::write("results/ext_open_overload.json", &json)?;
+    println!("wrote results/ext_open_overload.json");
     Ok(())
 }

@@ -89,6 +89,21 @@ fn print_report(r: &RunReport) {
         );
         println!("messages lost     {}", r.msgs_lost);
     }
+    if r.deadline_timeouts > 0 {
+        println!(
+            "deadlines         {} expired / {} reallocated / {} abandoned",
+            r.deadline_timeouts, r.deadline_reallocations, r.deadline_abandoned
+        );
+    }
+    if r.admission_rejected + r.admission_redirected + r.admission_dropped > 0 {
+        println!(
+            "admission         {} rejected / {} redirected / {} dropped",
+            r.admission_rejected, r.admission_redirected, r.admission_dropped
+        );
+    }
+    if r.partition_drops > 0 {
+        println!("partition drops   {}", r.partition_drops);
+    }
     println!();
     let mut t = TextTable::new(vec!["class", "completed", "wait", "resp", "service", "W^"]);
     for c in &r.per_class {

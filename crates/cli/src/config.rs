@@ -2,7 +2,8 @@
 //! command-line flags.
 
 use dqa_core::params::{
-    DiskChoice, FaultSpec, MessageCosting, MigrationSpec, SystemParams, Workload,
+    AdmissionSpec, DeadlineSpec, DiskChoice, FaultSpec, MessageCosting, MigrationSpec,
+    SheddingMode, SuspicionSpec, SystemParams, Workload,
 };
 use dqa_core::policy::PolicyKind;
 
@@ -46,8 +47,17 @@ pub fn parse_policy(name: &str) -> Result<PolicyKind, ArgError> {
 /// `--estimate-error`, `--status-period`, `--status-msg`, `--relations`,
 /// `--copies`, `--migrate every,gain,growth`, and the fault-injection
 /// family `--fault-mtbf`, `--fault-mttr`, `--msg-loss`, `--status-loss`,
-/// `--fault-retries`, `--fault-backoff` (any of which enables the fault
-/// layer; unspecified members take [`FaultSpec::default`] values).
+/// `--fault-retries`, `--fault-backoff`, `--partition-at`,
+/// `--partition-for`, `--partition-groups` (any of which enables the
+/// fault layer; unspecified members take [`FaultSpec::default`] values).
+///
+/// Resilience layers (each family independently optional):
+/// deadlines via `--deadline-mean`, `--deadline-floor`,
+/// `--deadline-retries`, `--deadline-backoff`; failure suspicion via
+/// `--suspect-after`, `--suspect-probation` (requires a costed status
+/// broadcast); admission control via `--admission-cap`,
+/// `--admission-queue`, `--admission-mode reject|redirect|drop`,
+/// `--admission-retries`, `--admission-backoff`.
 ///
 /// # Errors
 ///
@@ -127,12 +137,34 @@ pub fn take_params(args: &mut Args) -> Result<SystemParams, ArgError> {
     let status_loss = args.take_opt::<f64>("status-loss")?;
     let fault_retries = args.take_opt::<u32>("fault-retries")?;
     let fault_backoff = args.take_opt::<f64>("fault-backoff")?;
+    let partition_at = args.take_opt::<f64>("partition-at")?;
+    let partition_for = args.take_opt::<f64>("partition-for")?;
+    let partition_groups = args.take_opt::<u32>("partition-groups")?;
+    if (partition_for.is_some_and(|v| v > 0.0) || partition_at.is_some())
+        && partition_groups.is_none_or(|g| g < 2)
+    {
+        return Err(ArgError(
+            "an injected partition needs --partition-groups of at least 2 \
+             alongside --partition-at/--partition-for"
+                .into(),
+        ));
+    }
+    if partition_groups.is_some_and(|g| g >= 2) && !partition_for.is_some_and(|v| v > 0.0) {
+        return Err(ArgError(
+            "--partition-groups does nothing without a positive --partition-for \
+             (the partition's duration)"
+                .into(),
+        ));
+    }
     if fault_mtbf.is_some()
         || fault_mttr.is_some()
         || msg_loss.is_some()
         || status_loss.is_some()
         || fault_retries.is_some()
         || fault_backoff.is_some()
+        || partition_at.is_some()
+        || partition_for.is_some()
+        || partition_groups.is_some()
     {
         let defaults = FaultSpec::default();
         b = b.faults(Some(FaultSpec {
@@ -142,7 +174,99 @@ pub fn take_params(args: &mut Args) -> Result<SystemParams, ArgError> {
             status_loss: status_loss.unwrap_or(defaults.status_loss),
             max_retries: fault_retries.unwrap_or(defaults.max_retries),
             backoff_base: fault_backoff.unwrap_or(defaults.backoff_base),
+            partition_at: partition_at.unwrap_or(defaults.partition_at),
+            partition_for: partition_for.unwrap_or(defaults.partition_for),
+            partition_groups: partition_groups.unwrap_or(defaults.partition_groups),
         }));
+    }
+    // Deadline flags: --deadline-mean switches the layer on; the others
+    // refine it and are meaningless (and rejected) without it.
+    let deadline_mean = args.take_opt::<f64>("deadline-mean")?;
+    let deadline_floor = args.take_opt::<f64>("deadline-floor")?;
+    let deadline_retries = args.take_opt::<u32>("deadline-retries")?;
+    let deadline_backoff = args.take_opt::<f64>("deadline-backoff")?;
+    let deadline_active = deadline_mean.is_some_and(|m| m > 0.0);
+    if !deadline_active
+        && (deadline_floor.is_some() || deadline_retries.is_some() || deadline_backoff.is_some())
+    {
+        let given = if deadline_mean.is_some() {
+            "--deadline-mean 0 disables deadlines"
+        } else {
+            "no --deadline-mean was given"
+        };
+        return Err(ArgError(format!(
+            "--deadline-floor/--deadline-retries/--deadline-backoff have no effect \
+             because {given}; set --deadline-mean to a positive value to enable \
+             deadlines, or drop the other deadline flags"
+        )));
+    }
+    if deadline_active {
+        let defaults = DeadlineSpec::default();
+        b = b.deadlines(Some(DeadlineSpec {
+            mean: deadline_mean.unwrap_or(defaults.mean),
+            floor: deadline_floor.unwrap_or(defaults.floor),
+            max_reallocations: deadline_retries.unwrap_or(defaults.max_reallocations),
+            backoff_base: deadline_backoff.unwrap_or(defaults.backoff_base),
+        }));
+    }
+    // Suspicion flags: either one switches the detector on.
+    let suspect_after = args.take_opt::<u32>("suspect-after")?;
+    let suspect_probation = args.take_opt::<u32>("suspect-probation")?;
+    if suspect_after.is_some() || suspect_probation.is_some() {
+        let defaults = SuspicionSpec::default();
+        b = b.suspicion(Some(SuspicionSpec {
+            threshold: suspect_after.unwrap_or(defaults.threshold),
+            probation: suspect_probation.unwrap_or(defaults.probation),
+        }));
+    }
+    // Admission flags: a cap or a queue limit switches the layer on; the
+    // shedding mode and retry knobs refine it.
+    let admission_cap = args.take_opt::<u32>("admission-cap")?;
+    let admission_queue = args.take_opt::<u32>("admission-queue")?;
+    let admission_mode = args.take("admission-mode");
+    let admission_retries = args.take_opt::<u32>("admission-retries")?;
+    let admission_backoff = args.take_opt::<f64>("admission-backoff")?;
+    if admission_cap == Some(0) {
+        return Err(ArgError(
+            "--admission-cap must be at least 1 (a cap of 0 would admit nothing); \
+             omit the flag to disable the MPL cap"
+                .into(),
+        ));
+    }
+    if admission_queue == Some(0) {
+        return Err(ArgError(
+            "--admission-queue must be at least 1 (a limit of 0 would admit \
+             nothing); omit the flag to disable the queue limit"
+                .into(),
+        ));
+    }
+    if admission_cap.is_some() || admission_queue.is_some() {
+        let mode = match admission_mode.as_deref() {
+            None | Some("reject") => SheddingMode::RejectRetry,
+            Some("redirect") => SheddingMode::Redirect,
+            Some("drop") => SheddingMode::Drop,
+            Some(other) => {
+                return Err(ArgError(format!(
+                    "unknown admission mode `{other}` (expected reject, redirect, drop)"
+                )))
+            }
+        };
+        let defaults = AdmissionSpec::default();
+        b = b.admission(Some(AdmissionSpec {
+            mpl_cap: admission_cap,
+            queue_limit: admission_queue,
+            mode,
+            max_retries: admission_retries.unwrap_or(defaults.max_retries),
+            backoff_base: admission_backoff.unwrap_or(defaults.backoff_base),
+        }));
+    } else if admission_mode.is_some() || admission_retries.is_some() || admission_backoff.is_some()
+    {
+        return Err(ArgError(
+            "--admission-mode/--admission-retries/--admission-backoff have no \
+             effect without --admission-cap or --admission-queue; add a cap or \
+             a queue limit to enable admission control"
+                .into(),
+        ));
     }
     if let Some(spec) = args.take("migrate") {
         let parts: Vec<&str> = spec.split(',').collect();
@@ -212,7 +336,10 @@ fn builder_from(params: SystemParams) -> dqa_core::params::SystemParamsBuilder {
         .update_fraction(params.update_fraction)
         .propagation_factor(params.propagation_factor)
         .cpu_speeds(params.cpu_speeds)
-        .faults(params.faults);
+        .faults(params.faults)
+        .deadlines(params.deadlines)
+        .suspicion(params.suspicion)
+        .admission(params.admission);
     b = b.migration(params.migration);
     b
 }
@@ -338,6 +465,12 @@ mod tests {
             "3",
             "--fault-backoff",
             "20",
+            "--partition-at",
+            "1000",
+            "--partition-for",
+            "250",
+            "--partition-groups",
+            "2",
         ]);
         let p = take_params(&mut a).unwrap();
         a.finish().unwrap();
@@ -350,6 +483,9 @@ mod tests {
                 status_loss: 0.1,
                 max_retries: 3,
                 backoff_base: 20.0,
+                partition_at: 1000.0,
+                partition_for: 250.0,
+                partition_groups: 2,
             })
         );
     }
@@ -359,12 +495,167 @@ mod tests {
         // Probability outside [0, 1] fails parameter validation.
         let mut a = args(&["--msg-loss", "1.5"]);
         assert!(take_params(&mut a).is_err());
-        // Crashes enabled with a zero repair time is rejected.
+        // A zero repair time means instant repair and is now legal.
         let mut a = args(&["--fault-mtbf", "500", "--fault-mttr", "0"]);
-        assert!(take_params(&mut a).is_err());
+        let p = take_params(&mut a).unwrap();
+        assert_eq!(p.faults.unwrap().mttr, 0.0);
         // Non-numeric value is a parse error.
         let mut a = args(&["--fault-backoff", "soon"]);
         assert!(take_params(&mut a).is_err());
+    }
+
+    #[test]
+    fn partition_flags_parse_and_conflict_checks_fire() {
+        // A duration without a group count is an actionable error, not a
+        // silent no-op partition.
+        let mut a = args(&["--partition-for", "200"]);
+        let err = take_params(&mut a).unwrap_err();
+        assert!(err.to_string().contains("--partition-groups"), "{err}");
+        // Groups without a duration is equally inert and equally rejected.
+        let mut a = args(&["--partition-groups", "2"]);
+        let err = take_params(&mut a).unwrap_err();
+        assert!(err.to_string().contains("--partition-for"), "{err}");
+        // A single group is not a partition.
+        let mut a = args(&["--partition-for", "200", "--partition-groups", "1"]);
+        assert!(take_params(&mut a).is_err());
+        // The complete triple enables the fault layer with a partition.
+        let mut a = args(&[
+            "--partition-at",
+            "500",
+            "--partition-for",
+            "200",
+            "--partition-groups",
+            "3",
+        ]);
+        let p = take_params(&mut a).unwrap();
+        a.finish().unwrap();
+        let f = p.faults.expect("partition flags enable the fault layer");
+        assert!(f.has_partition());
+        assert_eq!(f.partition_at, 500.0);
+    }
+
+    #[test]
+    fn deadline_flags_parse() {
+        let mut a = args(&[
+            "--deadline-mean",
+            "400",
+            "--deadline-floor",
+            "50",
+            "--deadline-retries",
+            "3",
+            "--deadline-backoff",
+            "8",
+        ]);
+        let p = take_params(&mut a).unwrap();
+        a.finish().unwrap();
+        let d = p.deadlines.expect("deadline layer should be enabled");
+        assert!(d.is_active());
+        assert_eq!(d.mean, 400.0);
+        assert_eq!(d.floor, 50.0);
+        assert_eq!(d.max_reallocations, 3);
+        assert_eq!(d.backoff_base, 8.0);
+    }
+
+    #[test]
+    fn conflicting_deadline_flags_are_reported() {
+        // Retries with deadlines explicitly disabled is a configuration
+        // contradiction, not something to silently ignore.
+        let mut a = args(&["--deadline-mean", "0", "--deadline-retries", "2"]);
+        let err = take_params(&mut a).unwrap_err();
+        assert!(err.to_string().contains("--deadline-mean 0"), "{err}");
+        // Same for refinement flags with no mean at all.
+        let mut a = args(&["--deadline-floor", "10"]);
+        let err = take_params(&mut a).unwrap_err();
+        assert!(err.to_string().contains("no --deadline-mean"), "{err}");
+        // A bare zero mean (deadlines off, nothing else) stays legal so
+        // sweeps can include an "off" point.
+        let mut a = args(&["--deadline-mean", "0"]);
+        let p = take_params(&mut a).unwrap();
+        assert_eq!(p.deadlines, None);
+    }
+
+    #[test]
+    fn suspicion_flags_parse_and_require_status_broadcast() {
+        // The detector rides on costed status broadcasts; without one the
+        // parameter validation names the missing pieces.
+        let mut a = args(&["--suspect-after", "4"]);
+        assert!(take_params(&mut a).is_err());
+        let mut a = args(&[
+            "--suspect-after",
+            "4",
+            "--suspect-probation",
+            "3",
+            "--status-period",
+            "50",
+            "--status-msg",
+            "0.5",
+        ]);
+        let p = take_params(&mut a).unwrap();
+        a.finish().unwrap();
+        let s = p.suspicion.expect("suspicion layer should be enabled");
+        assert_eq!(s.threshold, 4);
+        assert_eq!(s.probation, 3);
+    }
+
+    #[test]
+    fn admission_flags_parse() {
+        let mut a = args(&[
+            "--admission-cap",
+            "12",
+            "--admission-mode",
+            "redirect",
+            "--admission-retries",
+            "2",
+            "--admission-backoff",
+            "15",
+        ]);
+        let p = take_params(&mut a).unwrap();
+        a.finish().unwrap();
+        let spec = p.admission.expect("admission layer should be enabled");
+        assert!(spec.is_active());
+        assert_eq!(spec.mpl_cap, Some(12));
+        assert_eq!(spec.queue_limit, None);
+        assert_eq!(spec.mode, SheddingMode::Redirect);
+        assert_eq!(spec.max_retries, 2);
+        assert_eq!(spec.backoff_base, 15.0);
+    }
+
+    #[test]
+    fn invalid_admission_flags_are_reported() {
+        // A cap of zero would admit nothing — rejected with advice.
+        let mut a = args(&["--admission-cap", "0"]);
+        let err = take_params(&mut a).unwrap_err();
+        assert!(err.to_string().contains("at least 1"), "{err}");
+        let mut a = args(&["--admission-queue", "0"]);
+        assert!(take_params(&mut a).is_err());
+        // A shedding mode without a cap or limit does nothing.
+        let mut a = args(&["--admission-mode", "drop"]);
+        let err = take_params(&mut a).unwrap_err();
+        assert!(err.to_string().contains("--admission-cap"), "{err}");
+        // Unknown mode names are listed.
+        let mut a = args(&["--admission-cap", "10", "--admission-mode", "sideways"]);
+        let err = take_params(&mut a).unwrap_err();
+        assert!(err.to_string().contains("redirect"), "{err}");
+    }
+
+    #[test]
+    fn reads_flag_preserves_resilience_config() {
+        // --reads rebuilds the builder mid-parse via builder_from, which
+        // must not drop any field — resilience flags consumed on either
+        // side of the rebuild have to survive into the final params.
+        let mut a = args(&[
+            "--reads",
+            "40",
+            "--deadline-mean",
+            "300",
+            "--admission-cap",
+            "15",
+        ]);
+        let p = take_params(&mut a).unwrap();
+        a.finish().unwrap();
+        assert_eq!(p.classes[0].num_reads, 40.0);
+        assert!(p.deadlines.unwrap().is_active());
+        assert_eq!(p.admission.unwrap().mpl_cap, Some(15));
     }
 
     #[test]

@@ -91,6 +91,14 @@ pub struct ClassSummary {
     pub normalized_waiting: f64,
     /// Completed queries of the class.
     pub completed: u64,
+    /// Deadline expiries that cancelled an execution attempt (zero unless
+    /// deadlines are enabled).
+    pub deadline_timeouts: u64,
+    /// Expired queries re-allocated to another site.
+    pub deadline_reallocations: u64,
+    /// Expired queries abandoned after exhausting their reallocation
+    /// budget.
+    pub deadline_abandoned: u64,
 }
 
 /// Results of one simulation run.
@@ -151,6 +159,21 @@ pub struct RunReport {
     pub msgs_lost: u64,
     /// Time-averaged fraction of sites up (1.0 without faults).
     pub mean_availability: f64,
+    /// Deadline expiries that cancelled an execution attempt (zero unless
+    /// the deadline lifecycle is enabled).
+    pub deadline_timeouts: u64,
+    /// Expired queries re-allocated to another site.
+    pub deadline_reallocations: u64,
+    /// Expired queries abandoned after their reallocation budget.
+    pub deadline_abandoned: u64,
+    /// Queries turned away by a full site into a retry backoff.
+    pub admission_rejected: u64,
+    /// Queries redirected by admission control to a site with room.
+    pub admission_redirected: u64,
+    /// Queries shed outright by admission control.
+    pub admission_dropped: u64,
+    /// Query/result frames dropped at a partition group boundary.
+    pub partition_drops: u64,
     /// Kernel events dispatched over the whole run (warmup included) —
     /// the denominator for ns/event in the perf benches.
     pub events: u64,
@@ -217,6 +240,9 @@ fn summarize(model: &DbSystem, end: SimTime, measured_time: f64, events: u64) ->
                 mean_service: cm.service.mean(),
                 normalized_waiting: cm.normalized_waiting(),
                 completed: cm.waiting.count(),
+                deadline_timeouts: cm.deadline_timeouts,
+                deadline_reallocations: cm.deadline_reallocations,
+                deadline_abandoned: cm.deadline_abandoned,
             }
         })
         .collect();
@@ -255,6 +281,13 @@ fn summarize(model: &DbSystem, end: SimTime, measured_time: f64, events: u64) ->
         queries_recovered: metrics.queries_recovered(),
         msgs_lost: metrics.msgs_lost(),
         mean_availability: metrics.mean_availability(end),
+        deadline_timeouts: metrics.deadline_timeouts(),
+        deadline_reallocations: metrics.deadline_reallocations(),
+        deadline_abandoned: metrics.deadline_abandoned(),
+        admission_rejected: metrics.admission_rejected(),
+        admission_redirected: metrics.admission_redirected(),
+        admission_dropped: metrics.admission_dropped(),
+        partition_drops: metrics.partition_drops(),
         events,
         per_class,
         per_site,

@@ -49,6 +49,14 @@ pub struct LoadTable {
     published: Vec<SiteLoad>,
     instantaneous: bool,
     available: Vec<bool>,
+    /// Per-(observer, target) trust, flattened `observer * n + target`.
+    /// All-true without the suspicion detector; an observer that has
+    /// missed too many of a target's status broadcasts clears its entry
+    /// until the target works off its probation.
+    trusted: Vec<bool>,
+    /// Per-site backpressure bit, as last advertised on each site's
+    /// status broadcast. Always false without admission control.
+    full: Vec<bool>,
 }
 
 impl LoadTable {
@@ -67,6 +75,8 @@ impl LoadTable {
             published: vec![SiteLoad::default(); num_sites],
             instantaneous,
             available: vec![true; num_sites],
+            trusted: vec![true; num_sites * num_sites],
+            full: vec![false; num_sites],
         }
     }
 
@@ -102,6 +112,50 @@ impl LoadTable {
     #[must_use]
     pub fn num_sites(&self) -> usize {
         self.live.len()
+    }
+
+    /// Records whether `observer` currently trusts `target` (suspicion
+    /// detector). Self-trust is never cleared by the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either site is out of range.
+    pub fn set_trusted(&mut self, observer: SiteId, target: SiteId, trust: bool) {
+        let n = self.live.len();
+        assert!(observer < n && target < n, "site out of range");
+        self.trusted[observer * n + target] = trust;
+    }
+
+    /// Whether `observer` trusts `target` (always `true` without the
+    /// suspicion detector).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either site is out of range.
+    #[must_use]
+    pub fn is_trusted(&self, observer: SiteId, target: SiteId) -> bool {
+        self.trusted[observer * self.live.len() + target]
+    }
+
+    /// Records the backpressure bit `site` advertised on its last status
+    /// broadcast (admission control).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range.
+    pub fn set_full(&mut self, site: SiteId, full: bool) {
+        self.full[site] = full;
+    }
+
+    /// Whether `site` last advertised itself as full (always `false`
+    /// without admission control).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range.
+    #[must_use]
+    pub fn is_full(&self, site: SiteId) -> bool {
+        self.full[site]
     }
 
     /// Records a query (classified I/O-bound or not) allocated to `site`.
@@ -293,6 +347,28 @@ mod tests {
         t.set_available(1, true);
         assert!(t.is_available(1));
         assert_eq!(t.available_sites(), 3);
+    }
+
+    #[test]
+    fn trust_defaults_true_and_is_per_observer() {
+        let mut t = LoadTable::new(3, true);
+        assert!(t.is_trusted(0, 1) && t.is_trusted(1, 0));
+        t.set_trusted(0, 1, false);
+        assert!(!t.is_trusted(0, 1), "observer 0 quarantines site 1");
+        assert!(t.is_trusted(1, 0), "the reverse direction is untouched");
+        assert!(t.is_trusted(2, 1), "other observers are untouched");
+        t.set_trusted(0, 1, true);
+        assert!(t.is_trusted(0, 1));
+    }
+
+    #[test]
+    fn backpressure_bits_default_false() {
+        let mut t = LoadTable::new(2, true);
+        assert!(!t.is_full(0) && !t.is_full(1));
+        t.set_full(1, true);
+        assert!(t.is_full(1) && !t.is_full(0));
+        t.set_full(1, false);
+        assert!(!t.is_full(1));
     }
 
     #[test]

@@ -26,6 +26,15 @@ pub struct ClassMetrics {
     pub response: Tally,
     /// The query's own total service (disk + CPU).
     pub service: Tally,
+    /// Deadline expiries: cancellations of this class's queries at their
+    /// execution site (always 0 without the deadline lifecycle).
+    pub deadline_timeouts: u64,
+    /// Deadline reallocations: timed-out queries of this class that were
+    /// granted another allocation attempt.
+    pub deadline_reallocations: u64,
+    /// Queries of this class abandoned after exhausting the deadline
+    /// reallocation budget.
+    pub deadline_abandoned: u64,
 }
 
 impl ClassMetrics {
@@ -64,6 +73,10 @@ pub struct Metrics {
     msgs_lost: u64,
     /// Fraction of sites up, time-weighted (1.0 without faults).
     availability: TimeWeighted,
+    admission_rejected: u64,
+    admission_redirected: u64,
+    admission_dropped: u64,
+    partition_drops: u64,
 }
 
 impl Metrics {
@@ -89,6 +102,10 @@ impl Metrics {
             queries_recovered: 0,
             msgs_lost: 0,
             availability: TimeWeighted::new(start, 1.0),
+            admission_rejected: 0,
+            admission_redirected: 0,
+            admission_dropped: 0,
+            partition_drops: 0,
         }
     }
 
@@ -300,6 +317,99 @@ impl Metrics {
         self.availability.time_average(now)
     }
 
+    /// Records a deadline expiry (cancellation) of a class-`class` query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range.
+    pub fn record_deadline_timeout(&mut self, class: ClassId) {
+        self.per_class[class].deadline_timeouts += 1;
+    }
+
+    /// Records a timed-out class-`class` query granted a reallocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range.
+    pub fn record_deadline_reallocation(&mut self, class: ClassId) {
+        self.per_class[class].deadline_reallocations += 1;
+    }
+
+    /// Records a class-`class` query abandoned after exhausting its
+    /// deadline reallocation budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range.
+    pub fn record_deadline_abandoned(&mut self, class: ClassId) {
+        self.per_class[class].deadline_abandoned += 1;
+    }
+
+    /// Records an admission rejection (query sent into retry backoff).
+    pub fn record_admission_rejected(&mut self) {
+        self.admission_rejected += 1;
+    }
+
+    /// Records an admission redirect to an alternative site.
+    pub fn record_admission_redirected(&mut self) {
+        self.admission_redirected += 1;
+    }
+
+    /// Records a query dropped by admission control.
+    pub fn record_admission_dropped(&mut self) {
+        self.admission_dropped += 1;
+    }
+
+    /// Records a ring frame dropped at a partition boundary.
+    pub fn record_partition_drop(&mut self) {
+        self.partition_drops += 1;
+    }
+
+    /// Deadline expiries during measurement, over all classes.
+    #[must_use]
+    pub fn deadline_timeouts(&self) -> u64 {
+        self.per_class.iter().map(|c| c.deadline_timeouts).sum()
+    }
+
+    /// Deadline reallocations during measurement, over all classes.
+    #[must_use]
+    pub fn deadline_reallocations(&self) -> u64 {
+        self.per_class
+            .iter()
+            .map(|c| c.deadline_reallocations)
+            .sum()
+    }
+
+    /// Deadline abandonments during measurement, over all classes.
+    #[must_use]
+    pub fn deadline_abandoned(&self) -> u64 {
+        self.per_class.iter().map(|c| c.deadline_abandoned).sum()
+    }
+
+    /// Admission rejections during measurement.
+    #[must_use]
+    pub fn admission_rejected(&self) -> u64 {
+        self.admission_rejected
+    }
+
+    /// Admission redirects during measurement.
+    #[must_use]
+    pub fn admission_redirected(&self) -> u64 {
+        self.admission_redirected
+    }
+
+    /// Admission drops during measurement.
+    #[must_use]
+    pub fn admission_dropped(&self) -> u64 {
+        self.admission_dropped
+    }
+
+    /// Frames dropped at partition boundaries during measurement.
+    #[must_use]
+    pub fn partition_drops(&self) -> u64 {
+        self.partition_drops
+    }
+
     /// Restarts all statistics at `now`, preserving the current
     /// query-difference and availability levels.
     pub fn reset(&mut self, now: SimTime) {
@@ -417,6 +527,34 @@ mod tests {
         assert_eq!(m.queries_lost(), 1);
         assert_eq!(m.queries_recovered(), 1);
         assert_eq!(m.msgs_lost(), 1);
+    }
+
+    #[test]
+    fn resilience_counters_accumulate_per_class_and_globally() {
+        let mut m = Metrics::new(2, SimTime::ZERO);
+        m.record_deadline_timeout(0);
+        m.record_deadline_timeout(1);
+        m.record_deadline_timeout(1);
+        m.record_deadline_reallocation(0);
+        m.record_deadline_abandoned(1);
+        m.record_admission_rejected();
+        m.record_admission_redirected();
+        m.record_admission_dropped();
+        m.record_admission_dropped();
+        m.record_partition_drop();
+        assert_eq!(m.class(0).deadline_timeouts, 1);
+        assert_eq!(m.class(1).deadline_timeouts, 2);
+        assert_eq!(m.deadline_timeouts(), 3);
+        assert_eq!(m.deadline_reallocations(), 1);
+        assert_eq!(m.deadline_abandoned(), 1);
+        assert_eq!(m.admission_rejected(), 1);
+        assert_eq!(m.admission_redirected(), 1);
+        assert_eq!(m.admission_dropped(), 2);
+        assert_eq!(m.partition_drops(), 1);
+        m.reset(SimTime::new(1.0));
+        assert_eq!(m.deadline_timeouts(), 0);
+        assert_eq!(m.admission_dropped(), 0);
+        assert_eq!(m.partition_drops(), 0);
     }
 
     #[test]

@@ -72,11 +72,27 @@ pub enum Event {
         msg: RingMsg,
     },
     /// A backed-off query retries after its delay expires (fault
-    /// injection only).
+    /// injection or resilience layer).
     Resubmit {
         /// The retrying query.
         query: QueryId,
     },
+    /// A query's deadline expired (deadline lifecycle only). Honored only
+    /// if `epoch` still matches the query's `deadline_epoch` — every
+    /// re-arm, crash recovery, or cancellation bumps the epoch, so stale
+    /// expiries are ignored on delivery (lazy cancellation).
+    DeadlineExpire {
+        /// The expiring query.
+        query: QueryId,
+        /// The query's deadline epoch when the expiry was armed.
+        epoch: u32,
+    },
+    /// The injected ring partition begins: the sites split into disjoint
+    /// contiguous groups and query/result frames crossing a group
+    /// boundary are dropped at delivery (fault injection only).
+    PartitionStart,
+    /// The injected ring partition heals: full connectivity returns.
+    PartitionHeal,
 }
 
 /// What a ring message carries.
@@ -107,5 +123,10 @@ pub enum RingMsg {
         site: SiteId,
         /// The broadcast row (snapshotted at enqueue time).
         load: SiteLoad,
+        /// Backpressure bit: the site was at an admission cap when it
+        /// broadcast (always `false` without admission control).
+        /// Demand-aware allocation treats a full site as "do not route
+        /// here".
+        full: bool,
     },
 }

@@ -18,7 +18,9 @@ use dqa_sim::{Engine, Model, Scheduler, SimTime};
 
 use crate::load::LoadTable;
 use crate::metrics::Metrics;
-use crate::params::{FaultSpec, ParamsError, SiteId, SystemParams, Workload};
+use crate::params::{
+    FaultSpec, ParamsError, SheddingMode, SiteId, SuspicionSpec, SystemParams, Workload,
+};
 use crate::policy::{AllocationContext, Allocator, PolicyKind};
 use crate::query::{ActiveQuery, QueryId, QueryKind, QueryPhase, QueryProfile, QueryTable};
 use crate::replication::Catalog;
@@ -42,6 +44,64 @@ struct FaultState {
     rng_backoff: RngStream,
     /// Status-exchange dropout coin flips.
     rng_status: RngStream,
+    /// Whether the injected ring partition is currently in force.
+    partition_active: bool,
+}
+
+/// The kind of site a partitioned ring frame may not reach: the token
+/// ring splits into `groups` disjoint contiguous blocks of sites.
+fn partition_group(site: SiteId, groups: u32, num_sites: usize) -> usize {
+    site * groups as usize / num_sites
+}
+
+/// Per-(observer, target) state of the missed-broadcast failure detector.
+///
+/// Every site audits its peers against the costed status broadcasts it
+/// receives: a target whose broadcast has not been heard for
+/// `threshold` status periods becomes *suspected* (the observer's trust
+/// entry in the [`LoadTable`] clears and [`AllocationContext::usable`]
+/// quarantines the site); a suspected target that is heard again for
+/// `probation` consecutive broadcasts is re-trusted. Detection is
+/// per-observer: during a partition, sites suspect only the peers they
+/// can no longer hear.
+///
+/// [`AllocationContext::usable`]: crate::policy::AllocationContext::usable
+#[derive(Debug)]
+struct SuspicionState {
+    spec: SuspicionSpec,
+    /// When `observer` last heard `target`'s broadcast, flattened
+    /// `observer * n + target`.
+    last_heard: Vec<SimTime>,
+    /// Consecutive broadcasts heard from a *suspected* target (probation
+    /// progress toward re-trust).
+    streak: Vec<u32>,
+    suspected: Vec<bool>,
+}
+
+/// Runtime state of the resilience layer (deadlines, suspicion,
+/// admission control).
+///
+/// Like the fault layer, it draws from its own RNG substreams (tags
+/// 14–15), so a configuration with every resilience knob zero or off is
+/// byte-identical to one with the layer absent — the common-random-numbers
+/// property the extension experiments rely on.
+#[derive(Debug)]
+struct ResilienceState {
+    /// Per-allocation deadline slack draws.
+    rng_deadline: RngStream,
+    /// Reallocation / admission-retry backoff jitter.
+    rng_backoff: RngStream,
+    suspicion: Option<SuspicionState>,
+}
+
+/// Verdict of the admission check at a chosen execution site's door.
+enum Admission {
+    /// Proceed at this site (possibly a redirect target).
+    Admit(SiteId),
+    /// Back off at the home terminal and retry later.
+    Reject,
+    /// Shed the query outright.
+    Drop,
 }
 
 /// The complete simulated system.
@@ -88,6 +148,7 @@ pub struct DbSystem {
     rng_relation: RngStream,
     rng_update: RngStream,
     fault: Option<FaultState>,
+    resilience: Option<ResilienceState>,
 }
 
 impl DbSystem {
@@ -130,7 +191,26 @@ impl DbSystem {
                 rng_msg: root.substream(11),
                 rng_backoff: root.substream(12),
                 rng_status: root.substream(13),
+                partition_active: false,
             }),
+            resilience: if params.deadlines.is_some()
+                || params.suspicion.is_some()
+                || params.admission.is_some()
+            {
+                let n = params.num_sites;
+                Some(ResilienceState {
+                    rng_deadline: root.substream(14),
+                    rng_backoff: root.substream(15),
+                    suspicion: params.suspicion.map(|spec| SuspicionState {
+                        spec,
+                        last_heard: vec![SimTime::ZERO; n * n],
+                        streak: vec![0; n * n],
+                        suspected: vec![false; n * n],
+                    }),
+                })
+            } else {
+                None
+            },
             params,
         })
     }
@@ -165,6 +245,13 @@ impl DbSystem {
                         let ttf = f.rng_crash.exponential(f.spec.mtbf);
                         initial.push((SimTime::ZERO + ttf, Event::SiteDown { site }));
                     }
+                }
+                if f.spec.has_partition() {
+                    initial.push((SimTime::ZERO + f.spec.partition_at, Event::PartitionStart));
+                    initial.push((
+                        SimTime::ZERO + f.spec.partition_at + f.spec.partition_for,
+                        Event::PartitionHeal,
+                    ));
                 }
             }
             if model.params.status_period > 0.0 {
@@ -272,10 +359,53 @@ impl DbSystem {
                 phase: QueryPhase::Backoff,
                 kind,
                 retries: 0,
+                deadline_epoch: 0,
+                res_retries: 0,
+                expired: false,
             });
             self.schedule_retry(now, id, sched);
             return;
         }
+
+        // Admission control at the chosen site's door. The site checks its
+        // own *live* state (a site knows itself), not the published table.
+        let exec = match self.admit_or_shed(exec, home, relation) {
+            Admission::Admit(site) => site,
+            Admission::Drop => {
+                self.metrics.record_submit(false);
+                self.metrics.record_admission_dropped();
+                if matches!(self.params.workload, Workload::Closed) {
+                    let think = self.rng_think.exponential(self.params.think_time);
+                    sched.after(think, Event::Submit { site: home });
+                }
+                return;
+            }
+            Admission::Reject => {
+                self.metrics.record_submit(false);
+                let id = self.queries.insert_with(|id| ActiveQuery {
+                    id,
+                    profile,
+                    exec: home,
+                    reads_total,
+                    reads_done: 0,
+                    submitted: now,
+                    service: 0.0,
+                    phase: QueryPhase::Backoff,
+                    kind,
+                    retries: 0,
+                    deadline_epoch: 0,
+                    res_retries: 0,
+                    expired: false,
+                });
+                let a = self.params.admission.expect("admission layer active");
+                if self.resilience_retry(now, id, a.backoff_base, a.max_retries, sched) {
+                    self.metrics.record_admission_rejected();
+                } else {
+                    self.metrics.record_admission_dropped();
+                }
+                return;
+            }
+        };
 
         self.load.allocate(exec, profile.io_bound);
         self.metrics
@@ -298,7 +428,11 @@ impl DbSystem {
             },
             kind,
             retries: 0,
+            deadline_epoch: 0,
+            res_retries: 0,
+            expired: false,
         });
+        self.arm_deadline(now, id, sched);
 
         if remote {
             let msg = RingMsg::Query {
@@ -366,9 +500,21 @@ impl DbSystem {
             );
         }
 
+        // The deadline expired while this page read was in service: FCFS
+        // service is immutable once started, so the read finished, but
+        // the query goes no further.
+        let expired = {
+            let q = self.queries.get(id).expect("query in flight");
+            debug_assert_eq!(q.exec, site_id);
+            q.expired
+        };
+        if expired {
+            self.cancel_and_reallocate(now, id, sched);
+            return;
+        }
+
         // The page is in memory; process it on the CPU.
         let q = self.queries.get_mut(id).expect("query in flight");
-        debug_assert_eq!(q.exec, site_id);
         q.phase = QueryPhase::Cpu;
         // A faster CPU finishes the same page in proportionally less time.
         let work = self
@@ -516,6 +662,9 @@ impl DbSystem {
                 phase: QueryPhase::Transfer,
                 kind: QueryKind::Propagation,
                 retries: 0,
+                deadline_epoch: 0,
+                res_retries: 0,
+                expired: false,
             });
             self.load.allocate(holder, io_bound);
             let msg = RingMsg::Query {
@@ -603,7 +752,7 @@ impl DbSystem {
     }
 
     fn handle_net_done(&mut self, now: SimTime, sched: &mut Scheduler<Event>) {
-        let (msg, _from, next) = self.ring.transmit_done(now);
+        let (msg, from, next) = self.ring.transmit_done(now);
         if let Some(t) = next {
             sched.at(t, Event::NetDone);
         }
@@ -614,6 +763,40 @@ impl DbSystem {
                 sched.at(now, Event::MsgLost { msg });
                 return;
             }
+        }
+        // An active partition drops query frames that cross a group
+        // boundary at delivery (the ring time is spent regardless).
+        // Status broadcasts still publish rows everywhere — the load table
+        // is a modeling abstraction, not a routed message — but the
+        // suspicion detector only *hears* senders in the observer's own
+        // group, so cross-group peers drift into quarantine.
+        let crossing = self.fault.as_ref().is_some_and(|f| {
+            f.partition_active
+                && match msg {
+                    RingMsg::Query { dest, .. } => {
+                        let g = f.spec.partition_groups;
+                        let n = self.params.num_sites;
+                        partition_group(from, g, n) != partition_group(dest, g, n)
+                    }
+                    RingMsg::Status { .. } => false,
+                }
+        });
+        if crossing {
+            self.metrics.record_partition_drop();
+            match msg {
+                RingMsg::Query {
+                    query,
+                    kind: MsgKind::Dispatch,
+                    ..
+                } => self.fail_execution(now, query, sched),
+                RingMsg::Query {
+                    query,
+                    kind: MsgKind::Result,
+                    ..
+                } => self.schedule_retry(now, query, sched),
+                RingMsg::Status { .. } => unreachable!("status frames are never dropped here"),
+            }
+            return;
         }
         match msg {
             RingMsg::Query { query, kind, dest } => {
@@ -627,12 +810,24 @@ impl DbSystem {
                     return;
                 }
                 match kind {
-                    MsgKind::Dispatch => self.start_read(now, query, sched),
+                    MsgKind::Dispatch => {
+                        // The deadline expired while the dispatch was on
+                        // the wire: cancel instead of starting execution.
+                        if self.queries.get(query).expect("query in flight").expired {
+                            self.cancel_and_reallocate(now, query, sched);
+                        } else {
+                            self.start_read(now, query, sched);
+                        }
+                    }
                     MsgKind::Result => self.complete_query(now, query, sched),
                 }
             }
             // A broadcast frame passes every site: all tables update.
-            RingMsg::Status { site, load } => self.load.publish_row(site, load),
+            RingMsg::Status { site, load, full } => {
+                self.load.publish_row(site, load);
+                self.load.set_full(site, full);
+                self.hear_status(now, site);
+            }
         }
     }
 
@@ -684,6 +879,10 @@ impl DbSystem {
             // Wasted partial work shows up as waiting time, not service.
             q.reads_done = 0;
             q.service = 0.0;
+            // Any armed deadline refers to the destroyed attempt; a fresh
+            // one is armed if the query is ever re-allocated.
+            q.expired = false;
+            q.deadline_epoch += 1;
             (q.exec, q.profile.io_bound)
         };
         self.load.release(exec, io_bound);
@@ -720,7 +919,14 @@ impl DbSystem {
             self.fail_execution(now, id, sched);
         }
         let f = self.fault.as_mut().expect("fault layer active");
-        let repair = f.rng_crash.exponential(f.spec.mttr);
+        // An MTTR of zero means instant repair: skip the draw (the
+        // exponential sampler requires a positive mean) and schedule the
+        // recovery at the current instant.
+        let repair = if f.spec.mttr > 0.0 {
+            f.rng_crash.exponential(f.spec.mttr)
+        } else {
+            0.0
+        };
         sched.after(repair, Event::SiteUp { site });
     }
 
@@ -728,6 +934,15 @@ impl DbSystem {
     fn handle_site_up(&mut self, now: SimTime, site: SiteId, sched: &mut Scheduler<Event>) {
         self.sites[site].recover();
         self.load.set_available(site, true);
+        // The rejoiner heard nothing while down: refresh its observer row
+        // so it grants every peer a full detection window instead of
+        // suspecting the whole system on its first sweep.
+        if let Some(s) = self.resilience.as_mut().and_then(|r| r.suspicion.as_mut()) {
+            let n = self.params.num_sites;
+            for target in 0..n {
+                s.last_heard[site * n + target] = now;
+            }
+        }
         let frac = self.load.available_sites() as f64 / self.params.num_sites as f64;
         self.metrics.record_availability(now, frac);
         let f = self.fault.as_mut().expect("fault layer active");
@@ -818,6 +1033,30 @@ impl DbSystem {
                     self.schedule_retry(now, id, sched);
                     return;
                 }
+                // Admission applies to re-allocations too; apply jobs are
+                // pinned to their replica and exempt.
+                let exec = if kind == QueryKind::Propagation {
+                    exec
+                } else {
+                    match self.admit_or_shed(exec, home, relation) {
+                        Admission::Admit(site) => site,
+                        Admission::Drop => {
+                            self.metrics.record_admission_dropped();
+                            self.shed_query(now, id, sched);
+                            return;
+                        }
+                        Admission::Reject => {
+                            let a = self.params.admission.expect("admission layer active");
+                            if self.resilience_retry(now, id, a.backoff_base, a.max_retries, sched)
+                            {
+                                self.metrics.record_admission_rejected();
+                            } else {
+                                self.metrics.record_admission_dropped();
+                            }
+                            return;
+                        }
+                    }
+                };
                 self.load.allocate(exec, profile.io_bound);
                 self.metrics
                     .record_query_difference(now, self.load.query_difference());
@@ -831,6 +1070,7 @@ impl DbSystem {
                         QueryPhase::Disk
                     };
                 }
+                self.arm_deadline(now, id, sched);
                 if remote {
                     let msg = RingMsg::Query {
                         query: id,
@@ -846,6 +1086,292 @@ impl DbSystem {
                 }
             }
             other => debug_assert!(false, "Resubmit for query in phase {other:?}"),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Resilience handlers (deadlines, suspicion, admission control; all
+    // unreachable when the corresponding specs are absent or inactive)
+    // ------------------------------------------------------------------
+
+    /// Arms a fresh deadline for `id`'s current execution attempt: a slack
+    /// of `floor + Exp(mean)` from now. Re-armed on every (re)allocation,
+    /// so the budgeted retries each get a full window. Apply jobs carry no
+    /// deadline — they are background system work.
+    fn arm_deadline(&mut self, now: SimTime, id: QueryId, sched: &mut Scheduler<Event>) {
+        let _ = now;
+        let Some(spec) = self.params.deadlines else {
+            return;
+        };
+        if !spec.is_active() {
+            return;
+        }
+        let epoch = {
+            let q = self.queries.get(id).expect("query in flight");
+            if q.kind == QueryKind::Propagation {
+                return;
+            }
+            q.deadline_epoch
+        };
+        let r = self.resilience.as_mut().expect("resilience layer active");
+        let slack = spec.floor + r.rng_deadline.exponential(spec.mean);
+        sched.after(slack, Event::DeadlineExpire { query: id, epoch });
+    }
+
+    /// A query's deadline expired. Honored only if the armed `epoch` still
+    /// matches (completion, crash recovery, and cancellation all bump it).
+    /// The unwind is phase-exact: a waiting disk job is pulled from its
+    /// queue, a CPU job is removed from the PS server (returning its
+    /// unserved work), and work that cannot be recalled — a frame on the
+    /// wire, a page read in immutable FCFS service — is flagged and
+    /// cancelled at the next event boundary.
+    fn handle_deadline_expire(
+        &mut self,
+        now: SimTime,
+        id: QueryId,
+        epoch: u32,
+        sched: &mut Scheduler<Event>,
+    ) {
+        let Some(q) = self.queries.get(id) else {
+            return; // already completed or shed
+        };
+        if q.deadline_epoch != epoch {
+            return; // stale expiry for a superseded attempt
+        }
+        let (phase, exec) = (q.phase, q.exec);
+        match phase {
+            // Results already exist (delivering them is cheaper than
+            // redoing the work) or the query is already being unwound.
+            QueryPhase::Return | QueryPhase::Backoff => {}
+            // The dispatch frame cannot be recalled from the ring: flag
+            // the query; the delivery handler cancels instead of starting.
+            QueryPhase::Transfer => {
+                self.queries.get_mut(id).expect("query in flight").expired = true;
+            }
+            QueryPhase::Cpu => {
+                let (_unserved, next) = self.sites[exec]
+                    .cpu
+                    .remove(now, &id)
+                    .expect("Cpu-phase query resident in its PS server");
+                if let Some((t, token)) = next {
+                    sched.at(t, Event::CpuDone { site: exec, token });
+                }
+                self.cancel_and_reallocate(now, id, sched);
+            }
+            QueryPhase::Disk => {
+                // FCFS service is immutable once started: an in-service
+                // page read finishes and the cancellation happens at its
+                // `DiskDone`. A waiting job is removed on the spot.
+                if self.sites[exec].disks.iter().any(|d| d.is_in_service(&id)) {
+                    self.queries.get_mut(id).expect("query in flight").expired = true;
+                    return;
+                }
+                let removed = self.sites[exec]
+                    .disks
+                    .iter_mut()
+                    .find_map(|d| d.remove_waiting(now, &id));
+                debug_assert!(
+                    removed.is_some(),
+                    "Disk-phase query neither in service nor waiting"
+                );
+                self.cancel_and_reallocate(now, id, sched);
+            }
+        }
+    }
+
+    /// Cancels `id`'s current execution attempt after a deadline timeout
+    /// (the caller has already unwound any station state) and either
+    /// re-allocates it — next-best site, after a jittered backoff — or
+    /// abandons it once the reallocation budget is spent.
+    fn cancel_and_reallocate(&mut self, now: SimTime, id: QueryId, sched: &mut Scheduler<Event>) {
+        let spec = self.params.deadlines.expect("deadline layer active");
+        let (exec, io_bound, class) = {
+            let q = self.queries.get_mut(id).expect("query in flight");
+            debug_assert!(!matches!(q.phase, QueryPhase::Return | QueryPhase::Backoff));
+            q.phase = QueryPhase::Backoff;
+            // The abandoned attempt's partial work is wasted, exactly as
+            // in a crash recovery; the armed expiry (if any) goes stale.
+            q.reads_done = 0;
+            q.service = 0.0;
+            q.expired = false;
+            q.deadline_epoch += 1;
+            (q.exec, q.profile.io_bound, q.profile.class)
+        };
+        self.load.release(exec, io_bound);
+        self.metrics
+            .record_query_difference(now, self.load.query_difference());
+        self.metrics.record_deadline_timeout(class);
+        if self.resilience_retry(now, id, spec.backoff_base, spec.max_reallocations, sched) {
+            self.metrics.record_deadline_reallocation(class);
+        } else {
+            self.metrics.record_deadline_abandoned(class);
+        }
+    }
+
+    /// Consumes one resilience retry (deadline reallocation or admission
+    /// reject) for `id`: schedules a jittered-backoff `Resubmit` and
+    /// returns `true`, or sheds the query and returns `false` once the
+    /// budget is exhausted.
+    fn resilience_retry(
+        &mut self,
+        now: SimTime,
+        id: QueryId,
+        base: f64,
+        budget: u32,
+        sched: &mut Scheduler<Event>,
+    ) -> bool {
+        let attempts = {
+            let q = self.queries.get_mut(id).expect("query in flight");
+            q.res_retries += 1;
+            q.res_retries
+        };
+        if attempts > budget {
+            self.shed_query(now, id, sched);
+            false
+        } else {
+            let delay = self.resilience_backoff(base, attempts);
+            sched.after(delay, Event::Resubmit { query: id });
+            true
+        }
+    }
+
+    /// Jittered exponential backoff on the resilience layer's own RNG
+    /// substream: `base · 2^(attempt−1) · U(0.5, 1.5)`.
+    fn resilience_backoff(&mut self, base: f64, attempt: u32) -> f64 {
+        let r = self.resilience.as_mut().expect("resilience layer active");
+        let exp = attempt.saturating_sub(1).min(16);
+        base * f64::from(1u32 << exp) * r.rng_backoff.uniform(0.5, 1.5)
+    }
+
+    /// Removes a shed query (deadline abandonment or admission drop). The
+    /// caller records the per-cause metric. Closed model: the terminal
+    /// returns to thinking, preserving the closed population.
+    fn shed_query(&mut self, now: SimTime, id: QueryId, sched: &mut Scheduler<Event>) {
+        let _ = now;
+        let q = self.queries.remove(id).expect("query in flight");
+        if matches!(self.params.workload, Workload::Closed) && q.kind != QueryKind::Propagation {
+            let think = self.rng_think.exponential(self.params.think_time);
+            sched.after(
+                think,
+                Event::Submit {
+                    site: q.profile.home,
+                },
+            );
+        }
+    }
+
+    /// Whether `site` is at an admission limit *right now* (live state):
+    /// its stations hold `mpl_cap` or more resident queries, or
+    /// `queue_limit` or more queries are allocated to it.
+    fn site_is_full(&self, site: SiteId) -> bool {
+        let Some(a) = self.params.admission else {
+            return false;
+        };
+        if let Some(cap) = a.mpl_cap {
+            if self.sites[site].resident_queries() as u32 >= cap {
+                return true;
+            }
+        }
+        if let Some(limit) = a.queue_limit {
+            if self.load.live(site).total() >= limit {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The admission verdict for a query headed to `exec`. A full site
+    /// sheds by its configured mode; `Redirect` re-routes to the
+    /// least-loaded usable holder of `relation` (falling back to a reject
+    /// when every alternative is also full, down, or quarantined).
+    fn admit_or_shed(&mut self, exec: SiteId, home: SiteId, relation: usize) -> Admission {
+        let Some(a) = self.params.admission else {
+            return Admission::Admit(exec);
+        };
+        if !a.is_active() || !self.site_is_full(exec) {
+            return Admission::Admit(exec);
+        }
+        match a.mode {
+            SheddingMode::Drop => Admission::Drop,
+            SheddingMode::RejectRetry => Admission::Reject,
+            SheddingMode::Redirect => {
+                let target = self
+                    .catalog
+                    .candidates(relation)
+                    .iter()
+                    .copied()
+                    .filter(|&s| {
+                        s != exec
+                            && self.load.is_available(s)
+                            && self.load.is_trusted(home, s)
+                            && !self.site_is_full(s)
+                    })
+                    .min_by_key(|&s| (self.load.view(s).total(), s));
+                match target {
+                    Some(t) => {
+                        self.metrics.record_admission_redirected();
+                        Admission::Admit(t)
+                    }
+                    None => Admission::Reject,
+                }
+            }
+        }
+    }
+
+    /// The suspicion sweep a site runs when its own broadcast timer fires:
+    /// any peer not heard for `threshold` status periods becomes suspected
+    /// and loses this observer's trust.
+    fn sweep_suspicion(&mut self, now: SimTime, observer: SiteId) {
+        let Some(s) = self.resilience.as_mut().and_then(|r| r.suspicion.as_mut()) else {
+            return;
+        };
+        let n = self.params.num_sites;
+        let horizon = f64::from(s.spec.threshold) * self.params.status_period;
+        for target in 0..n {
+            if target == observer {
+                continue;
+            }
+            let k = observer * n + target;
+            if !s.suspected[k] && now - s.last_heard[k] > horizon {
+                s.suspected[k] = true;
+                s.streak[k] = 0;
+                self.load.set_trusted(observer, target, false);
+            }
+        }
+    }
+
+    /// A status broadcast from `sender` was delivered: every observer that
+    /// can hear it (same partition group, and itself up) refreshes its
+    /// detector entry; a suspected sender works off its rejoin probation
+    /// one heard broadcast at a time.
+    fn hear_status(&mut self, now: SimTime, sender: SiteId) {
+        let n = self.params.num_sites;
+        let partition_groups = self
+            .fault
+            .as_ref()
+            .and_then(|f| f.partition_active.then_some(f.spec.partition_groups));
+        let Some(s) = self.resilience.as_mut().and_then(|r| r.suspicion.as_mut()) else {
+            return;
+        };
+        for observer in 0..n {
+            if observer == sender || !self.sites[observer].is_up() {
+                continue;
+            }
+            if let Some(g) = partition_groups {
+                if partition_group(observer, g, n) != partition_group(sender, g, n) {
+                    continue;
+                }
+            }
+            let k = observer * n + sender;
+            s.last_heard[k] = now;
+            if s.suspected[k] {
+                s.streak[k] += 1;
+                if s.streak[k] >= s.spec.probation {
+                    s.suspected[k] = false;
+                    s.streak[k] = 0;
+                    self.load.set_trusted(observer, sender, true);
+                }
+            }
         }
     }
 
@@ -1042,6 +1568,14 @@ impl Model for DbSystem {
                 };
                 if !dropped {
                     self.load.publish();
+                    // The free exchange also refreshes every backpressure
+                    // bit (there are no per-site frames to carry them).
+                    if self.params.admission.is_some_and(|a| a.is_active()) {
+                        for site in 0..self.params.num_sites {
+                            let full = self.site_is_full(site);
+                            self.load.set_full(site, full);
+                        }
+                    }
                 }
                 sched.after(self.params.status_period, Event::StatusExchange);
             }
@@ -1055,9 +1589,13 @@ impl Model for DbSystem {
                 // A down site broadcasts nothing, but its schedule
                 // survives the outage.
                 if self.sites[site].is_up() && !dropped {
+                    // The broadcaster also audits its peers: anyone whose
+                    // broadcast it has missed too long becomes suspected.
+                    self.sweep_suspicion(now, site);
                     let msg = RingMsg::Status {
                         site,
                         load: self.load.live(site),
+                        full: self.site_is_full(site),
                     };
                     if let Some(done) =
                         self.ring
@@ -1072,6 +1610,21 @@ impl Model for DbSystem {
             Event::SiteUp { site } => self.handle_site_up(now, site, sched),
             Event::MsgLost { msg } => self.handle_msg_lost(now, msg, sched),
             Event::Resubmit { query } => self.handle_resubmit(now, query, sched),
+            Event::DeadlineExpire { query, epoch } => {
+                self.handle_deadline_expire(now, query, epoch, sched);
+            }
+            Event::PartitionStart => {
+                self.fault
+                    .as_mut()
+                    .expect("fault layer active")
+                    .partition_active = true;
+            }
+            Event::PartitionHeal => {
+                self.fault
+                    .as_mut()
+                    .expect("fault layer active")
+                    .partition_active = false;
+            }
         }
     }
 }

@@ -28,8 +28,18 @@
 //! assert_eq!(squares, (0u64..100).map(|x| x * x).collect::<Vec<_>>());
 //! ```
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Renders a caught panic payload for the structured re-raise.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("non-string panic payload")
+}
 
 /// Explicit worker-count override; `0` means "not set".
 static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
@@ -82,8 +92,11 @@ pub fn jobs() -> usize {
 ///
 /// # Panics
 ///
-/// Panics if `jobs` is zero, or propagates the panic if `f` panics on any
-/// item (scoped threads re-raise on join).
+/// Panics if `jobs` is zero. A panic inside `f` is caught per job: the
+/// remaining jobs still run to completion (a poisoned job must not take
+/// its siblings' results down with it), and the panic is then re-raised
+/// with a structured message naming the **lowest-indexed** failing job —
+/// the same job a serial loop would have died on first.
 pub fn par_map<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
@@ -91,46 +104,64 @@ where
     F: Fn(usize, T) -> R + Sync,
 {
     assert!(jobs >= 1, "worker count must be at least 1");
-    if jobs == 1 || items.len() <= 1 {
-        return items
+
+    // A caught job outcome: the result, or the panic payload to re-raise.
+    type Caught<R> = Result<R, Box<dyn std::any::Any + Send>>;
+
+    let outcomes: Vec<Caught<R>> = if jobs == 1 || items.len() <= 1 {
+        items
             .into_iter()
             .enumerate()
-            .map(|(i, x)| f(i, x))
-            .collect();
-    }
+            .map(|(i, x)| catch_unwind(AssertUnwindSafe(|| f(i, x))))
+            .collect()
+    } else {
+        let n = items.len();
+        let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
+        let slots: Vec<Mutex<Option<Caught<R>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        let workers = jobs.min(n);
 
-    let n = items.len();
-    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
-    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let cursor = AtomicUsize::new(0);
-    let workers = jobs.min(n);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = work[i]
+                        .lock()
+                        .expect("work slot poisoned")
+                        .take()
+                        .expect("each index is claimed exactly once");
+                    let r = catch_unwind(AssertUnwindSafe(|| f(i, item)));
+                    *slots[i].lock().expect("result slot poisoned") = Some(r);
+                });
+            }
+        });
 
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let item = work[i]
-                    .lock()
-                    .expect("work slot poisoned")
-                    .take()
-                    .expect("each index is claimed exactly once");
-                let r = f(i, item);
-                *slots[i].lock().expect("result slot poisoned") = Some(r);
-            });
+        slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("worker filled every claimed slot")
+            })
+            .collect()
+    };
+
+    let total = outcomes.len();
+    let failed = outcomes.iter().filter(|o| o.is_err()).count();
+    let mut results = Vec::with_capacity(total);
+    for (i, outcome) in outcomes.into_iter().enumerate() {
+        match outcome {
+            Ok(r) => results.push(r),
+            Err(payload) => panic!(
+                "parallel job {i} panicked ({failed} of {total} jobs failed): {msg}",
+                msg = panic_message(payload.as_ref()),
+            ),
         }
-    });
-
-    slots
-        .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("result slot poisoned")
-                .expect("worker filled every claimed slot")
-        })
-        .collect()
+    }
+    results
 }
 
 /// [`par_map`] for fallible work: applies `f` to every `(index, item)`
@@ -146,7 +177,8 @@ where
 ///
 /// # Panics
 ///
-/// Panics if `jobs` is zero, or propagates panics from `f`.
+/// Panics if `jobs` is zero, or re-raises a panic from `f` with the same
+/// structured job-index message as [`par_map`].
 pub fn par_try_map<T, R, E, F>(jobs: usize, items: Vec<T>, f: F) -> Result<Vec<R>, E>
 where
     T: Send,
@@ -229,6 +261,57 @@ mod tests {
         let items: Vec<u32> = (0..11).collect();
         let r: Result<Vec<u32>, ()> = par_try_map(3, items, |_, x| Ok(x * 2));
         assert_eq!(r.unwrap(), (0..11).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn a_poisoned_job_is_named_and_does_not_lose_its_siblings() {
+        // One job panics; the re-raise must name that job's index, and
+        // every other job must still have run (observable through the
+        // side-channel below) — a poisoned job may not discard its
+        // siblings' identities or work.
+        for jobs in [1, 4] {
+            let ran = Mutex::new(Vec::new());
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                par_map(jobs, (0..12usize).collect(), |i, x| {
+                    if x == 5 {
+                        panic!("poisoned payload");
+                    }
+                    ran.lock().unwrap().push(i);
+                    x
+                })
+            }));
+            let payload = outcome.expect_err("the poisoned job must re-raise");
+            let msg = payload
+                .downcast_ref::<String>()
+                .expect("structured message is a String");
+            assert!(
+                msg.contains("parallel job 5 panicked"),
+                "jobs={jobs}: {msg}"
+            );
+            assert!(msg.contains("1 of 12 jobs failed"), "jobs={jobs}: {msg}");
+            assert!(msg.contains("poisoned payload"), "jobs={jobs}: {msg}");
+            let mut ran = ran.into_inner().unwrap();
+            ran.sort_unstable();
+            let survivors: Vec<usize> = (0..12).filter(|&i| i != 5).collect();
+            assert_eq!(ran, survivors, "jobs={jobs}: sibling jobs were lost");
+        }
+    }
+
+    #[test]
+    fn two_poisoned_jobs_re_raise_the_lowest_index() {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            par_map(3, (0..10usize).collect(), |_, x| {
+                if x == 3 || x == 8 {
+                    panic!("boom {x}");
+                }
+                x
+            })
+        }));
+        let payload = outcome.expect_err("poisoned jobs must re-raise");
+        let msg = payload.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("parallel job 3 panicked"), "{msg}");
+        assert!(msg.contains("2 of 10 jobs failed"), "{msg}");
+        assert!(msg.contains("boom 3"), "{msg}");
     }
 
     #[test]

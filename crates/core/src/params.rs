@@ -79,11 +79,22 @@ pub struct FaultSpec {
     /// Base delay of the exponential backoff: retry `k` waits roughly
     /// `backoff_base * 2^(k-1)`, jittered ±50%.
     pub backoff_base: f64,
+    /// Start time of an injected network partition. Only meaningful with
+    /// `partition_groups >= 2` and `partition_for > 0`.
+    pub partition_at: f64,
+    /// Duration of the injected partition; `0.0` disables it.
+    pub partition_for: f64,
+    /// Number of disjoint contiguous site groups the token ring splits
+    /// into while the partition is active (site `s` belongs to group
+    /// `s * groups / num_sites`). Query/result frames crossing a group
+    /// boundary are dropped at delivery; `0` (or `1`) disables the
+    /// partition.
+    pub partition_groups: u32,
 }
 
 impl Default for FaultSpec {
     /// Crashes disabled, repairs of 50 time units when enabled, no message
-    /// loss, 5 retries on a base backoff of 10 time units.
+    /// loss, 5 retries on a base backoff of 10 time units, no partition.
     fn default() -> Self {
         FaultSpec {
             mtbf: 0.0,
@@ -92,6 +103,9 @@ impl Default for FaultSpec {
             status_loss: 0.0,
             max_retries: 5,
             backoff_base: 10.0,
+            partition_at: 0.0,
+            partition_for: 0.0,
+            partition_groups: 0,
         }
     }
 }
@@ -100,7 +114,157 @@ impl FaultSpec {
     /// Whether any fault process is actually switched on.
     #[must_use]
     pub fn is_active(&self) -> bool {
-        self.mtbf > 0.0 || self.msg_loss > 0.0 || self.status_loss > 0.0
+        self.mtbf > 0.0 || self.msg_loss > 0.0 || self.status_loss > 0.0 || self.has_partition()
+    }
+
+    /// Whether an injected ring partition is configured.
+    #[must_use]
+    pub fn has_partition(&self) -> bool {
+        self.partition_groups >= 2 && self.partition_for > 0.0
+    }
+}
+
+/// Per-query deadlines with bounded reallocation (a robustness
+/// extension; the paper assumes every submitted query runs to
+/// completion wherever it was placed).
+///
+/// Each submitted query draws a deadline `floor + Exp(mean)` from a
+/// dedicated RNG substream when it is allocated. A query still executing
+/// when its deadline expires is cancelled at its site — its unserved work
+/// is unwound from the PS/FCFS stations — and re-allocated to the current
+/// best site after a jittered exponential backoff, up to
+/// `max_reallocations` times; after that it is abandoned. A fresh
+/// deadline is armed per allocation attempt. `mean == 0` disables the
+/// whole lifecycle (no draws, trajectory-identical to `None`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeadlineSpec {
+    /// Mean of the exponential slack added on top of `floor`. `0.0`
+    /// disables deadlines entirely.
+    pub mean: f64,
+    /// Minimum deadline granted to every query.
+    pub floor: f64,
+    /// How many times an expired query may be re-allocated before it is
+    /// abandoned (`0` = abandon on first expiry).
+    pub max_reallocations: u32,
+    /// Base delay of the jittered exponential backoff between a
+    /// cancellation and the reallocation attempt (same shape as
+    /// [`FaultSpec::backoff_base`], drawn from the resilience substream).
+    pub backoff_base: f64,
+}
+
+impl Default for DeadlineSpec {
+    /// Deadlines disabled; when enabled: no floor, 2 reallocations on a
+    /// base backoff of 5 time units.
+    fn default() -> Self {
+        DeadlineSpec {
+            mean: 0.0,
+            floor: 0.0,
+            max_reallocations: 2,
+            backoff_base: 5.0,
+        }
+    }
+}
+
+impl DeadlineSpec {
+    /// Whether deadlines are actually drawn.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.mean > 0.0
+    }
+}
+
+/// Heartbeat-style failure suspicion with hysteresis, built on the
+/// costed status broadcasts (`status_period > 0`,
+/// `status_msg_length > 0`).
+///
+/// Every site expects one status frame per peer per `status_period`.
+/// An observer that has not heard a peer for `threshold` consecutive
+/// periods marks it *suspected* and its `SelectSite` scan quarantines it
+/// (unless no trusted candidate remains, in which case suspicion is
+/// ignored rather than stalling allocation). A suspected peer is trusted
+/// again only after `probation` consecutive broadcasts are heard —
+/// hysteresis against flapping on a congested ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SuspicionSpec {
+    /// Missed broadcast periods before a peer is suspected.
+    pub threshold: u32,
+    /// Consecutive heard broadcasts before a suspected peer is trusted
+    /// again.
+    pub probation: u32,
+}
+
+impl Default for SuspicionSpec {
+    /// Suspect after 3 silent periods; rejoin after 2 heard broadcasts.
+    fn default() -> Self {
+        SuspicionSpec {
+            threshold: 3,
+            probation: 2,
+        }
+    }
+}
+
+/// What an admission-controlled site does with a query it cannot accept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SheddingMode {
+    /// Send the query into a jittered backoff and re-run the allocation
+    /// decision, up to [`AdmissionSpec::max_retries`] times; exhausted
+    /// queries are dropped (with a metric).
+    #[default]
+    RejectRetry,
+    /// Redirect to the least-loaded trusted candidate that still has
+    /// room; falls back to [`SheddingMode::RejectRetry`] when every
+    /// alternative is also full.
+    Redirect,
+    /// Drop the query immediately, counting it; its terminal thinks and
+    /// submits a fresh query.
+    Drop,
+}
+
+/// Per-site admission control with load shedding (a robustness
+/// extension: the paper's sites accept every query routed to them).
+///
+/// A site is *full* when its resident multiprogramming level reaches
+/// `mpl_cap` or its allocated-queue length reaches `queue_limit`; full
+/// sites shed new work per `mode`, and advertise a backpressure bit on
+/// their status broadcasts that demand-aware allocation treats as "do
+/// not route here".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionSpec {
+    /// Maximum queries resident at the site's stations (CPU + disks)
+    /// before new arrivals are shed. `None` = uncapped.
+    pub mpl_cap: Option<u32>,
+    /// Maximum queries allocated to the site (resident plus in transit)
+    /// before new arrivals are shed. `None` = uncapped.
+    pub queue_limit: Option<u32>,
+    /// What happens to a shed query.
+    pub mode: SheddingMode,
+    /// Retry budget under [`SheddingMode::RejectRetry`] before a shed
+    /// query is dropped.
+    pub max_retries: u32,
+    /// Base delay of the jittered exponential backoff between a
+    /// rejection and the next allocation attempt.
+    pub backoff_base: f64,
+}
+
+impl Default for AdmissionSpec {
+    /// No caps (inactive); when capped: reject-to-retry with 5 retries
+    /// on a base backoff of 10 time units.
+    fn default() -> Self {
+        AdmissionSpec {
+            mpl_cap: None,
+            queue_limit: None,
+            mode: SheddingMode::RejectRetry,
+            max_retries: 5,
+            backoff_base: 10.0,
+        }
+    }
+}
+
+impl AdmissionSpec {
+    /// Whether any cap is actually configured.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.mpl_cap.is_some() || self.queue_limit.is_some()
     }
 }
 
@@ -352,10 +516,21 @@ pub struct SystemParams {
     /// read count (applying a logged write is cheaper than computing it).
     /// Zero disables propagation entirely.
     pub propagation_factor: f64,
-    /// Fault injection (site crashes, message loss, status dropouts).
-    /// `None` is the paper's reliability assumption; `Some` with all rates
-    /// zero is trajectory-identical to `None`.
+    /// Fault injection (site crashes, message loss, status dropouts,
+    /// ring partition). `None` is the paper's reliability assumption;
+    /// `Some` with all rates zero is trajectory-identical to `None`.
     pub faults: Option<FaultSpec>,
+    /// Per-query deadlines with cancellation and bounded reallocation.
+    /// `None` (or a spec with `mean == 0`) reproduces the paper's
+    /// run-to-completion model byte for byte.
+    pub deadlines: Option<DeadlineSpec>,
+    /// Heartbeat suspicion/quarantine on the costed status broadcasts.
+    /// Requires `status_period > 0` and `status_msg_length > 0`; `None`
+    /// disables the detector (no site is ever quarantined).
+    pub suspicion: Option<SuspicionSpec>,
+    /// Per-site admission control with load shedding. `None` (or a spec
+    /// with no caps) accepts every query, as the paper does.
+    pub admission: Option<AdmissionSpec>,
 }
 
 impl SystemParams {
@@ -396,6 +571,9 @@ impl SystemParams {
             update_fraction: 0.0,
             propagation_factor: 0.5,
             faults: None,
+            deadlines: None,
+            suspicion: None,
+            admission: None,
         }
     }
 
@@ -523,9 +701,9 @@ impl SystemParams {
                     value: f.mtbf,
                 });
             }
-            if f.mtbf > 0.0 {
-                positive("fault mttr", f.mttr)?;
-            } else if !f.mttr.is_finite() || f.mttr < 0.0 {
+            // MTTR of zero means instant repair, which is legal (the
+            // crash still drops the site's resident queries).
+            if !f.mttr.is_finite() || f.mttr < 0.0 {
                 return Err(ParamsError::NonPositive {
                     field: "fault mttr",
                     value: f.mttr,
@@ -534,6 +712,76 @@ impl SystemParams {
             fraction("fault msg_loss", f.msg_loss)?;
             fraction("fault status_loss", f.status_loss)?;
             positive("fault backoff_base", f.backoff_base)?;
+            if !f.partition_at.is_finite() || f.partition_at < 0.0 {
+                return Err(ParamsError::NonPositive {
+                    field: "partition_at",
+                    value: f.partition_at,
+                });
+            }
+            if !f.partition_for.is_finite() || f.partition_for < 0.0 {
+                return Err(ParamsError::NonPositive {
+                    field: "partition_for",
+                    value: f.partition_for,
+                });
+            }
+            if f.partition_for > 0.0 && f.partition_groups < 2 {
+                return Err(ParamsError::NonPositive {
+                    field: "partition_groups (a partition needs at least 2 groups)",
+                    value: f64::from(f.partition_groups),
+                });
+            }
+            if f.partition_groups as usize > self.num_sites {
+                return Err(ParamsError::NonPositive {
+                    field: "partition_groups (exceeds num_sites)",
+                    value: f64::from(f.partition_groups),
+                });
+            }
+        }
+        if let Some(d) = &self.deadlines {
+            if !d.mean.is_finite() || d.mean < 0.0 {
+                return Err(ParamsError::NonPositive {
+                    field: "deadline mean",
+                    value: d.mean,
+                });
+            }
+            if !d.floor.is_finite() || d.floor < 0.0 {
+                return Err(ParamsError::NonPositive {
+                    field: "deadline floor",
+                    value: d.floor,
+                });
+            }
+            positive("deadline backoff_base", d.backoff_base)?;
+        }
+        if let Some(s) = &self.suspicion {
+            if s.threshold == 0 {
+                return Err(ParamsError::Missing {
+                    what: "suspicion threshold period",
+                });
+            }
+            if s.probation == 0 {
+                return Err(ParamsError::Missing {
+                    what: "suspicion probation broadcast",
+                });
+            }
+            if self.status_period <= 0.0 || self.status_msg_length <= 0.0 {
+                return Err(ParamsError::Missing {
+                    what: "costed status broadcast for the suspicion detector \
+                           (status_period > 0 and status_msg_length > 0)",
+                });
+            }
+        }
+        if let Some(a) = &self.admission {
+            if a.mpl_cap == Some(0) {
+                return Err(ParamsError::Missing {
+                    what: "admitted query under mpl_cap (cap must be >= 1)",
+                });
+            }
+            if a.queue_limit == Some(0) {
+                return Err(ParamsError::Missing {
+                    what: "admitted query under queue_limit (limit must be >= 1)",
+                });
+            }
+            positive("admission backoff_base", a.backoff_base)?;
         }
         if let Some(m) = &self.migration {
             if m.check_every_reads == 0 {
@@ -613,6 +861,17 @@ impl SystemParams {
             None => 1.0,
             Some(speeds) => speeds[site],
         }
+    }
+
+    /// Whether any part of the resilience layer (deadlines, suspicion,
+    /// admission control) can influence the trajectory. `false`
+    /// guarantees the run is byte-identical to one with all three specs
+    /// set to `None` (CRN: the resilience substreams are never drawn).
+    #[must_use]
+    pub fn resilience_active(&self) -> bool {
+        self.deadlines.is_some_and(|d| d.is_active())
+            || self.suspicion.is_some()
+            || self.admission.is_some_and(|a| a.is_active())
     }
 
     /// Mean total service demand of a class-`c` query:
@@ -827,6 +1086,27 @@ impl SystemParamsBuilder {
         self
     }
 
+    /// Enables or disables per-query deadlines with reallocation.
+    #[must_use]
+    pub fn deadlines(mut self, spec: Option<DeadlineSpec>) -> Self {
+        self.params.deadlines = spec;
+        self
+    }
+
+    /// Enables or disables the heartbeat suspicion detector.
+    #[must_use]
+    pub fn suspicion(mut self, spec: Option<SuspicionSpec>) -> Self {
+        self.params.suspicion = spec;
+        self
+    }
+
+    /// Enables or disables per-site admission control.
+    #[must_use]
+    pub fn admission(mut self, spec: Option<AdmissionSpec>) -> Self {
+        self.params.admission = spec;
+        self
+    }
+
     /// Validates and returns the parameters.
     ///
     /// # Errors
@@ -998,15 +1278,24 @@ mod tests {
 
     #[test]
     fn fault_spec_validation() {
-        // Crashes without a positive repair time are rejected.
-        let bad = SystemParams::builder()
+        // MTTR of zero is instant repair, which is legal; a negative
+        // repair time is not.
+        let instant = SystemParams::builder()
             .faults(Some(FaultSpec {
                 mtbf: 100.0,
                 mttr: 0.0,
                 ..FaultSpec::default()
             }))
             .build();
-        assert!(bad.is_err());
+        assert!(instant.is_ok());
+        let bad_mttr = SystemParams::builder()
+            .faults(Some(FaultSpec {
+                mtbf: 100.0,
+                mttr: -1.0,
+                ..FaultSpec::default()
+            }))
+            .build();
+        assert!(bad_mttr.is_err());
         let bad_loss = SystemParams::builder()
             .faults(Some(FaultSpec {
                 msg_loss: 1.5,
@@ -1031,6 +1320,135 @@ mod tests {
             .build();
         assert!(ok.is_ok());
         assert!(ok.unwrap().faults.unwrap().is_active());
+    }
+
+    #[test]
+    fn partition_validation() {
+        // Duration without groups is rejected; so are more groups than
+        // sites; a well-formed partition activates the fault layer.
+        let no_groups = SystemParams::builder()
+            .faults(Some(FaultSpec {
+                partition_at: 100.0,
+                partition_for: 50.0,
+                ..FaultSpec::default()
+            }))
+            .build();
+        assert!(no_groups.is_err());
+        let too_many = SystemParams::builder()
+            .num_sites(4)
+            .faults(Some(FaultSpec {
+                partition_for: 50.0,
+                partition_groups: 5,
+                ..FaultSpec::default()
+            }))
+            .build();
+        assert!(too_many.is_err());
+        let ok = SystemParams::builder()
+            .faults(Some(FaultSpec {
+                partition_at: 100.0,
+                partition_for: 50.0,
+                partition_groups: 2,
+                ..FaultSpec::default()
+            }))
+            .build()
+            .unwrap();
+        assert!(ok.faults.unwrap().has_partition());
+        assert!(ok.faults.unwrap().is_active());
+        // Groups configured but zero duration = disabled, valid.
+        let idle = FaultSpec {
+            partition_groups: 3,
+            ..FaultSpec::default()
+        };
+        assert!(!idle.has_partition());
+    }
+
+    #[test]
+    fn deadline_spec_validation() {
+        // Default spec is inactive and valid.
+        let p = SystemParams::builder()
+            .deadlines(Some(DeadlineSpec::default()))
+            .build()
+            .unwrap();
+        assert!(!p.resilience_active());
+        let bad_mean = SystemParams::builder()
+            .deadlines(Some(DeadlineSpec {
+                mean: -10.0,
+                ..DeadlineSpec::default()
+            }))
+            .build();
+        assert!(bad_mean.is_err());
+        let bad_backoff = SystemParams::builder()
+            .deadlines(Some(DeadlineSpec {
+                mean: 100.0,
+                backoff_base: 0.0,
+                ..DeadlineSpec::default()
+            }))
+            .build();
+        assert!(bad_backoff.is_err());
+        let active = SystemParams::builder()
+            .deadlines(Some(DeadlineSpec {
+                mean: 100.0,
+                ..DeadlineSpec::default()
+            }))
+            .build()
+            .unwrap();
+        assert!(active.resilience_active());
+    }
+
+    #[test]
+    fn suspicion_requires_costed_broadcasts() {
+        let no_broadcasts = SystemParams::builder()
+            .suspicion(Some(SuspicionSpec::default()))
+            .build();
+        assert!(no_broadcasts.is_err());
+        let ok = SystemParams::builder()
+            .status_period(30.0)
+            .status_msg_length(1.0)
+            .suspicion(Some(SuspicionSpec::default()))
+            .build()
+            .unwrap();
+        assert!(ok.resilience_active());
+        let zero_threshold = SystemParams::builder()
+            .status_period(30.0)
+            .status_msg_length(1.0)
+            .suspicion(Some(SuspicionSpec {
+                threshold: 0,
+                ..SuspicionSpec::default()
+            }))
+            .build();
+        assert!(zero_threshold.is_err());
+    }
+
+    #[test]
+    fn admission_spec_validation() {
+        // No caps = inactive and valid.
+        let p = SystemParams::builder()
+            .admission(Some(AdmissionSpec::default()))
+            .build()
+            .unwrap();
+        assert!(!p.resilience_active());
+        let zero_cap = SystemParams::builder()
+            .admission(Some(AdmissionSpec {
+                mpl_cap: Some(0),
+                ..AdmissionSpec::default()
+            }))
+            .build();
+        assert!(zero_cap.is_err());
+        let zero_queue = SystemParams::builder()
+            .admission(Some(AdmissionSpec {
+                queue_limit: Some(0),
+                ..AdmissionSpec::default()
+            }))
+            .build();
+        assert!(zero_queue.is_err());
+        let capped = SystemParams::builder()
+            .admission(Some(AdmissionSpec {
+                mpl_cap: Some(10),
+                ..AdmissionSpec::default()
+            }))
+            .build()
+            .unwrap();
+        assert!(capped.resilience_active());
     }
 
     #[test]

@@ -76,6 +76,18 @@ impl AllocationContext<'_> {
             self.load.view(site)
         }
     }
+
+    /// Whether the arrival site would route a query to `site` at all:
+    /// the site must be up, trusted by the arrival site's suspicion
+    /// detector, and — for remote sites — not advertising admission
+    /// backpressure. Without the resilience layer this is exactly
+    /// [`LoadTable::is_available`].
+    #[must_use]
+    pub fn usable(&self, site: SiteId) -> bool {
+        self.load.is_available(site)
+            && self.load.is_trusted(self.arrival_site, site)
+            && (site == self.arrival_site || !self.load.is_full(site))
+    }
 }
 
 /// A site cost function, pluggable into the Figure-3 selection procedure.
@@ -169,11 +181,17 @@ impl Allocator {
     /// the primary — the static-materialization baseline of §1.1.
     ///
     /// Down sites (fault injection) are never selected: the scan is
-    /// failure-aware and skips them. If *no* candidate is up, the query
-    /// falls back to the arrival site — every policy degenerates to LOCAL
-    /// when the rest of the system is unreachable, and the arrival site is
-    /// the only place the query can physically wait. Without faults every
-    /// site is available and the scan is byte-identical to the paper's.
+    /// failure-aware and skips them. Sites the arrival site currently
+    /// suspects (heartbeat detector) or that advertise admission
+    /// backpressure are quarantined the same way — but only *softly*: if
+    /// every candidate is quarantined while some are still up, the scan
+    /// ignores suspicion/backpressure rather than stalling, so a wrong
+    /// suspicion can never make a relation unreachable. If *no* candidate
+    /// is up at all, the query falls back to the arrival site — every
+    /// policy degenerates to LOCAL when the rest of the system is
+    /// unreachable, and the arrival site is the only place the query can
+    /// physically wait. Without faults or the resilience layer every site
+    /// passes both filters and the scan is byte-identical to the paper's.
     ///
     /// # Panics
     ///
@@ -187,10 +205,20 @@ impl Allocator {
         assert!(!candidates.is_empty(), "query has no candidate sites");
         let n = ctx.params.num_sites;
         let arrival = ctx.arrival_site;
-        let start = if candidates.contains(&arrival) && ctx.load.is_available(arrival) {
+        // Soft quarantine: honor trust/backpressure only while at least
+        // one candidate survives the stricter filter.
+        let strict = candidates.iter().any(|&s| ctx.usable(s));
+        let admit = |s: SiteId| {
+            if strict {
+                ctx.usable(s)
+            } else {
+                ctx.load.is_available(s)
+            }
+        };
+        let start = if candidates.contains(&arrival) && admit(arrival) {
             arrival
         } else {
-            match candidates.iter().find(|&&s| ctx.load.is_available(s)) {
+            match candidates.iter().find(|&&s| admit(s)) {
                 Some(&s) => s,
                 None => {
                     // Everything is down: fall back to LOCAL behavior. The
@@ -206,7 +234,7 @@ impl Allocator {
         // Scan the other candidates starting from the rotating cursor.
         for k in 0..n {
             let site = (self.cursor + k) % n;
-            if site == start || !candidates.contains(&site) || !ctx.load.is_available(site) {
+            if site == start || !candidates.contains(&site) || !admit(site) {
                 continue;
             }
             let cost = self.policy.site_cost(query, site, ctx);
@@ -241,7 +269,7 @@ impl Allocator {
         let mut best: Option<(SiteId, f64)> = None;
         for k in 0..n {
             let site = (self.cursor + k) % n;
-            if site == current || !candidates.contains(&site) || !ctx.load.is_available(site) {
+            if site == current || !candidates.contains(&site) || !ctx.usable(site) {
                 continue;
             }
             let cost = self.policy.site_cost(remaining, site, ctx) + state_penalty;
@@ -516,6 +544,83 @@ mod tests {
         let q = f.io_query(0);
         let target = alloc.migration_target(&q, 0, &f.ctx(0), &[0, 1, 2], 0.0, 0.0);
         assert_eq!(target, None, "no up site to migrate to");
+    }
+
+    #[test]
+    fn suspected_sites_are_quarantined() {
+        let mut f = Fixture::new(4).unwrap();
+        // Arrival site loaded; site 3 would win but arrival suspects it.
+        f.load.allocate(0, true);
+        f.load.allocate(0, true);
+        f.load.allocate(1, true);
+        f.load.allocate(2, true);
+        f.load.set_trusted(0, 3, false);
+        let mut alloc = Allocator::new(PolicyKind::Bnq, 0);
+        let q = f.io_query(0);
+        for _ in 0..8 {
+            let pick = alloc.select_site(&q, &f.ctx(0));
+            assert_ne!(pick, 3, "suspected site must never be selected");
+        }
+        // Another observer that still trusts site 3 may pick it.
+        let q1 = f.io_query(1);
+        f.load.allocate(1, true); // make site 3 the clear winner from 1
+        let pick = alloc.select_site(&q1, &f.ctx(1));
+        assert_eq!(pick, 3, "suspicion is per-observer");
+    }
+
+    #[test]
+    fn full_sites_are_skipped_but_arrival_may_stay() {
+        let mut f = Fixture::new(3).unwrap();
+        f.load.allocate(0, true);
+        f.load.allocate(0, true);
+        f.load.allocate(1, true);
+        // Site 2 is empty but advertises backpressure.
+        f.load.set_full(2, true);
+        let mut alloc = Allocator::new(PolicyKind::Bnq, 0);
+        let q = f.io_query(0);
+        for _ in 0..6 {
+            let pick = alloc.select_site(&q, &f.ctx(0));
+            assert_ne!(pick, 2, "full site must never win the scan");
+        }
+        // The arrival site's own backpressure bit does not exile it, and
+        // once site 2 clears its bit the empty site wins again.
+        f.load.set_full(0, true);
+        f.load.set_full(2, false);
+        let picks: Vec<SiteId> = (0..6).map(|_| alloc.select_site(&q, &f.ctx(0))).collect();
+        assert!(
+            picks.iter().all(|&s| s == 2),
+            "empty healthy site must win: {picks:?}"
+        );
+    }
+
+    #[test]
+    fn quarantine_of_every_candidate_is_ignored() {
+        let mut f = Fixture::new(4).unwrap();
+        // Arrival holds no copy; it suspects both holders. The scan must
+        // fall back to availability-only filtering instead of stalling.
+        f.load.set_trusted(1, 2, false);
+        f.load.set_trusted(1, 3, false);
+        let mut alloc = Allocator::new(PolicyKind::Bnq, 0);
+        let q = f.io_query(1);
+        let pick = alloc.select_site_among(&q, &f.ctx(1), &[2, 3]);
+        assert!(
+            pick == 2 || pick == 3,
+            "soft quarantine must yield, got {pick}"
+        );
+    }
+
+    #[test]
+    fn migration_never_targets_untrusted_or_full_site() {
+        let mut f = Fixture::new(3).unwrap();
+        for _ in 0..4 {
+            f.load.allocate(0, true);
+        }
+        f.load.set_trusted(0, 1, false);
+        f.load.set_full(2, true);
+        let mut alloc = Allocator::new(PolicyKind::Bnq, 0);
+        let q = f.io_query(0);
+        let target = alloc.migration_target(&q, 0, &f.ctx(0), &[0, 1, 2], 0.0, 0.0);
+        assert_eq!(target, None, "both alternatives are quarantined");
     }
 
     #[test]

@@ -93,6 +93,19 @@ pub struct ActiveQuery {
     pub kind: QueryKind,
     /// Fault-recovery attempts consumed so far (always 0 without faults).
     pub retries: u32,
+    /// Generation counter for the query's armed deadline: a
+    /// `DeadlineExpire` event only fires if its stamped epoch still
+    /// matches, so cancellations/crashes/reallocations lazily invalidate
+    /// any in-flight expiry (always 0 without deadlines).
+    pub deadline_epoch: u32,
+    /// Resilience-recovery attempts consumed so far — deadline
+    /// reallocations plus admission reject-retries (always 0 with the
+    /// resilience layer off).
+    pub res_retries: u32,
+    /// Deadline expired while the query was at a point that cannot be
+    /// unwound immediately (a frame in flight, a disk read in service);
+    /// the cancellation completes at the next natural event.
+    pub expired: bool,
 }
 
 impl ActiveQuery {
@@ -135,6 +148,7 @@ impl ActiveQuery {
 /// #             home: 0, io_bound: true, relation: 0 },
 /// #         exec: 0, reads_total: 1, reads_done: 0, submitted: SimTime::ZERO,
 /// #         service: 0.0, phase: QueryPhase::Disk, kind: QueryKind::Read, retries: 0,
+/// #         deadline_epoch: 0, res_retries: 0, expired: false,
 /// #     }
 /// # }
 /// let mut table = QueryTable::new();
@@ -285,6 +299,9 @@ mod tests {
             phase: QueryPhase::Transfer,
             kind: QueryKind::Read,
             retries: 0,
+            deadline_epoch: 0,
+            res_retries: 0,
+            expired: false,
         }
     }
 

@@ -166,6 +166,32 @@ impl<J> FcfsQueue<J> {
         self.population.time_average(now)
     }
 
+    /// Returns `true` if `job` is the one currently in service. A job in
+    /// service cannot be removed — its completion event is already
+    /// scheduled and FCFS service never changes once started — so a host
+    /// cancelling it must flag the job and discard it at completion.
+    #[must_use]
+    pub fn is_in_service(&self, job: &J) -> bool
+    where
+        J: PartialEq,
+    {
+        self.in_service.as_ref() == Some(job)
+    }
+
+    /// Removes one specific *waiting* job — a cancellation. Returns its
+    /// service requirement (never started, so no statistics beyond the
+    /// population need correcting), or `None` if the job is not waiting
+    /// (absent, or in service — see [`FcfsQueue::is_in_service`]).
+    pub fn remove_waiting(&mut self, now: SimTime, job: &J) -> Option<f64>
+    where
+        J: PartialEq,
+    {
+        let i = self.waiting.iter().position(|(j, _)| j == job)?;
+        let (_, service) = self.waiting.remove(i).expect("indexed waiting job");
+        self.population.add(now, -1.0);
+        Some(service)
+    }
+
     /// Ejects every job (in service and waiting) without counting
     /// completions — a station crash. Already-scheduled completion events
     /// for this station become dangling; the host must discard them (e.g.
@@ -276,6 +302,30 @@ mod tests {
     fn complete_on_idle_panics() {
         let mut q: FcfsQueue<()> = FcfsQueue::new(SimTime::ZERO);
         q.complete(SimTime::new(1.0));
+    }
+
+    #[test]
+    fn remove_waiting_skips_the_job_in_service() {
+        let mut q = FcfsQueue::new(SimTime::ZERO);
+        let c1 = q.arrive(SimTime::ZERO, 1, 2.0).unwrap();
+        q.arrive(SimTime::ZERO, 2, 3.0);
+        q.arrive(SimTime::ZERO, 3, 4.0);
+        assert!(q.is_in_service(&1));
+        assert!(!q.is_in_service(&2));
+        // The in-service job cannot be removed; a waiting one can.
+        assert_eq!(q.remove_waiting(SimTime::new(1.0), &1), None);
+        assert_eq!(q.remove_waiting(SimTime::new(1.0), &2), Some(3.0));
+        assert_eq!(q.remove_waiting(SimTime::new(1.0), &2), None);
+        assert_eq!(q.len(), 2);
+        // FIFO order is preserved for the survivors: 1 then 3.
+        let (done, c2) = q.complete(c1);
+        assert_eq!(done, 1);
+        assert_eq!(c2, Some(SimTime::new(6.0)));
+        let (done, none) = q.complete(c2.unwrap());
+        assert_eq!(done, 3);
+        assert!(none.is_none());
+        // Population integrates to: 3 jobs [0,1), 2 jobs [1,2), 1 [2,6).
+        assert!((q.mean_population(SimTime::new(6.0)) - 1.5).abs() < 1e-12);
     }
 
     #[test]

@@ -209,6 +209,31 @@ impl<J> PsServer<J> {
         self.population.time_average(now)
     }
 
+    /// Removes one specific resident job — a cancellation (e.g. a query
+    /// whose deadline expired). Returns the job's unserved work together
+    /// with the server's new next completion; any previously scheduled
+    /// completion becomes stale (the epoch is bumped). The removal is
+    /// not counted as a completion, and the unserved work is subtracted
+    /// from the accepted-service total so work conservation
+    /// (`total_service` vs busy time) still balances. Returns `None` if
+    /// the job is not resident.
+    pub fn remove(&mut self, now: SimTime, job: &J) -> Option<(f64, NextCompletion)>
+    where
+        J: PartialEq,
+    {
+        let i = self.jobs.iter().position(|e| e.job == *job)?;
+        self.advance(now);
+        let unserved = (self.jobs[i].finish_v - self.vtime).max(0.0);
+        self.jobs.swap_remove(i);
+        self.total_service -= unserved;
+        self.epoch += 1;
+        self.population.add(now, -1.0);
+        if self.jobs.is_empty() {
+            self.busy.set(now, 0.0);
+        }
+        Some((unserved, self.next_completion(now)))
+    }
+
     /// Ejects every resident job without counting completions — a station
     /// crash. The epoch is bumped, so any already-scheduled completion
     /// event carries a stale token and is ignored on delivery. Returns the
@@ -364,5 +389,50 @@ mod tests {
     fn clear_on_idle_is_empty() {
         let mut cpu: PsServer<u32> = PsServer::new(SimTime::ZERO);
         assert!(cpu.clear(SimTime::new(1.0)).is_empty());
+    }
+
+    #[test]
+    fn remove_returns_unserved_work_and_stales_tokens() {
+        let mut cpu = PsServer::new(SimTime::ZERO);
+        cpu.arrive(SimTime::ZERO, "a", 4.0);
+        let stale = cpu.arrive(SimTime::ZERO, "b", 4.0).unwrap();
+        // At t=2 both ran at rate 1/2 -> each has 3 units left.
+        let (unserved, next) = cpu.remove(SimTime::new(2.0), &"b").unwrap();
+        assert!((unserved - 3.0).abs() < 1e-9, "unserved {unserved}");
+        assert_eq!(cpu.len(), 1);
+        // Pre-removal completion is stale; the survivor's is rescheduled:
+        // "a" has 3 units left alone -> departs at t=5.
+        assert!(cpu.complete(stale.0, stale.1).is_none());
+        let (t, tok) = next.unwrap();
+        assert_eq!(t, SimTime::new(5.0));
+        let (done, rest) = cpu.complete(t, tok).unwrap();
+        assert_eq!(done, "a");
+        assert!(rest.is_none());
+        // Accepted service shrank by the unserved work: 8 - 3 = 5, which
+        // equals the busy time actually rendered by t=5.
+        assert!((cpu.total_service() - 5.0).abs() < 1e-9);
+        assert_eq!(cpu.completions(), 1, "removal is not a completion");
+    }
+
+    #[test]
+    fn remove_missing_job_is_none() {
+        let mut cpu = PsServer::new(SimTime::ZERO);
+        let next = cpu.arrive(SimTime::ZERO, 1, 2.0);
+        assert!(cpu.remove(SimTime::new(1.0), &9).is_none());
+        // The announced completion is still honored.
+        let (t, tok) = next.unwrap();
+        assert!(cpu.complete(t, tok).is_some());
+    }
+
+    #[test]
+    fn remove_last_job_idles_the_server() {
+        let mut cpu = PsServer::new(SimTime::ZERO);
+        cpu.arrive(SimTime::ZERO, "x", 10.0);
+        let (unserved, next) = cpu.remove(SimTime::new(4.0), &"x").unwrap();
+        assert!((unserved - 6.0).abs() < 1e-9);
+        assert!(next.is_none());
+        assert!(cpu.is_empty());
+        assert!((cpu.utilization(SimTime::new(8.0)) - 0.5).abs() < 1e-12);
+        assert!((cpu.total_service() - 4.0).abs() < 1e-9);
     }
 }

@@ -305,3 +305,92 @@ fn faults_degrade_but_do_not_destroy_policy_gains() {
     );
     assert!(bnq.mean_availability < 1.0);
 }
+
+#[test]
+fn crashes_landing_during_retry_backoff_hold_invariants() {
+    // Edge case: with crashes this frequent and repairs this slow, a site
+    // regularly crashes *again* while queries it already failed are still
+    // sitting out their retry backoff. A resubmission must then re-check
+    // availability rather than trust the allocation that existed when the
+    // backoff was scheduled; the checkpointed invariants and the repeated
+    // run catch any stale event leaking across crash epochs.
+    let spec = FaultSpec {
+        mtbf: 150.0,
+        mttr: 120.0,
+        msg_loss: 0.05,
+        max_retries: 6,
+        backoff_base: 30.0,
+        ..FaultSpec::default()
+    };
+    let params = |spec| {
+        SystemParams::builder()
+            .num_sites(3)
+            .mpl(4)
+            .think_time(60.0)
+            .faults(Some(spec))
+            .build()
+            .unwrap()
+    };
+    let a = run_with_invariants(params(spec), PolicyKind::Bnqrd, 41, 12_000.0);
+    let m = a.model().metrics();
+    assert!(m.queries_retried() > 0, "this load must force retries");
+    assert!(m.completed() > 50, "completions {}", m.completed());
+    // Reproducibility doubles as a stale-event detector: an event from a
+    // previous crash epoch firing on a recycled query would act on
+    // schedule-time state and desynchronize the trajectories.
+    let b = run_with_invariants(params(spec), PolicyKind::Bnqrd, 41, 12_000.0);
+    assert_eq!(a.steps(), b.steps(), "crash/backoff trajectory diverged");
+    assert_eq!(
+        m.mean_waiting().to_bits(),
+        b.model().metrics().mean_waiting().to_bits()
+    );
+}
+
+#[test]
+fn mttr_zero_means_instant_repair() {
+    // Edge case: a repair time of zero is legal and means the site comes
+    // back the moment it fails — resident queries are still ejected and
+    // retried, but no capacity is ever unavailable for a positive span.
+    let params = SystemParams::builder()
+        .num_sites(4)
+        .mpl(5)
+        .think_time(100.0)
+        .faults(Some(faulty(400.0, 0.0, 0.0)))
+        .build()
+        .unwrap();
+    let engine = run_with_invariants(params, PolicyKind::Lert, 13, 10_000.0);
+    let m = engine.model().metrics();
+    assert!(
+        m.queries_retried() > 0,
+        "instant repair still ejects residents"
+    );
+    assert!(m.completed() > 200, "completions {}", m.completed());
+    assert!(
+        (m.mean_availability(engine.now()) - 1.0).abs() < 1e-12,
+        "zero-length outages should not reduce availability"
+    );
+}
+
+#[test]
+fn crash_clears_mid_service_stations_without_stale_completions() {
+    // Edge case: every crash calls `clear()` on stations that are
+    // mid-service, leaving already-scheduled completion events dangling.
+    // Those events must be discarded by the crash-epoch stamps — if one
+    // leaked it would complete a job the station no longer holds and the
+    // residency invariant (checked at 40 checkpoints) would break.
+    let params = SystemParams::builder()
+        .num_sites(3)
+        .mpl(6)
+        .think_time(30.0) // high utilization: stations are busy when crashes land
+        .faults(Some(faulty(200.0, 40.0, 0.0)))
+        .build()
+        .unwrap();
+    let engine = run_with_invariants(params, PolicyKind::Bnq, 71, 10_000.0);
+    let m = engine.model().metrics();
+    assert!(
+        m.queries_retried() > 20,
+        "busy stations must be cleared mid-service ({} retries)",
+        m.queries_retried()
+    );
+    assert!(m.completed() > 100, "completions {}", m.completed());
+}

@@ -45,6 +45,7 @@ fn faulty_spec() -> FaultSpec {
         status_loss: 0.0,
         max_retries: 4,
         backoff_base: 10.0,
+        ..FaultSpec::default()
     }
 }
 

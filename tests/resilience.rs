@@ -1,0 +1,337 @@
+//! Integration tests of the resilience layer (PR 4): the zero-rate
+//! identity (inert deadline/suspicion/admission specs must not perturb a
+//! single event), deadline cancellation invariants, reallocation vs
+//! abandonment, quarantine under an injected partition, admission-control
+//! shedding, and determinism with every layer enabled at once.
+
+use dqa_core::experiment::{run, RunConfig};
+use dqa_core::model::DbSystem;
+use dqa_core::params::{
+    AdmissionSpec, DeadlineSpec, FaultSpec, SheddingMode, SuspicionSpec, SystemParams,
+};
+use dqa_core::policy::PolicyKind;
+use dqa_sim::{Engine, SimTime};
+
+const POLICIES: [PolicyKind; 4] = [
+    PolicyKind::Local,
+    PolicyKind::Bnq,
+    PolicyKind::Bnqrd,
+    PolicyKind::Lert,
+];
+
+fn base_params() -> SystemParams {
+    SystemParams::builder()
+        .num_sites(4)
+        .mpl(5)
+        .think_time(100.0)
+        .build()
+        .unwrap()
+}
+
+/// Base parameters with a costed status broadcast, which the suspicion
+/// detector requires (and which carries the admission backpressure bit).
+fn broadcast_params() -> SystemParams {
+    SystemParams::builder()
+        .num_sites(4)
+        .mpl(5)
+        .think_time(100.0)
+        .status_period(50.0)
+        .status_msg_length(0.1)
+        .build()
+        .unwrap()
+}
+
+fn tight_deadlines(max_reallocations: u32) -> DeadlineSpec {
+    DeadlineSpec {
+        mean: 80.0,
+        floor: 10.0,
+        max_reallocations,
+        ..DeadlineSpec::default()
+    }
+}
+
+/// A pure ring partition: no crashes, no message loss, just two silent
+/// halves for `for_` time units starting at `at`.
+fn partition(at: f64, for_: f64) -> FaultSpec {
+    FaultSpec {
+        mtbf: 0.0,
+        msg_loss: 0.0,
+        status_loss: 0.0,
+        partition_at: at,
+        partition_for: for_,
+        partition_groups: 2,
+        ..FaultSpec::default()
+    }
+}
+
+/// Drives a system and checks invariants at regular checkpoints.
+fn run_with_invariants(
+    params: SystemParams,
+    policy: PolicyKind,
+    seed: u64,
+    until: f64,
+) -> Engine<DbSystem> {
+    let sys = DbSystem::new(params, policy, seed).unwrap();
+    let mut engine = Engine::new(sys);
+    DbSystem::prime(&mut engine);
+    let checkpoints = 40;
+    for k in 1..=checkpoints {
+        engine.run_until(SimTime::new(until * f64::from(k) / f64::from(checkpoints)));
+        engine.model().check_invariants();
+    }
+    engine
+}
+
+#[test]
+fn inert_resilience_specs_are_byte_identical_to_none() {
+    // The resilience layer draws from dedicated RNG substreams (14 and
+    // 15), so merely enabling it with inert specs — deadline mean 0, no
+    // admission cap or queue limit — must reproduce the exact event
+    // trajectory of a plain run: the common-random-numbers property.
+    let without = {
+        let sys = DbSystem::new(base_params(), PolicyKind::Lert, 42).unwrap();
+        let mut e = Engine::new(sys);
+        DbSystem::prime(&mut e);
+        e.run_until(SimTime::new(5_000.0));
+        e
+    };
+    let with = {
+        let mut params = base_params();
+        params.deadlines = Some(DeadlineSpec::default());
+        params.admission = Some(AdmissionSpec::default());
+        assert!(!DeadlineSpec::default().is_active());
+        assert!(!AdmissionSpec::default().is_active());
+        let sys = DbSystem::new(params, PolicyKind::Lert, 42).unwrap();
+        let mut e = Engine::new(sys);
+        DbSystem::prime(&mut e);
+        e.run_until(SimTime::new(5_000.0));
+        e
+    };
+    assert_eq!(without.steps(), with.steps(), "event counts diverged");
+    let (a, b) = (without.model().metrics(), with.model().metrics());
+    assert_eq!(a.completed(), b.completed());
+    assert_eq!(a.submitted(), b.submitted());
+    assert!(
+        (a.mean_waiting() - b.mean_waiting()).abs() == 0.0,
+        "waiting diverged"
+    );
+    assert_eq!(b.deadline_timeouts(), 0);
+    assert_eq!(b.admission_rejected() + b.admission_dropped(), 0);
+}
+
+#[test]
+fn zero_rate_resilience_reports_match_seed_reports() {
+    // The acceptance criterion for the paper tables: with the resilience
+    // knobs off, the full experiment-harness report — every field, every
+    // f64 bit — is unchanged for all four paper policies.
+    for policy in POLICIES {
+        let plain = RunConfig::new(base_params(), policy)
+            .seed(7)
+            .windows(1_000.0, 8_000.0);
+        let mut params = base_params();
+        params.deadlines = Some(DeadlineSpec::default());
+        params.admission = Some(AdmissionSpec::default());
+        let inert = RunConfig::new(params, policy)
+            .seed(7)
+            .windows(1_000.0, 8_000.0);
+        let a = run(&plain).unwrap();
+        let b = run(&inert).unwrap();
+        assert!(a == b, "{policy}: report diverged with inert resilience");
+    }
+}
+
+#[test]
+fn suspicion_without_faults_is_byte_identical() {
+    // In a fault-free run every site broadcasts on time, so the detector
+    // never suspects anyone, never touches the trust table, and draws no
+    // random numbers: enabling it must not move a single event.
+    let plain = RunConfig::new(broadcast_params(), PolicyKind::Bnqrd)
+        .seed(11)
+        .windows(1_000.0, 8_000.0);
+    let mut params = broadcast_params();
+    params.suspicion = Some(SuspicionSpec::default());
+    let suspicious = RunConfig::new(params, PolicyKind::Bnqrd)
+        .seed(11)
+        .windows(1_000.0, 8_000.0);
+    let a = run(&plain).unwrap();
+    let b = run(&suspicious).unwrap();
+    assert!(a == b, "suspicion-on report diverged in a fault-free run");
+}
+
+#[test]
+fn deadline_cancellations_preserve_station_invariants() {
+    // Tight deadlines cancel queries in every phase — waiting at a disk,
+    // in PS service, mid-transfer. After each cancellation the station
+    // populations and the load table must still balance exactly; the
+    // checkpointed invariants catch any unwind that leaks a resident.
+    for policy in [PolicyKind::Bnqrd, PolicyKind::Lert] {
+        let mut params = base_params();
+        params.deadlines = Some(tight_deadlines(2));
+        let engine = run_with_invariants(params, policy, 1_234, 10_000.0);
+        let m = engine.model().metrics();
+        assert!(
+            m.deadline_timeouts() > 0,
+            "{policy}: tight deadlines should actually expire"
+        );
+        assert!(
+            m.deadline_reallocations() > 0,
+            "{policy}: expired queries should be reallocated"
+        );
+        assert!(m.completed() > 0, "{policy}: system still completes work");
+    }
+}
+
+#[test]
+fn deadline_reallocation_strictly_reduces_abandonment() {
+    // Same load, same seed, same deadline draw stream: a reallocation
+    // budget of 2 must strictly reduce abandonments relative to a budget
+    // of 0 (where every expiry is final).
+    let report_with_budget = |budget: u32| {
+        let mut params = base_params();
+        params.deadlines = Some(tight_deadlines(budget));
+        run(&RunConfig::new(params, PolicyKind::Bnqrd)
+            .seed(5)
+            .windows(1_000.0, 10_000.0))
+        .unwrap()
+    };
+    let no_retries = report_with_budget(0);
+    let with_retries = report_with_budget(2);
+    assert!(
+        no_retries.deadline_abandoned > 0,
+        "budget 0 should abandon every expired query"
+    );
+    assert_eq!(
+        no_retries.deadline_reallocations, 0,
+        "budget 0 permits no reallocations"
+    );
+    assert!(
+        with_retries.deadline_abandoned < no_retries.deadline_abandoned,
+        "reallocation should strictly reduce abandonment: {} vs {}",
+        with_retries.deadline_abandoned,
+        no_retries.deadline_abandoned
+    );
+    assert!(with_retries.deadline_reallocations > 0);
+}
+
+#[test]
+fn quarantine_lowers_mean_response_under_partition() {
+    // During a partition, a quarantine-blind BNQRD keeps dispatching into
+    // the silent half of the ring; every such frame is dropped and the
+    // query pays retry backoff. With the suspicion detector on, the
+    // silent sites are quarantined after `threshold` missed broadcasts
+    // and work stays on reachable sites: mean response must be strictly
+    // lower.
+    let report = |suspicion: Option<SuspicionSpec>| {
+        let mut params = broadcast_params();
+        params.faults = Some(partition(2_000.0, 5_000.0));
+        params.suspicion = suspicion;
+        run(&RunConfig::new(params, PolicyKind::Bnqrd)
+            .seed(21)
+            .windows(1_000.0, 9_000.0))
+        .unwrap()
+    };
+    let blind = report(None);
+    let aware = report(Some(SuspicionSpec::default()));
+    assert!(
+        blind.partition_drops > 0,
+        "the quarantine-blind run should dispatch into the partition"
+    );
+    assert!(
+        aware.partition_drops < blind.partition_drops,
+        "quarantine should avoid most cross-partition dispatches: {} vs {}",
+        aware.partition_drops,
+        blind.partition_drops
+    );
+    assert!(
+        aware.mean_response < blind.mean_response,
+        "quarantine-aware BNQRD should respond strictly faster under \
+         partition: {} vs {}",
+        aware.mean_response,
+        blind.mean_response
+    );
+}
+
+#[test]
+fn admission_cap_sheds_load_and_preserves_population() {
+    // A small MPL cap under a closed workload must actually shed — and a
+    // shed query returns to its terminal, so the closed population is
+    // preserved (checked by the model invariants at every checkpoint).
+    let mut params = base_params();
+    params.admission = Some(AdmissionSpec {
+        mpl_cap: Some(2),
+        ..AdmissionSpec::default()
+    });
+    let engine = run_with_invariants(params, PolicyKind::Bnq, 99, 10_000.0);
+    let m = engine.model().metrics();
+    assert!(
+        m.admission_rejected() + m.admission_dropped() > 0,
+        "a cap of 2 should shed under mpl 5"
+    );
+    assert!(m.completed() > 0, "admitted work still completes");
+}
+
+#[test]
+fn redirect_mode_moves_work_instead_of_dropping_it() {
+    let report = |mode: SheddingMode| {
+        let mut params = broadcast_params();
+        params.admission = Some(AdmissionSpec {
+            mpl_cap: Some(2),
+            mode,
+            ..AdmissionSpec::default()
+        });
+        run(&RunConfig::new(params, PolicyKind::Bnq)
+            .seed(55)
+            .windows(1_000.0, 8_000.0))
+        .unwrap()
+    };
+    let redirect = report(SheddingMode::Redirect);
+    assert!(
+        redirect.admission_redirected > 0,
+        "redirect mode should move shed work sideways"
+    );
+    assert_eq!(
+        redirect.admission_dropped, 0,
+        "redirect never drops while any site has room"
+    );
+    let drop = report(SheddingMode::Drop);
+    assert!(drop.admission_dropped > 0, "drop mode sheds terminally");
+}
+
+#[test]
+fn partition_heals_and_drops_are_counted() {
+    let mut params = broadcast_params();
+    params.faults = Some(partition(2_000.0, 2_000.0));
+    let engine = run_with_invariants(params, PolicyKind::Lert, 77, 12_000.0);
+    let m = engine.model().metrics();
+    assert!(m.partition_drops() > 0, "cross-group frames should drop");
+    assert!(
+        m.completed() > 0,
+        "the system keeps completing work through and after the partition"
+    );
+}
+
+#[test]
+fn fully_resilient_runs_are_deterministic() {
+    // Every layer at once — deadlines, suspicion, admission, partition —
+    // and the run must still be a pure function of the seed.
+    let config = || {
+        let mut params = broadcast_params();
+        params.deadlines = Some(tight_deadlines(2));
+        params.suspicion = Some(SuspicionSpec::default());
+        params.admission = Some(AdmissionSpec {
+            mpl_cap: Some(3),
+            mode: SheddingMode::Redirect,
+            ..AdmissionSpec::default()
+        });
+        params.faults = Some(partition(2_000.0, 2_000.0));
+        RunConfig::new(params, PolicyKind::Bnqrd)
+            .seed(123)
+            .windows(1_000.0, 8_000.0)
+    };
+    let a = run(&config()).unwrap();
+    let b = run(&config()).unwrap();
+    assert!(a == b, "same seed, same config, different report");
+    // And the layers all actually fired in this configuration.
+    assert!(a.deadline_timeouts > 0);
+    assert!(a.partition_drops > 0);
+}
