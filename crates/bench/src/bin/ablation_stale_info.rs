@@ -40,6 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let w_local = results[0].mean_waiting();
 
     for (row_idx, period) in PERIODS.into_iter().enumerate() {
+        // dqa-lint: allow(no-float-eq) -- 0.0 is the exact sentinel for "instant exchange", never computed
         let mut row = vec![if period == 0.0 {
             "0 (instant)".to_owned()
         } else {

@@ -30,6 +30,8 @@
 //! the integration tests); absolute numbers then get noisier but trends
 //! survive.
 
+#![forbid(unsafe_code)]
+
 pub mod paper;
 pub mod timing;
 

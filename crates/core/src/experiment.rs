@@ -479,6 +479,7 @@ pub fn run_replicated_jobs(
 /// This is the `ΔW̄_{X,BASE} / W̄_BASE` of Tables 8–12.
 #[must_use]
 pub fn improvement_pct(base: f64, x: f64) -> f64 {
+    // dqa-lint: allow(no-float-eq) -- division guard: only exact zero divides badly
     if base == 0.0 {
         0.0
     } else {

@@ -63,4 +63,5 @@ pub mod params;
 pub mod policy;
 pub mod query;
 pub mod replication;
+pub mod substreams;
 pub mod table;

@@ -24,11 +24,13 @@ use crate::params::{
 use crate::policy::{AllocationContext, Allocator, PolicyKind};
 use crate::query::{ActiveQuery, QueryId, QueryKind, QueryPhase, QueryProfile, QueryTable};
 use crate::replication::Catalog;
+use crate::substreams;
 
 /// Runtime state of the fault-injection layer.
 ///
-/// The layer draws from its *own* RNG substreams (tags 10–13, disjoint
-/// from the workload's tags 1–9), so enabling faults perturbs none of the
+/// The layer draws from its *own* RNG substreams
+/// ([`substreams::FAULT_CRASH`]..=[`substreams::FAULT_STATUS`], disjoint
+/// from the workload's tags), so enabling faults perturbs none of the
 /// workload draws: a faulty run and a fault-free run with the same seed
 /// share the same submission sequence until the first fault bites, and a
 /// `FaultSpec` with all rates zero is byte-identical to `faults: None` —
@@ -81,8 +83,9 @@ struct SuspicionState {
 /// Runtime state of the resilience layer (deadlines, suspicion,
 /// admission control).
 ///
-/// Like the fault layer, it draws from its own RNG substreams (tags
-/// 14–15), so a configuration with every resilience knob zero or off is
+/// Like the fault layer, it draws from its own RNG substreams
+/// ([`substreams::DEADLINE`], [`substreams::REALLOC_BACKOFF`]), so a
+/// configuration with every resilience knob zero or off is
 /// byte-identical to one with the layer absent — the common-random-numbers
 /// property the extension experiments rely on.
 #[derive(Debug)]
@@ -167,6 +170,7 @@ impl DbSystem {
                 .map(|_| Site::new(params.num_disks, start))
                 .collect(),
             ring: TokenRing::new(params.num_sites, start),
+            // dqa-lint: allow(no-float-eq) -- 0.0 is the exact config sentinel for "perfect information"
             load: LoadTable::new(params.num_sites, params.status_period == 0.0),
             catalog: match params.copies {
                 None => Catalog::fully_replicated(params.num_sites, params.num_relations),
@@ -176,21 +180,21 @@ impl DbSystem {
             queries: QueryTable::new(),
             metrics: Metrics::new(params.classes.len(), start),
             disk_dist: Dist::uniform_deviation(params.disk_time, params.disk_time_dev),
-            rng_think: root.substream(1),
-            rng_class: root.substream(2),
-            rng_reads: root.substream(3),
-            rng_cpu: root.substream(4),
-            rng_disk: root.substream(5),
-            rng_choice: root.substream(6),
-            rng_estimate: root.substream(7),
-            rng_relation: root.substream(8),
-            rng_update: root.substream(9),
+            rng_think: root.substream(substreams::THINK),
+            rng_class: root.substream(substreams::CLASS),
+            rng_reads: root.substream(substreams::READS),
+            rng_cpu: root.substream(substreams::CPU),
+            rng_disk: root.substream(substreams::DISK),
+            rng_choice: root.substream(substreams::CHOICE),
+            rng_estimate: root.substream(substreams::ESTIMATE),
+            rng_relation: root.substream(substreams::RELATION),
+            rng_update: root.substream(substreams::UPDATE),
             fault: params.faults.map(|spec| FaultState {
                 spec,
-                rng_crash: root.substream(10),
-                rng_msg: root.substream(11),
-                rng_backoff: root.substream(12),
-                rng_status: root.substream(13),
+                rng_crash: root.substream(substreams::FAULT_CRASH),
+                rng_msg: root.substream(substreams::FAULT_MSG),
+                rng_backoff: root.substream(substreams::FAULT_BACKOFF),
+                rng_status: root.substream(substreams::FAULT_STATUS),
                 partition_active: false,
             }),
             resilience: if params.deadlines.is_some()
@@ -199,8 +203,8 @@ impl DbSystem {
             {
                 let n = params.num_sites;
                 Some(ResilienceState {
-                    rng_deadline: root.substream(14),
-                    rng_backoff: root.substream(15),
+                    rng_deadline: root.substream(substreams::DEADLINE),
+                    rng_backoff: root.substream(substreams::REALLOC_BACKOFF),
                     suspicion: params.suspicion.map(|spec| SuspicionState {
                         spec,
                         last_heard: vec![SimTime::ZERO; n * n],

@@ -317,7 +317,9 @@ impl PolicyKind {
             PolicyKind::Bnq => Box::new(Bnq),
             PolicyKind::Bnqrd => Box::new(Bnqrd),
             PolicyKind::Lert => Box::new(Lert),
-            PolicyKind::Random => Box::new(Random::new(RngStream::new(seed).substream(0xD1CE))),
+            PolicyKind::Random => Box::new(Random::new(
+                RngStream::new(seed).substream(crate::substreams::POLICY_RANDOM),
+            )),
             PolicyKind::Threshold(t) => Box::new(Threshold::new(t)),
             PolicyKind::LertNoNet => Box::new(LertNoNet),
             PolicyKind::Wlc => Box::new(Wlc),

@@ -1,0 +1,127 @@
+//! Central registry of RNG substream tags.
+//!
+//! Every random draw in the simulator comes from a child stream derived
+//! from the replication's root [`dqa_sim::RngStream`] via
+//! [`dqa_sim::RngStream::substream`]. The tag passed to `substream`
+//! determines *which* independent stream a consumer gets, and the whole
+//! common-random-numbers (CRN) methodology of the paper's comparisons —
+//! and of our byte-identity tests — rests on two properties:
+//!
+//! 1. **Uniqueness.** No two consumers may share a tag, or their draws
+//!    become correlated and a change in one perturbs the other.
+//! 2. **Stability.** Tags must never change value, or previously recorded
+//!    trajectories (and every bitwise `RunReport` equality test) break.
+//!
+//! This module is the single place tags are defined. `dqa-lint`'s
+//! `substream-registry` rule rejects any `substream(<numeric literal>)`
+//! call outside this registry and re-checks uniqueness of the constants
+//! below, so a new consumer *must* claim a fresh named tag here.
+//!
+//! # Who draws what
+//!
+//! | constant | tag | consumer | draws |
+//! |---|---|---|---|
+//! | [`THINK`] | 1 | terminals | think times between queries |
+//! | [`CLASS`] | 2 | workload generator | query class selection |
+//! | [`READS`] | 3 | workload generator | number of reads per query |
+//! | [`CPU`] | 4 | workload generator | per-read CPU demand |
+//! | [`DISK`] | 5 | disk stations | per-access disk service time |
+//! | [`CHOICE`] | 6 | model | uniform tie-breaks (disk choice, …) |
+//! | [`ESTIMATE`] | 7 | optimizer model | estimate noise (ablation) |
+//! | [`RELATION`] | 8 | workload generator | relation referenced by a query |
+//! | [`UPDATE`] | 9 | workload generator | update-query coin flips |
+//! | [`FAULT_CRASH`] | 10 | fault layer | site crash / repair times |
+//! | [`FAULT_MSG`] | 11 | fault layer | query/result message-loss coins |
+//! | [`FAULT_BACKOFF`] | 12 | fault layer | retry backoff jitter |
+//! | [`FAULT_STATUS`] | 13 | fault layer | status-frame loss coins |
+//! | [`DEADLINE`] | 14 | resilience layer | per-query deadline draws |
+//! | [`REALLOC_BACKOFF`] | 15 | resilience layer | reallocation backoff jitter |
+//! | [`POLICY_RANDOM`] | 0xD1CE | RANDOM policy | uniform site selection |
+//!
+//! Tags 1–9 are the workload/model streams that exist in every run; tags
+//! 10–13 belong to the fault layer and 14–15 to the resilience layer, so
+//! runs with those layers disabled never draw from them and stay
+//! byte-identical to seed trajectories (CRN, asserted in
+//! `tests/fault_tolerance.rs` and `tests/resilience.rs`). The RANDOM
+//! policy's stream is deliberately far from the dense range so the model
+//! can grow new streams without colliding with it.
+
+/// Terminal think times between consecutive queries of one terminal.
+pub const THINK: u64 = 1;
+/// Query class selection (I/O-bound vs CPU-bound mix).
+pub const CLASS: u64 = 2;
+/// Number of reads a query performs.
+pub const READS: u64 = 3;
+/// Per-read CPU demand.
+pub const CPU: u64 = 4;
+/// Per-access disk service time deviation.
+pub const DISK: u64 = 5;
+/// Uniform tie-breaking choices (e.g. which disk serves a read).
+pub const CHOICE: u64 = 6;
+/// Optimizer estimate noise (estimate-error ablation).
+pub const ESTIMATE: u64 = 7;
+/// Which relation a query references (partial replication).
+pub const RELATION: u64 = 8;
+/// Update-query coin flips.
+pub const UPDATE: u64 = 9;
+/// Fault layer: site crash and repair (MTBF/MTTR) event times.
+pub const FAULT_CRASH: u64 = 10;
+/// Fault layer: query/result message-loss Bernoulli coins.
+pub const FAULT_MSG: u64 = 11;
+/// Fault layer: jittered-exponential retry backoff.
+pub const FAULT_BACKOFF: u64 = 12;
+/// Fault layer: status-frame loss Bernoulli coins.
+pub const FAULT_STATUS: u64 = 13;
+/// Resilience layer: per-query deadline draws (floor + Exp(mean)).
+pub const DEADLINE: u64 = 14;
+/// Resilience layer: jittered reallocation backoff.
+pub const REALLOC_BACKOFF: u64 = 15;
+/// The RANDOM allocation policy's site-selection stream. Kept far from
+/// the dense model range so new model streams can be appended freely.
+pub const POLICY_RANDOM: u64 = 0xD1CE;
+
+/// Every registered tag, for uniqueness checks and documentation tooling.
+pub const ALL: &[(&str, u64)] = &[
+    ("THINK", THINK),
+    ("CLASS", CLASS),
+    ("READS", READS),
+    ("CPU", CPU),
+    ("DISK", DISK),
+    ("CHOICE", CHOICE),
+    ("ESTIMATE", ESTIMATE),
+    ("RELATION", RELATION),
+    ("UPDATE", UPDATE),
+    ("FAULT_CRASH", FAULT_CRASH),
+    ("FAULT_MSG", FAULT_MSG),
+    ("FAULT_BACKOFF", FAULT_BACKOFF),
+    ("FAULT_STATUS", FAULT_STATUS),
+    ("DEADLINE", DEADLINE),
+    ("REALLOC_BACKOFF", REALLOC_BACKOFF),
+    ("POLICY_RANDOM", POLICY_RANDOM),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::ALL;
+
+    #[test]
+    fn tags_are_unique() {
+        for (i, (name_a, tag_a)) in ALL.iter().enumerate() {
+            for (name_b, tag_b) in &ALL[i + 1..] {
+                assert_ne!(
+                    tag_a, tag_b,
+                    "substream tag collision: {name_a} and {name_b} both use {tag_a}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn registry_covers_historical_values() {
+        // The numeric values are load-bearing: they are what every recorded
+        // byte-identity trajectory was generated with. Freeze them.
+        let expected: Vec<u64> = (1..=15).chain(std::iter::once(0xD1CE)).collect();
+        let actual: Vec<u64> = ALL.iter().map(|&(_, t)| t).collect();
+        assert_eq!(actual, expected);
+    }
+}

@@ -1,0 +1,268 @@
+//! `lint.toml` parsing.
+//!
+//! The container this tool runs in is offline, so there is no `toml`
+//! crate to lean on. Instead `dqa-lint` reads a small, strictly-checked
+//! TOML subset — more than enough for a lint config, and unknown syntax
+//! is a hard error rather than something silently ignored:
+//!
+//! * `[section.sub]` headers;
+//! * `key = "string"`, `key = 42`, `key = true`/`false`;
+//! * `key = ["a", "b"]` single-line string arrays;
+//! * `#` comments and blank lines.
+//!
+//! The interpreted shape is one [`RuleConfig`] per `[rules.<name>]`
+//! section, plus per-crate integer budgets from
+//! `[rules.<name>.budgets]`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed configuration value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// A quoted string.
+    Str(String),
+    /// An integer.
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+    /// A single-line array of quoted strings.
+    StrArray(Vec<String>),
+}
+
+/// Configuration for one rule, from `[rules.<name>]`.
+#[derive(Debug, Clone, Default)]
+pub struct RuleConfig {
+    /// `enabled = false` turns the rule off entirely.
+    pub enabled: Option<bool>,
+    /// Crates the rule applies to. Empty means "every crate".
+    pub crates: Vec<String>,
+    /// Path substrings exempt from the rule (workspace-relative,
+    /// `/`-separated; matched with `contains`).
+    pub allow_paths: Vec<String>,
+    /// Whether the rule also applies to test code (`tests/`, `benches/`,
+    /// `examples/` and `#[cfg(test)]` regions). Default: false.
+    pub include_tests: bool,
+    /// Rule-specific string options (e.g. `registry` for
+    /// `substream-registry`).
+    pub options: BTreeMap<String, String>,
+    /// Per-crate integer budgets from `[rules.<name>.budgets]`.
+    pub budgets: BTreeMap<String, i64>,
+}
+
+/// The whole `lint.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Per-rule sections, keyed by rule name.
+    pub rules: BTreeMap<String, RuleConfig>,
+}
+
+impl Config {
+    /// The configuration for `rule`, or a default one if the file has no
+    /// section for it.
+    #[must_use]
+    pub fn rule(&self, rule: &str) -> RuleConfig {
+        self.rules.get(rule).cloned().unwrap_or_default()
+    }
+}
+
+/// A configuration syntax or shape error, with its line number.
+#[derive(Debug)]
+pub struct ConfigError {
+    /// 1-based line in `lint.toml`.
+    pub line: usize,
+    /// What is wrong with it.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn err(line: usize, message: impl Into<String>) -> ConfigError {
+    ConfigError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses `lint.toml` text into a [`Config`].
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] on syntax outside the supported subset, on an
+/// unknown key inside a `[rules.*]` section, or on a value of the wrong
+/// type.
+pub fn parse(text: &str) -> Result<Config, ConfigError> {
+    let mut config = Config::default();
+    // (rule name, is_budgets) of the currently open section; None until
+    // the first header or for ignored top-level keys.
+    let mut section: Option<(String, bool)> = None;
+
+    for (i, raw_line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[') {
+            let header = header
+                .strip_suffix(']')
+                .ok_or_else(|| err(lineno, "unclosed section header"))?
+                .trim();
+            let parts: Vec<&str> = header.split('.').map(str::trim).collect();
+            section = Some(match parts.as_slice() {
+                ["rules", rule] => ((*rule).to_string(), false),
+                ["rules", rule, "budgets"] => ((*rule).to_string(), true),
+                _ => {
+                    return Err(err(
+                        lineno,
+                        format!("unsupported section `[{header}]` (expected `[rules.<name>]` or `[rules.<name>.budgets]`)"),
+                    ))
+                }
+            });
+            continue;
+        }
+        let (key, value_text) = line
+            .split_once('=')
+            .ok_or_else(|| err(lineno, "expected `key = value`"))?;
+        let key = key.trim();
+        let value = parse_value(value_text.trim(), lineno)?;
+        let Some((rule, is_budgets)) = &section else {
+            return Err(err(lineno, "key outside any `[rules.*]` section"));
+        };
+        let rule_config = config.rules.entry(rule.clone()).or_default();
+        if *is_budgets {
+            match value {
+                Value::Int(n) => {
+                    rule_config.budgets.insert(key.to_string(), n);
+                }
+                _ => return Err(err(lineno, format!("budget `{key}` must be an integer"))),
+            }
+            continue;
+        }
+        match (key, value) {
+            ("enabled", Value::Bool(b)) => rule_config.enabled = Some(b),
+            ("crates", Value::StrArray(v)) => rule_config.crates = v,
+            ("allow-paths", Value::StrArray(v)) => rule_config.allow_paths = v,
+            ("include-tests", Value::Bool(b)) => rule_config.include_tests = b,
+            (k, Value::Str(s)) => {
+                rule_config.options.insert(k.to_string(), s);
+            }
+            (k, v) => {
+                return Err(err(
+                    lineno,
+                    format!("unsupported key/value `{k} = {v:?}` in `[rules.{rule}]`"),
+                ))
+            }
+        }
+    }
+    Ok(config)
+}
+
+/// Strips a trailing `#` comment, respecting `"…"` strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' if in_string => escaped = true,
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(text: &str, lineno: usize) -> Result<Value, ConfigError> {
+    if text == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if text == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(body) = text.strip_prefix('[') {
+        let body = body
+            .strip_suffix(']')
+            .ok_or_else(|| err(lineno, "arrays must open and close on one line"))?
+            .trim();
+        let mut items = Vec::new();
+        if !body.is_empty() {
+            for item in body.split(',') {
+                let item = item.trim();
+                if item.is_empty() {
+                    continue; // tolerate a trailing comma
+                }
+                match parse_value(item, lineno)? {
+                    Value::Str(s) => items.push(s),
+                    _ => return Err(err(lineno, "arrays may only contain strings")),
+                }
+            }
+        }
+        return Ok(Value::StrArray(items));
+    }
+    if let Some(body) = text.strip_prefix('"') {
+        let body = body
+            .strip_suffix('"')
+            .ok_or_else(|| err(lineno, "unterminated string"))?;
+        if body.contains('"') {
+            return Err(err(lineno, "embedded quotes are not supported"));
+        }
+        return Ok(Value::Str(body.to_string()));
+    }
+    let digits = text.replace('_', "");
+    if let Ok(n) = digits.parse::<i64>() {
+        return Ok(Value::Int(n));
+    }
+    Err(err(lineno, format!("cannot parse value `{text}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_rule_sections() {
+        let cfg = parse(
+            r#"
+# top comment
+[rules.no-wall-clock]
+crates = ["dqa-core", "dqa-sim"]
+enabled = true
+
+[rules.unwrap-budget]
+include-tests = false
+[rules.unwrap-budget.budgets]
+dqa-core = 49
+"#,
+        )
+        .expect("parses");
+        let wc = cfg.rule("no-wall-clock");
+        assert_eq!(wc.crates, ["dqa-core", "dqa-sim"]);
+        assert_eq!(wc.enabled, Some(true));
+        let ub = cfg.rule("unwrap-budget");
+        assert_eq!(ub.budgets.get("dqa-core"), Some(&49));
+    }
+
+    #[test]
+    fn rejects_unknown_sections_and_bad_values() {
+        assert!(parse("[weird]\n").is_err());
+        assert!(parse("[rules.x]\ncrates = [1, 2]\n").is_err());
+        assert!(parse("loose = true\n").is_err());
+    }
+
+    #[test]
+    fn comments_respect_strings() {
+        let cfg = parse("[rules.x]\nregistry = \"a#b\" # trailing\n").expect("parses");
+        assert_eq!(
+            cfg.rule("x").options.get("registry").map(String::as_str),
+            Some("a#b")
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! Findings and their rendering.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// One rule violation at one source location.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The rule that fired (e.g. `substream-registry`).
+    pub rule: &'static str,
+    /// Path of the offending file, relative to the workspace root.
+    pub path: PathBuf,
+    /// Name of the crate the file belongs to (empty for workspace files).
+    pub crate_name: String,
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// 1-based byte column of the offending token.
+    pub col: usize,
+    /// Byte offset of the offending token (used for suppression matching).
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+    /// Optional `help:` line suggesting the fix.
+    pub help: Option<String>,
+    /// The source line, for the snippet rendering.
+    pub snippet: Option<String>,
+}
+
+impl Finding {
+    /// Renders the finding in the familiar `path:line:col` compiler shape
+    /// with a snippet and caret.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{}:{}:{}: {}: {}\n",
+            self.path.display(),
+            self.line,
+            self.col,
+            self.rule,
+            self.message
+        );
+        if let Some(snippet) = &self.snippet {
+            // Tabs would misalign the caret; the workspace is tab-free
+            // (rustfmt), so a space-for-byte caret line is exact.
+            out.push_str(&format!("    {snippet}\n"));
+            let caret_pad: String = snippet
+                .bytes()
+                .take(self.col.saturating_sub(1))
+                .map(|b| if b == b'\t' { '\t' } else { ' ' })
+                .collect();
+            out.push_str(&format!("    {caret_pad}^\n"));
+        }
+        if let Some(help) = &self.help {
+            out.push_str(&format!("    help: {help}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Sorts findings into a stable, reader-friendly order: by path, then
+/// line, then column, then rule name.
+pub fn sort_findings(findings: &mut [Finding]) {
+    findings
+        .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+}

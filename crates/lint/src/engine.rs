@@ -1,0 +1,534 @@
+//! Workspace discovery, per-file analysis, suppression handling, and the
+//! rule-driving loop.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::config::{Config, RuleConfig};
+use crate::diagnostics::{sort_findings, Finding};
+use crate::lexer::{self, Token};
+use crate::rules;
+
+/// Where a source file sits in its crate — determines which rules apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceKind {
+    /// `src/**` (excluding `src/bin`): library code, fully in scope.
+    Lib,
+    /// `src/bin/**` or `src/main.rs`: binary code, in scope.
+    Bin,
+    /// `tests/**`: integration tests, skipped unless `include-tests`.
+    Test,
+    /// `benches/**`: benchmarks, skipped unless `include-tests`.
+    Bench,
+    /// `examples/**`: examples, skipped unless `include-tests`.
+    Example,
+}
+
+impl SourceKind {
+    /// Whether the file is test-adjacent (skipped by default).
+    #[must_use]
+    pub fn is_testish(self) -> bool {
+        matches!(
+            self,
+            SourceKind::Test | SourceKind::Bench | SourceKind::Example
+        )
+    }
+}
+
+/// An inline suppression comment:
+/// `// dqa-lint: allow(rule-a, rule-b) -- why this is sound`.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Rules the comment allows.
+    pub rules: Vec<String>,
+    /// 1-based line the comment sits on; it covers findings on this line
+    /// and the next one (so it can trail the offending code or sit on its
+    /// own line above it).
+    pub line: usize,
+    /// The justification after ` -- `; `None` when missing (a finding).
+    pub justification: Option<String>,
+}
+
+/// One lexed source file plus everything the rules need to know about it.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root (`/`-separated).
+    pub rel_path: PathBuf,
+    /// The crate the file belongs to (empty for root `tests/`).
+    pub crate_name: String,
+    /// Where the file sits in its crate.
+    pub kind: SourceKind,
+    /// The file's text.
+    pub text: String,
+    /// The token stream (comments included).
+    pub tokens: Vec<Token>,
+    /// Byte offsets starting each line.
+    pub line_starts: Vec<usize>,
+    /// Byte ranges covered by `#[cfg(test)]` items.
+    pub test_regions: Vec<(usize, usize)>,
+    /// Inline `dqa-lint: allow(...)` comments.
+    pub suppressions: Vec<Suppression>,
+}
+
+impl SourceFile {
+    /// Whether `offset` falls inside a `#[cfg(test)]` item.
+    #[must_use]
+    pub fn in_test_region(&self, offset: usize) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(start, end)| offset >= start && offset < end)
+    }
+
+    /// The 1-based line and column of a byte offset.
+    #[must_use]
+    pub fn line_col(&self, offset: usize) -> (usize, usize) {
+        lexer::line_col(&self.line_starts, offset)
+    }
+
+    /// The text of the line containing `offset`, newline stripped.
+    #[must_use]
+    pub fn line_text(&self, offset: usize) -> String {
+        let (line, _) = self.line_col(offset);
+        let start = self.line_starts[line - 1];
+        let end = self
+            .line_starts
+            .get(line)
+            .map_or(self.text.len(), |&next| next);
+        self.text[start..end]
+            .trim_end_matches(['\n', '\r'])
+            .to_string()
+    }
+
+    /// Builds a [`Finding`] anchored at byte `offset`.
+    #[must_use]
+    pub fn finding(
+        &self,
+        rule: &'static str,
+        offset: usize,
+        message: String,
+        help: Option<String>,
+    ) -> Finding {
+        let (line, col) = self.line_col(offset);
+        Finding {
+            rule,
+            path: self.rel_path.clone(),
+            crate_name: self.crate_name.clone(),
+            line,
+            col,
+            offset,
+            message,
+            help,
+            snippet: Some(self.line_text(offset)),
+        }
+    }
+
+    /// The non-comment tokens (what most rules iterate).
+    pub fn code_tokens(&self) -> impl Iterator<Item = &Token> {
+        self.tokens.iter().filter(|t| !t.is_comment())
+    }
+}
+
+/// The analyzed workspace: every lexed source file, in path order.
+#[derive(Debug)]
+pub struct Workspace {
+    /// Workspace root directory.
+    pub root: PathBuf,
+    /// All analyzed files, sorted by relative path.
+    pub files: Vec<SourceFile>,
+}
+
+impl Workspace {
+    /// Names of all discovered crates, sorted.
+    #[must_use]
+    pub fn crate_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .files
+            .iter()
+            .map(|f| f.crate_name.clone())
+            .filter(|n| !n.is_empty())
+            .collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// The file at `rel_path`, if it was scanned.
+    #[must_use]
+    pub fn file(&self, rel_path: &Path) -> Option<&SourceFile> {
+        self.files.iter().find(|f| f.rel_path == rel_path)
+    }
+}
+
+/// Loads and lexes every Rust source in the workspace: each
+/// `crates/<dir>/` member's `src/`, `tests/`, `benches/` and the shared
+/// root `tests/` and `examples/` directories.
+///
+/// # Errors
+///
+/// Returns any I/O error met while walking or reading the tree.
+pub fn load_workspace(root: &Path) -> io::Result<Workspace> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut members: Vec<PathBuf> = Vec::new();
+    if crates_dir.is_dir() {
+        for entry in fs::read_dir(&crates_dir)? {
+            let path = entry?.path();
+            if path.is_dir() && path.join("Cargo.toml").is_file() {
+                members.push(path);
+            }
+        }
+    }
+    members.sort();
+    for member in &members {
+        let crate_name = package_name(&member.join("Cargo.toml"))?;
+        for (sub, kind) in [
+            ("src", SourceKind::Lib),
+            ("tests", SourceKind::Test),
+            ("benches", SourceKind::Bench),
+            ("examples", SourceKind::Example),
+        ] {
+            collect_sources(root, &member.join(sub), &crate_name, kind, &mut files)?;
+        }
+    }
+    // Shared root-level test and example sources (wired into crates via
+    // `[[test]]`/`[[example]]` path entries).
+    collect_sources(root, &root.join("tests"), "", SourceKind::Test, &mut files)?;
+    collect_sources(
+        root,
+        &root.join("examples"),
+        "",
+        SourceKind::Example,
+        &mut files,
+    )?;
+    files.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+    Ok(Workspace {
+        root: root.to_path_buf(),
+        files,
+    })
+}
+
+/// Reads the `name = "…"` of a `[package]` section.
+fn package_name(cargo_toml: &Path) -> io::Result<String> {
+    let text = fs::read_to_string(cargo_toml)?;
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("name") {
+            let rest = rest.trim_start();
+            if let Some(value) = rest.strip_prefix('=') {
+                return Ok(value.trim().trim_matches('"').to_string());
+            }
+        }
+    }
+    Err(io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("{}: no `name` key found", cargo_toml.display()),
+    ))
+}
+
+fn collect_sources(
+    root: &Path,
+    dir: &Path,
+    crate_name: &str,
+    kind: SourceKind,
+    out: &mut Vec<SourceFile>,
+) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            // `src/bin` demotes Lib to Bin; other nesting keeps the kind.
+            let sub_kind = if kind == SourceKind::Lib && path.file_name() == Some("bin".as_ref()) {
+                SourceKind::Bin
+            } else {
+                kind
+            };
+            collect_sources(root, &path, crate_name, sub_kind, out)?;
+        } else if path.extension() == Some("rs".as_ref()) {
+            let kind = if kind == SourceKind::Lib && path.file_name() == Some("main.rs".as_ref()) {
+                SourceKind::Bin
+            } else {
+                kind
+            };
+            out.push(analyze_file(root, &path, crate_name, kind)?);
+        }
+    }
+    Ok(())
+}
+
+fn analyze_file(
+    root: &Path,
+    path: &Path,
+    crate_name: &str,
+    kind: SourceKind,
+) -> io::Result<SourceFile> {
+    let text = fs::read_to_string(path)?;
+    let tokens = lexer::lex(&text);
+    let line_starts = lexer::line_starts(&text);
+    let test_regions = find_test_regions(&text, &tokens);
+    let suppressions = find_suppressions(&text, &tokens, &line_starts);
+    let rel_path = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+    Ok(SourceFile {
+        rel_path,
+        crate_name: crate_name.to_string(),
+        kind,
+        text,
+        tokens,
+        line_starts,
+        test_regions,
+        suppressions,
+    })
+}
+
+/// Finds the byte ranges of items annotated `#[cfg(test)]`.
+///
+/// The scan looks for the attribute token sequence, skips any further
+/// attributes, then covers the annotated item: up to the matching `}` of
+/// its first brace block (a `mod`/`fn`/`impl` body) or the terminating
+/// `;` (e.g. `#[cfg(test)] use …;`).
+fn find_test_regions(src: &str, tokens: &[Token]) -> Vec<(usize, usize)> {
+    let code: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        if is_cfg_test_attr(src, &code, i) {
+            let start = code[i].start;
+            // Skip this and any subsequent attributes (`#[…]` balanced).
+            let mut j = i;
+            while j < code.len()
+                && code[j].text(src) == "#"
+                && code.get(j + 1).is_some_and(|t| t.text(src) == "[")
+            {
+                j = skip_balanced(src, &code, j + 1, "[", "]");
+            }
+            // Cover the item: first `{`..matching `}`, or a `;`.
+            let mut end = code.last().map_or(src.len(), |t| t.end);
+            let mut k = j;
+            while k < code.len() {
+                let t = code[k].text(src);
+                if t == "{" {
+                    let after = skip_balanced(src, &code, k, "{", "}");
+                    end = code.get(after - 1).map_or(end, |t| t.end);
+                    break;
+                }
+                if t == ";" {
+                    end = code[k].end;
+                    break;
+                }
+                k += 1;
+            }
+            regions.push((start, end));
+            i = j.max(i + 1);
+        } else {
+            i += 1;
+        }
+    }
+    regions
+}
+
+/// Whether `code[i..]` starts `# [ cfg ( test ) ]` (whitespace-free token
+/// match; also accepts `#![cfg(test)]` by skipping a `!`).
+fn is_cfg_test_attr(src: &str, code: &[&Token], i: usize) -> bool {
+    let mut texts = code[i..].iter().map(|t| t.text(src));
+    if texts.next() != Some("#") {
+        return false;
+    }
+    let mut next = texts.next();
+    if next == Some("!") {
+        next = texts.next();
+    }
+    next == Some("[")
+        && texts.next() == Some("cfg")
+        && texts.next() == Some("(")
+        && texts.next() == Some("test")
+        && texts.next() == Some(")")
+}
+
+/// Given `code[open_idx]` being `open`, returns the index one past its
+/// matching `close` (or `code.len()` when unbalanced).
+fn skip_balanced(src: &str, code: &[&Token], open_idx: usize, open: &str, close: &str) -> usize {
+    let mut depth = 0usize;
+    let mut i = open_idx;
+    while i < code.len() {
+        let t = code[i].text(src);
+        if t == open {
+            depth += 1;
+        } else if t == close {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    code.len()
+}
+
+/// Extracts `dqa-lint: allow(...)` suppression comments. Only plain
+/// (non-doc) comments count: doc comments are rendered prose, where the
+/// directive syntax may legitimately appear as an *example*.
+fn find_suppressions(src: &str, tokens: &[Token], line_starts: &[usize]) -> Vec<Suppression> {
+    use crate::lexer::TokenKind;
+    let mut out = Vec::new();
+    let plain = |t: &&Token| {
+        matches!(
+            t.kind,
+            TokenKind::LineComment { doc: false } | TokenKind::BlockComment { doc: false }
+        )
+    };
+    for tok in tokens.iter().filter(plain) {
+        let text = tok.text(src);
+        let Some(idx) = text.find("dqa-lint:") else {
+            continue;
+        };
+        let directive = text[idx + "dqa-lint:".len()..].trim();
+        let (line, _) = lexer::line_col(line_starts, tok.start);
+        let Some(rest) = directive.strip_prefix("allow") else {
+            // An unrecognized directive is still recorded so the engine
+            // can flag it rather than silently ignore a typo'd allow.
+            out.push(Suppression {
+                rules: Vec::new(),
+                line,
+                justification: None,
+            });
+            continue;
+        };
+        let rest = rest.trim_start();
+        let (rule_list, justification) = match rest.strip_prefix('(') {
+            Some(inner) => match inner.split_once(')') {
+                Some((rules, tail)) => {
+                    let j = tail
+                        .trim()
+                        .strip_prefix("--")
+                        .map(|j| j.trim().to_string())
+                        .filter(|j| !j.is_empty());
+                    (rules, j)
+                }
+                None => (inner, None),
+            },
+            None => ("", None),
+        };
+        out.push(Suppression {
+            rules: rule_list
+                .split(',')
+                .map(|r| r.trim().to_string())
+                .filter(|r| !r.is_empty())
+                .collect(),
+            line,
+            justification,
+        });
+    }
+    out
+}
+
+/// Whether a file is in scope for a rule, given the rule's config.
+#[must_use]
+pub fn file_in_scope(file: &SourceFile, cfg: &RuleConfig) -> bool {
+    if !cfg.crates.is_empty() && !cfg.crates.contains(&file.crate_name) {
+        return false;
+    }
+    if !cfg.include_tests && file.kind.is_testish() {
+        return false;
+    }
+    let rel = file.rel_path.to_string_lossy().replace('\\', "/");
+    !cfg.allow_paths.iter().any(|p| rel.contains(p.as_str()))
+}
+
+/// Runs every rule over the workspace under `root` with `config` and
+/// returns the surviving findings, sorted.
+///
+/// # Errors
+///
+/// Returns any I/O error met while loading the workspace.
+pub fn run(root: &Path, config: &Config) -> io::Result<Vec<Finding>> {
+    let workspace = load_workspace(root)?;
+    let mut findings = Vec::new();
+
+    // Meta pass: malformed suppressions are findings themselves, so an
+    // allow() without a justification cannot silently disable a rule.
+    let known: Vec<&str> = rules::all().iter().map(|r| r.name()).collect();
+    for file in &workspace.files {
+        for sup in &file.suppressions {
+            let offset = file.line_starts[sup.line - 1];
+            if sup.rules.is_empty() {
+                findings.push(file.finding(
+                    rules::META_RULE,
+                    offset,
+                    "malformed dqa-lint directive (expected `dqa-lint: allow(<rule>) -- <why>`)"
+                        .to_string(),
+                    None,
+                ));
+                continue;
+            }
+            if sup.justification.is_none() {
+                findings.push(file.finding(
+                    rules::META_RULE,
+                    offset,
+                    format!(
+                        "suppression of `{}` carries no justification",
+                        sup.rules.join(", ")
+                    ),
+                    Some("append ` -- <why this is sound>` to the allow comment".to_string()),
+                ));
+            }
+            for rule in &sup.rules {
+                if !known.contains(&rule.as_str()) {
+                    findings.push(file.finding(
+                        rules::META_RULE,
+                        offset,
+                        format!("allow() names unknown rule `{rule}`"),
+                        Some(format!("known rules: {}", known.join(", "))),
+                    ));
+                }
+            }
+        }
+    }
+
+    for rule in rules::all() {
+        let cfg = config.rule(rule.name());
+        if !cfg.enabled.unwrap_or(true) {
+            continue;
+        }
+        let mut rule_findings = Vec::new();
+        for file in workspace.files.iter().filter(|f| file_in_scope(f, &cfg)) {
+            rule.check_file(file, &cfg, &mut rule_findings);
+        }
+        rule.check_workspace(&workspace, &cfg, &mut rule_findings);
+        // Drop findings inside `#[cfg(test)]` regions unless opted in.
+        if !cfg.include_tests {
+            rule_findings.retain(|f| {
+                workspace
+                    .file(&f.path)
+                    .is_none_or(|file| !file.in_test_region(f.offset))
+            });
+        }
+        findings.append(&mut rule_findings);
+    }
+
+    // Honor justified suppressions (unjustified ones were flagged above
+    // and do NOT silence anything).
+    findings.retain(|f| {
+        if f.rule == rules::META_RULE {
+            return true;
+        }
+        workspace.file(&f.path).is_none_or(|file| {
+            !file.suppressions.iter().any(|sup| {
+                sup.justification.is_some()
+                    && (sup.line == f.line || sup.line + 1 == f.line)
+                    && sup.rules.iter().any(|r| r == f.rule)
+            })
+        })
+    });
+
+    // Budget semantics for unwrap-budget: a crate within its configured
+    // budget reports nothing; one over it reports every site.
+    rules::unwrap_budget::apply_budget(&mut findings, &config.rule(rules::unwrap_budget::NAME));
+
+    sort_findings(&mut findings);
+    Ok(findings)
+}

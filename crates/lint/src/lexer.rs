@@ -1,0 +1,513 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! `dqa-lint` cannot depend on `rustc`'s own lexer (offline container, no
+//! external crates), and naive regex/substring scanning over Rust source
+//! is exactly the failure mode a linter must avoid: `unwrap()` inside a
+//! doc-comment code fence, `HashMap` in a string literal, or `'a` in a
+//! generic parameter list must not look like code. This lexer produces a
+//! token stream with byte spans and handles the constructs that break
+//! substring scanners:
+//!
+//! * raw strings `r"…"`, `r#"…"#` (any number of `#`s), `br#"…"#`;
+//! * nested block comments `/* /* */ */`;
+//! * `'a` lifetimes vs `'a'` char literals (including escapes);
+//! * line/block doc comments (kept as comment tokens so rules skip them);
+//! * numeric literals with radix prefixes, underscores, exponents and
+//!   suffixes (so `0xD1CE` is one integer token and `1.0f64` one float).
+//!
+//! The lexer is intentionally permissive: it never fails. Input that is
+//! not valid Rust still produces *some* token stream (stray characters
+//! become one-byte [`TokenKind::Punct`] tokens); the rules only need the
+//! stream to be faithful on code that compiles, and the workspace the
+//! linter runs on is compiled by CI first.
+
+/// What a token is. Comments are kept in the stream (suppression comments
+/// are read from them); rules that inspect code skip them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`substream`, `fn`, `HashMap`, …).
+    Ident,
+    /// A lifetime such as `'a` (no closing quote).
+    Lifetime,
+    /// A character literal such as `'a'` or `'\n'`.
+    Char,
+    /// A (possibly byte) string literal, escapes and all.
+    Str,
+    /// A raw (possibly byte) string literal `r#"…"#`.
+    RawStr,
+    /// Integer literal (`42`, `0xD1CE`, `1_000u64`).
+    Int,
+    /// Float literal (`1.0`, `2e-3`, `0.5f32`).
+    Float,
+    /// `//` comment; `doc` is true for `///` and `//!`.
+    LineComment {
+        /// Whether this is a doc comment (`///` or `//!`).
+        doc: bool,
+    },
+    /// `/* … */` comment (nesting handled); `doc` for `/**` and `/*!`.
+    BlockComment {
+        /// Whether this is a doc comment (`/**` or `/*!`).
+        doc: bool,
+    },
+    /// Punctuation / operator. Multi-character operators that rules care
+    /// about (`==`, `!=`, `::`, `->`, `=>`, `<=`, `>=`, `&&`, `||`,
+    /// `..`, `..=`) are single tokens; everything else is one byte.
+    Punct,
+}
+
+/// One token: kind plus the byte span it covers in the source.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+}
+
+impl Token {
+    /// The token's text within `src` (the string it was lexed from).
+    #[must_use]
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+
+    /// Whether the token is any kind of comment.
+    #[must_use]
+    pub fn is_comment(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::LineComment { .. } | TokenKind::BlockComment { .. }
+        )
+    }
+}
+
+/// Lexes `src` into a token stream. Whitespace is dropped; comments are
+/// kept. Never fails (see module docs).
+#[must_use]
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+    }
+    .run()
+}
+
+/// Byte offsets of the start of each line, for offset → line/column
+/// conversion in diagnostics. Line 1 starts at offset 0.
+#[must_use]
+pub fn line_starts(src: &str) -> Vec<usize> {
+    let mut starts = vec![0];
+    for (i, b) in src.bytes().enumerate() {
+        if b == b'\n' {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+/// Converts a byte offset to 1-based (line, column) given
+/// [`line_starts`] output. Column counts bytes, which matches how
+/// editors display ASCII source.
+#[must_use]
+pub fn line_col(starts: &[usize], offset: usize) -> (usize, usize) {
+    let line = match starts.binary_search(&offset) {
+        Ok(i) => i,
+        Err(i) => i - 1,
+    };
+    (line + 1, offset - starts[line] + 1)
+}
+
+struct Lexer<'s> {
+    src: &'s str,
+    bytes: &'s [u8],
+    pos: usize,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        let mut tokens = Vec::new();
+        while let Some(tok) = self.next_token() {
+            tokens.push(tok);
+        }
+        tokens
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn char_at(&self, pos: usize) -> Option<char> {
+        self.src[pos..].chars().next()
+    }
+
+    /// Advances past one whole `char` (multi-byte safe).
+    fn bump_char(&mut self) {
+        if let Some(c) = self.char_at(self.pos) {
+            self.pos += c.len_utf8();
+        }
+    }
+
+    fn next_token(&mut self) -> Option<Token> {
+        // Skip whitespace.
+        while let Some(c) = self.char_at(self.pos) {
+            if c.is_whitespace() {
+                self.bump_char();
+            } else {
+                break;
+            }
+        }
+        let start = self.pos;
+        let c = self.char_at(self.pos)?;
+
+        let kind = match c {
+            '/' if self.peek(1) == Some(b'/') => self.line_comment(),
+            '/' if self.peek(1) == Some(b'*') => self.block_comment(),
+            '"' => self.string(),
+            '\'' => self.char_or_lifetime(),
+            c if c.is_ascii_digit() => self.number(),
+            c if is_ident_start(c) => self.ident_or_prefixed_string(),
+            _ => self.punct(),
+        };
+        Some(Token {
+            kind,
+            start,
+            end: self.pos,
+        })
+    }
+
+    fn line_comment(&mut self) -> TokenKind {
+        // `///` is doc unless it is `////…` (treated as plain by rustdoc);
+        // `//!` is always doc.
+        let doc = match (self.peek(2), self.peek(3)) {
+            (Some(b'!'), _) => true,
+            (Some(b'/'), Some(b'/')) => false,
+            (Some(b'/'), _) => true,
+            _ => false,
+        };
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.bump_char();
+        }
+        TokenKind::LineComment { doc }
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        // `/**` (but not `/***` or the degenerate `/**/`) and `/*!` are doc.
+        let doc = match self.peek(2) {
+            Some(b'!') => true,
+            Some(b'*') => self.peek(3) != Some(b'*') && self.peek(3) != Some(b'/'),
+            _ => false,
+        };
+        self.pos += 2; // consume `/*`
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                (Some(_), _) => self.bump_char(),
+                (None, _) => break, // unterminated: tolerate
+            }
+        }
+        TokenKind::BlockComment { doc }
+    }
+
+    /// A `"`-delimited string with `\` escapes, cursor on the `"`.
+    fn string(&mut self) -> TokenKind {
+        self.pos += 1;
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\\' => {
+                    self.pos += 1; // the backslash
+                    self.bump_char(); // whatever it escapes
+                }
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => self.bump_char(),
+            }
+        }
+        TokenKind::Str
+    }
+
+    /// A raw string starting at the cursor: zero or more `#`, then `"`,
+    /// then anything up to `"` followed by the same number of `#`.
+    fn raw_string(&mut self) -> TokenKind {
+        let mut hashes = 0usize;
+        while self.peek(hashes) == Some(b'#') {
+            hashes += 1;
+        }
+        self.pos += hashes + 1; // the `#`s and the opening `"`
+        loop {
+            match self.peek(0) {
+                None => break, // unterminated: tolerate
+                Some(b'"') => {
+                    let mut matched = 0usize;
+                    while matched < hashes && self.peek(1 + matched) == Some(b'#') {
+                        matched += 1;
+                    }
+                    if matched == hashes {
+                        self.pos += 1 + hashes;
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => self.bump_char(),
+            }
+        }
+        TokenKind::RawStr
+    }
+
+    /// Disambiguates `'a'` (char) from `'a` (lifetime), cursor on the `'`.
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        self.pos += 1;
+        match self.char_at(self.pos) {
+            Some('\\') => {
+                // Escaped char literal: consume up to the closing quote.
+                self.pos += 1;
+                self.bump_char();
+                // `\u{…}` escapes have more to consume before the quote.
+                while let Some(b) = self.peek(0) {
+                    if b == b'\'' {
+                        self.pos += 1;
+                        return TokenKind::Char;
+                    }
+                    if b == b'\n' {
+                        break; // unterminated on this line: tolerate
+                    }
+                    self.bump_char();
+                }
+                TokenKind::Char
+            }
+            Some(c) if is_ident_start(c) => {
+                // Could be `'a'` (char) or `'a` (lifetime): a char literal
+                // has exactly one character then a closing quote.
+                let after_one = self.pos + c.len_utf8();
+                if self.bytes.get(after_one) == Some(&b'\'') {
+                    self.pos = after_one + 1;
+                    TokenKind::Char
+                } else {
+                    // Lifetime: consume the identifier run.
+                    while let Some(c) = self.char_at(self.pos) {
+                        if is_ident_continue(c) {
+                            self.bump_char();
+                        } else {
+                            break;
+                        }
+                    }
+                    TokenKind::Lifetime
+                }
+            }
+            Some(c) => {
+                // Non-identifier char literal like `' '` or `'%'`.
+                let after_one = self.pos + c.len_utf8();
+                if self.bytes.get(after_one) == Some(&b'\'') {
+                    self.pos = after_one + 1;
+                    TokenKind::Char
+                } else {
+                    // A stray quote; emit it alone as punctuation.
+                    TokenKind::Punct
+                }
+            }
+            None => TokenKind::Punct,
+        }
+    }
+
+    fn number(&mut self) -> TokenKind {
+        let radix_prefixed = self.peek(0) == Some(b'0')
+            && matches!(self.peek(1), Some(b'x' | b'o' | b'b' | b'X' | b'O' | b'B'));
+        if radix_prefixed {
+            self.pos += 2;
+            while let Some(b) = self.peek(0) {
+                if b.is_ascii_alphanumeric() || b == b'_' {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            return TokenKind::Int;
+        }
+        let mut float = false;
+        self.digits();
+        // Fractional part: `.` must be followed by a digit (so `1.max(2)`,
+        // `1..2` and `1.0` all lex correctly), except the trailing-dot
+        // form `1.` where the next char is not `.` or identifier-like.
+        if self.peek(0) == Some(b'.') {
+            match self.char_at(self.pos + 1) {
+                Some(d) if d.is_ascii_digit() => {
+                    float = true;
+                    self.pos += 1;
+                    self.digits();
+                }
+                Some(c) if c == '.' || is_ident_start(c) => {}
+                _ => {
+                    float = true;
+                    self.pos += 1;
+                }
+            }
+        }
+        // Exponent.
+        if matches!(self.peek(0), Some(b'e' | b'E')) {
+            let mut k = 1;
+            if matches!(self.peek(1), Some(b'+' | b'-')) {
+                k = 2;
+            }
+            if self.peek(k).is_some_and(|b| b.is_ascii_digit()) {
+                float = true;
+                self.pos += k;
+                self.digits();
+            }
+        }
+        // Suffix (`u64`, `f32`, …). An `f32`/`f64` suffix makes it float.
+        let suffix_start = self.pos;
+        while let Some(c) = self.char_at(self.pos) {
+            if is_ident_continue(c) {
+                self.bump_char();
+            } else {
+                break;
+            }
+        }
+        if matches!(&self.src[suffix_start..self.pos], "f32" | "f64") {
+            float = true;
+        }
+        if float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        }
+    }
+
+    fn digits(&mut self) {
+        while let Some(b) = self.peek(0) {
+            if b.is_ascii_digit() || b == b'_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn ident_or_prefixed_string(&mut self) -> TokenKind {
+        let start = self.pos;
+        while let Some(c) = self.char_at(self.pos) {
+            if is_ident_continue(c) {
+                self.bump_char();
+            } else {
+                break;
+            }
+        }
+        let ident = &self.src[start..self.pos];
+        // `r"…"`/`r#"…"#`/`br"…"`/`b"…"`: the "identifier" is a literal
+        // prefix. (`br#x` as a real identifier followed by `#` cannot occur
+        // in valid Rust, so checking the next byte is unambiguous.)
+        match ident {
+            "r" | "br" if matches!(self.peek(0), Some(b'"' | b'#')) => {
+                // Only a raw string if the `#` run ends in `"`.
+                let mut k = 0usize;
+                while self.peek(k) == Some(b'#') {
+                    k += 1;
+                }
+                if self.peek(k) == Some(b'"') {
+                    return self.raw_string();
+                }
+                TokenKind::Ident
+            }
+            "b" if self.peek(0) == Some(b'"') => self.string(),
+            // Cursor sits on the `'`; char_or_lifetime consumes it.
+            "b" if self.peek(0) == Some(b'\'') => self.char_or_lifetime(),
+            _ => TokenKind::Ident,
+        }
+    }
+
+    fn punct(&mut self) -> TokenKind {
+        // Multi-byte operators the rules need to see whole.
+        const TWO: &[&[u8]] = &[
+            b"==", b"!=", b"<=", b">=", b"::", b"->", b"=>", b"&&", b"||", b"..",
+        ];
+        if let (Some(a), Some(b)) = (self.peek(0), self.peek(1)) {
+            if TWO.contains(&&[a, b][..]) {
+                // `..=` and `...` extend `..`.
+                if [a, b] == *b".." && matches!(self.peek(2), Some(b'=' | b'.')) {
+                    self.pos += 3;
+                } else {
+                    self.pos += 2;
+                }
+                return TokenKind::Punct;
+            }
+        }
+        self.bump_char();
+        TokenKind::Punct
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn basic_stream() {
+        let toks = kinds("fn main() { let x = 1 + 2.5; }");
+        let texts: Vec<&str> = toks.iter().map(|(_, s)| s.as_str()).collect();
+        assert_eq!(
+            texts,
+            ["fn", "main", "(", ")", "{", "let", "x", "=", "1", "+", "2.5", ";", "}"]
+        );
+        assert_eq!(toks[8].0, TokenKind::Int);
+        assert_eq!(toks[10].0, TokenKind::Float);
+    }
+
+    #[test]
+    fn hex_literal_is_one_int() {
+        let toks = kinds("substream(0xD1CE)");
+        assert_eq!(toks[2], (TokenKind::Int, "0xD1CE".to_string()));
+    }
+
+    #[test]
+    fn method_call_on_int_is_not_float() {
+        let toks = kinds("1.max(2)");
+        assert_eq!(toks[0].0, TokenKind::Int);
+        assert_eq!(toks[1].1, ".");
+    }
+
+    #[test]
+    fn range_is_not_float() {
+        let toks = kinds("0..10");
+        assert_eq!(toks[0].0, TokenKind::Int);
+        assert_eq!(toks[1], (TokenKind::Punct, "..".to_string()));
+        assert_eq!(toks[2].0, TokenKind::Int);
+    }
+
+    #[test]
+    fn comparison_operators_are_single_tokens() {
+        let toks = kinds("a == b != c <= d");
+        assert_eq!(toks[1].1, "==");
+        assert_eq!(toks[3].1, "!=");
+        assert_eq!(toks[5].1, "<=");
+    }
+}

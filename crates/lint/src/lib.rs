@@ -1,0 +1,78 @@
+//! # dqa-lint — determinism and reproducibility invariants, enforced at the source level
+//!
+//! The repo's headline guarantee is *byte-identical replication under
+//! common random numbers*: the paper's policy comparisons (and our
+//! bitwise `RunReport` equality tests) assume that changing one knob
+//! perturbs only the draws that knob owns. That property is easy to
+//! break silently — iterate a `HashMap` in the event loop, reuse an RNG
+//! substream tag, read `Instant::now()` in model code — and the runtime
+//! tests only catch the breakage after the fact, with no pointer to the
+//! offending line.
+//!
+//! `dqa-lint` is a from-scratch, dependency-free static-analysis pass
+//! that catches these at the source level:
+//!
+//! * a hand-rolled Rust [`lexer`] (raw strings, nested block comments,
+//!   `'a` vs `'a'`, doc comments) producing a token stream with spans;
+//! * an [`engine`] with per-crate scoping, a `lint.toml` [`config`], and
+//!   inline `// dqa-lint: allow(<rule>) -- <why>` suppressions that must
+//!   carry a justification;
+//! * a [`rules`] set targeting our invariants: `substream-registry`,
+//!   `no-hash-iteration`, `no-wall-clock`, `no-float-eq`,
+//!   `forbid-unsafe-header`, `unwrap-budget`.
+//!
+//! Run it locally with `cargo run -p dqa-lint -- --deny`; CI runs the
+//! same command, and a tier-1 integration test asserts the workspace is
+//! finding-free, so the linter itself is regression-gated.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod diagnostics;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Loads `lint.toml` from `root` (an empty default config if absent) and
+/// runs every rule, returning the surviving findings sorted by location.
+///
+/// # Errors
+///
+/// Returns an error for unreadable sources or an invalid `lint.toml`.
+pub fn run_workspace(root: &Path) -> Result<Vec<diagnostics::Finding>, Box<dyn std::error::Error>> {
+    let config_path = root.join("lint.toml");
+    let config = if config_path.is_file() {
+        config::parse(&std::fs::read_to_string(&config_path)?)?
+    } else {
+        config::Config::default()
+    };
+    Ok(engine::run(root, &config)?)
+}
+
+/// Finds the workspace root: the nearest ancestor of `start` whose
+/// `Cargo.toml` contains a `[workspace]` table.
+///
+/// # Errors
+///
+/// Returns [`io::ErrorKind::NotFound`] when no ancestor qualifies.
+pub fn find_workspace_root(start: &Path) -> io::Result<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = std::fs::read_to_string(&manifest)?;
+            if text.lines().any(|l| l.trim() == "[workspace]") {
+                return Ok(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    Err(io::Error::new(
+        io::ErrorKind::NotFound,
+        format!("no workspace Cargo.toml found above {}", start.display()),
+    ))
+}

@@ -1,0 +1,118 @@
+//! The `dqa-lint` binary: lints the workspace and reports findings.
+//!
+//! ```text
+//! cargo run -p dqa-lint --              # report findings, exit 0
+//! cargo run -p dqa-lint -- --deny      # exit 1 when there are findings
+//! cargo run -p dqa-lint -- --list-rules
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    deny: bool,
+    quiet: bool,
+    list_rules: bool,
+    root: Option<PathBuf>,
+}
+
+const USAGE: &str = "\
+dqa-lint — static determinism/reproducibility checks for the dqa workspace
+
+USAGE:
+    dqa-lint [OPTIONS]
+
+OPTIONS:
+    --deny          exit non-zero when any finding survives
+    --root <PATH>   workspace root (default: nearest ancestor with [workspace])
+    --list-rules    print every rule with its description and exit
+    --quiet         print only the summary line, not the findings
+    -h, --help      this text
+";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        deny: false,
+        quiet: false,
+        list_rules: false,
+        root: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--deny" => args.deny = true,
+            "--quiet" => args.quiet = true,
+            "--list-rules" => args.list_rules = true,
+            "--root" => {
+                let path = it.next().ok_or("--root requires a path".to_string())?;
+                args.root = Some(PathBuf::from(path));
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`\n\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("dqa-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.list_rules {
+        for rule in dqa_lint::rules::all() {
+            println!("{:<22} {}", rule.name(), rule.description());
+        }
+        return ExitCode::SUCCESS;
+    }
+    let root = match args.root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("dqa-lint: cannot read current dir: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match dqa_lint::find_workspace_root(&cwd) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("dqa-lint: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    let findings = match dqa_lint::run_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("dqa-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if !args.quiet {
+        for finding in &findings {
+            print!("{finding}");
+        }
+    }
+    if findings.is_empty() {
+        println!("dqa-lint: clean (0 findings)");
+        ExitCode::SUCCESS
+    } else {
+        println!("dqa-lint: {} finding(s)", findings.len());
+        if args.deny {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! `forbid-unsafe-header`: every library crate keeps
+//! `#![forbid(unsafe_code)]` at the top of its `lib.rs`.
+//!
+//! Why: the reproduction's guarantees are argued in safe Rust — no data
+//! races in the parallel executor, no aliasing games in the slot arena.
+//! `forbid` (unlike `deny`) cannot be overridden further down the tree,
+//! so its presence in the crate root is a one-line proof obligation the
+//! linter can check syntactically.
+
+use crate::config::RuleConfig;
+use crate::diagnostics::Finding;
+use crate::engine::{SourceKind, Workspace};
+use crate::rules::Rule;
+
+/// See the module docs.
+pub struct ForbidUnsafeHeader;
+
+/// The rule name.
+pub const NAME: &str = "forbid-unsafe-header";
+
+impl Rule for ForbidUnsafeHeader {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn description(&self) -> &'static str {
+        "every library crate's lib.rs carries #![forbid(unsafe_code)]"
+    }
+
+    fn check_workspace(&self, ws: &Workspace, cfg: &RuleConfig, out: &mut Vec<Finding>) {
+        for file in &ws.files {
+            if file.kind != SourceKind::Lib || file.rel_path.file_name() != Some("lib.rs".as_ref())
+            {
+                continue;
+            }
+            if !cfg.crates.is_empty() && !cfg.crates.contains(&file.crate_name) {
+                continue;
+            }
+            // Look for the `forbid ( unsafe_code )` token run anywhere in
+            // the file; the attribute shape around it (`#![…]`) is
+            // guaranteed by the compiler once the tokens are present.
+            let code: Vec<_> = file.code_tokens().collect();
+            let found = code.windows(4).any(|w| {
+                w[0].text(&file.text) == "forbid"
+                    && w[1].text(&file.text) == "("
+                    && w[2].text(&file.text) == "unsafe_code"
+                    && w[3].text(&file.text) == ")"
+            });
+            if !found {
+                out.push(
+                    file.finding(
+                        NAME,
+                        0,
+                        format!(
+                            "crate `{}` lacks #![forbid(unsafe_code)] in its crate root",
+                            file.crate_name
+                        ),
+                        Some(
+                            "add `#![forbid(unsafe_code)]` next to the crate's other inner \
+                         attributes"
+                                .to_string(),
+                        ),
+                    ),
+                );
+            }
+        }
+    }
+}

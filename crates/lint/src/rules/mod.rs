@@ -1,0 +1,42 @@
+//! The rule set. Each rule enforces one determinism or reproducibility
+//! invariant; see `DESIGN.md` §10 for the failure mode behind each.
+
+use crate::config::RuleConfig;
+use crate::diagnostics::Finding;
+use crate::engine::{SourceFile, Workspace};
+
+pub mod forbid_unsafe_header;
+pub mod no_float_eq;
+pub mod no_hash_iteration;
+pub mod no_wall_clock;
+pub mod substream_registry;
+pub mod unwrap_budget;
+
+/// The name findings about malformed/unjustified suppressions carry.
+/// Not a configurable rule: it guards the suppression mechanism itself.
+pub const META_RULE: &str = "suppression-hygiene";
+
+/// One static-analysis rule.
+pub trait Rule {
+    /// The rule's kebab-case name, as used in `lint.toml` and `allow()`.
+    fn name(&self) -> &'static str;
+    /// One-line description for `--list-rules`.
+    fn description(&self) -> &'static str;
+    /// Per-file pass over files the engine scoped in.
+    fn check_file(&self, _file: &SourceFile, _cfg: &RuleConfig, _out: &mut Vec<Finding>) {}
+    /// Workspace-level pass (cross-file invariants).
+    fn check_workspace(&self, _ws: &Workspace, _cfg: &RuleConfig, _out: &mut Vec<Finding>) {}
+}
+
+/// Every rule, in reporting order.
+#[must_use]
+pub fn all() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(substream_registry::SubstreamRegistry),
+        Box::new(no_hash_iteration::NoHashIteration),
+        Box::new(no_wall_clock::NoWallClock),
+        Box::new(no_float_eq::NoFloatEq),
+        Box::new(forbid_unsafe_header::ForbidUnsafeHeader),
+        Box::new(unwrap_budget::UnwrapBudget),
+    ]
+}

@@ -1,0 +1,83 @@
+//! `no-float-eq`: no `==`/`!=` against float literals.
+//!
+//! Why: exact float comparison is almost always a latent bug — a value
+//! that "should" be `0.3` after arithmetic rarely is — and in this
+//! codebase a wrong branch taken on a float comparison changes the event
+//! trajectory silently rather than failing a test. The rule fires when
+//! either operand next to `==`/`!=` is a float literal or an `f32`/`f64`
+//! cast; comparisons used as *exact sentinels* (a config value of `0.0`
+//! meaning "disabled", never computed) are the legitimate exception and
+//! must carry an `allow` with justification.
+//!
+//! (Float-typed *variables* compared to each other are invisible to a
+//! token-level pass; those are covered by review and clippy's
+//! `float_cmp` when available. The literal form is the common case and
+//! the one a lexer can catch exactly.)
+
+use crate::config::RuleConfig;
+use crate::diagnostics::Finding;
+use crate::engine::SourceFile;
+use crate::lexer::TokenKind;
+use crate::rules::Rule;
+
+/// See the module docs.
+pub struct NoFloatEq;
+
+/// The rule name.
+pub const NAME: &str = "no-float-eq";
+
+impl Rule for NoFloatEq {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn description(&self) -> &'static str {
+        "no ==/!= with a float-literal or f32/f64-cast operand"
+    }
+
+    fn check_file(&self, file: &SourceFile, _cfg: &RuleConfig, out: &mut Vec<Finding>) {
+        let code: Vec<_> = file.code_tokens().collect();
+        for (i, tok) in code.iter().enumerate() {
+            let op = tok.text(&file.text);
+            if tok.kind != TokenKind::Punct || (op != "==" && op != "!=") {
+                continue;
+            }
+            let prev_float = i > 0 && is_floatish(&file.text, &code, i - 1);
+            let next_float = code
+                .get(i + 1)
+                .is_some_and(|t| t.kind == TokenKind::Float)
+                // `x == y as f64`: the cast is two tokens after the op.
+                || (code.get(i + 2).map(|t| t.text(&file.text)) == Some("as")
+                    && code
+                        .get(i + 3)
+                        .is_some_and(|t| matches!(t.text(&file.text), "f32" | "f64")));
+            if prev_float || next_float {
+                out.push(
+                    file.finding(
+                        NAME,
+                        tok.start,
+                        format!("`{op}` compares against a float"),
+                        Some(
+                            "exact float equality is usually a latent bug; compare with a \
+                         tolerance, or justify an exact-sentinel comparison with an allow"
+                                .to_string(),
+                        ),
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Whether `code[i]` ends a float-valued operand: a float literal, or the
+/// `f32`/`f64` of an `as` cast.
+fn is_floatish(src: &str, code: &[&crate::lexer::Token], i: usize) -> bool {
+    let tok = code[i];
+    if tok.kind == TokenKind::Float {
+        return true;
+    }
+    tok.kind == TokenKind::Ident
+        && matches!(tok.text(src), "f32" | "f64")
+        && i >= 1
+        && code[i - 1].text(src) == "as"
+}

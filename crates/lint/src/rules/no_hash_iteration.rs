@@ -1,0 +1,56 @@
+//! `no-hash-iteration`: no `HashMap`/`HashSet` in model-path crates.
+//!
+//! Why: `std` hash containers iterate in an order derived from SipHash
+//! keys that are randomized per process. Any iteration over one inside
+//! the simulation model makes event order — and therefore every RNG draw
+//! after it — depend on the process, destroying byte-identical
+//! replication. Because whether a given container is *eventually*
+//! iterated is not decidable token-locally, the rule over-approximates
+//! and bans the types outright in the configured crates; deterministic
+//! code wants `BTreeMap`/`BTreeSet`, a `Vec`, or a slot arena anyway
+//! (cf. `dqa_core::query::QueryTable`).
+
+use crate::config::RuleConfig;
+use crate::diagnostics::Finding;
+use crate::engine::SourceFile;
+use crate::lexer::TokenKind;
+use crate::rules::Rule;
+
+/// See the module docs.
+pub struct NoHashIteration;
+
+/// The rule name.
+pub const NAME: &str = "no-hash-iteration";
+
+impl Rule for NoHashIteration {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn description(&self) -> &'static str {
+        "no HashMap/HashSet in model-path crates (iteration order is nondeterministic)"
+    }
+
+    fn check_file(&self, file: &SourceFile, _cfg: &RuleConfig, out: &mut Vec<Finding>) {
+        for tok in file.code_tokens() {
+            if tok.kind != TokenKind::Ident {
+                continue;
+            }
+            let text = tok.text(&file.text);
+            if text == "HashMap" || text == "HashSet" {
+                out.push(
+                    file.finding(
+                        NAME,
+                        tok.start,
+                        format!("`{text}` in a deterministic model path"),
+                        Some(
+                            "hash iteration order is per-process random and breaks byte-identical \
+                         replication; use BTreeMap/BTreeSet, a Vec, or a slot arena"
+                                .to_string(),
+                        ),
+                    ),
+                );
+            }
+        }
+    }
+}

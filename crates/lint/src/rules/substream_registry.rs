@@ -1,0 +1,144 @@
+//! `substream-registry`: RNG substream tags must be named constants from
+//! the central registry, and registered tags must be unique.
+//!
+//! Why: the CRN (common random numbers) methodology — and every bitwise
+//! `RunReport` identity test — relies on each consumer drawing from its
+//! own substream. A magic numeric tag at a call site can silently collide
+//! with another consumer's tag, correlating draws that the experiments
+//! assume independent. Forcing every tag through
+//! `dqa_core::substreams` makes a collision a lint error instead of a
+//! subtly-wrong experiment.
+
+use crate::config::RuleConfig;
+use crate::diagnostics::Finding;
+use crate::engine::{SourceFile, Workspace};
+use crate::lexer::TokenKind;
+use crate::rules::Rule;
+
+/// See the module docs.
+pub struct SubstreamRegistry;
+
+/// The rule name.
+pub const NAME: &str = "substream-registry";
+
+impl Rule for SubstreamRegistry {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn description(&self) -> &'static str {
+        "substream() tags must be named dqa_core::substreams constants, unique in the registry"
+    }
+
+    fn check_file(&self, file: &SourceFile, _cfg: &RuleConfig, out: &mut Vec<Finding>) {
+        let code: Vec<_> = file.code_tokens().collect();
+        for window in code.windows(3) {
+            let [a, b, c] = window else { continue };
+            if a.kind == TokenKind::Ident
+                && a.text(&file.text) == "substream"
+                && b.text(&file.text) == "("
+                && matches!(c.kind, TokenKind::Int | TokenKind::Float)
+            {
+                out.push(
+                    file.finding(
+                        NAME,
+                        c.start,
+                        format!(
+                            "substream() called with numeric literal `{}`",
+                            c.text(&file.text)
+                        ),
+                        Some(
+                            "register a named tag in dqa_core::substreams and use it here; \
+                         the registry is the only place tag values may appear"
+                                .to_string(),
+                        ),
+                    ),
+                );
+            }
+        }
+    }
+
+    fn check_workspace(&self, ws: &Workspace, cfg: &RuleConfig, out: &mut Vec<Finding>) {
+        let registry_path = cfg
+            .options
+            .get("registry")
+            .map_or("crates/core/src/substreams.rs", String::as_str);
+        let Some(file) = ws.file(std::path::Path::new(registry_path)) else {
+            // No scanned registry file: every tag in the workspace is then
+            // unregistered, which the per-file pass already reports, but
+            // the missing registry itself deserves a loud finding.
+            out.push(Finding {
+                rule: NAME,
+                path: registry_path.into(),
+                crate_name: String::new(),
+                line: 1,
+                col: 1,
+                offset: 0,
+                message: "substream tag registry file not found in workspace scan".to_string(),
+                help: Some(
+                    "create the registry module or point `registry` in lint.toml at it".to_string(),
+                ),
+                snippet: None,
+            });
+            return;
+        };
+        // Collect `const NAME: u64 = <int>;` declarations and check the
+        // tag values are pairwise distinct.
+        let code: Vec<_> = file.code_tokens().collect();
+        let mut seen: Vec<(u64, String, usize)> = Vec::new();
+        for (i, tok) in code.iter().enumerate() {
+            if tok.kind != TokenKind::Ident || tok.text(&file.text) != "const" {
+                continue;
+            }
+            let Some(name_tok) = code.get(i + 1) else {
+                continue;
+            };
+            // const NAME : u64 = <int> ;
+            let Some(value_tok) = code.get(i + 5) else {
+                continue;
+            };
+            if code.get(i + 2).map(|t| t.text(&file.text)) != Some(":")
+                || code.get(i + 4).map(|t| t.text(&file.text)) != Some("=")
+                || value_tok.kind != TokenKind::Int
+            {
+                continue;
+            }
+            let Some(value) = parse_int(value_tok.text(&file.text)) else {
+                continue;
+            };
+            let name = name_tok.text(&file.text).to_string();
+            if let Some((_, first, _)) = seen.iter().find(|(v, _, _)| *v == value) {
+                out.push(file.finding(
+                    NAME,
+                    value_tok.start,
+                    format!("substream tag {value} registered twice: `{first}` and `{name}`"),
+                    Some("every consumer needs its own tag; pick an unused value".to_string()),
+                ));
+            }
+            seen.push((value, name, value_tok.start));
+        }
+    }
+}
+
+/// Parses a Rust integer literal (decimal or `0x`/`0o`/`0b`, with `_`
+/// separators and an optional type suffix).
+#[must_use]
+pub fn parse_int(text: &str) -> Option<u64> {
+    let clean = text.replace('_', "");
+    let (radix, digits) = match clean.as_bytes() {
+        [b'0', b'x' | b'X', ..] => (16, &clean[2..]),
+        [b'0', b'o' | b'O', ..] => (8, &clean[2..]),
+        [b'0', b'b' | b'B', ..] => (2, &clean[2..]),
+        _ => (10, clean.as_str()),
+    };
+    // Strip a type suffix (`u64`, `usize`, …): for radix 16 a suffix can
+    // only start at `u`/`i` (hex digits include a–f), for radix 10 at any
+    // alphabetic character.
+    let end = digits
+        .find(|c: char| match radix {
+            16 => matches!(c, 'u' | 'i' | 'U' | 'I'),
+            _ => c.is_alphabetic(),
+        })
+        .unwrap_or(digits.len());
+    u64::from_str_radix(&digits[..end], radix).ok()
+}

@@ -1,0 +1,108 @@
+//! `unwrap-budget`: `.unwrap()`/`.expect()` in library code is budgeted
+//! per crate and ratcheted down, never up.
+//!
+//! Why: a panic inside the simulator kills a whole replicated experiment,
+//! and `unwrap()` carries no record of the invariant it assumes. The
+//! codebase predates this linter, so an outright ban would mean hundreds
+//! of mechanical rewrites in one PR; instead each crate gets an audited
+//! budget in `lint.toml` frozen at its current count. New code that adds
+//! a site pushes the crate over budget and fails the lint — the author
+//! either handles the error or consciously lowers somewhere else. CI
+//! keeps the ratchet honest.
+//!
+//! Sites under `#[cfg(test)]`, in `tests/`/`benches/`/`examples/`, or in
+//! doc-comment code fences never count.
+
+use std::collections::BTreeMap;
+
+use crate::config::RuleConfig;
+use crate::diagnostics::Finding;
+use crate::engine::SourceFile;
+use crate::lexer::TokenKind;
+use crate::rules::Rule;
+
+/// See the module docs.
+pub struct UnwrapBudget;
+
+/// The rule name.
+pub const NAME: &str = "unwrap-budget";
+
+impl Rule for UnwrapBudget {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn description(&self) -> &'static str {
+        "per-crate ratchet on .unwrap()/.expect() sites in library code"
+    }
+
+    fn check_file(&self, file: &SourceFile, _cfg: &RuleConfig, out: &mut Vec<Finding>) {
+        let code: Vec<_> = file.code_tokens().collect();
+        for window in code.windows(3) {
+            let [dot, name, paren] = window else { continue };
+            if dot.text(&file.text) == "."
+                && name.kind == TokenKind::Ident
+                && paren.text(&file.text) == "("
+            {
+                let method = name.text(&file.text);
+                if method == "unwrap" || method == "expect" {
+                    out.push(
+                        file.finding(
+                            NAME,
+                            name.start,
+                            format!("`.{method}()` in library code"),
+                            Some(
+                                "handle the error, or absorb the site into the crate's \
+                             lint.toml budget knowingly"
+                                    .to_string(),
+                            ),
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Applies the per-crate budgets: if a crate's finding count is within
+/// its budget the findings are dropped; if over, every site is reported
+/// plus one summary finding naming the budget. Call after suppression
+/// filtering so justified allows don't count against the budget.
+pub fn apply_budget(findings: &mut Vec<Finding>, cfg: &RuleConfig) {
+    let mut per_crate: BTreeMap<String, usize> = BTreeMap::new();
+    for f in findings.iter().filter(|f| f.rule == NAME) {
+        *per_crate.entry(f.crate_name.clone()).or_default() += 1;
+    }
+    let mut summaries = Vec::new();
+    findings.retain(|f| {
+        if f.rule != NAME {
+            return true;
+        }
+        let count = per_crate[&f.crate_name];
+        let budget = cfg.budgets.get(&f.crate_name).copied().unwrap_or(0).max(0) as usize;
+        count > budget
+    });
+    for (crate_name, count) in &per_crate {
+        let budget = cfg.budgets.get(crate_name).copied().unwrap_or(0).max(0) as usize;
+        if *count > budget {
+            summaries.push(Finding {
+                rule: NAME,
+                path: format!("crates ({crate_name})").into(),
+                crate_name: crate_name.clone(),
+                line: 0,
+                col: 0,
+                offset: 0,
+                message: format!(
+                    "crate `{crate_name}` has {count} unwrap/expect sites, budget is {budget}"
+                ),
+                help: Some(
+                    "fix sites down to the budget, or raise the budget in lint.toml with a \
+                     comment explaining why"
+                        .to_string(),
+                ),
+                snippet: None,
+            });
+        }
+    }
+    findings.append(&mut summaries);
+}

@@ -1,0 +1,210 @@
+//! Lexer edge cases: the constructs that break substring scanners and
+//! that the rules rely on the lexer to classify correctly.
+
+use dqa_lint::lexer::{lex, TokenKind};
+
+fn texts(src: &str) -> Vec<String> {
+    lex(src).iter().map(|t| t.text(src).to_string()).collect()
+}
+
+fn kind_of(src: &str, needle: &str) -> TokenKind {
+    let toks = lex(src);
+    toks.iter()
+        .find(|t| t.text(src) == needle)
+        .unwrap_or_else(|| panic!("token `{needle}` not found in {src:?}"))
+        .kind
+}
+
+#[test]
+fn raw_strings_swallow_their_contents() {
+    // A substring scanner would see `unwrap()` and a fake `"` boundary.
+    let src = r####"let x = r#"contains .unwrap() and a " quote"#; x.len()"####;
+    let toks = lex(src);
+    let raw = toks
+        .iter()
+        .find(|t| t.kind == TokenKind::RawStr)
+        .expect("raw string token");
+    assert_eq!(
+        raw.text(src),
+        r####"r#"contains .unwrap() and a " quote"#"####
+    );
+    // Nothing inside the raw string leaks out as an identifier.
+    assert!(!texts(src).iter().any(|t| t == "unwrap"));
+}
+
+#[test]
+fn raw_strings_with_more_hashes() {
+    let src = r#####"r##"inner "# still inside"## + 1"#####;
+    let toks = lex(src);
+    assert_eq!(toks[0].kind, TokenKind::RawStr);
+    assert_eq!(toks[0].text(src), r#####"r##"inner "# still inside"##"#####);
+    assert_eq!(toks[1].text(src), "+");
+}
+
+#[test]
+fn byte_and_raw_byte_strings() {
+    let src = r###"b"bytes" br#"raw bytes"# b'x'"###;
+    let toks = lex(src);
+    assert_eq!(toks[0].kind, TokenKind::Str);
+    assert_eq!(toks[1].kind, TokenKind::RawStr);
+    assert_eq!(toks[2].kind, TokenKind::Char);
+}
+
+#[test]
+fn nested_block_comments() {
+    let src = "/* outer /* inner */ still comment */ code";
+    let toks = lex(src);
+    assert_eq!(toks[0].kind, TokenKind::BlockComment { doc: false });
+    assert_eq!(toks[0].text(src), "/* outer /* inner */ still comment */");
+    assert_eq!(toks[1].text(src), "code");
+}
+
+#[test]
+fn lifetime_vs_char_literal() {
+    // `'a` in generics is a lifetime; `'a'` is a char.
+    let src = "fn f<'a>(x: &'a str) -> char { 'a' }";
+    let toks = lex(src);
+    let lifetimes: Vec<&str> = toks
+        .iter()
+        .filter(|t| t.kind == TokenKind::Lifetime)
+        .map(|t| t.text(src))
+        .collect();
+    let chars: Vec<&str> = toks
+        .iter()
+        .filter(|t| t.kind == TokenKind::Char)
+        .map(|t| t.text(src))
+        .collect();
+    assert_eq!(lifetimes, ["'a", "'a"]);
+    assert_eq!(chars, ["'a'"]);
+}
+
+#[test]
+fn escaped_char_literals() {
+    assert_eq!(kind_of(r"let c = '\n';", r"'\n'"), TokenKind::Char);
+    assert_eq!(kind_of(r"let c = '\'';", r"'\''"), TokenKind::Char);
+    assert_eq!(
+        kind_of(r"let c = '\u{1F600}';", r"'\u{1F600}'"),
+        TokenKind::Char
+    );
+    // `'_` is a lifetime (the placeholder), not an unterminated char.
+    assert_eq!(kind_of("fn f(x: &'_ str) {}", "'_"), TokenKind::Lifetime);
+}
+
+#[test]
+fn static_lifetime_is_not_a_char() {
+    assert_eq!(kind_of("&'static str", "'static"), TokenKind::Lifetime);
+}
+
+#[test]
+fn doc_comments_are_comments_even_with_code_fences() {
+    let src = "\
+/// Example:
+///
+/// ```
+/// let x = map.get(&k).unwrap();
+/// ```
+fn real() {}
+";
+    let toks = lex(src);
+    // Every `unwrap` mention is inside a doc-comment token.
+    for t in toks.iter().filter(|t| t.text(src).contains("unwrap")) {
+        assert_eq!(t.kind, TokenKind::LineComment { doc: true });
+    }
+    // And the only code identifiers are the function item.
+    let idents: Vec<&str> = toks
+        .iter()
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| t.text(src))
+        .collect();
+    assert_eq!(idents, ["fn", "real"]);
+}
+
+#[test]
+fn block_doc_comments_classified() {
+    let src = "/** outer doc */ /*! inner doc */ /* plain */ x";
+    let kinds: Vec<TokenKind> = lex(src).iter().map(|t| t.kind).collect();
+    assert_eq!(
+        kinds,
+        [
+            TokenKind::BlockComment { doc: true },
+            TokenKind::BlockComment { doc: true },
+            TokenKind::BlockComment { doc: false },
+            TokenKind::Ident,
+        ]
+    );
+}
+
+#[test]
+fn numeric_literals() {
+    assert_eq!(kind_of("x(0xD1CE)", "0xD1CE"), TokenKind::Int);
+    assert_eq!(kind_of("x(0b1010_1010u8)", "0b1010_1010u8"), TokenKind::Int);
+    assert_eq!(kind_of("x(1_000_000)", "1_000_000"), TokenKind::Int);
+    assert_eq!(kind_of("x(1.5e-3)", "1.5e-3"), TokenKind::Float);
+    assert_eq!(kind_of("x(2f64)", "2f64"), TokenKind::Float);
+    assert_eq!(kind_of("x(7e9)", "7e9"), TokenKind::Float);
+}
+
+#[test]
+fn int_method_calls_and_ranges_stay_ints() {
+    let src = "for i in 0..10 { let m = 3.max(i); }";
+    assert_eq!(kind_of(src, "0"), TokenKind::Int);
+    assert_eq!(kind_of(src, "10"), TokenKind::Int);
+    assert_eq!(kind_of(src, "3"), TokenKind::Int);
+    assert_eq!(kind_of(src, ".."), TokenKind::Punct);
+}
+
+#[test]
+fn strings_with_escapes_do_not_leak() {
+    let src = r#"let s = "quote \" inside // not a comment"; done"#;
+    let toks = lex(src);
+    let strings: Vec<&str> = toks
+        .iter()
+        .filter(|t| t.kind == TokenKind::Str)
+        .map(|t| t.text(src))
+        .collect();
+    assert_eq!(strings, [r#""quote \" inside // not a comment""#]);
+    assert!(texts(src).iter().any(|t| t == "done"));
+}
+
+#[test]
+fn operators_needed_by_rules_are_whole_tokens() {
+    let src = "a == b; c != d; e :: f; g => h; i -> j; k ..= l";
+    for op in ["==", "!=", "::", "=>", "->", "..="] {
+        assert_eq!(kind_of(src, op), TokenKind::Punct, "operator {op}");
+    }
+}
+
+#[test]
+fn spans_are_exact_byte_ranges() {
+    let src = "alpha 0x10 'b'";
+    let toks = lex(src);
+    assert_eq!((toks[0].start, toks[0].end), (0, 5));
+    assert_eq!((toks[1].start, toks[1].end), (6, 10));
+    assert_eq!((toks[2].start, toks[2].end), (11, 14));
+}
+
+#[test]
+fn line_col_conversion() {
+    let src = "one\ntwo three\nfour";
+    let starts = dqa_lint::lexer::line_starts(src);
+    assert_eq!(dqa_lint::lexer::line_col(&starts, 0), (1, 1));
+    assert_eq!(dqa_lint::lexer::line_col(&starts, 4), (2, 1));
+    assert_eq!(dqa_lint::lexer::line_col(&starts, 8), (2, 5));
+    assert_eq!(dqa_lint::lexer::line_col(&starts, 14), (3, 1));
+}
+
+#[test]
+fn unterminated_constructs_do_not_hang_or_panic() {
+    // Torture inputs: the lexer must terminate and produce *something*.
+    for src in [
+        "/* never closed",
+        "\"never closed",
+        "r#\"never closed",
+        "'",
+        "'\\",
+        "1.",
+        "0x",
+    ] {
+        let _ = lex(src);
+    }
+}

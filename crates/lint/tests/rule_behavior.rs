@@ -1,0 +1,360 @@
+//! End-to-end rule behavior on small synthetic workspaces: each rule
+//! catches its seeded violation with a correctly-spanned diagnostic, and
+//! the suppression machinery behaves as specified.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use dqa_lint::config::{self, Config};
+use dqa_lint::diagnostics::Finding;
+use dqa_lint::engine;
+
+/// A throwaway workspace under the system temp dir.
+struct TempWorkspace {
+    root: PathBuf,
+}
+
+impl TempWorkspace {
+    fn new(name: &str) -> Self {
+        let root =
+            std::env::temp_dir().join(format!("dqa-lint-test-{}-{name}", std::process::id()));
+        if root.exists() {
+            fs::remove_dir_all(&root).expect("clear stale temp workspace");
+        }
+        fs::create_dir_all(&root).expect("create temp workspace");
+        fs::write(root.join("Cargo.toml"), "[workspace]\n").expect("write root manifest");
+        TempWorkspace { root }
+    }
+
+    fn add_crate(&self, name: &str) -> &Self {
+        let dir = self.root.join("crates").join(name);
+        fs::create_dir_all(dir.join("src")).expect("create crate dirs");
+        fs::write(
+            dir.join("Cargo.toml"),
+            format!("[package]\nname = \"{name}\"\n"),
+        )
+        .expect("write crate manifest");
+        self
+    }
+
+    fn write(&self, rel: &str, content: &str) -> &Self {
+        let path = self.root.join(rel);
+        fs::create_dir_all(path.parent().expect("has parent")).expect("create parent dirs");
+        fs::write(path, content).expect("write source file");
+        self
+    }
+
+    /// Runs the engine with `config_text`, with every rule the text does
+    /// not mention explicitly disabled — so each test sees only the rule
+    /// it seeds a violation for. (In a real workspace, unconfigured
+    /// rules run everywhere by default; the meta suppression-hygiene
+    /// pass is not a rule and always runs.)
+    fn run(&self, config_text: &str) -> Vec<Finding> {
+        let mut config: Config = config::parse(config_text).expect("test config parses");
+        for rule in dqa_lint::rules::all() {
+            config
+                .rules
+                .entry(rule.name().to_string())
+                .or_insert_with(|| dqa_lint::config::RuleConfig {
+                    enabled: Some(false),
+                    ..Default::default()
+                });
+        }
+        engine::run(&self.root, &config).expect("engine runs")
+    }
+}
+
+impl Drop for TempWorkspace {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+fn rules_of(findings: &[Finding]) -> Vec<&str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn substream_literal_is_flagged_with_span() {
+    let ws = TempWorkspace::new("substream-literal");
+    ws.add_crate("app").write(
+        "crates/app/src/lib.rs",
+        "fn f(root: &R) {\n    let s = root.substream(7);\n}\n",
+    );
+    let findings = ws.run(
+        "[rules.substream-registry]\ncrates = [\"app\"]\nregistry = \"crates/app/src/tags.rs\"\n",
+    );
+    // The missing registry is also reported; the literal finding is the
+    // one with a span.
+    let lit = findings
+        .iter()
+        .find(|f| f.message.contains("numeric literal"))
+        .expect("literal finding");
+    assert_eq!(lit.rule, "substream-registry");
+    assert_eq!(lit.path, Path::new("crates/app/src/lib.rs"));
+    assert_eq!((lit.line, lit.col), (2, 28));
+    assert!(lit
+        .snippet
+        .as_deref()
+        .is_some_and(|s| s.contains("substream(7)")));
+}
+
+#[test]
+fn duplicate_registry_tag_is_flagged() {
+    let ws = TempWorkspace::new("dup-tag");
+    ws.add_crate("app").write(
+        "crates/app/src/tags.rs",
+        "pub const A: u64 = 3;\npub const B: u64 = 0x3;\n",
+    );
+    let findings = ws.run(
+        "[rules.substream-registry]\ncrates = [\"app\"]\nregistry = \"crates/app/src/tags.rs\"\n",
+    );
+    assert_eq!(rules_of(&findings), ["substream-registry"]);
+    assert!(findings[0].message.contains("registered twice"));
+    assert!(findings[0].message.contains('A') && findings[0].message.contains('B'));
+    assert_eq!(findings[0].line, 2);
+}
+
+#[test]
+fn hash_container_flagged_outside_tests_only() {
+    let ws = TempWorkspace::new("hash");
+    ws.add_crate("model").write(
+        "crates/model/src/lib.rs",
+        "use std::collections::HashMap;\n\
+         pub fn f() { let m: HashMap<u32, u32> = HashMap::new(); }\n\
+         #[cfg(test)]\n\
+         mod tests {\n\
+             use std::collections::HashSet;\n\
+             #[test]\n\
+             fn t() { let _ = HashSet::<u32>::new(); }\n\
+         }\n",
+    );
+    let findings = ws.run("[rules.no-hash-iteration]\ncrates = [\"model\"]\n");
+    // Three non-test mentions (use, type, constructor), zero from the
+    // #[cfg(test)] module.
+    assert_eq!(findings.len(), 3);
+    assert!(findings.iter().all(|f| f.rule == "no-hash-iteration"));
+    assert!(findings.iter().all(|f| f.line <= 2));
+}
+
+#[test]
+fn wall_clock_flagged() {
+    let ws = TempWorkspace::new("wall-clock");
+    ws.add_crate("model").write(
+        "crates/model/src/lib.rs",
+        "use std::time::Instant;\npub fn f() -> Instant { Instant::now() }\n",
+    );
+    let findings = ws.run("[rules.no-wall-clock]\ncrates = [\"model\"]\n");
+    assert_eq!(findings.len(), 3);
+    assert!(findings.iter().all(|f| f.rule == "no-wall-clock"));
+}
+
+#[test]
+fn float_eq_flagged_on_either_side_and_casts() {
+    let ws = TempWorkspace::new("float-eq");
+    ws.add_crate("m").write(
+        "crates/m/src/lib.rs",
+        "pub fn f(x: f64, n: u32) -> bool {\n\
+             let a = x == 0.5;\n\
+             let b = 1.0 != x;\n\
+             let c = x == n as f64;\n\
+             let ok = n == 3;\n\
+             a && b && c && ok\n\
+         }\n",
+    );
+    let findings = ws.run("[rules.no-float-eq]\ncrates = [\"m\"]\n");
+    assert_eq!(findings.len(), 3, "{findings:?}");
+    assert_eq!(
+        findings.iter().map(|f| f.line).collect::<Vec<_>>(),
+        [2, 3, 4]
+    );
+}
+
+#[test]
+fn int_comparisons_and_doc_fences_do_not_trip_rules() {
+    let ws = TempWorkspace::new("clean");
+    ws.add_crate("m").write(
+        "crates/m/src/lib.rs",
+        "#![forbid(unsafe_code)]\n\
+         //! ```\n\
+         //! let x = map.get(&k).unwrap();\n\
+         //! let h: HashMap<u8, u8> = HashMap::new();\n\
+         //! let t = Instant::now();\n\
+         //! ```\n\
+         /// Returns `true` when `a == 0.0` — doc prose, not code.\n\
+         pub fn f(a: u32, b: u32) -> bool { a == b }\n\
+         pub fn g() { let s = \"Instant::now() .unwrap() HashMap 0.5 == x\"; let _ = s; }\n",
+    );
+    let findings = ws.run(
+        "[rules.no-hash-iteration]\ncrates = [\"m\"]\n\
+         [rules.no-wall-clock]\ncrates = [\"m\"]\n\
+         [rules.no-float-eq]\ncrates = [\"m\"]\n\
+         [rules.unwrap-budget]\ncrates = [\"m\"]\n\
+         [rules.forbid-unsafe-header]\ncrates = [\"m\"]\n",
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn missing_forbid_unsafe_header_flagged() {
+    let ws = TempWorkspace::new("no-forbid");
+    ws.add_crate("m")
+        .write("crates/m/src/lib.rs", "pub fn f() {}\n");
+    let findings = ws.run("[rules.forbid-unsafe-header]\ncrates = [\"m\"]\n");
+    assert_eq!(rules_of(&findings), ["forbid-unsafe-header"]);
+    assert!(findings[0].message.contains("forbid(unsafe_code)"));
+}
+
+#[test]
+fn unwrap_budget_ratchets() {
+    let ws = TempWorkspace::new("budget");
+    ws.add_crate("m").write(
+        "crates/m/src/lib.rs",
+        "pub fn f(x: Option<u32>) -> u32 { x.unwrap() + x.expect(\"set\") }\n",
+    );
+    // Budget 2: within budget, nothing reported.
+    let ok =
+        ws.run("[rules.unwrap-budget]\ncrates = [\"m\"]\n[rules.unwrap-budget.budgets]\nm = 2\n");
+    assert!(ok.is_empty(), "{ok:?}");
+    // Budget 1: over budget — both sites plus the summary are reported.
+    let over =
+        ws.run("[rules.unwrap-budget]\ncrates = [\"m\"]\n[rules.unwrap-budget.budgets]\nm = 1\n");
+    assert_eq!(over.len(), 3, "{over:?}");
+    assert!(over.iter().any(|f| f.message.contains("budget is 1")));
+    // No budget configured means zero.
+    let zero = ws.run("[rules.unwrap-budget]\ncrates = [\"m\"]\n");
+    assert_eq!(zero.len(), 3, "{zero:?}");
+}
+
+#[test]
+fn unwrap_in_test_module_and_test_dirs_is_free() {
+    let ws = TempWorkspace::new("budget-tests");
+    ws.add_crate("m")
+        .write(
+            "crates/m/src/lib.rs",
+            "pub fn f() {}\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 #[test]\n\
+                 fn t() { Some(1).unwrap(); }\n\
+             }\n",
+        )
+        .write(
+            "crates/m/tests/integration.rs",
+            "#[test]\nfn t() { Some(1).unwrap(); }\n",
+        );
+    let findings = ws.run("[rules.unwrap-budget]\ncrates = [\"m\"]\n");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn justified_suppression_silences_finding() {
+    let ws = TempWorkspace::new("suppress-ok");
+    ws.add_crate("m").write(
+        "crates/m/src/lib.rs",
+        "pub fn f(x: f64) -> bool {\n\
+             // dqa-lint: allow(no-float-eq) -- exact sentinel, never computed\n\
+             x == 0.0\n\
+         }\n\
+         pub fn g(x: f64) -> bool {\n\
+             x != 1.0 // dqa-lint: allow(no-float-eq) -- trailing form, also sound\n\
+         }\n",
+    );
+    let findings = ws.run("[rules.no-float-eq]\ncrates = [\"m\"]\n");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn unjustified_suppression_is_itself_a_finding_and_does_not_silence() {
+    let ws = TempWorkspace::new("suppress-bad");
+    ws.add_crate("m").write(
+        "crates/m/src/lib.rs",
+        "pub fn f(x: f64) -> bool {\n\
+             // dqa-lint: allow(no-float-eq)\n\
+             x == 0.0\n\
+         }\n",
+    );
+    let findings = ws.run("[rules.no-float-eq]\ncrates = [\"m\"]\n");
+    let rules = rules_of(&findings);
+    assert!(rules.contains(&"suppression-hygiene"), "{findings:?}");
+    assert!(rules.contains(&"no-float-eq"), "{findings:?}");
+}
+
+#[test]
+fn unknown_rule_in_allow_is_flagged() {
+    let ws = TempWorkspace::new("suppress-typo");
+    ws.add_crate("m").write(
+        "crates/m/src/lib.rs",
+        "// dqa-lint: allow(no-flaot-eq) -- typo'd rule name\npub fn f() {}\n",
+    );
+    let findings = ws.run("");
+    assert_eq!(rules_of(&findings), ["suppression-hygiene"]);
+    assert!(findings[0].message.contains("no-flaot-eq"));
+}
+
+#[test]
+fn suppression_only_covers_its_rule() {
+    let ws = TempWorkspace::new("suppress-wrong-rule");
+    ws.add_crate("m").write(
+        "crates/m/src/lib.rs",
+        "pub fn f(x: f64) -> bool {\n\
+             // dqa-lint: allow(no-wall-clock) -- wrong rule for this line\n\
+             x == 0.0\n\
+         }\n",
+    );
+    let findings =
+        ws.run("[rules.no-float-eq]\ncrates = [\"m\"]\n[rules.no-wall-clock]\ncrates = [\"m\"]\n");
+    assert!(rules_of(&findings).contains(&"no-float-eq"), "{findings:?}");
+}
+
+#[test]
+fn crate_scoping_and_allow_paths_respected() {
+    let ws = TempWorkspace::new("scoping");
+    ws.add_crate("in-scope")
+        .add_crate("out-of-scope")
+        .write(
+            "crates/in-scope/src/lib.rs",
+            "use std::collections::HashMap;\n",
+        )
+        .write(
+            "crates/in-scope/src/generated/table.rs",
+            "use std::collections::HashMap;\n",
+        )
+        .write(
+            "crates/out-of-scope/src/lib.rs",
+            "use std::collections::HashMap;\n",
+        );
+    let findings = ws.run(
+        "[rules.no-hash-iteration]\ncrates = [\"in-scope\"]\nallow-paths = [\"src/generated/\"]\n",
+    );
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].path, Path::new("crates/in-scope/src/lib.rs"));
+}
+
+#[test]
+fn disabled_rule_reports_nothing() {
+    let ws = TempWorkspace::new("disabled");
+    ws.add_crate("m")
+        .write("crates/m/src/lib.rs", "use std::time::Instant;\n");
+    let findings = ws.run("[rules.no-wall-clock]\ncrates = [\"m\"]\nenabled = false\n");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn findings_are_sorted_and_deterministic() {
+    let ws = TempWorkspace::new("sorted");
+    ws.add_crate("m").write(
+        "crates/m/src/lib.rs",
+        "use std::collections::HashMap;\nuse std::time::Instant;\nuse std::collections::HashSet;\n",
+    );
+    let cfg =
+        "[rules.no-hash-iteration]\ncrates = [\"m\"]\n[rules.no-wall-clock]\ncrates = [\"m\"]\n";
+    let a = ws.run(cfg);
+    let b = ws.run(cfg);
+    let render = |fs: &[Finding]| fs.iter().map(|f| f.render()).collect::<Vec<_>>();
+    assert_eq!(render(&a), render(&b));
+    let lines: Vec<usize> = a.iter().map(|f| f.line).collect();
+    let mut sorted = lines.clone();
+    sorted.sort_unstable();
+    assert_eq!(lines, sorted);
+}

@@ -1,0 +1,49 @@
+//! Tier-1 gate: the real workspace must be finding-free under the real
+//! `lint.toml`. This is the test that makes the determinism invariants
+//! regression-gated — a PR that reintroduces a magic substream tag, a
+//! `HashMap` on the model path, or a wall-clock read fails `cargo test`,
+//! not just the CI lint step.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_zero_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint has a workspace root two levels up");
+    let findings = dqa_lint::run_workspace(root).expect("lint pass runs");
+    assert!(
+        findings.is_empty(),
+        "dqa-lint found {} violation(s) in the workspace:\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(dqa_lint::diagnostics::Finding::render)
+            .collect::<String>()
+    );
+}
+
+#[test]
+fn every_configured_crate_exists() {
+    // Guard against lint.toml drifting from the workspace layout: a rule
+    // scoped to a renamed/removed crate would silently stop checking it.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let config_text =
+        std::fs::read_to_string(root.join("lint.toml")).expect("lint.toml exists at the root");
+    let config = dqa_lint::config::parse(&config_text).expect("lint.toml parses");
+    let workspace = dqa_lint::engine::load_workspace(root).expect("workspace loads");
+    let names = workspace.crate_names();
+    for (rule, rule_config) in &config.rules {
+        for crate_name in rule_config.crates.iter().chain(rule_config.budgets.keys()) {
+            assert!(
+                names.contains(crate_name),
+                "lint.toml rule `{rule}` references unknown crate `{crate_name}` \
+                 (workspace has: {names:?})"
+            );
+        }
+    }
+}

@@ -103,6 +103,7 @@ impl BatchMeans {
     #[must_use]
     pub fn relative_half_width(&self) -> f64 {
         let m = self.batches.mean().abs();
+        // dqa-lint: allow(no-float-eq) -- division guard: only exact zero divides badly
         if m == 0.0 {
             f64::INFINITY
         } else {
