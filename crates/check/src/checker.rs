@@ -1,0 +1,697 @@
+//! BFS exploration of the abstract transition system with safety and
+//! liveness invariants.
+//!
+//! # Abstraction mapping
+//!
+//! Each action's guard/effect mirrors one mechanism of `dqa_core`:
+//!
+//! - **Submit/Resubmit** — `handle_submit`/`handle_resubmit`: the
+//!   deterministic soft-quarantine allocation of `select_site_among`
+//!   (usable = up ∧ trusted; availability-only fallback when nothing is
+//!   usable), then the admission verdict as a *nondeterministic* branch
+//!   (the checker explores both; the simulator decides by live load).
+//! - **Deliver** — `handle_net_done`: a dispatch frame crossing an
+//!   active partition boundary or arriving at a crashed site is dropped
+//!   into fault recovery (`fail_execution` → `schedule_retry`).
+//! - **Expire** — `handle_deadline_expire`/`cancel_and_reallocate`: the
+//!   attempt is unwound, one reallocation is consumed or the query is
+//!   abandoned; a cancelled in-flight attempt leaves a *stale* frame on
+//!   the ring, which the epoch guard must ignore on delivery.
+//! - **Complete** — `complete_query`, with the `Return`-phase
+//!   retransmit loop collapsed to "stay at the execution site, consume
+//!   a fault retry" when the results cannot reach home.
+//! - **Crash/Repair** — `crash_site`/`recover_site` (timing replaced by
+//!   nondeterministic ordering, bounded by `max_crashes`).
+//! - **Suspect/Retrust** — the suspicion sweep and probation: a site
+//!   may only become suspected while actually silent (down or behind an
+//!   active partition), and re-trusted only once heard again.
+//!
+//! What the timing abstraction loses: queue depths, service-time
+//! ordering, and load-table staleness. Those affect *which* site the
+//! policies prefer, never the lifecycle invariants — allocation here is
+//! "home if usable, else lowest usable site", which over-approximates
+//! nothing the invariants depend on because every usable choice is
+//! reachable by permuting homes.
+
+// dqa-lint: allow(no-hash-iteration) -- the dedup index is only ever probed by key, never iterated
+use std::collections::{HashMap, VecDeque};
+
+use dqa_core::lifecycle::{allowed, Stage};
+
+use crate::config::{CheckConfig, Mutation};
+use crate::state::{Action, Partition, QStage, State};
+
+/// The invariant catalogue. See DESIGN.md §11 for the prose version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Invariant {
+    /// I1 — a query's results reach its terminal at most once, and
+    /// never after the query was reported shed or lost.
+    NoDoubleExecution,
+    /// I2 — deadline reallocations never exceed `max_reallocations`.
+    ReallocationBound,
+    /// I3 — allocation returns a site whenever at least one site is up
+    /// (the quarantine hysteresis fallback never wedges all sites).
+    NoQuarantineWedge,
+    /// I4 — liveness: from every reachable state, a state where all
+    /// queries are terminal (completed or reported) stays reachable.
+    AllTerminalReachable,
+    /// I5 — structural sanity: an executing query's site is up.
+    StageDomain,
+    /// Cross-validation: every transition's stage edge is permitted by
+    /// [`dqa_core::lifecycle::ALLOWED`].
+    ContractEdge,
+}
+
+impl Invariant {
+    /// Stable display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Invariant::NoDoubleExecution => "no-double-execution",
+            Invariant::ReallocationBound => "reallocation-bound",
+            Invariant::NoQuarantineWedge => "no-quarantine-wedge",
+            Invariant::AllTerminalReachable => "all-terminal-reachable",
+            Invariant::StageDomain => "stage-domain",
+            Invariant::ContractEdge => "lifecycle-contract-edge",
+        }
+    }
+}
+
+/// A violation with its minimal (BFS-shortest) counterexample trace.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Which invariant broke.
+    pub invariant: Invariant,
+    /// The action sequence from the initial state to the violation.
+    pub trace: Vec<Action>,
+    /// The violating state.
+    pub state: State,
+}
+
+/// Exploration statistics and outcome.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// Distinct states discovered.
+    pub states: usize,
+    /// Successor edges generated (including duplicates).
+    pub transitions: u64,
+    /// Generated successors that were already known (dedup hits).
+    pub dedup_hits: u64,
+    /// Deepest BFS layer reached.
+    pub max_depth: usize,
+    /// Reachable states in which every query is terminal.
+    pub terminal_states: usize,
+    /// The first violation found, if any (BFS order = minimal trace).
+    pub violation: Option<Violation>,
+}
+
+impl CheckReport {
+    /// Dedup hit rate: duplicate successors / all successors.
+    #[must_use]
+    pub fn dedup_rate(&self) -> f64 {
+        if self.transitions == 0 {
+            0.0
+        } else {
+            self.dedup_hits as f64 / self.transitions as f64
+        }
+    }
+}
+
+/// Outcome of the deterministic allocation mirror.
+enum Alloc {
+    Site(usize),
+    /// No site at all is up: back off at the home terminal.
+    NoneUp,
+    /// Allocation returned nothing although sites are up (only
+    /// reachable under [`Mutation::SkipQuarantineFallback`]).
+    Wedged,
+}
+
+/// The bounded explicit-state model checker.
+#[derive(Debug, Clone)]
+pub struct Checker {
+    config: CheckConfig,
+}
+
+struct Node {
+    parent: u32,
+    action: Option<Action>,
+    depth: u32,
+}
+
+impl Checker {
+    /// Creates a checker for the given bounds.
+    #[must_use]
+    pub fn new(config: CheckConfig) -> Self {
+        Checker { config }
+    }
+
+    /// The configured bounds.
+    #[must_use]
+    pub fn config(&self) -> &CheckConfig {
+        &self.config
+    }
+
+    /// Explores the reachable state space breadth-first and returns the
+    /// report. Stops at the first safety violation (minimal trace); the
+    /// liveness check (I4) runs over the full graph afterwards.
+    #[must_use]
+    pub fn run(&self) -> CheckReport {
+        let init = State::initial(&self.config);
+        // dqa-lint: allow(no-hash-iteration) -- probe-only dedup; exploration order comes from the VecDeque
+        let mut index: HashMap<State, u32> = HashMap::new();
+        let mut nodes: Vec<Node> = Vec::new();
+        let mut terminal: Vec<bool> = Vec::new();
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        let mut queue: VecDeque<(u32, State)> = VecDeque::new();
+
+        index.insert(init.clone(), 0);
+        nodes.push(Node {
+            parent: 0,
+            action: None,
+            depth: 0,
+        });
+        terminal.push(init.all_terminal());
+        queue.push_back((0, init));
+
+        let mut report = CheckReport {
+            states: 1,
+            transitions: 0,
+            dedup_hits: 0,
+            max_depth: 0,
+            terminal_states: 0,
+            violation: None,
+        };
+        let mut successors = Vec::new();
+
+        while let Some((id, state)) = queue.pop_front() {
+            let depth = nodes[id as usize].depth;
+            report.max_depth = report.max_depth.max(depth as usize);
+            successors.clear();
+            self.successors(&state, &mut successors);
+            for (action, next) in successors.drain(..) {
+                report.transitions += 1;
+                let next_id = match index.get(&next) {
+                    Some(&existing) => {
+                        report.dedup_hits += 1;
+                        existing
+                    }
+                    None => {
+                        let next_id = nodes.len() as u32;
+                        nodes.push(Node {
+                            parent: id,
+                            action: Some(action),
+                            depth: depth + 1,
+                        });
+                        terminal.push(next.all_terminal());
+                        index.insert(next.clone(), next_id);
+                        report.states += 1;
+                        // Safety invariants are checked on discovery:
+                        // BFS order makes the first hit a minimal trace.
+                        if let Some(invariant) = self.check_safety(&state, &action, &next) {
+                            report.max_depth = report.max_depth.max(depth as usize + 1);
+                            report.violation = Some(Violation {
+                                invariant,
+                                trace: trace_of(&nodes, next_id),
+                                state: next,
+                            });
+                            report.terminal_states = terminal.iter().filter(|&&t| t).count();
+                            return report;
+                        }
+                        queue.push_back((next_id, next));
+                        next_id
+                    }
+                };
+                edges.push((id, next_id));
+            }
+        }
+        report.terminal_states = terminal.iter().filter(|&&t| t).count();
+
+        // I4 (liveness under fairness): every reachable state must keep
+        // an all-terminal state reachable. Backward reachability from
+        // the terminal states over the explored graph; any state outside
+        // the backward-reachable set can never finish its queries.
+        if let Some(stuck) = liveness_gap(&nodes, &terminal, &edges) {
+            let trace = trace_of(&nodes, stuck);
+            let state = self.replay_trace(&trace);
+            report.violation = Some(Violation {
+                invariant: Invariant::AllTerminalReachable,
+                trace,
+                state,
+            });
+        }
+        report
+    }
+
+    /// Re-derives the state a trace leads to by replaying its actions
+    /// from the initial state. Each `(state, action)` pair has exactly
+    /// one successor (the admission verdict is part of the `Submit`
+    /// label), so traces fully determine their end state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace contains an action not enabled along the way
+    /// (i.e., it was not produced by this checker's configuration).
+    #[must_use]
+    pub fn replay_trace(&self, trace: &[Action]) -> State {
+        let mut state = State::initial(&self.config);
+        let mut successors = Vec::new();
+        for action in trace {
+            successors.clear();
+            self.successors(&state, &mut successors);
+            state = successors
+                .drain(..)
+                .find(|(a, _)| a == action)
+                .map(|(_, s)| s)
+                .unwrap_or_else(|| panic!("action {action} not enabled at this point"));
+        }
+        state
+    }
+
+    /// Safety invariants I1/I2/I3/I5 plus the lifecycle-contract
+    /// cross-validation, evaluated on a newly discovered transition.
+    fn check_safety(&self, before: &State, action: &Action, after: &State) -> Option<Invariant> {
+        let budget = self.config.realloc_budget.unwrap_or(0);
+        for (qi, q) in after.queries.iter().enumerate() {
+            if q.completions > 1 {
+                return Some(Invariant::NoDoubleExecution);
+            }
+            if q.completions > 0 && matches!(q.stage, QStage::Abandoned | QStage::Lost) {
+                return Some(Invariant::NoDoubleExecution);
+            }
+            if self.config.realloc_budget.is_some() && q.reallocs_used > budget {
+                return Some(Invariant::ReallocationBound);
+            }
+            if q.wedged {
+                return Some(Invariant::NoQuarantineWedge);
+            }
+            if let QStage::Executing { at } = q.stage {
+                if !after.site_up[at as usize] {
+                    return Some(Invariant::StageDomain);
+                }
+            }
+            // Cross-validation against the protocol contract: the stage
+            // edge of every changed query must be permitted. Same-stage
+            // "transitions" are state updates (budget spends), not
+            // protocol edges. A budget exhausted inside a recovery step
+            // traverses Backoff transiently within one event
+            // (`fail_execution` → `schedule_retry` → `lose_query`), so
+            // a composite edge through Backoff is also accepted.
+            let from = before.queries[qi].stage.contract();
+            let to = q.stage.contract();
+            if from != to && !contract_ok(from, to) {
+                return Some(Invariant::ContractEdge);
+            }
+        }
+        let _ = action;
+        None
+    }
+
+    /// All successors of `state`, in a fixed enumeration order (queries
+    /// ascending, then sites ascending, then partition toggles) so the
+    /// exploration — and therefore every reported count and trace — is
+    /// deterministic.
+    fn successors(&self, s: &State, out: &mut Vec<(Action, State)>) {
+        let c = &self.config;
+        for q in 0..s.queries.len() {
+            let qs = &s.queries[q];
+            let home = State::home(q, c.sites);
+            match qs.stage {
+                QStage::Idle | QStage::Backoff => self.submit_successors(s, q, out),
+                QStage::InFlight { to } => {
+                    let to = to as usize;
+                    let dropped = (s.partition == Partition::Active
+                        && c.crosses_partition(home, to))
+                        || !s.site_up[to];
+                    let mut next = s.clone();
+                    let action = Action::Deliver { query: q };
+                    if dropped {
+                        fault_retry(&mut next.queries[q]);
+                    } else {
+                        next.queries[q].stage = QStage::Executing { at: to as u8 };
+                    }
+                    out.push((action, next));
+                }
+                QStage::Executing { at } => {
+                    let at = at as usize;
+                    // The results travel home; an unreachable home
+                    // (crashed, or across an active partition) costs a
+                    // fault retry while the results stay logged at the
+                    // execution site.
+                    let reachable = s.site_up[home]
+                        && !(s.partition == Partition::Active && c.crosses_partition(at, home));
+                    let mut next = s.clone();
+                    if reachable {
+                        next.queries[q].stage = QStage::Done;
+                        next.queries[q].completions += 1;
+                    } else if next.queries[q].faults_left > 0 {
+                        next.queries[q].faults_left -= 1;
+                    } else {
+                        next.queries[q].stage = QStage::Lost;
+                    }
+                    out.push((Action::Complete { query: q }, next));
+                }
+                QStage::Done | QStage::Abandoned | QStage::Lost => {}
+            }
+            // Deadline expiry races every in-flight or executing attempt.
+            if c.realloc_budget.is_some()
+                && matches!(qs.stage, QStage::InFlight { .. } | QStage::Executing { .. })
+            {
+                out.push((Action::Expire { query: q }, self.expire(s, q)));
+            }
+            // A stale frame from a cancelled attempt arrives.
+            if let Some(d) = qs.stale {
+                let mut next = s.clone();
+                next.queries[q].stale = None;
+                if c.mutation == Some(Mutation::IgnoreStaleEpoch) {
+                    let d = d as usize;
+                    let delivered = s.site_up[d]
+                        && !(s.partition == Partition::Active && c.crosses_partition(home, d));
+                    if delivered {
+                        // The epoch guard is gone: the superseded
+                        // attempt executes and its results go home too.
+                        next.queries[q].completions += 1;
+                    }
+                }
+                out.push((Action::DeliverStale { query: q }, next));
+            }
+        }
+        for site in 0..c.sites {
+            if s.crashes_left > 0 && s.site_up[site] {
+                let mut next = s.clone();
+                next.site_up[site] = false;
+                next.crashes_left -= 1;
+                // The crash drains the site's stations: every resident
+                // execution fails into recovery (cf. `crash_site`).
+                for q in &mut next.queries {
+                    if q.stage == (QStage::Executing { at: site as u8 }) {
+                        fault_retry(q);
+                    }
+                }
+                out.push((Action::Crash { site }, next));
+            }
+            if !s.site_up[site] {
+                let mut next = s.clone();
+                next.site_up[site] = true;
+                out.push((Action::Repair { site }, next));
+            }
+            // The detector only suspects a site that is actually silent
+            // (down, or behind an active partition); probation re-trust
+            // requires it to be audible again.
+            if c.suspicion
+                && !s.suspected[site]
+                && (!s.site_up[site] || s.partition == Partition::Active)
+            {
+                let mut next = s.clone();
+                next.suspected[site] = true;
+                out.push((Action::Suspect { site }, next));
+            }
+            if c.suspicion
+                && s.suspected[site]
+                && s.site_up[site]
+                && s.partition != Partition::Active
+            {
+                let mut next = s.clone();
+                next.suspected[site] = false;
+                out.push((Action::Retrust { site }, next));
+            }
+        }
+        if c.partition && s.partition == Partition::NotYet {
+            let mut next = s.clone();
+            next.partition = Partition::Active;
+            out.push((Action::PartitionStart, next));
+        }
+        if s.partition == Partition::Active {
+            let mut next = s.clone();
+            next.partition = Partition::Healed;
+            out.push((Action::PartitionHeal, next));
+        }
+    }
+
+    /// Successors of a Submit/Resubmit: the deterministic allocation
+    /// mirror plus the nondeterministic admission verdict.
+    fn submit_successors(&self, s: &State, q: usize, out: &mut Vec<(Action, State)>) {
+        let c = &self.config;
+        let home = State::home(q, c.sites);
+        let qs = &s.queries[q];
+        if !s.site_up[home] {
+            // An Idle terminal at a down site just waits (no state
+            // change — the successor would be `s` itself). A backed-off
+            // query burns a fault retry, as `handle_resubmit` does.
+            if qs.stage == QStage::Backoff {
+                let mut next = s.clone();
+                fault_retry(&mut next.queries[q]);
+                out.push((
+                    Action::Submit {
+                        query: q,
+                        admitted: false,
+                    },
+                    next,
+                ));
+            }
+            return;
+        }
+        match self.allocate(s, home) {
+            Alloc::NoneUp => unreachable!("home is up"),
+            Alloc::Wedged => {
+                let mut next = s.clone();
+                next.queries[q].wedged = true;
+                out.push((
+                    Action::Submit {
+                        query: q,
+                        admitted: false,
+                    },
+                    next,
+                ));
+            }
+            Alloc::Site(dest) => {
+                let mut admitted = s.clone();
+                admitted.queries[q].stage = if dest == home {
+                    QStage::Executing { at: home as u8 }
+                } else {
+                    QStage::InFlight { to: dest as u8 }
+                };
+                out.push((
+                    Action::Submit {
+                        query: q,
+                        admitted: true,
+                    },
+                    admitted,
+                ));
+                if c.admission_retries.is_some() {
+                    // The chosen site may be at its cap: the checker
+                    // explores the reject branch unconditionally (load
+                    // is abstracted away), drawing down the admission
+                    // retry budget exactly as `resilience_retry` does.
+                    let mut rejected = s.clone();
+                    let rq = &mut rejected.queries[q];
+                    if rq.adm_left > 0 {
+                        rq.adm_left -= 1;
+                        rq.stage = QStage::Backoff;
+                    } else {
+                        rq.stage = QStage::Abandoned;
+                    }
+                    out.push((
+                        Action::Submit {
+                            query: q,
+                            admitted: false,
+                        },
+                        rejected,
+                    ));
+                }
+            }
+        }
+    }
+
+    /// The deterministic mirror of `select_site_among`'s soft
+    /// quarantine: usable (up ∧ trusted) sites first — home preferred —
+    /// then, when *every* candidate is quarantined, the availability-only
+    /// fallback (the hysteresis escape hatch this checker guards).
+    fn allocate(&self, s: &State, home: usize) -> Alloc {
+        let usable = |i: usize| s.site_up[i] && !s.suspected[i];
+        if usable(home) {
+            return Alloc::Site(home);
+        }
+        if let Some(site) = (0..self.config.sites).find(|&i| usable(i)) {
+            return Alloc::Site(site);
+        }
+        if !s.any_up() {
+            return Alloc::NoneUp;
+        }
+        if self.config.mutation == Some(Mutation::SkipQuarantineFallback) {
+            return Alloc::Wedged;
+        }
+        if s.site_up[home] {
+            return Alloc::Site(home);
+        }
+        Alloc::Site(
+            (0..self.config.sites)
+                .find(|&i| s.site_up[i])
+                .expect("some site is up"),
+        )
+    }
+
+    /// The deadline-expiry successor: unwind the attempt, consume one
+    /// reallocation (or abandon), and leave a stale frame behind if the
+    /// cancelled attempt was still on the wire.
+    fn expire(&self, s: &State, q: usize) -> State {
+        let budget = self.config.realloc_budget.unwrap_or(0);
+        let mut next = s.clone();
+        let stale = match next.queries[q].stage {
+            QStage::InFlight { to } => Some(to),
+            _ => None,
+        };
+        let qs = &mut next.queries[q];
+        if self.config.mutation == Some(Mutation::DropReallocBound) {
+            // The bound is gone: every expiry reallocates. The usage
+            // counter saturates at budget + 1 so the state space stays
+            // finite — one past the bound is all I2 needs to fire.
+            qs.reallocs_left = qs.reallocs_left.saturating_sub(1);
+            qs.reallocs_used = (qs.reallocs_used + 1).min(budget + 1);
+            qs.stage = QStage::Backoff;
+            qs.stale = stale.or(qs.stale);
+        } else if qs.reallocs_left > 0 {
+            qs.reallocs_left -= 1;
+            qs.reallocs_used += 1;
+            qs.stage = QStage::Backoff;
+            qs.stale = stale.or(qs.stale);
+        } else {
+            qs.stage = QStage::Abandoned;
+        }
+        next
+    }
+}
+
+/// One fault-recovery step: consume a retry or lose the query
+/// (mirrors `fail_execution` → `schedule_retry` → `lose_query`).
+fn fault_retry(q: &mut crate::state::QueryState) {
+    if q.faults_left > 0 {
+        q.faults_left -= 1;
+        q.stage = QStage::Backoff;
+    } else {
+        q.stage = QStage::Lost;
+    }
+}
+
+/// Whether a contract-stage edge is permitted, directly or as a
+/// composite step through `Backoff` (budget exhaustion inside a
+/// recovery event traverses Backoff transiently).
+fn contract_ok(from: Stage, to: Stage) -> bool {
+    allowed(from, to) || (allowed(from, Stage::Backoff) && allowed(Stage::Backoff, to))
+}
+
+/// Reconstructs the action trace from the initial state to `id`.
+fn trace_of(nodes: &[Node], id: u32) -> Vec<Action> {
+    let mut trace = Vec::new();
+    let mut cur = id;
+    while let Some(action) = nodes[cur as usize].action {
+        trace.push(action);
+        cur = nodes[cur as usize].parent;
+    }
+    trace.reverse();
+    trace
+}
+
+/// Returns a state id that cannot reach any all-terminal state, if one
+/// exists (the liveness gap), preferring the shallowest such state.
+fn liveness_gap(nodes: &[Node], terminal: &[bool], edges: &[(u32, u32)]) -> Option<u32> {
+    let n = nodes.len();
+    let mut reverse: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for &(from, to) in edges {
+        reverse[to as usize].push(from);
+    }
+    let mut can_finish = vec![false; n];
+    let mut queue: VecDeque<u32> = VecDeque::new();
+    for (i, &t) in terminal.iter().enumerate() {
+        if t {
+            can_finish[i] = true;
+            queue.push_back(i as u32);
+        }
+    }
+    while let Some(id) = queue.pop_front() {
+        for &p in &reverse[id as usize] {
+            if !can_finish[p as usize] {
+                can_finish[p as usize] = true;
+                queue.push_back(p);
+            }
+        }
+    }
+    (0..n)
+        .filter(|&i| !can_finish[i])
+        .min_by_key(|&i| nodes[i].depth)
+        .map(|i| i as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_config_explores_clean() {
+        // 2 sites × 1 query, no faults beyond one crash: small enough
+        // to eyeball, and every invariant must hold.
+        let config = CheckConfig {
+            sites: 2,
+            queries: 1,
+            max_crashes: 1,
+            partition: false,
+            suspicion: false,
+            realloc_budget: None,
+            admission_retries: None,
+            fault_retries: 1,
+            mutation: None,
+        };
+        let report = Checker::new(config).run();
+        assert!(report.violation.is_none(), "{:?}", report.violation);
+        assert!(report.states > 10);
+        assert!(report.terminal_states > 0);
+    }
+
+    #[test]
+    fn exploration_is_deterministic() {
+        let a = Checker::new(CheckConfig::default()).run();
+        let b = Checker::new(CheckConfig::default()).run();
+        assert_eq!(a.states, b.states);
+        assert_eq!(a.transitions, b.transitions);
+        assert_eq!(a.dedup_hits, b.dedup_hits);
+        assert_eq!(a.max_depth, b.max_depth);
+    }
+
+    #[test]
+    fn contract_edges_hold_on_the_default_config() {
+        // The ContractEdge invariant runs on every discovered
+        // transition, so a clean default run IS the cross-validation
+        // of the checker's transition relation against
+        // dqa_core::lifecycle::ALLOWED.
+        let report = Checker::new(CheckConfig::default()).run();
+        assert!(report.violation.is_none(), "{:?}", report.violation);
+    }
+
+    #[test]
+    fn mutations_are_each_detected() {
+        for mutation in Mutation::ALL {
+            let config = CheckConfig::default().with_mutation(mutation);
+            let report = Checker::new(config).run();
+            let v = report
+                .violation
+                .unwrap_or_else(|| panic!("{mutation:?} not detected"));
+            let expected = match mutation {
+                Mutation::DropReallocBound => Invariant::ReallocationBound,
+                Mutation::SkipQuarantineFallback => Invariant::NoQuarantineWedge,
+                Mutation::IgnoreStaleEpoch => Invariant::NoDoubleExecution,
+            };
+            assert_eq!(v.invariant, expected, "{mutation:?}");
+            assert!(!v.trace.is_empty());
+        }
+    }
+
+    #[test]
+    fn mutation_traces_are_minimal_and_deterministic() {
+        for mutation in Mutation::ALL {
+            let config = CheckConfig::default().with_mutation(mutation);
+            let a = Checker::new(config).run().violation.unwrap();
+            let b = Checker::new(config).run().violation.unwrap();
+            assert_eq!(a.trace, b.trace, "{mutation:?} trace not deterministic");
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Checker configuration: the bounds of the explored state space and
+//! its derivation from real [`SystemParams`].
+
+use dqa_core::params::SystemParams;
+
+/// A seeded protocol bug for the checker's mutation self-test: each
+/// mutation weakens one guard of the abstract model, and the checker
+/// must detect the resulting invariant violation with a counterexample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// The deadline lifecycle ignores `max_reallocations`: every expiry
+    /// reallocates, so the reallocation bound (I2) is violated.
+    DropReallocBound,
+    /// `select_site_among` loses its availability-only fallback: when
+    /// every candidate is quarantined, allocation wedges even though
+    /// sites are up — the hysteresis-fallback invariant (I3).
+    SkipQuarantineFallback,
+    /// Deliveries skip the deadline-epoch staleness guard: a dispatch
+    /// frame from a cancelled attempt starts a second execution, so the
+    /// no-double-execution invariant (I1) is violated.
+    IgnoreStaleEpoch,
+}
+
+impl Mutation {
+    /// All mutations, for the self-test sweep.
+    pub const ALL: [Mutation; 3] = [
+        Mutation::DropReallocBound,
+        Mutation::SkipQuarantineFallback,
+        Mutation::IgnoreStaleEpoch,
+    ];
+
+    /// Stable command-line name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Mutation::DropReallocBound => "drop-realloc-bound",
+            Mutation::SkipQuarantineFallback => "skip-quarantine-fallback",
+            Mutation::IgnoreStaleEpoch => "ignore-stale-epoch",
+        }
+    }
+
+    /// Parses a command-line name.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Mutation> {
+        Mutation::ALL.iter().copied().find(|m| m.name() == s)
+    }
+}
+
+/// Bounds of the explored configuration.
+///
+/// Budgets mirror the real specs field for field (see
+/// [`CheckConfig::from_params`]); the counts (`sites`, `queries`,
+/// `max_crashes`) bound the environment. Every budget is a hard bound on
+/// a cycle in the transition system, so the reachable state space is
+/// finite and BFS terminates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckConfig {
+    /// Number of sites (query `q`'s home is `q % sites`).
+    pub sites: usize,
+    /// Number of queries.
+    pub queries: usize,
+    /// How many site crashes the environment may inject.
+    pub max_crashes: u32,
+    /// Whether one ring-partition window (start → heal) may occur,
+    /// splitting the sites into two contiguous groups.
+    pub partition: bool,
+    /// Whether the suspicion/quarantine detector is modeled.
+    pub suspicion: bool,
+    /// Deadline reallocation budget per query (`None` = no deadlines:
+    /// queries never expire).
+    pub realloc_budget: Option<u32>,
+    /// Admission reject-retry budget per query (`None` = no admission
+    /// control: every submit is admitted).
+    pub admission_retries: Option<u32>,
+    /// Fault retry budget per query (`FaultSpec::max_retries`).
+    pub fault_retries: u32,
+    /// Seeded protocol bug, if any (mutation self-test).
+    pub mutation: Option<Mutation>,
+}
+
+impl Default for CheckConfig {
+    /// The tier-1 bounded-exhaustive configuration: 3 sites, 2 queries,
+    /// 1 crash, 1 partition window, suspicion on, every budget 1.
+    fn default() -> Self {
+        CheckConfig {
+            sites: 3,
+            queries: 2,
+            max_crashes: 1,
+            partition: true,
+            suspicion: true,
+            realloc_budget: Some(1),
+            admission_retries: Some(1),
+            fault_retries: 1,
+            mutation: None,
+        }
+    }
+}
+
+impl CheckConfig {
+    /// Derives the checker bounds from real simulator parameters, so the
+    /// abstraction and the simulation stay keyed to the same specs: the
+    /// budgets come from `FaultSpec::max_retries`,
+    /// `DeadlineSpec::max_reallocations`, and
+    /// `AdmissionSpec::max_retries`; the partition flag from
+    /// `FaultSpec::has_partition` or a scripted partition toggle; the
+    /// suspicion flag from the spec's presence.
+    #[must_use]
+    pub fn from_params(params: &SystemParams, queries: usize, max_crashes: u32) -> Self {
+        use dqa_core::params::ScriptAction;
+        let faults = params.faults.unwrap_or_default();
+        let scripted_partition = params
+            .script
+            .iter()
+            .any(|e| matches!(e.action, ScriptAction::PartitionStart));
+        CheckConfig {
+            sites: params.num_sites,
+            queries,
+            max_crashes,
+            partition: faults.has_partition() || scripted_partition,
+            suspicion: params.suspicion.is_some(),
+            realloc_budget: params
+                .deadlines
+                .filter(|d| d.is_active())
+                .map(|d| d.max_reallocations),
+            admission_retries: params
+                .admission
+                .filter(|a| a.is_active())
+                .map(|a| a.max_retries),
+            fault_retries: faults.max_retries,
+            mutation: None,
+        }
+    }
+
+    /// Returns the config with the given mutation seeded.
+    #[must_use]
+    pub fn with_mutation(mut self, mutation: Mutation) -> Self {
+        self.mutation = Some(mutation);
+        self
+    }
+
+    /// The two contiguous partition groups' boundary: sites `< boundary`
+    /// form group 0 (mirrors `partition_group` with 2 groups).
+    #[must_use]
+    pub fn partition_boundary(&self) -> usize {
+        self.sites.div_ceil(2)
+    }
+
+    /// Whether two sites are in different groups of the (2-group) split.
+    #[must_use]
+    pub fn crosses_partition(&self, a: usize, b: usize) -> bool {
+        let boundary = self.partition_boundary();
+        (a < boundary) != (b < boundary)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqa_core::params::{
+        AdmissionSpec, DeadlineSpec, FaultSpec, ScriptAction, ScriptEntry, SuspicionSpec,
+    };
+
+    #[test]
+    fn default_config_is_the_tier1_shape() {
+        let c = CheckConfig::default();
+        assert_eq!((c.sites, c.queries, c.max_crashes), (3, 2, 1));
+        assert!(c.partition && c.suspicion && c.mutation.is_none());
+    }
+
+    #[test]
+    fn budgets_derive_from_the_real_specs() {
+        let params = SystemParams::builder()
+            .num_sites(4)
+            .faults(Some(FaultSpec {
+                max_retries: 3,
+                partition_for: 100.0,
+                partition_groups: 2,
+                ..FaultSpec::default()
+            }))
+            .deadlines(Some(DeadlineSpec {
+                mean: 80.0,
+                max_reallocations: 2,
+                ..DeadlineSpec::default()
+            }))
+            .admission(Some(AdmissionSpec {
+                mpl_cap: Some(2),
+                max_retries: 4,
+                ..AdmissionSpec::default()
+            }))
+            .suspicion(None)
+            .status_period(50.0)
+            .status_msg_length(0.1)
+            .build()
+            .unwrap();
+        let c = CheckConfig::from_params(&params, 2, 1);
+        assert_eq!(c.sites, 4);
+        assert_eq!(c.fault_retries, 3);
+        assert_eq!(c.realloc_budget, Some(2));
+        assert_eq!(c.admission_retries, Some(4));
+        assert!(c.partition);
+        assert!(!c.suspicion);
+    }
+
+    #[test]
+    fn inactive_specs_disable_their_lifecycles() {
+        // An inert deadline spec (mean 0) or admission spec (no caps)
+        // must not be modeled — exactly as the simulator treats them.
+        let params = SystemParams::builder()
+            .deadlines(Some(DeadlineSpec::default()))
+            .admission(Some(AdmissionSpec::default()))
+            .build()
+            .unwrap();
+        let c = CheckConfig::from_params(&params, 2, 0);
+        assert_eq!(c.realloc_budget, None);
+        assert_eq!(c.admission_retries, None);
+        assert!(!c.partition);
+    }
+
+    #[test]
+    fn scripted_partitions_count() {
+        let params = SystemParams::builder()
+            .num_sites(4)
+            .suspicion(Some(SuspicionSpec::default()))
+            .status_period(50.0)
+            .status_msg_length(0.1)
+            .faults(Some(FaultSpec {
+                partition_groups: 2,
+                ..FaultSpec::default()
+            }))
+            .script(vec![ScriptEntry {
+                at: 100.0,
+                action: ScriptAction::PartitionStart,
+            }])
+            .build()
+            .unwrap();
+        let c = CheckConfig::from_params(&params, 1, 0);
+        assert!(c.partition);
+        assert!(c.suspicion);
+    }
+
+    #[test]
+    fn partition_split_is_contiguous() {
+        let c = CheckConfig {
+            sites: 3,
+            ..CheckConfig::default()
+        };
+        assert!(!c.crosses_partition(0, 1));
+        assert!(c.crosses_partition(1, 2));
+        assert!(c.crosses_partition(0, 2));
+    }
+
+    #[test]
+    fn mutation_names_round_trip() {
+        for m in Mutation::ALL {
+            assert_eq!(Mutation::parse(m.name()), Some(m));
+        }
+        assert_eq!(Mutation::parse("nonsense"), None);
+    }
+}

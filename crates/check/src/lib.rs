@@ -1,0 +1,42 @@
+//! `dqa-check`: bounded explicit-state model checking of the
+//! allocation & resilience protocols.
+//!
+//! The simulator (`dqa-sim` driving `dqa-core`) answers *quantitative*
+//! questions — throughput, response time, loss rates — for particular
+//! seeds. This crate answers the *qualitative* one: across **every**
+//! interleaving of crashes, repairs, partitions, deliveries, expiries
+//! and suspicion flips within a bounded configuration, do the protocols
+//! keep their promises?
+//!
+//! It works in four pieces:
+//!
+//! - [`config::CheckConfig`] — the bounds (sites, queries, crash
+//!   budget, partition window) and the per-query budgets, derived from
+//!   the same `FaultSpec` / `DeadlineSpec` / `AdmissionSpec` the
+//!   simulator consumes ([`config::CheckConfig::from_params`]).
+//! - [`state`] — the abstract transition system: timing collapsed to
+//!   nondeterministic ordering, queues collapsed to up/down +
+//!   suspected, the query lifecycle kept exactly.
+//! - [`checker::Checker`] — BFS with hashed dedup over that system;
+//!   safety invariants checked on discovery (so the first hit is a
+//!   minimal counterexample) and liveness as backward reachability from
+//!   all-terminal states. Seeded [`config::Mutation`]s weaken one guard
+//!   each and must each be caught — the checker's self-test.
+//! - [`replay`] — lowers a counterexample trace onto the real
+//!   simulator: environment actions become a deterministic
+//!   [`dqa_core::params::ScriptEntry`] schedule, budgets become specs,
+//!   and the whole thing runs bit-reproducibly through
+//!   `dqa_core::experiment::run`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checker;
+pub mod config;
+pub mod replay;
+pub mod state;
+
+pub use checker::{CheckReport, Checker, Invariant, Violation};
+pub use config::{CheckConfig, Mutation};
+pub use replay::ReplayConfig;
+pub use state::{Action, Partition, QStage, QueryState, State};

@@ -1,0 +1,271 @@
+//! `dqa-check` — bounded explicit-state model checking from the
+//! command line.
+//!
+//! ```text
+//! dqa-check                      # check the tier-1 default config
+//! dqa-check --sites 3 --queries 3 --crashes 1
+//! dqa-check --mutation drop-realloc-bound --emit-trace bad.trace
+//! dqa-check --mutations          # sweep all seeded mutations
+//! dqa-check --stats              # JSON stats to stdout + results/BENCH_check.json
+//! dqa-check --replay-trace bad.trace   # replay a counterexample twice, bitwise-compare
+//! ```
+//!
+//! Exit code is 0 when the check passes (or a seeded mutation is duly
+//! detected under `--mutations`), 1 on an invariant violation, 2 on a
+//! usage error.
+
+use std::process::ExitCode;
+
+use dqa_check::{CheckConfig, CheckReport, Checker, Mutation, ReplayConfig, Violation};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let mut config = CheckConfig::default();
+    let mut stats = false;
+    let mut sweep = false;
+    let mut out: Option<String> = None;
+    let mut emit_trace: Option<String> = None;
+    let mut replay_trace: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--sites" => config.sites = parse(&value("--sites")?)?,
+            "--queries" => config.queries = parse(&value("--queries")?)?,
+            "--crashes" => config.max_crashes = parse(&value("--crashes")?)?,
+            "--fault-retries" => config.fault_retries = parse(&value("--fault-retries")?)?,
+            "--realloc-budget" => {
+                config.realloc_budget = parse_opt(&value("--realloc-budget")?)?;
+            }
+            "--admission-retries" => {
+                config.admission_retries = parse_opt(&value("--admission-retries")?)?;
+            }
+            "--no-partition" => config.partition = false,
+            "--no-suspicion" => config.suspicion = false,
+            "--mutation" => {
+                let name = value("--mutation")?;
+                config.mutation = Some(
+                    Mutation::parse(&name).ok_or_else(|| format!("unknown mutation `{name}`"))?,
+                );
+            }
+            "--mutations" => sweep = true,
+            "--stats" => stats = true,
+            "--out" => out = Some(value("--out")?),
+            "--emit-trace" => emit_trace = Some(value("--emit-trace")?),
+            "--replay-trace" => replay_trace = Some(value("--replay-trace")?),
+            "--help" | "-h" => {
+                print_help();
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    if config.sites == 0 || config.sites > u8::MAX as usize {
+        return Err("--sites must be in 1..=255".to_string());
+    }
+    if config.queries == 0 {
+        return Err("--queries must be at least 1".to_string());
+    }
+
+    if let Some(path) = replay_trace {
+        return replay(&path);
+    }
+    if sweep {
+        return mutation_sweep(config);
+    }
+
+    // dqa-lint: allow(no-wall-clock) -- harness timing for the stats report; never feeds the model
+    let started = std::time::Instant::now();
+    let report = Checker::new(config).run();
+    let wall = started.elapsed();
+
+    if stats {
+        let json = stats_json(&config, &report, wall.as_secs_f64());
+        println!("{json}");
+        let path = out.unwrap_or_else(|| "results/BENCH_check.json".to_string());
+        std::fs::write(&path, format!("{json}\n")).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("wrote {path}");
+    } else {
+        print_report(&config, &report);
+    }
+
+    match &report.violation {
+        None => Ok(ExitCode::SUCCESS),
+        Some(v) => {
+            print_violation(v);
+            if let Some(path) = emit_trace {
+                let replay = ReplayConfig::from_trace(&config, &v.trace);
+                std::fs::write(&path, replay.serialize()).map_err(|e| format!("{path}: {e}"))?;
+                eprintln!("wrote replayable counterexample to {path}");
+            }
+            Ok(ExitCode::FAILURE)
+        }
+    }
+}
+
+/// Checks every seeded mutation; each must produce a violation.
+fn mutation_sweep(base: CheckConfig) -> Result<ExitCode, String> {
+    let mut all_caught = true;
+    for mutation in Mutation::ALL {
+        let config = base.with_mutation(mutation);
+        let report = Checker::new(config).run();
+        match &report.violation {
+            Some(v) => println!(
+                "mutation {:<24} caught: {} in {} steps ({} states)",
+                mutation.name(),
+                v.invariant.name(),
+                v.trace.len(),
+                report.states
+            ),
+            None => {
+                println!(
+                    "mutation {:<24} MISSED ({} states explored)",
+                    mutation.name(),
+                    report.states
+                );
+                all_caught = false;
+            }
+        }
+    }
+    if all_caught {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+/// Replays a counterexample config through the real simulator twice and
+/// bitwise-compares the reports.
+fn replay(path: &str) -> Result<ExitCode, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let replay = ReplayConfig::parse(&text)?;
+    let first = replay.run().map_err(|e| format!("replay: {e}"))?;
+    let second = replay.run().map_err(|e| format!("replay: {e}"))?;
+    if first != second {
+        return Err("replay is not deterministic: reports differ across runs".to_string());
+    }
+    println!("replayed {path} deterministically (two bitwise-identical runs)");
+    println!(
+        "  policy {} seed {}: completed {}, lost {}, abandoned {}, reallocations {}, partition drops {}",
+        first.policy,
+        replay.seed,
+        first.completed,
+        first.queries_lost,
+        first.deadline_abandoned + first.admission_dropped,
+        first.deadline_reallocations,
+        first.partition_drops
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn print_report(config: &CheckConfig, report: &CheckReport) {
+    println!(
+        "checked {} sites x {} queries, {} crash(es), partition {}, suspicion {}{}",
+        config.sites,
+        config.queries,
+        config.max_crashes,
+        if config.partition { "on" } else { "off" },
+        if config.suspicion { "on" } else { "off" },
+        match config.mutation {
+            Some(m) => format!(", mutation {}", m.name()),
+            None => String::new(),
+        }
+    );
+    println!(
+        "  {} states, {} transitions, {} dedup hits ({:.1}%), depth {}, {} terminal",
+        report.states,
+        report.transitions,
+        report.dedup_hits,
+        report.dedup_rate() * 100.0,
+        report.max_depth,
+        report.terminal_states
+    );
+    if report.violation.is_none() {
+        println!("  all invariants hold");
+    }
+}
+
+fn print_violation(v: &Violation) {
+    eprintln!("violation: {}", v.invariant.name());
+    eprintln!("counterexample ({} steps):", v.trace.len());
+    for (i, action) in v.trace.iter().enumerate() {
+        eprintln!("  {:>3}. {action}", i + 1);
+    }
+}
+
+fn stats_json(config: &CheckConfig, report: &CheckReport, wall_secs: f64) -> String {
+    format!(
+        "{{\n  \"experiment\": \"dqa_check\",\n  \"sites\": {},\n  \"queries\": {},\n  \"max_crashes\": {},\n  \"partition\": {},\n  \"suspicion\": {},\n  \"states\": {},\n  \"transitions\": {},\n  \"dedup_hits\": {},\n  \"dedup_rate\": {:.4},\n  \"max_depth\": {},\n  \"terminal_states\": {},\n  \"violation\": {},\n  \"wall_secs\": {:.3}\n}}",
+        config.sites,
+        config.queries,
+        config.max_crashes,
+        config.partition,
+        config.suspicion,
+        report.states,
+        report.transitions,
+        report.dedup_hits,
+        report.dedup_rate(),
+        report.max_depth,
+        report.terminal_states,
+        match &report.violation {
+            Some(v) => format!("\"{}\"", v.invariant.name()),
+            None => "null".to_string(),
+        },
+        wall_secs
+    )
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("invalid number `{s}`"))
+}
+
+fn parse_opt(s: &str) -> Result<Option<u32>, String> {
+    if s == "none" {
+        Ok(None)
+    } else {
+        parse(s).map(Some)
+    }
+}
+
+fn print_help() {
+    println!(
+        "dqa-check: bounded explicit-state model checking of the allocation & resilience protocols
+
+usage: dqa-check [flags]
+
+config (defaults = the tier-1 exhaustive configuration):
+  --sites N              number of sites (default 3)
+  --queries N            number of queries (default 2)
+  --crashes N            environment crash budget (default 1)
+  --fault-retries N      per-query fault retry budget (default 1)
+  --realloc-budget N|none      deadline reallocation budget (default 1)
+  --admission-retries N|none   admission reject-retry budget (default 1)
+  --no-partition         disable the ring-partition window
+  --no-suspicion         disable the suspicion/quarantine detector
+
+modes:
+  --mutation NAME        seed one protocol bug (drop-realloc-bound,
+                         skip-quarantine-fallback, ignore-stale-epoch)
+  --mutations            sweep all mutations; each must be caught
+  --stats                print stats JSON and write results/BENCH_check.json
+  --out FILE             override the --stats output path
+  --emit-trace FILE      write a violation's replayable counterexample config
+  --replay-trace FILE    replay a counterexample through the simulator twice
+                         and bitwise-compare the two reports"
+    );
+}

@@ -1,0 +1,369 @@
+//! Counterexample → simulator bridge: a checker trace becomes a
+//! deterministic, RNG-free fault schedule ([`ScriptEntry`] list) plus
+//! the matching resilience specs, serialized as a plain-text config the
+//! CLI (`dqa check --replay-trace`) replays bitwise-reproducibly.
+
+use dqa_core::experiment::{run, RunConfig, RunReport};
+use dqa_core::params::{
+    AdmissionSpec, DeadlineSpec, FaultSpec, ParamsError, ScriptAction, ScriptEntry, SheddingMode,
+    SuspicionSpec, SystemParams,
+};
+use dqa_core::policy::PolicyKind;
+
+use crate::config::CheckConfig;
+use crate::state::Action;
+
+/// Spacing between consecutive scripted fault actions in the replayed
+/// run: wide enough for the workload to actually exercise each phase of
+/// the schedule.
+const SCRIPT_SPACING: f64 = 120.0;
+
+/// A self-contained replay configuration: everything the simulator
+/// needs to reproduce a checker-found scenario deterministically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayConfig {
+    /// Allocation policy to replay under.
+    pub policy: PolicyKind,
+    /// RNG seed (the run is a pure function of this config).
+    pub seed: u64,
+    /// Number of sites.
+    pub sites: usize,
+    /// Terminals per site.
+    pub mpl: u32,
+    /// Mean think time.
+    pub think: f64,
+    /// Warmup window before measurement.
+    pub warmup: f64,
+    /// Measurement window length.
+    pub until: f64,
+    /// Fault retry budget (`FaultSpec::max_retries`).
+    pub fault_retries: u32,
+    /// Ring partition groups (2 when the trace partitions, else 0).
+    pub partition_groups: u32,
+    /// Deadline lifecycle: `(mean, floor, max_reallocations)`.
+    pub deadline: Option<(f64, f64, u32)>,
+    /// Admission control: `(mpl_cap, max_retries)`, reject-retry mode.
+    pub admission: Option<(u32, u32)>,
+    /// Whether the suspicion detector (and its costed broadcasts) runs.
+    pub suspicion: bool,
+    /// The deterministic fault schedule.
+    pub script: Vec<ScriptEntry>,
+}
+
+impl ReplayConfig {
+    /// Derives a replay config from a counterexample trace: the trace's
+    /// environment actions (crashes, repairs, partition toggles) become
+    /// the script, in order, `SCRIPT_SPACING` apart; the lifecycle specs
+    /// mirror the checker's budgets, with deadlines tight enough to
+    /// actually expire inside the scripted window.
+    #[must_use]
+    pub fn from_trace(config: &CheckConfig, trace: &[Action]) -> ReplayConfig {
+        let mut script = Vec::new();
+        let mut saw_partition = false;
+        for action in trace {
+            let at = SCRIPT_SPACING * (script.len() as f64 + 1.0);
+            let scripted = match *action {
+                Action::Crash { site } => Some(ScriptAction::SiteDown(site)),
+                Action::Repair { site } => Some(ScriptAction::SiteUp(site)),
+                Action::PartitionStart => {
+                    saw_partition = true;
+                    Some(ScriptAction::PartitionStart)
+                }
+                Action::PartitionHeal => Some(ScriptAction::PartitionHeal),
+                _ => None,
+            };
+            if let Some(action) = scripted {
+                script.push(ScriptEntry { at, action });
+            }
+        }
+        ReplayConfig {
+            policy: PolicyKind::Bnqrd,
+            seed: 42,
+            sites: config.sites,
+            mpl: 3,
+            think: 50.0,
+            warmup: 100.0,
+            until: SCRIPT_SPACING * (script.len() as f64 + 4.0),
+            fault_retries: config.fault_retries,
+            partition_groups: if saw_partition || config.partition {
+                2
+            } else {
+                0
+            },
+            deadline: config.realloc_budget.map(|budget| (40.0, 5.0, budget)),
+            admission: config.admission_retries.map(|budget| (2, budget)),
+            suspicion: config.suspicion,
+            script,
+        }
+    }
+
+    /// Builds the simulator parameters this config describes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first parameter constraint violated.
+    pub fn params(&self) -> Result<SystemParams, ParamsError> {
+        let mut builder = SystemParams::builder()
+            .num_sites(self.sites)
+            .mpl(self.mpl)
+            .think_time(self.think)
+            .faults(Some(FaultSpec {
+                max_retries: self.fault_retries,
+                partition_groups: self.partition_groups,
+                ..FaultSpec::default()
+            }))
+            .script(self.script.clone());
+        if self.suspicion {
+            builder = builder
+                .status_period(50.0)
+                .status_msg_length(0.1)
+                .suspicion(Some(SuspicionSpec::default()));
+        }
+        if let Some((mean, floor, max_reallocations)) = self.deadline {
+            builder = builder.deadlines(Some(DeadlineSpec {
+                mean,
+                floor,
+                max_reallocations,
+                ..DeadlineSpec::default()
+            }));
+        }
+        if let Some((cap, retries)) = self.admission {
+            builder = builder.admission(Some(AdmissionSpec {
+                mpl_cap: Some(cap),
+                mode: SheddingMode::RejectRetry,
+                max_retries: retries,
+                ..AdmissionSpec::default()
+            }));
+        }
+        builder.build()
+    }
+
+    /// Runs the replay once through the experiment harness.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first parameter constraint violated.
+    pub fn run(&self) -> Result<RunReport, ParamsError> {
+        let config = RunConfig::new(self.params()?, self.policy)
+            .seed(self.seed)
+            .windows(self.warmup, self.warmup + self.until);
+        run(&config)
+    }
+
+    /// Serializes to the plain-text `key value` format.
+    #[must_use]
+    pub fn serialize(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("# dqa-check counterexample replay config\n");
+        let _ = writeln!(out, "policy {}", self.policy.name().to_ascii_lowercase());
+        let _ = writeln!(out, "seed {}", self.seed);
+        let _ = writeln!(out, "sites {}", self.sites);
+        let _ = writeln!(out, "mpl {}", self.mpl);
+        let _ = writeln!(out, "think {}", self.think);
+        let _ = writeln!(out, "warmup {}", self.warmup);
+        let _ = writeln!(out, "until {}", self.until);
+        let _ = writeln!(out, "fault-retries {}", self.fault_retries);
+        if self.partition_groups > 0 {
+            let _ = writeln!(out, "partition-groups {}", self.partition_groups);
+        }
+        if let Some((mean, floor, reallocs)) = self.deadline {
+            let _ = writeln!(out, "deadline-mean {mean}");
+            let _ = writeln!(out, "deadline-floor {floor}");
+            let _ = writeln!(out, "deadline-reallocs {reallocs}");
+        }
+        if let Some((cap, retries)) = self.admission {
+            let _ = writeln!(out, "admission-cap {cap}");
+            let _ = writeln!(out, "admission-retries {retries}");
+        }
+        if self.suspicion {
+            let _ = writeln!(out, "suspicion 1");
+        }
+        for entry in &self.script {
+            let action = match entry.action {
+                ScriptAction::SiteDown(s) => format!("down {s}"),
+                ScriptAction::SiteUp(s) => format!("up {s}"),
+                ScriptAction::PartitionStart => "partition-start".to_string(),
+                ScriptAction::PartitionHeal => "partition-heal".to_string(),
+            };
+            let _ = writeln!(out, "script {} {}", entry.at, action);
+        }
+        out
+    }
+
+    /// Parses the plain-text format (see [`ReplayConfig::serialize`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn parse(text: &str) -> Result<ReplayConfig, String> {
+        fn value<T: std::str::FromStr>(key: &str, v: &str) -> Result<T, String> {
+            v.parse().map_err(|_| format!("bad value {v:?} for {key}"))
+        }
+        let mut config = ReplayConfig {
+            policy: PolicyKind::Bnqrd,
+            seed: 42,
+            sites: 3,
+            mpl: 3,
+            think: 50.0,
+            warmup: 100.0,
+            until: 1_000.0,
+            fault_retries: 1,
+            partition_groups: 0,
+            deadline: None,
+            admission: None,
+            suspicion: false,
+            script: Vec::new(),
+        };
+        let (mut dl_mean, mut dl_floor, mut dl_reallocs) = (0.0_f64, 0.0_f64, 0_u32);
+        let mut saw_deadline = false;
+        let (mut adm_cap, mut adm_retries) = (0_u32, 0_u32);
+        let mut saw_admission = false;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let key = parts.next().expect("non-empty line has a first token");
+            let rest: Vec<&str> = parts.collect();
+            let single = || -> Result<&str, String> {
+                match rest.as_slice() {
+                    [v] => Ok(v),
+                    _ => Err(format!("{key} expects exactly one value")),
+                }
+            };
+            match key {
+                "policy" => {
+                    let name = single()?;
+                    config.policy = match name {
+                        "local" => PolicyKind::Local,
+                        "bnq" => PolicyKind::Bnq,
+                        "bnqrd" => PolicyKind::Bnqrd,
+                        "lert" => PolicyKind::Lert,
+                        other => return Err(format!("unknown policy {other:?}")),
+                    };
+                }
+                "seed" => config.seed = value(key, single()?)?,
+                "sites" => config.sites = value(key, single()?)?,
+                "mpl" => config.mpl = value(key, single()?)?,
+                "think" => config.think = value(key, single()?)?,
+                "warmup" => config.warmup = value(key, single()?)?,
+                "until" => config.until = value(key, single()?)?,
+                "fault-retries" => config.fault_retries = value(key, single()?)?,
+                "partition-groups" => config.partition_groups = value(key, single()?)?,
+                "deadline-mean" => {
+                    dl_mean = value(key, single()?)?;
+                    saw_deadline = true;
+                }
+                "deadline-floor" => {
+                    dl_floor = value(key, single()?)?;
+                    saw_deadline = true;
+                }
+                "deadline-reallocs" => {
+                    dl_reallocs = value(key, single()?)?;
+                    saw_deadline = true;
+                }
+                "admission-cap" => {
+                    adm_cap = value(key, single()?)?;
+                    saw_admission = true;
+                }
+                "admission-retries" => {
+                    adm_retries = value(key, single()?)?;
+                    saw_admission = true;
+                }
+                "suspicion" => config.suspicion = single()? == "1",
+                "script" => {
+                    let (at, action) = match rest.as_slice() {
+                        [at, "down", s] => (at, ScriptAction::SiteDown(value("site", s)?)),
+                        [at, "up", s] => (at, ScriptAction::SiteUp(value("site", s)?)),
+                        [at, "partition-start"] => (at, ScriptAction::PartitionStart),
+                        [at, "partition-heal"] => (at, ScriptAction::PartitionHeal),
+                        _ => return Err(format!("malformed script line: {line:?}")),
+                    };
+                    config.script.push(ScriptEntry {
+                        at: value("script time", at)?,
+                        action,
+                    });
+                }
+                other => return Err(format!("unknown key {other:?}")),
+            }
+        }
+        if saw_deadline {
+            config.deadline = Some((dl_mean, dl_floor, dl_reallocs));
+        }
+        if saw_admission {
+            config.admission = Some((adm_cap, adm_retries));
+        }
+        Ok(config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::Action;
+
+    fn sample() -> ReplayConfig {
+        let config = CheckConfig::default();
+        let trace = [
+            Action::Submit {
+                query: 0,
+                admitted: true,
+            },
+            Action::Crash { site: 1 },
+            Action::PartitionStart,
+            Action::Deliver { query: 0 },
+            Action::PartitionHeal,
+            Action::Repair { site: 1 },
+        ];
+        ReplayConfig::from_trace(&config, &trace)
+    }
+
+    #[test]
+    fn trace_env_actions_become_the_script_in_order() {
+        let r = sample();
+        let actions: Vec<ScriptAction> = r.script.iter().map(|e| e.action).collect();
+        assert_eq!(
+            actions,
+            vec![
+                ScriptAction::SiteDown(1),
+                ScriptAction::PartitionStart,
+                ScriptAction::PartitionHeal,
+                ScriptAction::SiteUp(1),
+            ]
+        );
+        assert!(r.script.windows(2).all(|w| w[0].at < w[1].at));
+        assert_eq!(r.partition_groups, 2);
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        let r = sample();
+        let parsed = ReplayConfig::parse(&r.serialize()).unwrap();
+        assert_eq!(r, parsed);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(ReplayConfig::parse("nonsense 3").is_err());
+        assert!(ReplayConfig::parse("script 10 sideways 2").is_err());
+        assert!(ReplayConfig::parse("sites many").is_err());
+    }
+
+    #[test]
+    fn replay_params_validate_and_run() {
+        let r = sample();
+        let params = r.params().unwrap();
+        assert_eq!(params.script.len(), 4);
+        let report = r.run().unwrap();
+        assert!(report.completed > 0);
+    }
+
+    #[test]
+    fn replay_is_bitwise_deterministic() {
+        let r = sample();
+        let a = r.run().unwrap();
+        let b = r.run().unwrap();
+        assert!(a == b, "same replay config, different report");
+    }
+}

@@ -1,0 +1,280 @@
+//! The abstract state space: sites, one-shot partition, per-query
+//! lifecycle stage with budgets — timing collapsed to nondeterministic
+//! event ordering.
+//!
+//! The abstraction keeps exactly what the safety and liveness invariants
+//! depend on and drops everything else: no clocks (any enabled action
+//! may fire next), no queue contents (a site is only up/down and
+//! suspected/trusted), no read counts (an execution either completes or
+//! is destroyed). Each mechanism of the real machinery maps to one
+//! guard or effect here — the mapping is documented per action in
+//! [`crate::checker`] and cross-validated against
+//! [`dqa_core::lifecycle`].
+
+use dqa_core::lifecycle::Stage;
+
+/// The one-shot ring-partition window: mirrors the simulator's
+/// `partition_at`/`partition_for` schedule (start once, heal once).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Partition {
+    /// Not yet started (or not modeled at all).
+    NotYet,
+    /// Active: frames crossing the 2-group boundary are dropped.
+    Active,
+    /// Healed: full connectivity, permanently.
+    Healed,
+}
+
+/// A query's abstract lifecycle stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QStage {
+    /// Drawn at its terminal, not yet placed (maps to `Submitted`).
+    Idle,
+    /// Waiting out a backoff before another attempt.
+    Backoff,
+    /// A dispatch frame is on the ring toward `to`.
+    InFlight {
+        /// Destination site of the dispatch frame.
+        to: u8,
+    },
+    /// Resident at site `at`'s stations.
+    Executing {
+        /// The executing site.
+        at: u8,
+    },
+    /// Results reached the terminal. Terminal stage.
+    Done,
+    /// Shed with a report: admission drop or deadline abandonment.
+    Abandoned,
+    /// Fault retry budget exhausted, loss reported. Terminal stage.
+    Lost,
+}
+
+impl QStage {
+    /// Whether the stage is terminal.
+    #[must_use]
+    pub fn is_terminal(self) -> bool {
+        matches!(self, QStage::Done | QStage::Abandoned | QStage::Lost)
+    }
+
+    /// The [`dqa_core::lifecycle`] stage this abstract stage maps to —
+    /// the hook for cross-validating checker transitions against the
+    /// protocol contract. (`Returning` is collapsed into `Executing`:
+    /// the abstraction keeps results at the execution site until
+    /// delivery succeeds, which is exactly the retransmit-log
+    /// semantics.)
+    #[must_use]
+    pub fn contract(self) -> Stage {
+        match self {
+            QStage::Idle => Stage::Submitted,
+            QStage::Backoff => Stage::Backoff,
+            QStage::InFlight { .. } => Stage::InFlight,
+            QStage::Executing { .. } => Stage::Executing,
+            QStage::Done => Stage::Completed,
+            QStage::Abandoned => Stage::Abandoned,
+            QStage::Lost => Stage::Lost,
+        }
+    }
+}
+
+/// Per-query abstract state: stage plus the consumed/remaining budgets
+/// the invariants are phrased over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QueryState {
+    /// Lifecycle stage.
+    pub stage: QStage,
+    /// Fault retries remaining (`FaultSpec::max_retries`).
+    pub faults_left: u32,
+    /// Deadline reallocations remaining.
+    pub reallocs_left: u32,
+    /// Deadline reallocations consumed (capped at budget + 1 so the
+    /// mutated model that ignores the bound still has finite state).
+    pub reallocs_used: u32,
+    /// Admission reject-retries remaining.
+    pub adm_left: u32,
+    /// A stale dispatch frame from a cancelled attempt still on the
+    /// ring toward this site (the epoch guard must ignore it).
+    pub stale: Option<u8>,
+    /// How many times this query's results reached its terminal.
+    /// Safety invariant I1: never more than once.
+    pub completions: u8,
+    /// Allocation returned no site while at least one site was up —
+    /// the quarantine-hysteresis wedge. Safety invariant I3: never.
+    pub wedged: bool,
+}
+
+/// A global abstract state. `Hash`/`Eq` make it the BFS dedup key; the
+/// dedup map is only ever *probed*, never iterated, so hashing cannot
+/// perturb exploration order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct State {
+    /// Per-site up/down.
+    pub site_up: Vec<bool>,
+    /// Per-site suspected/quarantined (collapsed across observers: the
+    /// detector's worst case is "everyone quarantines s").
+    pub suspected: Vec<bool>,
+    /// The one-shot partition window.
+    pub partition: Partition,
+    /// Environment crashes remaining.
+    pub crashes_left: u32,
+    /// Per-query state.
+    pub queries: Vec<QueryState>,
+}
+
+impl State {
+    /// The initial state for a configuration.
+    #[must_use]
+    pub fn initial(config: &crate::config::CheckConfig) -> State {
+        State {
+            site_up: vec![true; config.sites],
+            suspected: vec![false; config.sites],
+            partition: Partition::NotYet,
+            crashes_left: config.max_crashes,
+            queries: vec![
+                QueryState {
+                    stage: QStage::Idle,
+                    faults_left: config.fault_retries,
+                    reallocs_left: config.realloc_budget.unwrap_or(0),
+                    reallocs_used: 0,
+                    adm_left: config.admission_retries.unwrap_or(0),
+                    stale: None,
+                    completions: 0,
+                    wedged: false,
+                };
+                config.queries
+            ],
+        }
+    }
+
+    /// The home site of query `q` (fixed: `q % sites`).
+    #[must_use]
+    pub fn home(q: usize, sites: usize) -> usize {
+        q % sites
+    }
+
+    /// Whether any site is up.
+    #[must_use]
+    pub fn any_up(&self) -> bool {
+        self.site_up.iter().any(|&u| u)
+    }
+
+    /// Whether every query is in a terminal stage.
+    #[must_use]
+    pub fn all_terminal(&self) -> bool {
+        self.queries.iter().all(|q| q.stage.is_terminal())
+    }
+}
+
+/// One transition label, for counterexample traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Query `query`'s (re)submission runs allocation + admission;
+    /// `admitted` is the nondeterministic admission verdict.
+    Submit {
+        /// The submitting query.
+        query: usize,
+        /// Whether admission accepted the chosen site.
+        admitted: bool,
+    },
+    /// Query `query`'s dispatch frame reaches (or fails to reach) its
+    /// destination.
+    Deliver {
+        /// The traveling query.
+        query: usize,
+    },
+    /// A stale dispatch frame from a cancelled attempt arrives.
+    DeliverStale {
+        /// The query whose old frame arrives.
+        query: usize,
+    },
+    /// Query `query`'s deadline expires.
+    Expire {
+        /// The expiring query.
+        query: usize,
+    },
+    /// Query `query`'s execution finishes and its results travel home.
+    Complete {
+        /// The finishing query.
+        query: usize,
+    },
+    /// The environment crashes a site.
+    Crash {
+        /// The crashing site.
+        site: usize,
+    },
+    /// A crashed site finishes repair.
+    Repair {
+        /// The recovering site.
+        site: usize,
+    },
+    /// The suspicion detector quarantines a silent site.
+    Suspect {
+        /// The quarantined site.
+        site: usize,
+    },
+    /// A quarantined site works off its probation and is re-trusted.
+    Retrust {
+        /// The re-trusted site.
+        site: usize,
+    },
+    /// The ring partition begins.
+    PartitionStart,
+    /// The ring partition heals.
+    PartitionHeal,
+}
+
+impl std::fmt::Display for Action {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Action::Submit { query, admitted } => {
+                write!(
+                    f,
+                    "submit q{query} ({})",
+                    if *admitted { "admitted" } else { "rejected" }
+                )
+            }
+            Action::Deliver { query } => write!(f, "deliver q{query}"),
+            Action::DeliverStale { query } => write!(f, "deliver stale frame of q{query}"),
+            Action::Expire { query } => write!(f, "deadline of q{query} expires"),
+            Action::Complete { query } => write!(f, "q{query} finishes executing"),
+            Action::Crash { site } => write!(f, "site {site} crashes"),
+            Action::Repair { site } => write!(f, "site {site} repairs"),
+            Action::Suspect { site } => write!(f, "site {site} quarantined"),
+            Action::Retrust { site } => write!(f, "site {site} re-trusted"),
+            Action::PartitionStart => write!(f, "partition starts"),
+            Action::PartitionHeal => write!(f, "partition heals"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CheckConfig;
+
+    #[test]
+    fn initial_state_shape() {
+        let s = State::initial(&CheckConfig::default());
+        assert_eq!(s.site_up.len(), 3);
+        assert_eq!(s.queries.len(), 2);
+        assert!(s.any_up());
+        assert!(!s.all_terminal());
+        assert_eq!(s.partition, Partition::NotYet);
+    }
+
+    #[test]
+    fn contract_mapping_is_total_and_terminal_consistent() {
+        let stages = [
+            QStage::Idle,
+            QStage::Backoff,
+            QStage::InFlight { to: 1 },
+            QStage::Executing { at: 0 },
+            QStage::Done,
+            QStage::Abandoned,
+            QStage::Lost,
+        ];
+        for s in stages {
+            assert_eq!(s.is_terminal(), s.contract().is_terminal());
+        }
+    }
+}

@@ -7,6 +7,7 @@
 //! dqa sweep   --flag think --values 150,250,350 --policy lert [system flags]
 //! dqa capacity --target 50 --policies local,lert [system flags]
 //! dqa mva     --cpu1 0.05 --cpu2 1.0 --load 1100/0011 --class 1
+//! dqa check   --sites 3 --queries 2 [--mutation M] [--emit-trace F] | --replay-trace F
 //! dqa help
 //! ```
 //!
@@ -43,6 +44,7 @@ fn main() -> ExitCode {
         "sweep" => Args::parse(&raw).and_then(commands::sweep),
         "capacity" => Args::parse(&raw).and_then(commands::capacity),
         "mva" => Args::parse(&raw).and_then(commands::mva),
+        "check" => Args::parse(&raw).and_then(commands::check),
         "help" | "--help" | "-h" => {
             print_help();
             Ok(())
@@ -70,6 +72,8 @@ USAGE:
   dqa sweep    --flag <name> --values a,b,c [--policy <P>] [system flags]
   dqa capacity [--target R] [--policies local,lert] [--max-mpl N] [system flags]
   dqa mva      [--cpu1 X] [--cpu2 Y] [--load 1100/0011] [--class 1|2]
+  dqa check    [--sites N] [--queries N] [--crashes N] [--mutation M]
+               [--emit-trace FILE] | --replay-trace FILE
   dqa help
 
 POLICIES: local, bnq, bnqrd, lert, random, lert-nonet, wlc, threshold:K

@@ -55,6 +55,7 @@
 #![forbid(unsafe_code)]
 
 pub mod experiment;
+pub mod lifecycle;
 pub mod load;
 pub mod metrics;
 pub mod model;

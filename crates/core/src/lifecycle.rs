@@ -1,0 +1,168 @@
+//! The abstract query-lifecycle contract.
+//!
+//! [`Stage`] collapses the simulator's per-query state — [`QueryPhase`]
+//! plus the implicit "not yet inserted" and "already removed" states —
+//! into the protocol-level lifecycle of the paper's Figure 2 extended
+//! with the PR 4 resilience layer, and [`ALLOWED`] enumerates every
+//! transition the protocol permits. This is the contract the `dqa-check`
+//! model checker cross-validates its abstract transition system against:
+//! every edge the checker's successor function can generate must appear
+//! here, so drift between the abstraction and the real machinery is a
+//! test failure, not a silent soundness hole.
+//!
+//! The mapping to the concrete machinery:
+//!
+//! | Stage        | Concrete state |
+//! |--------------|----------------|
+//! | `Submitted`  | inside `handle_submit`, before placement |
+//! | `InFlight`   | `QueryPhase::Transfer` (dispatch frame on the ring) |
+//! | `Executing`  | `QueryPhase::Disk` / `QueryPhase::Cpu` |
+//! | `Returning`  | `QueryPhase::Return` (result frame / retransmit log) |
+//! | `Backoff`    | `QueryPhase::Backoff` (crash, drop, reject, expiry) |
+//! | `Completed`  | removed by `complete_query` |
+//! | `Abandoned`  | removed by `shed_query` (admission / deadline budget) |
+//! | `Lost`       | removed by `lose_query` (fault retry budget) |
+//!
+//! [`QueryPhase`]: crate::query::QueryPhase
+
+/// A protocol-level stage of a query's life.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Drawn at a terminal, not yet placed anywhere.
+    Submitted,
+    /// A dispatch frame is on the ring toward a remote execution site.
+    InFlight,
+    /// Resident at an execution site's stations (disk or CPU).
+    Executing,
+    /// Results are traveling home (or logged awaiting retransmission).
+    Returning,
+    /// Waiting out a jittered backoff before another attempt.
+    Backoff,
+    /// Results reached the terminal. Terminal stage.
+    Completed,
+    /// Shed by the resilience layer: admission drop or deadline budget
+    /// exhaustion. Terminal stage; the loss is *reported* (metrics).
+    Abandoned,
+    /// Fault retry budget exhausted. Terminal stage; reported.
+    Lost,
+}
+
+impl Stage {
+    /// Whether the stage is terminal (no outgoing transitions).
+    #[must_use]
+    pub fn is_terminal(self) -> bool {
+        matches!(self, Stage::Completed | Stage::Abandoned | Stage::Lost)
+    }
+}
+
+/// Every transition the allocation & resilience protocols permit.
+///
+/// The non-obvious edges, with the mechanism that takes them:
+///
+/// - `Submitted → Backoff`: admission reject, or every holder of the
+///   query's relation is down.
+/// - `Submitted → Abandoned`: admission drop (shed at the door).
+/// - `InFlight → Backoff`: the dispatch frame was lost, crossed an
+///   active partition boundary, arrived at a crashed site, or arrived
+///   with the deadline already expired and reallocation budget left.
+/// - `InFlight → Abandoned`: expired on the wire, budget exhausted.
+/// - `Executing → Backoff`: site crash drained the stations, or a
+///   deadline cancellation with reallocation budget left.
+/// - `Returning → Backoff`: the result frame was lost or undeliverable;
+///   the execution site keeps the results logged for retransmission.
+/// - `Backoff → Backoff`: the retry found the home site still down, no
+///   reachable holder, or was rejected at admission again.
+/// - `Backoff → Abandoned` / `Backoff → Lost`: the admission
+///   reject-retry budget (`AdmissionSpec::max_retries`) or the fault
+///   retry budget (`FaultSpec::max_retries`) ran out.
+pub const ALLOWED: &[(Stage, Stage)] = &[
+    (Stage::Submitted, Stage::InFlight),
+    (Stage::Submitted, Stage::Executing),
+    (Stage::Submitted, Stage::Backoff),
+    (Stage::Submitted, Stage::Abandoned),
+    (Stage::InFlight, Stage::Executing),
+    (Stage::InFlight, Stage::Backoff),
+    (Stage::InFlight, Stage::Abandoned),
+    (Stage::Executing, Stage::Returning),
+    (Stage::Executing, Stage::Completed),
+    (Stage::Executing, Stage::Backoff),
+    (Stage::Executing, Stage::Abandoned),
+    (Stage::Returning, Stage::Completed),
+    (Stage::Returning, Stage::Backoff),
+    (Stage::Returning, Stage::Lost),
+    (Stage::Backoff, Stage::InFlight),
+    (Stage::Backoff, Stage::Executing),
+    (Stage::Backoff, Stage::Backoff),
+    (Stage::Backoff, Stage::Abandoned),
+    (Stage::Backoff, Stage::Lost),
+];
+
+/// Whether the protocol permits a `from → to` transition.
+#[must_use]
+pub fn allowed(from: Stage, to: Stage) -> bool {
+    ALLOWED.contains(&(from, to))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const STAGES: [Stage; 8] = [
+        Stage::Submitted,
+        Stage::InFlight,
+        Stage::Executing,
+        Stage::Returning,
+        Stage::Backoff,
+        Stage::Completed,
+        Stage::Abandoned,
+        Stage::Lost,
+    ];
+
+    #[test]
+    fn terminal_stages_have_no_outgoing_edges() {
+        for &(from, _) in ALLOWED {
+            assert!(!from.is_terminal(), "{from:?} is terminal but has an edge");
+        }
+    }
+
+    #[test]
+    fn edges_are_unique() {
+        for (i, a) in ALLOWED.iter().enumerate() {
+            for b in &ALLOWED[i + 1..] {
+                assert_ne!(a, b, "duplicate edge {a:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_stage_can_reach_a_terminal() {
+        // Fixed-point reachability over the (tiny) edge set: a query can
+        // never be wedged in a stage with no path to completion or a
+        // reported loss.
+        let mut reaches: Vec<Stage> = STAGES.iter().copied().filter(|s| s.is_terminal()).collect();
+        loop {
+            let mut grew = false;
+            for &(from, to) in ALLOWED {
+                if reaches.contains(&to) && !reaches.contains(&from) {
+                    reaches.push(from);
+                    grew = true;
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        for s in STAGES {
+            assert!(reaches.contains(&s), "{s:?} cannot reach a terminal stage");
+        }
+    }
+
+    #[test]
+    fn submitted_is_the_only_root() {
+        // Nothing transitions *into* Submitted: a query is submitted
+        // exactly once (a retry resubmits from Backoff, not Submitted).
+        for &(_, to) in ALLOWED {
+            assert_ne!(to, Stage::Submitted);
+        }
+    }
+}

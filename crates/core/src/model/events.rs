@@ -93,6 +93,14 @@ pub enum Event {
     PartitionStart,
     /// The injected ring partition heals: full connectivity returns.
     PartitionHeal,
+    /// Entry `index` of the deterministic fault-environment script fires
+    /// (trace replay only): a scripted crash, repair, or partition
+    /// toggle that draws no random numbers and schedules no stochastic
+    /// follow-up. See [`crate::params::ScriptEntry`].
+    Script {
+        /// Index into `SystemParams::script`.
+        index: usize,
+    },
 }
 
 /// What a ring message carries.

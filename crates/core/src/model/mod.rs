@@ -19,7 +19,8 @@ use dqa_sim::{Engine, Model, Scheduler, SimTime};
 use crate::load::LoadTable;
 use crate::metrics::Metrics;
 use crate::params::{
-    FaultSpec, ParamsError, SheddingMode, SiteId, SuspicionSpec, SystemParams, Workload,
+    FaultSpec, ParamsError, ScriptAction, SheddingMode, SiteId, SuspicionSpec, SystemParams,
+    Workload,
 };
 use crate::policy::{AllocationContext, Allocator, PolicyKind};
 use crate::query::{ActiveQuery, QueryId, QueryKind, QueryPhase, QueryProfile, QueryTable};
@@ -95,6 +96,17 @@ struct ResilienceState {
     /// Reallocation / admission-retry backoff jitter.
     rng_backoff: RngStream,
     suspicion: Option<SuspicionState>,
+}
+
+/// Which per-query budget a resilience retry draws down. The two
+/// lifecycles are budgeted independently: admission rejects happen
+/// before any work is placed, deadline reallocations after.
+#[derive(Clone, Copy)]
+enum RetryCounter {
+    /// Deadline reallocation (`DeadlineSpec::max_reallocations`).
+    Deadline,
+    /// Admission reject-retry (`AdmissionSpec::max_retries`).
+    Admission,
 }
 
 /// Verdict of the admission check at a chosen execution site's door.
@@ -258,6 +270,11 @@ impl DbSystem {
                     ));
                 }
             }
+            // Scripted fault-environment actions fire exactly as written
+            // (validate guarantees a fault spec exists for them).
+            for (index, entry) in model.params.script.iter().enumerate() {
+                initial.push((SimTime::ZERO + entry.at, Event::Script { index }));
+            }
             if model.params.status_period > 0.0 {
                 if model.params.status_msg_length > 0.0 {
                     // Costed broadcasts: stagger the sites across the
@@ -365,6 +382,7 @@ impl DbSystem {
                 retries: 0,
                 deadline_epoch: 0,
                 res_retries: 0,
+                adm_retries: 0,
                 expired: false,
             });
             self.schedule_retry(now, id, sched);
@@ -399,10 +417,18 @@ impl DbSystem {
                     retries: 0,
                     deadline_epoch: 0,
                     res_retries: 0,
+                    adm_retries: 0,
                     expired: false,
                 });
                 let a = self.params.admission.expect("admission layer active");
-                if self.resilience_retry(now, id, a.backoff_base, a.max_retries, sched) {
+                if self.resilience_retry(
+                    now,
+                    id,
+                    a.backoff_base,
+                    a.max_retries,
+                    RetryCounter::Admission,
+                    sched,
+                ) {
                     self.metrics.record_admission_rejected();
                 } else {
                     self.metrics.record_admission_dropped();
@@ -434,6 +460,7 @@ impl DbSystem {
             retries: 0,
             deadline_epoch: 0,
             res_retries: 0,
+            adm_retries: 0,
             expired: false,
         });
         self.arm_deadline(now, id, sched);
@@ -668,6 +695,7 @@ impl DbSystem {
                 retries: 0,
                 deadline_epoch: 0,
                 res_retries: 0,
+                adm_retries: 0,
                 expired: false,
             });
             self.load.allocate(holder, io_bound);
@@ -913,8 +941,11 @@ impl DbSystem {
         }
     }
 
-    /// Site `site` fail-stops.
-    fn handle_site_down(&mut self, now: SimTime, site: SiteId, sched: &mut Scheduler<Event>) {
+    /// The fail-stop state change shared by stochastic crashes and
+    /// scripted ones: drain the stations, mark the site unavailable, and
+    /// push every resident query into fault recovery. Schedules no
+    /// repair — that is the caller's (stochastic or scripted) business.
+    fn crash_site(&mut self, now: SimTime, site: SiteId, sched: &mut Scheduler<Event>) {
         let victims = self.sites[site].crash(now);
         self.load.set_available(site, false);
         let frac = self.load.available_sites() as f64 / self.params.num_sites as f64;
@@ -922,6 +953,29 @@ impl DbSystem {
         for id in victims {
             self.fail_execution(now, id, sched);
         }
+    }
+
+    /// The repair state change shared by stochastic and scripted
+    /// recoveries: the site rejoins, its availability row returns, and
+    /// its suspicion-observer row is refreshed (it heard nothing while
+    /// down, so every peer gets a full detection window instead of being
+    /// suspected wholesale on the first sweep). Schedules no next crash.
+    fn recover_site(&mut self, now: SimTime, site: SiteId) {
+        self.sites[site].recover();
+        self.load.set_available(site, true);
+        if let Some(s) = self.resilience.as_mut().and_then(|r| r.suspicion.as_mut()) {
+            let n = self.params.num_sites;
+            for target in 0..n {
+                s.last_heard[site * n + target] = now;
+            }
+        }
+        let frac = self.load.available_sites() as f64 / self.params.num_sites as f64;
+        self.metrics.record_availability(now, frac);
+    }
+
+    /// Site `site` fail-stops (stochastic crash process).
+    fn handle_site_down(&mut self, now: SimTime, site: SiteId, sched: &mut Scheduler<Event>) {
+        self.crash_site(now, site, sched);
         let f = self.fault.as_mut().expect("fault layer active");
         // An MTTR of zero means instant repair: skip the draw (the
         // exponential sampler requires a positive mean) and schedule the
@@ -934,25 +988,46 @@ impl DbSystem {
         sched.after(repair, Event::SiteUp { site });
     }
 
-    /// Site `site` finishes repair.
+    /// Site `site` finishes repair (stochastic crash process).
     fn handle_site_up(&mut self, now: SimTime, site: SiteId, sched: &mut Scheduler<Event>) {
-        self.sites[site].recover();
-        self.load.set_available(site, true);
-        // The rejoiner heard nothing while down: refresh its observer row
-        // so it grants every peer a full detection window instead of
-        // suspecting the whole system on its first sweep.
-        if let Some(s) = self.resilience.as_mut().and_then(|r| r.suspicion.as_mut()) {
-            let n = self.params.num_sites;
-            for target in 0..n {
-                s.last_heard[site * n + target] = now;
-            }
-        }
-        let frac = self.load.available_sites() as f64 / self.params.num_sites as f64;
-        self.metrics.record_availability(now, frac);
+        self.recover_site(now, site);
         let f = self.fault.as_mut().expect("fault layer active");
         if f.spec.mtbf > 0.0 {
             let ttf = f.rng_crash.exponential(f.spec.mtbf);
             sched.after(ttf, Event::SiteDown { site });
+        }
+    }
+
+    /// Entry `index` of the deterministic fault-environment script fires.
+    /// Scripted actions draw no random numbers and schedule no stochastic
+    /// follow-ups; actions that match the current state (crashing a down
+    /// site, healing an inactive partition) are no-ops, so scripts are
+    /// idempotent under replay.
+    fn handle_script(&mut self, now: SimTime, index: usize, sched: &mut Scheduler<Event>) {
+        let entry = self.params.script[index];
+        match entry.action {
+            ScriptAction::SiteDown(site) => {
+                if self.sites[site].is_up() {
+                    self.crash_site(now, site, sched);
+                }
+            }
+            ScriptAction::SiteUp(site) => {
+                if !self.sites[site].is_up() {
+                    self.recover_site(now, site);
+                }
+            }
+            ScriptAction::PartitionStart => {
+                self.fault
+                    .as_mut()
+                    .expect("fault layer active")
+                    .partition_active = true;
+            }
+            ScriptAction::PartitionHeal => {
+                self.fault
+                    .as_mut()
+                    .expect("fault layer active")
+                    .partition_active = false;
+            }
         }
     }
 
@@ -1051,8 +1126,14 @@ impl DbSystem {
                         }
                         Admission::Reject => {
                             let a = self.params.admission.expect("admission layer active");
-                            if self.resilience_retry(now, id, a.backoff_base, a.max_retries, sched)
-                            {
+                            if self.resilience_retry(
+                                now,
+                                id,
+                                a.backoff_base,
+                                a.max_retries,
+                                RetryCounter::Admission,
+                                sched,
+                            ) {
                                 self.metrics.record_admission_rejected();
                             } else {
                                 self.metrics.record_admission_dropped();
@@ -1205,29 +1286,48 @@ impl DbSystem {
         self.metrics
             .record_query_difference(now, self.load.query_difference());
         self.metrics.record_deadline_timeout(class);
-        if self.resilience_retry(now, id, spec.backoff_base, spec.max_reallocations, sched) {
+        if self.resilience_retry(
+            now,
+            id,
+            spec.backoff_base,
+            spec.max_reallocations,
+            RetryCounter::Deadline,
+            sched,
+        ) {
             self.metrics.record_deadline_reallocation(class);
         } else {
             self.metrics.record_deadline_abandoned(class);
         }
     }
 
-    /// Consumes one resilience retry (deadline reallocation or admission
-    /// reject) for `id`: schedules a jittered-backoff `Resubmit` and
-    /// returns `true`, or sheds the query and returns `false` once the
-    /// budget is exhausted.
+    /// Consumes one resilience retry for `id` against the given budget:
+    /// schedules a jittered-backoff `Resubmit` and returns `true`, or
+    /// sheds the query and returns `false` once the budget is exhausted.
+    /// Deadline reallocations and admission rejects count against
+    /// *separate* per-query counters — a query turned away repeatedly at
+    /// admission has done no work yet, so it must not arrive with its
+    /// deadline reallocation budget already spent.
     fn resilience_retry(
         &mut self,
         now: SimTime,
         id: QueryId,
         base: f64,
         budget: u32,
+        counter: RetryCounter,
         sched: &mut Scheduler<Event>,
     ) -> bool {
         let attempts = {
             let q = self.queries.get_mut(id).expect("query in flight");
-            q.res_retries += 1;
-            q.res_retries
+            match counter {
+                RetryCounter::Deadline => {
+                    q.res_retries += 1;
+                    q.res_retries
+                }
+                RetryCounter::Admission => {
+                    q.adm_retries += 1;
+                    q.adm_retries
+                }
+            }
         };
         if attempts > budget {
             self.shed_query(now, id, sched);
@@ -1629,6 +1729,7 @@ impl Model for DbSystem {
                     .expect("fault layer active")
                     .partition_active = false;
             }
+            Event::Script { index } => self.handle_script(now, index, sched),
         }
     }
 }

@@ -124,6 +124,35 @@ impl FaultSpec {
     }
 }
 
+/// One deterministic fault-environment action in a replay script.
+///
+/// Scripted actions bypass the stochastic fault processes entirely: a
+/// scripted crash draws no repair time and schedules no follow-up, a
+/// scripted partition toggle ignores `partition_at`/`partition_for`.
+/// This is how `dqa-check` counterexample traces are replayed through
+/// the simulator — the checker's abstract fault schedule becomes an
+/// exact, RNG-free event sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScriptAction {
+    /// Crash a site (drops its resident queries; no repair is scheduled).
+    SiteDown(usize),
+    /// Bring a crashed site back up (no follow-up crash is scheduled).
+    SiteUp(usize),
+    /// Activate the ring partition (`partition_groups` must be >= 2).
+    PartitionStart,
+    /// Heal the ring partition.
+    PartitionHeal,
+}
+
+/// A timed [`ScriptAction`]: `action` fires at simulated time `at`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScriptEntry {
+    /// Simulated time at which the action fires.
+    pub at: f64,
+    /// The fault-environment action to apply.
+    pub action: ScriptAction,
+}
+
 /// Per-query deadlines with bounded reallocation (a robustness
 /// extension; the paper assumes every submitted query runs to
 /// completion wherever it was placed).
@@ -531,6 +560,12 @@ pub struct SystemParams {
     /// Per-site admission control with load shedding. `None` (or a spec
     /// with no caps) accepts every query, as the paper does.
     pub admission: Option<AdmissionSpec>,
+    /// Deterministic fault-environment script: timed crash/repair and
+    /// partition toggles that fire exactly as written, drawing no random
+    /// numbers. Requires `faults` to be set (the retry/partition
+    /// machinery lives there); an empty script is trajectory-inert.
+    /// Used to replay `dqa-check` counterexample traces.
+    pub script: Vec<ScriptEntry>,
 }
 
 impl SystemParams {
@@ -574,6 +609,7 @@ impl SystemParams {
             deadlines: None,
             suspicion: None,
             admission: None,
+            script: Vec::new(),
         }
     }
 
@@ -735,6 +771,48 @@ impl SystemParams {
                     field: "partition_groups (exceeds num_sites)",
                     value: f64::from(f.partition_groups),
                 });
+            }
+        }
+        if !self.script.is_empty() {
+            let faults = self.faults.as_ref().ok_or(ParamsError::Missing {
+                what: "fault spec for the event script (scripted crashes and \
+                       partitions use the FaultSpec retry/partition machinery)",
+            })?;
+            // A script is a *deterministic* fault environment; mixing it
+            // with the stochastic crash process would let a scripted
+            // repair collide with a pending stochastic one.
+            if faults.mtbf > 0.0 {
+                return Err(ParamsError::NonPositive {
+                    field: "fault mtbf (must be 0 with an event script)",
+                    value: faults.mtbf,
+                });
+            }
+            for entry in &self.script {
+                if !entry.at.is_finite() || entry.at < 0.0 {
+                    return Err(ParamsError::NonPositive {
+                        field: "script entry time",
+                        value: entry.at,
+                    });
+                }
+                match entry.action {
+                    ScriptAction::SiteDown(s) | ScriptAction::SiteUp(s) => {
+                        if s >= self.num_sites {
+                            return Err(ParamsError::NonPositive {
+                                field: "script site index (exceeds num_sites)",
+                                value: s as f64,
+                            });
+                        }
+                    }
+                    ScriptAction::PartitionStart | ScriptAction::PartitionHeal => {
+                        if faults.partition_groups < 2 {
+                            return Err(ParamsError::NonPositive {
+                                field: "partition_groups (a scripted partition \
+                                        needs at least 2 groups)",
+                                value: f64::from(faults.partition_groups),
+                            });
+                        }
+                    }
+                }
             }
         }
         if let Some(d) = &self.deadlines {
@@ -1107,6 +1185,14 @@ impl SystemParamsBuilder {
         self
     }
 
+    /// Replaces the deterministic fault-environment script (requires a
+    /// fault spec; see [`ScriptEntry`]).
+    #[must_use]
+    pub fn script(mut self, script: Vec<ScriptEntry>) -> Self {
+        self.params.script = script;
+        self
+    }
+
     /// Validates and returns the parameters.
     ///
     /// # Errors
@@ -1360,6 +1446,67 @@ mod tests {
             ..FaultSpec::default()
         };
         assert!(!idle.has_partition());
+    }
+
+    #[test]
+    fn script_validation() {
+        // A script without a fault spec is rejected: the scripted
+        // actions reuse the FaultSpec retry/partition machinery.
+        let down = |at| ScriptEntry {
+            at,
+            action: ScriptAction::SiteDown(1),
+        };
+        let orphan = SystemParams::builder().script(vec![down(100.0)]).build();
+        assert!(orphan.is_err());
+        // Site indices are bounds-checked against num_sites.
+        let oob = SystemParams::builder()
+            .num_sites(3)
+            .faults(Some(FaultSpec::default()))
+            .script(vec![ScriptEntry {
+                at: 10.0,
+                action: ScriptAction::SiteUp(3),
+            }])
+            .build();
+        assert!(oob.is_err());
+        // Partition toggles need partition_groups >= 2 even though the
+        // stochastic partition window (partition_for) stays zero.
+        let no_groups = SystemParams::builder()
+            .faults(Some(FaultSpec::default()))
+            .script(vec![ScriptEntry {
+                at: 10.0,
+                action: ScriptAction::PartitionStart,
+            }])
+            .build();
+        assert!(no_groups.is_err());
+        let ok = SystemParams::builder()
+            .faults(Some(FaultSpec {
+                partition_groups: 2,
+                ..FaultSpec::default()
+            }))
+            .script(vec![
+                down(100.0),
+                ScriptEntry {
+                    at: 150.0,
+                    action: ScriptAction::PartitionStart,
+                },
+                ScriptEntry {
+                    at: 250.0,
+                    action: ScriptAction::PartitionHeal,
+                },
+                ScriptEntry {
+                    at: 300.0,
+                    action: ScriptAction::SiteUp(1),
+                },
+            ])
+            .build()
+            .unwrap();
+        assert_eq!(ok.script.len(), 4);
+        // Negative or non-finite times are rejected.
+        let bad_time = SystemParams::builder()
+            .faults(Some(FaultSpec::default()))
+            .script(vec![down(f64::NAN)])
+            .build();
+        assert!(bad_time.is_err());
     }
 
     #[test]

@@ -98,10 +98,13 @@ pub struct ActiveQuery {
     /// matches, so cancellations/crashes/reallocations lazily invalidate
     /// any in-flight expiry (always 0 without deadlines).
     pub deadline_epoch: u32,
-    /// Resilience-recovery attempts consumed so far — deadline
-    /// reallocations plus admission reject-retries (always 0 with the
-    /// resilience layer off).
+    /// Deadline reallocations consumed so far (always 0 with deadlines
+    /// off). Kept separate from `adm_retries` so an admission-heavy
+    /// start cannot eat into the deadline reallocation budget.
     pub res_retries: u32,
+    /// Admission reject-retries consumed so far (always 0 with
+    /// admission control off).
+    pub adm_retries: u32,
     /// Deadline expired while the query was at a point that cannot be
     /// unwound immediately (a frame in flight, a disk read in service);
     /// the cancellation completes at the next natural event.
@@ -148,7 +151,7 @@ impl ActiveQuery {
 /// #             home: 0, io_bound: true, relation: 0 },
 /// #         exec: 0, reads_total: 1, reads_done: 0, submitted: SimTime::ZERO,
 /// #         service: 0.0, phase: QueryPhase::Disk, kind: QueryKind::Read, retries: 0,
-/// #         deadline_epoch: 0, res_retries: 0, expired: false,
+/// #         deadline_epoch: 0, res_retries: 0, adm_retries: 0, expired: false,
 /// #     }
 /// # }
 /// let mut table = QueryTable::new();
@@ -301,6 +304,7 @@ mod tests {
             retries: 0,
             deadline_epoch: 0,
             res_retries: 0,
+            adm_retries: 0,
             expired: false,
         }
     }

@@ -311,6 +311,78 @@ fn partition_heals_and_drops_are_counted() {
 }
 
 #[test]
+fn empty_event_script_is_byte_identical() {
+    // An empty script schedules nothing and draws nothing, so adding the
+    // field to an otherwise-identical fault configuration must reproduce
+    // the exact report — the same common-random-numbers discipline the
+    // other inert specs obey. (Scripts are how `dqa-check` replays its
+    // counterexamples; this pins that the mechanism itself is free.)
+    let mut faulty = broadcast_params();
+    faulty.faults = Some(partition(2_000.0, 2_000.0));
+    let plain = RunConfig::new(faulty.clone(), PolicyKind::Bnqrd)
+        .seed(19)
+        .windows(1_000.0, 8_000.0);
+    let mut scripted_params = faulty;
+    scripted_params.script = Vec::new();
+    let scripted = RunConfig::new(scripted_params, PolicyKind::Bnqrd)
+        .seed(19)
+        .windows(1_000.0, 8_000.0);
+    let a = run(&plain).unwrap();
+    let b = run(&scripted).unwrap();
+    assert!(a == b, "an empty event script moved the trajectory");
+}
+
+#[test]
+fn scripted_faults_are_deterministic_and_rng_free() {
+    // A deterministic crash/repair/partition script (mtbf 0: no
+    // stochastic faults mixed in) must be a pure function of the seed,
+    // and the scripted events themselves draw no random numbers — so two
+    // runs agree bitwise, and the script actually bites.
+    use dqa_core::params::{ScriptAction, ScriptEntry};
+    let config = || {
+        let mut params = broadcast_params();
+        params.suspicion = Some(SuspicionSpec::default());
+        params.faults = Some(FaultSpec {
+            mtbf: 0.0,
+            partition_groups: 2,
+            ..FaultSpec::default()
+        });
+        params.script = vec![
+            ScriptEntry {
+                at: 2_000.0,
+                action: ScriptAction::SiteDown(1),
+            },
+            ScriptEntry {
+                at: 2_500.0,
+                action: ScriptAction::PartitionStart,
+            },
+            ScriptEntry {
+                at: 4_000.0,
+                action: ScriptAction::PartitionHeal,
+            },
+            ScriptEntry {
+                at: 5_000.0,
+                action: ScriptAction::SiteUp(1),
+            },
+        ];
+        RunConfig::new(params, PolicyKind::Bnqrd)
+            .seed(29)
+            .windows(1_000.0, 8_000.0)
+    };
+    let a = run(&config()).unwrap();
+    let b = run(&config()).unwrap();
+    assert!(a == b, "same seed, same script, different report");
+    assert!(
+        a.partition_drops > 0,
+        "scripted partition never dropped a frame"
+    );
+    assert!(
+        a.completed > 0,
+        "system stopped completing work under the script"
+    );
+}
+
+#[test]
 fn fully_resilient_runs_are_deterministic() {
     // Every layer at once — deadlines, suspicion, admission, partition —
     // and the run must still be a pure function of the seed.
