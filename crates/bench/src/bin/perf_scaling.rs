@@ -9,9 +9,13 @@
 //! Results go to stdout as a table and to `results/BENCH_perf.json` as a
 //! machine-readable record. Set `DQA_QUICK=1` for a fast smoke run.
 //!
-//! Note: speedup is bounded by the physical core count of the host; on a
-//! single-core machine every worker count measures ~1.0x and the bench
-//! simply documents that the pool adds no overhead.
+//! Note: speedup is bounded by the physical core count of the host. Each
+//! record distinguishes `jobs_requested` from `cores_detected`: when the
+//! request exceeds the machine (e.g. a single-core CI container), the
+//! record is marked `"degraded": true` and no speedup is asserted —
+//! reporting 1.0x from an oversubscribed pool as "scaling" would be a
+//! lie. On real multi-core hosts the non-degraded records assert that
+//! parallelism does not lose to the serial baseline.
 
 use std::time::Instant;
 
@@ -65,12 +69,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
         .collect();
 
+    let cores = parallel::cores_detected();
     println!(
-        "perf_scaling — {} policies x {} replications ({} mode), detected parallelism {}\n",
+        "perf_scaling — {} policies x {} replications ({} mode), {} cores detected\n",
         POLICIES.len(),
         replications,
         if quick { "quick" } else { "standard" },
-        parallel::jobs(),
+        cores,
     );
 
     // Serial baseline: timing plus the reference reports.
@@ -96,7 +101,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         records.push((jobs, wall));
     }
 
-    let mut table = TextTable::new(vec!["jobs", "wall s", "events/s", "speedup"]);
+    let mut table = TextTable::new(vec!["jobs", "wall s", "events/s", "speedup", "degraded"]);
     let mut json_records = String::new();
     for (i, &(jobs, wall)) in records.iter().enumerate() {
         let events_per_sec = if wall > 0.0 {
@@ -105,15 +110,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             0.0
         };
         let speedup = if wall > 0.0 { serial_wall / wall } else { 0.0 };
+        // A worker count above the physical core count cannot speed
+        // anything up; mark the record instead of pretending.
+        let degraded = jobs > cores;
+        if !degraded && !quick && jobs > 1 {
+            assert!(
+                speedup >= 0.9,
+                "jobs={jobs} lost to the serial baseline ({speedup:.2}x) \
+                 with {cores} cores available"
+            );
+        }
         table.row(vec![
             jobs.to_string(),
             fmt_f(wall, 3),
             fmt_f(events_per_sec, 0),
             fmt_f(speedup, 2),
+            degraded.to_string(),
         ]);
         json_records.push_str(&format!(
-            "    {{\"bench\": \"policy_grid\", \"jobs\": {jobs}, \"wall_secs\": {wall:.6}, \
-             \"events_per_sec\": {events_per_sec:.1}, \"speedup\": {speedup:.4}}}{}",
+            "    {{\"bench\": \"policy_grid\", \"jobs_requested\": {jobs}, \
+             \"wall_secs\": {wall:.6}, \"events_per_sec\": {events_per_sec:.1}, \
+             \"speedup\": {speedup:.4}, \"degraded\": {degraded}}}{}",
             if i + 1 == records.len() { "\n" } else { ",\n" }
         ));
     }
@@ -128,9 +145,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let json = format!(
         "{{\n  \"experiment\": \"perf_scaling\",\n  \"quick\": {quick},\n  \
-         \"detected_parallelism\": {},\n  \"replications\": {replications},\n  \
+         \"cores_detected\": {cores},\n  \"replications\": {replications},\n  \
          \"total_events\": {total_events},\n  \"records\": [\n{json_records}  ]\n}}\n",
-        parallel::jobs(),
     );
     std::fs::create_dir_all("results")?;
     std::fs::write("results/BENCH_perf.json", &json)?;

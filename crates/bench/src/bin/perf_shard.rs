@@ -1,0 +1,162 @@
+//! Wall-clock scaling of the conservative parallel-in-time executor.
+//!
+//! Unlike `perf_scaling` (which parallelizes *across* independent
+//! replications), this bench parallelizes *inside one simulation*: the
+//! windowed executor of `dqa_core::model::shard` drains per-site logical
+//! processes across a worker pool between ring barriers. It runs a
+//! shardable paper-base configuration (costed status broadcasts keep the
+//! board imperfect) at several window-worker counts and reports wall
+//! time, events/s, and speedup over the serial engine.
+//!
+//! Before any timing, every worker count is gated bitwise against the
+//! serial `RunReport` — a speedup measured on a diverged trajectory
+//! would be meaningless.
+//!
+//! Honesty rules match `perf_scaling`: each record carries
+//! `jobs_requested` alongside the file-level `cores_detected`, records
+//! with `jobs > cores` are marked `"degraded": true` (windowed execution
+//! on an oversubscribed machine only adds barrier overhead), and the
+//! speedup target is asserted only on non-degraded multi-worker records.
+//!
+//! Results go to stdout and `results/BENCH_shard.json`. Set
+//! `DQA_QUICK=1` for a fast smoke run (used by CI, where the container
+//! is typically single-core and every parallel record is degraded).
+
+use std::time::Instant;
+
+use dqa_bench::cell_seed;
+use dqa_core::experiment::{run, run_sharded, RunConfig, RunReport};
+use dqa_core::model::shard::lookahead;
+use dqa_core::parallel;
+use dqa_core::params::SystemParams;
+use dqa_core::policy::PolicyKind;
+use dqa_core::table::{fmt_f, TextTable};
+
+const POLICIES: [PolicyKind; 2] = [PolicyKind::Bnq, PolicyKind::Lert];
+
+const JOB_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Minimum speedup a non-degraded multi-worker record must reach.
+const SPEEDUP_TARGET: f64 = 1.5;
+
+/// The paper's base configuration made shardable: periodic costed status
+/// broadcasts (§4.4) instead of the perfect-information board.
+fn shardable_params() -> SystemParams {
+    let mut params = SystemParams::paper_base();
+    params.status_period = 40.0;
+    params.status_msg_length = 1.0;
+    params
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let quick = std::env::var("DQA_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let (warmup, measure) = if quick {
+        (500.0, 4_000.0)
+    } else {
+        (3_000.0, 60_000.0)
+    };
+
+    let configs: Vec<RunConfig> = POLICIES
+        .iter()
+        .enumerate()
+        .map(|(i, &policy)| {
+            RunConfig::new(shardable_params(), policy)
+                .seed(cell_seed(1_500 + i as u64))
+                .windows(warmup, measure)
+        })
+        .collect();
+
+    let cores = parallel::cores_detected();
+    println!(
+        "perf_shard — {} policies, lookahead {} ({} mode), {} cores detected\n",
+        POLICIES.len(),
+        lookahead(&configs[0].params),
+        if quick { "quick" } else { "standard" },
+        cores,
+    );
+
+    // Serial reference: reports for the bitwise gate, timing for the
+    // baseline.
+    let start = Instant::now();
+    let serial: Vec<RunReport> = configs.iter().map(run).collect::<Result<_, _>>()?;
+    let serial_wall = start.elapsed().as_secs_f64();
+    let total_events: u64 = serial.iter().map(|r| r.events).sum();
+
+    // Bitwise gate, untimed: every worker count must reproduce the
+    // serial trajectory exactly before its timing means anything.
+    for &jobs in &JOB_COUNTS {
+        let sharded: Vec<RunReport> = configs
+            .iter()
+            .map(|c| run_sharded(c, jobs))
+            .collect::<Result<_, _>>()?;
+        assert!(
+            sharded == serial,
+            "sharded run (jobs={jobs}) diverged from the serial engine"
+        );
+    }
+
+    let mut records: Vec<(usize, f64)> = Vec::new();
+    for &jobs in &JOB_COUNTS {
+        let start = Instant::now();
+        for config in &configs {
+            let _ = run_sharded(config, jobs)?;
+        }
+        records.push((jobs, start.elapsed().as_secs_f64()));
+    }
+
+    let mut table = TextTable::new(vec!["jobs", "wall s", "events/s", "speedup", "degraded"]);
+    let mut json_records = String::new();
+    for (i, &(jobs, wall)) in records.iter().enumerate() {
+        let events_per_sec = if wall > 0.0 {
+            total_events as f64 / wall
+        } else {
+            0.0
+        };
+        let speedup = if wall > 0.0 { serial_wall / wall } else { 0.0 };
+        let degraded = jobs > cores;
+        if !degraded && !quick && jobs > 1 {
+            assert!(
+                speedup >= SPEEDUP_TARGET,
+                "jobs={jobs} reached only {speedup:.2}x (target {SPEEDUP_TARGET}x) \
+                 with {cores} cores available"
+            );
+        }
+        table.row(vec![
+            jobs.to_string(),
+            fmt_f(wall, 3),
+            fmt_f(events_per_sec, 0),
+            fmt_f(speedup, 2),
+            degraded.to_string(),
+        ]);
+        json_records.push_str(&format!(
+            "    {{\"bench\": \"shard_windows\", \"jobs_requested\": {jobs}, \
+             \"wall_secs\": {wall:.6}, \"events_per_sec\": {events_per_sec:.1}, \
+             \"speedup\": {speedup:.4}, \"degraded\": {degraded}}}{}",
+            if i + 1 == records.len() { "\n" } else { ",\n" }
+        ));
+    }
+    println!("{table}");
+    println!(
+        "serial engine: {:.1} ns/event over {} events",
+        if total_events > 0 {
+            serial_wall * 1e9 / total_events as f64
+        } else {
+            0.0
+        },
+        total_events
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"perf_shard\",\n  \"quick\": {quick},\n  \
+         \"cores_detected\": {cores},\n  \"speedup_target\": {SPEEDUP_TARGET},\n  \
+         \"lookahead\": {},\n  \"serial_wall_secs\": {serial_wall:.6},\n  \
+         \"total_events\": {total_events},\n  \"records\": [\n{json_records}  ]\n}}\n",
+        lookahead(&configs[0].params),
+    );
+    std::fs::create_dir_all("results")?;
+    std::fs::write("results/BENCH_shard.json", &json)?;
+    println!("wrote results/BENCH_shard.json");
+    Ok(())
+}

@@ -20,6 +20,13 @@
 //! - **Complete** — `complete_query`, with the `Return`-phase
 //!   retransmit loop collapsed to "stay at the execution site, consume
 //!   a fault retry" when the results cannot reach home.
+//! - **BarrierCommit** (window-barrier model only) — the conservative
+//!   parallel executor's barrier flush (`shard::ShardEngine`'s
+//!   `barrier_flush`): inside a window a finished execution only
+//!   *parks* its result frame in the logical process's outbox;
+//!   the barrier then drains the outbox onto the ring exactly once.
+//!   `Complete` splits into park (inside the window) + commit (at the
+//!   barrier), and I1 demands the commit never replays a frame.
 //! - **Crash/Repair** — `crash_site`/`recover_site` (timing replaced by
 //!   nondeterministic ordering, bounded by `max_crashes`).
 //! - **Suspect/Retrust** — the suspicion sweep and probation: a site
@@ -334,24 +341,59 @@ impl Checker {
                 }
                 QStage::Executing { at } => {
                     let at = at as usize;
-                    // The results travel home; an unreachable home
-                    // (crashed, or across an active partition) costs a
-                    // fault retry while the results stay logged at the
-                    // execution site.
-                    let reachable = s.site_up[home]
-                        && !(s.partition == Partition::Active && c.crosses_partition(at, home));
-                    let mut next = s.clone();
-                    if reachable {
-                        next.queries[q].stage = QStage::Done;
-                        next.queries[q].completions += 1;
-                    } else if next.queries[q].faults_left > 0 {
-                        next.queries[q].faults_left -= 1;
+                    if c.window_barrier {
+                        // Window-barrier model: finishing inside a
+                        // window only parks the result frame in the
+                        // LP's outbox; delivery (and its reachability
+                        // question) waits for the barrier flush below.
+                        if qs.parked.is_none() {
+                            let mut next = s.clone();
+                            next.queries[q].parked = Some(at as u8);
+                            out.push((Action::Complete { query: q }, next));
+                        }
                     } else {
-                        next.queries[q].stage = QStage::Lost;
+                        // The results travel home; an unreachable home
+                        // (crashed, or across an active partition)
+                        // costs a fault retry while the results stay
+                        // logged at the execution site.
+                        let reachable = s.site_up[home]
+                            && !(s.partition == Partition::Active && c.crosses_partition(at, home));
+                        let mut next = s.clone();
+                        if reachable {
+                            next.queries[q].stage = QStage::Done;
+                            next.queries[q].completions += 1;
+                        } else if next.queries[q].faults_left > 0 {
+                            next.queries[q].faults_left -= 1;
+                        } else {
+                            next.queries[q].stage = QStage::Lost;
+                        }
+                        out.push((Action::Complete { query: q }, next));
                     }
-                    out.push((Action::Complete { query: q }, next));
                 }
                 QStage::Done | QStage::Abandoned | QStage::Lost => {}
+            }
+            // The barrier flush drains a parked result frame onto the
+            // ring. The correct flush empties the outbox slot; the
+            // seeded DoubleBarrierFlush bug leaves it populated, so the
+            // next barrier replays the frame and I1 fires.
+            if let Some(at) = qs.parked {
+                let at = at as usize;
+                let reachable = s.site_up[home]
+                    && !(s.partition == Partition::Active && c.crosses_partition(at, home));
+                let mut next = s.clone();
+                if c.mutation != Some(Mutation::DoubleBarrierFlush) {
+                    next.queries[q].parked = None;
+                }
+                if reachable {
+                    next.queries[q].stage = QStage::Done;
+                    // Saturate at 2 so the mutated model that replays
+                    // the frame every barrier still has finite state —
+                    // one past the bound is all I1 needs to fire.
+                    next.queries[q].completions = (next.queries[q].completions + 1).min(2);
+                } else {
+                    fault_retry(&mut next.queries[q]);
+                }
+                out.push((Action::BarrierCommit { query: q }, next));
             }
             // Deadline expiry races every in-flight or executing attempt.
             if c.realloc_budget.is_some()
@@ -542,6 +584,10 @@ impl Checker {
             _ => None,
         };
         let qs = &mut next.queries[q];
+        // The cancellation bumps the deadline epoch, so the barrier's
+        // epoch guard drops the cancelled attempt's parked result frame
+        // (collapsed here to immediate removal from the outbox).
+        qs.parked = None;
         if self.config.mutation == Some(Mutation::DropReallocBound) {
             // The bound is gone: every expiry reallocates. The usage
             // counter saturates at budget + 1 so the state space stays
@@ -563,8 +609,12 @@ impl Checker {
 }
 
 /// One fault-recovery step: consume a retry or lose the query
-/// (mirrors `fail_execution` → `schedule_retry` → `lose_query`).
+/// (mirrors `fail_execution` → `schedule_retry` → `lose_query`). The
+/// failed attempt's parked result frame, if any, dies with it — a
+/// crashed site loses its outbox, and the epoch guard drops a
+/// superseded attempt's frame at the barrier.
 fn fault_retry(q: &mut crate::state::QueryState) {
+    q.parked = None;
     if q.faults_left > 0 {
         q.faults_left -= 1;
         q.stage = QStage::Backoff;
@@ -639,12 +689,44 @@ mod tests {
             realloc_budget: None,
             admission_retries: None,
             fault_retries: 1,
+            window_barrier: false,
             mutation: None,
         };
         let report = Checker::new(config).run();
         assert!(report.violation.is_none(), "{:?}", report.violation);
         assert!(report.states > 10);
         assert!(report.terminal_states > 0);
+    }
+
+    #[test]
+    fn window_barrier_model_is_clean_and_extends_the_space() {
+        let tiny = CheckConfig {
+            sites: 2,
+            queries: 1,
+            max_crashes: 1,
+            partition: false,
+            suspicion: false,
+            realloc_budget: None,
+            admission_retries: None,
+            fault_retries: 1,
+            window_barrier: false,
+            mutation: None,
+        };
+        let base = Checker::new(tiny).run();
+        let windowed = Checker::new(CheckConfig {
+            window_barrier: true,
+            ..tiny
+        })
+        .run();
+        assert!(windowed.violation.is_none(), "{:?}", windowed.violation);
+        // Splitting Complete into park + commit adds the parked stage,
+        // so the window model strictly extends the reachable space.
+        assert!(
+            windowed.states > base.states,
+            "windowed {} vs serial {}",
+            windowed.states,
+            base.states
+        );
     }
 
     #[test]
@@ -678,7 +760,9 @@ mod tests {
             let expected = match mutation {
                 Mutation::DropReallocBound => Invariant::ReallocationBound,
                 Mutation::SkipQuarantineFallback => Invariant::NoQuarantineWedge,
-                Mutation::IgnoreStaleEpoch => Invariant::NoDoubleExecution,
+                Mutation::IgnoreStaleEpoch | Mutation::DoubleBarrierFlush => {
+                    Invariant::NoDoubleExecution
+                }
             };
             assert_eq!(v.invariant, expected, "{mutation:?}");
             assert!(!v.trace.is_empty());

@@ -19,14 +19,22 @@ pub enum Mutation {
     /// frame from a cancelled attempt starts a second execution, so the
     /// no-double-execution invariant (I1) is violated.
     IgnoreStaleEpoch,
+    /// The window-barrier flush forgets to clear the logical process's
+    /// outbox after committing it, so a parked result frame is flushed
+    /// again at the next barrier and the results reach the terminal
+    /// twice — the no-double-execution invariant (I1). Only meaningful
+    /// with [`CheckConfig::window_barrier`] on (seeding it enables the
+    /// window model, see [`CheckConfig::with_mutation`]).
+    DoubleBarrierFlush,
 }
 
 impl Mutation {
     /// All mutations, for the self-test sweep.
-    pub const ALL: [Mutation; 3] = [
+    pub const ALL: [Mutation; 4] = [
         Mutation::DropReallocBound,
         Mutation::SkipQuarantineFallback,
         Mutation::IgnoreStaleEpoch,
+        Mutation::DoubleBarrierFlush,
     ];
 
     /// Stable command-line name.
@@ -36,7 +44,15 @@ impl Mutation {
             Mutation::DropReallocBound => "drop-realloc-bound",
             Mutation::SkipQuarantineFallback => "skip-quarantine-fallback",
             Mutation::IgnoreStaleEpoch => "ignore-stale-epoch",
+            Mutation::DoubleBarrierFlush => "double-barrier-flush",
         }
+    }
+
+    /// Whether this mutation lives in the window-barrier commit and so
+    /// needs [`CheckConfig::window_barrier`] to be reachable at all.
+    #[must_use]
+    pub fn needs_window_barrier(self) -> bool {
+        matches!(self, Mutation::DoubleBarrierFlush)
     }
 
     /// Parses a command-line name.
@@ -74,6 +90,14 @@ pub struct CheckConfig {
     pub admission_retries: Option<u32>,
     /// Fault retry budget per query (`FaultSpec::max_retries`).
     pub fault_retries: u32,
+    /// Whether to model the conservative parallel executor's
+    /// window-barrier commit (`dqa_core::model::shard`): an execution
+    /// finishing inside a window parks its result frame in the logical
+    /// process's outbox, and a separate barrier flush commits it onto
+    /// the ring exactly once. Off by default so the tier-1 pinned state
+    /// space is unchanged; on, it extends every query with the parked
+    /// stage and checks that the flush preserves I1.
+    pub window_barrier: bool,
     /// Seeded protocol bug, if any (mutation self-test).
     pub mutation: Option<Mutation>,
 }
@@ -91,6 +115,7 @@ impl Default for CheckConfig {
             realloc_budget: Some(1),
             admission_retries: Some(1),
             fault_retries: 1,
+            window_barrier: false,
             mutation: None,
         }
     }
@@ -127,14 +152,22 @@ impl CheckConfig {
                 .filter(|a| a.is_active())
                 .map(|a| a.max_retries),
             fault_retries: faults.max_retries,
+            // The window barrier is a property of the executor, not of
+            // the system parameters; enable it explicitly to model a
+            // sharded run.
+            window_barrier: false,
             mutation: None,
         }
     }
 
-    /// Returns the config with the given mutation seeded.
+    /// Returns the config with the given mutation seeded. A mutation
+    /// that lives in the window-barrier commit also enables
+    /// [`CheckConfig::window_barrier`], since the buggy transition is
+    /// unreachable without the window model.
     #[must_use]
     pub fn with_mutation(mut self, mutation: Mutation) -> Self {
         self.mutation = Some(mutation);
+        self.window_barrier |= mutation.needs_window_barrier();
         self
     }
 
@@ -255,5 +288,14 @@ mod tests {
             assert_eq!(Mutation::parse(m.name()), Some(m));
         }
         assert_eq!(Mutation::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn barrier_mutation_enables_the_window_model() {
+        let c = CheckConfig::default().with_mutation(Mutation::DoubleBarrierFlush);
+        assert!(c.window_barrier, "the buggy flush needs the window model");
+        // The other mutations leave the default (window off) alone.
+        let c = CheckConfig::default().with_mutation(Mutation::IgnoreStaleEpoch);
+        assert!(!c.window_barrier);
     }
 }

@@ -57,11 +57,12 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             }
             "--no-partition" => config.partition = false,
             "--no-suspicion" => config.suspicion = false,
+            "--window-barrier" => config.window_barrier = true,
             "--mutation" => {
                 let name = value("--mutation")?;
-                config.mutation = Some(
-                    Mutation::parse(&name).ok_or_else(|| format!("unknown mutation `{name}`"))?,
-                );
+                let mutation =
+                    Mutation::parse(&name).ok_or_else(|| format!("unknown mutation `{name}`"))?;
+                config = config.with_mutation(mutation);
             }
             "--mutations" => sweep = true,
             "--stats" => stats = true,
@@ -175,12 +176,17 @@ fn replay(path: &str) -> Result<ExitCode, String> {
 
 fn print_report(config: &CheckConfig, report: &CheckReport) {
     println!(
-        "checked {} sites x {} queries, {} crash(es), partition {}, suspicion {}{}",
+        "checked {} sites x {} queries, {} crash(es), partition {}, suspicion {}{}{}",
         config.sites,
         config.queries,
         config.max_crashes,
         if config.partition { "on" } else { "off" },
         if config.suspicion { "on" } else { "off" },
+        if config.window_barrier {
+            ", window barrier on"
+        } else {
+            ""
+        },
         match config.mutation {
             Some(m) => format!(", mutation {}", m.name()),
             None => String::new(),
@@ -210,12 +216,13 @@ fn print_violation(v: &Violation) {
 
 fn stats_json(config: &CheckConfig, report: &CheckReport, wall_secs: f64) -> String {
     format!(
-        "{{\n  \"experiment\": \"dqa_check\",\n  \"sites\": {},\n  \"queries\": {},\n  \"max_crashes\": {},\n  \"partition\": {},\n  \"suspicion\": {},\n  \"states\": {},\n  \"transitions\": {},\n  \"dedup_hits\": {},\n  \"dedup_rate\": {:.4},\n  \"max_depth\": {},\n  \"terminal_states\": {},\n  \"violation\": {},\n  \"wall_secs\": {:.3}\n}}",
+        "{{\n  \"experiment\": \"dqa_check\",\n  \"sites\": {},\n  \"queries\": {},\n  \"max_crashes\": {},\n  \"partition\": {},\n  \"suspicion\": {},\n  \"window_barrier\": {},\n  \"states\": {},\n  \"transitions\": {},\n  \"dedup_hits\": {},\n  \"dedup_rate\": {:.4},\n  \"max_depth\": {},\n  \"terminal_states\": {},\n  \"violation\": {},\n  \"wall_secs\": {:.3}\n}}",
         config.sites,
         config.queries,
         config.max_crashes,
         config.partition,
         config.suspicion,
+        config.window_barrier,
         report.states,
         report.transitions,
         report.dedup_hits,
@@ -257,10 +264,14 @@ config (defaults = the tier-1 exhaustive configuration):
   --admission-retries N|none   admission reject-retry budget (default 1)
   --no-partition         disable the ring-partition window
   --no-suspicion         disable the suspicion/quarantine detector
+  --window-barrier       model the parallel executor's window-barrier
+                         commit (park results in the LP outbox, flush
+                         at the barrier exactly once)
 
 modes:
   --mutation NAME        seed one protocol bug (drop-realloc-bound,
-                         skip-quarantine-fallback, ignore-stale-epoch)
+                         skip-quarantine-fallback, ignore-stale-epoch,
+                         double-barrier-flush)
   --mutations            sweep all mutations; each must be caught
   --stats                print stats JSON and write results/BENCH_check.json
   --out FILE             override the --stats output path

@@ -95,6 +95,13 @@ pub struct QueryState {
     /// A stale dispatch frame from a cancelled attempt still on the
     /// ring toward this site (the epoch guard must ignore it).
     pub stale: Option<u8>,
+    /// Window-barrier model only (`CheckConfig::window_barrier`): the
+    /// results were computed inside a window and the result frame is
+    /// parked in site `s`'s logical-process outbox, awaiting the next
+    /// barrier flush. Always `None` when the window model is off, so
+    /// the default state space is byte-identical with or without this
+    /// field populated.
+    pub parked: Option<u8>,
     /// How many times this query's results reached its terminal.
     /// Safety invariant I1: never more than once.
     pub completions: u8,
@@ -138,6 +145,7 @@ impl State {
                     reallocs_used: 0,
                     adm_left: config.admission_retries.unwrap_or(0),
                     stale: None,
+                    parked: None,
                     completions: 0,
                     wedged: false,
                 };
@@ -192,9 +200,18 @@ pub enum Action {
         /// The expiring query.
         query: usize,
     },
-    /// Query `query`'s execution finishes and its results travel home.
+    /// Query `query`'s execution finishes and its results travel home
+    /// (window-barrier model: the results are parked in the logical
+    /// process's outbox instead, awaiting [`Action::BarrierCommit`]).
     Complete {
         /// The finishing query.
+        query: usize,
+    },
+    /// Window-barrier model only: the barrier flushes query `query`'s
+    /// parked result frame out of its logical process's outbox and onto
+    /// the ring — the commit that must happen exactly once.
+    BarrierCommit {
+        /// The query whose parked results are flushed.
         query: usize,
     },
     /// The environment crashes a site.
@@ -237,6 +254,9 @@ impl std::fmt::Display for Action {
             Action::DeliverStale { query } => write!(f, "deliver stale frame of q{query}"),
             Action::Expire { query } => write!(f, "deadline of q{query} expires"),
             Action::Complete { query } => write!(f, "q{query} finishes executing"),
+            Action::BarrierCommit { query } => {
+                write!(f, "window barrier commits q{query}'s results")
+            }
             Action::Crash { site } => write!(f, "site {site} crashes"),
             Action::Repair { site } => write!(f, "site {site} repairs"),
             Action::Suspect { site } => write!(f, "site {site} quarantined"),

@@ -17,6 +17,16 @@ const DEFAULT_TRANSITIONS: u64 = 4_195_839;
 const DEFAULT_TERMINAL: usize = 77_009;
 const DEFAULT_DEPTH: usize = 24;
 
+/// The audited size of the default configuration with the
+/// window-barrier commit modeled (`--window-barrier`): splitting
+/// `Complete` into park + barrier flush adds the parked stage to every
+/// executing query. Re-derive with
+/// `cargo run --release -p dqa-check -- --window-barrier --stats`.
+const WINDOW_STATES: usize = 1_110_049;
+const WINDOW_TRANSITIONS: u64 = 7_168_787;
+const WINDOW_TERMINAL: usize = 76_897;
+const WINDOW_DEPTH: usize = 26;
+
 #[test]
 fn tier1_default_config_is_exhaustively_clean() {
     let report = Checker::new(CheckConfig::default()).run();
@@ -38,6 +48,35 @@ fn tier1_default_config_is_exhaustively_clean() {
 }
 
 #[test]
+fn window_barrier_config_is_exhaustively_clean() {
+    // The window-barrier model (default off) must leave the default
+    // space untouched — the pin above guards that — and must itself be
+    // exhaustively clean: the barrier flush commits every parked result
+    // frame exactly once across all interleavings of crashes,
+    // partitions, expiries and suspicion flips.
+    let config = CheckConfig {
+        window_barrier: true,
+        ..CheckConfig::default()
+    };
+    let report = Checker::new(config).run();
+    assert!(
+        report.violation.is_none(),
+        "invariant violation under the window-barrier model: {:?}",
+        report.violation
+    );
+    assert_eq!(report.states, WINDOW_STATES, "reachable state count moved");
+    assert_eq!(
+        report.transitions, WINDOW_TRANSITIONS,
+        "transition count moved"
+    );
+    assert_eq!(
+        report.terminal_states, WINDOW_TERMINAL,
+        "terminal state count moved"
+    );
+    assert_eq!(report.max_depth, WINDOW_DEPTH, "BFS depth moved");
+}
+
+#[test]
 fn mutations_are_detected_and_replay_deterministically() {
     let expected = [
         (Mutation::DropReallocBound, Invariant::ReallocationBound),
@@ -46,6 +85,7 @@ fn mutations_are_detected_and_replay_deterministically() {
             Invariant::NoQuarantineWedge,
         ),
         (Mutation::IgnoreStaleEpoch, Invariant::NoDoubleExecution),
+        (Mutation::DoubleBarrierFlush, Invariant::NoDoubleExecution),
     ];
     for (mutation, invariant) in expected {
         let config = CheckConfig::default().with_mutation(mutation);

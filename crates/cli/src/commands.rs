@@ -1,8 +1,8 @@
 //! The `dqa` subcommands.
 
 use dqa_core::experiment::{
-    improvement_pct, max_mpl_for_response, run as run_experiment, run_replicated, RunConfig,
-    RunReport,
+    improvement_pct, max_mpl_for_response, run as run_experiment, run_replicated, run_sharded,
+    RunConfig, RunReport,
 };
 use dqa_core::policy::PolicyKind;
 use dqa_core::table::{fmt_f, TextTable};
@@ -35,19 +35,29 @@ fn take_policies(args: &mut Args, default: &str) -> Result<Vec<PolicyKind>, ArgE
 }
 
 /// `dqa run` — one policy, one configuration, full report.
+///
+/// `--shard-sites N` runs the simulation under the conservative
+/// parallel-in-time executor with `N` window workers instead of the
+/// serial engine; the report is byte-identical whenever the
+/// configuration passes the shardability gate.
 pub fn run_cmd(mut args: Args) -> Result<(), ArgError> {
     let policy = parse_policy(&args.take("policy").unwrap_or_else(|| "lert".into()))?;
     let params = take_params(&mut args)?;
     let (seed, warmup, measure) = take_windows(&mut args)?;
+    let shard_jobs = match args.take_opt::<usize>("shard-sites")? {
+        Some(0) => return Err(ArgError("--shard-sites must be at least 1".into())),
+        other => other,
+    };
     apply_jobs(&mut args)?;
     args.finish()?;
 
-    let report = run_experiment(
-        &RunConfig::new(params, policy)
-            .seed(seed)
-            .windows(warmup, measure),
-    )
-    .map_err(|e| ArgError(e.to_string()))?;
+    let config = RunConfig::new(params, policy)
+        .seed(seed)
+        .windows(warmup, measure);
+    let report = match shard_jobs {
+        Some(jobs) => run_sharded(&config, jobs).map_err(|e| ArgError(e.to_string()))?,
+        None => run_experiment(&config).map_err(|e| ArgError(e.to_string()))?,
+    };
     print_report(&report);
     Ok(())
 }
@@ -379,7 +389,12 @@ pub fn check(mut args: Args) -> Result<(), ArgError> {
             Some(b) => Some(b),
             None => defaults.admission_retries,
         },
-        mutation,
+        window_barrier: args.take_or("window-barrier", 0u8)? != 0,
+        mutation: None,
+    };
+    let config = match mutation {
+        Some(m) => config.with_mutation(m),
+        None => config,
     };
     let emit_trace = args.take("emit-trace");
     args.finish()?;

@@ -7,7 +7,7 @@
 //! dqa sweep   --flag think --values 150,250,350 --policy lert [system flags]
 //! dqa capacity --target 50 --policies local,lert [system flags]
 //! dqa mva     --cpu1 0.05 --cpu2 1.0 --load 1100/0011 --class 1
-//! dqa check   --sites 3 --queries 2 [--mutation M] [--emit-trace F] | --replay-trace F
+//! dqa check   --sites 3 --queries 2 [--mutation M] [--window-barrier 1] [--emit-trace F] | --replay-trace F
 //! dqa help
 //! ```
 //!
@@ -73,7 +73,7 @@ USAGE:
   dqa capacity [--target R] [--policies local,lert] [--max-mpl N] [system flags]
   dqa mva      [--cpu1 X] [--cpu2 Y] [--load 1100/0011] [--class 1|2]
   dqa check    [--sites N] [--queries N] [--crashes N] [--mutation M]
-               [--emit-trace FILE] | --replay-trace FILE
+               [--window-barrier 1] [--emit-trace FILE] | --replay-trace FILE
   dqa help
 
 POLICIES: local, bnq, bnqrd, lert, random, lert-nonet, wlc, threshold:K
@@ -105,6 +105,12 @@ EXECUTION:
   --jobs N         worker threads for replicated runs (default: DQA_JOBS
                    env var, else the detected CPU count; results are
                    byte-identical for every N, and N=1 runs serially)
+  --shard-sites N  (`dqa run` only) execute the single simulation under
+                   the conservative parallel-in-time executor: one
+                   logical process per site, windows synchronized by the
+                   ring's minimum frame-transfer lookahead, N window
+                   workers. Byte-identical to the serial run; requires
+                   --status-period > 0 and no deadline/admission layer
 
 FAULT FLAGS (any one enables deterministic fault injection):
   --fault-mtbf T       mean time between site crashes    (0 = no crashes)

@@ -4,6 +4,7 @@
 use dqa_sim::stats::{student_t_975, Tally};
 use dqa_sim::{Engine, SimTime};
 
+use crate::model::shard::{ShardEngine, ShardError};
 use crate::model::DbSystem;
 use crate::parallel;
 use crate::params::{ParamsError, SystemParams};
@@ -223,6 +224,51 @@ pub fn run(config: &RunConfig) -> Result<RunReport, ParamsError> {
     ))
 }
 
+/// Runs one simulation under the conservative parallel executor
+/// ([`crate::model::shard`]): same build/warmup/measure/summarize
+/// schedule as [`run`], but LP windows drain across `jobs` worker
+/// threads. The report is byte-identical to [`run`]'s on the same
+/// configuration and seed.
+///
+/// # Errors
+///
+/// Returns [`ShardError::Params`] if the parameters are invalid, or
+/// [`ShardError::Unsupported`] if the configuration trips the
+/// shardability gate ([`crate::model::shard::shardable`]).
+///
+/// # Example
+///
+/// ```
+/// use dqa_core::experiment::{run, run_sharded, RunConfig};
+/// use dqa_core::params::SystemParams;
+/// use dqa_core::policy::PolicyKind;
+///
+/// let params = SystemParams::builder().num_sites(3).status_period(50.0).build()?;
+/// let config = RunConfig::new(params, PolicyKind::Bnq).windows(500.0, 5_000.0);
+/// let serial = run(&config)?;
+/// let sharded = run_sharded(&config, 2)?;
+/// assert_eq!(serial, sharded);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn run_sharded(config: &RunConfig, jobs: usize) -> Result<RunReport, ShardError> {
+    let system = DbSystem::new(config.params.clone(), config.policy, config.seed)?;
+    let mut engine = ShardEngine::new(system, jobs)?;
+
+    engine.run_until(SimTime::new(config.warmup));
+    let now = engine.now();
+    engine.model_mut().reset_stats(now);
+
+    let end = SimTime::new(config.warmup + config.measure);
+    engine.run_until(end);
+
+    Ok(summarize(
+        engine.model(),
+        end,
+        config.measure,
+        engine.steps(),
+    ))
+}
+
 /// Extracts a [`RunReport`] from a measured model at time `end`.
 fn summarize(model: &DbSystem, end: SimTime, measured_time: f64, events: u64) -> RunReport {
     debug_assert!({
@@ -248,7 +294,6 @@ fn summarize(model: &DbSystem, end: SimTime, measured_time: f64, events: u64) ->
         .collect();
     let per_site = model
         .sites()
-        .iter()
         .map(|s| SiteSummary {
             cpu_utilization: s.cpu.utilization(end),
             disk_utilization: s.disk_utilization(end),

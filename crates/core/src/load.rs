@@ -137,6 +137,20 @@ impl LoadTable {
         self.trusted[observer * self.live.len() + target]
     }
 
+    /// The full trust row of `observer` — `row[s]` is whether the
+    /// observer trusts site `s`. Contexts built straight from a table
+    /// ([`crate::policy::AllocationContext::from_table`]) borrow this;
+    /// the simulator's logical processes own their live rows instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `observer` is out of range.
+    #[must_use]
+    pub fn trust_row(&self, observer: SiteId) -> &[bool] {
+        let n = self.live.len();
+        &self.trusted[observer * n..(observer + 1) * n]
+    }
+
     /// Records the backpressure bit `site` advertised on its last status
     /// broadcast (admission control).
     ///

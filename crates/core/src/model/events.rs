@@ -70,12 +70,30 @@ pub enum Event {
     MsgLost {
         /// The dropped payload.
         msg: RingMsg,
+        /// The sender — the logical process whose query table still holds
+        /// the in-flight query (queries move tables only at delivery).
+        from: SiteId,
     },
     /// A backed-off query retries after its delay expires (fault
-    /// injection or resilience layer).
+    /// injection or resilience layer). Routed to the logical process of
+    /// `site` — the home site, where every backed-off query parks — so
+    /// the retry re-allocates with the home terminal's own streams.
     Resubmit {
         /// The retrying query.
         query: QueryId,
+        /// The site whose query table holds the backed-off query.
+        site: SiteId,
+    },
+    /// A completed query's lost result set is retransmitted from its
+    /// execution site after a backoff (fault injection only). Unlike
+    /// [`Event::Resubmit`] this is a *global* event: losing the query on
+    /// retry exhaustion frees a terminal at the home site, which crosses
+    /// logical-process boundaries and therefore must run at a barrier.
+    Retransmit {
+        /// The completed query awaiting result delivery.
+        query: QueryId,
+        /// The execution site whose query table holds it.
+        site: SiteId,
     },
     /// A query's deadline expired (deadline lifecycle only). Honored only
     /// if `epoch` still matches the query's `deadline_epoch` — every
@@ -86,6 +104,10 @@ pub enum Event {
         query: QueryId,
         /// The query's deadline epoch when the expiry was armed.
         epoch: u32,
+        /// The site whose query table held the query when armed; a query
+        /// that has since moved tables carries a fresh id there, so the
+        /// stale expiry misses by construction.
+        site: SiteId,
     },
     /// The injected ring partition begins: the sites split into disjoint
     /// contiguous groups and query/result frames crossing a group

@@ -5,8 +5,32 @@
 //! processor-sharing CPU and FCFS disks per site, a token-ring subnet, the
 //! global load table, and a pluggable allocation policy. It implements
 //! [`dqa_sim::Model`], so a [`dqa_sim::Engine`] drives it.
+//!
+//! # Logical-process structure (DESIGN.md §12)
+//!
+//! The model is split along the only communication channel the paper's
+//! system has — the token-ring subnet — into one *logical process* (LP)
+//! per site plus a small set of *global* transitions:
+//!
+//! * [`Lp`] owns everything private to a site: its terminals' RNG
+//!   streams, its stations, its resident queries, its live load row, its
+//!   suspicion detector, and its allocator cursor. LP event handlers
+//!   (`Submit`, `DiskDone`, `CpuDone`, `StatusSend`, `Resubmit`) touch
+//!   only that state, *read* the shared board, and communicate outward
+//!   exclusively through an outbox of ring frames and a log of
+//!   [`Obs`] records applied to the global board/metrics later.
+//! * Global transitions (ring deliveries, crashes, repairs, partitions,
+//!   scripted actions, deadline expiries, result retransmissions) run on
+//!   [`DbSystem`] with full access to every LP.
+//!
+//! The serial executor interleaves both kinds in timestamp order and
+//! flushes each LP's obs/outbox immediately after every event, so its
+//! trajectories are exactly what the windowed parallel executor
+//! ([`shard`]) reproduces barrier by barrier.
 
 mod events;
+mod obs;
+pub mod shard;
 mod site;
 
 pub use events::{Event, MsgKind, RingMsg};
@@ -16,7 +40,7 @@ use dqa_queueing::{PsToken, TokenRing};
 use dqa_sim::random::{Dist, RngStream};
 use dqa_sim::{Engine, Model, Scheduler, SimTime};
 
-use crate::load::LoadTable;
+use crate::load::{LoadTable, SiteLoad};
 use crate::metrics::Metrics;
 use crate::params::{
     FaultSpec, ParamsError, ScriptAction, SheddingMode, SiteId, SuspicionSpec, SystemParams,
@@ -26,6 +50,36 @@ use crate::policy::{AllocationContext, Allocator, PolicyKind};
 use crate::query::{ActiveQuery, QueryId, QueryKind, QueryPhase, QueryProfile, QueryTable};
 use crate::replication::Catalog;
 use crate::substreams;
+use obs::Obs;
+
+/// Where a handler deposits future events. The serial executor passes the
+/// engine's [`Scheduler`] straight through; the parallel executor passes a
+/// collector that routes each event to its owning LP's local queue (or the
+/// global queue) instead.
+pub(crate) trait EventSink {
+    /// Schedules `event` at absolute time `t`.
+    fn schedule(&mut self, t: SimTime, event: Event);
+}
+
+impl EventSink for Scheduler<Event> {
+    fn schedule(&mut self, t: SimTime, event: Event) {
+        self.at(t, event);
+    }
+}
+
+/// The site that owns an event, if it is an LP event; `None` for global
+/// events, which need access to more than one site's state and therefore
+/// run at window barriers in the parallel executor.
+pub(crate) fn event_site(event: &Event) -> Option<SiteId> {
+    match *event {
+        Event::Submit { site }
+        | Event::DiskDone { site, .. }
+        | Event::CpuDone { site, .. }
+        | Event::StatusSend { site }
+        | Event::Resubmit { site, .. } => Some(site),
+        _ => None,
+    }
+}
 
 /// Runtime state of the fault-injection layer.
 ///
@@ -36,6 +90,10 @@ use crate::substreams;
 /// share the same submission sequence until the first fault bites, and a
 /// `FaultSpec` with all rates zero is byte-identical to `faults: None` —
 /// the common-random-numbers property the paper's methodology relies on.
+///
+/// Only the *global* fault streams live here; the retry-backoff jitter
+/// and costed status-frame dropout coins are drawn per site from the same
+/// tags' per-site children (see [`Lp`]).
 #[derive(Debug)]
 struct FaultState {
     spec: FaultSpec,
@@ -43,9 +101,9 @@ struct FaultState {
     rng_crash: RngStream,
     /// Per-delivery message-loss coin flips.
     rng_msg: RngStream,
-    /// Retry backoff jitter.
-    rng_backoff: RngStream,
-    /// Status-exchange dropout coin flips.
+    /// Free status-exchange dropout coin flips (`status_msg_length == 0`;
+    /// the costed variant draws per-site coins instead, so the two uses
+    /// of the tag family never overlap).
     rng_status: RngStream,
     /// Whether the injected ring partition is currently in force.
     partition_active: bool,
@@ -57,23 +115,21 @@ fn partition_group(site: SiteId, groups: u32, num_sites: usize) -> usize {
     site * groups as usize / num_sites
 }
 
-/// Per-(observer, target) state of the missed-broadcast failure detector.
+/// One site's missed-broadcast failure detector (observer side).
 ///
-/// Every site audits its peers against the costed status broadcasts it
+/// The site audits its peers against the costed status broadcasts it
 /// receives: a target whose broadcast has not been heard for
 /// `threshold` status periods becomes *suspected* (the observer's trust
-/// entry in the [`LoadTable`] clears and [`AllocationContext::usable`]
-/// quarantines the site); a suspected target that is heard again for
-/// `probation` consecutive broadcasts is re-trusted. Detection is
-/// per-observer: during a partition, sites suspect only the peers they
-/// can no longer hear.
+/// entry clears and [`AllocationContext::usable`] quarantines the site);
+/// a suspected target that is heard again for `probation` consecutive
+/// broadcasts is re-trusted. Detection is per-observer: during a
+/// partition, sites suspect only the peers they can no longer hear.
 ///
 /// [`AllocationContext::usable`]: crate::policy::AllocationContext::usable
 #[derive(Debug)]
-struct SuspicionState {
+struct LpSuspicion {
     spec: SuspicionSpec,
-    /// When `observer` last heard `target`'s broadcast, flattened
-    /// `observer * n + target`.
+    /// When this observer last heard `target`'s broadcast.
     last_heard: Vec<SimTime>,
     /// Consecutive broadcasts heard from a *suspected* target (probation
     /// progress toward re-trust).
@@ -81,21 +137,18 @@ struct SuspicionState {
     suspected: Vec<bool>,
 }
 
-/// Runtime state of the resilience layer (deadlines, suspicion,
-/// admission control).
-///
-/// Like the fault layer, it draws from its own RNG substreams
-/// ([`substreams::DEADLINE`], [`substreams::REALLOC_BACKOFF`]), so a
-/// configuration with every resilience knob zero or off is
-/// byte-identical to one with the layer absent — the common-random-numbers
-/// property the extension experiments rely on.
+/// A classic-executor-only side effect an LP handler cannot perform
+/// itself: scheduling a *global* event, or invoking the global
+/// deadline-cancellation path. Drained by the serial executor right after
+/// the handler; the parallel executor asserts the queue stays empty
+/// (its shardability gate excludes every feature that produces them).
 #[derive(Debug)]
-struct ResilienceState {
-    /// Per-allocation deadline slack draws.
-    rng_deadline: RngStream,
-    /// Reallocation / admission-retry backoff jitter.
-    rng_backoff: RngStream,
-    suspicion: Option<SuspicionState>,
+enum Deferred {
+    /// Schedule a global event at the given time.
+    Schedule(SimTime, Event),
+    /// Run the deadline cancel-and-reallocate path for a query whose
+    /// expired page read just finished.
+    Cancel(QueryId),
 }
 
 /// Which per-query budget a resilience retry draws down. The two
@@ -119,12 +172,1117 @@ enum Admission {
     Drop,
 }
 
+/// One site's logical process: every piece of model state that only this
+/// site's own events ever mutate. All of its RNG streams are the site's
+/// private children of the registered tags ([`substreams::per_site`]), so
+/// two LPs never share a random sequence and the order in which different
+/// sites' events execute cannot perturb any draw — the property that
+/// makes the windowed parallel schedule byte-identical to the serial one.
+#[derive(Debug)]
+pub(crate) struct Lp {
+    /// This LP's site index.
+    index: SiteId,
+    /// The site's stations (CPU, disks) and crash state.
+    site: Site,
+    /// Queries whose state currently lives at this site: everything this
+    /// site is executing, plus its own backed-off or in-transfer queries.
+    /// A query crossing the ring moves tables at frame *delivery*.
+    queries: QueryTable,
+    /// The site's instantaneous load (its own row, always current). The
+    /// global board mirrors it with a lag of at most one flush.
+    live: SiteLoad,
+    /// trust[s]: this site's suspicion detector currently trusts site `s`.
+    trust: Vec<bool>,
+    /// The site's own allocator (policy + round-robin cursor).
+    allocator: Allocator,
+    rng_think: RngStream,
+    rng_class: RngStream,
+    rng_reads: RngStream,
+    rng_cpu: RngStream,
+    rng_disk: RngStream,
+    rng_choice: RngStream,
+    rng_estimate: RngStream,
+    rng_relation: RngStream,
+    rng_update: RngStream,
+    /// Fault-retry backoff jitter for queries parked at this site.
+    rng_fault_backoff: RngStream,
+    /// Costed status-broadcast dropout coins (this site's sends).
+    rng_status: RngStream,
+    /// Deadline slack draws for queries allocated by this site.
+    rng_deadline: RngStream,
+    /// Reallocation/admission-retry backoff jitter.
+    rng_realloc_backoff: RngStream,
+    suspicion: Option<LpSuspicion>,
+    /// Observations to apply to the global board/metrics (drained at the
+    /// next flush: immediately in the serial executor, at the window
+    /// barrier in the parallel one).
+    obs: Vec<(SimTime, Obs)>,
+    /// Ring frames to enqueue: `(send time, message, transmission cost)`.
+    outbox: Vec<(SimTime, RingMsg, f64)>,
+    /// Classic-only side effects (see [`Deferred`]).
+    deferred: Vec<Deferred>,
+}
+
+/// The shared state an LP handler may *read*: parameters, the replication
+/// catalog, the published board, and — in the serial executor only —
+/// read access to the other LPs for live admission checks.
+pub(crate) struct Shared<'a> {
+    params: &'a SystemParams,
+    catalog: &'a Catalog,
+    board: &'a LoadTable,
+    disk_dist: Dist,
+    cross: Option<Cross<'a>>,
+}
+
+/// Read access to every *other* LP, for the admission layer's live
+/// occupancy checks (`None` in the parallel executor, whose shardability
+/// gate excludes admission control).
+pub(crate) struct Cross<'a> {
+    left: &'a [Lp],
+    right: &'a [Lp],
+    idx: usize,
+}
+
+impl<'a> Cross<'a> {
+    fn lp(&self, site: SiteId) -> Option<&'a Lp> {
+        use std::cmp::Ordering;
+        match site.cmp(&self.idx) {
+            Ordering::Less => self.left.get(site),
+            Ordering::Equal => None,
+            Ordering::Greater => self.right.get(site - self.idx - 1),
+        }
+    }
+}
+
+/// Whether `lp`'s site is at an admission limit *right now* (live
+/// state): its stations hold `mpl_cap` or more resident queries, or
+/// `queue_limit` or more queries are allocated to it.
+fn lp_full(params: &SystemParams, lp: &Lp) -> bool {
+    let Some(a) = params.admission else {
+        return false;
+    };
+    if let Some(cap) = a.mpl_cap {
+        if lp.site.resident_queries() as u32 >= cap {
+            return true;
+        }
+    }
+    if let Some(limit) = a.queue_limit {
+        if lp.live.total() >= limit {
+            return true;
+        }
+    }
+    false
+}
+
+/// Live fullness of `site` as observable from `me`: a site knows itself;
+/// other sites are consulted through the serial executor's cross view.
+fn site_full(sh: &Shared<'_>, me: &Lp, site: SiteId) -> bool {
+    if site == me.index {
+        lp_full(sh.params, me)
+    } else {
+        match sh.cross.as_ref().and_then(|c| c.lp(site)) {
+            Some(lp) => lp_full(sh.params, lp),
+            None => false,
+        }
+    }
+}
+
+impl Lp {
+    /// Builds the LP for `index` with its per-site stream family.
+    fn new(params: &SystemParams, policy: PolicyKind, root: &RngStream, index: SiteId) -> Self {
+        let start = SimTime::ZERO;
+        let n = params.num_sites;
+        Lp {
+            index,
+            site: Site::new(params.num_disks, start),
+            queries: QueryTable::new(),
+            live: SiteLoad::default(),
+            trust: vec![true; n],
+            allocator: Allocator::from_stream(
+                policy,
+                substreams::per_site(root, substreams::POLICY_RANDOM, index),
+            ),
+            rng_think: substreams::per_site(root, substreams::THINK, index),
+            rng_class: substreams::per_site(root, substreams::CLASS, index),
+            rng_reads: substreams::per_site(root, substreams::READS, index),
+            rng_cpu: substreams::per_site(root, substreams::CPU, index),
+            rng_disk: substreams::per_site(root, substreams::DISK, index),
+            rng_choice: substreams::per_site(root, substreams::CHOICE, index),
+            rng_estimate: substreams::per_site(root, substreams::ESTIMATE, index),
+            rng_relation: substreams::per_site(root, substreams::RELATION, index),
+            rng_update: substreams::per_site(root, substreams::UPDATE, index),
+            rng_fault_backoff: substreams::per_site(root, substreams::FAULT_BACKOFF, index),
+            rng_status: substreams::per_site(root, substreams::FAULT_STATUS, index),
+            rng_deadline: substreams::per_site(root, substreams::DEADLINE, index),
+            rng_realloc_backoff: substreams::per_site(root, substreams::REALLOC_BACKOFF, index),
+            suspicion: params.suspicion.map(|spec| LpSuspicion {
+                spec,
+                last_heard: vec![SimTime::ZERO; n],
+                streak: vec![0; n],
+                suspected: vec![false; n],
+            }),
+            obs: Vec::new(),
+            outbox: Vec::new(),
+            deferred: Vec::new(),
+        }
+    }
+
+    /// The in-flight record for `id` in this LP's table.
+    fn query(&self, id: QueryId) -> &ActiveQuery {
+        self.queries.get(id).expect("query in flight")
+    }
+
+    /// The in-flight record for `id` in this LP's table, mutably.
+    fn query_mut(&mut self, id: QueryId) -> &mut ActiveQuery {
+        self.queries.get_mut(id).expect("query in flight")
+    }
+
+    /// Removes and returns the in-flight record for `id`.
+    fn take_query(&mut self, id: QueryId) -> ActiveQuery {
+        self.queries.remove(id).expect("query in flight")
+    }
+
+    /// Routes an LP event to its handler.
+    fn handle(&mut self, now: SimTime, event: Event, sh: &Shared<'_>, sink: &mut dyn EventSink) {
+        match event {
+            Event::Submit { .. } => self.handle_submit(now, sh, sink),
+            Event::DiskDone { disk, epoch, .. } => {
+                self.handle_disk_done(now, disk, epoch, sh, sink)
+            }
+            Event::CpuDone { token, .. } => self.handle_cpu_done(now, token, sh, sink),
+            Event::StatusSend { .. } => self.handle_status_send(now, sh, sink),
+            Event::Resubmit { query, .. } => self.handle_resubmit(now, query, sh, sink),
+            other => unreachable!("global event {other:?} routed to a logical process"),
+        }
+    }
+
+    fn handle_submit(&mut self, now: SimTime, sh: &Shared<'_>, sink: &mut dyn EventSink) {
+        let home = self.index;
+        // Under an open workload the source is self-perpetuating: the
+        // next arrival at this site is independent of completions.
+        if let Workload::Open { arrival_rate } = sh.params.workload {
+            let gap = self.rng_think.exponential(1.0 / arrival_rate);
+            sink.schedule(now + gap, Event::Submit { site: home });
+        }
+        // A terminal at a crashed site cannot submit. Closed model: the
+        // terminal waits out a backoff and tries again (the query is not
+        // yet drawn, so no work is lost). Open model: the arrival bounces.
+        if !self.site.is_up() {
+            match sh.params.workload {
+                Workload::Closed => {
+                    let delay = self.backoff_delay(sh.params, 1);
+                    sink.schedule(now + delay, Event::Submit { site: home });
+                }
+                Workload::Open { .. } => self.obs.push((now, Obs::Lost)),
+            }
+            return;
+        }
+        // Draw the query's class and size.
+        let class = self.draw_class(sh.params);
+        let spec = &sh.params.classes[class];
+        let reads_total = Dist::exponential(spec.num_reads).sample_count(&mut self.rng_reads);
+        let est_reads = if sh.params.estimate_error > 0.0 {
+            let e = sh.params.estimate_error;
+            f64::from(reads_total) * self.rng_estimate.uniform(1.0 - e, 1.0 + e)
+        } else {
+            f64::from(reads_total)
+        };
+
+        let relation = self.rng_relation.below(sh.params.num_relations);
+        let profile = QueryProfile {
+            class,
+            num_reads: est_reads,
+            page_cpu_time: spec.page_cpu_time,
+            home,
+            io_bound: sh.params.is_io_bound(spec.page_cpu_time),
+            relation,
+        };
+
+        // The allocation decision (Figure 3 with the policy's cost
+        // function), based on the published load table — plus this site's
+        // own live row and trust vector — and restricted to the sites
+        // holding the query's relation.
+        let exec = {
+            let ctx = AllocationContext {
+                params: sh.params,
+                board: sh.board,
+                own: self.live,
+                trust: &self.trust,
+                arrival_site: home,
+            };
+            self.allocator
+                .select_site_among(&profile, &ctx, sh.catalog.candidates(relation))
+        };
+        let kind = if sh.params.update_fraction > 0.0
+            && self.rng_update.bernoulli(sh.params.update_fraction)
+        {
+            QueryKind::Update
+        } else {
+            QueryKind::Read
+        };
+
+        // Every holder of the relation is down (fault injection, partial
+        // replication): the SelectSite fallback returned the arrival site,
+        // which holds no copy. The query backs off at its home terminal —
+        // unallocated — and retries when a holder may be back.
+        if !sh.catalog.holds(exec, relation) {
+            debug_assert!(sh.params.faults.is_some());
+            self.obs.push((now, Obs::Submit { remote: false }));
+            let id = self.insert_query(profile, home, reads_total, now, QueryPhase::Backoff, kind);
+            self.schedule_retry_local(now, id, sh, sink);
+            return;
+        }
+
+        // Admission control at the chosen site's door. The site checks
+        // *live* occupancy (a site knows itself; the serial executor
+        // exposes the others through the cross view), not the published
+        // table.
+        let exec = match self.admit_or_shed(now, sh, exec, relation) {
+            Admission::Admit(site) => site,
+            Admission::Drop => {
+                self.obs.push((now, Obs::Submit { remote: false }));
+                self.obs.push((now, Obs::AdmissionDropped));
+                if matches!(sh.params.workload, Workload::Closed) {
+                    let think = self.rng_think.exponential(sh.params.think_time);
+                    sink.schedule(now + think, Event::Submit { site: home });
+                }
+                return;
+            }
+            Admission::Reject => {
+                self.obs.push((now, Obs::Submit { remote: false }));
+                let id =
+                    self.insert_query(profile, home, reads_total, now, QueryPhase::Backoff, kind);
+                let a = sh.params.admission.expect("admission layer active");
+                if self.resilience_retry_local(
+                    now,
+                    id,
+                    a.backoff_base,
+                    a.max_retries,
+                    RetryCounter::Admission,
+                    sh,
+                    sink,
+                ) {
+                    self.obs.push((now, Obs::AdmissionRejected));
+                } else {
+                    self.obs.push((now, Obs::AdmissionDropped));
+                }
+                return;
+            }
+        };
+
+        let remote = exec != home;
+        // Local executions take their load slot immediately; remote
+        // dispatches take it at frame *delivery* (the execution site is
+        // the one whose row grows, and only its own LP may grow it).
+        if !remote {
+            self.alloc_load(now, profile.io_bound);
+        }
+        self.obs.push((now, Obs::Submit { remote }));
+        let phase = if remote {
+            QueryPhase::Transfer
+        } else {
+            QueryPhase::Disk
+        };
+        let id = self.insert_query(profile, exec, reads_total, now, phase, kind);
+        self.arm_deadline(now, id, sh.params);
+
+        if remote {
+            let cost = sh.params.dispatch_cost(class);
+            self.outbox.push((
+                now,
+                RingMsg::Query {
+                    query: id,
+                    kind: MsgKind::Dispatch,
+                    dest: exec,
+                },
+                cost,
+            ));
+        } else {
+            self.start_read(now, id, sh, sink);
+        }
+    }
+
+    /// Inserts a fresh query record into this LP's table.
+    fn insert_query(
+        &mut self,
+        profile: QueryProfile,
+        exec: SiteId,
+        reads_total: u32,
+        now: SimTime,
+        phase: QueryPhase,
+        kind: QueryKind,
+    ) -> QueryId {
+        self.queries.insert_with(|id| ActiveQuery {
+            id,
+            profile,
+            exec,
+            reads_total,
+            reads_done: 0,
+            submitted: now,
+            service: 0.0,
+            phase,
+            kind,
+            retries: 0,
+            deadline_epoch: 0,
+            res_retries: 0,
+            adm_retries: 0,
+            expired: false,
+            deadline_at: SimTime::ZERO,
+        })
+    }
+
+    /// Sends the query to a disk at this site for its next page read.
+    fn start_read(&mut self, now: SimTime, id: QueryId, sh: &Shared<'_>, sink: &mut dyn EventSink) {
+        let service = sh.disk_dist.sample(&mut self.rng_disk);
+        {
+            let q = self.query_mut(id);
+            q.phase = QueryPhase::Disk;
+            q.service += service;
+        }
+        debug_assert!(self.site.is_up(), "read started at a down site");
+        let epoch = self.site.epoch();
+        let random_pick = self.rng_choice.below(self.site.disks.len());
+        let disk = self.site.choose_disk(sh.params.disk_choice, random_pick);
+        if let Some(done) = self.site.disks[disk].arrive(now, id, service) {
+            sink.schedule(
+                done,
+                Event::DiskDone {
+                    site: self.index,
+                    disk,
+                    epoch,
+                },
+            );
+        }
+    }
+
+    fn handle_disk_done(
+        &mut self,
+        now: SimTime,
+        disk: usize,
+        epoch: u64,
+        sh: &Shared<'_>,
+        sink: &mut dyn EventSink,
+    ) {
+        // A crash between schedule and delivery drained the disk queue;
+        // the event refers to a job that no longer exists there.
+        if epoch != self.site.epoch() {
+            return;
+        }
+        let (id, next) = self.site.disks[disk].complete(now);
+        if let Some(t) = next {
+            sink.schedule(
+                t,
+                Event::DiskDone {
+                    site: self.index,
+                    disk,
+                    epoch,
+                },
+            );
+        }
+
+        // The deadline expired while this page read was in service: FCFS
+        // service is immutable once started, so the read finished, but
+        // the query goes no further. Cancellation re-enters allocation —
+        // a global transition, so it is deferred to the executor.
+        let (expired, class) = {
+            let q = self.query(id);
+            debug_assert_eq!(q.exec, self.index);
+            (q.expired, q.profile.class)
+        };
+        if expired {
+            self.deferred.push(Deferred::Cancel(id));
+            return;
+        }
+
+        // The page is in memory; process it on the CPU. A faster CPU
+        // finishes the same page in proportionally less time.
+        let work = self
+            .rng_cpu
+            .exponential(sh.params.classes[class].page_cpu_time)
+            / sh.params.cpu_speed(self.index);
+        {
+            let q = self.query_mut(id);
+            q.phase = QueryPhase::Cpu;
+            q.service += work;
+        }
+        if let Some((t, token)) = self.site.cpu.arrive(now, id, work) {
+            sink.schedule(
+                t,
+                Event::CpuDone {
+                    site: self.index,
+                    token,
+                },
+            );
+        }
+    }
+
+    fn handle_cpu_done(
+        &mut self,
+        now: SimTime,
+        token: PsToken,
+        sh: &Shared<'_>,
+        sink: &mut dyn EventSink,
+    ) {
+        // Processor sharing reshuffles completion times on every arrival;
+        // stale announcements are ignored.
+        let Some((id, next)) = self.site.cpu.complete(now, token) else {
+            return;
+        };
+        if let Some((t, tok)) = next {
+            sink.schedule(
+                t,
+                Event::CpuDone {
+                    site: self.index,
+                    token: tok,
+                },
+            );
+        }
+
+        let (reads_done, finished, kind) = {
+            let q = self.query_mut(id);
+            q.reads_done += 1;
+            (q.reads_done, q.execution_finished(), q.kind)
+        };
+        if !finished {
+            if let Some(spec) = sh.params.migration {
+                // Apply jobs are pinned to their replica.
+                if kind != QueryKind::Propagation
+                    && reads_done.is_multiple_of(spec.check_every_reads)
+                    && self.try_migrate(now, id, &spec, sh)
+                {
+                    return;
+                }
+            }
+            self.start_read(now, id, sh, sink);
+            return;
+        }
+
+        // Execution complete: the query leaves the site's load.
+        let (io_bound, home, remote, class, reads_total) = {
+            let q = self.query(id);
+            (
+                q.profile.io_bound,
+                q.profile.home,
+                q.is_remote(),
+                q.profile.class,
+                q.reads_total,
+            )
+        };
+        self.release_load(now, io_bound);
+
+        match kind {
+            QueryKind::Propagation => {
+                // The replica is now up to date; nothing returns anywhere.
+                self.queries.remove(id);
+                self.obs.push((now, Obs::Propagation));
+                return;
+            }
+            QueryKind::Update => self.spawn_propagations(now, id, sh),
+            QueryKind::Read => {}
+        }
+
+        if remote {
+            self.query_mut(id).phase = QueryPhase::Return;
+            let cost = sh.params.result_cost(class, f64::from(reads_total));
+            self.outbox.push((
+                now,
+                RingMsg::Query {
+                    query: id,
+                    kind: MsgKind::Result,
+                    dest: home,
+                },
+                cost,
+            ));
+        } else {
+            self.complete_local(now, id, sh, sink);
+        }
+    }
+
+    /// Ships read-one-write-all apply jobs to every other holder of the
+    /// finished update's relation. Each job travels the ring like a
+    /// dispatch, then cycles the replica's disks and CPU for
+    /// `propagation_factor × reads` page writes. The job's record stays in
+    /// this LP's table until its frame is delivered (tables move at
+    /// delivery), and the replica's load slot is taken at delivery too.
+    fn spawn_propagations(&mut self, now: SimTime, update: QueryId, sh: &Shared<'_>) {
+        if sh.params.propagation_factor <= 0.0 {
+            return;
+        }
+        let (relation, class, reads_total, io_bound, page_cpu_time) = {
+            let q = self.query(update);
+            (
+                q.profile.relation,
+                q.profile.class,
+                q.reads_total,
+                q.profile.io_bound,
+                q.profile.page_cpu_time,
+            )
+        };
+        let apply_reads =
+            ((f64::from(reads_total) * sh.params.propagation_factor).round() as u32).max(1);
+        // Walk the copy set by index: collecting the holders first would
+        // allocate a Vec on every completed update.
+        for j in 0..sh.catalog.candidates(relation).len() {
+            let holder = sh.catalog.candidates(relation)[j];
+            if holder == self.index {
+                continue;
+            }
+            let profile = QueryProfile {
+                class,
+                num_reads: f64::from(apply_reads),
+                page_cpu_time,
+                home: holder,
+                io_bound,
+                relation,
+            };
+            let id = self.insert_query(
+                profile,
+                holder,
+                apply_reads,
+                now,
+                QueryPhase::Transfer,
+                QueryKind::Propagation,
+            );
+            self.outbox.push((
+                now,
+                RingMsg::Query {
+                    query: id,
+                    kind: MsgKind::Dispatch,
+                    dest: holder,
+                },
+                sh.params.msg_length,
+            ));
+        }
+    }
+
+    /// Re-evaluates a partially executed query's placement (§6.2
+    /// extension). Returns `true` if the query was put on the wire toward
+    /// a better site.
+    fn try_migrate(
+        &mut self,
+        now: SimTime,
+        id: QueryId,
+        spec: &crate::params::MigrationSpec,
+        sh: &Shared<'_>,
+    ) -> bool {
+        let (remaining, relation, io_bound, reads_done) = {
+            let q = self.query(id);
+            let remaining_reads = (q.profile.num_reads - f64::from(q.reads_done)).max(1.0);
+            let mut remaining = q.profile;
+            remaining.num_reads = remaining_reads;
+            (
+                remaining,
+                q.profile.relation,
+                q.profile.io_bound,
+                q.reads_done,
+            )
+        };
+        let state_penalty = sh.params.msg_length * spec.state_growth * f64::from(reads_done);
+        // The Figure-6 cost functions are self-exclusive (an arriving
+        // query is not yet in any count); a re-evaluated query must
+        // likewise not see itself as a competitor at its current site —
+        // subtract it from the *copy* of the own row the context carries.
+        let mut own = self.live;
+        if io_bound {
+            own.io -= 1;
+        } else {
+            own.cpu -= 1;
+        }
+        let target = {
+            let ctx = AllocationContext {
+                params: sh.params,
+                board: sh.board,
+                own,
+                trust: &self.trust,
+                arrival_site: self.index,
+            };
+            self.allocator.migration_target(
+                &remaining,
+                self.index,
+                &ctx,
+                sh.catalog.candidates(relation),
+                spec.min_gain,
+                state_penalty,
+            )
+        };
+        let Some(target) = target else {
+            return false;
+        };
+
+        // The query leaves its current site and travels — with its
+        // accumulated partial results — to the new one, which takes the
+        // load slot over at frame delivery.
+        self.release_load(now, io_bound);
+        self.obs.push((now, Obs::Migration));
+        {
+            let q = self.query_mut(id);
+            q.exec = target;
+            q.phase = QueryPhase::Transfer;
+        }
+        let len = sh.params.msg_length * (1.0 + spec.state_growth * f64::from(reads_done));
+        self.outbox.push((
+            now,
+            RingMsg::Query {
+                query: id,
+                kind: MsgKind::Dispatch,
+                dest: target,
+            },
+            len,
+        ));
+        true
+    }
+
+    /// This site's periodic costed status broadcast.
+    fn handle_status_send(&mut self, now: SimTime, sh: &Shared<'_>, sink: &mut dyn EventSink) {
+        // The dropout coin is drawn unconditionally (when the loss rate is
+        // positive) so a site's outage does not shift its own coin
+        // sequence — the CRN discipline for fault comparisons.
+        let dropped = match sh.params.faults {
+            Some(spec) if spec.status_loss > 0.0 => self.rng_status.bernoulli(spec.status_loss),
+            _ => false,
+        };
+        // A down site broadcasts nothing, but its schedule survives the
+        // outage.
+        if self.site.is_up() && !dropped {
+            // The broadcaster also audits its peers: anyone whose
+            // broadcast it has missed too long becomes suspected.
+            self.sweep_suspicion(now, sh.params);
+            let full = lp_full(sh.params, self);
+            self.outbox.push((
+                now,
+                RingMsg::Status {
+                    site: self.index,
+                    load: self.live,
+                    full,
+                },
+                sh.params.status_msg_length,
+            ));
+        }
+        sink.schedule(
+            now + sh.params.status_period,
+            Event::StatusSend { site: self.index },
+        );
+    }
+
+    /// A backed-off query's retry delay expired: re-allocate
+    /// failure-aware from this (home) site. Lost-result retransmissions
+    /// are *not* routed here — they are [`Event::Retransmit`], a global
+    /// event, because exhausting the retry budget there frees a terminal
+    /// at a different site.
+    fn handle_resubmit(
+        &mut self,
+        now: SimTime,
+        id: QueryId,
+        sh: &Shared<'_>,
+        sink: &mut dyn EventSink,
+    ) {
+        let (kind, home) = {
+            let q = self.query(id);
+            debug_assert_eq!(q.profile.home, self.index);
+            debug_assert!(matches!(q.phase, QueryPhase::Backoff));
+            (q.kind, q.profile.home)
+        };
+        if !self.site.is_up() {
+            // The query's own site is (still) down; keep waiting.
+            self.schedule_retry_local(now, id, sh, sink);
+            return;
+        }
+        let (profile, relation) = {
+            let q = self.query(id);
+            (q.profile, q.profile.relation)
+        };
+        // Apply jobs are pinned to their replica; everything else re-runs
+        // the failure-aware allocation from home.
+        let exec = if kind == QueryKind::Propagation {
+            home
+        } else {
+            let ctx = AllocationContext {
+                params: sh.params,
+                board: sh.board,
+                own: self.live,
+                trust: &self.trust,
+                arrival_site: home,
+            };
+            self.allocator
+                .select_site_among(&profile, &ctx, sh.catalog.candidates(relation))
+        };
+        if !sh.catalog.holds(exec, relation) {
+            // Still no holder reachable: keep backing off.
+            self.schedule_retry_local(now, id, sh, sink);
+            return;
+        }
+        // Admission applies to re-allocations too; apply jobs are pinned
+        // to their replica and exempt.
+        let exec = if kind == QueryKind::Propagation {
+            exec
+        } else {
+            match self.admit_or_shed(now, sh, exec, relation) {
+                Admission::Admit(site) => site,
+                Admission::Drop => {
+                    self.obs.push((now, Obs::AdmissionDropped));
+                    self.shed_local(now, id, sh, sink);
+                    return;
+                }
+                Admission::Reject => {
+                    let a = sh.params.admission.expect("admission layer active");
+                    if self.resilience_retry_local(
+                        now,
+                        id,
+                        a.backoff_base,
+                        a.max_retries,
+                        RetryCounter::Admission,
+                        sh,
+                        sink,
+                    ) {
+                        self.obs.push((now, Obs::AdmissionRejected));
+                    } else {
+                        self.obs.push((now, Obs::AdmissionDropped));
+                    }
+                    return;
+                }
+            }
+        };
+        let remote = exec != home;
+        if !remote {
+            self.alloc_load(now, profile.io_bound);
+        }
+        {
+            let q = self.query_mut(id);
+            q.exec = exec;
+            q.phase = if remote {
+                QueryPhase::Transfer
+            } else {
+                QueryPhase::Disk
+            };
+        }
+        self.arm_deadline(now, id, sh.params);
+        if remote {
+            let cost = sh.params.dispatch_cost(profile.class);
+            self.outbox.push((
+                now,
+                RingMsg::Query {
+                    query: id,
+                    kind: MsgKind::Dispatch,
+                    dest: exec,
+                },
+                cost,
+            ));
+        } else {
+            self.start_read(now, id, sh, sink);
+        }
+    }
+
+    /// Jittered exponential backoff for retry `attempt` (1-based):
+    /// `backoff_base · 2^(attempt−1) · U(0.5, 1.5)`, from this site's own
+    /// jitter stream.
+    fn backoff_delay(&mut self, params: &SystemParams, attempt: u32) -> f64 {
+        let spec = params.faults.expect("fault layer active");
+        let exp = attempt.saturating_sub(1).min(16);
+        spec.backoff_base * f64::from(1u32 << exp) * self.rng_fault_backoff.uniform(0.5, 1.5)
+    }
+
+    /// Consumes one retry attempt for a query parked at this site: either
+    /// schedules a `Resubmit` after a backoff delay or — once the budget
+    /// is exhausted — abandons the query. The query must hold no
+    /// load-table slot.
+    fn schedule_retry_local(
+        &mut self,
+        now: SimTime,
+        id: QueryId,
+        sh: &Shared<'_>,
+        sink: &mut dyn EventSink,
+    ) {
+        let max_retries = sh.params.faults.expect("fault layer active").max_retries;
+        let attempts = {
+            let q = self.query_mut(id);
+            q.retries += 1;
+            q.retries
+        };
+        if attempts > max_retries {
+            self.lose_local(now, id, sh, sink);
+        } else {
+            self.obs.push((now, Obs::Retry));
+            let delay = self.backoff_delay(sh.params, attempts);
+            sink.schedule(
+                now + delay,
+                Event::Resubmit {
+                    query: id,
+                    site: self.index,
+                },
+            );
+        }
+    }
+
+    /// The query exhausted its retry budget and is abandoned. Closed
+    /// model: its terminal nevertheless returns to thinking, preserving
+    /// the closed population.
+    fn lose_local(&mut self, now: SimTime, id: QueryId, sh: &Shared<'_>, sink: &mut dyn EventSink) {
+        let q = self.take_query(id);
+        self.obs.push((now, Obs::Lost));
+        if matches!(sh.params.workload, Workload::Closed) && q.kind != QueryKind::Propagation {
+            let think = self.rng_think.exponential(sh.params.think_time);
+            sink.schedule(
+                now + think,
+                Event::Submit {
+                    site: q.profile.home,
+                },
+            );
+        }
+    }
+
+    /// Removes a shed query (admission drop at this site). The caller
+    /// records the per-cause observation. Closed model: the terminal
+    /// returns to thinking, preserving the closed population.
+    fn shed_local(&mut self, now: SimTime, id: QueryId, sh: &Shared<'_>, sink: &mut dyn EventSink) {
+        let q = self.take_query(id);
+        if matches!(sh.params.workload, Workload::Closed) && q.kind != QueryKind::Propagation {
+            let think = self.rng_think.exponential(sh.params.think_time);
+            sink.schedule(
+                now + think,
+                Event::Submit {
+                    site: q.profile.home,
+                },
+            );
+        }
+    }
+
+    /// Consumes one resilience retry for a query parked at this site
+    /// against the given budget: schedules a jittered-backoff `Resubmit`
+    /// and returns `true`, or sheds the query and returns `false` once
+    /// the budget is exhausted. Deadline reallocations and admission
+    /// rejects count against *separate* per-query counters — a query
+    /// turned away repeatedly at admission has done no work yet, so it
+    /// must not arrive with its deadline reallocation budget already
+    /// spent.
+    #[allow(clippy::too_many_arguments)]
+    fn resilience_retry_local(
+        &mut self,
+        now: SimTime,
+        id: QueryId,
+        base: f64,
+        budget: u32,
+        counter: RetryCounter,
+        sh: &Shared<'_>,
+        sink: &mut dyn EventSink,
+    ) -> bool {
+        let attempts = {
+            let q = self.query_mut(id);
+            match counter {
+                RetryCounter::Deadline => {
+                    q.res_retries += 1;
+                    q.res_retries
+                }
+                RetryCounter::Admission => {
+                    q.adm_retries += 1;
+                    q.adm_retries
+                }
+            }
+        };
+        if attempts > budget {
+            self.shed_local(now, id, sh, sink);
+            false
+        } else {
+            let exp = attempts.saturating_sub(1).min(16);
+            let delay = base * f64::from(1u32 << exp) * self.rng_realloc_backoff.uniform(0.5, 1.5);
+            sink.schedule(
+                now + delay,
+                Event::Resubmit {
+                    query: id,
+                    site: self.index,
+                },
+            );
+            true
+        }
+    }
+
+    /// Arms a fresh deadline for `id`'s current execution attempt: a slack
+    /// of `floor + Exp(mean)` from now. Re-armed on every (re)allocation,
+    /// so the budgeted retries each get a full window. Apply jobs carry no
+    /// deadline — they are background system work. The expiry itself is a
+    /// global event (its unwind may cross LPs), so it goes through the
+    /// deferred queue.
+    fn arm_deadline(&mut self, now: SimTime, id: QueryId, params: &SystemParams) {
+        let Some(spec) = params.deadlines else {
+            return;
+        };
+        if !spec.is_active() {
+            return;
+        }
+        let (epoch, kind) = {
+            let q = self.query(id);
+            (q.deadline_epoch, q.kind)
+        };
+        if kind == QueryKind::Propagation {
+            return;
+        }
+        let slack = spec.floor + self.rng_deadline.exponential(spec.mean);
+        let at = now + slack;
+        self.query_mut(id).deadline_at = at;
+        self.deferred.push(Deferred::Schedule(
+            at,
+            Event::DeadlineExpire {
+                query: id,
+                epoch,
+                site: self.index,
+            },
+        ));
+    }
+
+    /// The admission verdict for a query headed to `exec`. A full site
+    /// sheds by its configured mode; `Redirect` re-routes to the
+    /// least-loaded usable holder of `relation` (falling back to a reject
+    /// when every alternative is also full, down, or quarantined).
+    fn admit_or_shed(
+        &mut self,
+        now: SimTime,
+        sh: &Shared<'_>,
+        exec: SiteId,
+        relation: usize,
+    ) -> Admission {
+        let Some(a) = sh.params.admission else {
+            return Admission::Admit(exec);
+        };
+        if !a.is_active() || !site_full(sh, self, exec) {
+            return Admission::Admit(exec);
+        }
+        match a.mode {
+            SheddingMode::Drop => Admission::Drop,
+            SheddingMode::RejectRetry => Admission::Reject,
+            SheddingMode::Redirect => {
+                let target = sh
+                    .catalog
+                    .candidates(relation)
+                    .iter()
+                    .copied()
+                    .filter(|&s| {
+                        s != exec
+                            && sh.board.is_available(s)
+                            && self.trust[s]
+                            && !site_full(sh, self, s)
+                    })
+                    .min_by_key(|&s| (sh.board.view(s).total(), s));
+                match target {
+                    Some(t) => {
+                        self.obs.push((now, Obs::AdmissionRedirected));
+                        Admission::Admit(t)
+                    }
+                    None => Admission::Reject,
+                }
+            }
+        }
+    }
+
+    /// The suspicion sweep this site runs when its own broadcast timer
+    /// fires: any peer not heard for `threshold` status periods becomes
+    /// suspected and loses this site's trust.
+    fn sweep_suspicion(&mut self, now: SimTime, params: &SystemParams) {
+        let Some(s) = self.suspicion.as_mut() else {
+            return;
+        };
+        let horizon = f64::from(s.spec.threshold) * params.status_period;
+        for target in 0..self.trust.len() {
+            if target == self.index {
+                continue;
+            }
+            if !s.suspected[target] && now - s.last_heard[target] > horizon {
+                s.suspected[target] = true;
+                s.streak[target] = 0;
+                self.trust[target] = false;
+            }
+        }
+    }
+
+    /// The query's results reached its terminal (local execution):
+    /// record statistics and put the terminal back into think state.
+    fn complete_local(
+        &mut self,
+        now: SimTime,
+        id: QueryId,
+        sh: &Shared<'_>,
+        sink: &mut dyn EventSink,
+    ) {
+        let q = self.take_query(id);
+        let response = now - q.submitted;
+        if q.retries > 0 {
+            self.obs.push((now, Obs::Recovered));
+        }
+        self.obs.push((
+            now,
+            Obs::Completion {
+                class: q.profile.class,
+                response,
+                service: q.service,
+            },
+        ));
+        // Closed model: the terminal thinks, then submits its next query.
+        // Open model: the departure leaves; arrivals are source-driven.
+        if matches!(sh.params.workload, Workload::Closed) {
+            let think = self.rng_think.exponential(sh.params.think_time);
+            sink.schedule(
+                now + think,
+                Event::Submit {
+                    site: q.profile.home,
+                },
+            );
+        }
+    }
+
+    fn draw_class(&mut self, params: &SystemParams) -> usize {
+        let u = self.rng_class.next_f64();
+        let mut acc = 0.0;
+        for (c, spec) in params.classes.iter().enumerate() {
+            acc += spec.probability;
+            if u < acc {
+                return c;
+            }
+        }
+        params.classes.len() - 1
+    }
+
+    /// Grows this site's live row and mirrors the change to the board via
+    /// the observation log.
+    fn alloc_load(&mut self, now: SimTime, io_bound: bool) {
+        if io_bound {
+            self.live.io += 1;
+        } else {
+            self.live.cpu += 1;
+        }
+        self.obs.push((
+            now,
+            Obs::Load {
+                site: self.index,
+                io_bound,
+                up: true,
+            },
+        ));
+    }
+
+    /// Shrinks this site's live row and mirrors the change to the board
+    /// via the observation log.
+    fn release_load(&mut self, now: SimTime, io_bound: bool) {
+        if io_bound {
+            self.live.io -= 1;
+        } else {
+            self.live.cpu -= 1;
+        }
+        self.obs.push((
+            now,
+            Obs::Load {
+                site: self.index,
+                io_bound,
+                up: false,
+            },
+        ));
+    }
+}
+
 /// The complete simulated system.
 ///
 /// Build with [`DbSystem::new`], then either drive it manually through an
 /// [`Engine`] (see [`DbSystem::prime`]) or — almost always — use
 /// [`crate::experiment::run`], which adds warmup handling and report
-/// extraction.
+/// extraction. [`crate::experiment::run_sharded`] drives the same model
+/// through the windowed parallel executor instead.
 ///
 /// # Example
 ///
@@ -145,25 +1303,13 @@ enum Admission {
 #[derive(Debug)]
 pub struct DbSystem {
     params: SystemParams,
-    sites: Vec<Site>,
+    lps: Vec<Lp>,
     ring: TokenRing<RingMsg>,
-    load: LoadTable,
+    board: LoadTable,
     catalog: Catalog,
-    allocator: Allocator,
-    queries: QueryTable,
     metrics: Metrics,
     disk_dist: Dist,
-    rng_think: RngStream,
-    rng_class: RngStream,
-    rng_reads: RngStream,
-    rng_cpu: RngStream,
-    rng_disk: RngStream,
-    rng_choice: RngStream,
-    rng_estimate: RngStream,
-    rng_relation: RngStream,
-    rng_update: RngStream,
     fault: Option<FaultState>,
-    resilience: Option<ResilienceState>,
 }
 
 impl DbSystem {
@@ -178,621 +1324,207 @@ impl DbSystem {
         let root = RngStream::new(seed);
         let start = SimTime::ZERO;
         Ok(DbSystem {
-            sites: (0..params.num_sites)
-                .map(|_| Site::new(params.num_disks, start))
+            lps: (0..params.num_sites)
+                .map(|site| Lp::new(&params, policy, &root, site))
                 .collect(),
             ring: TokenRing::new(params.num_sites, start),
             // dqa-lint: allow(no-float-eq) -- 0.0 is the exact config sentinel for "perfect information"
-            load: LoadTable::new(params.num_sites, params.status_period == 0.0),
+            board: LoadTable::new(params.num_sites, params.status_period == 0.0),
             catalog: match params.copies {
                 None => Catalog::fully_replicated(params.num_sites, params.num_relations),
                 Some(k) => Catalog::new(params.num_sites, params.num_relations, k),
             },
-            allocator: Allocator::new(policy, seed),
-            queries: QueryTable::new(),
             metrics: Metrics::new(params.classes.len(), start),
             disk_dist: Dist::uniform_deviation(params.disk_time, params.disk_time_dev),
-            rng_think: root.substream(substreams::THINK),
-            rng_class: root.substream(substreams::CLASS),
-            rng_reads: root.substream(substreams::READS),
-            rng_cpu: root.substream(substreams::CPU),
-            rng_disk: root.substream(substreams::DISK),
-            rng_choice: root.substream(substreams::CHOICE),
-            rng_estimate: root.substream(substreams::ESTIMATE),
-            rng_relation: root.substream(substreams::RELATION),
-            rng_update: root.substream(substreams::UPDATE),
             fault: params.faults.map(|spec| FaultState {
                 spec,
                 rng_crash: root.substream(substreams::FAULT_CRASH),
                 rng_msg: root.substream(substreams::FAULT_MSG),
-                rng_backoff: root.substream(substreams::FAULT_BACKOFF),
                 rng_status: root.substream(substreams::FAULT_STATUS),
                 partition_active: false,
             }),
-            resilience: if params.deadlines.is_some()
-                || params.suspicion.is_some()
-                || params.admission.is_some()
-            {
-                let n = params.num_sites;
-                Some(ResilienceState {
-                    rng_deadline: root.substream(substreams::DEADLINE),
-                    rng_backoff: root.substream(substreams::REALLOC_BACKOFF),
-                    suspicion: params.suspicion.map(|spec| SuspicionState {
-                        spec,
-                        last_heard: vec![SimTime::ZERO; n * n],
-                        streak: vec![0; n * n],
-                        suspected: vec![false; n * n],
-                    }),
-                })
-            } else {
-                None
-            },
             params,
         })
     }
 
-    /// Schedules the initial events: one first `Submit` per terminal
-    /// (after an initial think time) and, if configured, the periodic
-    /// status exchange.
-    pub fn prime(engine: &mut Engine<DbSystem>) {
+    /// The initial event set: one first `Submit` per terminal (after an
+    /// initial think time), the crash/partition/script processes, and the
+    /// periodic status exchange. Initial think times are drawn from each
+    /// site's own stream, in site order.
+    fn initial_events(&mut self) -> Vec<(SimTime, Event)> {
         let mut initial = Vec::new();
-        {
-            let model = engine.model_mut();
-            match model.params.workload {
-                Workload::Closed => {
-                    for site in 0..model.params.num_sites {
-                        for _ in 0..model.params.mpl {
-                            let think = model.rng_think.exponential(model.params.think_time);
-                            initial.push((SimTime::ZERO + think, Event::Submit { site }));
-                        }
-                    }
-                }
-                Workload::Open { arrival_rate } => {
-                    for site in 0..model.params.num_sites {
-                        let gap = model.rng_think.exponential(1.0 / arrival_rate);
-                        initial.push((SimTime::ZERO + gap, Event::Submit { site }));
+        match self.params.workload {
+            Workload::Closed => {
+                for site in 0..self.params.num_sites {
+                    for _ in 0..self.params.mpl {
+                        let think = self.lps[site].rng_think.exponential(self.params.think_time);
+                        initial.push((SimTime::ZERO + think, Event::Submit { site }));
                     }
                 }
             }
-            let n_sites = model.params.num_sites;
-            if let Some(f) = &mut model.fault {
-                if f.spec.mtbf > 0.0 {
-                    for site in 0..n_sites {
-                        let ttf = f.rng_crash.exponential(f.spec.mtbf);
-                        initial.push((SimTime::ZERO + ttf, Event::SiteDown { site }));
-                    }
-                }
-                if f.spec.has_partition() {
-                    initial.push((SimTime::ZERO + f.spec.partition_at, Event::PartitionStart));
-                    initial.push((
-                        SimTime::ZERO + f.spec.partition_at + f.spec.partition_for,
-                        Event::PartitionHeal,
-                    ));
-                }
-            }
-            // Scripted fault-environment actions fire exactly as written
-            // (validate guarantees a fault spec exists for them).
-            for (index, entry) in model.params.script.iter().enumerate() {
-                initial.push((SimTime::ZERO + entry.at, Event::Script { index }));
-            }
-            if model.params.status_period > 0.0 {
-                if model.params.status_msg_length > 0.0 {
-                    // Costed broadcasts: stagger the sites across the
-                    // period so status frames do not collide in bursts.
-                    let n = model.params.num_sites as f64;
-                    for site in 0..model.params.num_sites {
-                        let offset = model.params.status_period * (site as f64 + 1.0) / n;
-                        initial.push((SimTime::ZERO + offset, Event::StatusSend { site }));
-                    }
-                } else {
-                    initial.push((
-                        SimTime::ZERO + model.params.status_period,
-                        Event::StatusExchange,
-                    ));
+            Workload::Open { arrival_rate } => {
+                for site in 0..self.params.num_sites {
+                    let gap = self.lps[site].rng_think.exponential(1.0 / arrival_rate);
+                    initial.push((SimTime::ZERO + gap, Event::Submit { site }));
                 }
             }
         }
-        for (t, e) in initial {
+        let n_sites = self.params.num_sites;
+        if let Some(f) = &mut self.fault {
+            if f.spec.mtbf > 0.0 {
+                for site in 0..n_sites {
+                    let ttf = f.rng_crash.exponential(f.spec.mtbf);
+                    initial.push((SimTime::ZERO + ttf, Event::SiteDown { site }));
+                }
+            }
+            if f.spec.has_partition() {
+                initial.push((SimTime::ZERO + f.spec.partition_at, Event::PartitionStart));
+                initial.push((
+                    SimTime::ZERO + f.spec.partition_at + f.spec.partition_for,
+                    Event::PartitionHeal,
+                ));
+            }
+        }
+        // Scripted fault-environment actions fire exactly as written
+        // (validate guarantees a fault spec exists for them).
+        for (index, entry) in self.params.script.iter().enumerate() {
+            initial.push((SimTime::ZERO + entry.at, Event::Script { index }));
+        }
+        if self.params.status_period > 0.0 {
+            if self.params.status_msg_length > 0.0 {
+                // Costed broadcasts: stagger the sites across the
+                // period so status frames do not collide in bursts.
+                let n = self.params.num_sites as f64;
+                for site in 0..self.params.num_sites {
+                    let offset = self.params.status_period * (site as f64 + 1.0) / n;
+                    initial.push((SimTime::ZERO + offset, Event::StatusSend { site }));
+                }
+            } else {
+                initial.push((
+                    SimTime::ZERO + self.params.status_period,
+                    Event::StatusExchange,
+                ));
+            }
+        }
+        initial
+    }
+
+    /// Schedules the initial events into a serial engine.
+    pub fn prime(engine: &mut Engine<DbSystem>) {
+        for (t, e) in engine.model_mut().initial_events() {
             engine.schedule(t, e);
         }
     }
 
     // ------------------------------------------------------------------
-    // Event handlers
+    // Executor plumbing: LP dispatch and flush
     // ------------------------------------------------------------------
 
-    fn handle_submit(&mut self, now: SimTime, home: SiteId, sched: &mut Scheduler<Event>) {
-        // Under an open workload the source is self-perpetuating: the
-        // next arrival at this site is independent of completions.
-        if let Workload::Open { arrival_rate } = self.params.workload {
-            let gap = self.rng_think.exponential(1.0 / arrival_rate);
-            sched.after(gap, Event::Submit { site: home });
-        }
-        // A terminal at a crashed site cannot submit. Closed model: the
-        // terminal waits out a backoff and tries again (the query is not
-        // yet drawn, so no work is lost). Open model: the arrival bounces.
-        if !self.sites[home].is_up() {
-            match self.params.workload {
-                Workload::Closed => {
-                    let delay = self.backoff_delay(1);
-                    sched.after(delay, Event::Submit { site: home });
-                }
-                Workload::Open { .. } => self.metrics.record_lost(),
-            }
-            return;
-        }
-        // Draw the query's class and size.
-        let class = self.draw_class();
-        let spec = &self.params.classes[class];
-        let reads_total = Dist::exponential(spec.num_reads).sample_count(&mut self.rng_reads);
-        let est_reads = if self.params.estimate_error > 0.0 {
-            let e = self.params.estimate_error;
-            f64::from(reads_total) * self.rng_estimate.uniform(1.0 - e, 1.0 + e)
-        } else {
-            f64::from(reads_total)
-        };
-
-        let relation = self.rng_relation.below(self.params.num_relations);
-        let profile = QueryProfile {
-            class,
-            num_reads: est_reads,
-            page_cpu_time: spec.page_cpu_time,
-            home,
-            io_bound: self.params.is_io_bound(spec.page_cpu_time),
-            relation,
-        };
-
-        // The allocation decision (Figure 3 with the policy's cost
-        // function), based on the published load table and restricted to
-        // the sites holding the query's relation.
-        let exec = {
-            let ctx = AllocationContext {
-                params: &self.params,
-                load: &self.load,
-                arrival_site: home,
-            };
-            self.allocator
-                .select_site_among(&profile, &ctx, self.catalog.candidates(relation))
-        };
-        let kind = if self.params.update_fraction > 0.0
-            && self.rng_update.bernoulli(self.params.update_fraction)
+    /// Runs one LP event on its owning logical process, then flushes the
+    /// LP's side effects (serial executor: flush happens immediately, so
+    /// the board and metrics are always current).
+    fn dispatch_lp(&mut self, now: SimTime, site: SiteId, event: Event, sink: &mut dyn EventSink) {
         {
-            QueryKind::Update
-        } else {
-            QueryKind::Read
-        };
-
-        // Every holder of the relation is down (fault injection, partial
-        // replication): the SelectSite fallback returned the arrival site,
-        // which holds no copy. The query backs off at its home terminal —
-        // unallocated — and retries when a holder may be back.
-        if !self.catalog.holds(exec, relation) {
-            debug_assert!(self.params.faults.is_some());
-            self.metrics.record_submit(false);
-            let id = self.queries.insert_with(|id| ActiveQuery {
-                id,
-                profile,
-                exec: home,
-                reads_total,
-                reads_done: 0,
-                submitted: now,
-                service: 0.0,
-                phase: QueryPhase::Backoff,
-                kind,
-                retries: 0,
-                deadline_epoch: 0,
-                res_retries: 0,
-                adm_retries: 0,
-                expired: false,
-            });
-            self.schedule_retry(now, id, sched);
-            return;
-        }
-
-        // Admission control at the chosen site's door. The site checks its
-        // own *live* state (a site knows itself), not the published table.
-        let exec = match self.admit_or_shed(exec, home, relation) {
-            Admission::Admit(site) => site,
-            Admission::Drop => {
-                self.metrics.record_submit(false);
-                self.metrics.record_admission_dropped();
-                if matches!(self.params.workload, Workload::Closed) {
-                    let think = self.rng_think.exponential(self.params.think_time);
-                    sched.after(think, Event::Submit { site: home });
-                }
-                return;
-            }
-            Admission::Reject => {
-                self.metrics.record_submit(false);
-                let id = self.queries.insert_with(|id| ActiveQuery {
-                    id,
-                    profile,
-                    exec: home,
-                    reads_total,
-                    reads_done: 0,
-                    submitted: now,
-                    service: 0.0,
-                    phase: QueryPhase::Backoff,
-                    kind,
-                    retries: 0,
-                    deadline_epoch: 0,
-                    res_retries: 0,
-                    adm_retries: 0,
-                    expired: false,
-                });
-                let a = self.params.admission.expect("admission layer active");
-                if self.resilience_retry(
-                    now,
-                    id,
-                    a.backoff_base,
-                    a.max_retries,
-                    RetryCounter::Admission,
-                    sched,
-                ) {
-                    self.metrics.record_admission_rejected();
-                } else {
-                    self.metrics.record_admission_dropped();
-                }
-                return;
-            }
-        };
-
-        self.load.allocate(exec, profile.io_bound);
-        self.metrics
-            .record_query_difference(now, self.load.query_difference());
-
-        let remote = exec != home;
-        self.metrics.record_submit(remote);
-        let id = self.queries.insert_with(|id| ActiveQuery {
-            id,
-            profile,
-            exec,
-            reads_total,
-            reads_done: 0,
-            submitted: now,
-            service: 0.0,
-            phase: if remote {
-                QueryPhase::Transfer
-            } else {
-                QueryPhase::Disk
-            },
-            kind,
-            retries: 0,
-            deadline_epoch: 0,
-            res_retries: 0,
-            adm_retries: 0,
-            expired: false,
-        });
-        self.arm_deadline(now, id, sched);
-
-        if remote {
-            let msg = RingMsg::Query {
-                query: id,
-                kind: MsgKind::Dispatch,
-                dest: exec,
-            };
-            let cost = self.params.dispatch_cost(class);
-            if let Some(done) = self.ring.send(now, home, msg, cost) {
-                sched.at(done, Event::NetDone);
-            }
-        } else {
-            self.start_read(now, id, sched);
-        }
-    }
-
-    /// Sends the query to a disk at its execution site for its next page
-    /// read.
-    fn start_read(&mut self, now: SimTime, id: QueryId, sched: &mut Scheduler<Event>) {
-        let q = self.queries.get_mut(id).expect("query in flight");
-        q.phase = QueryPhase::Disk;
-        let site_id = q.exec;
-        let service = self.disk_dist.sample(&mut self.rng_disk);
-        q.service += service;
-
-        let site = &mut self.sites[site_id];
-        debug_assert!(site.is_up(), "read started at a down site");
-        let epoch = site.epoch();
-        let random_pick = self.rng_choice.below(site.disks.len());
-        let disk = site.choose_disk(self.params.disk_choice, random_pick);
-        if let Some(done) = site.disks[disk].arrive(now, id, service) {
-            sched.at(
-                done,
-                Event::DiskDone {
-                    site: site_id,
-                    disk,
-                    epoch,
-                },
-            );
-        }
-    }
-
-    fn handle_disk_done(
-        &mut self,
-        now: SimTime,
-        site_id: SiteId,
-        disk: usize,
-        epoch: u64,
-        sched: &mut Scheduler<Event>,
-    ) {
-        // A crash between schedule and delivery drained the disk queue;
-        // the event refers to a job that no longer exists there.
-        if epoch != self.sites[site_id].epoch() {
-            return;
-        }
-        let (id, next) = self.sites[site_id].disks[disk].complete(now);
-        if let Some(t) = next {
-            sched.at(
-                t,
-                Event::DiskDone {
-                    site: site_id,
-                    disk,
-                    epoch,
-                },
-            );
-        }
-
-        // The deadline expired while this page read was in service: FCFS
-        // service is immutable once started, so the read finished, but
-        // the query goes no further.
-        let expired = {
-            let q = self.queries.get(id).expect("query in flight");
-            debug_assert_eq!(q.exec, site_id);
-            q.expired
-        };
-        if expired {
-            self.cancel_and_reallocate(now, id, sched);
-            return;
-        }
-
-        // The page is in memory; process it on the CPU.
-        let q = self.queries.get_mut(id).expect("query in flight");
-        q.phase = QueryPhase::Cpu;
-        // A faster CPU finishes the same page in proportionally less time.
-        let work = self
-            .rng_cpu
-            .exponential(self.params.classes[q.profile.class].page_cpu_time)
-            / self.params.cpu_speed(site_id);
-        q.service += work;
-        if let Some((t, token)) = self.sites[site_id].cpu.arrive(now, id, work) {
-            sched.at(
-                t,
-                Event::CpuDone {
-                    site: site_id,
-                    token,
-                },
-            );
-        }
-    }
-
-    fn handle_cpu_done(
-        &mut self,
-        now: SimTime,
-        site_id: SiteId,
-        token: PsToken,
-        sched: &mut Scheduler<Event>,
-    ) {
-        // Processor sharing reshuffles completion times on every arrival;
-        // stale announcements are ignored.
-        let Some((id, next)) = self.sites[site_id].cpu.complete(now, token) else {
-            return;
-        };
-        if let Some((t, tok)) = next {
-            sched.at(
-                t,
-                Event::CpuDone {
-                    site: site_id,
-                    token: tok,
-                },
-            );
-        }
-
-        let q = self.queries.get_mut(id).expect("query in flight");
-        q.reads_done += 1;
-        if !q.execution_finished() {
-            if let Some(spec) = self.params.migration {
-                // Apply jobs are pinned to their replica.
-                if q.kind != QueryKind::Propagation
-                    && q.reads_done.is_multiple_of(spec.check_every_reads)
-                    && self.try_migrate(now, id, &spec, sched)
-                {
-                    return;
-                }
-            }
-            self.start_read(now, id, sched);
-            return;
-        }
-
-        // Execution complete: the query leaves the site's load.
-        let (io_bound, home, remote, kind, class, reads_total) = (
-            q.profile.io_bound,
-            q.profile.home,
-            q.is_remote(),
-            q.kind,
-            q.profile.class,
-            q.reads_total,
-        );
-        self.load.release(site_id, io_bound);
-        self.metrics
-            .record_query_difference(now, self.load.query_difference());
-
-        match kind {
-            QueryKind::Propagation => {
-                // The replica is now up to date; nothing returns anywhere.
-                self.queries.remove(id);
-                self.metrics.record_propagation();
-                return;
-            }
-            QueryKind::Update => self.spawn_propagations(now, id, site_id, sched),
-            QueryKind::Read => {}
-        }
-
-        if remote {
-            self.queries.get_mut(id).expect("in flight").phase = QueryPhase::Return;
-            let msg = RingMsg::Query {
-                query: id,
-                kind: MsgKind::Result,
-                dest: home,
-            };
-            let cost = self.params.result_cost(class, f64::from(reads_total));
-            if let Some(done) = self.ring.send(now, site_id, msg, cost) {
-                sched.at(done, Event::NetDone);
-            }
-        } else {
-            self.complete_query(now, id, sched);
-        }
-    }
-
-    /// Ships read-one-write-all apply jobs to every other holder of the
-    /// finished update's relation. Each job travels the ring like a
-    /// dispatch, then cycles the replica's disks and CPU for
-    /// `propagation_factor × reads` page writes.
-    fn spawn_propagations(
-        &mut self,
-        now: SimTime,
-        update: QueryId,
-        exec: SiteId,
-        sched: &mut Scheduler<Event>,
-    ) {
-        if self.params.propagation_factor <= 0.0 {
-            return;
-        }
-        let (relation, class, reads_total, io_bound, page_cpu_time) = {
-            let q = self.queries.get(update).expect("query in flight");
-            (
-                q.profile.relation,
-                q.profile.class,
-                q.reads_total,
-                q.profile.io_bound,
-                q.profile.page_cpu_time,
-            )
-        };
-        let apply_reads =
-            ((f64::from(reads_total) * self.params.propagation_factor).round() as u32).max(1);
-        // Walk the copy set by index: collecting the holders first would
-        // allocate a Vec on every completed update.
-        for j in 0..self.catalog.candidates(relation).len() {
-            let holder = self.catalog.candidates(relation)[j];
-            if holder == exec {
-                continue;
-            }
-            let id = self.queries.insert_with(|id| ActiveQuery {
-                id,
-                profile: QueryProfile {
-                    class,
-                    num_reads: f64::from(apply_reads),
-                    page_cpu_time,
-                    home: holder,
-                    io_bound,
-                    relation,
-                },
-                exec: holder,
-                reads_total: apply_reads,
-                reads_done: 0,
-                submitted: now,
-                service: 0.0,
-                phase: QueryPhase::Transfer,
-                kind: QueryKind::Propagation,
-                retries: 0,
-                deadline_epoch: 0,
-                res_retries: 0,
-                adm_retries: 0,
-                expired: false,
-            });
-            self.load.allocate(holder, io_bound);
-            let msg = RingMsg::Query {
-                query: id,
-                kind: MsgKind::Dispatch,
-                dest: holder,
-            };
-            if let Some(done) = self.ring.send(now, exec, msg, self.params.msg_length) {
-                sched.at(done, Event::NetDone);
-            }
-        }
-        self.metrics
-            .record_query_difference(now, self.load.query_difference());
-    }
-
-    /// Re-evaluates a partially executed query's placement (§6.2
-    /// extension). Returns `true` if the query was put on the wire toward
-    /// a better site.
-    fn try_migrate(
-        &mut self,
-        now: SimTime,
-        id: QueryId,
-        spec: &crate::params::MigrationSpec,
-        sched: &mut Scheduler<Event>,
-    ) -> bool {
-        let (current, remaining, relation, io_bound, reads_done) = {
-            let q = self.queries.get(id).expect("query in flight");
-            let remaining_reads = (q.profile.num_reads - f64::from(q.reads_done)).max(1.0);
-            let mut remaining = q.profile;
-            remaining.num_reads = remaining_reads;
-            (
-                q.exec,
-                remaining,
-                q.profile.relation,
-                q.profile.io_bound,
-                q.reads_done,
-            )
-        };
-        let state_penalty = self.params.msg_length * spec.state_growth * f64::from(reads_done);
-        // The Figure-6 cost functions are self-exclusive (an arriving
-        // query is not yet in any count); a re-evaluated query must
-        // likewise not see itself as a competitor at its current site.
-        self.load.release(current, io_bound);
-        let target = {
-            let ctx = AllocationContext {
+            let (left, rest) = self.lps.split_at_mut(site);
+            let (lp, right) = rest.split_first_mut().expect("LP event site in range");
+            let sh = Shared {
                 params: &self.params,
-                load: &self.load,
-                arrival_site: current,
+                catalog: &self.catalog,
+                board: &self.board,
+                disk_dist: self.disk_dist,
+                cross: Some(Cross {
+                    left,
+                    right,
+                    idx: site,
+                }),
             };
-            self.allocator.migration_target(
-                &remaining,
-                current,
-                &ctx,
-                self.catalog.candidates(relation),
-                spec.min_gain,
-                state_penalty,
-            )
-        };
-        let Some(target) = target else {
-            self.load.allocate(current, io_bound);
-            return false;
-        };
-
-        // The query leaves its current site and travels — with its
-        // accumulated partial results — to the new one.
-        self.load.allocate(target, io_bound);
-        self.metrics
-            .record_query_difference(now, self.load.query_difference());
-        self.metrics.record_migration();
-        {
-            let q = self.queries.get_mut(id).expect("query in flight");
-            q.exec = target;
-            q.phase = QueryPhase::Transfer;
+            lp.handle(now, event, &sh, sink);
         }
-        let len = self.params.msg_length * (1.0 + spec.state_growth * f64::from(reads_done));
-        let msg = RingMsg::Query {
-            query: id,
-            kind: MsgKind::Dispatch,
-            dest: target,
-        };
-        if let Some(done) = self.ring.send(now, current, msg, len) {
-            sched.at(done, Event::NetDone);
-        }
-        true
+        self.flush_lp(now, site, sink);
     }
 
-    fn handle_net_done(&mut self, now: SimTime, sched: &mut Scheduler<Event>) {
+    /// Applies one LP's pending side effects: observations onto the
+    /// board/metrics, outbox frames onto the ring, deferred global
+    /// actions. Called after every event by the serial executor and at
+    /// window barriers (in merged timestamp order) by the parallel one.
+    pub(crate) fn flush_lp(&mut self, now: SimTime, site: SiteId, sink: &mut dyn EventSink) {
+        let mut log = std::mem::take(&mut self.lps[site].obs);
+        for &(t, o) in &log {
+            obs::apply(t, o, &mut self.board, &mut self.metrics);
+        }
+        log.clear();
+        self.lps[site].obs = log;
+
+        let mut out = std::mem::take(&mut self.lps[site].outbox);
+        for &(t, msg, cost) in &out {
+            if let Some(done) = self.ring.send(t, site, msg, cost) {
+                sink.schedule(done, Event::NetDone);
+            }
+        }
+        out.clear();
+        self.lps[site].outbox = out;
+
+        for d in std::mem::take(&mut self.lps[site].deferred) {
+            match d {
+                Deferred::Schedule(t, e) => sink.schedule(t, e),
+                Deferred::Cancel(id) => self.cancel_and_reallocate(now, id, site, sink),
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Global (barrier-time) handlers
+    // ------------------------------------------------------------------
+
+    /// The fault-injection state (must be configured).
+    fn fault_mut(&mut self) -> &mut FaultState {
+        self.fault.as_mut().expect("fault layer active")
+    }
+
+    /// Routes a global event to its handler.
+    fn handle_global(&mut self, now: SimTime, event: Event, sink: &mut dyn EventSink) {
+        match event {
+            Event::NetDone => self.handle_net_done(now, sink),
+            Event::StatusExchange => self.handle_status_exchange(now, sink),
+            Event::SiteDown { site } => self.handle_site_down(now, site, sink),
+            Event::SiteUp { site } => self.handle_site_up(now, site, sink),
+            Event::MsgLost { msg, from } => self.handle_msg_lost(now, msg, from, sink),
+            Event::Retransmit { query, site } => self.handle_retransmit(now, query, site, sink),
+            Event::DeadlineExpire { query, epoch, site } => {
+                self.handle_deadline_expire(now, query, epoch, site, sink);
+            }
+            Event::PartitionStart => {
+                self.fault_mut().partition_active = true;
+            }
+            Event::PartitionHeal => {
+                self.fault_mut().partition_active = false;
+            }
+            Event::Script { index } => self.handle_script(now, index, sink),
+            other => unreachable!("LP event {other:?} routed to the global handler"),
+        }
+    }
+
+    fn handle_net_done(&mut self, now: SimTime, sink: &mut dyn EventSink) {
         let (msg, from, next) = self.ring.transmit_done(now);
         if let Some(t) = next {
-            sched.at(t, Event::NetDone);
+            sink.schedule(t, Event::NetDone);
         }
-        // The frame occupied the ring for its full transmission time
-        // whether or not it arrives; loss is decided at delivery.
+        self.process_delivery(now, msg, from, sink);
+    }
+
+    /// A frame finished transmitting: decide loss, partition drops, and
+    /// destination state, then deliver. The frame occupied the ring for
+    /// its full transmission time whether or not it arrives.
+    pub(crate) fn process_delivery(
+        &mut self,
+        now: SimTime,
+        msg: RingMsg,
+        from: SiteId,
+        sink: &mut dyn EventSink,
+    ) {
         if let Some(f) = &mut self.fault {
             if f.spec.msg_loss > 0.0 && f.rng_msg.bernoulli(f.spec.msg_loss) {
-                sched.at(now, Event::MsgLost { msg });
+                sink.schedule(now, Event::MsgLost { msg, from });
                 return;
             }
         }
@@ -820,93 +1552,136 @@ impl DbSystem {
                     query,
                     kind: MsgKind::Dispatch,
                     ..
-                } => self.fail_execution(now, query, sched),
+                } => self.fail_execution(now, query, from, sink),
                 RingMsg::Query {
                     query,
                     kind: MsgKind::Result,
                     ..
-                } => self.schedule_retry(now, query, sched),
+                } => self.schedule_retry_global(now, query, from, sink),
                 RingMsg::Status { .. } => unreachable!("status frames are never dropped here"),
             }
             return;
         }
         match msg {
             RingMsg::Query { query, kind, dest } => {
-                if !self.sites[dest].is_up() {
+                if !self.lps[dest].site.is_up() {
                     // The destination crashed while the message was in
                     // flight: undeliverable (but not a subnet loss).
                     match kind {
-                        MsgKind::Dispatch => self.fail_execution(now, query, sched),
-                        MsgKind::Result => self.schedule_retry(now, query, sched),
+                        MsgKind::Dispatch => self.fail_execution(now, query, from, sink),
+                        MsgKind::Result => self.schedule_retry_global(now, query, from, sink),
                     }
                     return;
                 }
                 match kind {
-                    MsgKind::Dispatch => {
-                        // The deadline expired while the dispatch was on
-                        // the wire: cancel instead of starting execution.
-                        if self.queries.get(query).expect("query in flight").expired {
-                            self.cancel_and_reallocate(now, query, sched);
-                        } else {
-                            self.start_read(now, query, sched);
-                        }
-                    }
-                    MsgKind::Result => self.complete_query(now, query, sched),
+                    MsgKind::Dispatch => self.deliver_dispatch(now, query, from, dest, sink),
+                    MsgKind::Result => self.complete_query_global(now, query, from, sink),
                 }
             }
             // A broadcast frame passes every site: all tables update.
             RingMsg::Status { site, load, full } => {
-                self.load.publish_row(site, load);
-                self.load.set_full(site, full);
+                self.board.publish_row(site, load);
+                self.board.set_full(site, full);
                 self.hear_status(now, site);
             }
         }
+    }
+
+    /// A dispatch (or migration) frame arrived at its execution site: the
+    /// query's record moves tables, the destination takes the load slot,
+    /// any armed deadline follows the query to its new id, and execution
+    /// starts.
+    fn deliver_dispatch(
+        &mut self,
+        now: SimTime,
+        id: QueryId,
+        from: SiteId,
+        dest: SiteId,
+        sink: &mut dyn EventSink,
+    ) {
+        let (expired, io_bound) = {
+            let q = self.lps[from].query(id);
+            (q.expired, q.profile.io_bound)
+        };
+        // The deadline expired while the dispatch was on the wire: cancel
+        // instead of starting execution (no load slot was ever taken).
+        if expired {
+            self.cancel_and_reallocate(now, id, from, sink);
+            return;
+        }
+        let id = self.move_query(id, from, dest);
+        self.alloc_load_direct(now, dest, io_bound);
+        self.rearm_deadline(now, id, dest, sink);
+        self.start_read_at(now, dest, id, sink);
+    }
+
+    /// A result frame arrived back at the query's terminal.
+    fn complete_query_global(
+        &mut self,
+        now: SimTime,
+        id: QueryId,
+        from: SiteId,
+        sink: &mut dyn EventSink,
+    ) {
+        let q = self.lps[from].take_query(id);
+        let response = now - q.submitted;
+        if q.retries > 0 {
+            self.metrics.record_recovered();
+        }
+        self.metrics
+            .record_completion(q.profile.class, response, q.service);
+        // Closed model: the terminal thinks, then submits its next query
+        // (the think draw comes from the *home* site's stream — it is the
+        // home terminal that thinks).
+        if matches!(self.params.workload, Workload::Closed) {
+            let home = q.profile.home;
+            let think = self.lps[home].rng_think.exponential(self.params.think_time);
+            sink.schedule(now + think, Event::Submit { site: home });
+        }
+    }
+
+    /// The free (zero-cost) status exchange: every row publishes at once.
+    fn handle_status_exchange(&mut self, now: SimTime, sink: &mut dyn EventSink) {
+        // A dropout models a failed exchange round: every site keeps its
+        // stale rows until the next period.
+        let dropped = match &mut self.fault {
+            Some(f) if f.spec.status_loss > 0.0 => f.rng_status.bernoulli(f.spec.status_loss),
+            _ => false,
+        };
+        if !dropped {
+            self.board.publish();
+            // The free exchange also refreshes every backpressure bit
+            // (there are no per-site frames to carry them).
+            if self.params.admission.is_some_and(|a| a.is_active()) {
+                for site in 0..self.params.num_sites {
+                    let full = lp_full(&self.params, &self.lps[site]);
+                    self.board.set_full(site, full);
+                }
+            }
+        }
+        sink.schedule(now + self.params.status_period, Event::StatusExchange);
     }
 
     // ------------------------------------------------------------------
     // Fault handlers (all unreachable when `params.faults` is `None`)
     // ------------------------------------------------------------------
 
-    /// Jittered exponential backoff for retry `attempt` (1-based):
-    /// `backoff_base · 2^(attempt−1) · U(0.5, 1.5)`.
-    fn backoff_delay(&mut self, attempt: u32) -> f64 {
-        let f = self.fault.as_mut().expect("fault layer active");
-        let exp = attempt.saturating_sub(1).min(16);
-        f.spec.backoff_base * f64::from(1u32 << exp) * f.rng_backoff.uniform(0.5, 1.5)
-    }
-
-    /// Consumes one retry attempt for `id`: either schedules a `Resubmit`
-    /// after a backoff delay or — once the budget is exhausted — abandons
-    /// the query. The caller must already have released any load-table
-    /// slot the query held.
-    fn schedule_retry(&mut self, now: SimTime, id: QueryId, sched: &mut Scheduler<Event>) {
-        let max_retries = self
-            .fault
-            .as_ref()
-            .expect("fault layer active")
-            .spec
-            .max_retries;
-        let attempts = {
-            let q = self.queries.get_mut(id).expect("query in flight");
-            q.retries += 1;
-            q.retries
-        };
-        if attempts > max_retries {
-            self.lose_query(now, id, sched);
-        } else {
-            self.metrics.record_retry();
-            let delay = self.backoff_delay(attempts);
-            sched.after(delay, Event::Resubmit { query: id });
-        }
-    }
-
-    /// The query's execution was destroyed (site crash or lost dispatch):
-    /// its partial work is wasted, its load slot is freed, and it enters
-    /// backoff for a fresh attempt.
-    fn fail_execution(&mut self, now: SimTime, id: QueryId, sched: &mut Scheduler<Event>) {
-        let (exec, io_bound) = {
-            let q = self.queries.get_mut(id).expect("query in flight");
+    /// The query's execution was destroyed (site crash, lost dispatch, or
+    /// partition drop): its partial work is wasted, any load slot it held
+    /// is freed, and it moves back to its home site's table to back off
+    /// for a fresh attempt. `site` is the LP whose table currently holds
+    /// the query.
+    fn fail_execution(
+        &mut self,
+        now: SimTime,
+        id: QueryId,
+        site: SiteId,
+        sink: &mut dyn EventSink,
+    ) {
+        let (phase, exec, io_bound, home) = {
+            let q = self.lps[site].query_mut(id);
             debug_assert!(!matches!(q.phase, QueryPhase::Return | QueryPhase::Backoff));
+            let phase = q.phase;
             q.phase = QueryPhase::Backoff;
             // Wasted partial work shows up as waiting time, not service.
             q.reads_done = 0;
@@ -915,29 +1690,102 @@ impl DbSystem {
             // one is armed if the query is ever re-allocated.
             q.expired = false;
             q.deadline_epoch += 1;
-            (q.exec, q.profile.io_bound)
+            (phase, q.exec, q.profile.io_bound, q.profile.home)
         };
-        self.load.release(exec, io_bound);
-        self.metrics
-            .record_query_difference(now, self.load.query_difference());
-        self.schedule_retry(now, id, sched);
+        // Only queries actually *at* a site hold a load slot; an en-route
+        // dispatch (Transfer) was never allocated at its destination.
+        if matches!(phase, QueryPhase::Disk | QueryPhase::Cpu) {
+            self.release_load_direct(now, exec, io_bound);
+        }
+        let id = self.move_query(id, site, home);
+        self.schedule_retry_global(now, id, home, sink);
+    }
+
+    /// Consumes one retry attempt for a query in `site`'s table: either
+    /// schedules the retry after a backoff delay or — once the budget is
+    /// exhausted — abandons the query. Backed-off queries retry via the
+    /// home LP's `Resubmit`; lost results retransmit via the global
+    /// `Retransmit`.
+    fn schedule_retry_global(
+        &mut self,
+        now: SimTime,
+        id: QueryId,
+        site: SiteId,
+        sink: &mut dyn EventSink,
+    ) {
+        let max_retries = self
+            .fault
+            .as_ref()
+            .expect("fault layer active")
+            .spec
+            .max_retries;
+        let (attempts, phase) = {
+            let q = self.lps[site].query_mut(id);
+            q.retries += 1;
+            (q.retries, q.phase)
+        };
+        if attempts > max_retries {
+            self.lose_query_global(now, id, site, sink);
+        } else {
+            self.metrics.record_retry();
+            let delay = self.lps[site].backoff_delay(&self.params, attempts);
+            let event = if matches!(phase, QueryPhase::Return) {
+                Event::Retransmit { query: id, site }
+            } else {
+                Event::Resubmit { query: id, site }
+            };
+            sink.schedule(now + delay, event);
+        }
     }
 
     /// The query exhausted its retry budget and is abandoned. Closed
     /// model: its terminal nevertheless returns to thinking, preserving
     /// the closed population.
-    fn lose_query(&mut self, now: SimTime, id: QueryId, sched: &mut Scheduler<Event>) {
-        let _ = now;
-        let q = self.queries.remove(id).expect("query in flight");
+    fn lose_query_global(
+        &mut self,
+        now: SimTime,
+        id: QueryId,
+        site: SiteId,
+        sink: &mut dyn EventSink,
+    ) {
+        let q = self.lps[site].take_query(id);
         self.metrics.record_lost();
         if matches!(self.params.workload, Workload::Closed) && q.kind != QueryKind::Propagation {
-            let think = self.rng_think.exponential(self.params.think_time);
-            sched.after(
-                think,
-                Event::Submit {
-                    site: q.profile.home,
-                },
-            );
+            let home = q.profile.home;
+            let think = self.lps[home].rng_think.exponential(self.params.think_time);
+            sink.schedule(now + think, Event::Submit { site: home });
+        }
+    }
+
+    /// A completed query's lost result set is retransmitted from its
+    /// execution site after a backoff. Global because retry exhaustion
+    /// here frees a terminal at the *home* site.
+    fn handle_retransmit(
+        &mut self,
+        now: SimTime,
+        id: QueryId,
+        site: SiteId,
+        sink: &mut dyn EventSink,
+    ) {
+        let (home, class, reads_total) = {
+            let q = self.lps[site].query(id);
+            debug_assert!(matches!(q.phase, QueryPhase::Return));
+            (q.profile.home, q.profile.class, q.reads_total)
+        };
+        if self.lps[site].site.is_up() {
+            // The execution site keeps results logged until acknowledged.
+            let msg = RingMsg::Query {
+                query: id,
+                kind: MsgKind::Result,
+                dest: home,
+            };
+            let cost = self.params.result_cost(class, f64::from(reads_total));
+            if let Some(done) = self.ring.send(now, site, msg, cost) {
+                sink.schedule(done, Event::NetDone);
+            }
+        } else {
+            // The log is unreachable while its site is down.
+            self.schedule_retry_global(now, id, site, sink);
         }
     }
 
@@ -945,38 +1793,38 @@ impl DbSystem {
     /// scripted ones: drain the stations, mark the site unavailable, and
     /// push every resident query into fault recovery. Schedules no
     /// repair — that is the caller's (stochastic or scripted) business.
-    fn crash_site(&mut self, now: SimTime, site: SiteId, sched: &mut Scheduler<Event>) {
-        let victims = self.sites[site].crash(now);
-        self.load.set_available(site, false);
-        let frac = self.load.available_sites() as f64 / self.params.num_sites as f64;
+    fn crash_site(&mut self, now: SimTime, site: SiteId, sink: &mut dyn EventSink) {
+        let victims = self.lps[site].site.crash(now);
+        self.board.set_available(site, false);
+        let frac = self.board.available_sites() as f64 / self.params.num_sites as f64;
         self.metrics.record_availability(now, frac);
         for id in victims {
-            self.fail_execution(now, id, sched);
+            self.fail_execution(now, id, site, sink);
         }
     }
 
     /// The repair state change shared by stochastic and scripted
     /// recoveries: the site rejoins, its availability row returns, and
-    /// its suspicion-observer row is refreshed (it heard nothing while
-    /// down, so every peer gets a full detection window instead of being
-    /// suspected wholesale on the first sweep). Schedules no next crash.
+    /// its suspicion-observer entries are refreshed (it heard nothing
+    /// while down, so every peer gets a full detection window instead of
+    /// being suspected wholesale on the first sweep). Schedules no next
+    /// crash.
     fn recover_site(&mut self, now: SimTime, site: SiteId) {
-        self.sites[site].recover();
-        self.load.set_available(site, true);
-        if let Some(s) = self.resilience.as_mut().and_then(|r| r.suspicion.as_mut()) {
-            let n = self.params.num_sites;
-            for target in 0..n {
-                s.last_heard[site * n + target] = now;
+        self.lps[site].site.recover();
+        self.board.set_available(site, true);
+        if let Some(s) = self.lps[site].suspicion.as_mut() {
+            for heard in &mut s.last_heard {
+                *heard = now;
             }
         }
-        let frac = self.load.available_sites() as f64 / self.params.num_sites as f64;
+        let frac = self.board.available_sites() as f64 / self.params.num_sites as f64;
         self.metrics.record_availability(now, frac);
     }
 
     /// Site `site` fail-stops (stochastic crash process).
-    fn handle_site_down(&mut self, now: SimTime, site: SiteId, sched: &mut Scheduler<Event>) {
-        self.crash_site(now, site, sched);
-        let f = self.fault.as_mut().expect("fault layer active");
+    fn handle_site_down(&mut self, now: SimTime, site: SiteId, sink: &mut dyn EventSink) {
+        self.crash_site(now, site, sink);
+        let f = self.fault_mut();
         // An MTTR of zero means instant repair: skip the draw (the
         // exponential sampler requires a positive mean) and schedule the
         // recovery at the current instant.
@@ -985,16 +1833,16 @@ impl DbSystem {
         } else {
             0.0
         };
-        sched.after(repair, Event::SiteUp { site });
+        sink.schedule(now + repair, Event::SiteUp { site });
     }
 
     /// Site `site` finishes repair (stochastic crash process).
-    fn handle_site_up(&mut self, now: SimTime, site: SiteId, sched: &mut Scheduler<Event>) {
+    fn handle_site_up(&mut self, now: SimTime, site: SiteId, sink: &mut dyn EventSink) {
         self.recover_site(now, site);
-        let f = self.fault.as_mut().expect("fault layer active");
+        let f = self.fault_mut();
         if f.spec.mtbf > 0.0 {
             let ttf = f.rng_crash.exponential(f.spec.mtbf);
-            sched.after(ttf, Event::SiteDown { site });
+            sink.schedule(now + ttf, Event::SiteDown { site });
         }
     }
 
@@ -1003,174 +1851,52 @@ impl DbSystem {
     /// follow-ups; actions that match the current state (crashing a down
     /// site, healing an inactive partition) are no-ops, so scripts are
     /// idempotent under replay.
-    fn handle_script(&mut self, now: SimTime, index: usize, sched: &mut Scheduler<Event>) {
+    fn handle_script(&mut self, now: SimTime, index: usize, sink: &mut dyn EventSink) {
         let entry = self.params.script[index];
         match entry.action {
             ScriptAction::SiteDown(site) => {
-                if self.sites[site].is_up() {
-                    self.crash_site(now, site, sched);
+                if self.lps[site].site.is_up() {
+                    self.crash_site(now, site, sink);
                 }
             }
             ScriptAction::SiteUp(site) => {
-                if !self.sites[site].is_up() {
+                if !self.lps[site].site.is_up() {
                     self.recover_site(now, site);
                 }
             }
             ScriptAction::PartitionStart => {
-                self.fault
-                    .as_mut()
-                    .expect("fault layer active")
-                    .partition_active = true;
+                self.fault_mut().partition_active = true;
             }
             ScriptAction::PartitionHeal => {
-                self.fault
-                    .as_mut()
-                    .expect("fault layer active")
-                    .partition_active = false;
+                self.fault_mut().partition_active = false;
             }
         }
     }
 
-    /// A ring message was dropped in flight.
-    fn handle_msg_lost(&mut self, now: SimTime, msg: RingMsg, sched: &mut Scheduler<Event>) {
+    /// A ring message was dropped in flight; `from` is the sender, whose
+    /// table still holds any in-flight query (tables move at delivery).
+    fn handle_msg_lost(
+        &mut self,
+        now: SimTime,
+        msg: RingMsg,
+        from: SiteId,
+        sink: &mut dyn EventSink,
+    ) {
         self.metrics.record_msg_lost();
         match msg {
             RingMsg::Query {
                 query,
                 kind: MsgKind::Dispatch,
                 ..
-            } => self.fail_execution(now, query, sched),
+            } => self.fail_execution(now, query, from, sink),
             RingMsg::Query {
                 query,
                 kind: MsgKind::Result,
                 ..
-            } => self.schedule_retry(now, query, sched),
+            } => self.schedule_retry_global(now, query, from, sink),
             // A lost broadcast just means everyone keeps stale rows until
             // the next period.
             RingMsg::Status { .. } => {}
-        }
-    }
-
-    /// A backed-off query's retry delay expired.
-    fn handle_resubmit(&mut self, now: SimTime, id: QueryId, sched: &mut Scheduler<Event>) {
-        let (phase, kind, home) = {
-            let q = self.queries.get(id).expect("query in flight");
-            (q.phase, q.kind, q.profile.home)
-        };
-        match phase {
-            // Results were lost on the wire: retransmit them (the
-            // execution site keeps them logged until acknowledged).
-            QueryPhase::Return => {
-                let (exec, class, reads_total) = {
-                    let q = self.queries.get(id).expect("query in flight");
-                    (q.exec, q.profile.class, q.reads_total)
-                };
-                if self.sites[exec].is_up() {
-                    let msg = RingMsg::Query {
-                        query: id,
-                        kind: MsgKind::Result,
-                        dest: home,
-                    };
-                    let cost = self.params.result_cost(class, f64::from(reads_total));
-                    if let Some(done) = self.ring.send(now, exec, msg, cost) {
-                        sched.at(done, Event::NetDone);
-                    }
-                } else {
-                    // The log is unreachable while its site is down.
-                    self.schedule_retry(now, id, sched);
-                }
-            }
-            // A fresh execution attempt: re-allocate failure-aware.
-            QueryPhase::Backoff => {
-                if !self.sites[home].is_up() {
-                    // The query's own site is (still) down; keep waiting.
-                    self.schedule_retry(now, id, sched);
-                    return;
-                }
-                let (profile, relation) = {
-                    let q = self.queries.get(id).expect("query in flight");
-                    (q.profile, q.profile.relation)
-                };
-                // Apply jobs are pinned to their replica; everything else
-                // re-runs the failure-aware allocation from home.
-                let exec = if kind == QueryKind::Propagation {
-                    home
-                } else {
-                    let ctx = AllocationContext {
-                        params: &self.params,
-                        load: &self.load,
-                        arrival_site: home,
-                    };
-                    self.allocator.select_site_among(
-                        &profile,
-                        &ctx,
-                        self.catalog.candidates(relation),
-                    )
-                };
-                if !self.catalog.holds(exec, relation) {
-                    // Still no holder reachable: keep backing off.
-                    self.schedule_retry(now, id, sched);
-                    return;
-                }
-                // Admission applies to re-allocations too; apply jobs are
-                // pinned to their replica and exempt.
-                let exec = if kind == QueryKind::Propagation {
-                    exec
-                } else {
-                    match self.admit_or_shed(exec, home, relation) {
-                        Admission::Admit(site) => site,
-                        Admission::Drop => {
-                            self.metrics.record_admission_dropped();
-                            self.shed_query(now, id, sched);
-                            return;
-                        }
-                        Admission::Reject => {
-                            let a = self.params.admission.expect("admission layer active");
-                            if self.resilience_retry(
-                                now,
-                                id,
-                                a.backoff_base,
-                                a.max_retries,
-                                RetryCounter::Admission,
-                                sched,
-                            ) {
-                                self.metrics.record_admission_rejected();
-                            } else {
-                                self.metrics.record_admission_dropped();
-                            }
-                            return;
-                        }
-                    }
-                };
-                self.load.allocate(exec, profile.io_bound);
-                self.metrics
-                    .record_query_difference(now, self.load.query_difference());
-                let remote = exec != home;
-                {
-                    let q = self.queries.get_mut(id).expect("query in flight");
-                    q.exec = exec;
-                    q.phase = if remote {
-                        QueryPhase::Transfer
-                    } else {
-                        QueryPhase::Disk
-                    };
-                }
-                self.arm_deadline(now, id, sched);
-                if remote {
-                    let msg = RingMsg::Query {
-                        query: id,
-                        kind: MsgKind::Dispatch,
-                        dest: exec,
-                    };
-                    let cost = self.params.dispatch_cost(profile.class);
-                    if let Some(done) = self.ring.send(now, home, msg, cost) {
-                        sched.at(done, Event::NetDone);
-                    }
-                } else {
-                    self.start_read(now, id, sched);
-                }
-            }
-            other => debug_assert!(false, "Resubmit for query in phase {other:?}"),
         }
     }
 
@@ -1179,32 +1905,45 @@ impl DbSystem {
     // unreachable when the corresponding specs are absent or inactive)
     // ------------------------------------------------------------------
 
-    /// Arms a fresh deadline for `id`'s current execution attempt: a slack
-    /// of `floor + Exp(mean)` from now. Re-armed on every (re)allocation,
-    /// so the budgeted retries each get a full window. Apply jobs carry no
-    /// deadline — they are background system work.
-    fn arm_deadline(&mut self, now: SimTime, id: QueryId, sched: &mut Scheduler<Event>) {
-        let _ = now;
+    /// Re-schedules a moved query's armed deadline against its fresh id:
+    /// the *absolute* expiry instant travels with the query
+    /// (`ActiveQuery::deadline_at`); only the event's id and table site
+    /// change. An expiry instant already in the past fires immediately.
+    fn rearm_deadline(
+        &mut self,
+        now: SimTime,
+        id: QueryId,
+        site: SiteId,
+        sink: &mut dyn EventSink,
+    ) {
         let Some(spec) = self.params.deadlines else {
             return;
         };
         if !spec.is_active() {
             return;
         }
-        let epoch = {
-            let q = self.queries.get(id).expect("query in flight");
-            if q.kind == QueryKind::Propagation {
-                return;
-            }
-            q.deadline_epoch
+        let (kind, epoch, at) = {
+            let q = self.lps[site].query(id);
+            (q.kind, q.deadline_epoch, q.deadline_at)
         };
-        let r = self.resilience.as_mut().expect("resilience layer active");
-        let slack = spec.floor + r.rng_deadline.exponential(spec.mean);
-        sched.after(slack, Event::DeadlineExpire { query: id, epoch });
+        if kind == QueryKind::Propagation || at <= SimTime::ZERO {
+            return;
+        }
+        let t = if at > now { at } else { now };
+        sink.schedule(
+            t,
+            Event::DeadlineExpire {
+                query: id,
+                epoch,
+                site,
+            },
+        );
     }
 
     /// A query's deadline expired. Honored only if the armed `epoch` still
-    /// matches (completion, crash recovery, and cancellation all bump it).
+    /// matches (completion, crash recovery, and cancellation all bump it)
+    /// and the query still sits in `site`'s table under this id (a moved
+    /// query carries a fresh id, so stale expiries miss by construction).
     /// The unwind is phase-exact: a waiting disk job is pulled from its
     /// queue, a CPU job is removed from the PS server (returning its
     /// unserved work), and work that cannot be recalled — a frame on the
@@ -1215,15 +1954,16 @@ impl DbSystem {
         now: SimTime,
         id: QueryId,
         epoch: u32,
-        sched: &mut Scheduler<Event>,
+        site: SiteId,
+        sink: &mut dyn EventSink,
     ) {
-        let Some(q) = self.queries.get(id) else {
-            return; // already completed or shed
+        let Some(q) = self.lps[site].queries.get(id) else {
+            return; // already completed, shed, or moved tables
         };
         if q.deadline_epoch != epoch {
             return; // stale expiry for a superseded attempt
         }
-        let (phase, exec) = (q.phase, q.exec);
+        let phase = q.phase;
         match phase {
             // Results already exist (delivering them is cheaper than
             // redoing the work) or the query is already being unwound.
@@ -1231,27 +1971,34 @@ impl DbSystem {
             // The dispatch frame cannot be recalled from the ring: flag
             // the query; the delivery handler cancels instead of starting.
             QueryPhase::Transfer => {
-                self.queries.get_mut(id).expect("query in flight").expired = true;
+                self.lps[site].query_mut(id).expired = true;
             }
             QueryPhase::Cpu => {
-                let (_unserved, next) = self.sites[exec]
+                let (_unserved, next) = self.lps[site]
+                    .site
                     .cpu
                     .remove(now, &id)
                     .expect("Cpu-phase query resident in its PS server");
                 if let Some((t, token)) = next {
-                    sched.at(t, Event::CpuDone { site: exec, token });
+                    sink.schedule(t, Event::CpuDone { site, token });
                 }
-                self.cancel_and_reallocate(now, id, sched);
+                self.cancel_and_reallocate(now, id, site, sink);
             }
             QueryPhase::Disk => {
                 // FCFS service is immutable once started: an in-service
                 // page read finishes and the cancellation happens at its
                 // `DiskDone`. A waiting job is removed on the spot.
-                if self.sites[exec].disks.iter().any(|d| d.is_in_service(&id)) {
-                    self.queries.get_mut(id).expect("query in flight").expired = true;
+                if self.lps[site]
+                    .site
+                    .disks
+                    .iter()
+                    .any(|d| d.is_in_service(&id))
+                {
+                    self.lps[site].query_mut(id).expired = true;
                     return;
                 }
-                let removed = self.sites[exec]
+                let removed = self.lps[site]
+                    .site
                     .disks
                     .iter_mut()
                     .find_map(|d| d.remove_waiting(now, &id));
@@ -1259,20 +2006,28 @@ impl DbSystem {
                     removed.is_some(),
                     "Disk-phase query neither in service nor waiting"
                 );
-                self.cancel_and_reallocate(now, id, sched);
+                self.cancel_and_reallocate(now, id, site, sink);
             }
         }
     }
 
-    /// Cancels `id`'s current execution attempt after a deadline timeout
-    /// (the caller has already unwound any station state) and either
-    /// re-allocates it — next-best site, after a jittered backoff — or
-    /// abandons it once the reallocation budget is spent.
-    fn cancel_and_reallocate(&mut self, now: SimTime, id: QueryId, sched: &mut Scheduler<Event>) {
+    /// Cancels a query's current execution attempt after a deadline
+    /// timeout (the caller has already unwound any station state), moves
+    /// it home, and either re-allocates it — next-best site, after a
+    /// jittered backoff — or abandons it once the reallocation budget is
+    /// spent. `site` is the LP whose table holds the query.
+    fn cancel_and_reallocate(
+        &mut self,
+        now: SimTime,
+        id: QueryId,
+        site: SiteId,
+        sink: &mut dyn EventSink,
+    ) {
         let spec = self.params.deadlines.expect("deadline layer active");
-        let (exec, io_bound, class) = {
-            let q = self.queries.get_mut(id).expect("query in flight");
+        let (phase, exec, io_bound, class, home) = {
+            let q = self.lps[site].query_mut(id);
             debug_assert!(!matches!(q.phase, QueryPhase::Return | QueryPhase::Backoff));
+            let phase = q.phase;
             q.phase = QueryPhase::Backoff;
             // The abandoned attempt's partial work is wasted, exactly as
             // in a crash recovery; the armed expiry (if any) goes stale.
@@ -1280,19 +2035,27 @@ impl DbSystem {
             q.service = 0.0;
             q.expired = false;
             q.deadline_epoch += 1;
-            (q.exec, q.profile.io_bound, q.profile.class)
+            (
+                phase,
+                q.exec,
+                q.profile.io_bound,
+                q.profile.class,
+                q.profile.home,
+            )
         };
-        self.load.release(exec, io_bound);
-        self.metrics
-            .record_query_difference(now, self.load.query_difference());
+        if matches!(phase, QueryPhase::Disk | QueryPhase::Cpu) {
+            self.release_load_direct(now, exec, io_bound);
+        }
         self.metrics.record_deadline_timeout(class);
-        if self.resilience_retry(
+        let id = self.move_query(id, site, home);
+        if self.resilience_retry_global(
             now,
             id,
+            home,
             spec.backoff_base,
             spec.max_reallocations,
             RetryCounter::Deadline,
-            sched,
+            sink,
         ) {
             self.metrics.record_deadline_reallocation(class);
         } else {
@@ -1300,24 +2063,23 @@ impl DbSystem {
         }
     }
 
-    /// Consumes one resilience retry for `id` against the given budget:
-    /// schedules a jittered-backoff `Resubmit` and returns `true`, or
-    /// sheds the query and returns `false` once the budget is exhausted.
-    /// Deadline reallocations and admission rejects count against
-    /// *separate* per-query counters — a query turned away repeatedly at
-    /// admission has done no work yet, so it must not arrive with its
-    /// deadline reallocation budget already spent.
-    fn resilience_retry(
+    /// Consumes one resilience retry for a query in `site`'s table
+    /// against the given budget: schedules a jittered-backoff `Resubmit`
+    /// and returns `true`, or sheds the query and returns `false` once
+    /// the budget is exhausted.
+    #[allow(clippy::too_many_arguments)]
+    fn resilience_retry_global(
         &mut self,
         now: SimTime,
         id: QueryId,
+        site: SiteId,
         base: f64,
         budget: u32,
         counter: RetryCounter,
-        sched: &mut Scheduler<Event>,
+        sink: &mut dyn EventSink,
     ) -> bool {
         let attempts = {
-            let q = self.queries.get_mut(id).expect("query in flight");
+            let q = self.lps[site].query_mut(id);
             match counter {
                 RetryCounter::Deadline => {
                     q.res_retries += 1;
@@ -1330,135 +2092,50 @@ impl DbSystem {
             }
         };
         if attempts > budget {
-            self.shed_query(now, id, sched);
+            self.shed_query_global(now, id, site, sink);
             false
         } else {
-            let delay = self.resilience_backoff(base, attempts);
-            sched.after(delay, Event::Resubmit { query: id });
+            let exp = attempts.saturating_sub(1).min(16);
+            let delay = base
+                * f64::from(1u32 << exp)
+                * self.lps[site].rng_realloc_backoff.uniform(0.5, 1.5);
+            sink.schedule(now + delay, Event::Resubmit { query: id, site });
             true
         }
     }
 
-    /// Jittered exponential backoff on the resilience layer's own RNG
-    /// substream: `base · 2^(attempt−1) · U(0.5, 1.5)`.
-    fn resilience_backoff(&mut self, base: f64, attempt: u32) -> f64 {
-        let r = self.resilience.as_mut().expect("resilience layer active");
-        let exp = attempt.saturating_sub(1).min(16);
-        base * f64::from(1u32 << exp) * r.rng_backoff.uniform(0.5, 1.5)
-    }
-
-    /// Removes a shed query (deadline abandonment or admission drop). The
-    /// caller records the per-cause metric. Closed model: the terminal
-    /// returns to thinking, preserving the closed population.
-    fn shed_query(&mut self, now: SimTime, id: QueryId, sched: &mut Scheduler<Event>) {
-        let _ = now;
-        let q = self.queries.remove(id).expect("query in flight");
+    /// Removes a shed query (deadline abandonment). Closed model: the
+    /// terminal returns to thinking, preserving the closed population.
+    fn shed_query_global(
+        &mut self,
+        now: SimTime,
+        id: QueryId,
+        site: SiteId,
+        sink: &mut dyn EventSink,
+    ) {
+        let q = self.lps[site].take_query(id);
         if matches!(self.params.workload, Workload::Closed) && q.kind != QueryKind::Propagation {
-            let think = self.rng_think.exponential(self.params.think_time);
-            sched.after(
-                think,
-                Event::Submit {
-                    site: q.profile.home,
-                },
-            );
+            let home = q.profile.home;
+            let think = self.lps[home].rng_think.exponential(self.params.think_time);
+            sink.schedule(now + think, Event::Submit { site: home });
         }
     }
 
-    /// Whether `site` is at an admission limit *right now* (live state):
-    /// its stations hold `mpl_cap` or more resident queries, or
-    /// `queue_limit` or more queries are allocated to it.
-    fn site_is_full(&self, site: SiteId) -> bool {
-        let Some(a) = self.params.admission else {
-            return false;
-        };
-        if let Some(cap) = a.mpl_cap {
-            if self.sites[site].resident_queries() as u32 >= cap {
-                return true;
-            }
-        }
-        if let Some(limit) = a.queue_limit {
-            if self.load.live(site).total() >= limit {
-                return true;
-            }
-        }
-        false
-    }
-
-    /// The admission verdict for a query headed to `exec`. A full site
-    /// sheds by its configured mode; `Redirect` re-routes to the
-    /// least-loaded usable holder of `relation` (falling back to a reject
-    /// when every alternative is also full, down, or quarantined).
-    fn admit_or_shed(&mut self, exec: SiteId, home: SiteId, relation: usize) -> Admission {
-        let Some(a) = self.params.admission else {
-            return Admission::Admit(exec);
-        };
-        if !a.is_active() || !self.site_is_full(exec) {
-            return Admission::Admit(exec);
-        }
-        match a.mode {
-            SheddingMode::Drop => Admission::Drop,
-            SheddingMode::RejectRetry => Admission::Reject,
-            SheddingMode::Redirect => {
-                let target = self
-                    .catalog
-                    .candidates(relation)
-                    .iter()
-                    .copied()
-                    .filter(|&s| {
-                        s != exec
-                            && self.load.is_available(s)
-                            && self.load.is_trusted(home, s)
-                            && !self.site_is_full(s)
-                    })
-                    .min_by_key(|&s| (self.load.view(s).total(), s));
-                match target {
-                    Some(t) => {
-                        self.metrics.record_admission_redirected();
-                        Admission::Admit(t)
-                    }
-                    None => Admission::Reject,
-                }
-            }
-        }
-    }
-
-    /// The suspicion sweep a site runs when its own broadcast timer fires:
-    /// any peer not heard for `threshold` status periods becomes suspected
-    /// and loses this observer's trust.
-    fn sweep_suspicion(&mut self, now: SimTime, observer: SiteId) {
-        let Some(s) = self.resilience.as_mut().and_then(|r| r.suspicion.as_mut()) else {
-            return;
-        };
-        let n = self.params.num_sites;
-        let horizon = f64::from(s.spec.threshold) * self.params.status_period;
-        for target in 0..n {
-            if target == observer {
-                continue;
-            }
-            let k = observer * n + target;
-            if !s.suspected[k] && now - s.last_heard[k] > horizon {
-                s.suspected[k] = true;
-                s.streak[k] = 0;
-                self.load.set_trusted(observer, target, false);
-            }
-        }
-    }
-
-    /// A status broadcast from `sender` was delivered: every observer that
-    /// can hear it (same partition group, and itself up) refreshes its
-    /// detector entry; a suspected sender works off its rejoin probation
-    /// one heard broadcast at a time.
+    /// A status broadcast from `sender` was delivered: every observer
+    /// that can hear it (same partition group, and itself up) refreshes
+    /// its detector entry; a suspected sender works off its rejoin
+    /// probation one heard broadcast at a time.
     fn hear_status(&mut self, now: SimTime, sender: SiteId) {
+        if self.params.suspicion.is_none() {
+            return;
+        }
         let n = self.params.num_sites;
         let partition_groups = self
             .fault
             .as_ref()
             .and_then(|f| f.partition_active.then_some(f.spec.partition_groups));
-        let Some(s) = self.resilience.as_mut().and_then(|r| r.suspicion.as_mut()) else {
-            return;
-        };
         for observer in 0..n {
-            if observer == sender || !self.sites[observer].is_up() {
+            if observer == sender || !self.lps[observer].site.is_up() {
                 continue;
             }
             if let Some(g) = partition_groups {
@@ -1466,54 +2143,80 @@ impl DbSystem {
                     continue;
                 }
             }
-            let k = observer * n + sender;
-            s.last_heard[k] = now;
-            if s.suspected[k] {
-                s.streak[k] += 1;
-                if s.streak[k] >= s.spec.probation {
-                    s.suspected[k] = false;
-                    s.streak[k] = 0;
-                    self.load.set_trusted(observer, sender, true);
+            let lp = &mut self.lps[observer];
+            let s = lp.suspicion.as_mut().expect("suspicion layer active");
+            s.last_heard[sender] = now;
+            if s.suspected[sender] {
+                s.streak[sender] += 1;
+                if s.streak[sender] >= s.spec.probation {
+                    s.suspected[sender] = false;
+                    s.streak[sender] = 0;
+                    lp.trust[sender] = true;
                 }
             }
         }
     }
 
-    /// The query's results reached its terminal: record statistics and put
-    /// the terminal back into think state.
-    fn complete_query(&mut self, now: SimTime, id: QueryId, sched: &mut Scheduler<Event>) {
-        let q = self.queries.remove(id).expect("query in flight");
-        let response = now - q.submitted;
-        if q.retries > 0 {
-            self.metrics.record_recovered();
+    // ------------------------------------------------------------------
+    // Cross-LP bookkeeping helpers
+    // ------------------------------------------------------------------
+
+    /// Moves a query record from one LP's table to another's, returning
+    /// its id there (fresh generation; the old id goes stale, which is
+    /// what invalidates any events still referring to it). A same-site
+    /// move is the identity.
+    fn move_query(&mut self, id: QueryId, from: SiteId, to: SiteId) -> QueryId {
+        if from == to {
+            return id;
         }
+        let q = self.lps[from].take_query(id);
+        self.lps[to]
+            .queries
+            .insert_with(|new_id| ActiveQuery { id: new_id, ..q })
+    }
+
+    /// Takes a load slot at `site` on behalf of a delivered dispatch
+    /// (both the LP's live row and the board move together).
+    fn alloc_load_direct(&mut self, now: SimTime, site: SiteId, io_bound: bool) {
+        let lp = &mut self.lps[site];
+        if io_bound {
+            lp.live.io += 1;
+        } else {
+            lp.live.cpu += 1;
+        }
+        self.board.allocate(site, io_bound);
         self.metrics
-            .record_completion(q.profile.class, response, q.service);
-        // Closed model: the terminal thinks, then submits its next query.
-        // Open model: the departure leaves; arrivals are source-driven.
-        if matches!(self.params.workload, Workload::Closed) {
-            let think = self.rng_think.exponential(self.params.think_time);
-            sched.after(
-                think,
-                Event::Submit {
-                    site: q.profile.home,
-                },
-            );
-        }
+            .record_query_difference(now, self.board.query_difference());
     }
 
-    fn draw_class(&mut self) -> usize {
-        let u = self.rng_class.next_f64();
-        let mut acc = 0.0;
-        for (c, spec) in self.params.classes.iter().enumerate() {
-            acc += spec.probability;
-            if u < acc {
-                return c;
-            }
+    /// Releases `site`'s load slot (both the LP's live row and the board).
+    fn release_load_direct(&mut self, now: SimTime, site: SiteId, io_bound: bool) {
+        let lp = &mut self.lps[site];
+        if io_bound {
+            lp.live.io -= 1;
+        } else {
+            lp.live.cpu -= 1;
         }
-        self.params.classes.len() - 1
+        self.board.release(site, io_bound);
+        self.metrics
+            .record_query_difference(now, self.board.query_difference());
     }
 
+    /// Starts execution of a just-delivered query at `site` (barrier-time
+    /// entry into the LP's own `start_read`).
+    fn start_read_at(&mut self, now: SimTime, site: SiteId, id: QueryId, sink: &mut dyn EventSink) {
+        let sh = Shared {
+            params: &self.params,
+            catalog: &self.catalog,
+            board: &self.board,
+            disk_dist: self.disk_dist,
+            cross: None,
+        };
+        self.lps[site].start_read(now, id, &sh, sink);
+    }
+}
+
+impl DbSystem {
     // ------------------------------------------------------------------
     // Observation
     // ------------------------------------------------------------------
@@ -1533,13 +2236,22 @@ impl DbSystem {
     /// The live load table.
     #[must_use]
     pub fn load(&self) -> &LoadTable {
-        &self.load
+        &self.board
     }
 
-    /// The sites (for station-level statistics).
+    /// Site `i` (for station-level statistics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_sites`.
     #[must_use]
-    pub fn sites(&self) -> &[Site] {
-        &self.sites
+    pub fn site(&self, i: SiteId) -> &Site {
+        &self.lps[i].site
+    }
+
+    /// The sites in index order (for station-level statistics).
+    pub fn sites(&self) -> impl Iterator<Item = &Site> {
+        self.lps.iter().map(|lp| &lp.site)
     }
 
     /// The token ring (for subnet statistics).
@@ -1551,7 +2263,7 @@ impl DbSystem {
     /// The allocation policy's display name.
     #[must_use]
     pub fn policy_name(&self) -> &'static str {
-        self.allocator.name()
+        self.lps[0].allocator.name()
     }
 
     /// The relation catalog in force.
@@ -1563,28 +2275,28 @@ impl DbSystem {
     /// Number of queries currently in flight (allocated or in transit).
     #[must_use]
     pub fn in_flight(&self) -> usize {
-        self.queries.len()
+        self.lps.iter().map(|lp| lp.queries.len()).sum()
     }
 
     /// Mean CPU utilization across sites, through `now` (the `ρ_c` of the
     /// paper's tables).
     #[must_use]
     pub fn cpu_utilization(&self, now: SimTime) -> f64 {
-        self.sites
+        self.lps
             .iter()
-            .map(|s| s.cpu.utilization(now))
+            .map(|lp| lp.site.cpu.utilization(now))
             .sum::<f64>()
-            / self.sites.len() as f64
+            / self.lps.len() as f64
     }
 
     /// Mean per-disk utilization across sites, through `now` (`ρ_d`).
     #[must_use]
     pub fn disk_utilization(&self, now: SimTime) -> f64 {
-        self.sites
+        self.lps
             .iter()
-            .map(|s| s.disk_utilization(now))
+            .map(|lp| lp.site.disk_utilization(now))
             .sum::<f64>()
-            / self.sites.len() as f64
+            / self.lps.len() as f64
     }
 
     /// Subnet (token-ring) utilization through `now`.
@@ -1595,18 +2307,22 @@ impl DbSystem {
 
     /// Verifies the closed-model invariant: every one of the
     /// `mpl × num_sites` terminals is either thinking or has exactly one
-    /// query in flight, and the load table agrees with the query states.
+    /// query in flight, the load table agrees with the query states, and
+    /// every LP's flushed view agrees with the global board.
     ///
     /// # Panics
     ///
     /// Panics (with a diagnostic) if the invariant is violated; meant for
-    /// tests and debug assertions.
+    /// tests and debug assertions. Must be called at a flushed point
+    /// (between events in the serial executor, at a barrier in the
+    /// parallel one).
     pub fn check_invariants(&self) {
         if matches!(self.params.workload, Workload::Closed) {
             let terminals = self.params.mpl as usize * self.params.num_sites;
             let terminal_queries = self
-                .queries
-                .values()
+                .lps
+                .iter()
+                .flat_map(|lp| lp.queries.values())
                 .filter(|q| q.kind != QueryKind::Propagation)
                 .count();
             assert!(
@@ -1614,27 +2330,36 @@ impl DbSystem {
                 "{terminal_queries} terminal queries in flight but only {terminals} terminals"
             );
         }
-        // Load table counts = queries allocated and not yet finished
-        // (phases Transfer, Disk, Cpu). Returning and backed-off queries
-        // hold no load-table slot.
+        // Load slots are held exactly by the queries at a site's stations
+        // (phases Disk, Cpu). Transfers allocate at delivery; returning
+        // and backed-off queries hold no slot.
         let executing = self
-            .queries
-            .values()
-            .filter(|q| !matches!(q.phase, QueryPhase::Return | QueryPhase::Backoff))
-            .count() as u32;
+            .lps
+            .iter()
+            .flat_map(|lp| lp.queries.values())
+            .filter(|q| matches!(q.phase, QueryPhase::Disk | QueryPhase::Cpu))
+            .count();
         assert_eq!(
-            self.load.total_in_system(),
-            executing,
+            self.board.total_in_system(),
+            executing as u32,
             "load table disagrees with in-flight query phases"
         );
         // Station residents are exactly the queries in Disk/Cpu phases.
-        let at_stations: usize = self.sites.iter().map(Site::resident_queries).sum();
-        let disk_or_cpu = self
-            .queries
-            .values()
-            .filter(|q| matches!(q.phase, QueryPhase::Disk | QueryPhase::Cpu))
-            .count();
-        assert_eq!(at_stations, disk_or_cpu, "station residency mismatch");
+        let at_stations: usize = self.lps.iter().map(|lp| lp.site.resident_queries()).sum();
+        assert_eq!(at_stations, executing, "station residency mismatch");
+        for lp in &self.lps {
+            assert_eq!(
+                self.board.live(lp.index),
+                lp.live,
+                "site {}'s live row diverged from the board",
+                lp.index
+            );
+            assert!(
+                lp.obs.is_empty() && lp.outbox.is_empty() && lp.deferred.is_empty(),
+                "site {} has unflushed side effects",
+                lp.index
+            );
+        }
     }
 
     /// Discards the warmup transient: restarts every statistic at `now`
@@ -1642,9 +2367,9 @@ impl DbSystem {
     pub fn reset_stats(&mut self, now: SimTime) {
         self.metrics.reset(now);
         self.metrics
-            .record_query_difference(now, self.load.query_difference());
-        for s in &mut self.sites {
-            s.reset_stats(now);
+            .record_query_difference(now, self.board.query_difference());
+        for lp in &mut self.lps {
+            lp.site.reset_stats(now);
         }
         self.ring.reset_stats(now);
     }
@@ -1654,82 +2379,9 @@ impl Model for DbSystem {
     type Event = Event;
 
     fn handle(&mut self, now: SimTime, event: Event, sched: &mut Scheduler<Event>) {
-        match event {
-            Event::Submit { site } => self.handle_submit(now, site, sched),
-            Event::DiskDone { site, disk, epoch } => {
-                self.handle_disk_done(now, site, disk, epoch, sched);
-            }
-            Event::CpuDone { site, token } => self.handle_cpu_done(now, site, token, sched),
-            Event::NetDone => self.handle_net_done(now, sched),
-            Event::StatusExchange => {
-                // A dropout models a failed exchange round: every site
-                // keeps its stale rows until the next period.
-                let dropped = match &mut self.fault {
-                    Some(f) if f.spec.status_loss > 0.0 => {
-                        f.rng_status.bernoulli(f.spec.status_loss)
-                    }
-                    _ => false,
-                };
-                if !dropped {
-                    self.load.publish();
-                    // The free exchange also refreshes every backpressure
-                    // bit (there are no per-site frames to carry them).
-                    if self.params.admission.is_some_and(|a| a.is_active()) {
-                        for site in 0..self.params.num_sites {
-                            let full = self.site_is_full(site);
-                            self.load.set_full(site, full);
-                        }
-                    }
-                }
-                sched.after(self.params.status_period, Event::StatusExchange);
-            }
-            Event::StatusSend { site } => {
-                let dropped = match &mut self.fault {
-                    Some(f) if f.spec.status_loss > 0.0 => {
-                        f.rng_status.bernoulli(f.spec.status_loss)
-                    }
-                    _ => false,
-                };
-                // A down site broadcasts nothing, but its schedule
-                // survives the outage.
-                if self.sites[site].is_up() && !dropped {
-                    // The broadcaster also audits its peers: anyone whose
-                    // broadcast it has missed too long becomes suspected.
-                    self.sweep_suspicion(now, site);
-                    let msg = RingMsg::Status {
-                        site,
-                        load: self.load.live(site),
-                        full: self.site_is_full(site),
-                    };
-                    if let Some(done) =
-                        self.ring
-                            .send(now, site, msg, self.params.status_msg_length)
-                    {
-                        sched.at(done, Event::NetDone);
-                    }
-                }
-                sched.after(self.params.status_period, Event::StatusSend { site });
-            }
-            Event::SiteDown { site } => self.handle_site_down(now, site, sched),
-            Event::SiteUp { site } => self.handle_site_up(now, site, sched),
-            Event::MsgLost { msg } => self.handle_msg_lost(now, msg, sched),
-            Event::Resubmit { query } => self.handle_resubmit(now, query, sched),
-            Event::DeadlineExpire { query, epoch } => {
-                self.handle_deadline_expire(now, query, epoch, sched);
-            }
-            Event::PartitionStart => {
-                self.fault
-                    .as_mut()
-                    .expect("fault layer active")
-                    .partition_active = true;
-            }
-            Event::PartitionHeal => {
-                self.fault
-                    .as_mut()
-                    .expect("fault layer active")
-                    .partition_active = false;
-            }
-            Event::Script { index } => self.handle_script(now, index, sched),
+        match event_site(&event) {
+            Some(site) => self.dispatch_lp(now, site, event, sched),
+            None => self.handle_global(now, event, sched),
         }
     }
 }
@@ -2020,8 +2672,8 @@ mod tests {
         assert!(m.metrics().completed() > 200);
         // The fast site's CPU serves more *work* per unit busy time; LERT
         // keeps it busier with CPU-bound queries than the slow sites.
-        let fast_load = m.sites()[0].cpu.total_service();
-        let slow_load = m.sites()[1].cpu.total_service();
+        let fast_load = m.site(0).cpu.total_service();
+        let slow_load = m.site(1).cpu.total_service();
         let _ = now;
         assert!(
             fast_load < slow_load * 4.0,

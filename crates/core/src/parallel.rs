@@ -79,6 +79,15 @@ pub fn jobs() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
+/// The machine's detected core count, ignoring the [`set_jobs`] override
+/// and `DQA_JOBS`. Perf benches compare this against the *requested*
+/// worker count: a speedup claim where `jobs > cores_detected` is
+/// physically impossible and must be reported as degraded, not asserted.
+#[must_use]
+pub fn cores_detected() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
 /// Applies `f` to every `(index, item)` pair on a pool of `jobs` scoped
 /// threads and returns the results **in index order**.
 ///

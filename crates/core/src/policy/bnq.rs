@@ -30,7 +30,7 @@ use crate::query::QueryProfile;
 /// let mut alloc = Allocator::new(PolicyKind::Bnq, 0);
 /// let q = QueryProfile { class: 0, num_reads: 20.0, page_cpu_time: 0.05,
 ///                        home: 0, io_bound: true, relation: 0 };
-/// let ctx = AllocationContext { params: &params, load: &load, arrival_site: 0 };
+/// let ctx = AllocationContext::from_table(&params, &load, 0);
 /// assert_eq!(alloc.select_site(&q, &ctx), 2);
 /// # Ok::<(), dqa_core::params::ParamsError>(())
 /// ```

@@ -35,7 +35,7 @@ use crate::query::QueryProfile;
 /// let mut alloc = Allocator::new(PolicyKind::Bnqrd, 0);
 /// let q = QueryProfile { class: 0, num_reads: 20.0, page_cpu_time: 0.05,
 ///                        home: 1, io_bound: true, relation: 0 };
-/// let ctx = AllocationContext { params: &params, load: &load, arrival_site: 1 };
+/// let ctx = AllocationContext::from_table(&params, &load, 1);
 /// // An I/O-bound arrival goes where the *I/O* count is lowest: site 0.
 /// assert_eq!(alloc.select_site(&q, &ctx), 0);
 /// # Ok::<(), dqa_core::params::ParamsError>(())

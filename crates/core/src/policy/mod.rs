@@ -51,19 +51,52 @@ use crate::load::{LoadTable, SiteLoad};
 use crate::params::{SiteId, SystemParams};
 use crate::query::QueryProfile;
 
-/// Everything a cost function may consult: the published load table, the
-/// system parameters, and where the query arrived.
+/// Everything a cost function may consult: the shared board (published
+/// rows, availability, backpressure bits), the arrival site's *own* live
+/// load and trust vector, the system parameters, and where the query
+/// arrived.
+///
+/// The split between `board` and `own`/`trust` mirrors the simulator's
+/// ownership: the board is shared state every site reads, while a site's
+/// instantaneous load and its suspicion detector are private to that
+/// site's logical process (DESIGN.md §12) — which is what lets the
+/// parallel-in-time executor evaluate allocations mid-window without
+/// touching any other LP's state.
 #[derive(Debug)]
 pub struct AllocationContext<'a> {
     /// System parameters (hardware, message costs).
     pub params: &'a SystemParams,
-    /// The load table, as published to the sites.
-    pub load: &'a LoadTable,
+    /// The shared board: published load rows, availability, full bits.
+    pub board: &'a LoadTable,
+    /// The arrival site's own instantaneous load (always current —
+    /// a site knows its own load exactly).
+    pub own: SiteLoad,
+    /// The arrival site's trust vector (`trust[s]` = its suspicion
+    /// detector currently trusts site `s`); all-true without the
+    /// resilience layer.
+    pub trust: &'a [bool],
     /// The site whose terminal submitted the query.
     pub arrival_site: SiteId,
 }
 
-impl AllocationContext<'_> {
+impl<'a> AllocationContext<'a> {
+    /// Builds a context straight from a load table, under the paper's
+    /// perfect-information assumption: `own` is the table's live row for
+    /// the arrival site and `trust` is the table's per-observer trust
+    /// row. This is how tests and analytic tools construct contexts; the
+    /// simulator instead passes each LP's privately owned row and
+    /// detector state.
+    #[must_use]
+    pub fn from_table(params: &'a SystemParams, board: &'a LoadTable, arrival: SiteId) -> Self {
+        AllocationContext {
+            params,
+            board,
+            own: board.live(arrival),
+            trust: board.trust_row(arrival),
+            arrival_site: arrival,
+        }
+    }
+
     /// The load of `site` as seen from the arrival site. A site always
     /// knows its *own* instantaneous load; other sites' rows are whatever
     /// has been published (identical to live under the paper's
@@ -71,9 +104,9 @@ impl AllocationContext<'_> {
     #[must_use]
     pub fn view(&self, site: SiteId) -> SiteLoad {
         if site == self.arrival_site {
-            self.load.live(site)
+            self.own
         } else {
-            self.load.view(site)
+            self.board.view(site)
         }
     }
 
@@ -84,9 +117,9 @@ impl AllocationContext<'_> {
     /// [`LoadTable::is_available`].
     #[must_use]
     pub fn usable(&self, site: SiteId) -> bool {
-        self.load.is_available(site)
-            && self.load.is_trusted(self.arrival_site, site)
-            && (site == self.arrival_site || !self.load.is_full(site))
+        self.board.is_available(site)
+            && self.trust[site]
+            && (site == self.arrival_site || !self.board.is_full(site))
     }
 }
 
@@ -95,7 +128,7 @@ impl AllocationContext<'_> {
 /// Costs are compared with strict `<`, so on ties the arrival site wins,
 /// then earlier sites in the round-robin scan order — matching the paper's
 /// pseudocode.
-pub trait AllocationPolicy: fmt::Debug {
+pub trait AllocationPolicy: fmt::Debug + Send {
     /// Short name used in reports ("BNQ", "LERT", ...).
     fn name(&self) -> &'static str;
 
@@ -126,7 +159,7 @@ pub trait AllocationPolicy: fmt::Debug {
 /// let mut alloc = Allocator::new(PolicyKind::Bnq, 42);
 /// let q = QueryProfile { class: 0, num_reads: 20.0, page_cpu_time: 0.05,
 ///                        home: 0, io_bound: true, relation: 0 };
-/// let ctx = AllocationContext { params: &params, load: &load, arrival_site: 0 };
+/// let ctx = AllocationContext::from_table(&params, &load, 0);
 /// let site = alloc.select_site(&q, &ctx);
 /// assert_ne!(site, 0, "an empty remote site must win");
 /// # Ok::<(), dqa_core::params::ParamsError>(())
@@ -140,11 +173,28 @@ pub struct Allocator {
 
 impl Allocator {
     /// Creates an allocator running the given policy. `seed` feeds
-    /// stochastic policies ([`Random`]); deterministic policies ignore it.
+    /// stochastic policies ([`Random`]) through the registry's
+    /// `POLICY_RANDOM` substream; deterministic policies ignore it.
     #[must_use]
     pub fn new(kind: PolicyKind, seed: u64) -> Self {
         Allocator {
             policy: kind.build(seed),
+            kind,
+            cursor: 0,
+        }
+    }
+
+    /// Creates an allocator whose stochastic draws come from `stream`.
+    ///
+    /// The simulator builds one allocator per site from the site's own
+    /// `POLICY_RANDOM` child stream ([`crate::substreams::per_site`]), so
+    /// that no two sites ever share a random sequence — a prerequisite
+    /// for the parallel-in-time executor, where sites allocate
+    /// concurrently and any shared stream would make draw order racy.
+    #[must_use]
+    pub fn from_stream(kind: PolicyKind, stream: RngStream) -> Self {
+        Allocator {
+            policy: kind.build_from(stream),
             kind,
             cursor: 0,
         }
@@ -212,7 +262,7 @@ impl Allocator {
             if strict {
                 ctx.usable(s)
             } else {
-                ctx.load.is_available(s)
+                ctx.board.is_available(s)
             }
         };
         let start = if candidates.contains(&arrival) && admit(arrival) {
@@ -309,17 +359,23 @@ pub enum PolicyKind {
 }
 
 impl PolicyKind {
-    /// Instantiates the policy.
+    /// Instantiates the policy, deriving stochastic policies' stream
+    /// from `seed` via the registry's `POLICY_RANDOM` tag.
     #[must_use]
     pub fn build(&self, seed: u64) -> Box<dyn AllocationPolicy> {
+        self.build_from(RngStream::new(seed).substream(crate::substreams::POLICY_RANDOM))
+    }
+
+    /// Instantiates the policy with an explicit random stream (ignored
+    /// by deterministic policies).
+    #[must_use]
+    pub fn build_from(&self, stream: RngStream) -> Box<dyn AllocationPolicy> {
         match *self {
             PolicyKind::Local => Box::new(Local),
             PolicyKind::Bnq => Box::new(Bnq),
             PolicyKind::Bnqrd => Box::new(Bnqrd),
             PolicyKind::Lert => Box::new(Lert),
-            PolicyKind::Random => Box::new(Random::new(
-                RngStream::new(seed).substream(crate::substreams::POLICY_RANDOM),
-            )),
+            PolicyKind::Random => Box::new(Random::new(stream)),
             PolicyKind::Threshold(t) => Box::new(Threshold::new(t)),
             PolicyKind::LertNoNet => Box::new(LertNoNet),
             PolicyKind::Wlc => Box::new(Wlc),
@@ -383,11 +439,7 @@ pub(crate) mod test_support {
         }
 
         pub fn ctx(&self, arrival: SiteId) -> AllocationContext<'_> {
-            AllocationContext {
-                params: &self.params,
-                load: &self.load,
-                arrival_site: arrival,
-            }
+            AllocationContext::from_table(&self.params, &self.load, arrival)
         }
 
         pub fn io_query(&self, home: SiteId) -> QueryProfile {

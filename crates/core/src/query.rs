@@ -109,6 +109,12 @@ pub struct ActiveQuery {
     /// unwound immediately (a frame in flight, a disk read in service);
     /// the cancellation completes at the next natural event.
     pub expired: bool,
+    /// Absolute deadline, set once when the deadline is armed (0 with
+    /// deadlines off). A query that moves between per-site tables gets a
+    /// fresh id there, orphaning any armed expiry; the mover re-arms a
+    /// fresh `DeadlineExpire` at this absolute time instead of drawing a
+    /// new slack.
+    pub deadline_at: SimTime,
 }
 
 impl ActiveQuery {
@@ -152,6 +158,7 @@ impl ActiveQuery {
 /// #         exec: 0, reads_total: 1, reads_done: 0, submitted: SimTime::ZERO,
 /// #         service: 0.0, phase: QueryPhase::Disk, kind: QueryKind::Read, retries: 0,
 /// #         deadline_epoch: 0, res_retries: 0, adm_retries: 0, expired: false,
+/// #         deadline_at: SimTime::ZERO,
 /// #     }
 /// # }
 /// let mut table = QueryTable::new();
@@ -306,6 +313,7 @@ mod tests {
             res_retries: 0,
             adm_retries: 0,
             expired: false,
+            deadline_at: SimTime::ZERO,
         }
     }
 

@@ -1,8 +1,8 @@
 //! Central registry of RNG substream tags.
 //!
 //! Every random draw in the simulator comes from a child stream derived
-//! from the replication's root [`dqa_sim::RngStream`] via
-//! [`dqa_sim::RngStream::substream`]. The tag passed to `substream`
+//! from the replication's root [`dqa_sim::random::RngStream`] via
+//! [`dqa_sim::random::RngStream::substream`]. The tag passed to `substream`
 //! determines *which* independent stream a consumer gets, and the whole
 //! common-random-numbers (CRN) methodology of the paper's comparisons —
 //! and of our byte-identity tests — rests on two properties:
@@ -79,6 +79,26 @@ pub const REALLOC_BACKOFF: u64 = 15;
 /// The RANDOM allocation policy's site-selection stream. Kept far from
 /// the dense model range so new model streams can be appended freely.
 pub const POLICY_RANDOM: u64 = 0xD1CE;
+
+/// Derives the per-site child of a registered stream:
+/// `root.substream(tag).substream(site)`.
+///
+/// The parallel-in-time executor partitions every model stream by site so
+/// that each logical process draws from streams no other LP touches —
+/// draw *order* across sites then cannot perturb the trajectory, which is
+/// what makes the sharded schedule byte-identical to the serial one. The
+/// serial path uses the exact same derivation (DESIGN.md §12). The outer
+/// tag must come from this registry; the inner index is the site number,
+/// not a registry tag — each registered tag owns the whole family of its
+/// per-site children.
+#[must_use]
+pub fn per_site(
+    root: &dqa_sim::random::RngStream,
+    tag: u64,
+    site: usize,
+) -> dqa_sim::random::RngStream {
+    root.substream(tag).substream(site as u64)
+}
 
 /// Every registered tag, for uniqueness checks and documentation tooling.
 pub const ALL: &[(&str, u64)] = &[

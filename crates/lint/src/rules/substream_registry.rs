@@ -8,6 +8,15 @@
 //! assume independent. Forcing every tag through
 //! `dqa_core::substreams` makes a collision a lint error instead of a
 //! subtly-wrong experiment.
+//!
+//! The rule also rejects *non-constant* tags outside the registry file
+//! (`substream(site)`, `substream(self.tag)`, hand-rolled
+//! `substream(tag).substream(index)` chains): per-site stream
+//! derivation — the partitioning the parallel-in-time executor's
+//! byte-identity rests on (DESIGN.md §12) — must go through the
+//! registry's `per_site` helper, so the registry stays the single place
+//! where derivation structure is defined. A registered tag is
+//! recognized by its SCREAMING_CASE path segment.
 
 use crate::config::RuleConfig;
 use crate::diagnostics::Finding;
@@ -30,15 +39,25 @@ impl Rule for SubstreamRegistry {
         "substream() tags must be named dqa_core::substreams constants, unique in the registry"
     }
 
-    fn check_file(&self, file: &SourceFile, _cfg: &RuleConfig, out: &mut Vec<Finding>) {
+    fn check_file(&self, file: &SourceFile, cfg: &RuleConfig, out: &mut Vec<Finding>) {
+        let registry_path = cfg
+            .options
+            .get("registry")
+            .map_or("crates/core/src/substreams.rs", String::as_str);
+        // The registry file itself derives child streams from variable
+        // tags (that is its job); everywhere else the tag must be a
+        // registered constant.
+        let in_registry = file.rel_path == std::path::Path::new(registry_path);
         let code: Vec<_> = file.code_tokens().collect();
-        for window in code.windows(3) {
+        for (i, window) in code.windows(3).enumerate() {
             let [a, b, c] = window else { continue };
-            if a.kind == TokenKind::Ident
+            if !(a.kind == TokenKind::Ident
                 && a.text(&file.text) == "substream"
-                && b.text(&file.text) == "("
-                && matches!(c.kind, TokenKind::Int | TokenKind::Float)
+                && b.text(&file.text) == "(")
             {
+                continue;
+            }
+            if matches!(c.kind, TokenKind::Int | TokenKind::Float) {
                 out.push(
                     file.finding(
                         NAME,
@@ -54,6 +73,27 @@ impl Rule for SubstreamRegistry {
                         ),
                     ),
                 );
+            } else if c.kind == TokenKind::Ident && !in_registry {
+                // Resolve the argument's path (`a::b::TAG`) and judge
+                // its final segment: registered tags are SCREAMING_CASE
+                // constants, anything else is a variable-tag derivation
+                // that belongs in the registry's per_site helper.
+                let last = last_path_segment(&code, i + 2, &file.text);
+                if !is_screaming_case(last) {
+                    out.push(
+                        file.finding(
+                            NAME,
+                            c.start,
+                            format!("substream() tag `{last}` is not a registry constant"),
+                            Some(
+                                "pass a dqa_core::substreams constant; derive per-site \
+                             children via substreams::per_site so the derivation \
+                             structure stays defined in the registry"
+                                    .to_string(),
+                            ),
+                        ),
+                    );
+                }
             }
         }
     }
@@ -118,6 +158,30 @@ impl Rule for SubstreamRegistry {
             seen.push((value, name, value_tok.start));
         }
     }
+}
+
+/// Walks a `::`-separated path starting at `code[start]` and returns the
+/// final identifier segment (`crate::substreams::THINK` → `THINK`;
+/// a bare `site` → `site`).
+fn last_path_segment<'t>(code: &[&crate::lexer::Token], start: usize, text: &'t str) -> &'t str {
+    let mut i = start;
+    loop {
+        match (code.get(i + 1), code.get(i + 2)) {
+            (Some(sep), Some(next)) if sep.text(text) == "::" && next.kind == TokenKind::Ident => {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    code[i].text(text)
+}
+
+/// Whether an identifier looks like a registered tag constant:
+/// uppercase letters, digits and underscores, with at least one letter.
+fn is_screaming_case(s: &str) -> bool {
+    s.chars()
+        .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+        && s.chars().any(|c| c.is_ascii_uppercase())
 }
 
 /// Parses a Rust integer literal (decimal or `0x`/`0o`/`0b`, with `_`

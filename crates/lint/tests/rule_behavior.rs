@@ -100,6 +100,37 @@ fn substream_literal_is_flagged_with_span() {
 }
 
 #[test]
+fn variable_substream_tag_is_flagged_outside_the_registry() {
+    let ws = TempWorkspace::new("substream-variable");
+    ws.add_crate("app")
+        .write(
+            "crates/app/src/lib.rs",
+            "fn f(root: &R, site: u64) {\n    let s = root.substream(TAG).substream(site);\n}\n",
+        )
+        .write(
+            "crates/app/src/tags.rs",
+            "pub const TAG: u64 = 1;\n\
+             pub fn per_site(root: &R, tag: u64, site: u64) -> R {\n\
+                 root.substream(tag).substream(site)\n\
+             }\n",
+        );
+    let findings = ws.run(
+        "[rules.substream-registry]\ncrates = [\"app\"]\nregistry = \"crates/app/src/tags.rs\"\n",
+    );
+    // `substream(TAG)` passes (registered constant); `substream(site)`
+    // is a hand-rolled per-site derivation and must be flagged — but
+    // only outside the registry file, whose per_site helper is the one
+    // place variable tags are allowed.
+    assert_eq!(rules_of(&findings), ["substream-registry"]);
+    assert!(findings[0].message.contains("`site`"));
+    assert_eq!(findings[0].path, Path::new("crates/app/src/lib.rs"));
+    assert!(findings[0]
+        .help
+        .as_deref()
+        .is_some_and(|h| h.contains("per_site")));
+}
+
+#[test]
 fn duplicate_registry_tag_is_flagged() {
     let ws = TempWorkspace::new("dup-tag");
     ws.add_crate("app").write(

@@ -183,17 +183,31 @@ impl<M: Model> Engine<M> {
         Some(time)
     }
 
-    /// Runs until the next pending event is strictly later than `deadline`
-    /// (or the queue empties). Events *at* the deadline are processed. The
-    /// clock is advanced to `deadline` if it ends up earlier, so
-    /// time-weighted statistics can be finalized consistently.
-    pub fn run_until(&mut self, deadline: SimTime) {
+    /// Drains and dispatches every event with timestamp `<= deadline`,
+    /// returning how many were processed. The clock is left at the last
+    /// dispatched event (it does **not** advance to `deadline`) — this is
+    /// the reusable drain-and-dispatch core shared by the serial
+    /// [`Engine::run_until`] and the sharded executor's per-window drains,
+    /// which must not finalize time-weighted statistics mid-window.
+    pub fn step_until(&mut self, deadline: SimTime) -> u64 {
+        let mut processed = 0;
         while let Some(t) = self.sched.queue.peek_time() {
             if t > deadline {
                 break;
             }
             self.step();
+            processed += 1;
         }
+        processed
+    }
+
+    /// Runs until the next pending event is strictly later than `deadline`
+    /// (or the queue empties). Events *at* the deadline are processed
+    /// (via [`Engine::step_until`]). The clock is advanced to `deadline`
+    /// if it ends up earlier, so time-weighted statistics can be
+    /// finalized consistently.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.step_until(deadline);
         if self.sched.now < deadline {
             self.sched.now = deadline;
         }
@@ -285,6 +299,20 @@ mod tests {
         eng.run_until(SimTime::new(10.0));
         assert_eq!(eng.model().seen.len(), 2);
         assert_eq!(eng.now(), SimTime::new(10.0));
+    }
+
+    #[test]
+    fn step_until_counts_events_and_leaves_the_clock_on_the_last_one() {
+        let mut eng = Engine::new(Recorder { seen: Vec::new() });
+        eng.schedule(SimTime::new(1.0), 7);
+        eng.schedule(SimTime::new(2.0), 8);
+        eng.schedule(SimTime::new(5.0), 9);
+        assert_eq!(eng.step_until(SimTime::new(3.0)), 2);
+        // Unlike run_until, the clock stays at the last dispatched event.
+        assert_eq!(eng.now(), SimTime::new(2.0));
+        assert_eq!(eng.step_until(SimTime::new(3.0)), 0);
+        assert_eq!(eng.step_until(SimTime::new(5.0)), 1);
+        assert_eq!(eng.now(), SimTime::new(5.0));
     }
 
     #[test]

@@ -54,11 +54,7 @@ fn bnq_picks_a_minimum_count_site() {
         let home = g.usize_in(0..SITES);
         let p = params();
         let load = table_from(&rows);
-        let ctx = AllocationContext {
-            params: &p,
-            load: &load,
-            arrival_site: home,
-        };
+        let ctx = AllocationContext::from_table(&p, &load, home);
         let mut alloc = Allocator::new(PolicyKind::Bnq, 0);
         let pick = alloc.select_site(&query(0, home, &p), &ctx);
         let min = (0..SITES).map(|s| load.view(s).total()).min().unwrap();
@@ -83,11 +79,7 @@ fn bnqrd_picks_a_minimum_same_class_site() {
         let class = g.usize_in(0..2);
         let p = params();
         let load = table_from(&rows);
-        let ctx = AllocationContext {
-            params: &p,
-            load: &load,
-            arrival_site: home,
-        };
+        let ctx = AllocationContext::from_table(&p, &load, home);
         let mut alloc = Allocator::new(PolicyKind::Bnqrd, 0);
         let q = query(class, home, &p);
         let pick = alloc.select_site(&q, &ctx);
@@ -127,11 +119,7 @@ fn lert_never_moves_to_a_worse_estimate() {
                 + io_time * (1.0 + f64::from(v.io) / f64::from(p.num_disks))
                 + net
         };
-        let ctx = AllocationContext {
-            params: &p,
-            load: &load,
-            arrival_site: home,
-        };
+        let ctx = AllocationContext::from_table(&p, &load, home);
         let mut alloc = Allocator::new(PolicyKind::Lert, 0);
         let pick = alloc.select_site(&q, &ctx);
         assert!(
@@ -154,11 +142,7 @@ fn candidates_are_respected_by_every_policy() {
         let candidates: Vec<SiteId> = (0..SITES).filter(|s| cand_mask & (1 << s) != 0).collect();
         let p = params();
         let load = table_from(&rows);
-        let ctx = AllocationContext {
-            params: &p,
-            load: &load,
-            arrival_site: home,
-        };
+        let ctx = AllocationContext::from_table(&p, &load, home);
         for kind in [
             PolicyKind::Local,
             PolicyKind::Bnq,
@@ -192,11 +176,7 @@ fn wlc_equals_bnq_when_homogeneous() {
         let mut wlc = Allocator::new(PolicyKind::Wlc, 0);
         let mut bnq = Allocator::new(PolicyKind::Bnq, 0);
         for _ in 0..SITES {
-            let ctx = AllocationContext {
-                params: &p,
-                load: &load,
-                arrival_site: home,
-            };
+            let ctx = AllocationContext::from_table(&p, &load, home);
             assert_eq!(
                 wlc.select_site(&q, &ctx),
                 bnq.select_site(&q, &ctx),
@@ -219,11 +199,7 @@ fn uniform_loads_keep_queries_home() {
         let p = params();
         let rows: Vec<(u32, u32)> = vec![(io, cpu); SITES];
         let load = table_from(&rows);
-        let ctx = AllocationContext {
-            params: &p,
-            load: &load,
-            arrival_site: home,
-        };
+        let ctx = AllocationContext::from_table(&p, &load, home);
         for kind in [
             PolicyKind::Local,
             PolicyKind::Bnq,

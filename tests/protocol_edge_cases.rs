@@ -37,11 +37,7 @@ fn all_candidates_suspected_falls_back_to_availability() {
     // copies live only remotely, so the strict filter admits nothing.
     load.set_trusted(0, 1, false);
     load.set_trusted(0, 2, false);
-    let ctx = AllocationContext {
-        params: &params,
-        load: &load,
-        arrival_site: 0,
-    };
+    let ctx = AllocationContext::from_table(&params, &load, 0);
     for kind in [
         PolicyKind::Local,
         PolicyKind::Bnq,
@@ -67,11 +63,7 @@ fn trusted_candidate_beats_quarantined_one() {
     // Site 2 carries load; site 1 is empty but quarantined.
     load.allocate(2, true);
     load.publish();
-    let ctx = AllocationContext {
-        params: &params,
-        load: &load,
-        arrival_site: 0,
-    };
+    let ctx = AllocationContext::from_table(&params, &load, 0);
     let mut alloc = Allocator::new(PolicyKind::Bnq, 7);
     let pick = alloc.select_site_among(&io_query(0, 0), &ctx, &[1, 2]);
     assert_eq!(pick, 2, "quarantined site must lose to a trusted one");
@@ -86,11 +78,7 @@ fn all_candidates_down_falls_back_to_home() {
     let mut load = LoadTable::new(3, true);
     load.set_available(1, false);
     load.set_available(2, false);
-    let ctx = AllocationContext {
-        params: &params,
-        load: &load,
-        arrival_site: 0,
-    };
+    let ctx = AllocationContext::from_table(&params, &load, 0);
     let mut alloc = Allocator::new(PolicyKind::Bnqrd, 7);
     let pick = alloc.select_site_among(&io_query(0, 0), &ctx, &[1, 2]);
     assert_eq!(pick, 0, "no up candidate: fall back to home");
