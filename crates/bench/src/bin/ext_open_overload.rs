@@ -24,8 +24,16 @@ use dqa_core::policy::PolicyKind;
 use dqa_core::table::{fmt_f, TextTable};
 use dqa_sim::{Engine, SimTime};
 
-/// Runs the open system and returns (mean waiting, final backlog).
-fn run_open(params: &SystemParams, policy: PolicyKind, seed: u64, horizon: f64) -> (f64, usize) {
+/// One policy's measurements at one offered load.
+struct Cell {
+    wait: f64,
+    backlog: usize,
+    /// Streaming tail-sketch response percentiles (p50, p99, p999).
+    tails: [f64; 3],
+}
+
+/// Runs the open system and returns the measured cell.
+fn run_open(params: &SystemParams, policy: PolicyKind, seed: u64, horizon: f64) -> Cell {
     let sys = DbSystem::new(params.clone(), policy, seed).expect("valid params");
     let mut engine = Engine::new(sys);
     DbSystem::prime(&mut engine);
@@ -33,10 +41,12 @@ fn run_open(params: &SystemParams, policy: PolicyKind, seed: u64, horizon: f64) 
     let now = engine.now();
     engine.model_mut().reset_stats(now);
     engine.run_until(SimTime::new(horizon));
-    (
-        engine.model().metrics().mean_waiting(),
-        engine.model().in_flight(),
-    )
+    let m = engine.model().metrics();
+    Cell {
+        wait: m.mean_waiting(),
+        backlog: engine.model().in_flight(),
+        tails: [0.5, 0.99, 0.999].map(|q| m.response_tail_quantile(q)),
+    }
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -56,22 +66,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "LERT wait",
         "LERT backlog",
     ]);
-    let mut cells: Vec<(f64, f64, usize, f64, usize)> = Vec::new();
+    let mut cells: Vec<(f64, Cell, Cell)> = Vec::new();
     for (row, rate) in [0.04, 0.055, 0.07, 0.085].into_iter().enumerate() {
         let params = SystemParams::builder()
             .cpu_speeds(Some(speeds.clone()))
             .workload(Workload::Open { arrival_rate: rate })
             .build()?;
-        let (w_local, b_local) = run_open(&params, PolicyKind::Local, 900 + row as u64, horizon);
-        let (w_lert, b_lert) = run_open(&params, PolicyKind::Lert, 950 + row as u64, horizon);
+        let local = run_open(&params, PolicyKind::Local, 900 + row as u64, horizon);
+        let lert = run_open(&params, PolicyKind::Lert, 950 + row as u64, horizon);
         table.row(vec![
             fmt_f(rate, 3),
-            fmt_f(w_local, 1),
-            b_local.to_string(),
-            fmt_f(w_lert, 1),
-            b_lert.to_string(),
+            fmt_f(local.wait, 1),
+            local.backlog.to_string(),
+            fmt_f(lert.wait, 1),
+            lert.backlog.to_string(),
         ]);
-        cells.push((rate, w_local, b_local, w_lert, b_lert));
+        cells.push((rate, local, lert));
     }
 
     println!(
@@ -86,13 +96,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          CPUs and stays stable (bounded backlog) across the sweep."
     );
 
-    // Machine-readable record of the experiment.
-    let mut json = String::from("{\n  \"experiment\": \"ext_open_overload\",\n  \"cells\": [\n");
-    for (i, (rate, w_local, b_local, w_lert, b_lert)) in cells.iter().enumerate() {
+    // Machine-readable record of the experiment. Schema v2 adds the
+    // streaming tail-sketch percentiles; every v1 field is unchanged.
+    let mut json = String::from(
+        "{\n  \"experiment\": \"ext_open_overload\",\n  \"schema_version\": 2,\n  \"cells\": [\n",
+    );
+    for (i, (rate, local, lert)) in cells.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"arrival_rate\": {rate:.4}, \"local_wait\": {w_local:.6}, \
-             \"local_backlog\": {b_local}, \"lert_wait\": {w_lert:.6}, \
-             \"lert_backlog\": {b_lert}}}{}",
+            "    {{\"arrival_rate\": {rate:.4}, \"local_wait\": {:.6}, \
+             \"local_backlog\": {}, \"lert_wait\": {:.6}, \
+             \"lert_backlog\": {}, \
+             \"local_p50\": {:.6}, \"local_p99\": {:.6}, \"local_p999\": {:.6}, \
+             \"lert_p50\": {:.6}, \"lert_p99\": {:.6}, \"lert_p999\": {:.6}}}{}",
+            local.wait,
+            local.backlog,
+            lert.wait,
+            lert.backlog,
+            local.tails[0],
+            local.tails[1],
+            local.tails[2],
+            lert.tails[0],
+            lert.tails[1],
+            lert.tails[2],
             if i + 1 == cells.len() { "\n" } else { ",\n" }
         ));
     }

@@ -79,6 +79,19 @@ fn print_report(r: &RunReport) {
         "response p50/p90/p99  {:.1} / {:.1} / {:.1}",
         r.response_p50, r.response_p90, r.response_p99
     );
+    if r.sketch_p999 > 0.0 {
+        println!(
+            "tail sketch p50/p99/p999  {:.1} / {:.1} / {:.1}",
+            r.sketch_p50, r.sketch_p99, r.sketch_p999
+        );
+    }
+    if r.peak_active_users > 0 {
+        let per_user = r.user_arena_peak_bytes as f64 / r.peak_active_users as f64;
+        println!(
+            "active users      {} peak ({} arena bytes, {:.1} B/user)",
+            r.peak_active_users, r.user_arena_peak_bytes, per_user
+        );
+    }
     println!("throughput        {:.4} queries/unit", r.throughput);
     println!("fairness F        {:+.4}", r.fairness);
     println!("cpu utilization   {:.3}", r.cpu_utilization);

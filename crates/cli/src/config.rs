@@ -2,8 +2,8 @@
 //! command-line flags.
 
 use dqa_core::params::{
-    AdmissionSpec, DeadlineSpec, DiskChoice, FaultSpec, MessageCosting, MigrationSpec,
-    SheddingMode, SuspicionSpec, SystemParams, Workload,
+    AdmissionSpec, ArrivalSpec, DeadlineSpec, DiskChoice, FaultSpec, MessageCosting, MigrationSpec,
+    SheddingMode, SuspicionSpec, SystemParams, UserSpec, Workload,
 };
 use dqa_core::policy::PolicyKind;
 
@@ -58,6 +58,13 @@ pub fn parse_policy(name: &str) -> Result<PolicyKind, ArgError> {
 /// broadcast); admission control via `--admission-cap`,
 /// `--admission-queue`, `--admission-mode reject|redirect|drop`,
 /// `--admission-retries`, `--admission-backoff`.
+///
+/// Live-service layers (require `--open-rate`): time-varying arrivals
+/// via `--live-diurnal AMP` (+ `--live-period P`),
+/// `--live-flash at,for,mult`, `--live-burst mult,on,off` (any of which
+/// enables the nonhomogeneous arrival kernel); the user population via
+/// `--live-users N` with refinements `--live-zipf`, `--live-session`,
+/// `--live-affinity`.
 ///
 /// # Errors
 ///
@@ -268,6 +275,92 @@ pub fn take_params(args: &mut Args) -> Result<SystemParams, ArgError> {
                 .into(),
         ));
     }
+    // Live-service arrival flags: any of --live-diurnal, --live-flash,
+    // --live-burst switches the time-varying arrival layer on.
+    let live_diurnal = args.take_opt::<f64>("live-diurnal")?;
+    let live_period = args.take_opt::<f64>("live-period")?;
+    let live_flash = args.take("live-flash");
+    let live_burst = args.take("live-burst");
+    if live_period.is_some() && live_diurnal.is_none() {
+        return Err(ArgError(
+            "--live-period has no effect without --live-diurnal (the diurnal \
+             amplitude); add --live-diurnal or drop --live-period"
+                .into(),
+        ));
+    }
+    if live_diurnal.is_some() || live_flash.is_some() || live_burst.is_some() {
+        let mut spec = ArrivalSpec::default();
+        if let Some(amp) = live_diurnal {
+            spec.diurnal_amplitude = amp;
+        }
+        if let Some(period) = live_period {
+            spec.diurnal_period = period;
+        }
+        if let Some(flash) = live_flash {
+            let parts: Vec<&str> = flash.split(',').collect();
+            if parts.len() != 3 {
+                return Err(ArgError(format!(
+                    "--live-flash expects `at,for,mult`, got `{flash}`"
+                )));
+            }
+            spec.flash_at = parts[0]
+                .parse()
+                .map_err(|e| ArgError(format!("invalid flash start: {e}")))?;
+            spec.flash_for = parts[1]
+                .parse()
+                .map_err(|e| ArgError(format!("invalid flash duration: {e}")))?;
+            spec.flash_multiplier = parts[2]
+                .parse()
+                .map_err(|e| ArgError(format!("invalid flash multiplier: {e}")))?;
+        }
+        if let Some(burst) = live_burst {
+            let parts: Vec<&str> = burst.split(',').collect();
+            if parts.len() != 3 {
+                return Err(ArgError(format!(
+                    "--live-burst expects `mult,on,off`, got `{burst}`"
+                )));
+            }
+            spec.burst_multiplier = parts[0]
+                .parse()
+                .map_err(|e| ArgError(format!("invalid burst multiplier: {e}")))?;
+            spec.burst_on_mean = parts[1]
+                .parse()
+                .map_err(|e| ArgError(format!("invalid burst on-dwell: {e}")))?;
+            spec.burst_off_mean = parts[2]
+                .parse()
+                .map_err(|e| ArgError(format!("invalid burst off-dwell: {e}")))?;
+        }
+        b = b.arrivals(Some(spec));
+    }
+    // User-population flags: --live-users switches the population on; the
+    // others refine it and are meaningless without it.
+    let live_users = args.take_opt::<u64>("live-users")?;
+    let live_zipf = args.take_opt::<f64>("live-zipf")?;
+    let live_session = args.take_opt::<f64>("live-session")?;
+    let live_affinity = args.take_opt::<f64>("live-affinity")?;
+    if live_users.is_none_or(|n| n == 0)
+        && (live_zipf.is_some() || live_session.is_some() || live_affinity.is_some())
+    {
+        let given = if live_users.is_some() {
+            "--live-users 0 disables the population"
+        } else {
+            "no --live-users was given"
+        };
+        return Err(ArgError(format!(
+            "--live-zipf/--live-session/--live-affinity have no effect because \
+             {given}; set --live-users to a positive count to enable the user \
+             population, or drop the other live-user flags"
+        )));
+    }
+    if live_users.is_some_and(|n| n > 0) {
+        let defaults = UserSpec::default();
+        b = b.users(Some(UserSpec {
+            total_users: live_users.unwrap_or(0),
+            zipf_exponent: live_zipf.unwrap_or(defaults.zipf_exponent),
+            session_mean: live_session.unwrap_or(defaults.session_mean),
+            class_affinity: live_affinity.unwrap_or(defaults.class_affinity),
+        }));
+    }
     if let Some(spec) = args.take("migrate") {
         let parts: Vec<&str> = spec.split(',').collect();
         if parts.len() != 3 {
@@ -339,7 +432,9 @@ fn builder_from(params: SystemParams) -> dqa_core::params::SystemParamsBuilder {
         .faults(params.faults)
         .deadlines(params.deadlines)
         .suspicion(params.suspicion)
-        .admission(params.admission);
+        .admission(params.admission)
+        .arrivals(params.arrivals)
+        .users(params.users);
     b = b.migration(params.migration);
     b
 }
@@ -668,6 +763,133 @@ mod tests {
         a.finish().unwrap();
         assert_eq!(p.classes[0].num_reads, 40.0);
         assert_eq!(p.faults.unwrap().mtbf, 900.0);
+    }
+
+    #[test]
+    fn live_arrival_flags_parse() {
+        let mut a = args(&[
+            "--open-rate",
+            "0.05",
+            "--live-diurnal",
+            "0.4",
+            "--live-period",
+            "8000",
+            "--live-flash",
+            "1000,500,3",
+            "--live-burst",
+            "2,150,1500",
+        ]);
+        let p = take_params(&mut a).unwrap();
+        a.finish().unwrap();
+        let spec = p.arrivals.expect("live flags enable the arrival layer");
+        assert!(spec.is_active());
+        assert_eq!(spec.diurnal_amplitude, 0.4);
+        assert_eq!(spec.diurnal_period, 8000.0);
+        assert_eq!(spec.flash_at, 1000.0);
+        assert_eq!(spec.flash_for, 500.0);
+        assert_eq!(spec.flash_multiplier, 3.0);
+        assert_eq!(spec.burst_multiplier, 2.0);
+        assert_eq!(spec.burst_on_mean, 150.0);
+        assert_eq!(spec.burst_off_mean, 1500.0);
+    }
+
+    #[test]
+    fn conflicting_live_arrival_flags_are_reported() {
+        // A period without an amplitude modulates nothing.
+        let mut a = args(&["--open-rate", "0.05", "--live-period", "5000"]);
+        let err = take_params(&mut a).unwrap_err();
+        assert!(err.to_string().contains("--live-diurnal"), "{err}");
+        // Malformed triples name the expected shape.
+        let mut a = args(&["--open-rate", "0.05", "--live-flash", "1000,500"]);
+        let err = take_params(&mut a).unwrap_err();
+        assert!(err.to_string().contains("at,for,mult"), "{err}");
+        let mut a = args(&["--open-rate", "0.05", "--live-burst", "2"]);
+        let err = take_params(&mut a).unwrap_err();
+        assert!(err.to_string().contains("mult,on,off"), "{err}");
+        // The arrival layer rides on open arrivals; parameter validation
+        // rejects it under the closed workload.
+        let mut a = args(&["--live-diurnal", "0.3"]);
+        assert!(take_params(&mut a).is_err());
+    }
+
+    #[test]
+    fn live_user_flags_parse() {
+        let mut a = args(&[
+            "--open-rate",
+            "0.05",
+            "--live-users",
+            "1000000",
+            "--live-zipf",
+            "1.1",
+            "--live-session",
+            "25",
+            "--live-affinity",
+            "0.9",
+        ]);
+        let p = take_params(&mut a).unwrap();
+        a.finish().unwrap();
+        let spec = p.users.expect("--live-users enables the population");
+        assert!(spec.is_active());
+        assert_eq!(spec.total_users, 1_000_000);
+        assert_eq!(spec.zipf_exponent, 1.1);
+        assert_eq!(spec.session_mean, 25.0);
+        assert_eq!(spec.class_affinity, 0.9);
+        // Unspecified refinements take the spec defaults.
+        let mut a = args(&["--open-rate", "0.05", "--live-users", "500"]);
+        let p = take_params(&mut a).unwrap();
+        a.finish().unwrap();
+        let defaults = UserSpec::default();
+        let spec = p.users.unwrap();
+        assert_eq!(spec.total_users, 500);
+        assert_eq!(spec.zipf_exponent, defaults.zipf_exponent);
+        assert_eq!(spec.session_mean, defaults.session_mean);
+        assert_eq!(spec.class_affinity, defaults.class_affinity);
+    }
+
+    #[test]
+    fn conflicting_live_user_flags_are_reported() {
+        // Refinements without the enabling count are a contradiction.
+        let mut a = args(&["--open-rate", "0.05", "--live-zipf", "1.1"]);
+        let err = take_params(&mut a).unwrap_err();
+        assert!(err.to_string().contains("no --live-users"), "{err}");
+        // Same with the population explicitly disabled.
+        let mut a = args(&[
+            "--open-rate",
+            "0.05",
+            "--live-users",
+            "0",
+            "--live-session",
+            "10",
+        ]);
+        let err = take_params(&mut a).unwrap_err();
+        assert!(err.to_string().contains("--live-users 0"), "{err}");
+        // A bare zero count (population off, nothing else) stays legal so
+        // sweeps can include an "off" point.
+        let mut a = args(&["--open-rate", "0.05", "--live-users", "0"]);
+        let p = take_params(&mut a).unwrap();
+        a.finish().unwrap();
+        assert_eq!(p.users, None);
+    }
+
+    #[test]
+    fn reads_flag_preserves_live_service_config() {
+        // builder_from must replay the live-service fields; --reads after
+        // live flags would otherwise silently drop them.
+        let mut a = args(&[
+            "--open-rate",
+            "0.05",
+            "--live-diurnal",
+            "0.3",
+            "--live-users",
+            "10000",
+            "--reads",
+            "40",
+        ]);
+        let p = take_params(&mut a).unwrap();
+        a.finish().unwrap();
+        assert_eq!(p.classes[0].num_reads, 40.0);
+        assert_eq!(p.arrivals.unwrap().diurnal_amplitude, 0.3);
+        assert_eq!(p.users.unwrap().total_users, 10_000);
     }
 
     #[test]

@@ -128,6 +128,15 @@ pub struct RunReport {
     pub response_p90: f64,
     /// 99th-percentile response time.
     pub response_p99: f64,
+    /// Median response time from the streaming tail sketch (no range
+    /// clamp, exactly mergeable — bit-identical across serial, `par_map`,
+    /// and sharded execution).
+    pub sketch_p50: f64,
+    /// 99th-percentile response time from the tail sketch.
+    pub sketch_p99: f64,
+    /// 99.9th-percentile response time from the tail sketch — the far
+    /// tail the fixed-range histogram cannot resolve.
+    pub sketch_p999: f64,
     /// Signed fairness `F = Ŵ_io − Ŵ_cpu` (two-class runs).
     pub fairness: f64,
     /// Mean CPU utilization across sites (`ρ_c`).
@@ -178,6 +187,13 @@ pub struct RunReport {
     /// Kernel events dispatched over the whole run (warmup included) —
     /// the denominator for ns/event in the perf benches.
     pub events: u64,
+    /// High-water mark of concurrently active user sessions across all
+    /// sites (zero without a user population).
+    pub peak_active_users: u64,
+    /// High-water mark of the user arenas' table footprint in bytes —
+    /// divided by `peak_active_users` this is the measured
+    /// bytes-per-active-user figure (zero without a user population).
+    pub user_arena_peak_bytes: u64,
     /// Per-class breakdown.
     pub per_class: Vec<ClassSummary>,
     /// Per-site station breakdown.
@@ -311,6 +327,9 @@ fn summarize(model: &DbSystem, end: SimTime, measured_time: f64, events: u64) ->
         response_p50: metrics.response_quantile(0.5),
         response_p90: metrics.response_quantile(0.9),
         response_p99: metrics.response_quantile(0.99),
+        sketch_p50: metrics.response_tail_quantile(0.5),
+        sketch_p99: metrics.response_tail_quantile(0.99),
+        sketch_p999: metrics.response_tail_quantile(0.999),
         fairness: metrics.fairness(),
         cpu_utilization: model.cpu_utilization(end),
         disk_utilization: model.disk_utilization(end),
@@ -334,6 +353,8 @@ fn summarize(model: &DbSystem, end: SimTime, measured_time: f64, events: u64) ->
         admission_dropped: metrics.admission_dropped(),
         partition_drops: metrics.partition_drops(),
         events,
+        peak_active_users: model.user_arena_stats().1,
+        user_arena_peak_bytes: model.user_arena_stats().3,
         per_class,
         per_site,
     }
@@ -828,6 +849,19 @@ mod tests {
         // Response distributions here are right-skewed: median < mean < p99.
         assert!(r.response_p50 < r.mean_response);
         assert!(r.mean_response < r.response_p99);
+        // The sketch sees the same distribution: ordered tail, and a
+        // median agreeing with the histogram's up to bin + sketch error.
+        assert!(r.sketch_p50 <= r.sketch_p99);
+        assert!(r.sketch_p99 <= r.sketch_p999);
+        assert!(
+            (r.sketch_p50 - r.response_p50).abs() <= 2.0 + 0.01 * r.response_p50,
+            "sketch median {} vs histogram median {}",
+            r.sketch_p50,
+            r.response_p50
+        );
+        // No user population configured: the arena fields stay zero.
+        assert_eq!(r.peak_active_users, 0);
+        assert_eq!(r.user_arena_peak_bytes, 0);
     }
 
     #[test]

@@ -66,3 +66,4 @@ pub mod query;
 pub mod replication;
 pub mod substreams;
 pub mod table;
+pub mod users;

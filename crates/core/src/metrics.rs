@@ -1,6 +1,6 @@
 //! Per-run output metrics: waiting times, fairness, utilizations.
 
-use dqa_sim::stats::{BatchMeans, Histogram, Tally, TimeWeighted};
+use dqa_sim::stats::{BatchMeans, Histogram, TailSketch, Tally, TimeWeighted};
 use dqa_sim::SimTime;
 
 /// Waiting-time observations per batch for the in-run confidence
@@ -61,6 +61,11 @@ pub struct Metrics {
     waiting_batches: BatchMeans,
     all_response: Tally,
     response_histogram: Histogram,
+    /// Streaming response-time sketch for the far tail (p99/p999): unlike
+    /// the fixed-range histogram it never clamps, and its merges are
+    /// exactly associative, so sharded executions reproduce the serial
+    /// percentiles bit for bit.
+    response_sketch: TailSketch,
     submitted: u64,
     completed: u64,
     transfers: u64,
@@ -91,6 +96,7 @@ impl Metrics {
             waiting_batches: BatchMeans::new(WAITING_BATCH),
             all_response: Tally::new(),
             response_histogram: Histogram::new(RESPONSE_BIN, RESPONSE_BINS),
+            response_sketch: TailSketch::new(),
             submitted: 0,
             completed: 0,
             transfers: 0,
@@ -133,6 +139,7 @@ impl Metrics {
         self.waiting_batches.record(waiting);
         self.all_response.record(response);
         self.response_histogram.record(response.max(0.0));
+        self.response_sketch.record(response.max(0.0));
         self.completed += 1;
     }
 
@@ -182,6 +189,26 @@ impl Metrics {
     #[must_use]
     pub fn response_quantile(&self, q: f64) -> f64 {
         self.response_histogram.quantile(q)
+    }
+
+    /// Response-time quantile from the streaming tail sketch: sub-percent
+    /// relative error at any magnitude (no range clamp), deterministic
+    /// and mergeable. Prefer this over [`Metrics::response_quantile`] for
+    /// p99 and beyond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn response_tail_quantile(&self, q: f64) -> f64 {
+        self.response_sketch.quantile(q)
+    }
+
+    /// Read access to the streaming response-time sketch (for merging
+    /// across replications or shards).
+    #[must_use]
+    pub fn response_sketch(&self) -> &TailSketch {
+        &self.response_sketch
     }
 
     /// The signed fairness measure of Table 12 for the two-class workload:
@@ -566,6 +593,21 @@ mod tests {
         m.record_availability(SimTime::new(30.0), 1.0);
         let expect = (10.0 + 0.5 * 20.0 + 10.0) / 40.0;
         assert!((m.mean_availability(SimTime::new(40.0)) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tail_quantile_tracks_completions_and_resets() {
+        let mut m = Metrics::new(1, SimTime::ZERO);
+        for i in 1..=1_000 {
+            m.record_completion(0, f64::from(i), 0.5);
+        }
+        // The sketch resolves the far tail within its relative-error
+        // bound; the histogram would clamp anything past 800 to 800.
+        let p99 = m.response_tail_quantile(0.99);
+        assert!((p99 - 990.0).abs() / 990.0 < 0.02, "p99 {p99}");
+        assert_eq!(m.response_sketch().count(), 1_000);
+        m.reset(SimTime::new(1.0));
+        assert_eq!(m.response_sketch().count(), 0);
     }
 
     #[test]

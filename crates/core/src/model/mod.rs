@@ -43,13 +43,14 @@ use dqa_sim::{Engine, Model, Scheduler, SimTime};
 use crate::load::{LoadTable, SiteLoad};
 use crate::metrics::Metrics;
 use crate::params::{
-    FaultSpec, ParamsError, ScriptAction, SheddingMode, SiteId, SuspicionSpec, SystemParams,
-    Workload,
+    ArrivalSpec, FaultSpec, ParamsError, ScriptAction, SheddingMode, SiteId, SuspicionSpec,
+    SystemParams, UserSpec, Workload,
 };
 use crate::policy::{AllocationContext, Allocator, PolicyKind};
 use crate::query::{ActiveQuery, QueryId, QueryKind, QueryPhase, QueryProfile, QueryTable};
 use crate::replication::Catalog;
 use crate::substreams;
+use crate::users::{self, UserArena};
 use obs::Obs;
 
 /// Where a handler deposits future events. The serial executor passes the
@@ -113,6 +114,19 @@ struct FaultState {
 /// ring splits into `groups` disjoint contiguous blocks of sites.
 fn partition_group(site: SiteId, groups: u32, num_sites: usize) -> usize {
     site * groups as usize / num_sites
+}
+
+/// One site's slice of the user population (live-service extension):
+/// the spec, the size of this site's user shard, and the arena of
+/// currently active sessions. Only built when the spec is active, so a
+/// run without a population pays nothing.
+#[derive(Debug)]
+struct LpUsers {
+    spec: UserSpec,
+    /// Users homed at this site (`spec.shard_size(index, num_sites)`).
+    shard: u64,
+    /// Session state of this site's currently active users.
+    arena: UserArena,
 }
 
 /// One site's missed-broadcast failure detector (observer side).
@@ -212,6 +226,20 @@ pub(crate) struct Lp {
     rng_deadline: RngStream,
     /// Reallocation/admission-retry backoff jitter.
     rng_realloc_backoff: RngStream,
+    /// Open-arrival thinning draws (candidate gaps + accept coins).
+    rng_arrival: RngStream,
+    /// MMPP burst-chain dwell draws.
+    rng_burst: RngStream,
+    /// Zipf user selection and class-affinity coins.
+    rng_user: RngStream,
+    /// Per-user session state drawn at first touch.
+    rng_session: RngStream,
+    /// Whether this site's MMPP burst chain is in its bursty (ON) state.
+    burst_on: bool,
+    /// Absolute time the current burst state's dwell ends.
+    burst_until: SimTime,
+    /// This site's user-population shard (live-service extension).
+    users: Option<LpUsers>,
     suspicion: Option<LpSuspicion>,
     /// Observations to apply to the global board/metrics (drained at the
     /// next flush: immediately in the serial executor, at the window
@@ -315,6 +343,20 @@ impl Lp {
             rng_status: substreams::per_site(root, substreams::FAULT_STATUS, index),
             rng_deadline: substreams::per_site(root, substreams::DEADLINE, index),
             rng_realloc_backoff: substreams::per_site(root, substreams::REALLOC_BACKOFF, index),
+            rng_arrival: substreams::per_site(root, substreams::ARRIVAL, index),
+            rng_burst: substreams::per_site(root, substreams::BURST, index),
+            rng_user: substreams::per_site(root, substreams::USER, index),
+            rng_session: substreams::per_site(root, substreams::SESSION, index),
+            // The chain "starts" ON with an already-expired dwell, so the
+            // first advance toggles it OFF and draws the first OFF dwell —
+            // i.e. every site begins in the quiet state.
+            burst_on: true,
+            burst_until: SimTime::ZERO,
+            users: params.users.filter(|u| u.is_active()).map(|spec| LpUsers {
+                spec,
+                shard: spec.shard_size(index, n),
+                arena: UserArena::new(),
+            }),
             suspicion: params.suspicion.map(|spec| LpSuspicion {
                 spec,
                 last_heard: vec![SimTime::ZERO; n],
@@ -359,9 +401,14 @@ impl Lp {
     fn handle_submit(&mut self, now: SimTime, sh: &Shared<'_>, sink: &mut dyn EventSink) {
         let home = self.index;
         // Under an open workload the source is self-perpetuating: the
-        // next arrival at this site is independent of completions.
+        // next arrival at this site is independent of completions. An
+        // active arrival spec replaces the constant-rate draw with the
+        // thinned nonhomogeneous process (same one-pending-event shape).
         if let Workload::Open { arrival_rate } = sh.params.workload {
-            let gap = self.rng_think.exponential(1.0 / arrival_rate);
+            let gap = match sh.params.arrivals.filter(ArrivalSpec::is_active) {
+                Some(spec) => self.next_arrival_gap(now, arrival_rate, &spec),
+                None => self.rng_think.exponential(1.0 / arrival_rate),
+            };
             sink.schedule(now + gap, Event::Submit { site: home });
         }
         // A terminal at a crashed site cannot submit. Closed model: the
@@ -377,8 +424,9 @@ impl Lp {
             }
             return;
         }
-        // Draw the query's class and size.
-        let class = self.draw_class(sh.params);
+        // Draw the query's class and size (through the user population's
+        // affinity when one is configured).
+        let class = self.draw_user_class(sh.params);
         let spec = &sh.params.classes[class];
         let reads_total = Dist::exponential(spec.num_reads).sample_count(&mut self.rng_reads);
         let est_reads = if sh.params.estimate_error > 0.0 {
@@ -1239,6 +1287,93 @@ impl Lp {
         params.classes.len() - 1
     }
 
+    /// Draws the arriving query's class through the user population: a
+    /// Zipf-selected user from this site's shard supplies its preferred
+    /// class with probability `class_affinity`, falling back to the
+    /// global class mix otherwise (and entirely, when no population is
+    /// configured — in which case no population stream is ever drawn).
+    ///
+    /// The user's session state (preferred class, session length)
+    /// materializes in the arena on first touch and is evicted when its
+    /// queries are spent, so arena memory tracks *active* users only.
+    fn draw_user_class(&mut self, params: &SystemParams) -> usize {
+        let Some(spec) = self.users.as_ref().map(|u| u.spec) else {
+            return self.draw_class(params);
+        };
+        let shard = self.users.as_ref().map_or(0, |u| u.shard);
+        if shard == 0 {
+            // Fewer users than sites: this site owns none of them.
+            return self.draw_class(params);
+        }
+        let pick = users::zipf_pick(self.rng_user.next_f64(), shard, spec.zipf_exponent);
+        let preferred = {
+            let u = self.users.as_mut().expect("user layer active");
+            let rng_session = &mut self.rng_session;
+            let classes = &params.classes;
+            u.arena.begin_query(pick, || {
+                let coin = rng_session.next_f64();
+                let mut acc = 0.0;
+                let mut class = classes.len() - 1;
+                for (c, cs) in classes.iter().enumerate() {
+                    acc += cs.probability;
+                    if coin < acc {
+                        class = c;
+                        break;
+                    }
+                }
+                let session = Dist::exponential(spec.session_mean).sample_count(rng_session);
+                (class as u8, session)
+            })
+        };
+        if self.rng_user.bernoulli(spec.class_affinity) {
+            usize::from(preferred)
+        } else {
+            self.draw_class(params)
+        }
+    }
+
+    /// Advances this site's MMPP burst chain up to `t` (drawing any dwell
+    /// times it slept through) and returns the chain's rate factor at `t`.
+    fn burst_factor_at(&mut self, t: SimTime, spec: &ArrivalSpec) -> f64 {
+        if !spec.has_burst() {
+            return 1.0;
+        }
+        while self.burst_until <= t {
+            self.burst_on = !self.burst_on;
+            let mean = if self.burst_on {
+                spec.burst_on_mean
+            } else {
+                spec.burst_off_mean
+            };
+            self.burst_until += self.rng_burst.exponential(mean);
+        }
+        if self.burst_on {
+            spec.burst_multiplier
+        } else {
+            1.0
+        }
+    }
+
+    /// Draws the gap to this site's next open arrival from the
+    /// nonhomogeneous process by thinning: candidate gaps at the envelope
+    /// rate [`ArrivalSpec::lambda_max`], each accepted with probability
+    /// `λ(candidate)/λ_max`. One pending arrival exists per site at any
+    /// time — the schedule is never materialized — and every draw comes
+    /// from this site's own `ARRIVAL`/`BURST` streams, so the sharded
+    /// executor replays it bit for bit.
+    fn next_arrival_gap(&mut self, now: SimTime, base_rate: f64, spec: &ArrivalSpec) -> f64 {
+        let lambda_max = spec.lambda_max(base_rate);
+        let mut t = now;
+        loop {
+            t += self.rng_arrival.exponential(1.0 / lambda_max);
+            let burst = self.burst_factor_at(t, spec);
+            let lambda = base_rate * spec.modulation_at(t - SimTime::ZERO) * burst;
+            if self.rng_arrival.next_f64() * lambda_max < lambda {
+                return t - now;
+            }
+        }
+    }
+
     /// Grows this site's live row and mirrors the change to the board via
     /// the observation log.
     fn alloc_load(&mut self, now: SimTime, io_bound: bool) {
@@ -1363,8 +1498,14 @@ impl DbSystem {
                 }
             }
             Workload::Open { arrival_rate } => {
+                let arrivals = self.params.arrivals.filter(ArrivalSpec::is_active);
                 for site in 0..self.params.num_sites {
-                    let gap = self.lps[site].rng_think.exponential(1.0 / arrival_rate);
+                    let gap = match &arrivals {
+                        Some(spec) => {
+                            self.lps[site].next_arrival_gap(SimTime::ZERO, arrival_rate, spec)
+                        }
+                        None => self.lps[site].rng_think.exponential(1.0 / arrival_rate),
+                    };
                     initial.push((SimTime::ZERO + gap, Event::Submit { site }));
                 }
             }
@@ -2276,6 +2417,26 @@ impl DbSystem {
     #[must_use]
     pub fn in_flight(&self) -> usize {
         self.lps.iter().map(|lp| lp.queries.len()).sum()
+    }
+
+    /// Aggregate user-arena accounting across every site's shard:
+    /// `(active, peak_active, bytes, peak_bytes)`. All zeros when no user
+    /// population is configured. `peak_bytes` is the figure the live
+    /// benchmarks divide by `peak_active` to report bytes per active user
+    /// — it tracks the arena tables' high-water footprint, which grows
+    /// with *concurrently active* sessions, never with `total_users`.
+    #[must_use]
+    pub fn user_arena_stats(&self) -> (u64, u64, u64, u64) {
+        let mut stats = (0, 0, 0, 0);
+        for lp in &self.lps {
+            if let Some(u) = &lp.users {
+                stats.0 += u.arena.active() as u64;
+                stats.1 += u.arena.peak_active() as u64;
+                stats.2 += u.arena.bytes() as u64;
+                stats.3 += u.arena.peak_bytes() as u64;
+            }
+        }
+        stats
     }
 
     /// Mean CPU utilization across sites, through `now` (the `ρ_c` of the

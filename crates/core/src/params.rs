@@ -297,6 +297,196 @@ impl AdmissionSpec {
     }
 }
 
+/// Time-varying open-arrival modulation (the "live service" extension;
+/// the paper's open door, `ext_open_overload`, is a constant-rate Poisson
+/// stream).
+///
+/// The spec turns [`Workload::Open`]'s `arrival_rate` into the *mean base
+/// rate* of a nonhomogeneous Poisson process
+/// `λ(t) = base · diurnal(t) · flash(t) · burst(t)` with three layers:
+///
+/// * **Diurnal curve** — a sinusoid `1 + amplitude · sin(2πt / period)`
+///   modeling the daily load cycle.
+/// * **Flash crowd** — a deterministic window `[flash_at, flash_at +
+///   flash_for)` during which the rate is multiplied by
+///   `flash_multiplier` (a breaking-news spike every site sees at once).
+/// * **MMPP burst chain** — a two-state Markov-modulated Poisson layer
+///   per site: exponential dwell times (`burst_off_mean` quiet,
+///   `burst_on_mean` bursty) and a rate factor `burst_multiplier` while
+///   ON, modeling correlated arrival bursts.
+///
+/// Arrivals are generated *lazily by thinning*: each site keeps exactly
+/// one pending-arrival event, drawing candidate gaps at the envelope rate
+/// [`ArrivalSpec::lambda_max`] and accepting each candidate with
+/// probability `λ(t)/λ_max` — never a pre-materialized schedule, so a
+/// million-query horizon costs O(1) memory. All draws come from the
+/// dedicated per-site `ARRIVAL`/`BURST` substreams, so a spec with no
+/// modulation (`is_active() == false`) draws nothing and reproduces the
+/// constant-rate trajectory byte for byte (CRN).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrivalSpec {
+    /// Amplitude of the diurnal sinusoid, in `[0, 1)`. `0.0` disables the
+    /// diurnal layer.
+    pub diurnal_amplitude: f64,
+    /// Period of the diurnal sinusoid in simulated time units.
+    pub diurnal_period: f64,
+    /// Start of the flash-crowd window.
+    pub flash_at: f64,
+    /// Duration of the flash-crowd window; `0.0` disables the flash layer.
+    pub flash_for: f64,
+    /// Rate multiplier while the flash crowd is active (`> 0`; values
+    /// above 1 spike the load, below 1 model a brown-out).
+    pub flash_multiplier: f64,
+    /// Rate multiplier while a site's burst chain is ON (`>= 1`; `1.0`
+    /// disables the MMPP layer).
+    pub burst_multiplier: f64,
+    /// Mean dwell time of the bursty (ON) state.
+    pub burst_on_mean: f64,
+    /// Mean dwell time of the quiet (OFF) state.
+    pub burst_off_mean: f64,
+}
+
+impl Default for ArrivalSpec {
+    /// All layers disabled (trajectory-identical to `None`); when
+    /// enabled: a 10 000-unit diurnal period and 200-on/2 000-off burst
+    /// dwells.
+    fn default() -> Self {
+        ArrivalSpec {
+            diurnal_amplitude: 0.0,
+            diurnal_period: 10_000.0,
+            flash_at: 0.0,
+            flash_for: 0.0,
+            flash_multiplier: 1.0,
+            burst_multiplier: 1.0,
+            burst_on_mean: 200.0,
+            burst_off_mean: 2_000.0,
+        }
+    }
+}
+
+impl ArrivalSpec {
+    /// Whether any modulation layer is switched on. `false` guarantees
+    /// the run is byte-identical to `arrivals: None` (the `ARRIVAL` and
+    /// `BURST` substreams are never drawn).
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.diurnal_amplitude > 0.0 || self.has_flash() || self.has_burst()
+    }
+
+    /// Whether the flash-crowd window is configured.
+    #[must_use]
+    pub fn has_flash(&self) -> bool {
+        // dqa-lint: allow(no-float-eq) -- 1.0 is the exact inert-sentinel default; any other value configures a flash
+        self.flash_for > 0.0 && self.flash_multiplier != 1.0
+    }
+
+    /// Whether the MMPP burst layer is configured.
+    #[must_use]
+    pub fn has_burst(&self) -> bool {
+        self.burst_multiplier > 1.0
+    }
+
+    /// The deterministic (non-burst) rate factor at time `t`:
+    /// `diurnal(t) · flash(t)`.
+    #[must_use]
+    pub fn modulation_at(&self, t: f64) -> f64 {
+        let diurnal = if self.diurnal_amplitude > 0.0 {
+            1.0 + self.diurnal_amplitude
+                * (2.0 * std::f64::consts::PI * t / self.diurnal_period).sin()
+        } else {
+            1.0
+        };
+        let flash = if self.has_flash() && t >= self.flash_at && t < self.flash_at + self.flash_for
+        {
+            self.flash_multiplier
+        } else {
+            1.0
+        };
+        diurnal * flash
+    }
+
+    /// The thinning envelope rate: an upper bound on `λ(t)` for every `t`
+    /// and burst state, given the base rate.
+    #[must_use]
+    pub fn lambda_max(&self, base_rate: f64) -> f64 {
+        base_rate
+            * (1.0 + self.diurnal_amplitude)
+            * self.flash_envelope()
+            * self.burst_multiplier.max(1.0)
+    }
+
+    /// The flash layer's contribution to the envelope (`>= 1`).
+    fn flash_envelope(&self) -> f64 {
+        if self.has_flash() {
+            self.flash_multiplier.max(1.0)
+        } else {
+            1.0
+        }
+    }
+}
+
+/// A million-user population with heavy-tailed per-user session state
+/// (the "live service" extension; without it every open arrival is an
+/// anonymous query from nowhere).
+///
+/// The user space is partitioned evenly across sites (a user's *home* is
+/// the site whose shard holds it — structural home affinity: all of a
+/// user's queries originate there). Each arrival at a site selects a user
+/// from the site's shard by a Zipf-like power law, so a small hot set of
+/// users dominates traffic. Per-user state — preferred query class and
+/// remaining session length — is materialized *on first touch* into a
+/// compact open-addressed arena ([`crate::users::UserArena`]) and evicted
+/// when the session ends, so memory is proportional to *active* users,
+/// never `O(total_users)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UserSpec {
+    /// Total simulated users across all sites. `0` disables the
+    /// population model (trajectory-identical to `None`).
+    pub total_users: u64,
+    /// Zipf popularity exponent `s >= 0` over each site's user shard
+    /// (`0` = uniform selection; larger = heavier skew toward hot users).
+    pub zipf_exponent: f64,
+    /// Mean queries per user session (exponential, rounded up to at least
+    /// one — the same shape as per-query read counts). When a session's
+    /// queries are spent the user's state is evicted from the arena.
+    pub session_mean: f64,
+    /// Probability that a query takes its user's preferred class instead
+    /// of an independent draw from the global class mix, in `[0, 1]`.
+    pub class_affinity: f64,
+}
+
+impl Default for UserSpec {
+    /// Inactive (`total_users == 0`); when enabled: Zipf 1.2, 20-query
+    /// sessions, 0.8 class affinity.
+    fn default() -> Self {
+        UserSpec {
+            total_users: 0,
+            zipf_exponent: 1.2,
+            session_mean: 20.0,
+            class_affinity: 0.8,
+        }
+    }
+}
+
+impl UserSpec {
+    /// Whether the population model is switched on. `false` guarantees
+    /// the run is byte-identical to `users: None` (the `USER` and
+    /// `SESSION` substreams are never drawn).
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.total_users > 0
+    }
+
+    /// The size of site `site`'s user shard (users are dealt round-robin,
+    /// so shards differ by at most one user).
+    #[must_use]
+    pub fn shard_size(&self, site: SiteId, num_sites: usize) -> u64 {
+        let n = num_sites as u64;
+        let site = site as u64;
+        self.total_users / n + u64::from(site < self.total_users % n)
+    }
+}
+
 /// How queries enter the system.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum Workload {
@@ -560,6 +750,15 @@ pub struct SystemParams {
     /// Per-site admission control with load shedding. `None` (or a spec
     /// with no caps) accepts every query, as the paper does.
     pub admission: Option<AdmissionSpec>,
+    /// Time-varying open-arrival modulation (diurnal curve, flash crowd,
+    /// MMPP bursts). Requires [`Workload::Open`] when active; `None` (or
+    /// an inactive spec) keeps the constant-rate Poisson stream and is
+    /// trajectory-inert.
+    pub arrivals: Option<ArrivalSpec>,
+    /// Heavy-tailed user population with lazy per-user session state.
+    /// Requires [`Workload::Open`] when active; `None` (or an inactive
+    /// spec) is trajectory-inert.
+    pub users: Option<UserSpec>,
     /// Deterministic fault-environment script: timed crash/repair and
     /// partition toggles that fire exactly as written, drawing no random
     /// numbers. Requires `faults` to be set (the retry/partition
@@ -609,6 +808,8 @@ impl SystemParams {
             deadlines: None,
             suspicion: None,
             admission: None,
+            arrivals: None,
+            users: None,
             script: Vec::new(),
         }
     }
@@ -860,6 +1061,61 @@ impl SystemParams {
                 });
             }
             positive("admission backoff_base", a.backoff_base)?;
+        }
+        if let Some(a) = &self.arrivals {
+            if a.is_active() && !matches!(self.workload, Workload::Open { .. }) {
+                return Err(ParamsError::Missing {
+                    what: "open workload for arrival modulation (ArrivalSpec \
+                           shapes Workload::Open's base arrival rate)",
+                });
+            }
+            fraction("diurnal_amplitude", a.diurnal_amplitude)?;
+            if a.diurnal_amplitude > 0.0 {
+                positive("diurnal_period", a.diurnal_period)?;
+            }
+            if !a.flash_at.is_finite() || a.flash_at < 0.0 {
+                return Err(ParamsError::NonPositive {
+                    field: "flash_at",
+                    value: a.flash_at,
+                });
+            }
+            if !a.flash_for.is_finite() || a.flash_for < 0.0 {
+                return Err(ParamsError::NonPositive {
+                    field: "flash_for",
+                    value: a.flash_for,
+                });
+            }
+            if a.flash_for > 0.0 {
+                positive("flash_multiplier", a.flash_multiplier)?;
+            }
+            if !a.burst_multiplier.is_finite() || a.burst_multiplier < 1.0 {
+                return Err(ParamsError::NonPositive {
+                    field: "burst_multiplier (must be >= 1)",
+                    value: a.burst_multiplier,
+                });
+            }
+            if a.has_burst() {
+                positive("burst_on_mean", a.burst_on_mean)?;
+                positive("burst_off_mean", a.burst_off_mean)?;
+            }
+        }
+        if let Some(u) = &self.users {
+            if u.is_active() {
+                if !matches!(self.workload, Workload::Open { .. }) {
+                    return Err(ParamsError::Missing {
+                        what: "open workload for the user population (users \
+                               arrive with open queries, not closed terminals)",
+                    });
+                }
+                if !u.zipf_exponent.is_finite() || u.zipf_exponent < 0.0 {
+                    return Err(ParamsError::NonPositive {
+                        field: "zipf_exponent",
+                        value: u.zipf_exponent,
+                    });
+                }
+                positive("session_mean", u.session_mean)?;
+                fraction("class_affinity", u.class_affinity)?;
+            }
         }
         if let Some(m) = &self.migration {
             if m.check_every_reads == 0 {
@@ -1182,6 +1438,20 @@ impl SystemParamsBuilder {
     #[must_use]
     pub fn admission(mut self, spec: Option<AdmissionSpec>) -> Self {
         self.params.admission = spec;
+        self
+    }
+
+    /// Enables or disables time-varying open-arrival modulation.
+    #[must_use]
+    pub fn arrivals(mut self, spec: Option<ArrivalSpec>) -> Self {
+        self.params.arrivals = spec;
+        self
+    }
+
+    /// Enables or disables the heavy-tailed user population model.
+    #[must_use]
+    pub fn users(mut self, spec: Option<UserSpec>) -> Self {
+        self.params.users = spec;
         self
     }
 
@@ -1596,6 +1866,138 @@ mod tests {
             .build()
             .unwrap();
         assert!(capped.resilience_active());
+    }
+
+    #[test]
+    fn arrival_spec_validation() {
+        // A fully-defaulted spec is inactive and valid even on a closed
+        // workload (it draws nothing).
+        let inert = SystemParams::builder()
+            .arrivals(Some(ArrivalSpec::default()))
+            .build()
+            .unwrap();
+        assert!(!inert.arrivals.unwrap().is_active());
+        // Any active layer demands an open workload.
+        let closed = SystemParams::builder()
+            .arrivals(Some(ArrivalSpec {
+                diurnal_amplitude: 0.3,
+                ..ArrivalSpec::default()
+            }))
+            .build();
+        assert!(closed.is_err());
+        let open = SystemParams::builder()
+            .workload(Workload::Open { arrival_rate: 0.02 })
+            .arrivals(Some(ArrivalSpec {
+                diurnal_amplitude: 0.3,
+                flash_at: 1_000.0,
+                flash_for: 500.0,
+                flash_multiplier: 3.0,
+                burst_multiplier: 2.0,
+                ..ArrivalSpec::default()
+            }))
+            .build()
+            .unwrap();
+        let spec = open.arrivals.unwrap();
+        assert!(spec.is_active() && spec.has_flash() && spec.has_burst());
+        // The envelope dominates every layer at once.
+        let lmax = spec.lambda_max(0.02);
+        assert!((lmax - 0.02 * 1.3 * 3.0 * 2.0).abs() < 1e-15);
+        assert!(spec.modulation_at(1_100.0) <= lmax / 0.02 * 1.000_000_1);
+        // Bad numerics are rejected.
+        for bad in [
+            ArrivalSpec {
+                diurnal_amplitude: 1.5,
+                ..ArrivalSpec::default()
+            },
+            ArrivalSpec {
+                diurnal_amplitude: 0.2,
+                diurnal_period: 0.0,
+                ..ArrivalSpec::default()
+            },
+            ArrivalSpec {
+                flash_for: 10.0,
+                flash_multiplier: 0.0,
+                ..ArrivalSpec::default()
+            },
+            ArrivalSpec {
+                burst_multiplier: 0.5,
+                ..ArrivalSpec::default()
+            },
+            ArrivalSpec {
+                burst_multiplier: 2.0,
+                burst_on_mean: 0.0,
+                ..ArrivalSpec::default()
+            },
+        ] {
+            let r = SystemParams::builder()
+                .workload(Workload::Open { arrival_rate: 0.02 })
+                .arrivals(Some(bad))
+                .build();
+            assert!(r.is_err(), "accepted bad spec {bad:?}");
+        }
+    }
+
+    #[test]
+    fn user_spec_validation() {
+        // total_users == 0 is the inert default: valid anywhere.
+        let inert = SystemParams::builder()
+            .users(Some(UserSpec::default()))
+            .build()
+            .unwrap();
+        assert!(!inert.users.unwrap().is_active());
+        // Active population demands an open workload.
+        let closed = SystemParams::builder()
+            .users(Some(UserSpec {
+                total_users: 1_000,
+                ..UserSpec::default()
+            }))
+            .build();
+        assert!(closed.is_err());
+        let open = SystemParams::builder()
+            .workload(Workload::Open { arrival_rate: 0.02 })
+            .users(Some(UserSpec {
+                total_users: 1_000_000,
+                ..UserSpec::default()
+            }))
+            .build()
+            .unwrap();
+        assert!(open.users.unwrap().is_active());
+        for bad in [
+            UserSpec {
+                total_users: 10,
+                zipf_exponent: -1.0,
+                ..UserSpec::default()
+            },
+            UserSpec {
+                total_users: 10,
+                session_mean: 0.0,
+                ..UserSpec::default()
+            },
+            UserSpec {
+                total_users: 10,
+                class_affinity: 1.5,
+                ..UserSpec::default()
+            },
+        ] {
+            let r = SystemParams::builder()
+                .workload(Workload::Open { arrival_rate: 0.02 })
+                .users(Some(bad))
+                .build();
+            assert!(r.is_err(), "accepted bad spec {bad:?}");
+        }
+    }
+
+    #[test]
+    fn user_shards_partition_the_population() {
+        let spec = UserSpec {
+            total_users: 1_000_003,
+            ..UserSpec::default()
+        };
+        let total: u64 = (0..6).map(|s| spec.shard_size(s, 6)).sum();
+        assert_eq!(total, 1_000_003);
+        let sizes: Vec<u64> = (0..6).map(|s| spec.shard_size(s, 6)).collect();
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        assert!(max - min <= 1, "uneven shards: {sizes:?}");
     }
 
     #[test]

@@ -36,15 +36,21 @@
 //! | [`FAULT_STATUS`] | 13 | fault layer | status-frame loss coins |
 //! | [`DEADLINE`] | 14 | resilience layer | per-query deadline draws |
 //! | [`REALLOC_BACKOFF`] | 15 | resilience layer | reallocation backoff jitter |
+//! | [`ARRIVAL`] | 16 | open-arrival layer | thinning candidate gaps + accept coins |
+//! | [`BURST`] | 17 | open-arrival layer | MMPP burst-state dwell times |
+//! | [`USER`] | 18 | user population | Zipf user selection + affinity coins |
+//! | [`SESSION`] | 19 | user population | per-user session state at first touch |
 //! | [`POLICY_RANDOM`] | 0xD1CE | RANDOM policy | uniform site selection |
 //!
 //! Tags 1–9 are the workload/model streams that exist in every run; tags
-//! 10–13 belong to the fault layer and 14–15 to the resilience layer, so
-//! runs with those layers disabled never draw from them and stay
-//! byte-identical to seed trajectories (CRN, asserted in
-//! `tests/fault_tolerance.rs` and `tests/resilience.rs`). The RANDOM
-//! policy's stream is deliberately far from the dense range so the model
-//! can grow new streams without colliding with it.
+//! 10–13 belong to the fault layer, 14–15 to the resilience layer, 16–17
+//! to the time-varying open-arrival layer, and 18–19 to the user
+//! population model, so runs with those layers disabled never draw from
+//! them and stay byte-identical to seed trajectories (CRN, asserted in
+//! `tests/fault_tolerance.rs`, `tests/resilience.rs`, and
+//! `tests/live_service.rs`). The RANDOM policy's stream is deliberately
+//! far from the dense range so the model can grow new streams without
+//! colliding with it.
 
 /// Terminal think times between consecutive queries of one terminal.
 pub const THINK: u64 = 1;
@@ -76,6 +82,16 @@ pub const FAULT_STATUS: u64 = 13;
 pub const DEADLINE: u64 = 14;
 /// Resilience layer: jittered reallocation backoff.
 pub const REALLOC_BACKOFF: u64 = 15;
+/// Open-arrival layer: nonhomogeneous-Poisson thinning (candidate
+/// inter-arrival gaps and acceptance coins).
+pub const ARRIVAL: u64 = 16;
+/// Open-arrival layer: MMPP burst-chain state dwell times.
+pub const BURST: u64 = 17;
+/// User population: Zipf user selection and class-affinity coins.
+pub const USER: u64 = 18;
+/// User population: per-user session state drawn at first touch
+/// (preferred class, session length).
+pub const SESSION: u64 = 19;
 /// The RANDOM allocation policy's site-selection stream. Kept far from
 /// the dense model range so new model streams can be appended freely.
 pub const POLICY_RANDOM: u64 = 0xD1CE;
@@ -117,6 +133,10 @@ pub const ALL: &[(&str, u64)] = &[
     ("FAULT_STATUS", FAULT_STATUS),
     ("DEADLINE", DEADLINE),
     ("REALLOC_BACKOFF", REALLOC_BACKOFF),
+    ("ARRIVAL", ARRIVAL),
+    ("BURST", BURST),
+    ("USER", USER),
+    ("SESSION", SESSION),
     ("POLICY_RANDOM", POLICY_RANDOM),
 ];
 
@@ -140,7 +160,7 @@ mod tests {
     fn registry_covers_historical_values() {
         // The numeric values are load-bearing: they are what every recorded
         // byte-identity trajectory was generated with. Freeze them.
-        let expected: Vec<u64> = (1..=15).chain(std::iter::once(0xD1CE)).collect();
+        let expected: Vec<u64> = (1..=19).chain(std::iter::once(0xD1CE)).collect();
         let actual: Vec<u64> = ALL.iter().map(|&(_, t)| t).collect();
         assert_eq!(actual, expected);
     }

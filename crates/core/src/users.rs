@@ -1,0 +1,454 @@
+//! Lazy per-user session state for the million-user open-arrival model.
+//!
+//! The live-service extension ([`crate::params::UserSpec`]) simulates a
+//! population of up to millions of users, but at any instant only a small
+//! hot set is mid-session. Allocating `O(total_users)` state would defeat
+//! the point of an open model, so per-user state is materialized *on
+//! first touch* into [`UserArena`] — a compact open-addressed hash arena
+//! with fixed 16-byte slots — and evicted the moment a session's queries
+//! are spent. Peak memory is therefore proportional to the peak number of
+//! *concurrently active* users, which the arena tracks so the benchmarks
+//! can report a measured bytes-per-active-user figure.
+//!
+//! Determinism: the arena is plain data — no wall-clock, no randomness,
+//! no pointer-identity iteration. Every operation's effect is a pure
+//! function of the call sequence, so serial and sharded executors that
+//! issue identical per-site call sequences leave identical arenas.
+
+/// One user's in-flight session state, packed small. `key == 0` marks an
+/// empty slot (live keys store `user_id + 1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Slot {
+    key: u64,
+    remaining: u32,
+    class: u8,
+}
+
+const EMPTY: Slot = Slot {
+    key: 0,
+    remaining: 0,
+    class: 0,
+};
+
+/// SplitMix64 finalizer: scatters the (Zipf-clustered, low-valued) user
+/// ids across the table so linear probing does not pile up at slot 0.
+#[inline]
+fn mix(key: u64) -> u64 {
+    let mut z = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A compact open-addressed arena of active user sessions.
+///
+/// * **Linear probing** with power-of-two capacity and a SplitMix64 key
+///   mixer; resizes (doubling) above a 7/10 load factor, so probes stay
+///   short.
+/// * **Backward-shift deletion** — no tombstones, so long runs never
+///   accumulate and lookup cost stays tied to the *live* load factor.
+/// * **Fixed small slots** — 16 bytes per slot; [`UserArena::bytes`]
+///   reports the exact table footprint and
+///   [`UserArena::peak_bytes`]/[`UserArena::peak_active`] record the
+///   high-water marks for the bytes-per-active-user budget.
+///
+/// # Example
+///
+/// ```
+/// use dqa_core::users::UserArena;
+///
+/// let mut arena = UserArena::new();
+/// // First touch materializes: user 7 gets class 1 and a 2-query session.
+/// assert_eq!(arena.begin_query(7, || (1, 2)), 1);
+/// assert_eq!(arena.active(), 1);
+/// // Second query spends the session; the state is evicted in place.
+/// assert_eq!(arena.begin_query(7, || unreachable!()), 1);
+/// assert_eq!(arena.active(), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UserArena {
+    slots: Box<[Slot]>,
+    len: usize,
+    peak_len: usize,
+    peak_bytes: usize,
+}
+
+impl UserArena {
+    /// Smallest table: 256 slots = 4 KiB.
+    const MIN_CAPACITY: usize = 256;
+
+    /// Creates an empty arena at the minimum capacity.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_capacity(Self::MIN_CAPACITY)
+    }
+
+    /// Creates an empty arena with the given power-of-two capacity
+    /// (rounded up to the minimum). Exposed for collision-heavy tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not a power of two.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(
+            capacity.is_power_of_two(),
+            "arena capacity must be a power of two, got {capacity}"
+        );
+        let capacity = capacity.max(Self::MIN_CAPACITY);
+        UserArena {
+            slots: vec![EMPTY; capacity].into_boxed_slice(),
+            len: 0,
+            peak_len: 0,
+            peak_bytes: capacity * std::mem::size_of::<Slot>(),
+        }
+    }
+
+    /// Charges one query to `user`'s session and returns the user's
+    /// preferred class.
+    ///
+    /// On first touch, `materialize` is called exactly once to draw the
+    /// user's session state `(preferred_class, session_queries)`; the
+    /// state lives in the arena until its queries are spent, then is
+    /// evicted by backward-shift deletion. A `session_queries` of zero is
+    /// treated as one (every touched session serves at least the query
+    /// that touched it).
+    pub fn begin_query<F>(&mut self, user: u64, materialize: F) -> u8
+    where
+        F: FnOnce() -> (u8, u32),
+    {
+        self.maybe_grow();
+        let mask = self.slots.len() - 1;
+        let key = user + 1;
+        let mut i = (mix(key) as usize) & mask;
+        loop {
+            let slot = self.slots[i];
+            if slot.key == key {
+                let class = slot.class;
+                if slot.remaining <= 1 {
+                    self.evict(i);
+                } else {
+                    self.slots[i].remaining = slot.remaining - 1;
+                }
+                return class;
+            }
+            if slot.key == 0 {
+                let (class, session) = materialize();
+                if session <= 1 {
+                    // One-query session: nothing outlives this call, so
+                    // never occupy a slot at all.
+                    return class;
+                }
+                self.slots[i] = Slot {
+                    key,
+                    remaining: session - 1,
+                    class,
+                };
+                self.len += 1;
+                self.peak_len = self.peak_len.max(self.len);
+                return class;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Backward-shift deletion at slot `i`: closes the probe window so no
+    /// tombstones are needed.
+    fn evict(&mut self, mut i: usize) {
+        let mask = self.slots.len() - 1;
+        self.slots[i] = EMPTY;
+        self.len -= 1;
+        let mut j = (i + 1) & mask;
+        loop {
+            let probe = self.slots[j];
+            if probe.key == 0 {
+                return;
+            }
+            let home = (mix(probe.key) as usize) & mask;
+            // Shift back iff the vacated slot lies cyclically within
+            // [home, j): the entry would still be found from its home.
+            let reachable = if home <= j {
+                home <= i && i < j
+            } else {
+                home <= i || i < j
+            };
+            if reachable {
+                self.slots[i] = probe;
+                self.slots[j] = EMPTY;
+                i = j;
+            }
+            j = (j + 1) & mask;
+        }
+    }
+
+    /// Doubles the table when the load factor would pass 7/10.
+    fn maybe_grow(&mut self) {
+        if (self.len + 1) * 10 <= self.slots.len() * 7 {
+            return;
+        }
+        let new_cap = self.slots.len() * 2;
+        let old = std::mem::replace(&mut self.slots, vec![EMPTY; new_cap].into_boxed_slice());
+        let mask = new_cap - 1;
+        for slot in old.iter().filter(|s| s.key != 0) {
+            let mut i = (mix(slot.key) as usize) & mask;
+            while self.slots[i].key != 0 {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = *slot;
+        }
+        self.peak_bytes = self.peak_bytes.max(self.bytes());
+    }
+
+    /// Whether `user` currently has materialized session state.
+    #[must_use]
+    pub fn contains(&self, user: u64) -> bool {
+        let mask = self.slots.len() - 1;
+        let key = user + 1;
+        let mut i = (mix(key) as usize) & mask;
+        loop {
+            let slot = self.slots[i];
+            if slot.key == key {
+                return true;
+            }
+            if slot.key == 0 {
+                return false;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Number of users with live session state.
+    #[must_use]
+    pub fn active(&self) -> usize {
+        self.len
+    }
+
+    /// High-water mark of [`UserArena::active`].
+    #[must_use]
+    pub fn peak_active(&self) -> usize {
+        self.peak_len
+    }
+
+    /// Current table footprint in bytes (slots only; the struct itself is
+    /// a few words).
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        self.slots.len() * std::mem::size_of::<Slot>()
+    }
+
+    /// High-water mark of [`UserArena::bytes`].
+    #[must_use]
+    pub fn peak_bytes(&self) -> usize {
+        self.peak_bytes
+    }
+}
+
+impl Default for UserArena {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Maps a uniform draw `u01 ∈ [0, 1)` to a user index in
+/// `[0, shard_size)` under a Zipf-like power law with the given
+/// `exponent` (0 = uniform; larger = heavier skew toward index 0).
+///
+/// Uses the continuous bounded-Pareto inverse CDF on `[1, n+1)` — an
+/// `O(1)` approximation of the discrete Zipf law that needs no
+/// `O(total_users)` harmonic-number precomputation, which matters when
+/// the population is a million users per replication:
+/// `x = ((((n+1)^(1-s) - 1) · u) + 1)^(1/(1-s))` (with the `s = 1`
+/// limit `x = (n+1)^u`), index `⌊x⌋ - 1`.
+///
+/// # Panics
+///
+/// Panics if `shard_size` is zero.
+#[must_use]
+pub fn zipf_pick(u01: f64, shard_size: u64, exponent: f64) -> u64 {
+    assert!(shard_size > 0, "cannot pick a user from an empty shard");
+    let n1 = (shard_size + 1) as f64;
+    let x = if (exponent - 1.0).abs() < 1e-9 {
+        n1.powf(u01)
+    } else {
+        let one_s = 1.0 - exponent;
+        ((n1.powf(one_s) - 1.0) * u01 + 1.0).powf(1.0 / one_s)
+    };
+    ((x as u64).saturating_sub(1)).min(shard_size - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_touch_materializes_and_sessions_expire() {
+        let mut arena = UserArena::new();
+        let mut touches = 0;
+        for _ in 0..3 {
+            let class = arena.begin_query(42, || {
+                touches += 1;
+                (2, 3)
+            });
+            assert_eq!(class, 2);
+        }
+        assert_eq!(touches, 1, "state must materialize exactly once");
+        assert_eq!(arena.active(), 0, "3-query session spent after 3 queries");
+        assert!(!arena.contains(42));
+    }
+
+    #[test]
+    fn single_query_sessions_never_occupy_a_slot() {
+        let mut arena = UserArena::new();
+        for user in 0..1_000 {
+            arena.begin_query(user, || (0, 1));
+        }
+        assert_eq!(arena.active(), 0);
+        assert_eq!(arena.peak_active(), 0);
+    }
+
+    #[test]
+    fn zero_session_is_treated_as_one() {
+        let mut arena = UserArena::new();
+        assert_eq!(arena.begin_query(9, || (3, 0)), 3);
+        assert_eq!(arena.active(), 0);
+    }
+
+    #[test]
+    fn distinct_users_keep_distinct_state() {
+        let mut arena = UserArena::new();
+        for user in 0..500u64 {
+            let class = (user % 4) as u8;
+            assert_eq!(arena.begin_query(user, || (class, 10)), class);
+        }
+        assert_eq!(arena.active(), 500);
+        for user in (0..500u64).rev() {
+            let class = (user % 4) as u8;
+            assert_eq!(
+                arena.begin_query(user, || unreachable!("already live")),
+                class
+            );
+        }
+        assert_eq!(arena.active(), 500);
+    }
+
+    #[test]
+    fn growth_preserves_every_entry() {
+        let mut arena = UserArena::with_capacity(256);
+        // 10_000 live entries force several doublings.
+        for user in 0..10_000u64 {
+            arena.begin_query(user, || ((user % 251) as u8, u32::MAX));
+        }
+        assert_eq!(arena.active(), 10_000);
+        for user in 0..10_000u64 {
+            assert!(arena.contains(user), "lost user {user} across growth");
+            assert_eq!(
+                arena.begin_query(user, || unreachable!()),
+                (user % 251) as u8
+            );
+        }
+        assert!(arena.peak_bytes() >= arena.bytes());
+    }
+
+    #[test]
+    fn backward_shift_deletion_keeps_probe_chains_intact() {
+        // Interleave inserts and expirations so deletions constantly cut
+        // holes into collision chains, then verify every survivor is
+        // still reachable. Sessions of length 2 expire on the 2nd query.
+        let mut arena = UserArena::with_capacity(256);
+        for wave in 0..50u64 {
+            for k in 0..100u64 {
+                let user = wave * 100 + k;
+                arena.begin_query(user, || ((user % 7) as u8, 2));
+            }
+            // Expire the previous wave (their 2nd query), skipping every
+            // third user so chains keep long-lived residents.
+            if wave > 0 {
+                for k in 0..100u64 {
+                    if k % 3 == 0 {
+                        continue;
+                    }
+                    let user = (wave - 1) * 100 + k;
+                    arena.begin_query(user, || unreachable!("user {user} was live"));
+                }
+            }
+        }
+        // Every skipped user must still be findable with its own class.
+        for wave in 0..49u64 {
+            for k in (0..100u64).step_by(3) {
+                let user = wave * 100 + k;
+                assert!(arena.contains(user), "user {user} unreachable");
+            }
+        }
+    }
+
+    #[test]
+    fn memory_tracks_active_not_total_users() {
+        let mut arena = UserArena::new();
+        // A million distinct users, but only ~200 concurrently active:
+        // each lives for 2 queries and is expired soon after first touch.
+        let mut live = std::collections::VecDeque::new();
+        for user in 0..1_000_000u64 {
+            arena.begin_query(user, || (0, 2));
+            live.push_back(user);
+            if live.len() > 200 {
+                let old = live.pop_front().unwrap();
+                arena.begin_query(old, || unreachable!());
+            }
+        }
+        assert!(arena.peak_active() <= 201, "peak {}", arena.peak_active());
+        // Footprint stays a few KiB — nowhere near 16 MB of 1M slots.
+        assert!(
+            arena.peak_bytes() <= 64 * 1024,
+            "peak bytes {}",
+            arena.peak_bytes()
+        );
+    }
+
+    #[test]
+    fn slots_are_sixteen_bytes() {
+        // The bytes-per-active-user budget is built on this packing.
+        assert_eq!(std::mem::size_of::<Slot>(), 16);
+    }
+
+    #[test]
+    fn zipf_uniform_when_exponent_zero() {
+        let n = 1_000;
+        let mut counts = [0u32; 10];
+        for i in 0..10_000 {
+            let u = (i as f64 + 0.5) / 10_000.0;
+            counts[(zipf_pick(u, n, 0.0) * 10 / n) as usize] += 1;
+        }
+        for (decile, &c) in counts.iter().enumerate() {
+            assert!(
+                (900..=1_100).contains(&c),
+                "decile {decile} has {c} picks, expected ~1000"
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_indices() {
+        let n = 1_000_000;
+        let mut hot = 0u32;
+        for i in 0..10_000 {
+            let u = (i as f64 + 0.5) / 10_000.0;
+            if zipf_pick(u, n, 1.2) < 100 {
+                hot += 1;
+            }
+        }
+        // Under s = 1.2 the top 100 of a million users draw a large
+        // constant share of traffic; under uniform they'd get ~1 pick.
+        assert!(hot > 2_000, "only {hot}/10000 picks hit the hot set");
+    }
+
+    #[test]
+    fn zipf_stays_in_range_at_extremes() {
+        for s in [0.0, 0.5, 1.0, 1.2, 3.0] {
+            for n in [1u64, 2, 10, 1_000_000] {
+                assert_eq!(zipf_pick(0.0, n, s), 0, "u=0 must hit index 0");
+                let hi = zipf_pick(0.999_999_999, n, s);
+                assert!(hi < n, "s={s} n={n} produced out-of-range {hi}");
+            }
+        }
+    }
+}

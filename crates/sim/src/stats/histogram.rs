@@ -94,9 +94,21 @@ impl Histogram {
         self.overflow
     }
 
-    /// Approximate `q`-quantile (0 ≤ q ≤ 1) assuming observations are
-    /// uniform within each bin. Returns the upper range limit if the
-    /// quantile falls in the overflow bin, and `0.0` if empty.
+    /// Approximate `q`-quantile (0 ≤ q ≤ 1), interpolated linearly within
+    /// its bin (observations are assumed uniform across the bin, so the
+    /// target rank's fractional position inside the bin maps linearly onto
+    /// the bin's value range `[i·w, (i+1)·w)`).
+    ///
+    /// **Overflow is a defined clamp, not an estimate.** When the target
+    /// rank falls in the overflow bin — i.e. `q · count` exceeds the
+    /// cumulative count of the regular bins — the result is exactly the
+    /// upper range limit `bin_width · bins`. The histogram records only
+    /// *that* an observation exceeded the range, not where, so no
+    /// interpolation is possible there; the clamp is a deliberate
+    /// **lower bound** on the true quantile. Callers that need resolved
+    /// extreme tails should widen the range or use
+    /// [`TailSketch`](super::TailSketch), whose geometric buckets resolve
+    /// tails without a pre-chosen range. An empty histogram reports `0.0`.
     ///
     /// # Panics
     ///
@@ -161,6 +173,50 @@ mod tests {
         let mut h = Histogram::new(1.0, 2);
         h.record(100.0);
         assert_eq!(h.quantile(0.99), 2.0);
+    }
+
+    #[test]
+    fn overflow_clamp_is_exact_at_the_range_limit() {
+        // Mixed data: the quantile clamps to bin_width * bins precisely
+        // when the target rank passes the regular bins' cumulative count,
+        // and stays interpolated below that.
+        let mut h = Histogram::new(2.0, 5); // range [0, 10)
+        for x in [1.0, 3.0, 5.0, 7.0, 9.0] {
+            h.record(x);
+        }
+        for _ in 0..5 {
+            h.record(1e6); // overflow
+        }
+        // Ranks 1..=5 resolve in the bins; ranks 6..=10 are overflow.
+        assert!(h.quantile(0.45) < 10.0);
+        assert_eq!(h.quantile(0.6), 10.0);
+        assert_eq!(h.quantile(0.99), 10.0);
+        assert_eq!(h.quantile(1.0), 10.0);
+    }
+
+    #[test]
+    fn within_bin_interpolation_is_linear() {
+        // Four observations in bin [10, 20): target rank q*4 lands a
+        // fraction of the way through the bin's count, which maps linearly
+        // onto the bin's value range.
+        let mut h = Histogram::new(10.0, 4);
+        for _ in 0..4 {
+            h.record(12.0);
+        }
+        assert!((h.quantile(0.25) - 12.5).abs() < 1e-12); // 1/4 through the bin
+        assert!((h.quantile(0.5) - 15.0).abs() < 1e-12); // midpoint
+        assert!((h.quantile(1.0) - 20.0).abs() < 1e-12); // upper edge
+    }
+
+    #[test]
+    fn all_overflow_histogram_still_clamps() {
+        let mut h = Histogram::new(0.5, 3);
+        for _ in 0..10 {
+            h.record(99.0);
+        }
+        for q in [0.0, 0.25, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), 1.5, "q={q}");
+        }
     }
 
     #[test]

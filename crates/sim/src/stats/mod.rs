@@ -9,17 +9,21 @@
 //! * [`BatchMeans`] — steady-state confidence intervals from a single long
 //!   run, using the method of non-overlapping batch means.
 //!
-//! [`Histogram`] supports distribution-shape checks in tests, and
+//! [`Histogram`] supports distribution-shape checks in tests,
+//! [`TailSketch`]/[`WindowedTailSketch`] provide deterministic mergeable
+//! streaming quantiles for tail percentiles at scale, and
 //! [`student_t_975`] supplies the t-quantiles for interval construction.
 
 mod batch;
 mod histogram;
+mod sketch;
 mod tally;
 mod time_weighted;
 mod welch;
 
 pub use batch::BatchMeans;
 pub use histogram::Histogram;
+pub use sketch::{TailSketch, WindowedTailSketch};
 pub use tally::Tally;
 pub use time_weighted::TimeWeighted;
 pub use welch::welch_truncation;

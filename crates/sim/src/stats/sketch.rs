@@ -1,0 +1,512 @@
+//! Mergeable streaming quantile sketches for tail percentiles at scale.
+//!
+//! [`TailSketch`] is a fixed-size hierarchical log-bucket sketch: every
+//! non-negative observation lands in one of a bounded set of buckets whose
+//! edges grow geometrically (an HDR-histogram-style layout derived directly
+//! from the IEEE-754 bit pattern), and each bucket is a plain `u64`
+//! counter. That representation buys the two properties the open-system
+//! experiments need and a comparator-based sketch (KLL, t-digest) cannot
+//! give:
+//!
+//! 1. **Bounded memory, unbounded stream.** The bucket array never grows;
+//!    recording is O(1) with no allocation, so multi-million-query runs
+//!    stream through a few tens of kilobytes.
+//! 2. **Exact merge associativity and commutativity.** A merge is an
+//!    element-wise `u64` add, so *any* merge tree over *any* partition of a
+//!    stream produces bit-identical counters — which is what lets the
+//!    serial loop, `par_map` replication merges, and the parallel-in-time
+//!    shard executor report **byte-identical** p50/p99/p999. Floating-point
+//!    summaries (t-digest centroids) would differ by merge order.
+//!
+//! The price is bounded *relative* error: with [`TailSketch::SUB_BITS`]
+//! sub-buckets per octave, a reported quantile is within one sub-bucket of
+//! the exact order statistic — a relative error below `2^-SUB_BITS` (≈0.8%
+//! at the default 7 bits; the property tests assert 1%).
+//!
+//! [`WindowedTailSketch`] keeps a ring of per-time-window sketches so
+//! non-stationary runs (diurnal curves, flash crowds) can report
+//! time-sliced tails instead of one stationarity-assuming aggregate.
+
+/// IEEE-754 double exponent bias.
+const BIAS: i64 = 1023;
+
+/// A deterministic, mergeable log-bucket quantile sketch over non-negative
+/// observations.
+///
+/// # Example
+///
+/// ```
+/// use dqa_sim::stats::TailSketch;
+///
+/// let mut a = TailSketch::new();
+/// let mut b = TailSketch::new();
+/// for x in [1.0, 2.0, 3.0] {
+///     a.record(x);
+/// }
+/// for x in [100.0, 200.0] {
+///     b.record(x);
+/// }
+/// a.merge(&b);
+/// assert_eq!(a.count(), 5);
+/// let p50 = a.quantile(0.5);
+/// assert!((p50 - 3.0).abs() / 3.0 < 0.01, "p50 {p50}");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TailSketch {
+    counts: Box<[u64]>,
+    total: u64,
+}
+
+impl TailSketch {
+    /// Sub-bucket resolution: each power-of-two octave splits into
+    /// `2^SUB_BITS` geometric sub-buckets, bounding relative quantile
+    /// error by `2^-SUB_BITS` ≈ 0.8%.
+    pub const SUB_BITS: u32 = 7;
+
+    /// Smallest resolved magnitude, as a binary exponent: positive values
+    /// below `2^MIN_EXP` collapse into the underflow bucket and report as
+    /// `0.0`.
+    pub const MIN_EXP: i32 = -30;
+
+    /// Largest resolved magnitude, as a binary exponent: values at or
+    /// above `2^MAX_EXP` (≈1.7e10) collapse into the overflow bucket and
+    /// report as the range limit `2^MAX_EXP`.
+    pub const MAX_EXP: i32 = 34;
+
+    /// Resolved buckets between the underflow and overflow buckets.
+    const MID_BUCKETS: usize = ((Self::MAX_EXP - Self::MIN_EXP) as usize) << Self::SUB_BITS;
+
+    /// Total buckets: underflow + resolved range + overflow.
+    const NUM_BUCKETS: usize = Self::MID_BUCKETS + 2;
+
+    /// Bit-pattern key of the resolved range's lower edge (`2^MIN_EXP`).
+    const LO_KEY: i64 = (Self::MIN_EXP as i64 + BIAS) << Self::SUB_BITS;
+
+    /// Bit-pattern key one past the resolved range (`2^MAX_EXP`).
+    const HI_KEY: i64 = (Self::MAX_EXP as i64 + BIAS) << Self::SUB_BITS;
+
+    /// Creates an empty sketch (~64 KiB of counters, fixed for life).
+    #[must_use]
+    pub fn new() -> Self {
+        TailSketch {
+            counts: vec![0u64; Self::NUM_BUCKETS].into_boxed_slice(),
+            total: 0,
+        }
+    }
+
+    /// The bucket index of observation `x`.
+    ///
+    /// For positive finite doubles the bit pattern
+    /// `(exponent << 52) | mantissa` is monotone in the value, so shifting
+    /// away all but the top `SUB_BITS` mantissa bits yields a key that is
+    /// exactly "which geometric sub-bucket" — no logarithms, no rounding,
+    /// and bit-for-bit reproducible everywhere.
+    #[inline]
+    fn bucket_of(x: f64) -> usize {
+        debug_assert!(x >= 0.0 && !x.is_nan(), "sketch observations must be >= 0");
+        let key = (x.to_bits() >> (52 - Self::SUB_BITS)) as i64;
+        if key < Self::LO_KEY {
+            0
+        } else if key >= Self::HI_KEY {
+            Self::NUM_BUCKETS - 1
+        } else {
+            (key - Self::LO_KEY) as usize + 1
+        }
+    }
+
+    /// The lower edge of resolved bucket `i` (1-based within the resolved
+    /// range), reconstructed exactly from the bit pattern.
+    #[inline]
+    fn lower_edge(i: usize) -> f64 {
+        let key = Self::LO_KEY + (i as i64 - 1);
+        f64::from_bits((key as u64) << (52 - Self::SUB_BITS))
+    }
+
+    /// Records a non-negative observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `x` is negative or NaN; release builds
+    /// bucket the bit pattern, which for negatives lands in underflow.
+    #[inline]
+    pub fn record(&mut self, x: f64) {
+        self.counts[Self::bucket_of(x)] += 1;
+        self.total += 1;
+    }
+
+    /// Total observations recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether the sketch has no observations.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Observations that fell below the resolved range (reported as `0.0`
+    /// by quantile queries).
+    #[must_use]
+    pub fn underflow(&self) -> u64 {
+        self.counts[0]
+    }
+
+    /// Observations at or above the resolved range limit `2^MAX_EXP`
+    /// (clamped to the limit by quantile queries).
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.counts[Self::NUM_BUCKETS - 1]
+    }
+
+    /// Merges another sketch into this one: an element-wise `u64` add.
+    ///
+    /// The operation is exactly associative and commutative, so any merge
+    /// order over any partition of a stream yields identical counters —
+    /// and therefore bit-identical quantiles.
+    pub fn merge(&mut self, other: &TailSketch) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += *b;
+        }
+        self.total += other.total;
+    }
+
+    /// Approximate `q`-quantile (`0 ≤ q ≤ 1`), interpolated linearly
+    /// within its bucket. Returns `0.0` for an empty sketch or a quantile
+    /// in the underflow bucket, and clamps to `2^MAX_EXP` in the overflow
+    /// bucket.
+    ///
+    /// The result is a pure function of the counters, so two sketches with
+    /// equal counters report byte-identical quantiles regardless of how
+    /// their streams were partitioned or merged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.total == 0 {
+            return 0.0;
+        }
+        let target = q * self.total as f64;
+        let mut cum = 0.0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let next = cum + c as f64;
+            if next >= target && c > 0 {
+                if i == 0 {
+                    return 0.0;
+                }
+                if i == Self::NUM_BUCKETS - 1 {
+                    return Self::lower_edge(Self::NUM_BUCKETS - 1);
+                }
+                let lo = Self::lower_edge(i);
+                let hi = Self::lower_edge(i + 1);
+                let frac = (target - cum) / c as f64;
+                return lo + (hi - lo) * frac;
+            }
+            cum = next;
+        }
+        Self::lower_edge(Self::NUM_BUCKETS - 1)
+    }
+
+    /// Bytes of counter storage (the fixed memory footprint).
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        self.counts.len() * std::mem::size_of::<u64>()
+    }
+}
+
+impl Default for TailSketch {
+    fn default() -> Self {
+        TailSketch::new()
+    }
+}
+
+/// A ring of per-time-window [`TailSketch`]es for non-stationary tails.
+///
+/// Observations at time `t` land in window `floor(t / width)`; the ring
+/// keeps the most recent `windows` of them, recycling the oldest slot in
+/// place (bounded memory, no allocation after construction). Querying a
+/// recycled window returns `None`.
+///
+/// # Example
+///
+/// ```
+/// use dqa_sim::stats::WindowedTailSketch;
+///
+/// let mut w = WindowedTailSketch::new(100.0, 4);
+/// w.record(10.0, 5.0); // window 0
+/// w.record(250.0, 9.0); // window 2
+/// assert_eq!(w.window(0).unwrap().count(), 1);
+/// assert_eq!(w.window(2).unwrap().count(), 1);
+/// assert!(w.window(1).is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct WindowedTailSketch {
+    width: f64,
+    /// `(window index + 1, sketch)` per ring slot; tag 0 marks "never
+    /// used". A slot is valid for window `w` only while its tag is `w + 1`.
+    slots: Vec<(u64, TailSketch)>,
+}
+
+impl WindowedTailSketch {
+    /// Creates a ring of `windows` sketches over windows of `width` time
+    /// units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not positive or `windows` is zero.
+    #[must_use]
+    pub fn new(width: f64, windows: usize) -> Self {
+        assert!(
+            width.is_finite() && width > 0.0,
+            "window width must be positive, got {width}"
+        );
+        assert!(windows > 0, "need at least one window");
+        WindowedTailSketch {
+            width,
+            slots: (0..windows).map(|_| (0, TailSketch::new())).collect(),
+        }
+    }
+
+    /// The window index containing time `t`.
+    #[must_use]
+    pub fn window_of(&self, t: f64) -> u64 {
+        debug_assert!(t >= 0.0, "windowed time must be >= 0, got {t}");
+        (t / self.width) as u64
+    }
+
+    /// Records observation `x` made at time `t`, recycling the ring slot
+    /// if it still holds an older window.
+    pub fn record(&mut self, t: f64, x: f64) {
+        let w = self.window_of(t);
+        let n = self.slots.len() as u64;
+        let slot = &mut self.slots[(w % n) as usize];
+        if slot.0 != w + 1 {
+            slot.0 = w + 1;
+            slot.1.counts.fill(0);
+            slot.1.total = 0;
+        }
+        slot.1.record(x);
+    }
+
+    /// The sketch for window `w`, if it is still resident in the ring.
+    #[must_use]
+    pub fn window(&self, w: u64) -> Option<&TailSketch> {
+        let n = self.slots.len() as u64;
+        let slot = &self.slots[(w % n) as usize];
+        (slot.0 == w + 1).then_some(&slot.1)
+    }
+
+    /// The window width in time units.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// The ring capacity in windows.
+    #[must_use]
+    pub fn windows(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::{cases, Gen};
+
+    fn sketch_of(xs: &[f64]) -> TailSketch {
+        let mut s = TailSketch::new();
+        for &x in xs {
+            s.record(x);
+        }
+        s
+    }
+
+    /// Exact empirical quantile with the same rank convention the sketch
+    /// uses (`target = q * n`, first observation whose cumulative count
+    /// reaches the target).
+    fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+        let target = q * sorted.len() as f64;
+        let idx = (target.ceil() as usize).max(1) - 1;
+        sorted[idx.min(sorted.len() - 1)]
+    }
+
+    #[test]
+    fn empty_sketch_reports_zero() {
+        let s = TailSketch::new();
+        assert!(s.is_empty());
+        assert_eq!(s.quantile(0.5), 0.0);
+        assert_eq!(s.quantile(0.999), 0.0);
+    }
+
+    #[test]
+    fn single_value_is_recovered_within_resolution() {
+        for x in [0.001, 1.0, 42.5, 1e6] {
+            let s = sketch_of(&[x]);
+            for q in [0.0, 0.5, 0.99, 1.0] {
+                let got = s.quantile(q);
+                assert!((got - x).abs() / x < 0.01, "q={q}: got {got} for value {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn underflow_and_overflow_clamp() {
+        let tiny = 2.0_f64.powi(TailSketch::MIN_EXP - 3);
+        let huge = 2.0_f64.powi(TailSketch::MAX_EXP + 3);
+        let s = sketch_of(&[tiny, huge]);
+        assert_eq!(s.underflow(), 1);
+        assert_eq!(s.overflow(), 1);
+        assert_eq!(s.quantile(0.25), 0.0);
+        assert_eq!(s.quantile(1.0), 2.0_f64.powi(TailSketch::MAX_EXP));
+    }
+
+    #[test]
+    fn zero_observations_land_in_underflow() {
+        let s = sketch_of(&[0.0, 0.0, 5.0]);
+        assert_eq!(s.underflow(), 2);
+        assert_eq!(s.quantile(0.3), 0.0);
+    }
+
+    #[test]
+    fn quantile_error_bound_against_exact_order_statistics() {
+        cases(60, 0x5EEC, |g: &mut Gen| {
+            // Mix scales so several octaves are exercised.
+            let mut xs = g.vec_f64(0.01..10.0, 50..300);
+            let heavy = g.vec_f64(100.0..50_000.0, 1..40);
+            xs.extend(heavy);
+            let s = sketch_of(&xs);
+            let mut sorted = xs.clone();
+            sorted.sort_by(f64::total_cmp);
+            for q in [0.1, 0.5, 0.9, 0.99, 0.999] {
+                let got = s.quantile(q);
+                let exact = exact_quantile(&sorted, q);
+                // The sketch answer must sit within one sub-bucket of an
+                // exact order statistic: 2^-SUB_BITS relative error, plus
+                // slack for the rank falling between two observations.
+                let lo = exact_quantile(&sorted, (q - 2.0 / xs.len() as f64).max(0.0));
+                let hi = exact_quantile(&sorted, (q + 2.0 / xs.len() as f64).min(1.0));
+                assert!(
+                    got >= lo * 0.99 && got <= hi * 1.01,
+                    "case {}: q={q} got {got}, exact {exact} (band [{lo}, {hi}])",
+                    g.case()
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn merge_is_commutative_bitwise() {
+        cases(40, 0xC0117, |g: &mut Gen| {
+            let xs = g.vec_f64(0.1..1000.0, 1..100);
+            let ys = g.vec_f64(0.1..1000.0, 1..100);
+            let (a, b) = (sketch_of(&xs), sketch_of(&ys));
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ba = b.clone();
+            ba.merge(&a);
+            assert_eq!(ab, ba, "case {}", g.case());
+        });
+    }
+
+    #[test]
+    fn merge_is_associative_bitwise() {
+        cases(40, 0xA550C, |g: &mut Gen| {
+            let xs = g.vec_f64(0.1..1000.0, 1..80);
+            let ys = g.vec_f64(0.1..1000.0, 1..80);
+            let zs = g.vec_f64(0.1..1000.0, 1..80);
+            let (a, b, c) = (sketch_of(&xs), sketch_of(&ys), sketch_of(&zs));
+            // (a ∪ b) ∪ c
+            let mut left = a.clone();
+            left.merge(&b);
+            left.merge(&c);
+            // a ∪ (b ∪ c)
+            let mut bc = b.clone();
+            bc.merge(&c);
+            let mut right = a.clone();
+            right.merge(&bc);
+            assert_eq!(left, right, "case {}", g.case());
+        });
+    }
+
+    #[test]
+    fn any_partition_equals_the_serial_sketch() {
+        cases(40, 0x9A27, |g: &mut Gen| {
+            let xs = g.vec_f64(0.1..5000.0, 10..200);
+            let serial = sketch_of(&xs);
+            // Split at a random point, sketch the halves independently
+            // (in swapped order), merge: must be bit-identical.
+            let cut = g.usize_in(0..xs.len());
+            let mut merged = sketch_of(&xs[cut..]);
+            merged.merge(&sketch_of(&xs[..cut]));
+            assert_eq!(merged, serial, "case {}", g.case());
+            for q in [0.5, 0.99, 0.999] {
+                assert!(
+                    merged.quantile(q).to_bits() == serial.quantile(q).to_bits(),
+                    "case {}: quantile {q} differs bitwise",
+                    g.case()
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q() {
+        cases(30, 0x304F, |g: &mut Gen| {
+            let xs = g.vec_f64(0.01..10_000.0, 5..150);
+            let s = sketch_of(&xs);
+            let mut prev = 0.0;
+            for i in 0..=20 {
+                let q = f64::from(i) / 20.0;
+                let v = s.quantile(q);
+                assert!(v >= prev, "case {}: q={q} gave {v} < {prev}", g.case());
+                prev = v;
+            }
+        });
+    }
+
+    #[test]
+    fn footprint_is_fixed_and_small() {
+        let mut s = TailSketch::new();
+        let before = s.bytes();
+        for i in 0..100_000 {
+            s.record(0.1 + f64::from(i));
+        }
+        assert_eq!(s.bytes(), before, "recording must not grow the sketch");
+        assert!(before <= 96 * 1024, "sketch footprint {before} too large");
+    }
+
+    #[test]
+    fn windowed_ring_recycles_oldest_slot() {
+        let mut w = WindowedTailSketch::new(10.0, 3);
+        w.record(5.0, 1.0); // window 0
+        w.record(15.0, 2.0); // window 1
+        w.record(25.0, 3.0); // window 2
+        assert_eq!(w.window(0).unwrap().count(), 1);
+        w.record(35.0, 4.0); // window 3 recycles slot 0
+        assert!(w.window(0).is_none(), "window 0 should be recycled");
+        assert_eq!(w.window(3).unwrap().count(), 1);
+        assert_eq!(w.window(1).unwrap().count(), 1);
+    }
+
+    #[test]
+    fn windowed_observations_split_by_time() {
+        let mut w = WindowedTailSketch::new(100.0, 4);
+        for i in 0..50 {
+            w.record(f64::from(i), 10.0); // window 0
+        }
+        for i in 0..30 {
+            w.record(100.0 + f64::from(i), 500.0); // window 1
+        }
+        let w0 = w.window(0).unwrap();
+        let w1 = w.window(1).unwrap();
+        assert_eq!(w0.count(), 50);
+        assert_eq!(w1.count(), 30);
+        assert!((w0.quantile(0.5) - 10.0).abs() / 10.0 < 0.01);
+        assert!((w1.quantile(0.5) - 500.0).abs() / 500.0 < 0.01);
+    }
+}

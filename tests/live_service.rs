@@ -1,0 +1,206 @@
+//! The million-user open-arrival engine: time-varying arrival kernels,
+//! the lazy user-session arena, and the mergeable tail sketch.
+//!
+//! Three contracts are pinned here:
+//!
+//! 1. **CRN inertness** — `Some(ArrivalSpec::default())` and
+//!    `Some(UserSpec::default())` draw *nothing*, so their reports are
+//!    byte-identical to `None`: turning a live-service layer off never
+//!    perturbs a baseline trajectory.
+//! 2. **Executor identity** — with both layers active, the serial
+//!    engine, the replicated worker pool, and the conservative sharded
+//!    executor produce bitwise-identical `RunReport`s (tail-sketch
+//!    percentiles and arena peaks included): all live-service state is
+//!    per-site and all draws come from registered per-site substreams.
+//! 3. **Laziness** — peak arena occupancy tracks *concurrent sessions*,
+//!    never the configured population, so a million-user run fits in a
+//!    few kilobytes per site.
+
+use dqa_core::experiment::{run, run_replicated_jobs, run_sharded, RunConfig, RunReport};
+use dqa_core::params::{ArrivalSpec, SystemParams, SystemParamsBuilder, UserSpec, Workload};
+use dqa_core::policy::PolicyKind;
+
+const JOB_COUNTS: [usize; 3] = [1, 2, 7];
+
+/// An open-arrival configuration with costed status broadcasts (the
+/// sharded executor needs an imperfect board).
+fn base() -> SystemParamsBuilder {
+    SystemParams::builder()
+        .num_sites(4)
+        .mpl(4)
+        .workload(Workload::Open { arrival_rate: 0.02 })
+        .status_period(25.0)
+        .status_msg_length(0.8)
+}
+
+/// A spec with every arrival kernel switched on: diurnal modulation, a
+/// mid-run flash crowd, and the MMPP burst layer.
+fn busy_arrivals() -> ArrivalSpec {
+    ArrivalSpec {
+        diurnal_amplitude: 0.4,
+        diurnal_period: 2_000.0,
+        flash_at: 800.0,
+        flash_for: 400.0,
+        flash_multiplier: 3.0,
+        burst_multiplier: 2.0,
+        burst_on_mean: 150.0,
+        burst_off_mean: 1_200.0,
+    }
+}
+
+fn million_users() -> UserSpec {
+    UserSpec {
+        total_users: 1_000_000,
+        ..UserSpec::default()
+    }
+}
+
+fn config(params: SystemParams) -> RunConfig {
+    RunConfig::new(params, PolicyKind::Bnq)
+        .seed(7_117)
+        .windows(400.0, 4_000.0)
+}
+
+#[test]
+fn inert_specs_are_byte_identical_to_absent() {
+    // The CRN property: a present-but-inactive spec must not consume a
+    // single random number, so the whole report matches bitwise.
+    let absent = base().build().expect("valid params");
+    let inert = base()
+        .arrivals(Some(ArrivalSpec::default()))
+        .users(Some(UserSpec::default()))
+        .build()
+        .expect("valid params");
+    let a = run(&config(absent)).expect("absent run");
+    let b = run(&config(inert)).expect("inert run");
+    assert!(a.completed > 0, "degenerate run");
+    assert!(a == b, "inert live-service specs perturbed the trajectory");
+}
+
+#[test]
+fn active_kernels_change_the_trajectory() {
+    // The inverse sanity check: an *active* arrival kernel must actually
+    // modulate arrivals, and an active population must actually steer
+    // class draws — otherwise the layer is silently disconnected.
+    let plain = run(&config(base().build().expect("valid params"))).expect("plain");
+    let modulated = run(&config(
+        base()
+            .arrivals(Some(busy_arrivals()))
+            .build()
+            .expect("valid params"),
+    ))
+    .expect("modulated");
+    assert!(plain != modulated, "arrival kernels had no effect");
+    let populated = run(&config(
+        base()
+            .users(Some(million_users()))
+            .build()
+            .expect("valid params"),
+    ))
+    .expect("populated");
+    assert!(plain != populated, "user population had no effect");
+}
+
+#[test]
+fn live_runs_are_bitwise_identical_across_executors() {
+    let params = base()
+        .arrivals(Some(busy_arrivals()))
+        .users(Some(million_users()))
+        .build()
+        .expect("valid params");
+    let cfg = config(params);
+    let serial = run(&cfg).expect("serial run");
+    assert!(serial.completed > 0, "degenerate run");
+    assert!(
+        serial.sketch_p999 >= serial.sketch_p99 && serial.sketch_p99 >= serial.sketch_p50,
+        "sketch percentiles out of order: {serial:?}"
+    );
+    for jobs in JOB_COUNTS {
+        let sharded = run_sharded(&cfg, jobs).expect("sharded run");
+        assert_identical(&serial, &sharded, "sharded", jobs);
+    }
+    // The replicated pool must hand every replication the exact seed the
+    // serial loop would have; replication 0 is the serial run itself.
+    for jobs in JOB_COUNTS {
+        let rep = run_replicated_jobs(&cfg, 3, jobs).expect("replicated run");
+        assert_identical(&serial, &rep.reports[0], "replicated", jobs);
+    }
+    // And the pooled replications agree with the one-worker serial loop.
+    let pooled = run_replicated_jobs(&cfg, 3, 4).expect("pooled");
+    let looped = run_replicated_jobs(&cfg, 3, 1).expect("looped");
+    assert!(pooled == looped, "worker pool perturbed a replication");
+}
+
+fn assert_identical(serial: &RunReport, other: &RunReport, what: &str, jobs: usize) {
+    assert!(
+        serial == other,
+        "{what} (jobs={jobs}) diverged from serial:\n\
+         serial: {serial:?}\n\
+         other:  {other:?}"
+    );
+}
+
+#[test]
+fn arena_memory_tracks_active_sessions_not_population() {
+    let params = base()
+        .users(Some(million_users()))
+        .build()
+        .expect("valid params");
+    let report = run(&config(params)).expect("populated run");
+    assert!(report.completed > 0, "degenerate run");
+    assert!(
+        report.peak_active_users > 0,
+        "population active but no session ever materialized"
+    );
+    // With ~4 sites at MPL 4 and mean session length 20, concurrent
+    // sessions are bounded by in-flight work, not by the million
+    // configured users. Allow two orders of magnitude of slack — the
+    // point is 10^2-ish, not 10^6.
+    assert!(
+        report.peak_active_users < 10_000,
+        "peak {} looks like O(total users)",
+        report.peak_active_users
+    );
+    // 16-byte slots, power-of-two tables, 256-slot floor per site.
+    assert!(
+        report.user_arena_peak_bytes < 4 * 1024 * 1024,
+        "arena bytes {} not proportional to active sessions",
+        report.user_arena_peak_bytes
+    );
+    assert!(report.user_arena_peak_bytes >= 16 * report.peak_active_users);
+}
+
+#[test]
+fn sketch_percentiles_bracket_the_histogram() {
+    // The log-bucketed sketch has < 0.8% relative error; its p50 and p99
+    // must land near the linear-histogram estimates on a real workload.
+    let report = run(&config(base().build().expect("valid params"))).expect("run");
+    assert!(report.completed > 100, "too few completions to compare");
+    let tol = |h: f64| 2.0 + 0.02 * h;
+    assert!(
+        (report.sketch_p50 - report.response_p50).abs() <= tol(report.response_p50),
+        "sketch p50 {} vs histogram {}",
+        report.sketch_p50,
+        report.response_p50
+    );
+    assert!(
+        (report.sketch_p99 - report.response_p99).abs() <= tol(report.response_p99),
+        "sketch p99 {} vs histogram {}",
+        report.sketch_p99,
+        report.response_p99
+    );
+}
+
+#[test]
+fn live_reports_are_reproducible() {
+    // Same seed, same config: the full live-service stack is a pure
+    // function of (params, policy, seed).
+    let params = base()
+        .arrivals(Some(busy_arrivals()))
+        .users(Some(million_users()))
+        .build()
+        .expect("valid params");
+    let a = run(&config(params.clone())).expect("first");
+    let b = run(&config(params)).expect("second");
+    assert!(a == b, "repeated run diverged");
+}
