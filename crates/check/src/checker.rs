@@ -27,6 +27,18 @@
 //!   the barrier then drains the outbox onto the ring exactly once.
 //!   `Complete` splits into park (inside the window) + commit (at the
 //!   barrier), and I1 demands the commit never replays a frame.
+//! - **Hedge/DeliverDup/CompleteDup/Cancel** (redundancy model only) —
+//!   the redundancy layer (`spawn_hedges`/`finish_hedged`/
+//!   `cancel_member`): a query may hedge once, spawning a duplicate
+//!   attempt toward the cheapest usable site that differs from the
+//!   primary's; the first completion wins, and the loser is reaped
+//!   phase-exactly — on the spot where the decision is visible (backed
+//!   off, home-resident, or flagged on the wire), or by an explicit
+//!   fire-and-forget cancel frame when it executes remotely. A lost
+//!   cancel frame is repaired by the completion-time winner guard; the
+//!   seeded [`Mutation::LostCancel`] drops that guard. The winner's
+//!   `Return` retransmit loop is collapsed exactly as for `Complete`:
+//!   the duplicate stays at its site until the home is reachable.
 //! - **Crash/Repair** — `crash_site`/`recover_site` (timing replaced by
 //!   nondeterministic ordering, bounded by `max_crashes`).
 //! - **Suspect/Retrust** — the suspicion sweep and probation: a site
@@ -46,7 +58,7 @@ use std::collections::{HashMap, VecDeque};
 use dqa_core::lifecycle::{allowed, Stage};
 
 use crate::config::{CheckConfig, Mutation};
-use crate::state::{Action, Partition, QStage, State};
+use crate::state::{Action, Dup, Partition, QStage, State};
 
 /// The invariant catalogue. See DESIGN.md §11 for the prose version.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -297,6 +309,16 @@ impl Checker {
                     return Some(Invariant::StageDomain);
                 }
             }
+            if let Some(Dup::Executing(at)) = q.dup {
+                if !after.site_up[at as usize] {
+                    return Some(Invariant::StageDomain);
+                }
+            }
+            // An attempt may only be reaped after its group decided
+            // (i.e. the logical query completed through the winner).
+            if q.stage == QStage::Cancelled && q.completions == 0 {
+                return Some(Invariant::StageDomain);
+            }
             // Cross-validation against the protocol contract: the stage
             // edge of every changed query must be permitted. Same-stage
             // "transitions" are state updates (budget spends), not
@@ -309,8 +331,31 @@ impl Checker {
             if from != to && !contract_ok(from, to) {
                 return Some(Invariant::ContractEdge);
             }
+            // The duplicate attempt's edges are cross-validated too: a
+            // spawn is the second lifecycle root (no incoming edge); a
+            // removed duplicate either won (its completing CompleteDup)
+            // or was reaped (everything else → Cancelled).
+            match (before.queries[qi].dup, q.dup) {
+                (Some(f), Some(t))
+                    if f.contract() != t.contract() && !contract_ok(f.contract(), t.contract()) =>
+                {
+                    return Some(Invariant::ContractEdge);
+                }
+                (Some(f), None) => {
+                    let won = matches!(action, Action::CompleteDup { query } if *query == qi)
+                        && before.queries[qi].completions == 0;
+                    let to = if won {
+                        Stage::Completed
+                    } else {
+                        Stage::Cancelled
+                    };
+                    if !contract_ok(f.contract(), to) {
+                        return Some(Invariant::ContractEdge);
+                    }
+                }
+                _ => {}
+            }
         }
-        let _ = action;
         None
     }
 
@@ -332,7 +377,13 @@ impl Checker {
                         || !s.site_up[to];
                     let mut next = s.clone();
                     let action = Action::Deliver { query: q };
-                    if dropped {
+                    if qs.completions > 0 {
+                        // Condemned by first-win cancellation while on
+                        // the wire (the frame is flagged, it cannot be
+                        // recalled): delivery — or loss — completes the
+                        // reap instead of starting an execution.
+                        next.queries[q].stage = QStage::Cancelled;
+                    } else if dropped {
                         fault_retry(&mut next.queries[q]);
                     } else {
                         next.queries[q].stage = QStage::Executing { at: to as u8 };
@@ -341,7 +392,22 @@ impl Checker {
                 }
                 QStage::Executing { at } => {
                     let at = at as usize;
-                    if c.window_barrier {
+                    if qs.completions > 0 {
+                        // A condemned loser finishing under a lost (or
+                        // still-racing) cancel frame: the completion-time
+                        // winner guard discards it locally — no home
+                        // trip, no second completion. The seeded
+                        // LostCancel bug drops the guard.
+                        let mut next = s.clone();
+                        next.queries[q].cancel_pending = false;
+                        if c.mutation == Some(Mutation::LostCancel) {
+                            next.queries[q].stage = QStage::Done;
+                            next.queries[q].completions = (qs.completions + 1).min(2);
+                        } else {
+                            next.queries[q].stage = QStage::Cancelled;
+                        }
+                        out.push((Action::Complete { query: q }, next));
+                    } else if c.window_barrier {
                         // Window-barrier model: finishing inside a
                         // window only parks the result frame in the
                         // LP's outbox; delivery (and its reachability
@@ -362,15 +428,21 @@ impl Checker {
                         if reachable {
                             next.queries[q].stage = QStage::Done;
                             next.queries[q].completions += 1;
+                            condemn_dup(&mut next.queries[q], home);
                         } else if next.queries[q].faults_left > 0 {
                             next.queries[q].faults_left -= 1;
                         } else {
                             next.queries[q].stage = QStage::Lost;
+                            // Losing the primary dissolves its hedge
+                            // group; the duplicate is reaped with it
+                            // (cf. `fault_retry`).
+                            next.queries[q].dup = None;
+                            next.queries[q].cancel_pending = false;
                         }
                         out.push((Action::Complete { query: q }, next));
                     }
                 }
-                QStage::Done | QStage::Abandoned | QStage::Lost => {}
+                QStage::Done | QStage::Abandoned | QStage::Lost | QStage::Cancelled => {}
             }
             // The barrier flush drains a parked result frame onto the
             // ring. The correct flush empties the outbox slot; the
@@ -395,8 +467,124 @@ impl Checker {
                 }
                 out.push((Action::BarrierCommit { query: q }, next));
             }
-            // Deadline expiry races every in-flight or executing attempt.
+            // ---- the redundancy model (`CheckConfig::redundancy`) ----
+            // Hedge spawn: at most once per query, from its (up) home
+            // dispatcher, toward the cheapest usable site that differs
+            // from the primary's (mirrors `Allocator::hedge_targets`).
+            if c.redundancy && qs.hedge_left && qs.completions == 0 && s.site_up[home] {
+                let primary = match qs.stage {
+                    QStage::InFlight { to } => Some(to as usize),
+                    QStage::Executing { at } => Some(at as usize),
+                    _ => None,
+                };
+                if let Some(p) = primary {
+                    if let Some(t) =
+                        (0..c.sites).find(|&i| s.site_up[i] && !s.suspected[i] && i != p)
+                    {
+                        let mut next = s.clone();
+                        next.queries[q].hedge_left = false;
+                        // A home-targeted duplicate starts executing at
+                        // once; any other target gets a dispatch frame.
+                        next.queries[q].dup = Some(if t == home {
+                            Dup::Executing(t as u8)
+                        } else {
+                            Dup::InFlight(t as u8)
+                        });
+                        out.push((Action::Hedge { query: q }, next));
+                    }
+                }
+            }
+            // Duplicate delivery: a dropped frame (partition, crashed
+            // destination) — or one flagged by an already-decided group
+            // — reaps the duplicate instead of starting it.
+            if let Some(Dup::InFlight(t)) = qs.dup {
+                let t = t as usize;
+                let delivered = s.site_up[t]
+                    && !(s.partition == Partition::Active && c.crosses_partition(home, t));
+                let mut next = s.clone();
+                next.queries[q].dup = if delivered && qs.completions == 0 {
+                    Some(Dup::Executing(t as u8))
+                } else {
+                    None
+                };
+                out.push((Action::DeliverDup { query: q }, next));
+            }
+            // Duplicate completion: the group's first win — or a loser
+            // caught by the completion-time winner guard (which the
+            // seeded LostCancel bug drops).
+            if let Some(Dup::Executing(at)) = qs.dup {
+                let at = at as usize;
+                if qs.completions > 0 {
+                    let mut next = s.clone();
+                    next.queries[q].dup = None;
+                    next.queries[q].cancel_pending = false;
+                    if c.mutation == Some(Mutation::LostCancel) {
+                        next.queries[q].completions = (qs.completions + 1).min(2);
+                    }
+                    out.push((Action::CompleteDup { query: q }, next));
+                } else {
+                    // An undecided duplicate wins only once the home is
+                    // reachable (the Return retransmit loop collapsed,
+                    // exactly as for Complete); until then its results
+                    // stay logged at the redundant site.
+                    let reachable = s.site_up[home]
+                        && !(s.partition == Partition::Active && c.crosses_partition(at, home));
+                    if reachable {
+                        let mut next = s.clone();
+                        let nq = &mut next.queries[q];
+                        nq.dup = None;
+                        nq.completions += 1;
+                        // The losing primary is condemned phase-exactly:
+                        // reaped on the spot where the decision is
+                        // visible (backed off, or resident at the home
+                        // site), flagged when its frame is on the wire
+                        // (reaped at delivery), or sent the droppable
+                        // explicit cancel frame when executing remotely.
+                        match nq.stage {
+                            QStage::Backoff => nq.stage = QStage::Cancelled,
+                            QStage::Executing { at: p } if p as usize == home => {
+                                nq.stage = QStage::Cancelled;
+                            }
+                            QStage::Executing { .. } => nq.cancel_pending = true,
+                            _ => {}
+                        }
+                        out.push((Action::CompleteDup { query: q }, next));
+                    }
+                }
+            }
+            // The explicit cancel frame arrives at the losing attempt —
+            // or is lost on the ring (fire-and-forget; the winner guard
+            // is the backstop).
+            if qs.cancel_pending {
+                let mut delivered = s.clone();
+                delivered.queries[q].cancel_pending = false;
+                if delivered.queries[q].dup.is_some() {
+                    delivered.queries[q].dup = None;
+                } else {
+                    delivered.queries[q].stage = QStage::Cancelled;
+                }
+                out.push((
+                    Action::Cancel {
+                        query: q,
+                        lost: false,
+                    },
+                    delivered,
+                ));
+                let mut lost = s.clone();
+                lost.queries[q].cancel_pending = false;
+                out.push((
+                    Action::Cancel {
+                        query: q,
+                        lost: true,
+                    },
+                    lost,
+                ));
+            }
+            // Deadline expiry races every in-flight or executing attempt
+            // whose group is undecided (a decided loser's unwind is
+            // owned by the first-win cancellation).
             if c.realloc_budget.is_some()
+                && qs.completions == 0
                 && matches!(qs.stage, QStage::InFlight { .. } | QStage::Executing { .. })
             {
                 out.push((Action::Expire { query: q }, self.expire(s, q)));
@@ -424,10 +612,21 @@ impl Checker {
                 next.site_up[site] = false;
                 next.crashes_left -= 1;
                 // The crash drains the site's stations: every resident
-                // execution fails into recovery (cf. `crash_site`).
+                // execution fails into recovery (cf. `crash_site`) — a
+                // condemned loser's destruction just completes the
+                // reap, and a resident duplicate dies with the site.
                 for q in &mut next.queries {
                     if q.stage == (QStage::Executing { at: site as u8 }) {
-                        fault_retry(q);
+                        if q.completions > 0 {
+                            q.stage = QStage::Cancelled;
+                            q.cancel_pending = false;
+                        } else {
+                            fault_retry(q);
+                        }
+                    }
+                    if matches!(q.dup, Some(Dup::Executing(at)) if at as usize == site) {
+                        q.dup = None;
+                        q.cancel_pending = false;
                     }
                 }
                 out.push((Action::Crash { site }, next));
@@ -532,6 +731,10 @@ impl Checker {
                         rq.stage = QStage::Backoff;
                     } else {
                         rq.stage = QStage::Abandoned;
+                        // Shedding the primary dissolves its hedge
+                        // group: the duplicate is reaped with it.
+                        rq.dup = None;
+                        rq.cancel_pending = false;
                     }
                     out.push((
                         Action::Submit {
@@ -603,6 +806,10 @@ impl Checker {
             qs.stale = stale.or(qs.stale);
         } else {
             qs.stage = QStage::Abandoned;
+            // Shedding the primary dissolves its hedge group: the
+            // duplicate is reaped with it.
+            qs.dup = None;
+            qs.cancel_pending = false;
         }
         next
     }
@@ -620,6 +827,24 @@ fn fault_retry(q: &mut crate::state::QueryState) {
         q.stage = QStage::Backoff;
     } else {
         q.stage = QStage::Lost;
+        // Losing the primary dissolves its hedge group; the duplicate
+        // is reaped with it (the dissolution's cancel — and the winner
+        // guard behind it — collapsed to an immediate reap).
+        q.dup = None;
+        q.cancel_pending = false;
+    }
+}
+
+/// First win by the primary: condemn the group's surviving duplicate,
+/// phase-exactly (mirrors `dissolve_group`/`cancel_member`): a frame on
+/// the wire is flagged and reaped at delivery, a home-resident
+/// duplicate is reaped where the decision is visible, and a remotely
+/// executing one gets the droppable explicit cancel frame.
+fn condemn_dup(q: &mut crate::state::QueryState, home: usize) {
+    match q.dup {
+        Some(Dup::InFlight(_)) | None => {}
+        Some(Dup::Executing(at)) if at as usize == home => q.dup = None,
+        Some(Dup::Executing(_)) => q.cancel_pending = true,
     }
 }
 
@@ -690,6 +915,7 @@ mod tests {
             admission_retries: None,
             fault_retries: 1,
             window_barrier: false,
+            redundancy: false,
             mutation: None,
         };
         let report = Checker::new(config).run();
@@ -710,6 +936,7 @@ mod tests {
             admission_retries: None,
             fault_retries: 1,
             window_barrier: false,
+            redundancy: false,
             mutation: None,
         };
         let base = Checker::new(tiny).run();
@@ -726,6 +953,55 @@ mod tests {
             "windowed {} vs serial {}",
             windowed.states,
             base.states
+        );
+    }
+
+    #[test]
+    fn redundancy_model_is_clean_and_extends_the_space() {
+        let tiny = CheckConfig {
+            sites: 3,
+            queries: 1,
+            max_crashes: 1,
+            partition: false,
+            suspicion: false,
+            realloc_budget: None,
+            admission_retries: None,
+            fault_retries: 1,
+            window_barrier: false,
+            redundancy: false,
+            mutation: None,
+        };
+        let base = Checker::new(tiny).run();
+        let hedged = Checker::new(CheckConfig {
+            redundancy: true,
+            ..tiny
+        })
+        .run();
+        assert!(hedged.violation.is_none(), "{:?}", hedged.violation);
+        // Hedging adds the duplicate attempt's lifecycle to every
+        // query, so the redundancy model strictly extends the space.
+        assert!(
+            hedged.states > base.states,
+            "hedged {} vs base {}",
+            hedged.states,
+            base.states
+        );
+        assert!(hedged.terminal_states > 0);
+    }
+
+    #[test]
+    fn lost_cancel_trace_goes_through_the_cancel_machinery() {
+        // The seeded lost-cancel bug must be caught, and its minimal
+        // counterexample must actually exercise hedging: a spawn and a
+        // duplicate (or condemned-primary) completion are on the trace.
+        let config = CheckConfig::default().with_mutation(Mutation::LostCancel);
+        let report = Checker::new(config).run();
+        let v = report.violation.expect("lost-cancel not detected");
+        assert_eq!(v.invariant, Invariant::NoDoubleExecution);
+        assert!(
+            v.trace.iter().any(|a| matches!(a, Action::Hedge { .. })),
+            "trace never hedged: {:?}",
+            v.trace
         );
     }
 
@@ -760,9 +1036,9 @@ mod tests {
             let expected = match mutation {
                 Mutation::DropReallocBound => Invariant::ReallocationBound,
                 Mutation::SkipQuarantineFallback => Invariant::NoQuarantineWedge,
-                Mutation::IgnoreStaleEpoch | Mutation::DoubleBarrierFlush => {
-                    Invariant::NoDoubleExecution
-                }
+                Mutation::IgnoreStaleEpoch
+                | Mutation::DoubleBarrierFlush
+                | Mutation::LostCancel => Invariant::NoDoubleExecution,
             };
             assert_eq!(v.invariant, expected, "{mutation:?}");
             assert!(!v.trace.is_empty());

@@ -26,15 +26,24 @@ pub enum Mutation {
     /// with [`CheckConfig::window_barrier`] on (seeding it enables the
     /// window model, see [`CheckConfig::with_mutation`]).
     DoubleBarrierFlush,
+    /// First-win cancellation drops its completion-time winner guard:
+    /// an explicit cancel frame that is lost on the ring (fire-and-
+    /// forget) — or that loses the race against the loser's own
+    /// completion — goes uncaught, the losing attempt's results reach
+    /// the terminal too, and the no-double-execution invariant (I1) is
+    /// violated. Only meaningful with [`CheckConfig::redundancy`] on
+    /// (seeding it enables the redundancy model).
+    LostCancel,
 }
 
 impl Mutation {
     /// All mutations, for the self-test sweep.
-    pub const ALL: [Mutation; 4] = [
+    pub const ALL: [Mutation; 5] = [
         Mutation::DropReallocBound,
         Mutation::SkipQuarantineFallback,
         Mutation::IgnoreStaleEpoch,
         Mutation::DoubleBarrierFlush,
+        Mutation::LostCancel,
     ];
 
     /// Stable command-line name.
@@ -45,6 +54,7 @@ impl Mutation {
             Mutation::SkipQuarantineFallback => "skip-quarantine-fallback",
             Mutation::IgnoreStaleEpoch => "ignore-stale-epoch",
             Mutation::DoubleBarrierFlush => "double-barrier-flush",
+            Mutation::LostCancel => "lost-cancel",
         }
     }
 
@@ -53,6 +63,14 @@ impl Mutation {
     #[must_use]
     pub fn needs_window_barrier(self) -> bool {
         matches!(self, Mutation::DoubleBarrierFlush)
+    }
+
+    /// Whether this mutation lives in the first-win cancellation
+    /// machinery and so needs [`CheckConfig::redundancy`] to be
+    /// reachable at all.
+    #[must_use]
+    pub fn needs_redundancy(self) -> bool {
+        matches!(self, Mutation::LostCancel)
     }
 
     /// Parses a command-line name.
@@ -98,6 +116,15 @@ pub struct CheckConfig {
     /// space is unchanged; on, it extends every query with the parked
     /// stage and checks that the flush preserves I1.
     pub window_barrier: bool,
+    /// Whether to model redundancy-aware dispatch
+    /// (`dqa_core::params::RedundancySpec`): each query may hedge once,
+    /// spawning a duplicate attempt toward a redundant site; the first
+    /// completion wins and the loser is reaped phase-exactly — directly
+    /// where the decision is visible, by a droppable explicit cancel
+    /// frame when it executes remotely, with the completion-time winner
+    /// guard as the backstop. Off by default so the tier-1 pinned state
+    /// space is unchanged.
+    pub redundancy: bool,
     /// Seeded protocol bug, if any (mutation self-test).
     pub mutation: Option<Mutation>,
 }
@@ -116,6 +143,7 @@ impl Default for CheckConfig {
             admission_retries: Some(1),
             fault_retries: 1,
             window_barrier: false,
+            redundancy: false,
             mutation: None,
         }
     }
@@ -156,18 +184,20 @@ impl CheckConfig {
             // the system parameters; enable it explicitly to model a
             // sharded run.
             window_barrier: false,
+            redundancy: params.redundancy.is_some_and(|r| r.is_active()),
             mutation: None,
         }
     }
 
     /// Returns the config with the given mutation seeded. A mutation
-    /// that lives in the window-barrier commit also enables
-    /// [`CheckConfig::window_barrier`], since the buggy transition is
-    /// unreachable without the window model.
+    /// that lives in the window-barrier commit (or the first-win
+    /// cancellation machinery) also enables the model it needs, since
+    /// the buggy transition is unreachable without it.
     #[must_use]
     pub fn with_mutation(mut self, mutation: Mutation) -> Self {
         self.mutation = Some(mutation);
         self.window_barrier |= mutation.needs_window_barrier();
+        self.redundancy |= mutation.needs_redundancy();
         self
     }
 
@@ -297,5 +327,36 @@ mod tests {
         // The other mutations leave the default (window off) alone.
         let c = CheckConfig::default().with_mutation(Mutation::IgnoreStaleEpoch);
         assert!(!c.window_barrier);
+    }
+
+    #[test]
+    fn lost_cancel_mutation_enables_the_redundancy_model() {
+        let c = CheckConfig::default().with_mutation(Mutation::LostCancel);
+        assert!(c.redundancy, "the dropped winner guard needs hedging");
+        assert!(!c.window_barrier);
+        let c = CheckConfig::default().with_mutation(Mutation::IgnoreStaleEpoch);
+        assert!(!c.redundancy);
+    }
+
+    #[test]
+    fn redundancy_derives_from_an_active_spec_only() {
+        use dqa_core::params::RedundancySpec;
+        let active = SystemParams::builder()
+            .num_sites(3)
+            .redundancy(Some(RedundancySpec {
+                max_level: 2,
+                ..RedundancySpec::default()
+            }))
+            .build()
+            .unwrap();
+        assert!(CheckConfig::from_params(&active, 2, 0).redundancy);
+        // An inert spec (max_level <= 1) is byte-identical to none and
+        // must not be modeled — exactly as the simulator treats it.
+        let inert = SystemParams::builder()
+            .num_sites(3)
+            .redundancy(Some(RedundancySpec::default()))
+            .build()
+            .unwrap();
+        assert!(!CheckConfig::from_params(&inert, 2, 0).redundancy);
     }
 }

@@ -39,4 +39,4 @@ pub mod state;
 pub use checker::{CheckReport, Checker, Invariant, Violation};
 pub use config::{CheckConfig, Mutation};
 pub use replay::ReplayConfig;
-pub use state::{Action, Partition, QStage, QueryState, State};
+pub use state::{Action, Dup, Partition, QStage, QueryState, State};

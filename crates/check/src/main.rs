@@ -58,6 +58,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             "--no-partition" => config.partition = false,
             "--no-suspicion" => config.suspicion = false,
             "--window-barrier" => config.window_barrier = true,
+            "--redundancy" => config.redundancy = true,
             "--mutation" => {
                 let name = value("--mutation")?;
                 let mutation =
@@ -176,7 +177,7 @@ fn replay(path: &str) -> Result<ExitCode, String> {
 
 fn print_report(config: &CheckConfig, report: &CheckReport) {
     println!(
-        "checked {} sites x {} queries, {} crash(es), partition {}, suspicion {}{}{}",
+        "checked {} sites x {} queries, {} crash(es), partition {}, suspicion {}{}{}{}",
         config.sites,
         config.queries,
         config.max_crashes,
@@ -184,6 +185,11 @@ fn print_report(config: &CheckConfig, report: &CheckReport) {
         if config.suspicion { "on" } else { "off" },
         if config.window_barrier {
             ", window barrier on"
+        } else {
+            ""
+        },
+        if config.redundancy {
+            ", redundancy on"
         } else {
             ""
         },
@@ -216,13 +222,14 @@ fn print_violation(v: &Violation) {
 
 fn stats_json(config: &CheckConfig, report: &CheckReport, wall_secs: f64) -> String {
     format!(
-        "{{\n  \"experiment\": \"dqa_check\",\n  \"sites\": {},\n  \"queries\": {},\n  \"max_crashes\": {},\n  \"partition\": {},\n  \"suspicion\": {},\n  \"window_barrier\": {},\n  \"states\": {},\n  \"transitions\": {},\n  \"dedup_hits\": {},\n  \"dedup_rate\": {:.4},\n  \"max_depth\": {},\n  \"terminal_states\": {},\n  \"violation\": {},\n  \"wall_secs\": {:.3}\n}}",
+        "{{\n  \"experiment\": \"dqa_check\",\n  \"sites\": {},\n  \"queries\": {},\n  \"max_crashes\": {},\n  \"partition\": {},\n  \"suspicion\": {},\n  \"window_barrier\": {},\n  \"redundancy\": {},\n  \"states\": {},\n  \"transitions\": {},\n  \"dedup_hits\": {},\n  \"dedup_rate\": {:.4},\n  \"max_depth\": {},\n  \"terminal_states\": {},\n  \"violation\": {},\n  \"wall_secs\": {:.3}\n}}",
         config.sites,
         config.queries,
         config.max_crashes,
         config.partition,
         config.suspicion,
         config.window_barrier,
+        config.redundancy,
         report.states,
         report.transitions,
         report.dedup_hits,
@@ -267,11 +274,15 @@ config (defaults = the tier-1 exhaustive configuration):
   --window-barrier       model the parallel executor's window-barrier
                          commit (park results in the LP outbox, flush
                          at the barrier exactly once)
+  --redundancy           model redundancy-aware dispatch (each query may
+                         hedge once; first completion wins; the loser is
+                         reaped by a droppable cancel frame backed by the
+                         completion-time winner guard)
 
 modes:
   --mutation NAME        seed one protocol bug (drop-realloc-bound,
                          skip-quarantine-fallback, ignore-stale-epoch,
-                         double-barrier-flush)
+                         double-barrier-flush, lost-cancel)
   --mutations            sweep all mutations; each must be caught
   --stats                print stats JSON and write results/BENCH_check.json
   --out FILE             override the --stats output path

@@ -5,8 +5,8 @@
 
 use dqa_core::experiment::{run, RunConfig, RunReport};
 use dqa_core::params::{
-    AdmissionSpec, DeadlineSpec, FaultSpec, ParamsError, ScriptAction, ScriptEntry, SheddingMode,
-    SuspicionSpec, SystemParams,
+    AdmissionSpec, DeadlineSpec, FaultSpec, ParamsError, RedundancySpec, ScriptAction, ScriptEntry,
+    SheddingMode, SuspicionSpec, SystemParams,
 };
 use dqa_core::policy::PolicyKind;
 
@@ -46,6 +46,9 @@ pub struct ReplayConfig {
     pub admission: Option<(u32, u32)>,
     /// Whether the suspicion detector (and its costed broadcasts) runs.
     pub suspicion: bool,
+    /// Whether redundancy-aware dispatch (hedged replicate-to-2 reads
+    /// with first-win cancellation) is active in the replay.
+    pub redundancy: bool,
     /// The deterministic fault schedule.
     pub script: Vec<ScriptEntry>,
 }
@@ -93,6 +96,7 @@ impl ReplayConfig {
             deadline: config.realloc_budget.map(|budget| (40.0, 5.0, budget)),
             admission: config.admission_retries.map(|budget| (2, budget)),
             suspicion: config.suspicion,
+            redundancy: config.redundancy,
             script,
         }
     }
@@ -133,6 +137,12 @@ impl ReplayConfig {
                 mode: SheddingMode::RejectRetry,
                 max_retries: retries,
                 ..AdmissionSpec::default()
+            }));
+        }
+        if self.redundancy {
+            builder = builder.redundancy(Some(RedundancySpec {
+                max_level: 2,
+                ..RedundancySpec::default()
             }));
         }
         builder.build()
@@ -178,6 +188,9 @@ impl ReplayConfig {
         if self.suspicion {
             let _ = writeln!(out, "suspicion 1");
         }
+        if self.redundancy {
+            let _ = writeln!(out, "redundancy 1");
+        }
         for entry in &self.script {
             let action = match entry.action {
                 ScriptAction::SiteDown(s) => format!("down {s}"),
@@ -212,6 +225,7 @@ impl ReplayConfig {
             deadline: None,
             admission: None,
             suspicion: false,
+            redundancy: false,
             script: Vec::new(),
         };
         let (mut dl_mean, mut dl_floor, mut dl_reallocs) = (0.0_f64, 0.0_f64, 0_u32);
@@ -272,6 +286,7 @@ impl ReplayConfig {
                     saw_admission = true;
                 }
                 "suspicion" => config.suspicion = single()? == "1",
+                "redundancy" => config.redundancy = single()? == "1",
                 "script" => {
                     let (at, action) = match rest.as_slice() {
                         [at, "down", s] => (at, ScriptAction::SiteDown(value("site", s)?)),
@@ -357,6 +372,20 @@ mod tests {
         assert_eq!(params.script.len(), 4);
         let report = r.run().unwrap();
         assert!(report.completed > 0);
+    }
+
+    #[test]
+    fn redundancy_replay_round_trips_and_hedges() {
+        let config = CheckConfig {
+            redundancy: true,
+            ..CheckConfig::default()
+        };
+        let r = ReplayConfig::from_trace(&config, &[]);
+        assert!(r.redundancy);
+        let parsed = ReplayConfig::parse(&r.serialize()).unwrap();
+        assert_eq!(r, parsed);
+        let report = r.run().unwrap();
+        assert!(report.hedged_dispatched > 0, "replay never hedged");
     }
 
     #[test]

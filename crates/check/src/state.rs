@@ -48,13 +48,20 @@ pub enum QStage {
     Abandoned,
     /// Fault retry budget exhausted, loss reported. Terminal stage.
     Lost,
+    /// The attempt was reaped by first-win cancellation after its hedge
+    /// group decided through another member. Terminal stage for the
+    /// attempt; the logical query completed through the winner.
+    Cancelled,
 }
 
 impl QStage {
     /// Whether the stage is terminal.
     #[must_use]
     pub fn is_terminal(self) -> bool {
-        matches!(self, QStage::Done | QStage::Abandoned | QStage::Lost)
+        matches!(
+            self,
+            QStage::Done | QStage::Abandoned | QStage::Lost | QStage::Cancelled
+        )
     }
 
     /// The [`dqa_core::lifecycle`] stage this abstract stage maps to —
@@ -73,6 +80,32 @@ impl QStage {
             QStage::Done => Stage::Completed,
             QStage::Abandoned => Stage::Abandoned,
             QStage::Lost => Stage::Lost,
+            QStage::Cancelled => Stage::Cancelled,
+        }
+    }
+}
+
+/// A duplicate hedge attempt's abstract state
+/// (`CheckConfig::redundancy` only). The duplicate is spawned from the
+/// home site toward a redundant execution site; its whole lifecycle is
+/// dispatch → execute → win-or-be-reaped, with no retry budget of its
+/// own — any fate short of winning reaps it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dup {
+    /// The duplicate's dispatch frame is on the ring toward this site
+    /// (maps to `Stage::Hedged`, the second lifecycle root).
+    InFlight(u8),
+    /// The duplicate is resident at this site's stations.
+    Executing(u8),
+}
+
+impl Dup {
+    /// The [`dqa_core::lifecycle`] stage this duplicate state maps to.
+    #[must_use]
+    pub fn contract(self) -> Stage {
+        match self {
+            Dup::InFlight(_) => Stage::Hedged,
+            Dup::Executing(_) => Stage::Executing,
         }
     }
 }
@@ -102,6 +135,18 @@ pub struct QueryState {
     /// the default state space is byte-identical with or without this
     /// field populated.
     pub parked: Option<u8>,
+    /// Redundancy model only (`CheckConfig::redundancy`): the query's
+    /// duplicate hedge attempt, if one is live. `None` when the model is
+    /// off, so the default state space is unchanged.
+    pub dup: Option<Dup>,
+    /// Redundancy model only: whether this query may still spawn a
+    /// duplicate (hedging happens at most once, at initial dispatch).
+    pub hedge_left: bool,
+    /// Redundancy model only: an explicit first-win cancel frame is en
+    /// route to the group's losing attempt, which is executing at a
+    /// remote site. The frame is fire-and-forget — it may be lost, and
+    /// the completion-time winner guard is the backstop.
+    pub cancel_pending: bool,
     /// How many times this query's results reached its terminal.
     /// Safety invariant I1: never more than once.
     pub completions: u8,
@@ -146,6 +191,9 @@ impl State {
                     adm_left: config.admission_retries.unwrap_or(0),
                     stale: None,
                     parked: None,
+                    dup: None,
+                    hedge_left: config.redundancy,
+                    cancel_pending: false,
                     completions: 0,
                     wedged: false,
                 };
@@ -166,10 +214,13 @@ impl State {
         self.site_up.iter().any(|&u| u)
     }
 
-    /// Whether every query is in a terminal stage.
+    /// Whether every query is in a terminal stage with no live
+    /// duplicate attempt or unresolved cancel frame left behind.
     #[must_use]
     pub fn all_terminal(&self) -> bool {
-        self.queries.iter().all(|q| q.stage.is_terminal())
+        self.queries
+            .iter()
+            .all(|q| q.stage.is_terminal() && q.dup.is_none() && !q.cancel_pending)
     }
 }
 
@@ -214,6 +265,34 @@ pub enum Action {
         /// The query whose parked results are flushed.
         query: usize,
     },
+    /// Redundancy model only: the dispatcher hedges query `query`,
+    /// spawning a duplicate attempt toward a redundant site.
+    Hedge {
+        /// The hedged query.
+        query: usize,
+    },
+    /// Redundancy model only: query `query`'s duplicate dispatch frame
+    /// reaches (or fails to reach) its redundant site.
+    DeliverDup {
+        /// The query whose duplicate is traveling.
+        query: usize,
+    },
+    /// Redundancy model only: query `query`'s duplicate finishes
+    /// executing — the group's first win, or a loser caught by the
+    /// completion-time winner guard.
+    CompleteDup {
+        /// The query whose duplicate finishes.
+        query: usize,
+    },
+    /// Redundancy model only: the explicit first-win cancel frame
+    /// toward query `query`'s losing attempt arrives — or is lost on
+    /// the ring (fire-and-forget).
+    Cancel {
+        /// The query whose losing attempt is being cancelled.
+        query: usize,
+        /// Whether the cancel frame was lost in transit.
+        lost: bool,
+    },
     /// The environment crashes a site.
     Crash {
         /// The crashing site.
@@ -257,6 +336,16 @@ impl std::fmt::Display for Action {
             Action::BarrierCommit { query } => {
                 write!(f, "window barrier commits q{query}'s results")
             }
+            Action::Hedge { query } => write!(f, "q{query} hedged to a redundant site"),
+            Action::DeliverDup { query } => write!(f, "deliver duplicate of q{query}"),
+            Action::CompleteDup { query } => write!(f, "duplicate of q{query} finishes executing"),
+            Action::Cancel { query, lost } => {
+                write!(
+                    f,
+                    "cancel frame for q{query}'s losing attempt {}",
+                    if *lost { "lost" } else { "delivered" }
+                )
+            }
             Action::Crash { site } => write!(f, "site {site} crashes"),
             Action::Repair { site } => write!(f, "site {site} repairs"),
             Action::Suspect { site } => write!(f, "site {site} quarantined"),
@@ -292,9 +381,30 @@ mod tests {
             QStage::Done,
             QStage::Abandoned,
             QStage::Lost,
+            QStage::Cancelled,
         ];
         for s in stages {
             assert_eq!(s.is_terminal(), s.contract().is_terminal());
         }
+    }
+
+    #[test]
+    fn dup_contract_mapping() {
+        use dqa_core::lifecycle::Stage;
+        assert_eq!(Dup::InFlight(1).contract(), Stage::Hedged);
+        assert_eq!(Dup::Executing(0).contract(), Stage::Executing);
+    }
+
+    #[test]
+    fn redundancy_off_leaves_the_initial_state_inert() {
+        let s = State::initial(&CheckConfig::default());
+        for q in &s.queries {
+            assert!(q.dup.is_none() && !q.hedge_left && !q.cancel_pending);
+        }
+        let on = State::initial(&CheckConfig {
+            redundancy: true,
+            ..CheckConfig::default()
+        });
+        assert!(on.queries.iter().all(|q| q.hedge_left));
     }
 }

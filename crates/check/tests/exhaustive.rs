@@ -27,6 +27,21 @@ const WINDOW_TRANSITIONS: u64 = 7_168_787;
 const WINDOW_TERMINAL: usize = 76_897;
 const WINDOW_DEPTH: usize = 26;
 
+/// The audited size of the pinned redundancy configuration
+/// (`--redundancy --admission-retries none --fault-retries 0`): every
+/// layer that interacts with hedging stays on — partitions, suspicion,
+/// deadline expiry racing a decided group's unwind, and crashes driving
+/// the lost-primary group dissolution — while the two budgets that only
+/// multiply the space are trimmed. The full default-budget redundancy
+/// space is 17_715_777 states / 128_463_275 transitions / 402_081
+/// terminal at depth 30 (~6 min release) and is verified out-of-band;
+/// re-derive this pin with `cargo run --release -p dqa-check --
+/// --redundancy --admission-retries none --fault-retries 0 --stats`.
+const REDUNDANCY_STATES: usize = 1_206_469;
+const REDUNDANCY_TRANSITIONS: u64 = 8_528_264;
+const REDUNDANCY_TERMINAL: usize = 35_578;
+const REDUNDANCY_DEPTH: usize = 25;
+
 #[test]
 fn tier1_default_config_is_exhaustively_clean() {
     let report = Checker::new(CheckConfig::default()).run();
@@ -77,6 +92,40 @@ fn window_barrier_config_is_exhaustively_clean() {
 }
 
 #[test]
+fn redundancy_config_is_exhaustively_clean() {
+    // The redundancy model (default off) must leave the default space
+    // untouched — the pin above guards that — and must itself be
+    // exhaustively clean: first-win cancellation reaps every losing
+    // duplicate exactly once across all interleavings of crashes,
+    // partitions, expiries, suspicion flips and dropped cancel frames.
+    let config = CheckConfig {
+        redundancy: true,
+        admission_retries: None,
+        fault_retries: 0,
+        ..CheckConfig::default()
+    };
+    let report = Checker::new(config).run();
+    assert!(
+        report.violation.is_none(),
+        "invariant violation under the redundancy model: {:?}",
+        report.violation
+    );
+    assert_eq!(
+        report.states, REDUNDANCY_STATES,
+        "reachable state count moved"
+    );
+    assert_eq!(
+        report.transitions, REDUNDANCY_TRANSITIONS,
+        "transition count moved"
+    );
+    assert_eq!(
+        report.terminal_states, REDUNDANCY_TERMINAL,
+        "terminal state count moved"
+    );
+    assert_eq!(report.max_depth, REDUNDANCY_DEPTH, "BFS depth moved");
+}
+
+#[test]
 fn mutations_are_detected_and_replay_deterministically() {
     let expected = [
         (Mutation::DropReallocBound, Invariant::ReallocationBound),
@@ -86,6 +135,7 @@ fn mutations_are_detected_and_replay_deterministically() {
         ),
         (Mutation::IgnoreStaleEpoch, Invariant::NoDoubleExecution),
         (Mutation::DoubleBarrierFlush, Invariant::NoDoubleExecution),
+        (Mutation::LostCancel, Invariant::NoDoubleExecution),
     ];
     for (mutation, invariant) in expected {
         let config = CheckConfig::default().with_mutation(mutation);

@@ -127,6 +127,13 @@ fn print_report(r: &RunReport) {
     if r.partition_drops > 0 {
         println!("partition drops   {}", r.partition_drops);
     }
+    if r.hedged_dispatched > 0 {
+        println!(
+            "hedged            {} dispatched / {} duplicate wins / {} cancelled",
+            r.hedged_dispatched, r.hedge_wins, r.hedge_cancelled
+        );
+        println!("wasted service    {:.1}", r.hedge_wasted_service);
+    }
     println!();
     let mut t = TextTable::new(vec!["class", "completed", "wait", "resp", "service", "W^"]);
     for c in &r.per_class {
@@ -403,6 +410,7 @@ pub fn check(mut args: Args) -> Result<(), ArgError> {
             None => defaults.admission_retries,
         },
         window_barrier: args.take_or("window-barrier", 0u8)? != 0,
+        redundancy: args.take_or("redundancy", 0u8)? != 0,
         mutation: None,
     };
     let config = match mutation {

@@ -3,7 +3,7 @@
 
 use dqa_core::params::{
     AdmissionSpec, ArrivalSpec, DeadlineSpec, DiskChoice, FaultSpec, MessageCosting, MigrationSpec,
-    SheddingMode, SuspicionSpec, SystemParams, UserSpec, Workload,
+    RedundancySpec, SheddingMode, SuspicionSpec, SystemParams, UserSpec, Workload,
 };
 use dqa_core::policy::PolicyKind;
 
@@ -57,7 +57,10 @@ pub fn parse_policy(name: &str) -> Result<PolicyKind, ArgError> {
 /// `--suspect-after`, `--suspect-probation` (requires a costed status
 /// broadcast); admission control via `--admission-cap`,
 /// `--admission-queue`, `--admission-mode reject|redirect|drop`,
-/// `--admission-retries`, `--admission-backoff`.
+/// `--admission-retries`, `--admission-backoff`; redundancy-aware
+/// dispatch via `--redundancy N` (the replication level, active at 2+)
+/// with refinements `--redundancy-prob`, `--redundancy-load-cap`,
+/// `--redundancy-full-frac`.
 ///
 /// Live-service layers (require `--open-rate`): time-varying arrivals
 /// via `--live-diurnal AMP` (+ `--live-period P`),
@@ -275,6 +278,42 @@ pub fn take_params(args: &mut Args) -> Result<SystemParams, ArgError> {
                 .into(),
         ));
     }
+    // Redundancy flags: --redundancy (the replication level n) switches
+    // hedged dispatch on at n >= 2; the refinements tune the hedge coin
+    // and the load-adaptive controller and are meaningless (and
+    // rejected) without it. A bare `--redundancy 1` keeps an inert spec
+    // in the params — useful for byte-identity checks, since an inert
+    // spec draws nothing from the RNG.
+    let redundancy = args.take_opt::<u32>("redundancy")?;
+    let redundancy_prob = args.take_opt::<f64>("redundancy-prob")?;
+    let redundancy_load_cap = args.take_opt::<f64>("redundancy-load-cap")?;
+    let redundancy_full_frac = args.take_opt::<f64>("redundancy-full-frac")?;
+    let redundancy_active = redundancy.is_some_and(|n| n >= 2);
+    if !redundancy_active
+        && (redundancy_prob.is_some()
+            || redundancy_load_cap.is_some()
+            || redundancy_full_frac.is_some())
+    {
+        let given = if redundancy.is_some() {
+            "--redundancy below 2 disables hedging"
+        } else {
+            "no --redundancy was given"
+        };
+        return Err(ArgError(format!(
+            "--redundancy-prob/--redundancy-load-cap/--redundancy-full-frac have \
+             no effect because {given}; set --redundancy to at least 2 to enable \
+             hedged dispatch, or drop the refinement flags"
+        )));
+    }
+    if let Some(level) = redundancy {
+        let defaults = RedundancySpec::default();
+        b = b.redundancy(Some(RedundancySpec {
+            max_level: level,
+            hedge_prob: redundancy_prob.unwrap_or(defaults.hedge_prob),
+            load_threshold: redundancy_load_cap.unwrap_or(defaults.load_threshold),
+            full_threshold: redundancy_full_frac.unwrap_or(defaults.full_threshold),
+        }));
+    }
     // Live-service arrival flags: any of --live-diurnal, --live-flash,
     // --live-burst switches the time-varying arrival layer on.
     let live_diurnal = args.take_opt::<f64>("live-diurnal")?;
@@ -433,6 +472,7 @@ fn builder_from(params: SystemParams) -> dqa_core::params::SystemParamsBuilder {
         .deadlines(params.deadlines)
         .suspicion(params.suspicion)
         .admission(params.admission)
+        .redundancy(params.redundancy)
         .arrivals(params.arrivals)
         .users(params.users);
     b = b.migration(params.migration);
@@ -734,6 +774,59 @@ mod tests {
     }
 
     #[test]
+    fn redundancy_flags_parse() {
+        let mut a = args(&[
+            "--redundancy",
+            "3",
+            "--redundancy-prob",
+            "0.5",
+            "--redundancy-load-cap",
+            "8",
+            "--redundancy-full-frac",
+            "0.25",
+        ]);
+        let p = take_params(&mut a).unwrap();
+        a.finish().unwrap();
+        let r = p.redundancy.expect("redundancy layer should be enabled");
+        assert!(r.is_active());
+        assert_eq!(r.max_level, 3);
+        assert_eq!(r.hedge_prob, 0.5);
+        assert_eq!(r.load_threshold, 8.0);
+        assert_eq!(r.full_threshold, 0.25);
+        // Unspecified refinements take the spec defaults (hedge every
+        // eligible query, no load throttle override).
+        let mut a = args(&["--redundancy", "2"]);
+        let p = take_params(&mut a).unwrap();
+        a.finish().unwrap();
+        let defaults = RedundancySpec::default();
+        let r = p.redundancy.unwrap();
+        assert_eq!(r.max_level, 2);
+        assert_eq!(r.hedge_prob, defaults.hedge_prob);
+        assert_eq!(r.load_threshold, defaults.load_threshold);
+        assert_eq!(r.full_threshold, defaults.full_threshold);
+    }
+
+    #[test]
+    fn conflicting_redundancy_flags_are_reported() {
+        // Refinements without the enabling level are a contradiction.
+        let mut a = args(&["--redundancy-prob", "0.5"]);
+        let err = take_params(&mut a).unwrap_err();
+        assert!(err.to_string().contains("no --redundancy"), "{err}");
+        // Same with hedging explicitly below the active threshold.
+        let mut a = args(&["--redundancy", "1", "--redundancy-load-cap", "5"]);
+        let err = take_params(&mut a).unwrap_err();
+        assert!(err.to_string().contains("below 2"), "{err}");
+        // A bare inert level stays legal (and keeps the inert spec in
+        // the params) so sweeps and byte-identity checks get an "off"
+        // point that exercises the spec plumbing.
+        let mut a = args(&["--redundancy", "1"]);
+        let p = take_params(&mut a).unwrap();
+        a.finish().unwrap();
+        let r = p.redundancy.expect("inert spec is kept");
+        assert!(!r.is_active());
+    }
+
+    #[test]
     fn reads_flag_preserves_resilience_config() {
         // --reads rebuilds the builder mid-parse via builder_from, which
         // must not drop any field — resilience flags consumed on either
@@ -745,12 +838,15 @@ mod tests {
             "300",
             "--admission-cap",
             "15",
+            "--redundancy",
+            "2",
         ]);
         let p = take_params(&mut a).unwrap();
         a.finish().unwrap();
         assert_eq!(p.classes[0].num_reads, 40.0);
         assert!(p.deadlines.unwrap().is_active());
         assert_eq!(p.admission.unwrap().mpl_cap, Some(15));
+        assert!(p.redundancy.unwrap().is_active());
     }
 
     #[test]

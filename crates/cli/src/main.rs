@@ -120,6 +120,16 @@ FAULT FLAGS (any one enables deterministic fault injection):
   --fault-retries N    retry budget per query            (5)
   --fault-backoff T    base retry backoff delay          (10)
 
+EXTENSION FLAGS (full tables in README.md):
+  --deadline-* --suspect-* --partition-* --admission-*
+                   per-query deadlines, failure suspicion, injected
+                   partitions, per-site admission control
+  --live-*         time-varying arrival kernels and a sharded
+                   million-user population
+  --redundancy N   hedged replicate-to-n reads with first-win
+                   cancellation; refinements --redundancy-prob,
+                   --redundancy-load-cap, --redundancy-full-frac
+
 EXAMPLES:
   dqa compare --think 250
   dqa run --policy lert --copies 2 --relations 24 --sites 8

@@ -184,6 +184,21 @@ pub struct RunReport {
     pub admission_dropped: u64,
     /// Query/result frames dropped at a partition group boundary.
     pub partition_drops: u64,
+    /// Hedge-eligible queries actually dispatched redundantly (effective
+    /// level ≥ 2).
+    pub hedged_dispatched: u64,
+    /// Duplicate attempts spawned across all hedged dispatches.
+    pub hedge_duplicates: u64,
+    /// Hedged dispatches won by a duplicate rather than the primary.
+    pub hedge_wins: u64,
+    /// Hedge attempts reaped by first-win cancellation.
+    pub hedge_cancelled: u64,
+    /// Service time absorbed by reaped attempts (wasted redundant work).
+    pub hedge_wasted_service: f64,
+    /// Histogram of effective redundancy levels: index `i` counts
+    /// eligible submissions dispatched to `i + 1` sites (empty when the
+    /// redundancy layer never fired).
+    pub redundancy_levels: Vec<u64>,
     /// Kernel events dispatched over the whole run (warmup included) —
     /// the denominator for ns/event in the perf benches.
     pub events: u64,
@@ -352,6 +367,12 @@ fn summarize(model: &DbSystem, end: SimTime, measured_time: f64, events: u64) ->
         admission_redirected: metrics.admission_redirected(),
         admission_dropped: metrics.admission_dropped(),
         partition_drops: metrics.partition_drops(),
+        hedged_dispatched: metrics.hedged_dispatched(),
+        hedge_duplicates: metrics.hedge_duplicates(),
+        hedge_wins: metrics.hedge_wins(),
+        hedge_cancelled: metrics.hedge_cancelled(),
+        hedge_wasted_service: metrics.hedge_wasted_service(),
+        redundancy_levels: metrics.redundancy_levels().to_vec(),
         events,
         peak_active_users: model.user_arena_stats().1,
         user_arena_peak_bytes: model.user_arena_stats().3,

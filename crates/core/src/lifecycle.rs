@@ -45,13 +45,26 @@ pub enum Stage {
     Abandoned,
     /// Fault retry budget exhausted. Terminal stage; reported.
     Lost,
+    /// A duplicate hedge attempt spawned by the redundancy layer: the
+    /// dispatch frame toward a redundant site (the duplicate's analogue
+    /// of `InFlight`). A second lifecycle root — duplicates are born at
+    /// the home site's table, never submitted by a terminal.
+    Hedged,
+    /// A hedge attempt reaped by first-win cancellation (explicit cancel
+    /// frame, flagged mid-service, or the completion-time winner guard).
+    /// Terminal stage for the *attempt*; the logical query completes
+    /// through its group's winner.
+    Cancelled,
 }
 
 impl Stage {
     /// Whether the stage is terminal (no outgoing transitions).
     #[must_use]
     pub fn is_terminal(self) -> bool {
-        matches!(self, Stage::Completed | Stage::Abandoned | Stage::Lost)
+        matches!(
+            self,
+            Stage::Completed | Stage::Abandoned | Stage::Lost | Stage::Cancelled
+        )
     }
 }
 
@@ -75,6 +88,16 @@ impl Stage {
 /// - `Backoff → Abandoned` / `Backoff → Lost`: the admission
 ///   reject-retry budget (`AdmissionSpec::max_retries`) or the fault
 ///   retry budget (`FaultSpec::max_retries`) ran out.
+/// - `Hedged → Executing`: a duplicate's dispatch frame delivered at its
+///   redundant site (or the duplicate targeted the home site itself and
+///   started at once).
+/// - `Hedged → Cancelled`: the duplicate's frame was lost, crossed a
+///   partition, reached a crashed site, or was flagged in flight by a
+///   first-win cancellation and reaped at delivery.
+/// - `InFlight → Cancelled` / `Executing → Cancelled` / `Backoff →
+///   Cancelled`: a losing attempt (primary or duplicate) reaped
+///   phase-exactly after another group member won — by explicit cancel
+///   frame, the mid-service flag, or the completion-time winner guard.
 pub const ALLOWED: &[(Stage, Stage)] = &[
     (Stage::Submitted, Stage::InFlight),
     (Stage::Submitted, Stage::Executing),
@@ -95,6 +118,11 @@ pub const ALLOWED: &[(Stage, Stage)] = &[
     (Stage::Backoff, Stage::Backoff),
     (Stage::Backoff, Stage::Abandoned),
     (Stage::Backoff, Stage::Lost),
+    (Stage::Hedged, Stage::Executing),
+    (Stage::Hedged, Stage::Cancelled),
+    (Stage::InFlight, Stage::Cancelled),
+    (Stage::Executing, Stage::Cancelled),
+    (Stage::Backoff, Stage::Cancelled),
 ];
 
 /// Whether the protocol permits a `from → to` transition.
@@ -107,7 +135,7 @@ pub fn allowed(from: Stage, to: Stage) -> bool {
 mod tests {
     use super::*;
 
-    const STAGES: [Stage; 8] = [
+    const STAGES: [Stage; 10] = [
         Stage::Submitted,
         Stage::InFlight,
         Stage::Executing,
@@ -116,6 +144,8 @@ mod tests {
         Stage::Completed,
         Stage::Abandoned,
         Stage::Lost,
+        Stage::Hedged,
+        Stage::Cancelled,
     ];
 
     #[test]
@@ -158,11 +188,14 @@ mod tests {
     }
 
     #[test]
-    fn submitted_is_the_only_root() {
-        // Nothing transitions *into* Submitted: a query is submitted
-        // exactly once (a retry resubmits from Backoff, not Submitted).
+    fn roots_have_no_incoming_edges() {
+        // Nothing transitions *into* Submitted or Hedged: a query is
+        // submitted exactly once (a retry resubmits from Backoff, not
+        // Submitted), and a duplicate hedge attempt is spawned exactly
+        // once at dispatch time — a reaped duplicate is never revived.
         for &(_, to) in ALLOWED {
             assert_ne!(to, Stage::Submitted);
+            assert_ne!(to, Stage::Hedged);
         }
     }
 }

@@ -82,6 +82,17 @@ pub struct Metrics {
     admission_redirected: u64,
     admission_dropped: u64,
     partition_drops: u64,
+    hedged_dispatched: u64,
+    hedge_duplicates: u64,
+    hedge_wins: u64,
+    hedge_cancelled: u64,
+    hedge_wasted_service: f64,
+    /// Histogram of *effective* redundancy levels: index `i` counts
+    /// hedge-eligible submissions dispatched to `i + 1` sites. Level 1
+    /// entries are eligible queries the coin or the load-adaptive
+    /// controller kept unhedged, so the histogram reads directly as the
+    /// controller's throttling behavior.
+    redundancy_levels: Vec<u64>,
 }
 
 impl Metrics {
@@ -112,6 +123,12 @@ impl Metrics {
             admission_redirected: 0,
             admission_dropped: 0,
             partition_drops: 0,
+            hedged_dispatched: 0,
+            hedge_duplicates: 0,
+            hedge_wins: 0,
+            hedge_cancelled: 0,
+            hedge_wasted_service: 0.0,
+            redundancy_levels: Vec::new(),
         }
     }
 
@@ -392,6 +409,38 @@ impl Metrics {
         self.partition_drops += 1;
     }
 
+    /// Records a hedge-eligible submission dispatched at effective
+    /// redundancy `level` (1 = unhedged after the coin/controller; `n ≥ 2`
+    /// = hedged to `n` sites, spawning `n − 1` duplicate attempts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is zero.
+    pub fn record_hedge_dispatch(&mut self, level: usize) {
+        assert!(level >= 1, "redundancy level is 1-based");
+        if self.redundancy_levels.len() < level {
+            self.redundancy_levels.resize(level, 0);
+        }
+        self.redundancy_levels[level - 1] += 1;
+        if level >= 2 {
+            self.hedged_dispatched += 1;
+            self.hedge_duplicates += (level - 1) as u64;
+        }
+    }
+
+    /// Records a hedge group won by a *duplicate* attempt (the hedge paid
+    /// off: a redundant site finished before the policy's primary choice).
+    pub fn record_hedge_win(&mut self) {
+        self.hedge_wins += 1;
+    }
+
+    /// Records a hedge attempt reaped by first-win cancellation, along
+    /// with the service time it had already absorbed (wasted work).
+    pub fn record_hedge_cancelled(&mut self, wasted: f64) {
+        self.hedge_cancelled += 1;
+        self.hedge_wasted_service += wasted;
+    }
+
     /// Deadline expiries during measurement, over all classes.
     #[must_use]
     pub fn deadline_timeouts(&self) -> u64 {
@@ -435,6 +484,43 @@ impl Metrics {
     #[must_use]
     pub fn partition_drops(&self) -> u64 {
         self.partition_drops
+    }
+
+    /// Logical queries dispatched redundantly (hedge groups created).
+    #[must_use]
+    pub fn hedged_dispatched(&self) -> u64 {
+        self.hedged_dispatched
+    }
+
+    /// Duplicate execution attempts spawned by hedging.
+    #[must_use]
+    pub fn hedge_duplicates(&self) -> u64 {
+        self.hedge_duplicates
+    }
+
+    /// Hedge groups won by a duplicate attempt.
+    #[must_use]
+    pub fn hedge_wins(&self) -> u64 {
+        self.hedge_wins
+    }
+
+    /// Hedge attempts reaped by first-win cancellation.
+    #[must_use]
+    pub fn hedge_cancelled(&self) -> u64 {
+        self.hedge_cancelled
+    }
+
+    /// Total service time absorbed by reaped hedge attempts.
+    #[must_use]
+    pub fn hedge_wasted_service(&self) -> f64 {
+        self.hedge_wasted_service
+    }
+
+    /// The effective-redundancy histogram: entry `i` counts eligible
+    /// submissions dispatched to `i + 1` sites. Empty without hedging.
+    #[must_use]
+    pub fn redundancy_levels(&self) -> &[u64] {
+        &self.redundancy_levels
     }
 
     /// Restarts all statistics at `now`, preserving the current
@@ -582,6 +668,26 @@ mod tests {
         assert_eq!(m.deadline_timeouts(), 0);
         assert_eq!(m.admission_dropped(), 0);
         assert_eq!(m.partition_drops(), 0);
+    }
+
+    #[test]
+    fn hedge_counters_accumulate_and_reset() {
+        let mut m = Metrics::new(1, SimTime::ZERO);
+        m.record_hedge_dispatch(1); // eligible but throttled to 1
+        m.record_hedge_dispatch(3); // hedged to 3 sites -> 2 duplicates
+        m.record_hedge_dispatch(2);
+        m.record_hedge_win();
+        m.record_hedge_cancelled(1.5);
+        m.record_hedge_cancelled(0.0);
+        assert_eq!(m.redundancy_levels(), &[1, 1, 1]);
+        assert_eq!(m.hedged_dispatched(), 2);
+        assert_eq!(m.hedge_duplicates(), 3);
+        assert_eq!(m.hedge_wins(), 1);
+        assert_eq!(m.hedge_cancelled(), 2);
+        assert!((m.hedge_wasted_service() - 1.5).abs() < 1e-12);
+        m.reset(SimTime::new(1.0));
+        assert_eq!(m.hedged_dispatched(), 0);
+        assert!(m.redundancy_levels().is_empty());
     }
 
     #[test]

@@ -132,6 +132,11 @@ pub enum MsgKind {
     Dispatch,
     /// Query results returning to the home site.
     Result,
+    /// A first-win cancel frame for a losing hedge attempt (redundancy
+    /// layer only). Fire-and-forget: it is never retried on loss — a
+    /// loser whose cancel never arrives is discarded at completion time
+    /// by the hedge group's winner guard instead.
+    Cancel,
 }
 
 /// A message on the token ring.

@@ -163,6 +163,141 @@ enum Deferred {
     /// Run the deadline cancel-and-reallocate path for a query whose
     /// expired page read just finished.
     Cancel(QueryId),
+    /// Spawn duplicate hedge attempts for a query this LP just
+    /// dispatched (redundancy layer): the spawn enqueues frames for
+    /// other sites and registers the group globally.
+    Hedge {
+        /// The primary attempt, already dispatched by the LP.
+        query: QueryId,
+        /// The policy-ranked redundant sites (primary excluded).
+        targets: Vec<SiteId>,
+    },
+    /// A hedged attempt finished executing at this site; the first-win
+    /// decision consults the global hedge registry.
+    HedgeFinish(QueryId),
+    /// Retire a member this LP already reaped (the record is gone; only
+    /// the registry entry remains).
+    HedgeRetire {
+        /// The member's hedge group.
+        group: u32,
+        /// The reaped record's id in this LP's table.
+        id: QueryId,
+    },
+    /// Dissolve a group whose hedged primary was abandoned at this LP:
+    /// every still-racing duplicate is cancelled.
+    HedgeAbandon {
+        /// The abandoned primary's hedge group.
+        group: u32,
+    },
+}
+
+/// One attempt of a hedge group: which LP's table currently holds the
+/// record and under what id (updated on every table move), and whether
+/// the attempt is still live. Identity is `(site, id)` — query ids are
+/// unique per table, not globally.
+#[derive(Debug, Clone, Copy)]
+struct HedgeMember {
+    site: SiteId,
+    id: QueryId,
+    live: bool,
+}
+
+/// A replicate-to-`n` hedge group: the primary attempt plus its
+/// duplicates, the home site that coordinates cancellation, and whether
+/// the group's single counted outcome has been decided (first win or
+/// primary abandonment).
+#[derive(Debug)]
+struct HedgeGroup {
+    home: SiteId,
+    /// The primary first, duplicates in spawn order.
+    members: Vec<HedgeMember>,
+    decided: bool,
+}
+
+/// The global hedge-group registry: a slot arena keyed by group id.
+/// Freed slots are reused, so long runs do not grow it without bound.
+#[derive(Debug, Default)]
+struct HedgeTable {
+    groups: Vec<Option<HedgeGroup>>,
+    free: Vec<u32>,
+}
+
+impl HedgeTable {
+    /// Opens a group coordinated at `home` whose primary attempt is
+    /// `(site, id)`, returning the group id.
+    fn create(&mut self, home: SiteId, site: SiteId, id: QueryId) -> u32 {
+        let group = HedgeGroup {
+            home,
+            members: vec![HedgeMember {
+                site,
+                id,
+                live: true,
+            }],
+            decided: false,
+        };
+        match self.free.pop() {
+            Some(slot) => {
+                self.groups[slot as usize] = Some(group);
+                slot
+            }
+            None => {
+                self.groups.push(Some(group));
+                (self.groups.len() - 1) as u32
+            }
+        }
+    }
+
+    fn group(&self, gid: u32) -> &HedgeGroup {
+        self.groups[gid as usize]
+            .as_ref()
+            .expect("live hedge group")
+    }
+
+    fn group_mut(&mut self, gid: u32) -> &mut HedgeGroup {
+        self.groups[gid as usize]
+            .as_mut()
+            .expect("live hedge group")
+    }
+
+    /// Adds a duplicate attempt to the group.
+    fn add_member(&mut self, gid: u32, site: SiteId, id: QueryId) {
+        self.group_mut(gid).members.push(HedgeMember {
+            site,
+            id,
+            live: true,
+        });
+    }
+
+    /// Follows a moved member to its new table and id (the old id goes
+    /// stale with the move, exactly as for the record itself).
+    fn relocate(&mut self, gid: u32, from: SiteId, old: QueryId, to: SiteId, id: QueryId) {
+        let g = self.group_mut(gid);
+        if let Some(m) = g
+            .members
+            .iter_mut()
+            .find(|m| m.live && m.site == from && m.id == old)
+        {
+            m.site = to;
+            m.id = id;
+        }
+    }
+
+    /// Marks the member `(site, id)` dead; frees the group slot once no
+    /// member is live.
+    fn retire(&mut self, gid: u32, site: SiteId, id: QueryId) {
+        let g = self.group_mut(gid);
+        if let Some(m) = g
+            .members
+            .iter_mut()
+            .find(|m| m.live && m.site == site && m.id == id)
+        {
+            m.live = false;
+        }
+        if g.members.iter().all(|m| !m.live) {
+            self.groups[gid as usize] = None;
+            self.free.push(gid);
+        }
+    }
 }
 
 /// Which per-query budget a resilience retry draws down. The two
@@ -234,6 +369,11 @@ pub(crate) struct Lp {
     rng_user: RngStream,
     /// Per-user session state drawn at first touch.
     rng_session: RngStream,
+    /// Hedge-eligibility coins (redundancy layer). Drawn once per
+    /// eligible submit whenever the spec is active, *before* admission
+    /// and independent of the controller's current effective level, so
+    /// the coin sequence is load-invariant (CRN across settings).
+    rng_redundancy: RngStream,
     /// Whether this site's MMPP burst chain is in its bursty (ON) state.
     burst_on: bool,
     /// Absolute time the current burst state's dwell ends.
@@ -347,6 +487,7 @@ impl Lp {
             rng_burst: substreams::per_site(root, substreams::BURST, index),
             rng_user: substreams::per_site(root, substreams::USER, index),
             rng_session: substreams::per_site(root, substreams::SESSION, index),
+            rng_redundancy: substreams::per_site(root, substreams::REDUNDANCY, index),
             // The chain "starts" ON with an already-expired dwell, so the
             // first advance toggles it OFF and draws the first OFF dwell —
             // i.e. every site begins in the quiet state.
@@ -468,6 +609,19 @@ impl Lp {
         } else {
             QueryKind::Read
         };
+        // Hedge-eligibility coin (redundancy layer): drawn here — before
+        // admission and the load-adaptive controller — for every read of
+        // a multiply-held relation under an active spec, so the coin
+        // sequence does not shift with load (CRN across redundancy
+        // settings). An inert spec draws nothing.
+        let hedge = match sh.params.redundancy {
+            Some(spec) if spec.is_active() => {
+                kind == QueryKind::Read
+                    && sh.catalog.candidates(relation).len() >= 2
+                    && self.rng_redundancy.bernoulli(spec.hedge_prob)
+            }
+            _ => false,
+        };
 
         // Every holder of the relation is down (fault injection, partial
         // replication): the SelectSite fallback returned the arrival site,
@@ -548,6 +702,88 @@ impl Lp {
         } else {
             self.start_read(now, id, sh, sink);
         }
+        if hedge {
+            self.hedge_dispatch(now, id, &profile, relation, exec, sh);
+        }
+    }
+
+    /// Evaluates the load-adaptive controller and ranks the redundant
+    /// targets for a hedge-eligible query just dispatched to `exec`,
+    /// recording the effective level and deferring the duplicate spawn
+    /// to the executor (it crosses LP boundaries). Hedging happens only
+    /// at initial submission — a resubmitted query races its own
+    /// surviving duplicates already.
+    fn hedge_dispatch(
+        &mut self,
+        now: SimTime,
+        id: QueryId,
+        profile: &QueryProfile,
+        relation: usize,
+        exec: SiteId,
+        sh: &Shared<'_>,
+    ) {
+        let level = self.hedge_level(sh);
+        let targets = if level >= 2 {
+            let ctx = AllocationContext {
+                params: sh.params,
+                board: sh.board,
+                own: self.live,
+                trust: &self.trust,
+                arrival_site: self.index,
+            };
+            self.allocator.hedge_targets(
+                profile,
+                &ctx,
+                sh.catalog.candidates(relation),
+                exec,
+                (level - 1) as usize,
+            )
+        } else {
+            Vec::new()
+        };
+        self.obs.push((
+            now,
+            Obs::HedgeDispatch {
+                level: targets.len() as u32 + 1,
+            },
+        ));
+        if !targets.is_empty() {
+            self.deferred.push(Deferred::Hedge { query: id, targets });
+        }
+    }
+
+    /// The load-adaptive redundancy controller: how many sites an
+    /// eligible query may be dispatched to *right now*, computed from
+    /// the published board (no draws — the throttle is deterministic
+    /// given the board, which keeps CRN intact). Redundancy sheds
+    /// toward 1 as mean available-site load crosses multiples of
+    /// `load_threshold`, and switches off entirely once more than
+    /// `full_threshold` of the available sites advertise admission
+    /// backpressure.
+    fn hedge_level(&self, sh: &Shared<'_>) -> u32 {
+        let spec = sh.params.redundancy.expect("redundancy layer active");
+        let mut avail = 0u32;
+        let mut full = 0u32;
+        let mut load = 0u32;
+        for s in 0..sh.params.num_sites {
+            if !sh.board.is_available(s) {
+                continue;
+            }
+            avail += 1;
+            load += sh.board.view(s).total();
+            if sh.board.is_full(s) {
+                full += 1;
+            }
+        }
+        if avail == 0 || f64::from(full) > spec.full_threshold * f64::from(avail) {
+            return 1;
+        }
+        let throttle = if spec.load_threshold > 0.0 {
+            (f64::from(load) / f64::from(avail) / spec.load_threshold) as u32
+        } else {
+            0
+        };
+        spec.max_level.saturating_sub(throttle).max(1)
     }
 
     /// Inserts a fresh query record into this LP's table.
@@ -576,6 +812,9 @@ impl Lp {
             adm_retries: 0,
             expired: false,
             deadline_at: SimTime::ZERO,
+            hedge_group: None,
+            hedge_dup: false,
+            hedge_cancelled: false,
         })
     }
 
@@ -632,11 +871,19 @@ impl Lp {
         // service is immutable once started, so the read finished, but
         // the query goes no further. Cancellation re-enters allocation —
         // a global transition, so it is deferred to the executor.
-        let (expired, class) = {
+        let (expired, cancelled, class) = {
             let q = self.query(id);
             debug_assert_eq!(q.exec, self.index);
-            (q.expired, q.profile.class)
+            (q.expired, q.hedge_cancelled, q.profile.class)
         };
+        // First-win cancellation flagged this attempt while the page read
+        // was in immutable FCFS service: reap it at the read's natural
+        // completion. The reap outranks a concurrently expired deadline —
+        // the logical query already finished elsewhere.
+        if cancelled {
+            self.reap_flagged(now, id);
+            return;
+        }
         if expired {
             self.deferred.push(Deferred::Cancel(id));
             return;
@@ -717,6 +964,15 @@ impl Lp {
             )
         };
         self.release_load(now, io_bound);
+
+        // A hedged attempt's completion is a *group* decision (first
+        // win): defer it to the executor, which consults the global
+        // registry. Hedged attempts are always reads, so no propagation
+        // spawn is skipped here.
+        if self.query(id).hedge_group.is_some() {
+            self.deferred.push(Deferred::HedgeFinish(id));
+            return;
+        }
 
         match kind {
             QueryKind::Propagation => {
@@ -813,6 +1069,12 @@ impl Lp {
         spec: &crate::params::MigrationSpec,
         sh: &Shared<'_>,
     ) -> bool {
+        // Hedged attempts never migrate: a cancel frame chases a member
+        // at its execution site, and a mid-race move would put the
+        // attempt on the wire where neither flag nor frame can reach it.
+        if self.query(id).hedge_group.is_some() {
+            return false;
+        }
         let (remaining, relation, io_bound, reads_done) = {
             let q = self.query(id);
             let remaining_reads = (q.profile.num_reads - f64::from(q.reads_done)).max(1.0);
@@ -924,12 +1186,14 @@ impl Lp {
         sh: &Shared<'_>,
         sink: &mut dyn EventSink,
     ) {
-        let (kind, home) = {
-            let q = self.query(id);
-            debug_assert_eq!(q.profile.home, self.index);
-            debug_assert!(matches!(q.phase, QueryPhase::Backoff));
-            (q.kind, q.profile.home)
+        // A reaped hedge loser leaves its pending `Resubmit` dangling; the
+        // stale id no longer resolves and the event is simply dropped.
+        let Some(q) = self.queries.get(id) else {
+            return;
         };
+        debug_assert_eq!(q.profile.home, self.index);
+        debug_assert!(matches!(q.phase, QueryPhase::Backoff));
+        let (kind, home) = (q.kind, q.profile.home);
         if !self.site.is_up() {
             // The query's own site is (still) down; keep waiting.
             self.schedule_retry_local(now, id, sh, sink);
@@ -1066,6 +1330,11 @@ impl Lp {
     /// the closed population.
     fn lose_local(&mut self, now: SimTime, id: QueryId, sh: &Shared<'_>, sink: &mut dyn EventSink) {
         let q = self.take_query(id);
+        // An abandoned hedged primary takes its duplicates with it: the
+        // logical query gets exactly one terminal outcome.
+        if let Some(group) = q.hedge_group {
+            self.deferred.push(Deferred::HedgeAbandon { group });
+        }
         self.obs.push((now, Obs::Lost));
         if matches!(sh.params.workload, Workload::Closed) && q.kind != QueryKind::Propagation {
             let think = self.rng_think.exponential(sh.params.think_time);
@@ -1083,6 +1352,10 @@ impl Lp {
     /// returns to thinking, preserving the closed population.
     fn shed_local(&mut self, now: SimTime, id: QueryId, sh: &Shared<'_>, sink: &mut dyn EventSink) {
         let q = self.take_query(id);
+        // As in `lose_local`: a shed hedged primary dissolves its group.
+        if let Some(group) = q.hedge_group {
+            self.deferred.push(Deferred::HedgeAbandon { group });
+        }
         if matches!(sh.params.workload, Workload::Closed) && q.kind != QueryKind::Propagation {
             let think = self.rng_think.exponential(sh.params.think_time);
             sink.schedule(
@@ -1091,6 +1364,19 @@ impl Lp {
                     site: q.profile.home,
                 },
             );
+        }
+    }
+
+    /// Reaps an attempt flagged by first-win cancellation at this site:
+    /// frees its load slot, removes the record, and defers the registry
+    /// retirement to the executor.
+    fn reap_flagged(&mut self, now: SimTime, id: QueryId) {
+        let q = self.take_query(id);
+        self.release_load(now, q.profile.io_bound);
+        self.obs
+            .push((now, Obs::HedgeCancelled { wasted: q.service }));
+        if let Some(group) = q.hedge_group {
+            self.deferred.push(Deferred::HedgeRetire { group, id });
         }
     }
 
@@ -1445,6 +1731,8 @@ pub struct DbSystem {
     metrics: Metrics,
     disk_dist: Dist,
     fault: Option<FaultState>,
+    /// The hedge-group registry (redundancy layer; empty when inert).
+    hedges: HedgeTable,
 }
 
 impl DbSystem {
@@ -1478,6 +1766,7 @@ impl DbSystem {
                 rng_status: root.substream(substreams::FAULT_STATUS),
                 partition_active: false,
             }),
+            hedges: HedgeTable::default(),
             params,
         })
     }
@@ -1609,6 +1898,12 @@ impl DbSystem {
             match d {
                 Deferred::Schedule(t, e) => sink.schedule(t, e),
                 Deferred::Cancel(id) => self.cancel_and_reallocate(now, id, site, sink),
+                Deferred::Hedge { query, targets } => {
+                    self.spawn_hedges(now, site, query, &targets, sink);
+                }
+                Deferred::HedgeFinish(id) => self.finish_hedged(now, id, site, sink),
+                Deferred::HedgeRetire { group, id } => self.hedges.retire(group, site, id),
+                Deferred::HedgeAbandon { group } => self.dissolve_group(now, group, None, sink),
             }
         }
     }
@@ -1699,6 +1994,12 @@ impl DbSystem {
                     kind: MsgKind::Result,
                     ..
                 } => self.schedule_retry_global(now, query, from, sink),
+                // Cancels are fire-and-forget: a dropped one is repaired
+                // by the winner guard at the loser's own completion.
+                RingMsg::Query {
+                    kind: MsgKind::Cancel,
+                    ..
+                } => {}
                 RingMsg::Status { .. } => unreachable!("status frames are never dropped here"),
             }
             return;
@@ -1707,16 +2008,19 @@ impl DbSystem {
             RingMsg::Query { query, kind, dest } => {
                 if !self.lps[dest].site.is_up() {
                     // The destination crashed while the message was in
-                    // flight: undeliverable (but not a subnet loss).
+                    // flight: undeliverable (but not a subnet loss). A
+                    // cancel's target was already reaped by the crash.
                     match kind {
                         MsgKind::Dispatch => self.fail_execution(now, query, from, sink),
                         MsgKind::Result => self.schedule_retry_global(now, query, from, sink),
+                        MsgKind::Cancel => {}
                     }
                     return;
                 }
                 match kind {
                     MsgKind::Dispatch => self.deliver_dispatch(now, query, from, dest, sink),
                     MsgKind::Result => self.complete_query_global(now, query, from, sink),
+                    MsgKind::Cancel => self.deliver_cancel(now, query, dest, sink),
                 }
             }
             // A broadcast frame passes every site: all tables update.
@@ -1740,10 +2044,18 @@ impl DbSystem {
         dest: SiteId,
         sink: &mut dyn EventSink,
     ) {
-        let (expired, io_bound) = {
+        let (expired, cancelled, io_bound) = {
             let q = self.lps[from].query(id);
-            (q.expired, q.profile.io_bound)
+            (q.expired, q.hedge_cancelled, q.profile.io_bound)
         };
+        // First-win cancellation flagged this attempt while its dispatch
+        // frame was on the wire: reap it on arrival, before the deadline
+        // check — the logical query already finished elsewhere. No load
+        // slot was ever taken.
+        if cancelled {
+            self.reap_attempt(now, id, from);
+            return;
+        }
         // The deadline expired while the dispatch was on the wire: cancel
         // instead of starting execution (no load slot was ever taken).
         if expired {
@@ -1765,6 +2077,11 @@ impl DbSystem {
         sink: &mut dyn EventSink,
     ) {
         let q = self.lps[from].take_query(id);
+        // The group's win was already claimed when execution finished;
+        // result delivery just retires the winner's registry entry.
+        if let Some(group) = q.hedge_group {
+            self.hedges.retire(group, from, id);
+        }
         let response = now - q.submitted;
         if q.retries > 0 {
             self.metrics.record_recovered();
@@ -1819,6 +2136,21 @@ impl DbSystem {
         site: SiteId,
         sink: &mut dyn EventSink,
     ) {
+        // A duplicate hedge attempt never retries — any fate short of
+        // winning reaps it (the logical query lives on through its
+        // group). Likewise an attempt already condemned by first-win
+        // cancellation, or whose group is already decided (its cancel
+        // frame may still be on the wire): the logical query completed
+        // elsewhere, so destruction just completes the reap — retrying
+        // (or losing) it would double-count the outcome.
+        let (dup, flagged, group) = {
+            let q = self.lps[site].query(id);
+            (q.hedge_dup, q.hedge_cancelled, q.hedge_group)
+        };
+        if dup || flagged || group.is_some_and(|g| self.hedges.group(g).decided) {
+            self.reap_attempt(now, id, site);
+            return;
+        }
         let (phase, exec, io_bound, home) = {
             let q = self.lps[site].query_mut(id);
             debug_assert!(!matches!(q.phase, QueryPhase::Return | QueryPhase::Backoff));
@@ -1890,6 +2222,12 @@ impl DbSystem {
         sink: &mut dyn EventSink,
     ) {
         let q = self.lps[site].take_query(id);
+        // A lost hedged attempt dissolves its group: an abandoned primary
+        // reaps its still-racing duplicates; a lost winner (its result
+        // retries exhausted) only retires its own — already last — entry.
+        if let Some(group) = q.hedge_group {
+            self.dissolve_group(now, group, None, sink);
+        }
         self.metrics.record_lost();
         if matches!(self.params.workload, Workload::Closed) && q.kind != QueryKind::Propagation {
             let home = q.profile.home;
@@ -1908,11 +2246,14 @@ impl DbSystem {
         site: SiteId,
         sink: &mut dyn EventSink,
     ) {
-        let (home, class, reads_total) = {
-            let q = self.lps[site].query(id);
-            debug_assert!(matches!(q.phase, QueryPhase::Return));
-            (q.profile.home, q.profile.class, q.reads_total)
+        // Tolerate a stale id (defensive: retransmit logs belong to
+        // winners, which only first-win completion or retry exhaustion
+        // remove — both of which also bury the pending event).
+        let Some(q) = self.lps[site].queries.get(id) else {
+            return;
         };
+        debug_assert!(matches!(q.phase, QueryPhase::Return));
+        let (home, class, reads_total) = (q.profile.home, q.profile.class, q.reads_total);
         if self.lps[site].site.is_up() {
             // The execution site keeps results logged until acknowledged.
             let msg = RingMsg::Query {
@@ -2035,6 +2376,12 @@ impl DbSystem {
                 kind: MsgKind::Result,
                 ..
             } => self.schedule_retry_global(now, query, from, sink),
+            // Cancels are fire-and-forget; the winner guard repairs the
+            // loss at the loser's own completion.
+            RingMsg::Query {
+                kind: MsgKind::Cancel,
+                ..
+            } => {}
             // A lost broadcast just means everyone keeps stale rows until
             // the next period.
             RingMsg::Status { .. } => {}
@@ -2103,6 +2450,14 @@ impl DbSystem {
         };
         if q.deadline_epoch != epoch {
             return; // stale expiry for a superseded attempt
+        }
+        if q.hedge_cancelled || q.hedge_group.is_some_and(|g| self.hedges.group(g).decided) {
+            // First-win cancellation already owns this unwind: the
+            // attempt is condemned (flagged, or its cancel frame is en
+            // route; the winner guard backs up a lost frame). Expiring
+            // it here could shed a logical query that already completed
+            // through its duplicate — a double-counted outcome.
+            return;
         }
         let phase = q.phase;
         match phase {
@@ -2255,6 +2610,11 @@ impl DbSystem {
         sink: &mut dyn EventSink,
     ) {
         let q = self.lps[site].take_query(id);
+        // A shed hedged primary dissolves its group (exactly one terminal
+        // outcome per logical query).
+        if let Some(group) = q.hedge_group {
+            self.dissolve_group(now, group, None, sink);
+        }
         if matches!(self.params.workload, Workload::Closed) && q.kind != QueryKind::Propagation {
             let home = q.profile.home;
             let think = self.lps[home].rng_think.exponential(self.params.think_time);
@@ -2311,9 +2671,16 @@ impl DbSystem {
             return id;
         }
         let q = self.lps[from].take_query(id);
-        self.lps[to]
+        let group = q.hedge_group;
+        let new_id = self.lps[to]
             .queries
-            .insert_with(|new_id| ActiveQuery { id: new_id, ..q })
+            .insert_with(|new_id| ActiveQuery { id: new_id, ..q });
+        // A moved hedge member's registry entry follows it to its new
+        // table and id, so cancels keep addressing it correctly.
+        if let Some(g) = group {
+            self.hedges.relocate(g, from, id, to, new_id);
+        }
+        new_id
     }
 
     /// Takes a load slot at `site` on behalf of a delivered dispatch
@@ -2354,6 +2721,291 @@ impl DbSystem {
             cross: None,
         };
         self.lps[site].start_read(now, id, &sh, sink);
+    }
+
+    // ------------------------------------------------------------------
+    // Redundancy (hedged replicate-to-n dispatch) machinery
+    // ------------------------------------------------------------------
+
+    /// Spawns the duplicate attempts of a hedge group: `home`'s submit
+    /// handler just dispatched the primary and ranked `targets`; each
+    /// target gets a duplicate record in the home table that travels the
+    /// ring like a dispatch (or starts at once when the target *is* the
+    /// home site). Duplicates share the primary's profile, size, and
+    /// submit instant; they carry no deadline and never retry — any fate
+    /// short of winning reaps them.
+    fn spawn_hedges(
+        &mut self,
+        now: SimTime,
+        home: SiteId,
+        primary: QueryId,
+        targets: &[SiteId],
+        sink: &mut dyn EventSink,
+    ) {
+        let (profile, reads_total, submitted, kind) = {
+            let q = self.lps[home].query(primary);
+            (q.profile, q.reads_total, q.submitted, q.kind)
+        };
+        debug_assert_eq!(kind, QueryKind::Read, "only reads hedge");
+        let gid = self.hedges.create(home, home, primary);
+        self.lps[home].query_mut(primary).hedge_group = Some(gid);
+        for &target in targets {
+            let phase = if target == home {
+                QueryPhase::Disk
+            } else {
+                QueryPhase::Transfer
+            };
+            let id = self.lps[home].queries.insert_with(|id| ActiveQuery {
+                id,
+                profile,
+                exec: target,
+                reads_total,
+                reads_done: 0,
+                submitted,
+                service: 0.0,
+                phase,
+                kind: QueryKind::Read,
+                retries: 0,
+                deadline_epoch: 0,
+                res_retries: 0,
+                adm_retries: 0,
+                expired: false,
+                deadline_at: SimTime::ZERO,
+                hedge_group: Some(gid),
+                hedge_dup: true,
+                hedge_cancelled: false,
+            });
+            self.hedges.add_member(gid, home, id);
+            if target == home {
+                self.alloc_load_direct(now, home, profile.io_bound);
+                self.start_read_at(now, home, id, sink);
+            } else {
+                let msg = RingMsg::Query {
+                    query: id,
+                    kind: MsgKind::Dispatch,
+                    dest: target,
+                };
+                let cost = self.params.dispatch_cost(profile.class);
+                if let Some(done) = self.ring.send(now, home, msg, cost) {
+                    sink.schedule(done, Event::NetDone);
+                }
+            }
+        }
+    }
+
+    /// A hedged attempt finished executing at `site`. First win: an
+    /// undecided group lets this attempt claim the single counted
+    /// completion and cancels every other live member; a decided group
+    /// means this attempt already lost but escaped its cancel (lost
+    /// frame, partition) — the winner guard discards it here, the
+    /// protocol's last line of defense against double counting.
+    fn finish_hedged(&mut self, now: SimTime, id: QueryId, site: SiteId, sink: &mut dyn EventSink) {
+        let (gid, dup, home, class, reads_total) = {
+            let q = self.lps[site].query(id);
+            (
+                q.hedge_group.expect("hedged finish without a group"),
+                q.hedge_dup,
+                q.profile.home,
+                q.profile.class,
+                q.reads_total,
+            )
+        };
+        if self.hedges.group(gid).decided {
+            let q = self.lps[site].take_query(id);
+            self.metrics.record_hedge_cancelled(q.service);
+            self.hedges.retire(gid, site, id);
+            return;
+        }
+        if dup {
+            self.metrics.record_hedge_win();
+        }
+        self.dissolve_group(now, gid, Some((site, id)), sink);
+        if site == home {
+            let q = self.lps[site].take_query(id);
+            if q.retries > 0 {
+                self.metrics.record_recovered();
+            }
+            self.metrics
+                .record_completion(q.profile.class, now - q.submitted, q.service);
+            self.hedges.retire(gid, site, id);
+            if matches!(self.params.workload, Workload::Closed) {
+                let think = self.lps[home].rng_think.exponential(self.params.think_time);
+                sink.schedule(now + think, Event::Submit { site: home });
+            }
+        } else {
+            // The winner's results travel home like any remote execution;
+            // its registry entry stays live until the result is delivered
+            // (or the retry budget buries it).
+            self.lps[site].query_mut(id).phase = QueryPhase::Return;
+            let msg = RingMsg::Query {
+                query: id,
+                kind: MsgKind::Result,
+                dest: home,
+            };
+            let cost = self.params.result_cost(class, f64::from(reads_total));
+            if let Some(done) = self.ring.send(now, site, msg, cost) {
+                sink.schedule(done, Event::NetDone);
+            }
+        }
+    }
+
+    /// Decides a hedge group (first win or primary abandonment) and
+    /// cancels every live member except `keep`. Members whose record sits
+    /// where the decision is visible are flagged or reaped directly;
+    /// members executing at a remote site get an explicit cancel frame.
+    fn dissolve_group(
+        &mut self,
+        now: SimTime,
+        gid: u32,
+        keep: Option<(SiteId, QueryId)>,
+        sink: &mut dyn EventSink,
+    ) {
+        let (home, members) = {
+            let g = self.hedges.group_mut(gid);
+            g.decided = true;
+            (g.home, g.members.clone())
+        };
+        for m in members.iter().filter(|m| m.live) {
+            if keep == Some((m.site, m.id)) {
+                continue;
+            }
+            self.cancel_member(now, gid, home, m.site, m.id, sink);
+        }
+    }
+
+    /// Cancels one losing hedge member, phase-exactly:
+    ///
+    /// - a record already gone (the abandoned attempt whose terminal path
+    ///   triggered the dissolution) just retires its entry;
+    /// - a dispatch frame on the wire cannot be recalled — the attempt is
+    ///   flagged and reaped at delivery (or loss);
+    /// - a backed-off primary holds no station state and is reaped on the
+    ///   spot (its pending `Resubmit` goes stale with the removed id);
+    /// - an attempt at the home site's own stations is reaped directly —
+    ///   the decision is visible where the coordination state lives;
+    /// - an attempt executing at a remote site gets an explicit cancel
+    ///   frame on the ring (transmission cost `msg_length`, droppable:
+    ///   fire-and-forget, repaired by the winner guard if it never
+    ///   arrives).
+    #[allow(clippy::too_many_arguments)]
+    fn cancel_member(
+        &mut self,
+        now: SimTime,
+        gid: u32,
+        home: SiteId,
+        site: SiteId,
+        id: QueryId,
+        sink: &mut dyn EventSink,
+    ) {
+        let Some(q) = self.lps[site].queries.get(id) else {
+            self.hedges.retire(gid, site, id);
+            return;
+        };
+        match q.phase {
+            QueryPhase::Transfer => {
+                self.lps[site].query_mut(id).hedge_cancelled = true;
+            }
+            QueryPhase::Backoff => self.reap_attempt(now, id, site),
+            QueryPhase::Disk | QueryPhase::Cpu => {
+                if site == home {
+                    self.reap_resident(now, id, site, sink);
+                } else {
+                    let msg = RingMsg::Query {
+                        query: id,
+                        kind: MsgKind::Cancel,
+                        dest: site,
+                    };
+                    if let Some(done) = self.ring.send(now, home, msg, self.params.msg_length) {
+                        sink.schedule(done, Event::NetDone);
+                    }
+                }
+            }
+            // A member in Return already claimed the win — never
+            // cancelled (the winner guard would have discarded a loser
+            // before it could start returning).
+            QueryPhase::Return => debug_assert!(false, "cancel aimed at a returning winner"),
+        }
+    }
+
+    /// A first-win cancel frame arrived at a losing attempt's execution
+    /// site. A stale id — the loser already finished (and was discarded
+    /// by the winner guard) or crashed away — makes the cancel a no-op.
+    fn deliver_cancel(
+        &mut self,
+        now: SimTime,
+        id: QueryId,
+        dest: SiteId,
+        sink: &mut dyn EventSink,
+    ) {
+        let Some(q) = self.lps[dest].queries.get(id) else {
+            return;
+        };
+        debug_assert!(
+            q.hedge_group.is_some(),
+            "cancel frame for an unhedged query"
+        );
+        match q.phase {
+            QueryPhase::Disk | QueryPhase::Cpu => self.reap_resident(now, id, dest, sink),
+            // Any other phase means the attempt's fate is already owned
+            // elsewhere; leave it alone.
+            _ => {}
+        }
+    }
+
+    /// Reaps a losing attempt resident at `site`'s stations (phase Disk
+    /// or Cpu), phase-exactly: a CPU job leaves the PS server (the next
+    /// completion reshuffles), a waiting disk job leaves its queue, and
+    /// an in-service page read — immutable under FCFS — is flagged and
+    /// reaped at its own `DiskDone`.
+    fn reap_resident(&mut self, now: SimTime, id: QueryId, site: SiteId, sink: &mut dyn EventSink) {
+        let phase = self.lps[site].query(id).phase;
+        match phase {
+            QueryPhase::Cpu => {
+                if let Some((_unserved, Some((t, token)))) =
+                    self.lps[site].site.cpu.remove(now, &id)
+                {
+                    sink.schedule(t, Event::CpuDone { site, token });
+                }
+                self.reap_attempt(now, id, site);
+            }
+            QueryPhase::Disk => {
+                if self.lps[site]
+                    .site
+                    .disks
+                    .iter()
+                    .any(|d| d.is_in_service(&id))
+                {
+                    self.lps[site].query_mut(id).hedge_cancelled = true;
+                    return;
+                }
+                let removed = self.lps[site]
+                    .site
+                    .disks
+                    .iter_mut()
+                    .find_map(|d| d.remove_waiting(now, &id));
+                debug_assert!(
+                    removed.is_some(),
+                    "Disk-phase attempt neither in service nor waiting"
+                );
+                self.reap_attempt(now, id, site);
+            }
+            _ => unreachable!("reap_resident on non-resident phase {phase:?}"),
+        }
+    }
+
+    /// Removes a losing attempt's record, frees any load slot it held,
+    /// charges its partial work to the wasted-service counter, and
+    /// retires it from its group. The caller has already unwound any
+    /// station residency.
+    fn reap_attempt(&mut self, now: SimTime, id: QueryId, site: SiteId) {
+        let q = self.lps[site].take_query(id);
+        if matches!(q.phase, QueryPhase::Disk | QueryPhase::Cpu) {
+            self.release_load_direct(now, site, q.profile.io_bound);
+        }
+        self.metrics.record_hedge_cancelled(q.service);
+        if let Some(group) = q.hedge_group {
+            self.hedges.retire(group, site, id);
+        }
     }
 }
 
@@ -2484,7 +3136,7 @@ impl DbSystem {
                 .lps
                 .iter()
                 .flat_map(|lp| lp.queries.values())
-                .filter(|q| q.kind != QueryKind::Propagation)
+                .filter(|q| q.kind != QueryKind::Propagation && !q.hedge_dup)
                 .count();
             assert!(
                 terminal_queries <= terminals,
@@ -2521,6 +3173,38 @@ impl DbSystem {
                 lp.index
             );
         }
+        // The hedge registry and the query tables agree: every live
+        // member entry resolves to exactly the record it names, every
+        // hedged record has a live entry, and no group outlives its last
+        // live member.
+        let mut live_members = 0usize;
+        for (gid, g) in self.hedges.groups.iter().enumerate() {
+            let Some(g) = g else { continue };
+            assert!(
+                g.members.iter().any(|m| m.live),
+                "hedge group {gid} kept alive with no live member"
+            );
+            for m in g.members.iter().filter(|m| m.live) {
+                live_members += 1;
+                let q = self.lps[m.site].queries.get(m.id);
+                assert!(
+                    q.is_some_and(|q| q.hedge_group == Some(gid as u32)),
+                    "hedge member {:?} at site {} does not resolve",
+                    m.id,
+                    m.site
+                );
+            }
+        }
+        let hedged_records = self
+            .lps
+            .iter()
+            .flat_map(|lp| lp.queries.values())
+            .filter(|q| q.hedge_group.is_some())
+            .count();
+        assert_eq!(
+            hedged_records, live_members,
+            "hedge registry size disagrees with the tables"
+        );
     }
 
     /// Discards the warmup transient: restarts every statistic at `now`
@@ -3007,6 +3691,116 @@ mod tests {
         assert!(engine.model().metrics().completed() > 20);
         assert!(engine.model().metrics().transfers() > 0);
         engine.model().check_invariants();
+    }
+
+    #[test]
+    fn hedged_runs_complete_with_exactly_one_outcome_per_query() {
+        use crate::params::RedundancySpec;
+        // Every read hedges to a second site; invariants (including the
+        // hedge-registry/table agreement and the closed-population bound,
+        // which a double-counted completion would break) are checked
+        // throughout.
+        let params = SystemParams::builder()
+            .num_sites(3)
+            .mpl(4)
+            .think_time(100.0)
+            .redundancy(Some(RedundancySpec {
+                max_level: 2,
+                ..RedundancySpec::default()
+            }))
+            .build()
+            .unwrap();
+        for policy in [PolicyKind::Local, PolicyKind::Bnq, PolicyKind::Lert] {
+            let sys = DbSystem::new(params.clone(), policy, 11).unwrap();
+            let mut engine = Engine::new(sys);
+            DbSystem::prime(&mut engine);
+            for k in 1..=40 {
+                engine.run_until(SimTime::new(f64::from(k) * 100.0));
+                engine.model().check_invariants();
+            }
+            let m = engine.model().metrics();
+            assert!(m.completed() > 50, "{policy:?} completed {}", m.completed());
+            assert!(
+                m.hedged_dispatched() > 0,
+                "{policy:?} never hedged despite an always-on spec"
+            );
+            // Every decided duplicate either won or was reaped; with the
+            // run still in flight the reaped+won tally cannot exceed the
+            // duplicates spawned.
+            assert!(
+                m.hedge_wins() + m.hedge_cancelled()
+                    <= m.hedge_duplicates() + m.hedged_dispatched()
+            );
+        }
+    }
+
+    #[test]
+    fn inert_redundancy_spec_changes_nothing() {
+        use crate::params::RedundancySpec;
+        // CRN: a default (inert) spec draws nothing and leaves the
+        // trajectory identical to no spec at all.
+        let base = run_system(PolicyKind::Lert, 5, 2_000.0);
+        let params = SystemParams::builder()
+            .num_sites(3)
+            .mpl(4)
+            .think_time(100.0)
+            .redundancy(Some(RedundancySpec::default()))
+            .build()
+            .unwrap();
+        let sys = DbSystem::new(params, PolicyKind::Lert, 5).unwrap();
+        let mut engine = Engine::new(sys);
+        DbSystem::prime(&mut engine);
+        engine.run_until(SimTime::new(2_000.0));
+        assert_eq!(
+            base.model().metrics().completed(),
+            engine.model().metrics().completed()
+        );
+        assert_eq!(
+            base.model().metrics().mean_waiting(),
+            engine.model().metrics().mean_waiting()
+        );
+        assert_eq!(base.steps(), engine.steps());
+        assert_eq!(engine.model().metrics().hedged_dispatched(), 0);
+    }
+
+    #[test]
+    fn hedging_under_faults_and_deadlines_stays_consistent() {
+        use crate::params::{DeadlineSpec, FaultSpec, RedundancySpec};
+        // The adversarial composition: crashes, message loss, deadlines,
+        // and always-on hedging. The registry/table agreement and the
+        // closed-population bound must survive every reap path.
+        let params = SystemParams::builder()
+            .num_sites(4)
+            .mpl(4)
+            .think_time(60.0)
+            .faults(Some(FaultSpec {
+                mtbf: 800.0,
+                mttr: 120.0,
+                msg_loss: 0.05,
+                ..FaultSpec::default()
+            }))
+            .deadlines(Some(DeadlineSpec {
+                mean: 150.0,
+                floor: 50.0,
+                ..DeadlineSpec::default()
+            }))
+            .redundancy(Some(RedundancySpec {
+                max_level: 3,
+                ..RedundancySpec::default()
+            }))
+            .build()
+            .unwrap();
+        let sys = DbSystem::new(params, PolicyKind::Bnqrd, 7).unwrap();
+        let mut engine = Engine::new(sys);
+        DbSystem::prime(&mut engine);
+        for k in 1..=80 {
+            engine.run_until(SimTime::new(f64::from(k) * 100.0));
+            engine.model().check_invariants();
+        }
+        let m = engine.model().metrics();
+        assert!(m.completed() > 50);
+        assert!(m.hedged_dispatched() > 0);
+        assert!(m.hedge_cancelled() > 0);
     }
 
     #[test]

@@ -71,6 +71,19 @@ pub(crate) enum Obs {
     /// Admission control dropped a query outright
     /// (`record_admission_dropped`).
     AdmissionDropped,
+    /// A hedge-eligible query was dispatched at effective redundancy
+    /// `level` (`record_hedge_dispatch`); level 1 means the coin or the
+    /// load-adaptive controller kept it unhedged.
+    HedgeDispatch {
+        /// Effective redundancy level (1-based).
+        level: u32,
+    },
+    /// A hedge attempt was reaped at its own site after first-win
+    /// cancellation flagged it mid-service (`record_hedge_cancelled`).
+    HedgeCancelled {
+        /// Service time the attempt had already absorbed.
+        wasted: f64,
+    },
 }
 
 /// Applies one observation to the global board and metrics.
@@ -98,5 +111,7 @@ pub(crate) fn apply(now: SimTime, obs: Obs, board: &mut LoadTable, metrics: &mut
         Obs::AdmissionRejected => metrics.record_admission_rejected(),
         Obs::AdmissionRedirected => metrics.record_admission_redirected(),
         Obs::AdmissionDropped => metrics.record_admission_dropped(),
+        Obs::HedgeDispatch { level } => metrics.record_hedge_dispatch(level as usize),
+        Obs::HedgeCancelled { wasted } => metrics.record_hedge_cancelled(wasted),
     }
 }

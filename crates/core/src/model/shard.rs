@@ -43,6 +43,8 @@
 //!   execution off-barrier and LP handlers defer global scheduling),
 //! * active admission control (live occupancy checks read other sites'
 //!   stations at decision time),
+//! * an active redundancy spec (hedged dispatch spawns duplicates and
+//!   reaps losers through the global hedge registry between barriers),
 //! * a perfect-information board (`status_period == 0` mirrors every
 //!   load change to all sites instantly), and
 //! * a zero lookahead (some frame class with zero transfer time).
@@ -81,6 +83,10 @@ pub enum ShardGate {
     Deadlines,
     /// Admission control is active.
     Admission,
+    /// An active [`RedundancySpec`](crate::params::RedundancySpec):
+    /// hedged dispatch spawns duplicates and reaps losers through
+    /// off-barrier global state (the hedge registry).
+    Redundancy,
     /// `status_period == 0`: the board is perfect-information.
     PerfectBoard,
     /// Some frame class has a zero minimum transfer time.
@@ -93,6 +99,9 @@ impl fmt::Display for ShardGate {
             ShardGate::Deadlines => "the deadline lifecycle cancels remote executions off-barrier",
             ShardGate::Admission => {
                 "admission control reads other sites' live occupancy at decision time"
+            }
+            ShardGate::Redundancy => {
+                "redundancy-aware dispatch spawns and cancels hedged duplicates off-barrier"
             }
             ShardGate::PerfectBoard => {
                 "status_period = 0 mirrors every load change to all sites instantly"
@@ -119,6 +128,9 @@ pub fn shardable(params: &SystemParams) -> Result<(), ShardGate> {
     }
     if params.admission.is_some_and(|a| a.is_active()) {
         return Err(ShardGate::Admission);
+    }
+    if params.redundancy.is_some_and(|r| r.is_active()) {
+        return Err(ShardGate::Redundancy);
     }
     if !(params.status_period > 0.0) {
         return Err(ShardGate::PerfectBoard);

@@ -297,6 +297,73 @@ impl AdmissionSpec {
     }
 }
 
+/// Hedged replicate-to-`n` dispatch with first-win cancellation (a
+/// robustness extension after Aktaş & Soljanin's redundancy-d access
+/// model; the paper's policies pick exactly one site per query).
+///
+/// An eligible query — read-only, admitted, with at least two usable
+/// candidate sites under the replication catalog — is dispatched to up
+/// to `max_level` candidate sites: the policy's chosen primary plus the
+/// cheapest remaining candidates under the policy's own cost order.
+/// The first attempt to finish executing wins; explicit cancel frames
+/// reap the losers phase-exactly from the PS/FCFS stations and the
+/// ring. Cancel frames are fire-and-forget (they may be lost to message
+/// loss or a partition); a loser whose cancel never arrived is discarded
+/// at completion time instead, so exactly one completion is ever
+/// counted per logical query.
+///
+/// The *load-adaptive controller* throttles the effective level toward
+/// 1 as observed load rises: each multiple of `load_threshold` in the
+/// mean published board load per available site steps the level down by
+/// one, and when more than `full_threshold` of the available sites
+/// advertise their admission backpressure bit, hedging switches off
+/// entirely — redundancy degrades gracefully instead of amplifying
+/// overload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RedundancySpec {
+    /// Maximum number of sites a hedged query is dispatched to. `0` or
+    /// `1` disables hedging entirely (trajectory-identical to `None`:
+    /// the `REDUNDANCY` substream is never drawn).
+    pub max_level: u32,
+    /// Probability that an eligible query is hedged, in `[0, 1]`. The
+    /// coin comes from the dedicated per-site `REDUNDANCY` substream and
+    /// is drawn once per eligible submit whenever the spec is active,
+    /// independent of the controller's current effective level (CRN
+    /// across load conditions). `0.0` disables hedging (no draws).
+    pub hedge_prob: f64,
+    /// Mean published board load per available site at which the
+    /// controller steps the effective level down by one (two thresholds
+    /// of load = two steps, and so on). `0.0` disables load throttling.
+    pub load_threshold: f64,
+    /// Fraction of available sites advertising the backpressure `full`
+    /// bit above which hedging turns off entirely, in `[0, 1]`. `1.0`
+    /// never turns hedging off.
+    pub full_threshold: f64,
+}
+
+impl Default for RedundancySpec {
+    /// Hedging disabled; when enabled: every eligible query hedges, no
+    /// load throttle, backpressure cut-off at half the sites full.
+    fn default() -> Self {
+        RedundancySpec {
+            max_level: 0,
+            hedge_prob: 1.0,
+            load_threshold: 0.0,
+            full_threshold: 0.5,
+        }
+    }
+}
+
+impl RedundancySpec {
+    /// Whether hedged dispatch can actually occur. `false` guarantees
+    /// the run is byte-identical to `redundancy: None` (the
+    /// `REDUNDANCY` substream is never drawn).
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.max_level >= 2 && self.hedge_prob > 0.0
+    }
+}
+
 /// Time-varying open-arrival modulation (the "live service" extension;
 /// the paper's open door, `ext_open_overload`, is a constant-rate Poisson
 /// stream).
@@ -750,6 +817,11 @@ pub struct SystemParams {
     /// Per-site admission control with load shedding. `None` (or a spec
     /// with no caps) accepts every query, as the paper does.
     pub admission: Option<AdmissionSpec>,
+    /// Hedged replicate-to-`n` dispatch with first-win cancellation and
+    /// a load-adaptive redundancy controller. `None` (or an inactive
+    /// spec) reproduces the paper's one-site-per-query model byte for
+    /// byte.
+    pub redundancy: Option<RedundancySpec>,
     /// Time-varying open-arrival modulation (diurnal curve, flash crowd,
     /// MMPP bursts). Requires [`Workload::Open`] when active; `None` (or
     /// an inactive spec) keeps the constant-rate Poisson stream and is
@@ -808,6 +880,7 @@ impl SystemParams {
             deadlines: None,
             suspicion: None,
             admission: None,
+            redundancy: None,
             arrivals: None,
             users: None,
             script: Vec::new(),
@@ -1061,6 +1134,16 @@ impl SystemParams {
                 });
             }
             positive("admission backoff_base", a.backoff_base)?;
+        }
+        if let Some(r) = &self.redundancy {
+            fraction("redundancy hedge_prob", r.hedge_prob)?;
+            fraction("redundancy full_threshold", r.full_threshold)?;
+            if !r.load_threshold.is_finite() || r.load_threshold < 0.0 {
+                return Err(ParamsError::NonPositive {
+                    field: "redundancy load_threshold",
+                    value: r.load_threshold,
+                });
+            }
         }
         if let Some(a) = &self.arrivals {
             if a.is_active() && !matches!(self.workload, Workload::Open { .. }) {
@@ -1438,6 +1521,13 @@ impl SystemParamsBuilder {
     #[must_use]
     pub fn admission(mut self, spec: Option<AdmissionSpec>) -> Self {
         self.params.admission = spec;
+        self
+    }
+
+    /// Enables or disables hedged redundant dispatch.
+    #[must_use]
+    pub fn redundancy(mut self, spec: Option<RedundancySpec>) -> Self {
+        self.params.redundancy = spec;
         self
     }
 

@@ -297,6 +297,44 @@ impl Allocator {
         best_site
     }
 
+    /// Ranks the redundant dispatch targets for a hedged query (the
+    /// redundancy extension): the usable candidates other than `primary`,
+    /// ordered by the policy's own site cost (cheapest first, ties broken
+    /// by site number), truncated to `extra` entries. The same cost
+    /// function that picked the primary ranks the hedges, so every policy
+    /// family hedges onto the sites it would itself have chosen next.
+    ///
+    /// Unlike [`Allocator::select_site_among`] this is a pure ranking: the
+    /// round-robin cursor does not advance (the primary selection already
+    /// advanced it for this query), and quarantine is *hard* — a suspect,
+    /// full, or down site never receives speculative work, because hedges
+    /// exist to dodge slow sites, not to probe them.
+    pub fn hedge_targets(
+        &mut self,
+        query: &QueryProfile,
+        ctx: &AllocationContext<'_>,
+        candidates: &[SiteId],
+        primary: SiteId,
+        extra: usize,
+    ) -> Vec<SiteId> {
+        if extra == 0 {
+            return Vec::new();
+        }
+        let mut ranked: Vec<(f64, SiteId)> = candidates
+            .iter()
+            .copied()
+            .filter(|&s| s != primary && ctx.usable(s))
+            .map(|s| (self.policy.site_cost(query, s, ctx), s))
+            .collect();
+        ranked.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(&b.1))
+        });
+        ranked.truncate(extra);
+        ranked.into_iter().map(|(_, s)| s).collect()
+    }
+
     /// Evaluates a mid-execution migration (the §6.2 extension): given a
     /// profile describing the query's *remaining* work and a context whose
     /// arrival site is the current execution site, returns the site to
@@ -675,6 +713,30 @@ mod tests {
         let q = f.io_query(0);
         let target = alloc.migration_target(&q, 0, &f.ctx(0), &[0, 1, 2], 0.0, 0.0);
         assert_eq!(target, None, "both alternatives are quarantined");
+    }
+
+    #[test]
+    fn hedge_targets_rank_by_cost_and_respect_quarantine() {
+        let mut f = Fixture::new(4).unwrap();
+        // Costs under BNQ: site 1 has 2 queries, site 2 has 1, site 3 empty.
+        f.load.allocate(1, true);
+        f.load.allocate(1, true);
+        f.load.allocate(2, true);
+        let mut alloc = Allocator::new(PolicyKind::Bnq, 0);
+        let q = f.io_query(0);
+        let targets = alloc.hedge_targets(&q, &f.ctx(0), &[1, 2, 3], 0, 2);
+        assert_eq!(targets, vec![3, 2], "cheapest usable candidates first");
+        // Hard quarantine: a full or suspected site never gets a hedge.
+        f.load.set_full(3, true);
+        f.load.set_trusted(0, 2, false);
+        let targets = alloc.hedge_targets(&q, &f.ctx(0), &[1, 2, 3], 0, 2);
+        assert_eq!(targets, vec![1], "only the trusted non-full site rides");
+        // The primary itself is never a hedge target, and extra = 0 is empty.
+        let none = alloc.hedge_targets(&q, &f.ctx(0), &[1], 1, 2);
+        assert!(none.is_empty());
+        assert!(alloc
+            .hedge_targets(&q, &f.ctx(0), &[1, 2, 3], 0, 0)
+            .is_empty());
     }
 
     #[test]

@@ -115,6 +115,19 @@ pub struct ActiveQuery {
     /// fresh `DeadlineExpire` at this absolute time instead of drawing a
     /// new slack.
     pub deadline_at: SimTime,
+    /// The hedge group this attempt belongs to (`None` for unhedged
+    /// queries). All attempts of one logical query share a group; the
+    /// group decides the single counted completion.
+    pub hedge_group: Option<u32>,
+    /// Whether this record is a *duplicate* hedge attempt (spawned
+    /// alongside the primary). Duplicates occupy real station and
+    /// load-table slots but are excluded from the closed-population
+    /// invariant and never counted as completions in their own right.
+    pub hedge_dup: bool,
+    /// A cancel for this attempt arrived while it was at a point that
+    /// cannot be unwound immediately (a dispatch frame in flight, a disk
+    /// read in service); the reap completes at the next natural event.
+    pub hedge_cancelled: bool,
 }
 
 impl ActiveQuery {
@@ -158,7 +171,8 @@ impl ActiveQuery {
 /// #         exec: 0, reads_total: 1, reads_done: 0, submitted: SimTime::ZERO,
 /// #         service: 0.0, phase: QueryPhase::Disk, kind: QueryKind::Read, retries: 0,
 /// #         deadline_epoch: 0, res_retries: 0, adm_retries: 0, expired: false,
-/// #         deadline_at: SimTime::ZERO,
+/// #         deadline_at: SimTime::ZERO, hedge_group: None, hedge_dup: false,
+/// #         hedge_cancelled: false,
 /// #     }
 /// # }
 /// let mut table = QueryTable::new();
@@ -314,6 +328,9 @@ mod tests {
             adm_retries: 0,
             expired: false,
             deadline_at: SimTime::ZERO,
+            hedge_group: None,
+            hedge_dup: false,
+            hedge_cancelled: false,
         }
     }
 

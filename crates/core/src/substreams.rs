@@ -40,12 +40,14 @@
 //! | [`BURST`] | 17 | open-arrival layer | MMPP burst-state dwell times |
 //! | [`USER`] | 18 | user population | Zipf user selection + affinity coins |
 //! | [`SESSION`] | 19 | user population | per-user session state at first touch |
+//! | [`REDUNDANCY`] | 20 | redundancy layer | hedged-dispatch coin flips |
 //! | [`POLICY_RANDOM`] | 0xD1CE | RANDOM policy | uniform site selection |
 //!
 //! Tags 1–9 are the workload/model streams that exist in every run; tags
 //! 10–13 belong to the fault layer, 14–15 to the resilience layer, 16–17
-//! to the time-varying open-arrival layer, and 18–19 to the user
-//! population model, so runs with those layers disabled never draw from
+//! to the time-varying open-arrival layer, 18–19 to the user
+//! population model, and 20 to the hedged-redundancy layer, so runs with
+//! those layers disabled never draw from
 //! them and stay byte-identical to seed trajectories (CRN, asserted in
 //! `tests/fault_tolerance.rs`, `tests/resilience.rs`, and
 //! `tests/live_service.rs`). The RANDOM policy's stream is deliberately
@@ -92,6 +94,11 @@ pub const USER: u64 = 18;
 /// User population: per-user session state drawn at first touch
 /// (preferred class, session length).
 pub const SESSION: u64 = 19;
+/// Redundancy layer: per-query hedged-dispatch Bernoulli coins. Drawn
+/// once per hedge-eligible submit whenever the spec is active —
+/// *independent* of the controller's current effective level — so the
+/// coin sequence is load-invariant (CRN across redundancy settings).
+pub const REDUNDANCY: u64 = 20;
 /// The RANDOM allocation policy's site-selection stream. Kept far from
 /// the dense model range so new model streams can be appended freely.
 pub const POLICY_RANDOM: u64 = 0xD1CE;
@@ -137,6 +144,7 @@ pub const ALL: &[(&str, u64)] = &[
     ("BURST", BURST),
     ("USER", USER),
     ("SESSION", SESSION),
+    ("REDUNDANCY", REDUNDANCY),
     ("POLICY_RANDOM", POLICY_RANDOM),
 ];
 
@@ -160,7 +168,7 @@ mod tests {
     fn registry_covers_historical_values() {
         // The numeric values are load-bearing: they are what every recorded
         // byte-identity trajectory was generated with. Freeze them.
-        let expected: Vec<u64> = (1..=19).chain(std::iter::once(0xD1CE)).collect();
+        let expected: Vec<u64> = (1..=20).chain(std::iter::once(0xD1CE)).collect();
         let actual: Vec<u64> = ALL.iter().map(|&(_, t)| t).collect();
         assert_eq!(actual, expected);
     }

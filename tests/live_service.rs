@@ -17,7 +17,9 @@
 //!    few kilobytes per site.
 
 use dqa_core::experiment::{run, run_replicated_jobs, run_sharded, RunConfig, RunReport};
-use dqa_core::params::{ArrivalSpec, SystemParams, SystemParamsBuilder, UserSpec, Workload};
+use dqa_core::params::{
+    ArrivalSpec, RedundancySpec, SystemParams, SystemParamsBuilder, UserSpec, Workload,
+};
 use dqa_core::policy::PolicyKind;
 
 const JOB_COUNTS: [usize; 3] = [1, 2, 7];
@@ -188,6 +190,57 @@ fn sketch_percentiles_bracket_the_histogram() {
         "sketch p99 {} vs histogram {}",
         report.sketch_p99,
         report.response_p99
+    );
+}
+
+#[test]
+fn hedging_composes_with_live_arrivals_and_clips_the_tail() {
+    // Redundancy under the full live arrival stack (diurnal modulation,
+    // a flash crowd, MMPP bursts), in the regime where a duplicate is
+    // genuine insurance: heterogeneous CPUs and an uninformed placement
+    // policy. The load-adaptive controller is on — the flash crowd
+    // triples the offered load mid-run, and unthrottled duplicates there
+    // would eat the very capacity the spike needs. n=2 hedging must stay
+    // bitwise deterministic (serial and worker-pool), actually fire, and
+    // not lengthen the sketch tail relative to the inert n=1 baseline.
+    let with_level = |n: u32| {
+        let params = base()
+            .cpu_speeds(Some(vec![1.5, 1.0, 1.0, 0.5]))
+            .arrivals(Some(busy_arrivals()))
+            .redundancy(Some(RedundancySpec {
+                max_level: n,
+                hedge_prob: 1.0,
+                load_threshold: 3.0,
+                full_threshold: 0.5,
+            }))
+            .build()
+            .expect("valid params");
+        RunConfig::new(params, PolicyKind::Random)
+            .seed(7_117)
+            .windows(400.0, 8_000.0)
+    };
+    let inert = run(&with_level(1)).expect("inert baseline");
+    let hedged = run(&with_level(2)).expect("hedged run");
+    let again = run(&with_level(2)).expect("hedged rerun");
+    assert!(hedged == again, "hedged live run is not deterministic");
+    assert_eq!(
+        inert.hedged_dispatched, 0,
+        "a level-1 spec must never hedge"
+    );
+    assert!(hedged.hedged_dispatched > 0, "hedging never fired");
+    assert!(hedged.hedge_wins > 0, "no duplicate ever won a race");
+    assert!(
+        hedged.sketch_p99 <= inert.sketch_p99,
+        "hedging lengthened the live tail: p99 {} at n=2 vs {} at n=1",
+        hedged.sketch_p99,
+        inert.sketch_p99
+    );
+    // The replicated worker pool hands out the same seeds the serial
+    // loop would, hedging included: replication 0 is the serial run.
+    let rep = run_replicated_jobs(&with_level(2), 2, 3).expect("replicated hedged run");
+    assert!(
+        rep.reports[0] == hedged,
+        "worker pool perturbed a hedged replication"
     );
 }
 

@@ -7,7 +7,8 @@
 use dqa_core::experiment::{run, RunConfig};
 use dqa_core::model::DbSystem;
 use dqa_core::params::{
-    AdmissionSpec, DeadlineSpec, FaultSpec, SheddingMode, SuspicionSpec, SystemParams,
+    AdmissionSpec, DeadlineSpec, FaultSpec, RedundancySpec, SheddingMode, SuspicionSpec,
+    SystemParams,
 };
 use dqa_core::policy::PolicyKind;
 use dqa_sim::{Engine, SimTime};
@@ -61,6 +62,17 @@ fn partition(at: f64, for_: f64) -> FaultSpec {
         partition_for: for_,
         partition_groups: 2,
         ..FaultSpec::default()
+    }
+}
+
+/// An always-on hedging spec: every eligible query replicates to `n`
+/// sites, no load throttle, no backpressure cut-off.
+fn always_hedge(n: u32) -> RedundancySpec {
+    RedundancySpec {
+        max_level: n,
+        hedge_prob: 1.0,
+        load_threshold: 0.0,
+        full_threshold: 1.0,
     }
 }
 
@@ -380,6 +392,131 @@ fn scripted_faults_are_deterministic_and_rng_free() {
         a.completed > 0,
         "system stopped completing work under the script"
     );
+}
+
+#[test]
+fn inert_redundancy_specs_are_byte_identical_to_none() {
+    // The redundancy layer draws from its own RNG substream only when
+    // the spec is active (level >= 2 and a positive hedge coin), so a
+    // present-but-inert spec of any shape must reproduce the exact
+    // report — the same CRN discipline the other resilience specs obey.
+    for policy in [PolicyKind::Bnqrd, PolicyKind::Lert] {
+        let a = run(&RunConfig::new(base_params(), policy)
+            .seed(31)
+            .windows(1_000.0, 8_000.0))
+        .unwrap();
+        let inert_specs = [
+            RedundancySpec::default(),
+            RedundancySpec {
+                max_level: 1,
+                ..RedundancySpec::default()
+            },
+            RedundancySpec {
+                max_level: 3,
+                hedge_prob: 0.0,
+                ..RedundancySpec::default()
+            },
+        ];
+        for spec in inert_specs {
+            assert!(!spec.is_active());
+            let mut params = base_params();
+            params.redundancy = Some(spec);
+            let b = run(&RunConfig::new(params, policy)
+                .seed(31)
+                .windows(1_000.0, 8_000.0))
+            .unwrap();
+            assert!(
+                a == b,
+                "{policy}: inert redundancy spec perturbed the trajectory"
+            );
+        }
+    }
+}
+
+#[test]
+fn hedged_dispatch_preserves_station_invariants() {
+    // Always-on n=2 hedging cancels losers in every phase — mid-transfer,
+    // queued at a disk, in PS service, backing off. After each reap the
+    // station populations and the load table must still balance exactly;
+    // the checkpointed invariants catch any unwind that leaks a resident.
+    for policy in [PolicyKind::Bnqrd, PolicyKind::Lert] {
+        let mut params = base_params();
+        params.redundancy = Some(always_hedge(2));
+        let engine = run_with_invariants(params, policy, 4_321, 10_000.0);
+        let m = engine.model().metrics();
+        assert!(
+            m.hedged_dispatched() > 0,
+            "{policy}: hedging should actually fire"
+        );
+        assert!(
+            m.hedge_wins() > 0,
+            "{policy}: duplicates should win some races"
+        );
+        assert!(
+            m.hedge_cancelled() > 0,
+            "{policy}: losing attempts should be reaped"
+        );
+        assert!(
+            m.hedge_cancelled() <= m.hedge_duplicates(),
+            "{policy}: at n=2 each decided group reaps exactly one loser, \
+             so reaps cannot exceed duplicates: {} vs {}",
+            m.hedge_cancelled(),
+            m.hedge_duplicates()
+        );
+        assert!(m.completed() > 0, "{policy}: system still completes work");
+    }
+}
+
+#[test]
+fn hedging_composes_with_deadlines_without_double_counting() {
+    // Tight deadlines race the first-win cancellation: a decided group's
+    // losing attempt can expire while its cancel frame is still on the
+    // wire, and must never be re-counted as an abandonment or a loss —
+    // each logical query gets exactly one outcome.
+    let mut params = base_params();
+    params.deadlines = Some(tight_deadlines(1));
+    params.redundancy = Some(always_hedge(2));
+    let engine = run_with_invariants(params, PolicyKind::Bnqrd, 8_888, 10_000.0);
+    let m = engine.model().metrics();
+    assert!(m.hedged_dispatched() > 0, "hedging should fire");
+    assert!(m.deadline_timeouts() > 0, "deadlines should fire");
+    let outcomes = m.completed() + m.deadline_abandoned() + m.queries_lost();
+    assert!(
+        outcomes <= m.submitted(),
+        "outcomes double-counted: {} submitted but {} resolved",
+        m.submitted(),
+        outcomes
+    );
+}
+
+#[test]
+fn fully_resilient_hedged_runs_are_deterministic() {
+    // Every layer at once *plus* always-on hedging: deadlines, suspicion,
+    // admission with redirect shedding, a mid-run partition, and n=2
+    // redundancy — still a pure function of the seed, with each layer
+    // demonstrably live in the same run.
+    let config = || {
+        let mut params = broadcast_params();
+        params.deadlines = Some(tight_deadlines(2));
+        params.suspicion = Some(SuspicionSpec::default());
+        params.admission = Some(AdmissionSpec {
+            mpl_cap: Some(3),
+            mode: SheddingMode::Redirect,
+            ..AdmissionSpec::default()
+        });
+        params.faults = Some(partition(2_000.0, 2_000.0));
+        params.redundancy = Some(always_hedge(2));
+        RunConfig::new(params, PolicyKind::Bnqrd)
+            .seed(321)
+            .windows(1_000.0, 8_000.0)
+    };
+    let a = run(&config()).unwrap();
+    let b = run(&config()).unwrap();
+    assert!(a == b, "same seed, same config, different report");
+    assert!(a.hedged_dispatched > 0, "hedging never fired");
+    assert!(a.hedge_wins > 0, "no duplicate ever won");
+    assert!(a.deadline_timeouts > 0, "deadlines never fired");
+    assert!(a.partition_drops > 0, "the partition never dropped a frame");
 }
 
 #[test]

@@ -13,7 +13,7 @@ use dqa_core::experiment::{run, run_sharded, RunConfig, RunReport};
 use dqa_core::model::shard::{lookahead, shardable, ShardError, ShardGate};
 use dqa_core::params::{
     AdmissionSpec, ClassSpec, DeadlineSpec, FaultSpec, MessageCosting, MigrationSpec,
-    SuspicionSpec, SystemParams, SystemParamsBuilder,
+    RedundancySpec, SuspicionSpec, SystemParams, SystemParamsBuilder,
 };
 use dqa_core::policy::PolicyKind;
 
@@ -209,6 +209,25 @@ fn gate_refuses_active_admission() {
 }
 
 #[test]
+fn gate_refuses_active_redundancy() {
+    // Hedged duplicates are spawned and cancelled off the window
+    // barrier, so an *active* redundancy spec is unshardable.
+    let params = base()
+        .redundancy(Some(RedundancySpec {
+            max_level: 2,
+            ..RedundancySpec::default()
+        }))
+        .build()
+        .expect("valid params");
+    assert_eq!(shardable(&params), Err(ShardGate::Redundancy));
+    let err = run_sharded(&config(params, PolicyKind::Bnq), 2).expect_err("gated");
+    assert!(matches!(
+        err,
+        ShardError::Unsupported(ShardGate::Redundancy)
+    ));
+}
+
+#[test]
 fn gate_refuses_perfect_board() {
     let params = SystemParams::builder()
         .num_sites(3)
@@ -224,6 +243,7 @@ fn gate_accepts_inactive_resilience_specs() {
     let params = base()
         .deadlines(Some(DeadlineSpec::default()))
         .admission(Some(AdmissionSpec::default()))
+        .redundancy(Some(RedundancySpec::default()))
         .build()
         .expect("valid params");
     assert_eq!(shardable(&params), Ok(()));
