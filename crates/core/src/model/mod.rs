@@ -448,6 +448,7 @@ fn site_full(sh: &Shared<'_>, me: &Lp, site: SiteId) -> bool {
     if site == me.index {
         lp_full(sh.params, me)
     } else {
+        // dqa-lint: allow(shard-isolation) -- ShardGate::Admission: remote load-table peek behind the admission gate; sharded runs refuse admission instead
         match sh.cross.as_ref().and_then(|c| c.lp(site)) {
             Some(lp) => lp_full(sh.params, lp),
             None => false,
@@ -748,6 +749,7 @@ impl Lp {
             },
         ));
         if !targets.is_empty() {
+            // dqa-lint: allow(shard-isolation) -- ShardGate::Redundancy: hedge spawn crosses sites via the executor's deferred drain
             self.deferred.push(Deferred::Hedge { query: id, targets });
         }
     }
@@ -885,6 +887,7 @@ impl Lp {
             return;
         }
         if expired {
+            // dqa-lint: allow(shard-isolation) -- ShardGate::Deadlines: expiry cancellation reallocates at the coordinator, drained by the executor
             self.deferred.push(Deferred::Cancel(id));
             return;
         }
@@ -970,6 +973,7 @@ impl Lp {
         // registry. Hedged attempts are always reads, so no propagation
         // spawn is skipped here.
         if self.query(id).hedge_group.is_some() {
+            // dqa-lint: allow(shard-isolation) -- ShardGate::Redundancy: first-win resolution consults the global hedge registry at the drain point
             self.deferred.push(Deferred::HedgeFinish(id));
             return;
         }
@@ -1288,7 +1292,13 @@ impl Lp {
     /// `backoff_base · 2^(attempt−1) · U(0.5, 1.5)`, from this site's own
     /// jitter stream.
     fn backoff_delay(&mut self, params: &SystemParams, attempt: u32) -> f64 {
-        let spec = params.faults.expect("fault layer active");
+        // Retries exist only under an active fault process or a fault
+        // script (which validation ties to a present fault layer), so
+        // the filter can never drop a legitimately-reached draw.
+        let spec = params
+            .faults
+            .filter(|f| f.is_active() || !params.script.is_empty())
+            .expect("fault layer active");
         let exp = attempt.saturating_sub(1).min(16);
         spec.backoff_base * f64::from(1u32 << exp) * self.rng_fault_backoff.uniform(0.5, 1.5)
     }
@@ -1333,6 +1343,7 @@ impl Lp {
         // An abandoned hedged primary takes its duplicates with it: the
         // logical query gets exactly one terminal outcome.
         if let Some(group) = q.hedge_group {
+            // dqa-lint: allow(shard-isolation) -- ShardGate::Redundancy: abandoning a hedged primary dissolves its cross-site group
             self.deferred.push(Deferred::HedgeAbandon { group });
         }
         self.obs.push((now, Obs::Lost));
@@ -1354,6 +1365,7 @@ impl Lp {
         let q = self.take_query(id);
         // As in `lose_local`: a shed hedged primary dissolves its group.
         if let Some(group) = q.hedge_group {
+            // dqa-lint: allow(shard-isolation) -- ShardGate::Redundancy: abandoning a hedged primary dissolves its cross-site group
             self.deferred.push(Deferred::HedgeAbandon { group });
         }
         if matches!(sh.params.workload, Workload::Closed) && q.kind != QueryKind::Propagation {
@@ -1376,6 +1388,7 @@ impl Lp {
         self.obs
             .push((now, Obs::HedgeCancelled { wasted: q.service }));
         if let Some(group) = q.hedge_group {
+            // dqa-lint: allow(shard-isolation) -- ShardGate::Redundancy: retiring a cancelled attempt updates the global hedge registry
             self.deferred.push(Deferred::HedgeRetire { group, id });
         }
     }
@@ -1399,6 +1412,14 @@ impl Lp {
         sh: &Shared<'_>,
         sink: &mut dyn EventSink,
     ) -> bool {
+        // A resilience retry is reached only downstream of an active
+        // deadline or admission layer; asserting that here keeps the
+        // jitter draw below provably inert in baseline configurations.
+        assert!(
+            sh.params.deadlines.is_some_and(|d| d.is_active())
+                || sh.params.admission.is_some_and(|a| a.is_active()),
+            "resilience retry without an active deadline/admission layer"
+        );
         let attempts = {
             let q = self.query_mut(id);
             match counter {
@@ -1452,6 +1473,7 @@ impl Lp {
         let slack = spec.floor + self.rng_deadline.exponential(spec.mean);
         let at = now + slack;
         self.query_mut(id).deadline_at = at;
+        // dqa-lint: allow(shard-isolation) -- ShardGate::Deadlines: the expiry timer is scheduled through the executor's deferred drain
         self.deferred.push(Deferred::Schedule(
             at,
             Event::DeadlineExpire {
@@ -2574,6 +2596,13 @@ impl DbSystem {
         counter: RetryCounter,
         sink: &mut dyn EventSink,
     ) -> bool {
+        // Same invariant as `resilience_retry_local`: only an active
+        // deadline or admission layer can route a query here.
+        assert!(
+            self.params.deadlines.is_some_and(|d| d.is_active())
+                || self.params.admission.is_some_and(|a| a.is_active()),
+            "resilience retry without an active deadline/admission layer"
+        );
         let attempts = {
             let q = self.lps[site].query_mut(id);
             match counter {

@@ -1,7 +1,7 @@
-//! Findings and their rendering.
+//! Findings, allow records, and their rendering (human and JSON).
 
 use std::fmt;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// One rule violation at one source location.
 #[derive(Debug, Clone)]
@@ -68,4 +68,178 @@ impl fmt::Display for Finding {
 pub fn sort_findings(findings: &mut [Finding]) {
     findings
         .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+}
+
+/// One justified inline suppression, as recorded by the engine — the
+/// machine-readable audit trail behind every silenced finding.
+#[derive(Debug, Clone)]
+pub struct AllowRecord {
+    /// The rules the comment allows.
+    pub rules: Vec<String>,
+    /// Path of the file carrying the comment, workspace-relative.
+    pub path: PathBuf,
+    /// 1-based line of the comment.
+    pub line: usize,
+    /// The justification text after ` -- `.
+    pub justification: String,
+    /// How many findings this suppression silenced in this run.
+    pub suppressed: usize,
+}
+
+/// A full analysis result: surviving findings plus the justified allows
+/// encountered along the way.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// Findings that survived suppressions and budgets, sorted.
+    pub findings: Vec<Finding>,
+    /// Every justified suppression in scanned files, sorted by location.
+    pub allows: Vec<AllowRecord>,
+}
+
+/// Escapes `s` for inclusion in a JSON string literal.
+#[must_use]
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_opt(value: Option<&str>) -> String {
+    value.map_or_else(|| "null".to_string(), |v| format!("\"{}\"", json_escape(v)))
+}
+
+/// Renders the analysis as a stable machine-readable JSON document:
+/// findings and allows in their sorted order, each with rule ids, spans
+/// and justification text. Hand-rolled (no serde in the offline
+/// container); the shape is pinned by unit tests and a CI parse step.
+#[must_use]
+pub fn render_json(analysis: &Analysis, root: &Path) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"version\": 1,\n");
+    out.push_str(&format!(
+        "  \"root\": \"{}\",\n",
+        json_escape(&root.display().to_string())
+    ));
+    out.push_str("  \"findings\": [");
+    for (i, f) in analysis.findings.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"path\": \"{}\", \"crate\": {}, \"line\": {}, \
+             \"col\": {}, \"offset\": {}, \"message\": \"{}\", \"help\": {}, \
+             \"snippet\": {}}}",
+            json_escape(f.rule),
+            json_escape(&f.path.display().to_string()),
+            json_opt((!f.crate_name.is_empty()).then_some(f.crate_name.as_str())),
+            f.line,
+            f.col,
+            f.offset,
+            json_escape(&f.message),
+            json_opt(f.help.as_deref()),
+            json_opt(f.snippet.as_deref()),
+        ));
+    }
+    out.push_str(if analysis.findings.is_empty() {
+        "],\n"
+    } else {
+        "\n  ],\n"
+    });
+    out.push_str("  \"allows\": [");
+    for (i, a) in analysis.allows.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        let rules: Vec<String> = a
+            .rules
+            .iter()
+            .map(|r| format!("\"{}\"", json_escape(r)))
+            .collect();
+        out.push_str(&format!(
+            "    {{\"rules\": [{}], \"path\": \"{}\", \"line\": {}, \
+             \"justification\": \"{}\", \"suppressed\": {}}}",
+            rules.join(", "),
+            json_escape(&a.path.display().to_string()),
+            a.line,
+            json_escape(&a.justification),
+            a.suppressed,
+        ));
+    }
+    out.push_str(if analysis.allows.is_empty() {
+        "],\n"
+    } else {
+        "\n  ],\n"
+    });
+    out.push_str(&format!(
+        "  \"summary\": {{\"findings\": {}, \"allows\": {}}}\n}}\n",
+        analysis.findings.len(),
+        analysis.allows.len()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(json_escape("x\ny\tz"), "x\\ny\\tz");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn empty_analysis_renders_empty_arrays() {
+        let doc = render_json(&Analysis::default(), Path::new("/ws"));
+        assert!(doc.contains("\"version\": 1"));
+        assert!(doc.contains("\"findings\": [],"));
+        assert!(doc.contains("\"allows\": [],"));
+        assert!(doc.contains("\"summary\": {\"findings\": 0, \"allows\": 0}"));
+    }
+
+    #[test]
+    fn populated_analysis_renders_records() {
+        let analysis = Analysis {
+            findings: vec![Finding {
+                rule: "draw-guardedness",
+                path: PathBuf::from("crates/app/src/lib.rs"),
+                crate_name: "app".to_string(),
+                line: 3,
+                col: 9,
+                offset: 41,
+                message: "draw \"x\" unguarded".to_string(),
+                help: None,
+                snippet: Some("let x = rng.next();".to_string()),
+            }],
+            allows: vec![AllowRecord {
+                rules: vec!["shard-isolation".to_string()],
+                path: PathBuf::from("crates/app/src/lib.rs"),
+                line: 7,
+                justification: "ShardGate::Deadlines: drained by the executor".to_string(),
+                suppressed: 1,
+            }],
+        };
+        let doc = render_json(&analysis, Path::new("/ws"));
+        assert!(doc.contains("\"rule\": \"draw-guardedness\""));
+        assert!(doc.contains("\"crate\": \"app\""));
+        assert!(doc.contains("\"message\": \"draw \\\"x\\\" unguarded\""));
+        assert!(doc.contains("\"help\": null"));
+        assert!(doc.contains("\"rules\": [\"shard-isolation\"]"));
+        assert!(doc.contains("\"suppressed\": 1"));
+        assert!(doc.contains("\"summary\": {\"findings\": 1, \"allows\": 1}"));
+        // Shape sanity: braces and brackets balance.
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            let opens = doc.matches(open).count();
+            let closes = doc.matches(close).count();
+            assert_eq!(opens, closes, "unbalanced {open}{close}");
+        }
+    }
 }

@@ -6,7 +6,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use crate::config::{Config, RuleConfig};
-use crate::diagnostics::{sort_findings, Finding};
+use crate::diagnostics::{sort_findings, AllowRecord, Analysis, Finding};
 use crate::lexer::{self, Token};
 use crate::rules;
 
@@ -446,6 +446,16 @@ pub fn file_in_scope(file: &SourceFile, cfg: &RuleConfig) -> bool {
 ///
 /// Returns any I/O error met while loading the workspace.
 pub fn run(root: &Path, config: &Config) -> io::Result<Vec<Finding>> {
+    run_full(root, config).map(|a| a.findings)
+}
+
+/// Like [`run`], but also returns the justified-suppression audit trail
+/// (for `--format json` and the EXPERIMENTS.md self-audit table).
+///
+/// # Errors
+///
+/// Returns any I/O error met while loading the workspace.
+pub fn run_full(root: &Path, config: &Config) -> io::Result<Analysis> {
     let workspace = load_workspace(root)?;
     let mut findings = Vec::new();
 
@@ -511,24 +521,59 @@ pub fn run(root: &Path, config: &Config) -> io::Result<Vec<Finding>> {
     }
 
     // Honor justified suppressions (unjustified ones were flagged above
-    // and do NOT silence anything).
-    findings.retain(|f| {
+    // and do NOT silence anything), counting what each one silenced for
+    // the allow audit trail.
+    let mut suppressed: std::collections::BTreeMap<(PathBuf, usize), usize> =
+        std::collections::BTreeMap::new();
+    let mut kept = Vec::with_capacity(findings.len());
+    for f in findings {
         if f.rule == rules::META_RULE {
-            return true;
+            kept.push(f);
+            continue;
         }
-        workspace.file(&f.path).is_none_or(|file| {
-            !file.suppressions.iter().any(|sup| {
-                sup.justification.is_some()
-                    && (sup.line == f.line || sup.line + 1 == f.line)
-                    && sup.rules.iter().any(|r| r == f.rule)
-            })
-        })
-    });
+        let hit = workspace.file(&f.path).and_then(|file| {
+            file.suppressions
+                .iter()
+                .find(|sup| {
+                    sup.justification.is_some()
+                        && (sup.line == f.line || sup.line + 1 == f.line)
+                        && sup.rules.iter().any(|r| r == f.rule)
+                })
+                .map(|sup| sup.line)
+        });
+        match hit {
+            Some(line) => *suppressed.entry((f.path.clone(), line)).or_insert(0) += 1,
+            None => kept.push(f),
+        }
+    }
+    let mut findings = kept;
 
     // Budget semantics for unwrap-budget: a crate within its configured
     // budget reports nothing; one over it reports every site.
     rules::unwrap_budget::apply_budget(&mut findings, &config.rule(rules::unwrap_budget::NAME));
 
     sort_findings(&mut findings);
-    Ok(findings)
+
+    let mut allows: Vec<AllowRecord> = workspace
+        .files
+        .iter()
+        .flat_map(|file| {
+            file.suppressions.iter().filter_map(|sup| {
+                let justification = sup.justification.clone()?;
+                Some(AllowRecord {
+                    rules: sup.rules.clone(),
+                    path: file.rel_path.clone(),
+                    line: sup.line,
+                    justification,
+                    suppressed: suppressed
+                        .get(&(file.rel_path.clone(), sup.line))
+                        .copied()
+                        .unwrap_or(0),
+                })
+            })
+        })
+        .collect();
+    allows.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+
+    Ok(Analysis { findings, allows })
 }

@@ -1,0 +1,705 @@
+//! Workspace-local name resolution and call-graph approximation.
+//!
+//! [`Index`] ties the per-file [`crate::syntax`] structure together into
+//! the cross-file facts the flow-aware rules need:
+//!
+//! * **functions by name** — bare and `Type::`-qualified — with their
+//!   parsed bodies;
+//! * **call sites** per function (`ident (` pairs, keyword-filtered),
+//!   plus the reverse map: who calls a given bare name, and from where;
+//! * **field initializers** (`name : expr` at the top level of any brace
+//!   group), which is how `rng_deadline: substreams::per_site(root,
+//!   substreams::DEADLINE, site)` ties a field name to its substream tag;
+//! * **guard pools**: for a byte offset, the dominating guard-context
+//!   spans ([`crate::syntax::guard_spans`]) expanded by splicing in what
+//!   the mentioned names *are* — local binding initializers, field
+//!   initializers, and the bodies of small accessor functions (so
+//!   `let f = self.fault_mut();` pools `self.fault…expect("fault layer
+//!   active")`).
+//!
+//! # Soundness model
+//!
+//! Resolution is by *name*, not by type: two methods sharing a bare name
+//! are merged, every same-named field is spliced. For guardedness this
+//! errs conservative on the call graph (more alleged callers must all be
+//! guarded) but permissive on pools (an unrelated same-named field could
+//! satisfy a keyword). Guard *polarity* is not tracked either: the pool
+//! asks "does a dominating context mention the spec source and its
+//! activation predicate", not "with which sign". Both caveats are
+//! documented in DESIGN.md §15 and backstopped by the mutation
+//! self-tests, which seed a draw with *no* dominating context or caller
+//! — a shape no amount of pool permissiveness can mask.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::engine::SourceFile;
+use crate::lexer::TokenKind;
+use crate::syntax::{self, FileSyntax, FnDef, Span};
+
+/// Keywords that look like `ident (` but are not calls.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "fn", "let", "in", "as", "move", "else",
+    "unsafe", "pub", "where", "impl",
+];
+
+/// Limits keeping pool expansion bounded and deterministic.
+const POOL_ROUNDS: usize = 3;
+const POOL_MAX_SPANS: usize = 96;
+const SPLICE_FN_MAX_TOKENS: usize = 60;
+const CALLER_DEPTH_MAX: usize = 6;
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// The called bare name.
+    pub name: String,
+    /// Byte offset of the name token.
+    pub offset: usize,
+    /// Whether the receiver is literally `self.` (enables impl-local
+    /// resolution before falling back to every same-named fn).
+    pub self_call: bool,
+    /// The `Path::` segment directly before the name, when present.
+    /// An uppercase qualifier (`HedgeGroup::new`) resolves qualified-only
+    /// — a miss means an out-of-workspace type, not "any fn named `new`".
+    pub qualifier: Option<String>,
+}
+
+/// One function in the index.
+#[derive(Debug)]
+pub struct FnEntry {
+    /// Index into [`Index::files`].
+    pub file: usize,
+    /// Index into that file's [`FileSyntax::fns`].
+    pub local: usize,
+    /// Number of code tokens in the body (splice-size gating).
+    pub body_tokens: usize,
+}
+
+/// A use of a stream-bound name (a potential RNG draw site).
+#[derive(Debug, Clone)]
+pub struct DrawSite {
+    /// Index into [`Index::files`].
+    pub file: usize,
+    /// Byte offset of the name token.
+    pub offset: usize,
+    /// The bound name used (`rng_deadline`, `rng_crash`, …).
+    pub name: String,
+    /// The registry tag the name is bound to (`DEADLINE`, …).
+    pub tag: String,
+}
+
+/// The workspace-local semantic index. Lifetimes tie it to the engine's
+/// [`crate::engine::Workspace`]; build one per rule invocation over the
+/// rule's in-scope files.
+pub struct Index<'w> {
+    /// The indexed files, in the order given to [`Index::build`].
+    pub files: Vec<&'w SourceFile>,
+    /// Parsed structure per file, parallel to `files`.
+    pub syntax: Vec<FileSyntax>,
+    /// Every function across all files.
+    pub fns: Vec<FnEntry>,
+    by_bare: BTreeMap<String, Vec<usize>>,
+    by_qualified: BTreeMap<String, Vec<usize>>,
+    field_inits: BTreeMap<String, Vec<(usize, Span)>>,
+    calls: Vec<Vec<CallSite>>,
+    callers: BTreeMap<String, Vec<(usize, usize)>>,
+}
+
+impl<'w> Index<'w> {
+    /// Parses and indexes `files`. Functions whose definition sits in a
+    /// `#[cfg(test)]` region are skipped when `include_tests` is false,
+    /// so test-only callers cannot influence guardedness verdicts.
+    #[must_use]
+    pub fn build(files: Vec<&'w SourceFile>, include_tests: bool) -> Self {
+        let mut syntax = Vec::with_capacity(files.len());
+        let mut fns = Vec::new();
+        let mut by_bare: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut by_qualified: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (fi, file) in files.iter().enumerate() {
+            let parsed = syntax::parse(&file.text, &file.tokens);
+            for (li, def) in parsed.fns.iter().enumerate() {
+                if !include_tests && file.in_test_region(def.sig_start) {
+                    continue;
+                }
+                let body_tokens = file
+                    .code_tokens()
+                    .filter(|t| t.start >= def.body_span.0 && t.end <= def.body_span.1)
+                    .count();
+                let g = fns.len();
+                fns.push(FnEntry {
+                    file: fi,
+                    local: li,
+                    body_tokens,
+                });
+                by_bare.entry(def.name.clone()).or_default().push(g);
+                by_qualified
+                    .entry(def.qualified.clone())
+                    .or_default()
+                    .push(g);
+            }
+            syntax.push(parsed);
+        }
+        let mut idx = Index {
+            files,
+            syntax,
+            fns,
+            by_bare,
+            by_qualified,
+            field_inits: BTreeMap::new(),
+            calls: Vec::new(),
+            callers: BTreeMap::new(),
+        };
+        idx.scan_field_inits(include_tests);
+        idx.scan_calls(include_tests);
+        idx
+    }
+
+    /// The file and parsed definition of function `g`.
+    #[must_use]
+    pub fn fn_def(&self, g: usize) -> (&SourceFile, &FnDef) {
+        let e = &self.fns[g];
+        (self.files[e.file], &self.syntax[e.file].fns[e.local])
+    }
+
+    /// Functions with qualified name `name` (`Lp::handle`), falling back
+    /// to bare-name matches when `name` has no `::`.
+    #[must_use]
+    pub fn resolve(&self, name: &str) -> Vec<usize> {
+        if name.contains("::") {
+            self.by_qualified.get(name).cloned().unwrap_or_default()
+        } else {
+            self.by_bare.get(name).cloned().unwrap_or_default()
+        }
+    }
+
+    /// The call sites inside function `g`.
+    #[must_use]
+    pub fn calls_of(&self, g: usize) -> &[CallSite] {
+        &self.calls[g]
+    }
+
+    // -- construction ------------------------------------------------
+
+    fn scan_field_inits(&mut self, include_tests: bool) {
+        for (fi, file) in self.files.iter().enumerate() {
+            let code: Vec<_> = file.code_tokens().collect();
+            let mut inits = Vec::new();
+            scan_groups(&file.text, &code, 0, code.len(), &mut inits);
+            for (name, span) in inits {
+                if !include_tests && file.in_test_region(span.0) {
+                    continue;
+                }
+                self.field_inits.entry(name).or_default().push((fi, span));
+            }
+        }
+    }
+
+    fn scan_calls(&mut self, include_tests: bool) {
+        self.calls = vec![Vec::new(); self.fns.len()];
+        for g in 0..self.fns.len() {
+            let e = &self.fns[g];
+            let file = self.files[e.file];
+            let def = &self.syntax[e.file].fns[e.local];
+            let code: Vec<_> = file.code_tokens().collect();
+            let mut sites = Vec::new();
+            for (i, tok) in code.iter().enumerate() {
+                if tok.start < def.body_span.0 || tok.end > def.body_span.1 {
+                    continue;
+                }
+                if tok.kind != TokenKind::Ident {
+                    continue;
+                }
+                let name = tok.text(&file.text);
+                if NON_CALL_KEYWORDS.contains(&name) {
+                    continue;
+                }
+                if code.get(i + 1).map(|t| t.text(&file.text)) != Some("(") {
+                    continue;
+                }
+                if !include_tests && file.in_test_region(tok.start) {
+                    continue;
+                }
+                // Skip the function's own definition header tokens (a
+                // nested fn's name is followed by `(` too).
+                if code.get(i.wrapping_sub(1)).map(|t| t.text(&file.text)) == Some("fn") {
+                    continue;
+                }
+                let self_call = i >= 2
+                    && code[i - 1].text(&file.text) == "."
+                    && code[i - 2].text(&file.text) == "self";
+                let qualifier = (i >= 2
+                    && code[i - 1].text(&file.text) == "::"
+                    && code[i - 2].kind == TokenKind::Ident)
+                    .then(|| code[i - 2].text(&file.text).to_string());
+                sites.push(CallSite {
+                    name: name.to_string(),
+                    offset: tok.start,
+                    self_call,
+                    qualifier,
+                });
+            }
+            // Keep only sites belonging to *this* fn (not a nested fn
+            // re-indexed separately).
+            let my_fns: Vec<Span> = self.syntax[e.file]
+                .fns
+                .iter()
+                .filter(|other| {
+                    other.sig_start != def.sig_start
+                        && other.body_span.0 > def.body_span.0
+                        && other.body_span.1 <= def.body_span.1
+                })
+                .map(|other| other.body_span)
+                .collect();
+            sites.retain(|s| !my_fns.iter().any(|&sp| syntax::span_contains(sp, s.offset)));
+            self.calls[g] = sites;
+        }
+        for (g, sites) in self.calls.iter().enumerate() {
+            for site in sites {
+                self.callers
+                    .entry(site.name.clone())
+                    .or_default()
+                    .push((g, site.offset));
+            }
+        }
+    }
+
+    // -- guard pools -------------------------------------------------
+
+    /// The guard pool for `offset` inside function `g`: dominating
+    /// context spans plus up to [`POOL_ROUNDS`] rounds of name splicing
+    /// (binding initializers, field initializers, small fn bodies).
+    #[must_use]
+    pub fn guard_pool(&self, g: usize, offset: usize) -> Vec<(usize, Span)> {
+        let e = &self.fns[g];
+        let file = self.files[e.file];
+        let def = &self.syntax[e.file].fns[e.local];
+        let mut spans: Vec<(usize, Span)> =
+            syntax::guard_spans(def, offset, &file.text, &file.tokens)
+                .into_iter()
+                .map(|s| (e.file, s))
+                .collect();
+        let mut expanded: BTreeSet<String> = BTreeSet::new();
+        for _ in 0..POOL_ROUNDS {
+            let mut fresh: BTreeSet<String> = BTreeSet::new();
+            for &(fi, span) in &spans {
+                for name in self.idents_in(fi, span) {
+                    if !expanded.contains(&name) {
+                        fresh.insert(name);
+                    }
+                }
+            }
+            if fresh.is_empty() || spans.len() >= POOL_MAX_SPANS {
+                break;
+            }
+            let mut added = Vec::new();
+            for name in fresh {
+                if let Some(init) =
+                    syntax::binding_init(def, &name, offset, &file.text, &file.tokens)
+                {
+                    added.push((e.file, init));
+                }
+                if let Some(inits) = self.field_inits.get(&name) {
+                    for &(fi, span) in inits.iter().take(4) {
+                        added.push((fi, span));
+                    }
+                }
+                if let Some(fn_ids) = self.by_bare.get(&name) {
+                    for &fg in fn_ids.iter().take(3) {
+                        let fe = &self.fns[fg];
+                        if fe.body_tokens <= SPLICE_FN_MAX_TOKENS {
+                            let fdef = &self.syntax[fe.file].fns[fe.local];
+                            added.push((fe.file, fdef.body_span));
+                        }
+                    }
+                }
+                expanded.insert(name);
+            }
+            if added.is_empty() {
+                break;
+            }
+            spans.extend(added);
+            spans.truncate(POOL_MAX_SPANS);
+        }
+        spans
+    }
+
+    /// Identifier tokens inside `span` of file `fi`.
+    fn idents_in(&self, fi: usize, span: Span) -> Vec<String> {
+        let file = self.files[fi];
+        file.code_tokens()
+            .filter(|t| t.kind == TokenKind::Ident && t.start >= span.0 && t.end <= span.1)
+            .map(|t| t.text(&file.text).to_string())
+            .collect()
+    }
+
+    /// Whether any span in `pool` contains the identifier `name`
+    /// (word-boundary: token-exact, not substring).
+    #[must_use]
+    pub fn pool_has(&self, pool: &[(usize, Span)], name: &str) -> bool {
+        pool.iter().any(|&(fi, span)| {
+            let file = self.files[fi];
+            file.code_tokens().any(|t| {
+                t.kind == TokenKind::Ident
+                    && t.start >= span.0
+                    && t.end <= span.1
+                    && t.text(&file.text) == name
+            })
+        })
+    }
+
+    /// Whether the draw (or call) at `offset` in function `g` is
+    /// dominated by a guard mentioning one of `sources` *and* one of
+    /// `preds` — locally, or at **every** call site of `g` (recursively,
+    /// to [`CALLER_DEPTH_MAX`]). A function with no known callers, a
+    /// recursion cycle, or an exhausted depth budget is *unguarded*:
+    /// every approximation failure surfaces as a finding, never as a
+    /// silent pass.
+    #[must_use]
+    pub fn is_guarded(
+        &self,
+        g: usize,
+        offset: usize,
+        sources: &[String],
+        preds: &[String],
+        depth: usize,
+        visiting: &mut BTreeSet<usize>,
+    ) -> bool {
+        let pool = self.guard_pool(g, offset);
+        if sources.iter().any(|s| self.pool_has(&pool, s))
+            && preds.iter().any(|p| self.pool_has(&pool, p))
+        {
+            return true;
+        }
+        if depth >= CALLER_DEPTH_MAX || !visiting.insert(g) {
+            return false;
+        }
+        let name = &self.fn_def(g).1.name;
+        let guarded = match self.callers.get(name.as_str()) {
+            None => false,
+            Some(sites) if sites.is_empty() => false,
+            Some(sites) => sites
+                .iter()
+                .all(|&(cg, coff)| self.is_guarded(cg, coff, sources, preds, depth + 1, visiting)),
+        };
+        visiting.remove(&g);
+        guarded
+    }
+
+    // -- stream bindings and draw sites ------------------------------
+
+    /// Names bound to registry-tagged streams: a field or `let`
+    /// initializer whose expression mentions a tag constant binds that
+    /// name to the tag (`rng_crash: root.substream(substreams::
+    /// FAULT_CRASH)` → `rng_crash` ↦ `FAULT_CRASH`). Each tag mention
+    /// binds only the *innermost* enclosing initializer, so an outer
+    /// field whose value is a struct literal (`fault: …FaultState {
+    /// rng_crash: …, … }`) does not absorb its children's tags.
+    #[must_use]
+    pub fn stream_bindings(&self, tags: &[String]) -> BTreeMap<String, BTreeSet<String>> {
+        // All initializer records: (name, file, span).
+        let mut records: Vec<(String, usize, Span)> = Vec::new();
+        for (name, inits) in &self.field_inits {
+            for &(fi, span) in inits {
+                records.push((name.clone(), fi, span));
+            }
+        }
+        for e in &self.fns {
+            let def = &self.syntax[e.file].fns[e.local];
+            for_each_let(&def.body.stmts, &mut |names, init| {
+                for name in names {
+                    records.push((name.clone(), e.file, init));
+                }
+            });
+        }
+        let mut bound: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        for (fi, file) in self.files.iter().enumerate() {
+            for tok in file.code_tokens() {
+                if tok.kind != TokenKind::Ident {
+                    continue;
+                }
+                let text = tok.text(&file.text);
+                let Some(tag) = tags.iter().find(|t| t.as_str() == text) else {
+                    continue;
+                };
+                // Innermost record containing this tag mention wins.
+                let winner = records
+                    .iter()
+                    .filter(|(_, rf, span)| *rf == fi && tok.start >= span.0 && tok.end <= span.1)
+                    .min_by_key(|(_, _, span)| span.1 - span.0);
+                // Pattern noise (`let Some(x) = …` records `Some` too)
+                // must not bind: stream bindings are snake_case names.
+                if let Some((name, _, _)) = winner {
+                    if name.chars().next().is_some_and(char::is_lowercase) {
+                        bound.entry(name.clone()).or_default().insert(tag.clone());
+                    }
+                }
+            }
+        }
+        bound
+    }
+
+    /// Every *use* of a stream-bound name: an identifier token equal to
+    /// a bound name that is not a declaration/initializer position
+    /// (followed by `:`) and not a rebinding (followed by `=`).
+    #[must_use]
+    pub fn draw_sites(&self, bindings: &BTreeMap<String, BTreeSet<String>>) -> Vec<DrawSite> {
+        let mut out = Vec::new();
+        for (fi, file) in self.files.iter().enumerate() {
+            let code: Vec<_> = file.code_tokens().collect();
+            for (i, tok) in code.iter().enumerate() {
+                if tok.kind != TokenKind::Ident {
+                    continue;
+                }
+                let name = tok.text(&file.text);
+                let Some(tags) = bindings.get(name) else {
+                    continue;
+                };
+                let next = code.get(i + 1).map(|t| t.text(&file.text));
+                if matches!(next, Some(":" | "=" | ",")) {
+                    continue;
+                }
+                for tag in tags {
+                    out.push(DrawSite {
+                        file: fi,
+                        offset: tok.start,
+                        name: name.to_string(),
+                        tag: tag.clone(),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// The innermost function containing `offset` in file `fi`.
+    #[must_use]
+    pub fn enclosing_fn(&self, fi: usize, offset: usize) -> Option<usize> {
+        let def = self.syntax[fi].fn_at(offset)?;
+        self.fns
+            .iter()
+            .position(|e| e.file == fi && std::ptr::eq(&self.syntax[e.file].fns[e.local], def))
+    }
+
+    /// Functions reachable from `roots` (qualified names) through the
+    /// call graph. A `self.`-receiver call first tries the caller's own
+    /// impl type (`Lp::helper`) and only falls back to every same-named
+    /// function when the impl has none — keeping `Lp::handle`'s closure
+    /// from swallowing a same-named global method.
+    #[must_use]
+    pub fn reachable_from(&self, roots: &[String]) -> BTreeSet<usize> {
+        let mut seen: BTreeSet<usize> = BTreeSet::new();
+        let mut work: Vec<usize> = roots.iter().flat_map(|r| self.resolve(r)).collect();
+        while let Some(g) = work.pop() {
+            if !seen.insert(g) {
+                continue;
+            }
+            let impl_ty = {
+                let (_, def) = self.fn_def(g);
+                def.qualified
+                    .rsplit_once("::")
+                    .map(|(ty, _)| ty.to_string())
+            };
+            for site in &self.calls[g] {
+                let targets: Vec<usize> = if site.self_call {
+                    let local = impl_ty
+                        .as_ref()
+                        .map(|ty| self.resolve(&format!("{ty}::{}", site.name)))
+                        .unwrap_or_default();
+                    if local.is_empty() {
+                        self.resolve(&site.name)
+                    } else {
+                        local
+                    }
+                } else if let Some(q) = &site.qualifier {
+                    let q = if q == "Self" {
+                        impl_ty.clone().unwrap_or_else(|| q.clone())
+                    } else {
+                        q.clone()
+                    };
+                    if q.chars().next().is_some_and(char::is_uppercase) {
+                        // Type-qualified: a miss is an external type (or
+                        // an enum constructor), not license to merge
+                        // every same-named method in the workspace.
+                        self.resolve(&format!("{q}::{}", site.name))
+                    } else {
+                        // Module-qualified (`obs::apply`): module paths
+                        // are not tracked, so fall back to the bare name.
+                        self.resolve(&site.name)
+                    }
+                } else {
+                    self.resolve(&site.name)
+                };
+                for t in targets {
+                    if !seen.contains(&t) {
+                        work.push(t);
+                    }
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// Walks every `let` statement (recursively) in `stmts`, invoking `f`
+/// with the bound names and the initializer span.
+fn for_each_let(stmts: &[syntax::Stmt], f: &mut impl FnMut(&[String], Span)) {
+    use syntax::StmtKind;
+    for stmt in stmts {
+        match &stmt.kind {
+            StmtKind::Let {
+                names,
+                init,
+                nested,
+                else_block,
+            } => {
+                if let Some(init) = init {
+                    f(names, *init);
+                }
+                for_each_let(nested, f);
+                if let Some(b) = else_block {
+                    for_each_let(&b.stmts, f);
+                }
+            }
+            StmtKind::If {
+                then_block,
+                else_block,
+                ..
+            } => {
+                for_each_let(&then_block.stmts, f);
+                if let Some(b) = else_block {
+                    for_each_let(&b.stmts, f);
+                }
+            }
+            StmtKind::Match { arms, .. } => {
+                for arm in arms {
+                    for_each_let(&arm.body, f);
+                }
+            }
+            StmtKind::Loop { body, .. } | StmtKind::Block(body) => {
+                for_each_let(&body.stmts, f);
+            }
+            StmtKind::Plain { nested } => for_each_let(nested, f),
+        }
+    }
+}
+
+/// Recursively records `name : expr` pairs at the top level of every
+/// brace group (struct literals; struct declarations contribute inert
+/// type-text noise).
+fn scan_groups(
+    src: &str,
+    code: &[&crate::lexer::Token],
+    from: usize,
+    end: usize,
+    out: &mut Vec<(String, Span)>,
+) {
+    let mut i = from;
+    while i < end {
+        match code[i].text(src) {
+            "{" => {
+                let close = skip_balanced(src, code, i, end);
+                scan_brace_children(src, code, i + 1, close.saturating_sub(1), out);
+                i = close;
+            }
+            "(" | "[" => {
+                let close = skip_balanced(src, code, i, end);
+                scan_groups(src, code, i + 1, close.saturating_sub(1), out);
+                i = close;
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+fn scan_brace_children(
+    src: &str,
+    code: &[&crate::lexer::Token],
+    from: usize,
+    end: usize,
+    out: &mut Vec<(String, Span)>,
+) {
+    let mut i = from;
+    let mut at_item_start = true;
+    while i < end {
+        let t = code[i].text(src);
+        if at_item_start
+            && code[i].kind == TokenKind::Ident
+            && code.get(i + 1).is_some_and(|n| n.text(src) == ":")
+            && i + 2 < end
+        {
+            let name = t.to_string();
+            // The value runs to `,` or `;` at this level.
+            let mut j = i + 2;
+            while j < end {
+                let vt = code[j].text(src);
+                if vt == "," || vt == ";" {
+                    break;
+                }
+                if matches!(vt, "(" | "[" | "{") {
+                    j = skip_balanced(src, code, j, end);
+                } else {
+                    j += 1;
+                }
+            }
+            if j > i + 2 {
+                out.push((name, (code[i + 2].start, code[j - 1].end)));
+                scan_groups(src, code, i + 2, j, out);
+            }
+            i = (j + 1).min(end);
+            at_item_start = true;
+            continue;
+        }
+        match t {
+            "{" => {
+                let close = skip_balanced(src, code, i, end);
+                scan_brace_children(src, code, i + 1, close.saturating_sub(1), out);
+                i = close;
+                at_item_start = true;
+            }
+            "(" | "[" => {
+                let close = skip_balanced(src, code, i, end);
+                scan_groups(src, code, i + 1, close.saturating_sub(1), out);
+                i = close;
+                at_item_start = false;
+            }
+            "," | ";" => {
+                i += 1;
+                at_item_start = true;
+            }
+            "=>" => {
+                i += 1;
+                at_item_start = true;
+            }
+            _ => {
+                i += 1;
+                at_item_start = false;
+            }
+        }
+    }
+}
+
+/// One past the delimiter matching the opener at `open` (bounded by
+/// `end`).
+fn skip_balanced(src: &str, code: &[&crate::lexer::Token], open: usize, end: usize) -> usize {
+    let (o, c) = match code[open].text(src) {
+        "(" => ("(", ")"),
+        "[" => ("[", "]"),
+        "{" => ("{", "}"),
+        _ => return open + 1,
+    };
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < end {
+        let t = code[i].text(src);
+        if t == o {
+            depth += 1;
+        } else if t == c {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    end
+}

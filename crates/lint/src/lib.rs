@@ -31,8 +31,10 @@
 pub mod config;
 pub mod diagnostics;
 pub mod engine;
+pub mod graph;
 pub mod lexer;
 pub mod rules;
+pub mod syntax;
 
 use std::io;
 use std::path::{Path, PathBuf};
@@ -44,13 +46,25 @@ use std::path::{Path, PathBuf};
 ///
 /// Returns an error for unreadable sources or an invalid `lint.toml`.
 pub fn run_workspace(root: &Path) -> Result<Vec<diagnostics::Finding>, Box<dyn std::error::Error>> {
+    run_workspace_full(root).map(|a| a.findings)
+}
+
+/// Like [`run_workspace`], but also returns the justified-suppression
+/// audit trail (what `--format json` emits).
+///
+/// # Errors
+///
+/// Returns an error for unreadable sources or an invalid `lint.toml`.
+pub fn run_workspace_full(
+    root: &Path,
+) -> Result<diagnostics::Analysis, Box<dyn std::error::Error>> {
     let config_path = root.join("lint.toml");
     let config = if config_path.is_file() {
         config::parse(&std::fs::read_to_string(&config_path)?)?
     } else {
         config::Config::default()
     };
-    Ok(engine::run(root, &config)?)
+    Ok(engine::run_full(root, &config)?)
 }
 
 /// Finds the workspace root: the nearest ancestor of `start` whose

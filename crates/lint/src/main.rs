@@ -11,10 +11,17 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+#[derive(PartialEq)]
+enum Format {
+    Human,
+    Json,
+}
+
 struct Args {
     deny: bool,
     quiet: bool,
     list_rules: bool,
+    format: Format,
     root: Option<PathBuf>,
 }
 
@@ -25,11 +32,13 @@ USAGE:
     dqa-lint [OPTIONS]
 
 OPTIONS:
-    --deny          exit non-zero when any finding survives
-    --root <PATH>   workspace root (default: nearest ancestor with [workspace])
-    --list-rules    print every rule with its description and exit
-    --quiet         print only the summary line, not the findings
-    -h, --help      this text
+    --deny            exit non-zero when any finding survives
+    --root <PATH>     workspace root (default: nearest ancestor with [workspace])
+    --format <FMT>    output format: human (default) or json (findings +
+                      justified allows, stable ordering)
+    --list-rules      print every rule with its description and exit
+    --quiet           print only the summary line, not the findings
+    -h, --help        this text
 ";
 
 fn parse_args() -> Result<Args, String> {
@@ -37,6 +46,7 @@ fn parse_args() -> Result<Args, String> {
         deny: false,
         quiet: false,
         list_rules: false,
+        format: Format::Human,
         root: None,
     };
     let mut it = std::env::args().skip(1);
@@ -45,6 +55,14 @@ fn parse_args() -> Result<Args, String> {
             "--deny" => args.deny = true,
             "--quiet" => args.quiet = true,
             "--list-rules" => args.list_rules = true,
+            "--format" => {
+                let fmt = it.next().ok_or("--format requires a value".to_string())?;
+                args.format = match fmt.as_str() {
+                    "human" => Format::Human,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format `{other}` (human|json)")),
+                };
+            }
             "--root" => {
                 let path = it.next().ok_or("--root requires a path".to_string())?;
                 args.root = Some(PathBuf::from(path));
@@ -92,13 +110,22 @@ fn main() -> ExitCode {
             }
         }
     };
-    let findings = match dqa_lint::run_workspace(&root) {
-        Ok(f) => f,
+    let analysis = match dqa_lint::run_workspace_full(&root) {
+        Ok(a) => a,
         Err(e) => {
             eprintln!("dqa-lint: {e}");
             return ExitCode::from(2);
         }
     };
+    if args.format == Format::Json {
+        print!("{}", dqa_lint::diagnostics::render_json(&analysis, &root));
+        return if args.deny && !analysis.findings.is_empty() {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+    let findings = analysis.findings;
     if !args.quiet {
         for finding in &findings {
             print!("{finding}");

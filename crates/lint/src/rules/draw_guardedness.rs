@@ -1,0 +1,139 @@
+//! `draw-guardedness`: every RNG draw on an extension substream must be
+//! dominated by its layer's activation guard.
+//!
+//! Why: the CRN invariant behind every comparative claim in this repo is
+//! *"inert specs draw nothing"* — a run with the fault/deadline/arrival/
+//! user/redundancy layer disabled must be byte-identical to the seed
+//! trajectory. PRs 4, 8 and 9 each proved that at runtime for the
+//! configurations their tests happened to enumerate; this rule proves it
+//! statically for **all** configurations: a draw from a stream bound to
+//! an extension tag (`DEADLINE`, `FAULT_*`, `ARRIVAL`, …) must sit under
+//! a dominating guard that mentions the owning spec *and* its activation
+//! predicate — in the same function, or at every call site leading to
+//! it.
+//!
+//! Configuration (`lint.toml`, `[rules.draw-guardedness]`): one option
+//! per tracked tag,
+//!
+//! ```toml
+//! guard-DEADLINE = "deadlines : is_active"
+//! guard-FAULT_CRASH = "fault, faults : mtbf, mttr, is_active"
+//! ```
+//!
+//! reading *sources* `:` *predicates* — a guard context passes when its
+//! expanded pool ([`crate::graph::Index::guard_pool`]) contains at least
+//! one source identifier and one predicate identifier (token-exact).
+//! Tags without a `guard-` option are not tracked.
+//!
+//! Soundness caveats (DESIGN.md §15): guard *polarity* is not checked
+//! (`if !active { draw }` would pass the pool test), and same-named
+//! fields/functions are merged by the name-resolution approximation.
+//! The mutation self-test pins the honest failure mode: a seeded draw
+//! with no dominating context and no caller is always a finding.
+
+use std::collections::BTreeSet;
+
+use crate::config::RuleConfig;
+use crate::diagnostics::Finding;
+use crate::engine::{file_in_scope, SourceFile, Workspace};
+use crate::graph::Index;
+use crate::rules::Rule;
+
+/// See the module docs.
+pub struct DrawGuardedness;
+
+/// The rule name.
+pub const NAME: &str = "draw-guardedness";
+
+/// One tracked tag's guard vocabulary.
+struct GuardSpec {
+    tag: String,
+    sources: Vec<String>,
+    preds: Vec<String>,
+}
+
+/// Parses `guard-<TAG> = "a, b : c, d"` options into guard specs.
+fn guard_specs(cfg: &RuleConfig) -> Vec<GuardSpec> {
+    let mut specs = Vec::new();
+    for (key, value) in &cfg.options {
+        let Some(tag) = key.strip_prefix("guard-") else {
+            continue;
+        };
+        let (sources, preds) = value.split_once(':').unwrap_or((value.as_str(), ""));
+        let split = |s: &str| -> Vec<String> {
+            s.split(',')
+                .map(str::trim)
+                .filter(|w| !w.is_empty())
+                .map(str::to_string)
+                .collect()
+        };
+        specs.push(GuardSpec {
+            tag: tag.to_string(),
+            sources: split(sources),
+            preds: split(preds),
+        });
+    }
+    specs
+}
+
+impl Rule for DrawGuardedness {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn description(&self) -> &'static str {
+        "extension-substream draws must be dominated by the layer's is_active() guard"
+    }
+
+    fn check_workspace(&self, ws: &Workspace, cfg: &RuleConfig, out: &mut Vec<Finding>) {
+        let specs = guard_specs(cfg);
+        if specs.is_empty() {
+            return;
+        }
+        let files: Vec<&SourceFile> = ws.files.iter().filter(|f| file_in_scope(f, cfg)).collect();
+        if files.is_empty() {
+            return;
+        }
+        let idx = Index::build(files, cfg.include_tests);
+        let tags: Vec<String> = specs.iter().map(|s| s.tag.clone()).collect();
+        let bindings = idx.stream_bindings(&tags);
+        let mut reported: BTreeSet<(usize, usize, String)> = BTreeSet::new();
+        for site in idx.draw_sites(&bindings) {
+            let Some(spec) = specs.iter().find(|s| s.tag == site.tag) else {
+                continue;
+            };
+            let file = idx.files[site.file];
+            let (line, _) = file.line_col(site.offset);
+            if !reported.insert((site.file, line, site.tag.clone())) {
+                continue;
+            }
+            let guarded = idx.enclosing_fn(site.file, site.offset).is_some_and(|g| {
+                idx.is_guarded(
+                    g,
+                    site.offset,
+                    &spec.sources,
+                    &spec.preds,
+                    0,
+                    &mut BTreeSet::new(),
+                )
+            });
+            if guarded {
+                continue;
+            }
+            out.push(file.finding(
+                NAME,
+                site.offset,
+                format!(
+                    "draw on substream {} via `{}` is not dominated by its activation guard",
+                    site.tag, site.name
+                ),
+                Some(format!(
+                    "dominate the draw (here or at every call site) with a guard mentioning \
+                     one of [{}] and one of [{}], or justify with an inline allow",
+                    spec.sources.join(", "),
+                    spec.preds.join(", "),
+                )),
+            ));
+        }
+    }
+}

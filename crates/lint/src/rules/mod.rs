@@ -5,10 +5,12 @@ use crate::config::RuleConfig;
 use crate::diagnostics::Finding;
 use crate::engine::{SourceFile, Workspace};
 
+pub mod draw_guardedness;
 pub mod forbid_unsafe_header;
 pub mod no_float_eq;
 pub mod no_hash_iteration;
 pub mod no_wall_clock;
+pub mod shard_isolation;
 pub mod substream_registry;
 pub mod unwrap_budget;
 
@@ -33,6 +35,8 @@ pub trait Rule {
 pub fn all() -> Vec<Box<dyn Rule>> {
     vec![
         Box::new(substream_registry::SubstreamRegistry),
+        Box::new(draw_guardedness::DrawGuardedness),
+        Box::new(shard_isolation::ShardIsolation),
         Box::new(no_hash_iteration::NoHashIteration),
         Box::new(no_wall_clock::NoWallClock),
         Box::new(no_float_eq::NoFloatEq),

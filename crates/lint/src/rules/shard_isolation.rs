@@ -1,0 +1,191 @@
+//! `shard-isolation`: per-site event-handler code must not touch
+//! cross-site state except through the `EventSink` abstraction.
+//!
+//! Why: the parallel-in-time executor (DESIGN.md §12) runs one logical
+//! process per site inside barrier-synchronized windows; its
+//! byte-identity with the serial schedule rests on LP event handlers
+//! being *site-local* — every cross-site effect must flow through the
+//! `EventSink` so the router can order it deterministically. The hand-
+//! maintained `ShardGate` refusal list names the features that still
+//! break this (deadlines, admission, redundancy); this rule makes the
+//! list auditable: each gated feature maps to concrete flagged accesses,
+//! and a future PR adding a new cross-site touch trips a finding before
+//! it silently breaks byte-identity.
+//!
+//! Configuration (`lint.toml`, `[rules.shard-isolation]`):
+//!
+//! ```toml
+//! roots = "Lp::handle"                      # event-handler entry points
+//! fields = "cross, deferred"                # cross-site state fields
+//! gates = "Deadlines, Admission, Redundancy" # ShardGate variants
+//! ```
+//!
+//! A `.field` access inside any function reachable from a root (through
+//! the workspace call-graph approximation) is a finding, unless
+//! suppressed with a justification naming the owning gate:
+//! `// dqa-lint: allow(shard-isolation) -- ShardGate::Deadlines: …`.
+//! A workspace pass then audits the other direction: every configured
+//! gate must be claimed by at least one such justification — a gate
+//! nobody claims is stale (its feature became shardable, or its accesses
+//! moved) and must be re-audited.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use crate::config::RuleConfig;
+use crate::diagnostics::Finding;
+use crate::engine::{file_in_scope, SourceFile, Workspace};
+use crate::graph::Index;
+use crate::rules::Rule;
+
+/// See the module docs.
+pub struct ShardIsolation;
+
+/// The rule name.
+pub const NAME: &str = "shard-isolation";
+
+fn split_list(s: &str) -> Vec<String> {
+    s.split(',')
+        .map(str::trim)
+        .filter(|w| !w.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+impl Rule for ShardIsolation {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn description(&self) -> &'static str {
+        "Lp-reachable code must reach cross-site state only via EventSink (ShardGate audit)"
+    }
+
+    fn check_workspace(&self, ws: &Workspace, cfg: &RuleConfig, out: &mut Vec<Finding>) {
+        let roots = cfg
+            .options
+            .get("roots")
+            .map_or_else(|| vec!["Lp::handle".to_string()], |s| split_list(s));
+        let fields = cfg
+            .options
+            .get("fields")
+            .map_or_else(Vec::new, |s| split_list(s));
+        let gates = cfg
+            .options
+            .get("gates")
+            .map_or_else(Vec::new, |s| split_list(s));
+        if fields.is_empty() {
+            return;
+        }
+        let files: Vec<&SourceFile> = ws.files.iter().filter(|f| file_in_scope(f, cfg)).collect();
+        if files.is_empty() {
+            return;
+        }
+        let idx = Index::build(files, cfg.include_tests);
+        let reachable = idx.reachable_from(&roots);
+        let mut reported: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for &g in &reachable {
+            let (file, def) = idx.fn_def(g);
+            let code: Vec<_> = file.code_tokens().collect();
+            for (i, tok) in code.iter().enumerate() {
+                if tok.start < def.body_span.0 || tok.end > def.body_span.1 {
+                    continue;
+                }
+                let name = tok.text(&file.text);
+                if !fields.iter().any(|f| f == name) {
+                    continue;
+                }
+                // Only `.field` accesses count (`..` is a distinct range
+                // token, so a single `.` is exact); `deferred: Vec::new()`
+                // initializers and local variables of the same name do
+                // not touch the shared field.
+                if i == 0 || code[i - 1].text(&file.text) != "." {
+                    continue;
+                }
+                if !reported.insert((idx.fns[g].file, tok.start)) {
+                    continue;
+                }
+                out.push(
+                    file.finding(
+                        NAME,
+                        tok.start,
+                        format!(
+                            "cross-site state `.{name}` touched in `{}`, reachable from shard \
+                         root(s) {}",
+                            def.qualified,
+                            roots.join(", "),
+                        ),
+                        Some(
+                            "route the effect through the EventSink, or justify with \
+                         `dqa-lint: allow(shard-isolation) -- ShardGate::<Gate>: <why>` \
+                         naming the gate that keeps this feature cross-site-synchronous"
+                                .to_string(),
+                        ),
+                    ),
+                );
+            }
+        }
+        audit_gates(&gates, ws, cfg, out);
+    }
+}
+
+/// The reverse audit: every configured `ShardGate` variant must be
+/// claimed by at least one justified `shard-isolation` suppression, so
+/// the refusal list in `shardable()` cannot drift from the accesses that
+/// motivate it.
+fn audit_gates(gates: &[String], ws: &Workspace, cfg: &RuleConfig, out: &mut Vec<Finding>) {
+    if gates.is_empty() {
+        return;
+    }
+    let mut claimed: BTreeSet<&str> = BTreeSet::new();
+    for file in ws.files.iter().filter(|f| file_in_scope(f, cfg)) {
+        for sup in &file.suppressions {
+            if !sup.rules.iter().any(|r| r == NAME) {
+                continue;
+            }
+            let Some(just) = &sup.justification else {
+                continue;
+            };
+            for gate in gates {
+                if just.contains(&format!("ShardGate::{gate}")) {
+                    claimed.insert(gate);
+                }
+            }
+        }
+    }
+    for gate in gates {
+        if claimed.contains(gate.as_str()) {
+            continue;
+        }
+        // Anchor at the ShardGate declaration so the finding names a
+        // real location; offset 0 keeps it out of reach of a trailing
+        // suppression comment.
+        let anchor = ws
+            .files
+            .iter()
+            .find(|f| f.text.contains("enum ShardGate"))
+            .map_or_else(
+                || Path::new("lint.toml").to_path_buf(),
+                |f| f.rel_path.clone(),
+            );
+        out.push(Finding {
+            rule: NAME,
+            path: anchor,
+            crate_name: String::new(),
+            line: 1,
+            col: 1,
+            offset: 0,
+            message: format!(
+                "ShardGate::{gate} is configured but no justified shard-isolation \
+                 suppression claims it"
+            ),
+            help: Some(
+                "either the gated feature became shardable (remove the gate from \
+                 lint.toml and shardable()) or its accesses moved — re-audit and \
+                 re-claim with `-- ShardGate::…` justifications"
+                    .to_string(),
+            ),
+            snippet: None,
+        });
+    }
+}

@@ -1,0 +1,1308 @@
+//! A lightweight item/block parser on top of the [`crate::lexer`] token
+//! stream.
+//!
+//! The flow-aware rules (`draw-guardedness`, `shard-isolation`) need more
+//! than a flat token stream: they ask *"is this byte offset dominated by
+//! a guard?"* and *"which function encloses this call site?"*. Answering
+//! that does not require a full Rust grammar — only the block structure
+//! that determines domination:
+//!
+//! * `fn` items with their impl-type context (`Lp::handle`), signature
+//!   and body span;
+//! * statement boundaries inside blocks, so *preceding-sibling* guard
+//!   statements (early-exit `if … { return; }`, `let … else { return; }`,
+//!   `assert!`/`expect()` assertions) are visible;
+//! * `if`/`while`/`for` conditions and `match` scrutinees + arm heads, so
+//!   *enclosing* guards are visible — including control structures in
+//!   expression position (`let x = match … { … }`) and blocks nested in
+//!   closures;
+//! * `let` bindings with their initializer spans, for one-hop name
+//!   resolution (`let f = self.fault_mut();` → what fed `f`).
+//!
+//! The parser is permissive in the same spirit as the lexer: it never
+//! fails, and on token sequences it does not model (macros, const
+//! generics in odd positions) it degrades to coarse `Plain` statements —
+//! which makes the downstream analysis *less* able to prove guardedness,
+//! never more, so parser blind spots surface as findings rather than as
+//! silently-passed draws.
+
+use crate::lexer::{Token, TokenKind};
+
+/// A byte span `[start, end)` into the source text.
+pub type Span = (usize, usize);
+
+/// Whether `span` contains `offset`.
+#[must_use]
+pub fn span_contains(span: Span, offset: usize) -> bool {
+    offset >= span.0 && offset < span.1
+}
+
+/// One `fn` item: name, impl-type qualification, and parsed body.
+#[derive(Debug)]
+pub struct FnDef {
+    /// The bare function name (`handle`).
+    pub name: String,
+    /// `Type::name` inside an `impl Type` block, else the bare name.
+    pub qualified: String,
+    /// Byte offset of the `fn` keyword.
+    pub sig_start: usize,
+    /// Span of the body including braces; `(0, 0)` for bodyless decls.
+    pub body_span: Span,
+    /// The parsed body block.
+    pub body: Block,
+}
+
+/// A `{ … }` block: its span (braces included) and statements.
+#[derive(Debug, Default)]
+pub struct Block {
+    /// Byte span including the braces.
+    pub span: Span,
+    /// The statements, in source order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// One statement (or embedded control structure) inside a block.
+#[derive(Debug)]
+pub struct Stmt {
+    /// Byte span of the whole statement.
+    pub span: Span,
+    /// What the statement is.
+    pub kind: StmtKind,
+}
+
+/// Statement shapes the guard analysis distinguishes.
+#[derive(Debug)]
+pub enum StmtKind {
+    /// `let <pat> (= <init>)? (else { … })? ;`
+    Let {
+        /// Identifiers appearing in the pattern (over-approximate: path
+        /// segments like `Some` are included; lookups are by exact name
+        /// so the noise is inert).
+        names: Vec<String>,
+        /// Span of the initializer expression, if any.
+        init: Option<Span>,
+        /// Control structures embedded in the initializer.
+        nested: Vec<Stmt>,
+        /// The diverging `else` block of a `let … else`.
+        else_block: Option<Block>,
+    },
+    /// `if <cond> { … } (else if …)* (else { … })?` — else-if chains are
+    /// represented as a nested `If` inside `else_block`.
+    If {
+        /// Span of the condition (covers `let pat = expr` for if-let).
+        cond: Span,
+        /// The then-block.
+        then_block: Block,
+        /// The else branch, when present (a one-statement block for
+        /// `else if`).
+        else_block: Option<Block>,
+    },
+    /// `match <scrutinee> { <arms> }`
+    Match {
+        /// Span of the scrutinee expression.
+        scrutinee: Span,
+        /// The arms, in order.
+        arms: Vec<Arm>,
+    },
+    /// `while <cond> { … }`, `for <pat> in <iter> { … }`, `loop { … }`.
+    Loop {
+        /// The `while` condition / `for` header span, `None` for `loop`.
+        header: Option<Span>,
+        /// The loop body.
+        body: Block,
+    },
+    /// A bare `{ … }` or `unsafe { … }` block statement.
+    Block(Block),
+    /// Anything else: an expression statement, macro call, item we do
+    /// not model. Control structures and blocks found inside it (clo-
+    /// sures, match-in-expression) are parsed into `nested`.
+    Plain {
+        /// Embedded control structures and blocks.
+        nested: Vec<Stmt>,
+    },
+}
+
+/// One `pat (if guard)? => body` arm of a `match`.
+#[derive(Debug)]
+pub struct Arm {
+    /// Span of the pattern plus optional `if` guard (everything left of
+    /// `=>`).
+    pub head: Span,
+    /// Span of the arm body.
+    pub body_span: Span,
+    /// Statements of the arm body: a parsed block when the body is
+    /// `{ … }`, otherwise embedded structures of the body expression.
+    pub body: Vec<Stmt>,
+}
+
+/// The parsed structure of one source file: its `fn` items.
+#[derive(Debug, Default)]
+pub struct FileSyntax {
+    /// Every function item found, in source order (nested fns included).
+    pub fns: Vec<FnDef>,
+}
+
+impl FileSyntax {
+    /// The innermost function whose body contains `offset`.
+    #[must_use]
+    pub fn fn_at(&self, offset: usize) -> Option<&FnDef> {
+        self.fns
+            .iter()
+            .filter(|f| span_contains(f.body_span, offset))
+            .min_by_key(|f| f.body_span.1 - f.body_span.0)
+    }
+}
+
+/// Parses the code-token structure of `src`.
+#[must_use]
+pub fn parse(src: &str, tokens: &[Token]) -> FileSyntax {
+    let code: Vec<Token> = tokens.iter().filter(|t| !t.is_comment()).copied().collect();
+    let mut p = Parser { src, code: &code };
+    let mut fns = Vec::new();
+    p.scan_items(0, code.len(), "", &mut fns);
+    FileSyntax { fns }
+}
+
+struct Parser<'s> {
+    src: &'s str,
+    code: &'s [Token],
+}
+
+impl Parser<'_> {
+    fn text(&self, i: usize) -> &str {
+        self.code[i].text(self.src)
+    }
+
+    fn is_ident(&self, i: usize, word: &str) -> bool {
+        i < self.code.len() && self.code[i].kind == TokenKind::Ident && self.text(i) == word
+    }
+
+    /// Index one past the delimiter matching the opener at `open`.
+    fn skip_group(&self, open: usize, end: usize) -> usize {
+        let (o, c) = match self.text(open) {
+            "(" => ("(", ")"),
+            "[" => ("[", "]"),
+            "{" => ("{", "}"),
+            _ => return open + 1,
+        };
+        let mut depth = 0usize;
+        let mut i = open;
+        while i < end {
+            let t = self.text(i);
+            if t == o {
+                depth += 1;
+            } else if t == c {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            i += 1;
+        }
+        end
+    }
+
+    /// Finds the first token with text `what` in `[from, end)` at
+    /// delimiter depth 0 relative to `from`, skipping nested groups.
+    fn find_at_depth0(&self, from: usize, end: usize, what: &[&str]) -> Option<usize> {
+        let mut i = from;
+        while i < end {
+            let t = self.text(i);
+            if what.contains(&t) {
+                return Some(i);
+            }
+            if matches!(t, "(" | "[" | "{") {
+                i = self.skip_group(i, end);
+            } else {
+                i += 1;
+            }
+        }
+        None
+    }
+
+    /// Scans `[from, end)` for items: `impl` blocks (tracking the type
+    /// name for qualification), `mod` bodies, and `fn` items whose bodies
+    /// are parsed and then re-scanned for nested fns.
+    fn scan_items(&mut self, from: usize, end: usize, impl_ty: &str, out: &mut Vec<FnDef>) {
+        let mut i = from;
+        while i < end {
+            if self.is_ident(i, "impl") {
+                if let Some((ty, body_open)) = self.parse_impl_header(i, end) {
+                    let body_end = self.skip_group(body_open, end);
+                    self.scan_items(body_open + 1, body_end.saturating_sub(1), &ty, out);
+                    i = body_end;
+                    continue;
+                }
+            }
+            if self.is_ident(i, "mod") {
+                if let Some(open) = self.find_at_depth0(i + 1, end, &["{", ";"]) {
+                    if self.text(open) == "{" {
+                        let body_end = self.skip_group(open, end);
+                        self.scan_items(open + 1, body_end.saturating_sub(1), "", out);
+                        i = body_end;
+                        continue;
+                    }
+                }
+            }
+            if self.is_ident(i, "fn") {
+                if let Some(next) = self.parse_fn(i, end, impl_ty, out) {
+                    i = next;
+                    continue;
+                }
+            }
+            // Skip token-trees we are not descending into at item level
+            // (const arrays, trait bodies reached via `fn` above, …).
+            if matches!(self.text(i), "(" | "[" | "{") {
+                // Descend into unknown brace groups too: trait bodies and
+                // nested modules written without `mod` keywords still
+                // contain fns worth indexing; duplicates cannot arise
+                // because `fn` consumption advances past each body.
+                i += 1;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Parses `impl … (for Type)? {`, returning the implemented type's
+    /// head identifier and the index of the body `{`.
+    fn parse_impl_header(&self, impl_idx: usize, end: usize) -> Option<(String, usize)> {
+        let open = self.find_at_depth0(impl_idx + 1, end, &["{", ";"])?;
+        if self.text(open) != "{" {
+            return None;
+        }
+        // Between `impl` and `{`: `<generics>? TraitPath (for TypePath)?
+        // where …`. The implemented type is the first identifier after
+        // `for` when present, else the first identifier after generics.
+        let mut j = impl_idx + 1;
+        let mut angle = 0i32;
+        let mut ty: Option<String> = None;
+        let mut after_for = false;
+        while j < open {
+            let t = self.text(j);
+            match t {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "where" if angle == 0 => break,
+                "for" if angle == 0 && self.code[j].kind == TokenKind::Ident => {
+                    after_for = true;
+                    ty = None;
+                }
+                _ => {
+                    if angle == 0 && ty.is_none() && self.code[j].kind == TokenKind::Ident {
+                        ty = Some(t.to_string());
+                    }
+                    let _ = after_for;
+                }
+            }
+            j += 1;
+        }
+        Some((ty.unwrap_or_default(), open))
+    }
+
+    /// Parses one `fn` item starting at `fn_idx`; returns the index past
+    /// the item, or `None` if the shape is not a function definition.
+    fn parse_fn(
+        &mut self,
+        fn_idx: usize,
+        end: usize,
+        impl_ty: &str,
+        out: &mut Vec<FnDef>,
+    ) -> Option<usize> {
+        let name_idx = fn_idx + 1;
+        if name_idx >= end || self.code[name_idx].kind != TokenKind::Ident {
+            return None;
+        }
+        let name = self.text(name_idx).to_string();
+        // Skip generics `<…>` (may contain `(` from Fn-trait bounds; `->`
+        // and `=>` are single tokens so a bare `>` only closes angles).
+        let mut j = name_idx + 1;
+        if j < end && self.text(j) == "<" {
+            let mut angle = 0i32;
+            while j < end {
+                match self.text(j) {
+                    "<" => angle += 1,
+                    ">" => angle -= 1,
+                    "(" | "[" => {
+                        j = self.skip_group(j, end);
+                        continue;
+                    }
+                    _ => {}
+                }
+                j += 1;
+                if angle == 0 {
+                    break;
+                }
+            }
+        }
+        // Parameter list.
+        if j >= end || self.text(j) != "(" {
+            return None;
+        }
+        j = self.skip_group(j, end);
+        // Return type / where clause up to the body `{` or a `;`.
+        let open = self.find_at_depth0(j, end, &["{", ";"])?;
+        if self.text(open) != "{" {
+            return Some(open + 1); // trait method declaration, no body
+        }
+        let close = self.skip_group(open, end);
+        let body_span = (
+            self.code[open].start,
+            self.code
+                .get(close - 1)
+                .map_or(self.code[open].end, |t| t.end),
+        );
+        let body = self.parse_block(open, close);
+        out.push(FnDef {
+            qualified: if impl_ty.is_empty() {
+                name.clone()
+            } else {
+                format!("{impl_ty}::{name}")
+            },
+            name,
+            sig_start: self.code[fn_idx].start,
+            body_span,
+            body,
+        });
+        // Re-scan the body for nested `fn` items (they qualify bare).
+        self.scan_items(open + 1, close.saturating_sub(1), "", out);
+        Some(close)
+    }
+
+    fn span_of(&self, from: usize, to: usize) -> Span {
+        if from >= to || from >= self.code.len() {
+            return (0, 0);
+        }
+        (self.code[from].start, self.code[to - 1].end)
+    }
+
+    /// Parses the interior of the brace group opening at `open`
+    /// (`close` = index one past the matching `}`).
+    fn parse_block(&mut self, open: usize, close: usize) -> Block {
+        let inner_end = close.saturating_sub(1);
+        let stmts = self.parse_stmts(open + 1, inner_end);
+        Block {
+            span: (
+                self.code[open].start,
+                self.code
+                    .get(close - 1)
+                    .map_or(self.code[open].end, |t| t.end),
+            ),
+            stmts,
+        }
+    }
+
+    /// Splits `[from, end)` into statements.
+    fn parse_stmts(&mut self, from: usize, end: usize) -> Vec<Stmt> {
+        let mut stmts = Vec::new();
+        let mut i = from;
+        while i < end {
+            let t = self.text(i);
+            if t == ";" {
+                i += 1;
+                continue;
+            }
+            if self.is_ident(i, "let") {
+                let (stmt, next) = self.parse_let(i, end);
+                stmts.push(stmt);
+                i = next;
+            } else if self.is_ident(i, "if") {
+                let (stmt, next) = self.parse_if(i, end);
+                stmts.push(stmt);
+                i = next;
+            } else if self.is_ident(i, "match") {
+                if let Some((stmt, next)) = self.parse_match(i, end) {
+                    stmts.push(stmt);
+                    i = next;
+                } else {
+                    let (stmt, next) = self.parse_plain(i, end);
+                    stmts.push(stmt);
+                    i = next;
+                }
+            } else if self.is_ident(i, "while") || self.is_ident(i, "for") {
+                let (stmt, next) = self.parse_headed_loop(i, end);
+                stmts.push(stmt);
+                i = next;
+            } else if self.is_ident(i, "loop") {
+                if i + 1 < end && self.text(i + 1) == "{" {
+                    let close = self.skip_group(i + 1, end);
+                    let body = self.parse_block(i + 1, close);
+                    stmts.push(Stmt {
+                        span: (self.code[i].start, body.span.1),
+                        kind: StmtKind::Loop { header: None, body },
+                    });
+                    i = close;
+                } else {
+                    let (stmt, next) = self.parse_plain(i, end);
+                    stmts.push(stmt);
+                    i = next;
+                }
+            } else if t == "{"
+                || (self.is_ident(i, "unsafe") && i + 1 < end && self.text(i + 1) == "{")
+            {
+                let open = if t == "{" { i } else { i + 1 };
+                let close = self.skip_group(open, end);
+                let block = self.parse_block(open, close);
+                stmts.push(Stmt {
+                    span: (self.code[i].start, block.span.1),
+                    kind: StmtKind::Block(block),
+                });
+                i = close;
+            } else {
+                let (stmt, next) = self.parse_plain(i, end);
+                stmts.push(stmt);
+                i = next;
+            }
+        }
+        stmts
+    }
+
+    /// `let <pat> (= init)? (else { … })? ;`
+    fn parse_let(&mut self, let_idx: usize, end: usize) -> (Stmt, usize) {
+        // Pattern runs to `=` at depth 0 (a `==` is a single distinct
+        // token, so a bare `=` is unambiguous), or to `;` for a decl.
+        let stop = self
+            .find_at_depth0(let_idx + 1, end, &["=", ";"])
+            .unwrap_or(end);
+        let mut names = Vec::new();
+        for k in let_idx + 1..stop.min(end) {
+            if self.code[k].kind == TokenKind::Ident {
+                names.push(self.text(k).to_string());
+            }
+        }
+        if stop >= end || self.text(stop) == ";" {
+            let next = (stop + 1).min(end);
+            return (
+                Stmt {
+                    span: self.span_of(let_idx, next.max(let_idx + 1)),
+                    kind: StmtKind::Let {
+                        names,
+                        init: None,
+                        nested: Vec::new(),
+                        else_block: None,
+                    },
+                },
+                next,
+            );
+        }
+        // Initializer runs to a depth-0 `else` (let-else) or `;`.
+        let init_start = stop + 1;
+        let mut j = init_start;
+        let mut init_end = end;
+        let mut else_block = None;
+        while j < end {
+            let t = self.text(j);
+            if t == ";" {
+                init_end = j;
+                j += 1;
+                break;
+            }
+            if self.is_ident(j, "else") && j + 1 < end && self.text(j + 1) == "{" {
+                init_end = j;
+                let close = self.skip_group(j + 1, end);
+                else_block = Some(self.parse_block(j + 1, close));
+                j = close;
+                if j < end && self.text(j) == ";" {
+                    j += 1;
+                }
+                break;
+            }
+            if matches!(t, "(" | "[" | "{") {
+                j = self.skip_group(j, end);
+            } else {
+                j += 1;
+            }
+        }
+        let init_span = self.span_of(init_start, init_end.max(init_start));
+        let nested = self.embedded(init_start, init_end);
+        (
+            Stmt {
+                span: self.span_of(let_idx, j.max(let_idx + 1)),
+                kind: StmtKind::Let {
+                    names,
+                    init: (init_span != (0, 0)).then_some(init_span),
+                    nested,
+                    else_block,
+                },
+            },
+            j,
+        )
+    }
+
+    /// `if <cond> { … } (else (if …|{ … }))?`
+    /// The index of the body `{` of an `if`/`while` header starting
+    /// after `kw_idx`. For `if let PAT = expr {` the pattern may itself
+    /// contain a brace group (`Workload::Open { arrival_rate }`), so the
+    /// depth-0 `=` is located first and the body brace searched after it.
+    fn cond_body_open(&self, kw_idx: usize, end: usize) -> Option<usize> {
+        let mut from = kw_idx + 1;
+        if from < end && self.is_ident(from, "let") {
+            from = self.find_at_depth0(from + 1, end, &["="])? + 1;
+        }
+        self.find_at_depth0(from, end, &["{"])
+    }
+
+    fn parse_if(&mut self, if_idx: usize, end: usize) -> (Stmt, usize) {
+        let Some(open) = self.cond_body_open(if_idx, end) else {
+            return self.parse_plain(if_idx, end);
+        };
+        let cond = self.span_of(if_idx + 1, open);
+        let close = self.skip_group(open, end);
+        let then_block = self.parse_block(open, close);
+        let mut j = close;
+        let mut else_block = None;
+        if j < end && self.is_ident(j, "else") {
+            if j + 1 < end && self.is_ident(j + 1, "if") {
+                let (nested_if, next) = self.parse_if(j + 1, end);
+                else_block = Some(Block {
+                    span: nested_if.span,
+                    stmts: vec![nested_if],
+                });
+                j = next;
+            } else if j + 1 < end && self.text(j + 1) == "{" {
+                let eclose = self.skip_group(j + 1, end);
+                else_block = Some(self.parse_block(j + 1, eclose));
+                j = eclose;
+            }
+        }
+        let span_end = else_block.as_ref().map_or(then_block.span.1, |b| b.span.1);
+        (
+            Stmt {
+                span: (self.code[if_idx].start, span_end),
+                kind: StmtKind::If {
+                    cond,
+                    then_block,
+                    else_block,
+                },
+            },
+            j,
+        )
+    }
+
+    /// `match <scrutinee> { <arms> }`
+    fn parse_match(&mut self, match_idx: usize, end: usize) -> Option<(Stmt, usize)> {
+        let open = self.find_at_depth0(match_idx + 1, end, &["{"])?;
+        let scrutinee = self.span_of(match_idx + 1, open);
+        let close = self.skip_group(open, end);
+        let mut arms = Vec::new();
+        let mut i = open + 1;
+        let inner_end = close.saturating_sub(1);
+        while i < inner_end {
+            let Some(arrow) = self.find_at_depth0(i, inner_end, &["=>"]) else {
+                break;
+            };
+            let head = self.span_of(i, arrow);
+            let body_start = arrow + 1;
+            if body_start >= inner_end {
+                break;
+            }
+            let (body_span, body, next) = if self.text(body_start) == "{" {
+                let bclose = self.skip_group(body_start, inner_end);
+                let block = self.parse_block(body_start, bclose);
+                let span = block.span;
+                let mut next = bclose;
+                if next < inner_end && self.text(next) == "," {
+                    next += 1;
+                }
+                (
+                    span,
+                    vec![Stmt {
+                        span,
+                        kind: StmtKind::Block(block),
+                    }],
+                    next,
+                )
+            } else {
+                let stop = self
+                    .find_at_depth0(body_start, inner_end, &[","])
+                    .unwrap_or(inner_end);
+                let span = self.span_of(body_start, stop);
+                (
+                    span,
+                    self.embedded(body_start, stop),
+                    (stop + 1).min(inner_end),
+                )
+            };
+            arms.push(Arm {
+                head,
+                body_span,
+                body,
+            });
+            i = next;
+        }
+        let span_end = self
+            .code
+            .get(close - 1)
+            .map_or(self.code[open].end, |t| t.end);
+        Some((
+            Stmt {
+                span: (self.code[match_idx].start, span_end),
+                kind: StmtKind::Match { scrutinee, arms },
+            },
+            close,
+        ))
+    }
+
+    /// `while <cond> { … }` / `for <pat> in <iter> { … }`
+    fn parse_headed_loop(&mut self, kw_idx: usize, end: usize) -> (Stmt, usize) {
+        let Some(open) = self.cond_body_open(kw_idx, end) else {
+            return self.parse_plain(kw_idx, end);
+        };
+        let header = self.span_of(kw_idx + 1, open);
+        let close = self.skip_group(open, end);
+        let body = self.parse_block(open, close);
+        (
+            Stmt {
+                span: (self.code[kw_idx].start, body.span.1),
+                kind: StmtKind::Loop {
+                    header: (header != (0, 0)).then_some(header),
+                    body,
+                },
+            },
+            close,
+        )
+    }
+
+    /// Anything else: consume to `;` at depth 0 (or to `end`), then parse
+    /// embedded control structures/blocks inside the consumed span.
+    fn parse_plain(&mut self, from: usize, end: usize) -> (Stmt, usize) {
+        let stop = self.find_at_depth0(from, end, &[";"]).unwrap_or(end);
+        let next = (stop + 1).min(end);
+        let nested = self.embedded(from, stop);
+        (
+            Stmt {
+                span: self.span_of(from, stop.max(from + 1)),
+                kind: StmtKind::Plain { nested },
+            },
+            next,
+        )
+    }
+
+    /// Scans an *expression* token range (any nesting depth) for control
+    /// structures and blocks, parsing each: this is how `let x = match …`
+    /// scrutinees, closure bodies, and `foo(if c { a } else { b })`
+    /// arguments become visible to the guard analysis.
+    fn embedded(&mut self, from: usize, end: usize) -> Vec<Stmt> {
+        let mut out = Vec::new();
+        let mut i = from;
+        while i < end {
+            if self.is_ident(i, "match") {
+                if let Some((stmt, next)) = self.parse_match(i, end) {
+                    out.push(stmt);
+                    i = next;
+                    continue;
+                }
+            } else if self.is_ident(i, "if") {
+                let before = out.len();
+                let (stmt, next) = self.parse_if(i, end);
+                if matches!(stmt.kind, StmtKind::If { .. }) {
+                    out.push(stmt);
+                    i = next;
+                    continue;
+                }
+                out.truncate(before);
+            } else if self.is_ident(i, "while") || self.is_ident(i, "for") {
+                let (stmt, next) = self.parse_headed_loop(i, end);
+                if matches!(stmt.kind, StmtKind::Loop { .. }) {
+                    out.push(stmt);
+                    i = next;
+                    continue;
+                }
+            } else if self.text(i) == "{" {
+                let close = self.skip_group(i, end);
+                let block = self.parse_block(i, close);
+                out.push(Stmt {
+                    span: block.span,
+                    kind: StmtKind::Block(block),
+                });
+                i = close;
+                continue;
+            }
+            i += 1;
+        }
+        out
+    }
+}
+
+// ------------------------------------------------------------------
+// Guard / binding queries over the parsed structure.
+// ------------------------------------------------------------------
+
+/// Whether a statement is an early-exit or assertion guard: executing
+/// past it narrows the state. Recognized shapes:
+///
+/// * `if <cond> { return/break/continue/panic!/unreachable! … }` with no
+///   else branch (the cond's *negation* holds afterwards — the analysis
+///   pools keywords without polarity, a documented caveat);
+/// * `let <pat> = <init> else { … }` (the else block must diverge by
+///   language rule, so the pattern matched afterwards);
+/// * a statement invoking `assert!`/`assert_eq!`/`assert_ne!`, or
+///   `.expect(`/`.unwrap(` (a runtime domination proof; `debug_assert*`
+///   deliberately does **not** count — it vanishes in release builds,
+///   which is exactly what the experiments run).
+#[must_use]
+pub fn is_guard_stmt(stmt: &Stmt, src: &str, tokens: &[Token]) -> bool {
+    match &stmt.kind {
+        StmtKind::Let { else_block, .. } => {
+            else_block.is_some() || stmt_has_assertion(stmt.span, src, tokens)
+        }
+        StmtKind::If {
+            then_block,
+            else_block: None,
+            ..
+        } => then_block.stmts.iter().any(|s| {
+            let text = &src[s.span.0..s.span.1.min(src.len())];
+            let head = text.trim_start();
+            head.starts_with("return")
+                || head.starts_with("break")
+                || head.starts_with("continue")
+                || head.starts_with("panic!")
+                || head.starts_with("unreachable!")
+        }),
+        _ => stmt_has_assertion(stmt.span, src, tokens),
+    }
+}
+
+/// Whether the span contains an `assert!`-family macro or an
+/// `.expect(`/`.unwrap(` call (see [`is_guard_stmt`]).
+fn stmt_has_assertion(span: Span, src: &str, tokens: &[Token]) -> bool {
+    let mut toks = tokens
+        .iter()
+        .filter(|t| !t.is_comment() && t.start >= span.0 && t.end <= span.1)
+        .peekable();
+    while let Some(t) = toks.next() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let name = t.text(src);
+        let next = toks.peek().map(|n| n.text(src));
+        match name {
+            "assert" | "assert_eq" | "assert_ne" if next == Some("!") => return true,
+            "expect" | "unwrap" if next == Some("(") => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Collects the guard-context spans dominating `offset` inside `def`:
+/// enclosing `if`/`while`/`for` headers, `match` scrutinees + arm heads,
+/// and preceding-sibling guard statements ([`is_guard_stmt`]) in every
+/// enclosing block. Spans index the file text.
+#[must_use]
+pub fn guard_spans(def: &FnDef, offset: usize, src: &str, tokens: &[Token]) -> Vec<Span> {
+    let mut out = Vec::new();
+    walk_stmts(&def.body.stmts, offset, src, tokens, &mut out);
+    out
+}
+
+fn walk_stmts(stmts: &[Stmt], offset: usize, src: &str, tokens: &[Token], out: &mut Vec<Span>) {
+    let Some(pos) = stmts.iter().position(|s| span_contains(s.span, offset)) else {
+        return;
+    };
+    for prev in &stmts[..pos] {
+        if is_guard_stmt(prev, src, tokens) {
+            out.push(prev.span);
+        }
+    }
+    walk_stmt(&stmts[pos], offset, src, tokens, out);
+}
+
+fn walk_stmt(stmt: &Stmt, offset: usize, src: &str, tokens: &[Token], out: &mut Vec<Span>) {
+    match &stmt.kind {
+        StmtKind::Let {
+            nested, else_block, ..
+        } => {
+            if let Some(b) = else_block {
+                if span_contains(b.span, offset) {
+                    walk_stmts(&b.stmts, offset, src, tokens, out);
+                    return;
+                }
+            }
+            for s in nested {
+                if span_contains(s.span, offset) {
+                    walk_stmt(s, offset, src, tokens, out);
+                }
+            }
+        }
+        StmtKind::If {
+            cond,
+            then_block,
+            else_block,
+        } => {
+            if span_contains(*cond, offset) {
+                // A draw inside the condition itself is dominated by the
+                // short-circuit prefix of that same condition.
+                out.push(*cond);
+                return;
+            }
+            if span_contains(then_block.span, offset) {
+                out.push(*cond);
+                walk_stmts(&then_block.stmts, offset, src, tokens, out);
+                return;
+            }
+            if let Some(b) = else_block {
+                if span_contains(b.span, offset) {
+                    // The else branch holds the cond's negation; pooling
+                    // the cond there would be wrong-polarity, so skip it.
+                    walk_stmts(&b.stmts, offset, src, tokens, out);
+                }
+            }
+        }
+        StmtKind::Match { scrutinee, arms } => {
+            for arm in arms {
+                if span_contains(arm.head, offset) {
+                    out.push(*scrutinee);
+                    return;
+                }
+                if span_contains(arm.body_span, offset) {
+                    out.push(*scrutinee);
+                    out.push(arm.head);
+                    walk_stmts(&arm.body, offset, src, tokens, out);
+                    return;
+                }
+            }
+        }
+        StmtKind::Loop { header, body } => {
+            if span_contains(body.span, offset) {
+                if let Some(h) = header {
+                    out.push(*h);
+                }
+                walk_stmts(&body.stmts, offset, src, tokens, out);
+            }
+        }
+        StmtKind::Block(b) => {
+            if span_contains(b.span, offset) {
+                walk_stmts(&b.stmts, offset, src, tokens, out);
+            }
+        }
+        StmtKind::Plain { nested } => {
+            for s in nested {
+                if span_contains(s.span, offset) {
+                    walk_stmt(s, offset, src, tokens, out);
+                }
+            }
+        }
+    }
+}
+
+/// The nearest binding of `name` dominating `offset`: a preceding `let`
+/// initializer, an `if let`/`while let` condition, or the scrutinee of a
+/// `match` whose arm head binds `name`. Returns the span of the feeding
+/// expression.
+#[must_use]
+pub fn binding_init(
+    def: &FnDef,
+    name: &str,
+    offset: usize,
+    src: &str,
+    tokens: &[Token],
+) -> Option<Span> {
+    let mut best: Option<(usize, Span)> = None;
+    let cx = BindCx {
+        name,
+        offset,
+        src,
+        tokens,
+    };
+    collect_bindings(&def.body.stmts, &cx, &mut best);
+    best.map(|(_, span)| span)
+}
+
+/// Shared context for the binding walk.
+struct BindCx<'a> {
+    name: &'a str,
+    offset: usize,
+    src: &'a str,
+    tokens: &'a [Token],
+}
+
+impl BindCx<'_> {
+    /// Whether `span` mentions `self.name` as an identifier token.
+    fn mentions(&self, span: Span) -> bool {
+        self.tokens.iter().any(|t| {
+            !t.is_comment()
+                && t.kind == TokenKind::Ident
+                && t.start >= span.0
+                && t.end <= span.1
+                && t.text(self.src) == self.name
+        })
+    }
+
+    /// Whether `span` starts with the `let` keyword (an `if let` /
+    /// `while let` condition, which is the only kind of condition that
+    /// binds names).
+    fn starts_with_let(&self, span: Span) -> bool {
+        self.tokens
+            .iter()
+            .find(|t| !t.is_comment() && t.start >= span.0 && t.end <= span.1)
+            .is_some_and(|t| t.text(self.src) == "let")
+    }
+}
+
+fn collect_bindings(stmts: &[Stmt], cx: &BindCx<'_>, best: &mut Option<(usize, Span)>) {
+    let consider = |best: &mut Option<(usize, Span)>, at: usize, span: Span| {
+        if at < cx.offset && best.is_none_or(|(b, _)| at > b) && span != (0, 0) {
+            *best = Some((at, span));
+        }
+    };
+    for stmt in stmts {
+        if stmt.span.0 >= cx.offset {
+            break;
+        }
+        match &stmt.kind {
+            StmtKind::Let {
+                names,
+                init,
+                nested,
+                else_block,
+            } => {
+                if names.iter().any(|n| n == cx.name) {
+                    if let Some(init) = init {
+                        consider(best, stmt.span.0, *init);
+                    }
+                }
+                for s in nested {
+                    if span_contains(s.span, cx.offset) {
+                        collect_inner(s, cx, best);
+                    }
+                }
+                if let Some(b) = else_block {
+                    if span_contains(b.span, cx.offset) {
+                        collect_bindings(&b.stmts, cx, best);
+                    }
+                }
+            }
+            other => {
+                let _ = other;
+                collect_inner(stmt, cx, best);
+            }
+        }
+    }
+}
+
+fn collect_inner(stmt: &Stmt, cx: &BindCx<'_>, best: &mut Option<(usize, Span)>) {
+    let consider = |best: &mut Option<(usize, Span)>, at: usize, span: Span| {
+        if at < cx.offset && best.is_none_or(|(b, _)| at > b) && span != (0, 0) {
+            *best = Some((at, span));
+        }
+    };
+    match &stmt.kind {
+        StmtKind::If {
+            cond,
+            then_block,
+            else_block,
+        } => {
+            if span_contains(then_block.span, cx.offset) || span_contains(*cond, cx.offset) {
+                // Only an `if let Some(f) = expr` condition binds a name
+                // for the then-block; a boolean condition mentioning the
+                // name must not shadow the real (earlier) binding.
+                if cx.starts_with_let(*cond) && cx.mentions(*cond) {
+                    consider(best, cond.0, *cond);
+                }
+                collect_bindings(&then_block.stmts, cx, best);
+            } else if let Some(b) = else_block {
+                if span_contains(b.span, cx.offset) {
+                    collect_bindings(&b.stmts, cx, best);
+                }
+            }
+        }
+        StmtKind::Match { scrutinee, arms } => {
+            for arm in arms {
+                if span_contains(arm.body_span, cx.offset) {
+                    // An arm rebinds a name from the scrutinee only when
+                    // its pattern (the head, left of `=>`) mentions it.
+                    if cx.mentions(arm.head) {
+                        consider(best, scrutinee.0, *scrutinee);
+                    }
+                    for s in &arm.body {
+                        if span_contains(s.span, cx.offset) {
+                            collect_inner(s, cx, best);
+                        }
+                    }
+                    collect_arm_blocks(&arm.body, cx, best);
+                }
+            }
+        }
+        StmtKind::Loop { body, .. } | StmtKind::Block(body) => {
+            if span_contains(body.span, cx.offset) {
+                collect_bindings(&body.stmts, cx, best);
+            }
+        }
+        StmtKind::Plain { nested } | StmtKind::Let { nested, .. } => {
+            for s in nested {
+                if span_contains(s.span, cx.offset) {
+                    collect_inner(s, cx, best);
+                }
+            }
+        }
+    }
+}
+
+fn collect_arm_blocks(stmts: &[Stmt], cx: &BindCx<'_>, best: &mut Option<(usize, Span)>) {
+    for s in stmts {
+        if let StmtKind::Block(b) = &s.kind {
+            if span_contains(b.span, cx.offset) {
+                collect_bindings(&b.stmts, cx, best);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer;
+
+    fn parsed(src: &str) -> (FileSyntax, Vec<lexer::Token>) {
+        let tokens = lexer::lex(src);
+        (parse(src, &tokens), tokens)
+    }
+
+    fn span_text(src: &str, span: Span) -> &str {
+        &src[span.0..span.1]
+    }
+
+    #[test]
+    fn finds_fns_with_impl_qualification() {
+        let src = r"
+            struct Lp;
+            impl Lp {
+                fn handle(&mut self) {}
+                fn helper<F: Fn(usize) -> bool>(&self, f: F) -> bool { f(0) }
+            }
+            impl Clone for Lp { fn clone(&self) -> Self { Lp } }
+            fn free() {}
+        ";
+        let (syn, _) = parsed(src);
+        let names: Vec<&str> = syn.fns.iter().map(|f| f.qualified.as_str()).collect();
+        assert_eq!(names, ["Lp::handle", "Lp::helper", "Lp::clone", "free"]);
+    }
+
+    #[test]
+    fn nested_blocks_and_closures() {
+        let src = r"
+            fn f(xs: &[u32]) -> u32 {
+                let total = xs.iter().map(|x| { x + 1 }).sum();
+                { total }
+            }
+        ";
+        let (syn, _) = parsed(src);
+        let f = &syn.fns[0];
+        // let-stmt with an embedded closure block, then a bare block.
+        assert_eq!(f.body.stmts.len(), 2);
+        let StmtKind::Let { nested, .. } = &f.body.stmts[0].kind else {
+            panic!("expected let");
+        };
+        assert!(matches!(nested[0].kind, StmtKind::Block(_)));
+        assert!(matches!(f.body.stmts[1].kind, StmtKind::Block(_)));
+    }
+
+    #[test]
+    fn enclosing_if_and_match_guard_contexts() {
+        let src = r"
+            fn f(spec: Option<Spec>, x: u32) -> u32 {
+                match spec {
+                    Some(s) if s.is_active() => draw(x),
+                    _ => 0,
+                }
+            }
+        ";
+        let (syn, toks) = parsed(src);
+        let off = src.find("draw").unwrap();
+        let spans = guard_spans(&syn.fns[0], off, src, &toks);
+        let texts: Vec<&str> = spans.iter().map(|&s| span_text(src, s).trim()).collect();
+        assert_eq!(texts, ["spec", "Some(s) if s.is_active()"]);
+    }
+
+    #[test]
+    fn early_exit_siblings_count_let_else_counts_debug_assert_does_not() {
+        let src = r"
+            fn f(spec: Option<Spec>) -> f64 {
+                let Some(s) = spec else { return 0.0; };
+                if !s.is_active() { return 0.0; }
+                debug_assert!(s.ok());
+                draw(s)
+            }
+        ";
+        let (syn, toks) = parsed(src);
+        let off = src.find("draw(s)").unwrap();
+        let spans = guard_spans(&syn.fns[0], off, src, &toks);
+        let texts: Vec<String> = spans
+            .iter()
+            .map(|&s| span_text(src, s).trim().to_string())
+            .collect();
+        assert!(texts.iter().any(|t| t.contains("let Some(s) = spec")));
+        assert!(texts.iter().any(|t| t.contains("!s.is_active()")));
+        assert!(
+            !texts.iter().any(|t| t.contains("debug_assert")),
+            "debug_assert is compiled out of release builds and must not guard"
+        );
+    }
+
+    #[test]
+    fn assertion_statements_count_as_guards() {
+        let src = r#"
+            fn f(spec: Option<Spec>) -> f64 {
+                let s = spec.filter(Spec::is_active).expect("layer active");
+                draw(s)
+            }
+        "#;
+        let (syn, toks) = parsed(src);
+        let off = src.find("draw(s)").unwrap();
+        let spans = guard_spans(&syn.fns[0], off, src, &toks);
+        assert!(spans
+            .iter()
+            .any(|&s| span_text(src, s).contains("is_active")));
+    }
+
+    #[test]
+    fn else_branch_does_not_inherit_the_condition() {
+        let src = r"
+            fn f(active: bool) -> f64 {
+                if active { 0.0 } else { draw() }
+            }
+        ";
+        let (syn, toks) = parsed(src);
+        let off = src.find("draw()").unwrap();
+        let spans = guard_spans(&syn.fns[0], off, src, &toks);
+        assert!(
+            !spans.iter().any(|&s| span_text(src, s).contains("active")),
+            "the else branch holds the negation, the cond must not pool"
+        );
+    }
+
+    #[test]
+    fn match_in_expression_position_is_visible() {
+        let src = r"
+            fn f(spec: Option<Spec>) -> f64 {
+                let v = match spec {
+                    Some(s) if s.is_active() => draw(s),
+                    None => 0.0,
+                };
+                v
+            }
+        ";
+        let (syn, toks) = parsed(src);
+        let off = src.find("draw(s)").unwrap();
+        let spans = guard_spans(&syn.fns[0], off, src, &toks);
+        assert!(spans
+            .iter()
+            .any(|&s| span_text(src, s).contains("is_active")));
+    }
+
+    #[test]
+    fn binding_resolution_let_and_match_arm() {
+        let src = r"
+            fn f(&mut self) {
+                let g = self.fault_mut();
+                use_it(g);
+                match self.fault {
+                    Some(f) => consume(f),
+                    None => {}
+                }
+            }
+        ";
+        let (syn, toks) = parsed(src);
+        let use_off = src.find("use_it").unwrap();
+        let init = binding_init(&syn.fns[0], "g", use_off, src, &toks).unwrap();
+        assert_eq!(span_text(src, init), "self.fault_mut()");
+        let consume_off = src.find("consume").unwrap();
+        let init = binding_init(&syn.fns[0], "f", consume_off, src, &toks).unwrap();
+        assert_eq!(span_text(src, init), "self.fault");
+    }
+
+    #[test]
+    fn boolean_conditions_do_not_shadow_real_bindings() {
+        // `if g.spec.mttr > 0.0` is not an `if let`: it must not hijack
+        // the binding of `g`, which comes from the earlier `let`. And a
+        // match arm whose pattern does not mention the name must not
+        // rebind it from the scrutinee.
+        let src = r"
+            fn f(&mut self) {
+                let g = self.fault_mut();
+                let repair = if g.spec.mttr > 0.0 { draw(g) } else { 0.0 };
+                match self.other {
+                    Some(x) => consume(g),
+                    None => {}
+                }
+            }
+        ";
+        let (syn, toks) = parsed(src);
+        let draw_off = src.find("draw").unwrap();
+        let init = binding_init(&syn.fns[0], "g", draw_off, src, &toks).unwrap();
+        assert_eq!(span_text(src, init), "self.fault_mut()");
+        let consume_off = src.find("consume").unwrap();
+        let init = binding_init(&syn.fns[0], "g", consume_off, src, &toks).unwrap();
+        assert_eq!(span_text(src, init), "self.fault_mut()");
+        // But a genuine `if let` that mentions the name still binds it.
+        let src2 = r"
+            fn f(&mut self) {
+                if let Some(g) = self.fault.as_mut() { draw(g) }
+            }
+        ";
+        let (syn2, toks2) = parsed(src2);
+        let off2 = src2.find("draw").unwrap();
+        let init = binding_init(&syn2.fns[0], "g", off2, src2, &toks2).unwrap();
+        assert!(span_text(src2, init).contains("self.fault.as_mut()"));
+    }
+
+    #[test]
+    fn if_let_struct_pattern_brace_is_not_the_body() {
+        // The pattern's brace group must not be mistaken for the
+        // then-block: the body starts after the depth-0 `=`.
+        let src = r"
+            fn f(&mut self) {
+                if let Workload::Open { arrival_rate } = sh.params.workload {
+                    let gap = draw(arrival_rate);
+                    use_it(gap);
+                }
+                after();
+            }
+        ";
+        let (syn, toks) = parsed(src);
+        let off = src.find("draw").unwrap();
+        let spans = guard_spans(&syn.fns[0], off, src, &toks);
+        assert!(
+            spans
+                .iter()
+                .any(|&s| span_text(src, s).contains("sh.params.workload")),
+            "cond should dominate the draw: {spans:?}"
+        );
+        // The statement after the if must be a sibling, not swallowed.
+        let body = &syn.fns[0].body.stmts;
+        assert_eq!(body.len(), 2, "if + after(): {body:#?}");
+        // And the binding of `arrival_rate` resolves to the if-let cond.
+        let init = binding_init(&syn.fns[0], "arrival_rate", off, src, &toks).unwrap();
+        assert!(span_text(src, init).contains("sh.params.workload"));
+    }
+
+    #[test]
+    fn else_if_chains_nest() {
+        let src = r"
+            fn f(a: bool, b: bool) -> u32 {
+                if a { 1 } else if b { inner() } else { 3 }
+            }
+        ";
+        let (syn, toks) = parsed(src);
+        let off = src.find("inner").unwrap();
+        let spans = guard_spans(&syn.fns[0], off, src, &toks);
+        let texts: Vec<&str> = spans.iter().map(|&s| span_text(src, s).trim()).collect();
+        assert_eq!(texts, ["b"]);
+    }
+
+    #[test]
+    fn while_header_pools_for_body() {
+        let src = r"
+            fn f(q: &mut Q) {
+                while q.is_active() { step(q); }
+            }
+        ";
+        let (syn, toks) = parsed(src);
+        let off = src.find("step").unwrap();
+        let spans = guard_spans(&syn.fns[0], off, src, &toks);
+        assert!(spans
+            .iter()
+            .any(|&s| span_text(src, s).contains("is_active")));
+    }
+}

@@ -1,0 +1,137 @@
+//! Mutation self-tests: the flow-aware rules must catch seeded
+//! violations in a copy of the *real* `dqa-core` sources, under the
+//! *real* `lint.toml` vocabulary. This pins the analysis end-to-end — a
+//! refactor that silently blinds the guard-pool expansion or the
+//! reachability scan fails here, not in a future PR that trips the
+//! invariant for real.
+//!
+//! Each test copies `crates/core/src` into a throwaway workspace (the
+//! engine only lexes, so nothing needs to compile against dependencies),
+//! verifies the baseline is clean, applies one textual mutation, and
+//! asserts the seeded violation is reported deterministically.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use dqa_lint::config::{self, Config};
+use dqa_lint::diagnostics::Finding;
+use dqa_lint::engine;
+
+fn real_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root")
+}
+
+/// Copies every `.rs` file under `src` into `dst`, preserving layout.
+fn copy_tree(src: &Path, dst: &Path) {
+    fs::create_dir_all(dst).expect("create dir");
+    for entry in fs::read_dir(src).expect("read src dir") {
+        let entry = entry.expect("dir entry");
+        let path = entry.path();
+        if path.is_dir() {
+            copy_tree(&path, &dst.join(entry.file_name()));
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            fs::copy(&path, dst.join(entry.file_name())).expect("copy source");
+        }
+    }
+}
+
+struct CoreCopy {
+    root: PathBuf,
+}
+
+impl CoreCopy {
+    /// A temp workspace holding a copy of the real `dqa-core` sources.
+    fn new(name: &str) -> Self {
+        let root =
+            std::env::temp_dir().join(format!("dqa-lint-mutation-{}-{name}", std::process::id()));
+        if root.exists() {
+            fs::remove_dir_all(&root).expect("clear stale copy");
+        }
+        let core = root.join("crates").join("core");
+        fs::create_dir_all(&core).expect("create core dir");
+        fs::write(root.join("Cargo.toml"), "[workspace]\n").expect("write root manifest");
+        fs::write(core.join("Cargo.toml"), "[package]\nname = \"dqa-core\"\n")
+            .expect("write core manifest");
+        copy_tree(&real_root().join("crates/core/src"), &core.join("src"));
+        CoreCopy { root }
+    }
+
+    /// The real `lint.toml`, with every rule but `keep` disabled.
+    fn config(&self, keep: &str) -> Config {
+        let text = fs::read_to_string(real_root().join("lint.toml")).expect("lint.toml");
+        let mut config = config::parse(&text).expect("lint.toml parses");
+        for rule in dqa_lint::rules::all() {
+            if rule.name() != keep {
+                config
+                    .rules
+                    .entry(rule.name().to_string())
+                    .or_default()
+                    .enabled = Some(false);
+            }
+        }
+        config
+    }
+
+    fn run(&self, keep: &str) -> Vec<Finding> {
+        engine::run(&self.root, &self.config(keep)).expect("engine runs")
+    }
+
+    fn mutate_model(&self, f: impl Fn(String) -> String) {
+        let path = self.root.join("crates/core/src/model/mod.rs");
+        let text = fs::read_to_string(&path).expect("read model");
+        fs::write(&path, f(text)).expect("write mutated model");
+    }
+}
+
+impl Drop for CoreCopy {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+#[test]
+fn seeded_unguarded_draw_is_caught() {
+    let ws = CoreCopy::new("draw");
+    assert_eq!(
+        ws.run("draw-guardedness").len(),
+        0,
+        "baseline core copy must be clean"
+    );
+    // A helper that draws from the deadline stream with no dominating
+    // guard and no caller: unreachable for the pool, unguardable at any
+    // call site — the shape no approximation slack can excuse.
+    ws.mutate_model(|text| {
+        text + "\nimpl Lp { fn sneak(&mut self) -> f64 { self.rng_deadline.next_f64() } }\n"
+    });
+    let findings = ws.run("draw-guardedness");
+    assert_eq!(findings.len(), 1, "exactly the seeded draw: {findings:?}");
+    assert!(findings[0].message.contains("DEADLINE"), "{findings:?}");
+    assert!(findings[0].message.contains("rng_deadline"), "{findings:?}");
+}
+
+#[test]
+fn seeded_cross_site_access_is_caught() {
+    let ws = CoreCopy::new("shard");
+    assert_eq!(
+        ws.run("shard-isolation").len(),
+        0,
+        "baseline core copy must be clean"
+    );
+    // Insert a bare `.deferred` read at the top of `Lp::handle` itself —
+    // the first `fn handle(` in the file is the LP's (DbSystem's Model
+    // impl comes later).
+    ws.mutate_model(|text| {
+        let fn_at = text.find("fn handle(").expect("Lp::handle exists");
+        let brace = fn_at + text[fn_at..].find('{').expect("handle has a body");
+        let mut mutated = text;
+        mutated.insert_str(brace + 1, "\n        let _mutation = self.deferred.len();");
+        mutated
+    });
+    let findings = ws.run("shard-isolation");
+    assert_eq!(findings.len(), 1, "exactly the seeded access: {findings:?}");
+    assert!(findings[0].message.contains(".deferred"), "{findings:?}");
+    assert!(findings[0].message.contains("Lp::handle"), "{findings:?}");
+}

@@ -389,3 +389,188 @@ fn findings_are_sorted_and_deterministic() {
     sorted.sort_unstable();
     assert_eq!(lines, sorted);
 }
+
+// ---------------------------------------------------------------------
+// draw-guardedness: flow-aware CRN guardedness on synthetic workspaces.
+
+const GUARD_CFG: &str =
+    "[rules.draw-guardedness]\ncrates = [\"app\"]\nguard-DEADLINE = \"deadlines : is_active\"\n";
+
+/// A struct binding `rng_deadline` to the DEADLINE tag, plus `body`
+/// inside the impl.
+fn deadline_crate(body: &str) -> String {
+    format!(
+        "struct Lp {{ rng_deadline: R }}\n\
+         impl Lp {{\n\
+             fn new(root: &R) -> Self {{\n\
+                 Lp {{ rng_deadline: root.substream(DEADLINE) }}\n\
+             }}\n\
+         {body}\n\
+         }}\n"
+    )
+}
+
+#[test]
+fn guarded_draw_in_same_fn_is_clean() {
+    let ws = TempWorkspace::new("guard-local");
+    ws.add_crate("app").write(
+        "crates/app/src/lib.rs",
+        &deadline_crate(
+            "fn arm(&mut self, params: &P) -> f64 {\n\
+                 if params.deadlines.is_some_and(|d| d.is_active()) {\n\
+                     self.rng_deadline.next_f64()\n\
+                 } else { 0.0 }\n\
+             }",
+        ),
+    );
+    assert_eq!(rules_of(&ws.run(GUARD_CFG)), Vec::<&str>::new());
+}
+
+#[test]
+fn guard_at_every_call_site_is_clean() {
+    let ws = TempWorkspace::new("guard-caller");
+    ws.add_crate("app").write(
+        "crates/app/src/lib.rs",
+        &deadline_crate(
+            "fn draw(&mut self) -> f64 { self.rng_deadline.next_f64() }\n\
+             fn caller(&mut self, params: &P) {\n\
+                 if params.deadlines.is_some_and(|d| d.is_active()) {\n\
+                     let _ = self.draw();\n\
+                 }\n\
+             }",
+        ),
+    );
+    assert_eq!(rules_of(&ws.run(GUARD_CFG)), Vec::<&str>::new());
+}
+
+#[test]
+fn unguarded_draw_is_flagged() {
+    let ws = TempWorkspace::new("guard-missing");
+    ws.add_crate("app").write(
+        "crates/app/src/lib.rs",
+        &deadline_crate("fn arm(&mut self) -> f64 { self.rng_deadline.next_f64() }"),
+    );
+    let findings = ws.run(GUARD_CFG);
+    assert_eq!(rules_of(&findings), ["draw-guardedness"]);
+    assert!(findings[0].message.contains("DEADLINE"), "{findings:?}");
+    assert!(findings[0].message.contains("rng_deadline"), "{findings:?}");
+}
+
+#[test]
+fn one_unguarded_call_site_among_guarded_ones_is_flagged() {
+    // Caller-level guarding must hold at EVERY call site.
+    let ws = TempWorkspace::new("guard-partial");
+    ws.add_crate("app").write(
+        "crates/app/src/lib.rs",
+        &deadline_crate(
+            "fn draw(&mut self) -> f64 { self.rng_deadline.next_f64() }\n\
+             fn guarded(&mut self, params: &P) {\n\
+                 if params.deadlines.is_some_and(|d| d.is_active()) {\n\
+                     let _ = self.draw();\n\
+                 }\n\
+             }\n\
+             fn unguarded(&mut self) { let _ = self.draw(); }",
+        ),
+    );
+    assert_eq!(rules_of(&ws.run(GUARD_CFG)), ["draw-guardedness"]);
+}
+
+#[test]
+fn justified_allow_silences_draw_finding() {
+    let ws = TempWorkspace::new("guard-allowed");
+    ws.add_crate("app").write(
+        "crates/app/src/lib.rs",
+        &deadline_crate(
+            "fn arm(&mut self) -> f64 {\n\
+                 // dqa-lint: allow(draw-guardedness) -- warmup calibration draw, spec-independent\n\
+                 self.rng_deadline.next_f64()\n\
+             }",
+        ),
+    );
+    assert_eq!(rules_of(&ws.run(GUARD_CFG)), Vec::<&str>::new());
+}
+
+#[test]
+fn unjustified_allow_does_not_silence_draw_finding() {
+    let ws = TempWorkspace::new("guard-unjustified");
+    ws.add_crate("app").write(
+        "crates/app/src/lib.rs",
+        &deadline_crate(
+            "fn arm(&mut self) -> f64 {\n\
+                 // dqa-lint: allow(draw-guardedness)\n\
+                 self.rng_deadline.next_f64()\n\
+             }",
+        ),
+    );
+    let findings = ws.run(GUARD_CFG);
+    let rules = rules_of(&findings);
+    assert!(rules.contains(&"draw-guardedness"), "{rules:?}");
+    assert!(rules.contains(&"suppression-hygiene"), "{rules:?}");
+}
+
+// ---------------------------------------------------------------------
+// shard-isolation: reachability-scoped field-access audit.
+
+#[test]
+fn reachable_cross_site_access_is_flagged_but_unreachable_is_not() {
+    let ws = TempWorkspace::new("shard-reach");
+    ws.add_crate("app").write(
+        "crates/app/src/lib.rs",
+        "struct Lp { deferred: Vec<u32> }\n\
+         impl Lp {\n\
+             fn handle(&mut self) { self.push_it(); }\n\
+             fn push_it(&mut self) { self.deferred.push(1); }\n\
+         }\n\
+         struct Db { deferred: Vec<u32> }\n\
+         impl Db {\n\
+             fn not_reachable(&mut self) { self.deferred.push(2); }\n\
+         }\n",
+    );
+    let findings = ws.run(
+        "[rules.shard-isolation]\ncrates = [\"app\"]\nroots = \"Lp::handle\"\nfields = \"deferred\"\n",
+    );
+    assert_eq!(rules_of(&findings), ["shard-isolation"]);
+    assert!(findings[0].message.contains("push_it"), "{findings:?}");
+}
+
+#[test]
+fn shard_allow_requires_justification_and_claims_gate() {
+    let cfg = "[rules.shard-isolation]\ncrates = [\"app\"]\nroots = \"Lp::handle\"\n\
+               fields = \"deferred\"\ngates = \"Deadlines\"\n";
+    // Justified with the gate named: access silenced, gate claimed.
+    let ws = TempWorkspace::new("shard-allowed");
+    ws.add_crate("app").write(
+        "crates/app/src/lib.rs",
+        "enum ShardGate { Deadlines }\n\
+         struct Lp { deferred: Vec<u32> }\n\
+         impl Lp {\n\
+             fn handle(&mut self) {\n\
+                 // dqa-lint: allow(shard-isolation) -- ShardGate::Deadlines: drained at the barrier\n\
+                 self.deferred.push(1);\n\
+             }\n\
+         }\n",
+    );
+    assert_eq!(rules_of(&ws.run(cfg)), Vec::<&str>::new());
+}
+
+#[test]
+fn unclaimed_gate_is_a_stale_refusal_finding() {
+    let cfg = "[rules.shard-isolation]\ncrates = [\"app\"]\nroots = \"Lp::handle\"\n\
+               fields = \"deferred\"\ngates = \"Deadlines\"\n";
+    let ws = TempWorkspace::new("shard-stale-gate");
+    ws.add_crate("app").write(
+        "crates/app/src/lib.rs",
+        "enum ShardGate { Deadlines }\n\
+         struct Lp { deferred: Vec<u32> }\n\
+         impl Lp {\n\
+             fn handle(&mut self) {}\n\
+         }\n",
+    );
+    let findings = ws.run(cfg);
+    assert_eq!(rules_of(&findings), ["shard-isolation"]);
+    assert!(
+        findings[0].message.contains("ShardGate::Deadlines"),
+        "{findings:?}"
+    );
+    assert!(findings[0].message.contains("no justified"), "{findings:?}");
+}

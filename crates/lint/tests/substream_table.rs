@@ -1,0 +1,145 @@
+//! Drift test for the "who draws what" substream table.
+//!
+//! `crates/core/src/substreams.rs` documents every RNG substream in a
+//! rustdoc table and re-exports the full set as `ALL`. This test derives
+//! the real consumer map from the semantic index — which names are bound
+//! to which tags, and where they draw — and cross-checks three ways:
+//!
+//! 1. the rustdoc table lists exactly the declared constants (no stale
+//!    or missing rows);
+//! 2. every *extension* tag (the ones `draw-guardedness` tracks in
+//!    `lint.toml`) is bound to at least one stream field and actually
+//!    drawn from — a tracked tag nobody draws means the table or the
+//!    config is stale;
+//! 3. every remaining tag is at least mentioned in `dqa-core` (the
+//!    workload streams are consumed via `substreams::per_site` wiring).
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use dqa_lint::engine::{self, SourceFile};
+use dqa_lint::graph::Index;
+
+fn real_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root")
+}
+
+fn registry_text() -> String {
+    std::fs::read_to_string(real_root().join("crates/core/src/substreams.rs"))
+        .expect("substreams.rs exists")
+}
+
+/// Names from the rustdoc table rows: `//! | [`NAME`] | tag | … |`.
+fn doc_table_names(text: &str) -> Vec<String> {
+    text.lines()
+        .filter_map(|l| {
+            let l = l.trim();
+            let rest = l.strip_prefix("//! | [`")?;
+            let (name, _) = rest.split_once("`]")?;
+            Some(name.to_string())
+        })
+        .collect()
+}
+
+/// Names from `pub const NAME: u64 = …;` declarations.
+fn declared_names(text: &str) -> Vec<String> {
+    text.lines()
+        .filter_map(|l| {
+            let rest = l.trim().strip_prefix("pub const ")?;
+            let (name, tail) = rest.split_once(':')?;
+            tail.trim_start()
+                .starts_with("u64")
+                .then(|| name.to_string())
+        })
+        .collect()
+}
+
+/// Tags tracked by `draw-guardedness` in the real `lint.toml`.
+fn tracked_tags() -> Vec<String> {
+    let text = std::fs::read_to_string(real_root().join("lint.toml")).expect("lint.toml");
+    let config = dqa_lint::config::parse(&text).expect("lint.toml parses");
+    let rule = config
+        .rules
+        .get("draw-guardedness")
+        .expect("draw-guardedness configured");
+    rule.options
+        .keys()
+        .filter_map(|k| k.strip_prefix("guard-"))
+        .map(str::to_string)
+        .collect()
+}
+
+#[test]
+fn doc_table_matches_declared_constants() {
+    let text = registry_text();
+    let table = doc_table_names(&text);
+    let declared = declared_names(&text);
+    assert!(!table.is_empty() && !declared.is_empty());
+    assert_eq!(
+        table, declared,
+        "the rustdoc 'who draws what' table drifted from the declared constants"
+    );
+}
+
+#[test]
+fn every_tracked_tag_is_bound_and_drawn() {
+    let ws = engine::load_workspace(real_root()).expect("workspace loads");
+    let files: Vec<&SourceFile> = ws
+        .files
+        .iter()
+        .filter(|f| f.crate_name == "dqa-core" && !f.kind.is_testish())
+        .collect();
+    let idx = Index::build(files, false);
+
+    let tracked = tracked_tags();
+    assert!(tracked.len() >= 10, "tracked extension tags: {tracked:?}");
+    let bindings = idx.stream_bindings(&tracked);
+    let drawn: BTreeSet<&str> = idx
+        .draw_sites(&bindings)
+        .iter()
+        .map(|s| {
+            bindings
+                .get(&s.name)
+                .and_then(|tags| tags.iter().find(|t| *t == &s.tag))
+                .expect("site tag comes from bindings")
+                .as_str()
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .collect();
+    for tag in &tracked {
+        assert!(
+            bindings.values().any(|tags| tags.contains(tag)),
+            "extension tag {tag} is tracked by draw-guardedness but bound to no stream \
+             field — lint.toml or the registry is stale (bindings: {bindings:?})"
+        );
+        assert!(
+            drawn.contains(tag.as_str()),
+            "extension tag {tag} is bound but never drawn from in dqa-core"
+        );
+    }
+}
+
+#[test]
+fn every_other_tag_is_at_least_consumed_somewhere() {
+    let text = registry_text();
+    let declared = declared_names(&text);
+    let tracked: BTreeSet<String> = tracked_tags().into_iter().collect();
+    let ws = engine::load_workspace(real_root()).expect("workspace loads");
+    // The workload streams are wired via `substreams::<TAG>` mentions in
+    // any workspace crate (the CLI owns POLICY_RANDOM wiring).
+    for tag in declared.iter().filter(|t| !tracked.contains(*t)) {
+        let mentioned = ws.files.iter().any(|f| {
+            !std::ptr::eq(f.text.as_str(), text.as_str())
+                && !f.rel_path.ends_with("substreams.rs")
+                && f.code_tokens().any(|tok| tok.text(&f.text) == *tag)
+        });
+        assert!(
+            mentioned,
+            "substream tag {tag} is declared in the registry but consumed nowhere"
+        );
+    }
+}
